@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the building blocks: snapshot buffers,
+//! compiled kernels, incremental reduction state, fusion compile time, and
+//! the Fig. 10 ablation pair. Each group is one table/figure ingredient;
+//! the full-size sweeps live in the `src/bin` harness binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+use tilt_core::Compiler;
+use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+use tilt_workloads::ops::{self, PrimitiveOp};
+use tilt_workloads::{all_apps, gen};
+
+const N: usize = 100_000;
+
+fn input_buf(n: usize) -> (SnapshotBuf<Value>, TimeRange) {
+    let events = gen::uniform_floats(n, 1);
+    let range = TimeRange::new(Time::ZERO, Time::new(n as i64).align_up(10));
+    (SnapshotBuf::from_events(&events, range), range)
+}
+
+fn bench_ssbuf(c: &mut Criterion) {
+    let events = gen::uniform_floats(N, 1);
+    let range = TimeRange::new(Time::ZERO, Time::new(N as i64));
+    let mut g = c.benchmark_group("ssbuf");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("from_events", |b| {
+        b.iter(|| SnapshotBuf::from_events(&events, range))
+    });
+    let buf = SnapshotBuf::from_events(&events, range);
+    g.bench_function("to_events", |b| b.iter(|| buf.to_events()));
+    g.finish();
+}
+
+fn bench_primitive_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(N as u64));
+    for op in [PrimitiveOp::Select, PrimitiveOp::Where, PrimitiveOp::WSum] {
+        let (plan, out) = ops::plan(op);
+        let q = tilt_query::lower(&plan, out).expect("lowers");
+        let cq = Compiler::new().compile(&q).expect("compiles");
+        let (buf, range) = input_buf(N);
+        g.bench_function(BenchmarkId::new("tilt", op.name()), |b| {
+            b.iter(|| cq.run(&[&buf], range).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce_state(c: &mut Criterion) {
+    // Sliding sum vs min/max deque vs stddev over the same window.
+    let mut g = c.benchmark_group("reduce");
+    g.throughput(Throughput::Elements(N as u64));
+    for (name, op) in
+        [("sum", ReduceOp::Sum), ("max", ReduceOp::Max), ("stddev", ReduceOp::StdDev)]
+    {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let out = b.temporal("w", TDom::every_tick(), Expr::reduce_window(op, input, 32));
+        let q = b.finish(out).expect("builds");
+        let cq = Compiler::new().compile(&q).expect("compiles");
+        let (buf, range) = input_buf(N);
+        g.bench_function(name, |bch| bch.iter(|| cq.run(&[&buf], range).len()));
+    }
+    g.finish();
+}
+
+fn bench_fusion_ablation(c: &mut Criterion) {
+    // Fig. 10 in miniature: trend query fused vs unfused, single thread.
+    let app = &all_apps()[0]; // Trading
+    let q = tilt_query::lower(&app.plan, app.output).expect("lowers");
+    let fused = Compiler::new().compile(&q).expect("compiles");
+    let unfused = Compiler::unoptimized().compile(&q).expect("compiles");
+    let events = gen::stock_walk(N, 1);
+    let range = TimeRange::new(Time::ZERO, Time::new(N as i64));
+    let buf = SnapshotBuf::from_events(&events, range);
+    let mut g = c.benchmark_group("fusion");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("trend_fused", |b| b.iter(|| fused.run(&[&buf], range).len()));
+    g.bench_function("trend_unfused", |b| b.iter(|| unfused.run(&[&buf], range).len()));
+    g.finish();
+}
+
+fn bench_compile_time(c: &mut Criterion) {
+    // Compilation latency for the most complex app plans.
+    let mut g = c.benchmark_group("compile");
+    for app in all_apps() {
+        let q = tilt_query::lower(&app.plan, app.output).expect("lowers");
+        g.bench_function(app.name, |b| {
+            b.iter(|| Compiler::new().compile(&q).expect("compiles").num_kernels())
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let app = &all_apps()[0];
+    let q = tilt_query::lower(&app.plan, app.output).expect("lowers");
+    let cq = Compiler::new().compile(&q).expect("compiles");
+    let events = gen::stock_walk(N * 4, 1);
+    let range = TimeRange::new(Time::ZERO, Time::new((N * 4) as i64));
+    let buf = SnapshotBuf::from_events(&events, range);
+    let mut g = c.benchmark_group("parallel");
+    g.throughput(Throughput::Elements((N * 4) as u64));
+    for threads in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| cq.run_parallel(&[&buf], range, threads, 20_000).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_trill_baseline(c: &mut Criterion) {
+    let (plan, out) = ops::plan(PrimitiveOp::WSum);
+    let events = gen::uniform_floats(N, 1);
+    let mut g = c.benchmark_group("trill");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("wsum", |b| {
+        b.iter(|| spe_trill::run_single(&plan, out, &events, 65_536).len())
+    });
+    let _ = Event::point(Time::new(1), Value::Float(0.0)); // keep types exercised
+    g.finish();
+}
+
+fn tuned() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_ssbuf, bench_primitive_kernels, bench_reduce_state,
+              bench_fusion_ablation, bench_compile_time, bench_parallel_scaling,
+              bench_trill_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: sensitivity of TiLT's parallel execution to the partition
+//! interval size (§6.2 — "the data streams are partitioned based on the
+//! resolved boundary conditions and a *user-defined interval size*").
+//!
+//! Small intervals mean more scheduling slots but a larger fraction of
+//! duplicated lookback work per partition (the shaded regions of Fig. 6);
+//! large intervals amortize the lookback but starve the workers. The sweet
+//! spot sits where `interval >> lookback` while `#partitions >> #threads`.
+
+use tilt_bench::{best_throughput, fmt_meps, print_table, RunCfg};
+use tilt_core::Compiler;
+use tilt_data::{SnapshotBuf, Time, TimeRange};
+use tilt_workloads::all_apps;
+
+fn main() {
+    let cfg = RunCfg::from_args(1_000_000);
+    let mut rows = Vec::new();
+    for app in all_apps().into_iter().filter(|a| matches!(a.name, "Trading" | "FraudDet")) {
+        let events = (app.dataset)(cfg.events, 1);
+        let q = tilt_query::lower(&app.plan, app.output).expect("app lowers");
+        let cq = Compiler::new().compile(&q).expect("app compiles");
+        let lookback = cq.boundary().max_input_lookback(cq.query());
+        let hi = events.iter().map(|e| e.end).max().unwrap_or(Time::ZERO);
+        let range = TimeRange::new(Time::ZERO, hi.align_up(cq.grid()));
+        let buf = SnapshotBuf::from_events(&events, range);
+        for interval in [100i64, 1_000, 10_000, 100_000, 1_000_000] {
+            let t = best_throughput(events.len(), cfg.runs, || {
+                cq.run_parallel(&[&buf], range, cfg.threads, interval).len()
+            });
+            rows.push(vec![
+                app.name.to_string(),
+                interval.to_string(),
+                format!("{:.1}%", 100.0 * lookback as f64 / interval as f64),
+                fmt_meps(t),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation — partition interval size vs throughput (TiLT, Fig. 6 knob)",
+        &format!("{} events, {} threads; overhead = duplicated lookback / interval", cfg.events, cfg.threads),
+        &["app", "interval", "dup. overhead", "Mev/s"],
+        &rows,
+    );
+}

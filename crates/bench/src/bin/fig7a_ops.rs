@@ -1,0 +1,69 @@
+//! Fig. 7a: throughput of the primitive temporal operations
+//! (Select, Where, WSum, Join) on every engine that supports them.
+//!
+//! Paper highlights (16 threads, 160 M synthetic events): TiLT ≈ baselines
+//! on Select/Where; on WSum TiLT beats Trill 6.64×, StreamBox 18.3×,
+//! Grizzly 7.44×, LightSaber 1.87×; on Join TiLT beats Trill 13.87× and
+//! StreamBox 321.94× (LightSaber/Grizzly do not support Join).
+
+use tilt_bench::{best_throughput, fmt_meps, print_table, RunCfg};
+use tilt_workloads::ops::{self, PrimitiveOp};
+
+fn main() {
+    let cfg = RunCfg::from_args(2_000_000);
+    let interval = 50_000i64;
+    let mut rows = Vec::new();
+
+    for op in PrimitiveOp::ALL {
+        let inputs = ops::datasets(op, cfg.events, 1);
+        let range = ops::range_for(&inputs);
+        let total: usize = inputs.iter().map(|v| v.len()).sum();
+
+        let tilt = best_throughput(total, cfg.runs, || {
+            ops::run_tilt(op, &inputs, range, cfg.threads, interval)
+        });
+        let trill = best_throughput(total, cfg.runs, || ops::run_trill(op, &inputs, 65_536));
+
+        // StreamBox's O(n²) join cannot finish 2 M events; scale it down and
+        // normalize (noted in the output).
+        let sb_scale = if op == PrimitiveOp::Join { 100 } else { 1 };
+        let sb_inputs = ops::datasets(op, cfg.events / sb_scale, 1);
+        let sb_total: usize = sb_inputs.iter().map(|v| v.len()).sum();
+        let streambox =
+            best_throughput(sb_total, cfg.runs, || ops::run_streambox(op, &sb_inputs, 65_536));
+
+        let lightsaber = ops::run_lightsaber(op, &inputs, range, cfg.threads).map(|_| {
+            best_throughput(total, cfg.runs, || {
+                ops::run_lightsaber(op, &inputs, range, cfg.threads).unwrap_or(0)
+            })
+        });
+        let grizzly = ops::run_grizzly(op, &inputs, range, cfg.threads).map(|_| {
+            best_throughput(total, cfg.runs, || {
+                ops::run_grizzly(op, &inputs, range, cfg.threads).unwrap_or(0)
+            })
+        });
+
+        rows.push(vec![
+            op.name().to_string(),
+            fmt_meps(tilt),
+            fmt_meps(trill),
+            if sb_scale > 1 {
+                format!("{}*", fmt_meps(streambox))
+            } else {
+                fmt_meps(streambox)
+            },
+            lightsaber.map_or("n/a".into(), fmt_meps),
+            grizzly.map_or("n/a".into(), fmt_meps),
+        ]);
+    }
+
+    print_table(
+        "Fig. 7a — primitive temporal operations (million events/sec)",
+        &format!(
+            "{} events, {} threads; * = StreamBox Join measured at 1/100 scale (O(n²))",
+            cfg.events, cfg.threads
+        ),
+        &["op", "TiLT", "Trill", "StreamBox", "LightSaber", "Grizzly"],
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Fig. 8: multi-core scalability on the Yahoo Streaming Benchmark.
+//!
+//! Paper: TiLT scales near-linearly to 4–8 threads (then turns
+//! memory-bound) peaking at 406 M ev/s (12-core) / 450 M ev/s (32-core);
+//! LightSaber ~291–296; Grizzly and Trill scale poorly. Reproduced claim:
+//! the *shapes* — TiLT/LightSaber rise with threads, Trill stays flat
+//! (partition-limited), Grizzly saturates early on atomic contention.
+
+use tilt_bench::{best_throughput, fmt_meps, print_table, RunCfg};
+use tilt_workloads::ysb;
+
+fn main() {
+    let cfg = RunCfg::from_args(4_000_000);
+    let campaigns = 100;
+    let rate = 10_000;
+    let window = ysb::window_ticks(rate);
+    let events = ysb::generate(cfg.events, campaigns, 1);
+    let range = ysb::extent(&events, window);
+    let partitions = ysb::partition(&events, campaigns);
+
+    // StreamBox: pipeline parallelism is fixed by the operator count, so it
+    // contributes one horizontal line; measure once on a reduced slice.
+    let sb_events = ysb::generate(cfg.events / 8, campaigns, 1);
+    let sb_parts = ysb::partition(&sb_events, campaigns);
+    let sb_range = ysb::extent(&sb_events, window);
+    let streambox = best_throughput(sb_events.len(), cfg.runs, || {
+        ysb::run_streambox(&sb_parts, 65_536, sb_range, window) as usize
+    });
+
+    let mut threads_axis = vec![1usize, 2, 4, 8, 16, 32];
+    threads_axis.retain(|t| *t <= cfg.threads);
+    if !threads_axis.contains(&cfg.threads) {
+        threads_axis.push(cfg.threads);
+    }
+
+    let mut rows = Vec::new();
+    for &t in &threads_axis {
+        let tilt = best_throughput(cfg.events, cfg.runs, || {
+            ysb::run_tilt(&partitions, range, t, window) as usize
+        });
+        let trill = best_throughput(cfg.events, cfg.runs, || {
+            ysb::run_trill(&partitions, 65_536, t, range, window) as usize
+        });
+        let ls = best_throughput(cfg.events, cfg.runs, || {
+            ysb::run_lightsaber(&events, range, t, window) as usize
+        });
+        let gz = best_throughput(cfg.events, cfg.runs, || {
+            ysb::run_grizzly(&events, campaigns, range, t, window) as usize
+        });
+        rows.push(vec![
+            t.to_string(),
+            fmt_meps(tilt),
+            fmt_meps(trill),
+            fmt_meps(streambox),
+            fmt_meps(ls),
+            fmt_meps(gz),
+        ]);
+    }
+
+    print_table(
+        "Fig. 8 — YSB scalability vs worker threads (million events/sec)",
+        &format!(
+            "{} events, {campaigns} campaigns; StreamBox is pipeline-parallel (flat line, measured once at 1/8 scale)",
+            cfg.events
+        ),
+        &["threads", "TiLT", "Trill", "StreamBox", "LightSaber", "Grizzly"],
+        &rows,
+    );
+}

@@ -1,0 +1,75 @@
+//! Fig. 9: latency-bounded throughput — throughput as a function of the
+//! batch/snapshot-buffer size, TiLT vs Trill, on the eight applications.
+//!
+//! Paper: TiLT holds high throughput across the whole spectrum (10 … 1 M
+//! events per batch) while Trill slows 18–227× at small batches (per-batch,
+//! per-operator overhead dominates). Reproduced claim: the TiLT curve is
+//! flat-ish; the Trill curve collapses as batches shrink.
+
+use tilt_bench::{fmt_meps, print_table, time_it, RunCfg};
+use tilt_core::Compiler;
+use tilt_data::Time;
+use tilt_workloads::all_apps;
+
+fn main() {
+    let cfg = RunCfg::from_args(200_000);
+    let batch_sizes: &[usize] = if cfg.quick {
+        &[10, 1_000, 100_000]
+    } else {
+        &[10, 100, 1_000, 10_000, 100_000, 1_000_000]
+    };
+
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let events = (app.dataset)(cfg.events, 1);
+        let q = tilt_query::lower(&app.plan, app.output).expect("app lowers");
+        let cq = Compiler::new().compile(&q).expect("app compiles");
+
+        for &batch in batch_sizes {
+            let batch = batch.min(events.len());
+            // TiLT: batched streaming sessions with carried lookback.
+            let (_, tilt_dur) = time_it(|| {
+                let mut session = cq.stream_session(Time::ZERO);
+                let mut sink = 0usize;
+                let mut last = tilt_data::Time::ZERO;
+                for chunk in events.chunks(batch) {
+                    session.push_events(0, chunk);
+                    let upto = chunk.last().expect("non-empty chunk").end;
+                    if upto > session.watermark() {
+                        sink += session.advance_to(upto).len();
+                    }
+                    last = upto;
+                }
+                sink += session.flush_to(last.max(session.watermark() + 1)).len();
+                std::hint::black_box(sink)
+            });
+
+            // Trill: the same micro-batches through the operator graph.
+            let (_, trill_dur) = time_it(|| {
+                let mut engine = spe_trill::TrillEngine::new(&app.plan, app.output);
+                let src = app.plan.sources()[0];
+                for chunk in events.chunks(batch) {
+                    engine.push_batch(src, chunk);
+                }
+                std::hint::black_box(engine.finish().len())
+            });
+
+            rows.push(vec![
+                app.name.to_string(),
+                batch.to_string(),
+                fmt_meps(tilt_bench::meps(events.len(), tilt_dur)),
+                fmt_meps(tilt_bench::meps(events.len(), trill_dur)),
+            ]);
+        }
+    }
+
+    print_table(
+        "Fig. 9 — latency-bounded throughput (million events/sec)",
+        &format!(
+            "{} events/app, single worker; paper: Trill degrades 18-227x at small batches",
+            cfg.events
+        ),
+        &["app", "batch", "TiLT", "Trill"],
+        &rows,
+    );
+}

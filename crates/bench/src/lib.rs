@@ -1,0 +1,162 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--events N` — base event count (each binary documents its default);
+//! * `--threads N` — maximum worker threads (default: available cores);
+//! * `--quick` — shrink the run ~10× for smoke testing;
+//! * `--runs N` — measurement repetitions (default 3; the paper averages 5).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Parsed command-line configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunCfg {
+    /// Base number of events.
+    pub events: usize,
+    /// Maximum worker threads.
+    pub threads: usize,
+    /// Number of measurement repetitions.
+    pub runs: usize,
+    /// Quick (smoke-test) mode.
+    pub quick: bool,
+}
+
+impl RunCfg {
+    /// Parses `std::env::args`, applying `default_events` when `--events`
+    /// is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed flag values (this is a benchmark CLI).
+    pub fn from_args(default_events: usize) -> RunCfg {
+        let args: Vec<String> = std::env::args().collect();
+        let mut cfg = RunCfg {
+            events: default_events,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            runs: 3,
+            quick: false,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--events" => {
+                    i += 1;
+                    cfg.events = args[i].parse().expect("--events takes a number");
+                }
+                "--threads" => {
+                    i += 1;
+                    cfg.threads = args[i].parse().expect("--threads takes a number");
+                }
+                "--runs" => {
+                    i += 1;
+                    cfg.runs = args[i].parse().expect("--runs takes a number");
+                }
+                "--quick" => cfg.quick = true,
+                other => panic!("unknown flag {other}; supported: --events --threads --runs --quick"),
+            }
+            i += 1;
+        }
+        if cfg.quick {
+            cfg.events = (cfg.events / 10).max(10_000);
+            cfg.runs = 1;
+        }
+        cfg
+    }
+}
+
+/// Times a closure.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Runs `f` `runs` times and returns the best (max) throughput in million
+/// events per second, using `sink` to keep results observable.
+pub fn best_throughput(events: usize, runs: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..runs.max(1) {
+        let (sink, dur) = time_it(&mut f);
+        std::hint::black_box(sink);
+        let meps = events as f64 / dur.as_secs_f64() / 1e6;
+        best = best.max(meps);
+    }
+    best
+}
+
+/// Million events per second.
+pub fn meps(events: usize, dur: Duration) -> f64 {
+    events as f64 / dur.as_secs_f64() / 1e6
+}
+
+/// Prints a fixed-width table with a title and a one-line provenance note.
+pub fn print_table(title: &str, note: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    if !note.is_empty() {
+        println!("   {note}");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("  {s}");
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a throughput cell.
+pub fn fmt_meps(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Formats a ratio cell like `12.3x`.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meps_math() {
+        let x = meps(2_000_000, Duration::from_secs(1));
+        assert!((x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_runs_best_of() {
+        let t = best_throughput(1_000_000, 2, || 42);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_meps(123.4), "123");
+        assert_eq!(fmt_meps(12.34), "12.3");
+        assert_eq!(fmt_meps(1.234), "1.23");
+        assert_eq!(fmt_ratio(2.5), "2.50x");
+    }
+}

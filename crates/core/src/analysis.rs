@@ -1,0 +1,268 @@
+//! Temporal lineage analysis and boundary resolution (paper §5.1).
+//!
+//! The time-centric IR makes data dependencies across time explicit: a point
+//! access `~x[t+d]` needs `~x` only at `t+d`, and a window reduce
+//! `⊕(f, ~x[t+lo : t+hi])` needs `~x` only on `(t+lo, t+hi]`. *Boundary
+//! resolution* folds these per-expression extents along the dependency
+//! chains of a query to answer: to produce the output on `(Ts, Te]`, which
+//! slice of each input is required? The answer — `(Ts − lookback,
+//! Te + lookahead]` per input — is what lets the executor cut a stream into
+//! independently processable partitions (paper Fig. 6).
+
+use std::collections::HashMap;
+
+use crate::ir::{Expr, Query, TObjId};
+
+/// The interval of offsets, relative to the evaluation time `t`, at which an
+/// expression (or query output) reads an object: accesses fall within
+/// `[t + lo, t + hi]`.
+///
+/// Unlike a plain lookback/lookahead pair, keeping the signed interval makes
+/// composition precise: a `Shift(+2)` of a `Shift(-5)` reaches `[t-3, t-3]`,
+/// not `[t-5, t+2]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Extent {
+    /// Earliest access offset.
+    pub lo: i64,
+    /// Latest access offset.
+    pub hi: i64,
+}
+
+impl Extent {
+    /// The instantaneous access `[t, t]`.
+    pub const ZERO: Extent = Extent { lo: 0, hi: 0 };
+
+    /// Union of access intervals.
+    pub fn join(self, other: Extent) -> Extent {
+        Extent { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Sequential composition (Minkowski sum): reading an intermediate at
+    /// offsets `self` whose definition itself reads at offsets `inner`.
+    pub fn chain(self, inner: Extent) -> Extent {
+        Extent { lo: self.lo + inner.lo, hi: self.hi + inner.hi }
+    }
+
+    /// Extent of a point access at `offset`.
+    pub fn point(offset: i64) -> Extent {
+        Extent { lo: offset, hi: offset }
+    }
+
+    /// Extent of a window access `(t+lo, t+hi]`.
+    pub fn window(lo: i64, hi: i64) -> Extent {
+        Extent { lo, hi }
+    }
+
+    /// Ticks of history needed before the output interval (≥ 0).
+    pub fn lookback(&self) -> i64 {
+        (-self.lo).max(0)
+    }
+
+    /// Ticks of future needed after the output interval (≥ 0).
+    pub fn lookahead(&self) -> i64 {
+        self.hi.max(0)
+    }
+}
+
+/// The resolved boundary conditions of a query (paper Fig. 3b):
+/// producing the output on `(Ts, Te]` requires each object on
+/// `(Ts − lookback, Te + lookahead]`.
+#[derive(Clone, Debug, Default)]
+pub struct Boundary {
+    extents: HashMap<TObjId, Extent>,
+}
+
+impl Boundary {
+    /// The extent required of `obj` (inputs *and* intermediates), relative to
+    /// the output interval. Objects the output does not depend on have no
+    /// entry.
+    pub fn extent(&self, obj: TObjId) -> Extent {
+        self.extents.get(&obj).copied().unwrap_or(Extent::ZERO)
+    }
+
+    /// Whether the output depends on `obj` at all.
+    pub fn depends_on(&self, obj: TObjId) -> bool {
+        self.extents.contains_key(&obj)
+    }
+
+    /// The largest lookback over all query inputs — the width of the
+    /// duplicated region each parallel partition re-reads.
+    pub fn max_input_lookback(&self, query: &Query) -> i64 {
+        query.inputs().iter().map(|i| self.extent(*i).lookback()).max().unwrap_or(0)
+    }
+
+    /// The largest lookahead over all query inputs.
+    pub fn max_input_lookahead(&self, query: &Query) -> i64 {
+        query.inputs().iter().map(|i| self.extent(*i).lookahead()).max().unwrap_or(0)
+    }
+}
+
+/// Extents of the *direct* accesses of one expression, per referenced object.
+pub fn direct_extents(body: &Expr) -> HashMap<TObjId, Extent> {
+    let mut out: HashMap<TObjId, Extent> = HashMap::new();
+    body.walk(&mut |e| {
+        let (obj, ext) = match e {
+            Expr::At { obj, offset } => (*obj, Extent::point(*offset)),
+            Expr::Reduce { window, .. } => (window.obj, Extent::window(window.lo, window.hi)),
+            _ => return,
+        };
+        out.entry(obj).and_modify(|e| *e = e.join(ext)).or_insert(ext);
+    });
+    out
+}
+
+/// Resolves the boundary conditions of `query` by propagating extents from
+/// the output back along the temporal-lineage DAG.
+///
+/// An expression with a coarse time domain (precision `p > 1`) adds `p − 1`
+/// ticks of slack to its own accesses: the snapshot a consumer reads at `t`
+/// may have been computed up to one grid step earlier.
+pub fn resolve_boundaries(query: &Query) -> Boundary {
+    let mut boundary = Boundary::default();
+    boundary.extents.insert(query.output(), Extent::ZERO);
+
+    // Walk expressions in reverse topological order so each definition sees
+    // the final extent of its own output before distributing to dependencies.
+    for te in query.exprs().iter().rev() {
+        let Some(&out_ext) = boundary.extents.get(&te.output) else {
+            continue; // dead expression: the output does not depend on it
+        };
+        let slack = te.dom.precision - 1;
+        for (dep, mut ext) in direct_extents(&te.body) {
+            // A consumer with grid precision p may evaluate up to p−1 ticks
+            // away from the time whose value it defines, in both directions.
+            ext.lo -= slack;
+            ext.hi += slack;
+            let total = out_ext.chain(ext);
+            boundary
+                .extents
+                .entry(dep)
+                .and_modify(|e| *e = e.join(total))
+                .or_insert(total);
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Expr, ReduceOp, TDom};
+
+    /// Builds the paper's trend-analysis query shape and checks the inferred
+    /// boundary matches Fig. 3b: `~filter[Ts:Te] ⇐ ~stock[Ts-20:Te]`.
+    #[test]
+    fn trend_query_boundary_matches_paper() {
+        let mut b = Query::builder();
+        let stock = b.input("stock", DataType::Float);
+        let sum10 = b.temporal(
+            "sum10",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, stock, 10),
+        );
+        let sum20 = b.temporal(
+            "sum20",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, stock, 20),
+        );
+        let avg10 = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
+        let avg20 = b.temporal("avg20", TDom::every_tick(), Expr::at(sum20).div(Expr::c(20.0)));
+        let join = b.temporal(
+            "join",
+            TDom::every_tick(),
+            Expr::if_else(
+                Expr::at(avg10).is_present().and(Expr::at(avg20).is_present()),
+                Expr::at(avg10).sub(Expr::at(avg20)),
+                Expr::null(),
+            ),
+        );
+        let filter = b.temporal(
+            "filter",
+            TDom::every_tick(),
+            Expr::if_else(Expr::at(join).gt(Expr::c(0.0)), Expr::at(join), Expr::null()),
+        );
+        let q = b.finish(filter).unwrap();
+        let boundary = resolve_boundaries(&q);
+        assert_eq!(boundary.extent(stock), Extent { lo: -20, hi: 0 });
+        assert_eq!(boundary.extent(join), Extent::ZERO);
+        assert_eq!(boundary.max_input_lookback(&q), 20);
+        assert_eq!(boundary.max_input_lookahead(&q), 0);
+    }
+
+    #[test]
+    fn shift_contributes_lookahead_and_lookback() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let past = b.temporal("past", TDom::every_tick(), Expr::at_off(input, -5));
+        let future = b.temporal("future", TDom::every_tick(), Expr::at_off(past, 2));
+        let q = b.finish(future).unwrap();
+        let boundary = resolve_boundaries(&q);
+        // future[t] = past[t+2] = in[t-3]: the signed composition is exact.
+        assert_eq!(boundary.extent(past), Extent { lo: 2, hi: 2 });
+        assert_eq!(boundary.extent(input), Extent { lo: -3, hi: -3 });
+        assert_eq!(boundary.extent(input).lookback(), 3);
+        assert_eq!(boundary.extent(input).lookahead(), 0);
+    }
+
+    #[test]
+    fn window_extents_accumulate_along_chains() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let smooth = b.temporal(
+            "smooth",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Mean, input, 8),
+        );
+        let agg = b.temporal(
+            "agg",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Max, smooth, 4),
+        );
+        let q = b.finish(agg).unwrap();
+        let boundary = resolve_boundaries(&q);
+        assert_eq!(boundary.extent(smooth).lookback(), 4);
+        assert_eq!(boundary.extent(input).lookback(), 12);
+    }
+
+    #[test]
+    fn precision_adds_slack() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let win = b.temporal(
+            "win",
+            TDom::unbounded(5),
+            Expr::reduce_window(ReduceOp::Sum, input, 10),
+        );
+        let q = b.finish(win).unwrap();
+        let boundary = resolve_boundaries(&q);
+        assert_eq!(boundary.extent(input).lookback(), 14); // 10 + (5 - 1)
+    }
+
+    #[test]
+    fn dead_expressions_have_no_extent() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let _dead = b.temporal(
+            "dead",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, input, 100),
+        );
+        let out = b.temporal("out", TDom::every_tick(), Expr::at(input));
+        let q = b.finish(out).unwrap();
+        let boundary = resolve_boundaries(&q);
+        assert!(!boundary.depends_on(TObjId(1)));
+        assert_eq!(boundary.extent(input), Extent::ZERO);
+    }
+
+    #[test]
+    fn extent_algebra() {
+        let a = Extent { lo: -3, hi: 1 };
+        let b = Extent { lo: -1, hi: 4 };
+        assert_eq!(a.join(b), Extent { lo: -3, hi: 4 });
+        assert_eq!(a.chain(b), Extent { lo: -4, hi: 5 });
+        assert_eq!(Extent::point(-7), Extent { lo: -7, hi: -7 });
+        assert_eq!(Extent::point(-7).lookback(), 7);
+        assert_eq!(Extent::point(3).lookahead(), 3);
+        assert_eq!(Extent::window(-10, 2), Extent { lo: -10, hi: 2 });
+    }
+}

@@ -1,0 +1,51 @@
+//! Code generation: lowering temporal expressions to executable kernels
+//! (paper §6.1).
+//!
+//! The pipeline is `TempExpr` → [`Program`] (closure-compiled expression
+//! body, with point-access and reduce slots) → [`Kernel`] (the synthesized
+//! change-point-driven loop). See DESIGN.md substitution 1 for how this
+//! stands in for the paper's LLVM JIT.
+
+mod kernel;
+mod program;
+mod reduce;
+
+pub use kernel::Kernel;
+pub use program::{compile, EvalCtx, EvalFn, MapFn, PointSpec, Program, ReduceSpec};
+pub use reduce::ReduceRunner;
+
+use crate::error::Result;
+use crate::ir::Query;
+
+/// Lowers every temporal expression of `query` into a kernel, in execution
+/// (topological) order.
+pub fn lower(query: &Query) -> Result<Vec<Kernel>> {
+    query
+        .exprs()
+        .iter()
+        .map(|te| Kernel::new(te, query.name(te.output)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Expr, ReduceOp, TDom};
+
+    #[test]
+    fn lower_produces_one_kernel_per_expression() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let avg = b.temporal(
+            "avg",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Mean, input, 10),
+        );
+        let out = b.temporal("out", TDom::every_tick(), Expr::at(avg).mul(Expr::c(2.0)));
+        let q = b.finish(out).unwrap();
+        let kernels = lower(&q).unwrap();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].name, "avg");
+        assert_eq!(kernels[1].dependencies(), vec![avg]);
+    }
+}

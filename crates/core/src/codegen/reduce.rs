@@ -1,0 +1,531 @@
+//! Incremental window-reduction state (paper §6.1.2).
+//!
+//! Each [`ReduceSpec`] in a kernel gets a [`ReduceRunner`] that maintains the
+//! reduction over a sliding window `(t+lo, t+hi]` as `t` advances
+//! monotonically. A snapshot (span) of the source object is folded *once*
+//! while it overlaps the window — eq. 3 of the paper reduces the values the
+//! object assumes, one per snapshot.
+//!
+//! Strategy per operation:
+//!
+//! * Sum / Count / Mean / StdDev / Product — invertible accumulators with
+//!   Subtract-on-Evict [16];
+//! * Min / Max — monotonic deques with expiry-based eviction (O(1) amortized,
+//!   no inverse needed);
+//! * Custom with `deacc` — Subtract-on-Evict through the user's template;
+//! * Custom without `deacc` — full window recomputation per evaluation.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use tilt_data::{Payload, SnapshotBuf, Time, Value};
+
+use super::program::{EvalCtx, MapFn, ReduceSpec};
+use crate::ir::{CustomReduce, ReduceOp};
+
+/// The accumulator of one reduction.
+#[derive(Clone, Debug)]
+enum State {
+    Sum { acc: Value },
+    Product { acc: Value, zeros: i64 },
+    Count,
+    Mean { sum: Value },
+    StdDev { sum: f64, sumsq: f64 },
+    MinMax { deque: VecDeque<(Value, Time)>, is_max: bool },
+    Custom { state: Value, spec: Arc<CustomReduce> },
+}
+
+impl State {
+    fn new(op: &ReduceOp) -> State {
+        match op {
+            ReduceOp::Sum => State::Sum { acc: Value::Int(0) },
+            ReduceOp::Product => State::Product { acc: Value::Int(1), zeros: 0 },
+            ReduceOp::Count => State::Count,
+            ReduceOp::Mean => State::Mean { sum: Value::Int(0) },
+            ReduceOp::StdDev => State::StdDev { sum: 0.0, sumsq: 0.0 },
+            ReduceOp::Min => State::MinMax { deque: VecDeque::new(), is_max: false },
+            ReduceOp::Max => State::MinMax { deque: VecDeque::new(), is_max: true },
+            ReduceOp::Custom(c) => State::Custom { state: c.init.clone(), spec: c.clone() },
+        }
+    }
+
+    /// Whether eviction is supported incrementally (otherwise the runner
+    /// recomputes the window from scratch at each evaluation).
+    fn invertible(&self) -> bool {
+        match self {
+            State::Custom { spec, .. } => spec.deacc.is_some(),
+            _ => true,
+        }
+    }
+
+    /// Folds one snapshot value in. `expire` is the snapshot's end time,
+    /// used by deque-based states for eviction.
+    fn add(&mut self, v: &Value, expire: Time) {
+        match self {
+            State::Sum { acc } | State::Mean { sum: acc } => *acc = acc.add(v),
+            State::Product { acc, zeros } => {
+                if v.as_f64() == Some(0.0) || v.as_i64() == Some(0) {
+                    *zeros += 1;
+                } else {
+                    *acc = acc.mul(v);
+                }
+            }
+            State::Count => {}
+            State::StdDev { sum, sumsq } => {
+                let x = v.as_f64().unwrap_or(0.0);
+                *sum += x;
+                *sumsq += x * x;
+            }
+            State::MinMax { deque, is_max } => {
+                let keep = |cand: &Value, v: &Value, is_max: bool| {
+                    // Pop candidates dominated by the new value.
+                    let cmp = if is_max { cand.le(v) } else { cand.ge(v) };
+                    matches!(cmp, Value::Bool(true))
+                };
+                while let Some((cand, _)) = deque.back() {
+                    if keep(cand, v, *is_max) {
+                        deque.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                deque.push_back((v.clone(), expire));
+            }
+            State::Custom { state, spec } => *state = (spec.acc)(state, v, 1),
+        }
+    }
+
+    /// Removes one snapshot value (Subtract-on-Evict path).
+    fn remove(&mut self, v: &Value) {
+        match self {
+            State::Sum { acc } | State::Mean { sum: acc } => *acc = acc.sub(v),
+            State::Product { acc, zeros } => {
+                if v.as_f64() == Some(0.0) || v.as_i64() == Some(0) {
+                    *zeros -= 1;
+                } else {
+                    *acc = acc.div(v);
+                }
+            }
+            State::Count => {}
+            State::StdDev { sum, sumsq } => {
+                let x = v.as_f64().unwrap_or(0.0);
+                *sum -= x;
+                *sumsq -= x * x;
+            }
+            State::MinMax { .. } => unreachable!("deque states evict by expiry"),
+            State::Custom { state, spec } => {
+                let deacc = spec.deacc.as_ref().expect("checked by invertible()");
+                *state = (deacc)(state, v, 1);
+            }
+        }
+    }
+
+    /// Expiry-based eviction for deque states: drops entries whose snapshot
+    /// no longer overlaps a window starting (exclusively) at `new_lo`.
+    fn evict_expired(&mut self, new_lo: Time) {
+        if let State::MinMax { deque, .. } = self {
+            while let Some((_, expire)) = deque.front() {
+                if *expire <= new_lo {
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The reduction result given the number of folded snapshots.
+    fn result(&self, count: i64) -> Value {
+        if count == 0 {
+            return Value::Null;
+        }
+        match self {
+            State::Sum { acc } => acc.clone(),
+            State::Product { acc, zeros } => {
+                if *zeros > 0 {
+                    Value::Int(0).mul(acc).add(&Value::Int(0)) // zero of acc's type
+                } else {
+                    acc.clone()
+                }
+            }
+            State::Count => Value::Int(count),
+            State::Mean { sum } => sum.to_float().div(&Value::Int(count)),
+            State::StdDev { sum, sumsq } => {
+                let n = count as f64;
+                let mean = sum / n;
+                let var = (sumsq / n - mean * mean).max(0.0);
+                Value::Float(var.sqrt())
+            }
+            State::MinMax { deque, .. } => {
+                deque.front().map(|(v, _)| v.clone()).unwrap_or(Value::Null)
+            }
+            State::Custom { state, spec } => (spec.result)(state, count),
+        }
+    }
+
+    fn reset(&mut self, op: &ReduceOp) {
+        *self = State::new(op);
+    }
+}
+
+/// Incremental evaluation of one window reduction over one source buffer.
+///
+/// The runner tracks which source spans currently overlap the window
+/// `(t+lo, t+hi]`: a span `(s, e]` overlaps iff `s < t+hi && e > t+lo`.
+/// `advance_to` must be called with non-decreasing `t`.
+pub struct ReduceRunner<'a> {
+    spec: &'a ReduceSpec,
+    src: &'a SnapshotBuf<Value>,
+    state: State,
+    /// Number of snapshots currently folded in (non-φ, post-map non-φ).
+    count: i64,
+    /// Index of the next span to *enter* (first span with `start ≥ cur_hi`).
+    enter_idx: usize,
+    /// Index of the next span to *evict* (first span with `end > cur_lo`).
+    evict_idx: usize,
+    /// Current window end edge.
+    cur_hi: Time,
+    initialized: bool,
+}
+
+impl<'a> ReduceRunner<'a> {
+    /// Creates a runner for `spec` over `src`.
+    pub fn new(spec: &'a ReduceSpec, src: &'a SnapshotBuf<Value>) -> Self {
+        ReduceRunner {
+            spec,
+            src,
+            state: State::new(&spec.op),
+            count: 0,
+            enter_idx: 0,
+            evict_idx: 0,
+            cur_hi: Time::MIN,
+            initialized: false,
+        }
+    }
+
+    /// Whether any snapshot is currently folded in.
+    #[inline]
+    pub fn has_content(&self) -> bool {
+        self.count > 0
+    }
+
+    /// The time `t` at which the *next* source span would enter the window,
+    /// or `None` when no further span exists. Used by the kernel to skip
+    /// over φ gaps.
+    pub fn next_enter_time(&self) -> Option<Time> {
+        let spans = self.src.spans();
+        let mut i = self.enter_idx;
+        while i < spans.len() {
+            let start = self.src.span_start(i);
+            if start >= self.cur_hi {
+                // First span not yet entered; skip φ spans (they never
+                // produce content).
+                if !spans[i].value.is_null() {
+                    return Some(Time::new(start.ticks() - self.spec.hi + 1));
+                }
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        None
+    }
+
+    /// The time `t` at which the oldest in-window *non-φ* span will be
+    /// evicted, or `None` if no folded span remains (φ evictions cannot
+    /// change the result and are skipped).
+    pub fn next_evict_time(&self) -> Option<Time> {
+        let spans = self.src.spans();
+        let mut i = self.evict_idx;
+        while i < self.enter_idx.min(spans.len()) {
+            if !spans[i].value.is_null() {
+                return Some(Time::new(spans[i].t_end.ticks() - self.spec.lo));
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Slides the window to `(t+lo, t+hi]` and returns the reduction result.
+    pub fn eval_at(&mut self, t: Time, ctx: &mut EvalCtx) -> Value {
+        let new_lo = t + self.spec.lo;
+        let new_hi = t + self.spec.hi;
+        if !self.initialized {
+            self.initialized = true;
+            // Position the indices at the first span that could overlap.
+            let spans = self.src.spans();
+            self.evict_idx = spans.partition_point(|s| s.t_end <= new_lo);
+            self.enter_idx = self.evict_idx;
+            self.cur_hi = new_lo;
+        }
+        debug_assert!(new_hi >= self.cur_hi, "reduce window must advance monotonically");
+
+        if self.state.invertible() {
+            self.enter_until(new_hi, ctx);
+            self.evict_until(new_lo, ctx);
+        } else {
+            // Recompute the window from scratch.
+            self.state.reset(&self.spec.op);
+            self.count = 0;
+            let spans = self.src.spans();
+            let first = spans.partition_point(|s| s.t_end <= new_lo);
+            let mut i = first;
+            while i < spans.len() && self.src.span_start(i) < new_hi {
+                let value = spans[i].value.clone();
+                self.fold(&value, spans[i].t_end, ctx);
+                i += 1;
+            }
+            // Keep indices roughly in sync for next_enter/evict queries.
+            self.evict_idx = first;
+            self.enter_idx = i;
+        }
+        self.cur_hi = new_hi;
+        self.state.result(self.count)
+    }
+
+    fn enter_until(&mut self, new_hi: Time, ctx: &mut EvalCtx) {
+        let spans = self.src.spans();
+        while self.enter_idx < spans.len() && self.src.span_start(self.enter_idx) < new_hi {
+            let span = &spans[self.enter_idx];
+            let value = span.value.clone();
+            self.fold(&value, span.t_end, ctx);
+            self.enter_idx += 1;
+        }
+    }
+
+    fn evict_until(&mut self, new_lo: Time, ctx: &mut EvalCtx) {
+        if matches!(self.state, State::MinMax { .. }) {
+            self.state.evict_expired(new_lo);
+            // Recount: expired entries were counted on entry; maintain count
+            // by advancing evict_idx over fully expired spans.
+            let spans = self.src.spans();
+            while self.evict_idx < spans.len() && spans[self.evict_idx].t_end <= new_lo {
+                if self.mapped(&spans[self.evict_idx].value.clone(), ctx).is_some() {
+                    self.count -= 1;
+                }
+                self.evict_idx += 1;
+            }
+            return;
+        }
+        let spans = self.src.spans();
+        while self.evict_idx < spans.len() && spans[self.evict_idx].t_end <= new_lo {
+            // Only spans that actually entered can be evicted.
+            if self.evict_idx < self.enter_idx {
+                if let Some(mv) = self.mapped(&spans[self.evict_idx].value.clone(), ctx) {
+                    self.state.remove(&mv);
+                    self.count -= 1;
+                }
+            }
+            self.evict_idx += 1;
+        }
+    }
+
+    fn fold(&mut self, value: &Value, expire: Time, ctx: &mut EvalCtx) {
+        if let Some(mv) = self.mapped(value, ctx) {
+            self.state.add(&mv, expire);
+            self.count += 1;
+        }
+    }
+
+    /// Applies the fused map; returns `None` for φ inputs/outputs (skipped).
+    fn mapped(&self, value: &Value, ctx: &mut EvalCtx) -> Option<Value> {
+        if value.is_null() {
+            return None;
+        }
+        match &self.spec.map {
+            None => Some(value.clone()),
+            Some(MapFn { var_slot, eval }) => {
+                ctx.vars[*var_slot] = value.clone();
+                let mv = eval(ctx);
+                if mv.is_null() {
+                    None
+                } else {
+                    Some(mv)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReduceRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReduceRunner")
+            .field("op", &self.spec.op.name())
+            .field("window", &(self.spec.lo, self.spec.hi))
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::DataType;
+    use tilt_data::{Event, TimeRange};
+
+    fn buf(points: &[(i64, f64)]) -> SnapshotBuf<Value> {
+        let events: Vec<Event<Value>> = points
+            .iter()
+            .map(|&(t, v)| Event::point(Time::new(t), Value::Float(v)))
+            .collect();
+        let hi = points.iter().map(|p| p.0).max().unwrap_or(0);
+        SnapshotBuf::from_events(&events, TimeRange::new(Time::new(0), Time::new(hi)))
+    }
+
+    fn spec(op: ReduceOp, size: i64) -> ReduceSpec {
+        ReduceSpec { op, obj: crate::ir::TObjId(0), lo: -size, hi: 0, map: None }
+    }
+
+    fn eval_series(spec: &ReduceSpec, src: &SnapshotBuf<Value>, ts: &[i64]) -> Vec<Value> {
+        let mut runner = ReduceRunner::new(spec, src);
+        let mut ctx = EvalCtx::default();
+        ts.iter().map(|&t| runner.eval_at(Time::new(t), &mut ctx)).collect()
+    }
+
+    #[test]
+    fn sliding_sum_subtract_on_evict() {
+        let src = buf(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0), (5, 5.0)]);
+        let s = spec(ReduceOp::Sum, 3);
+        let out = eval_series(&s, &src, &[1, 2, 3, 4, 5, 8, 9]);
+        let expect = [1.0, 3.0, 6.0, 9.0, 12.0];
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(out[i], Value::Float(*e), "t index {i}");
+        }
+        assert_eq!(out[5], Value::Null); // window (5,8] is empty
+        assert_eq!(out[6], Value::Null); // window (6,9] is empty
+    }
+
+    #[test]
+    fn mean_and_count() {
+        let src = buf(&[(1, 2.0), (2, 4.0), (3, 6.0)]);
+        let m = spec(ReduceOp::Mean, 2);
+        assert_eq!(eval_series(&m, &src, &[2]), vec![Value::Float(3.0)]);
+        let c = spec(ReduceOp::Count, 2);
+        assert_eq!(eval_series(&c, &src, &[2, 3]), vec![Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn max_deque_evicts_correctly() {
+        let src = buf(&[(1, 5.0), (2, 3.0), (3, 4.0), (4, 1.0), (5, 2.0)]);
+        let s = spec(ReduceOp::Max, 2);
+        let out = eval_series(&s, &src, &[1, 2, 3, 4, 5]);
+        let expect = [5.0, 5.0, 4.0, 4.0, 2.0];
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(out[i], Value::Float(*e), "t={}", i + 1);
+        }
+    }
+
+    #[test]
+    fn min_deque() {
+        let src = buf(&[(1, 5.0), (2, 3.0), (3, 4.0), (4, 6.0)]);
+        let s = spec(ReduceOp::Min, 2);
+        let out = eval_series(&s, &src, &[2, 3, 4]);
+        assert_eq!(out, vec![Value::Float(3.0), Value::Float(3.0), Value::Float(4.0)]);
+    }
+
+    #[test]
+    fn stddev_population() {
+        let src = buf(&[(1, 2.0), (2, 4.0), (3, 4.0), (4, 4.0), (5, 5.0), (6, 5.0), (7, 7.0), (8, 9.0)]);
+        let s = spec(ReduceOp::StdDev, 8);
+        let out = eval_series(&s, &src, &[8]);
+        let Value::Float(x) = out[0] else { panic!("expected float") };
+        assert!((x - 2.0).abs() < 1e-9); // classic σ=2 dataset
+    }
+
+    #[test]
+    fn product_handles_zeros() {
+        let src = buf(&[(1, 2.0), (2, 0.0), (3, 3.0), (4, 4.0)]);
+        let s = spec(ReduceOp::Product, 2);
+        let out = eval_series(&s, &src, &[2, 3, 4]);
+        assert_eq!(out[0], Value::Float(0.0));
+        assert_eq!(out[1], Value::Float(0.0));
+        assert_eq!(out[2], Value::Float(12.0));
+    }
+
+    #[test]
+    fn empty_window_is_null() {
+        let src = buf(&[(5, 1.0)]);
+        let s = spec(ReduceOp::Sum, 2);
+        assert_eq!(eval_series(&s, &src, &[2]), vec![Value::Null]);
+    }
+
+    #[test]
+    fn next_enter_and_evict_times() {
+        let src = buf(&[(5, 1.0), (10, 2.0)]);
+        let s = spec(ReduceOp::Sum, 3);
+        let mut runner = ReduceRunner::new(&s, &src);
+        let mut ctx = EvalCtx::default();
+        let v = runner.eval_at(Time::new(1), &mut ctx);
+        assert_eq!(v, Value::Null);
+        // Event at 5 spans (4,5]; enters window (t-3, t] when t > 4.
+        assert_eq!(runner.next_enter_time(), Some(Time::new(5)));
+        runner.eval_at(Time::new(5), &mut ctx);
+        assert!(runner.has_content());
+        // Span (4,5] evicted when t-3 >= 5, i.e. t = 8.
+        assert_eq!(runner.next_evict_time(), Some(Time::new(8)));
+    }
+
+    #[test]
+    fn custom_reduce_with_deacc() {
+        // Sum of squares via the user template.
+        let custom = Arc::new(CustomReduce {
+            name: "sumsq".into(),
+            result_type: DataType::Float,
+            init: Value::Float(0.0),
+            acc: Arc::new(|s, v, _| s.add(&v.mul(v))),
+            deacc: Some(Arc::new(|s, v, _| s.sub(&v.mul(v)))),
+            result: Arc::new(|s, _| s.clone()),
+        });
+        let src = buf(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let s = spec(ReduceOp::Custom(custom), 2);
+        let out = eval_series(&s, &src, &[2, 3]);
+        assert_eq!(out, vec![Value::Float(5.0), Value::Float(13.0)]);
+    }
+
+    #[test]
+    fn custom_reduce_without_deacc_recomputes() {
+        // "last value" aggregate: not invertible.
+        let custom = Arc::new(CustomReduce {
+            name: "last".into(),
+            result_type: DataType::Float,
+            init: Value::Null,
+            acc: Arc::new(|_, v, _| v.clone()),
+            deacc: None,
+            result: Arc::new(|s, _| s.clone()),
+        });
+        let src = buf(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let s = spec(ReduceOp::Custom(custom), 2);
+        let out = eval_series(&s, &src, &[2, 3, 6]);
+        assert_eq!(out, vec![Value::Float(2.0), Value::Float(3.0), Value::Null]);
+    }
+
+    #[test]
+    fn mapped_window_filters_nulls() {
+        // map: keep only values > 2 (others become φ and are skipped).
+        use super::super::program::compile;
+        let v = crate::ir::VarId(0);
+        let body = Expr::Reduce {
+            op: ReduceOp::Count,
+            window: crate::ir::WindowRef {
+                obj: crate::ir::TObjId(0),
+                lo: -3,
+                hi: 0,
+                map: Some((
+                    v,
+                    Box::new(Expr::if_else(
+                        Expr::Var(v).gt(Expr::c(2.0)),
+                        Expr::Var(v),
+                        Expr::null(),
+                    )),
+                )),
+            },
+        };
+        use crate::ir::Expr;
+        let p = compile(&body).unwrap();
+        let src = buf(&[(1, 1.0), (2, 3.0), (3, 5.0)]);
+        let mut ctx = p.new_ctx();
+        let mut runner = ReduceRunner::new(&p.reduces[0], &src);
+        let out = runner.eval_at(Time::new(3), &mut ctx);
+        assert_eq!(out, Value::Int(2));
+    }
+}

@@ -1,0 +1,39 @@
+//! Compiler and runtime error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building, checking, optimizing, or compiling a TiLT
+/// query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// An expression referenced a temporal object that is not defined by any
+    /// temporal expression or input declaration.
+    UnboundObject(String),
+    /// An expression referenced a scalar variable outside its binding scope.
+    UnboundVar(String),
+    /// The query's temporal expressions contain a dependency cycle.
+    Cycle(String),
+    /// A type error in an expression.
+    Type(String),
+    /// A structurally invalid construct (bad window bounds, non-positive
+    /// precision, duplicate definitions, …).
+    Invalid(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnboundObject(name) => write!(f, "unbound temporal object {name}"),
+            CompileError::UnboundVar(name) => write!(f, "unbound variable {name}"),
+            CompileError::Cycle(name) => write!(f, "temporal dependency cycle through {name}"),
+            CompileError::Type(msg) => write!(f, "type error: {msg}"),
+            CompileError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Convenience alias for compiler results.
+pub type Result<T> = std::result::Result<T, CompileError>;

@@ -1,0 +1,517 @@
+//! Query execution: serial, data-parallel, and batched streaming modes
+//! (paper §6.2).
+//!
+//! The [`Compiler`] drives the full pipeline (type check → optimize →
+//! boundary-resolve → lower) and produces a [`CompiledQuery`]. Execution is
+//! synchronization-free data parallelism: the time range is cut at
+//! grid-aligned boundaries, every worker runs the whole kernel chain on its
+//! partition — re-reading the boundary-resolved lookback region of the
+//! shared, read-only input buffers — and the partition outputs are
+//! concatenated (Fig. 6).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+
+use crate::analysis::{resolve_boundaries, Boundary};
+use crate::codegen::{lower, Kernel};
+use crate::error::Result;
+use crate::ir::{typecheck, Query};
+use crate::opt::Optimizer;
+
+/// Compiles TiLT IR queries into executable form.
+///
+/// ```
+/// use tilt_core::{Compiler, ir::{Query, DataType, Expr, TDom}};
+/// let mut b = Query::builder();
+/// let input = b.input("in", DataType::Float);
+/// let out = b.temporal("out", TDom::every_tick(), Expr::at(input).mul(Expr::c(2.0)));
+/// let query = b.finish(out).unwrap();
+/// let compiled = Compiler::new().compile(&query).unwrap();
+/// assert_eq!(compiled.num_kernels(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Compiler {
+    optimizer: Optimizer,
+}
+
+impl Compiler {
+    /// A compiler with the full optimization pipeline (the default).
+    pub fn new() -> Self {
+        Compiler { optimizer: Optimizer::full() }
+    }
+
+    /// A compiler with all optimizations disabled: one kernel per operator,
+    /// intermediates materialized — the "TiLT UnOpt" configuration of the
+    /// Fig. 10 ablation.
+    pub fn unoptimized() -> Self {
+        Compiler { optimizer: Optimizer::none() }
+    }
+
+    /// A compiler with a custom pass configuration.
+    pub fn with_optimizer(optimizer: Optimizer) -> Self {
+        Compiler { optimizer }
+    }
+
+    /// Compiles `query` through the whole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates type errors and structural errors from any stage.
+    pub fn compile(&self, query: &Query) -> Result<CompiledQuery> {
+        typecheck(query)?;
+        let optimized = self.optimizer.optimize(query)?;
+        typecheck(&optimized)?;
+        let boundary = resolve_boundaries(&optimized);
+        let kernels = lower(&optimized)?;
+        let n_slots = slot_count(&optimized);
+        Ok(CompiledQuery { query: optimized, kernels, boundary, n_slots })
+    }
+}
+
+fn slot_count(q: &Query) -> usize {
+    let max_input = q.inputs().iter().map(|o| o.index()).max().unwrap_or(0);
+    let max_expr = q.exprs().iter().map(|e| e.output.index()).max().unwrap_or(0);
+    max_input.max(max_expr) + 1
+}
+
+/// Execution statistics returned by the timed entry points.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Number of snapshots in the query output.
+    pub output_spans: usize,
+}
+
+/// A fully compiled, executable query.
+pub struct CompiledQuery {
+    query: Query,
+    kernels: Vec<Kernel>,
+    boundary: Boundary,
+    n_slots: usize,
+}
+
+impl std::fmt::Debug for CompiledQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledQuery")
+            .field("kernels", &self.kernels.iter().map(|k| &k.name).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl CompiledQuery {
+    /// The optimized query this executable was lowered from.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The resolved boundary conditions.
+    pub fn boundary(&self) -> &Boundary {
+        &self.boundary
+    }
+
+    /// Number of kernels (1 when the query fused completely).
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The coarsest grid all kernels agree on: partition boundaries must be
+    /// multiples of this to make parallel execution seam-free.
+    pub fn grid(&self) -> i64 {
+        self.kernels.iter().map(|k| k.precision).fold(1, lcm)
+    }
+
+    /// Executes serially over `(range.start, range.end]`.
+    ///
+    /// `inputs` must follow the declaration order of `query().inputs()`.
+    /// Input data outside `range` (the boundary-resolved lookback) is read
+    /// if present in the buffers; missing history reads as φ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the declared input count.
+    pub fn run(&self, inputs: &[&SnapshotBuf<Value>], range: TimeRange) -> SnapshotBuf<Value> {
+        assert_eq!(
+            inputs.len(),
+            self.query.inputs().len(),
+            "query expects {} inputs",
+            self.query.inputs().len()
+        );
+        // The query output may simply be an input (identity query).
+        if self.query.is_input(self.query.output()) {
+            let idx = self
+                .query
+                .inputs()
+                .iter()
+                .position(|o| *o == self.query.output())
+                .expect("output is an input");
+            return inputs[idx].slice(range);
+        }
+
+        let mut store: Vec<Option<SnapshotBuf<Value>>> = (0..self.n_slots).map(|_| None).collect();
+        let mut slots: Vec<Option<&SnapshotBuf<Value>>> = vec![None; self.n_slots];
+        for (i, obj) in self.query.inputs().iter().enumerate() {
+            slots[obj.index()] = Some(inputs[i]);
+        }
+        for kernel in &self.kernels {
+            let ext = self.boundary.extent(kernel.out);
+            // Intermediates must cover every grid tick a consumer may read
+            // through (`ceil_p` of the latest lookahead access); the output
+            // kernel covers exactly the requested range.
+            let kend = if kernel.out == self.query.output() {
+                range.end
+            } else {
+                range.end.saturating_add(ext.lookahead()).align_up(kernel.precision)
+            };
+            let krange = TimeRange::new(range.start.saturating_add(-ext.lookback()), kend);
+            let out = {
+                let mut view = slots.clone();
+                for (slot, owned) in view.iter_mut().zip(store.iter()) {
+                    if slot.is_none() {
+                        *slot = owned.as_ref();
+                    }
+                }
+                kernel.run(&view, krange)
+            };
+            if kernel.out == self.query.output() {
+                return out;
+            }
+            store[kernel.out.index()] = Some(out);
+        }
+        unreachable!("toposort guarantees the output kernel runs last")
+    }
+
+    /// Executes with `threads` synchronization-free workers over partitions
+    /// of roughly `interval` ticks (snapped up to the kernel grid), then
+    /// concatenates the partition outputs (Fig. 6).
+    pub fn run_parallel(
+        &self,
+        inputs: &[&SnapshotBuf<Value>],
+        range: TimeRange,
+        threads: usize,
+        interval: i64,
+    ) -> SnapshotBuf<Value> {
+        let grid = self.grid();
+        let interval = {
+            let i = interval.max(1).max(grid);
+            (i + grid - 1) / grid * grid
+        };
+        let mut cuts: Vec<TimeRange> = Vec::new();
+        let mut t = range.start;
+        while t < range.end {
+            let end = (t + interval).min(range.end);
+            cuts.push(TimeRange::new(t, end));
+            t = end;
+        }
+        if threads <= 1 || cuts.len() <= 1 {
+            return self.run(inputs, range);
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<SnapshotBuf<Value>>>> =
+            Mutex::new((0..cuts.len()).map(|_| None).collect());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.min(cuts.len()) {
+                s.spawn(|_| {
+                    let mut local: Vec<(usize, SnapshotBuf<Value>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cuts.len() {
+                            break;
+                        }
+                        local.push((i, self.run(inputs, cuts[i])));
+                    }
+                    let mut guard = results.lock().expect("no poisoned workers");
+                    for (i, buf) in local {
+                        guard[i] = Some(buf);
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        let parts: Vec<SnapshotBuf<Value>> = results
+            .into_inner()
+            .expect("all workers joined")
+            .into_iter()
+            .map(|p| p.expect("every partition computed"))
+            .collect();
+        SnapshotBuf::concat(parts)
+    }
+
+    /// Runs serially and reports wall-clock statistics.
+    pub fn run_timed(&self, inputs: &[&SnapshotBuf<Value>], range: TimeRange) -> (SnapshotBuf<Value>, ExecStats) {
+        let t0 = Instant::now();
+        let out = self.run(inputs, range);
+        let stats = ExecStats { elapsed: t0.elapsed(), output_spans: out.len() };
+        (out, stats)
+    }
+
+    /// Opens a batched streaming session starting at `start` (used by the
+    /// latency-bounded-throughput experiment, Fig. 9).
+    pub fn stream_session(&self, start: Time) -> StreamSession<'_> {
+        let keep = self.boundary.max_input_lookback(&self.query) + self.grid();
+        StreamSession {
+            cq: self,
+            histories: self.query.inputs().iter().map(|_| SnapshotBuf::new(start)).collect(),
+            watermark: start,
+            keep,
+        }
+    }
+}
+
+/// Incremental batched execution: events arrive in batches, each
+/// [`StreamSession::advance_to`] call processes one batch interval.
+///
+/// The session keeps just enough input history (the boundary-resolved
+/// lookback) to evaluate windows that straddle batch boundaries — the
+/// streaming analogue of the duplicated partition edges of Fig. 6.
+#[derive(Debug)]
+pub struct StreamSession<'a> {
+    cq: &'a CompiledQuery,
+    histories: Vec<SnapshotBuf<Value>>,
+    watermark: Time,
+    keep: i64,
+}
+
+impl StreamSession<'_> {
+    /// The current watermark (everything up to it has been emitted).
+    pub fn watermark(&self) -> Time {
+        self.watermark
+    }
+
+    /// Appends events to input `idx`. Events must be in order and start at
+    /// or after the previous end of that input's history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or events regress in time.
+    pub fn push_events(&mut self, idx: usize, events: &[Event<Value>]) {
+        let hist = &mut self.histories[idx];
+        for e in events {
+            if e.start > hist.end() {
+                hist.push_raw(e.start, Value::Null);
+            }
+            hist.push_raw(e.end, e.payload.clone());
+        }
+    }
+
+    /// Advances the input watermark to `upto` and returns the *finalized*
+    /// output prefix.
+    ///
+    /// An output at time `t` is final only once (i) every kernel's grid tick
+    /// covering `t` lies at or before the emission horizon and (ii) all
+    /// lookahead input for it has arrived — so emission stops at
+    /// `align_down(upto − lookahead, grid)`. The returned buffer may be
+    /// empty when the horizon has not advanced; call
+    /// [`StreamSession::flush_to`] at end-of-stream to force the tail out.
+    pub fn advance_to(&mut self, upto: Time) -> SnapshotBuf<Value> {
+        assert!(upto > self.watermark, "advance_to must move forward");
+        let la = self.cq.boundary.max_input_lookahead(&self.cq.query);
+        let target = Time::new(upto.ticks() - la).align_down(self.cq.grid());
+        if target <= self.watermark {
+            return SnapshotBuf::new(self.watermark);
+        }
+        self.emit_range(target)
+    }
+
+    /// Emits everything up to `end` unconditionally (end-of-stream flush:
+    /// missing future input reads as φ, exactly like the tail of a one-shot
+    /// run).
+    pub fn flush_to(&mut self, end: Time) -> SnapshotBuf<Value> {
+        if end <= self.watermark {
+            return SnapshotBuf::new(self.watermark);
+        }
+        self.emit_range(end)
+    }
+
+    fn emit_range(&mut self, target: Time) -> SnapshotBuf<Value> {
+        for hist in &mut self.histories {
+            if hist.end() < target {
+                hist.push_raw(target, Value::Null);
+            }
+        }
+        let refs: Vec<&SnapshotBuf<Value>> = self.histories.iter().collect();
+        let out = self.cq.run(&refs, TimeRange::new(self.watermark, target));
+        self.watermark = target;
+        // Trim histories: keep `keep` ticks of lookback, amortized.
+        let cutoff = self.watermark.saturating_add(-self.keep);
+        for hist in &mut self.histories {
+            if cutoff - hist.start() > 4 * self.keep.max(16) {
+                *hist = hist.slice(TimeRange::new(cutoff, hist.end()));
+            }
+        }
+        out
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Expr, ReduceOp, TDom};
+    use tilt_data::streams_equivalent;
+
+    fn trend_query() -> Query {
+        let mut b = Query::builder();
+        let stock = b.input("stock", DataType::Float);
+        let sum10 = b.temporal(
+            "sum10",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, stock, 10),
+        );
+        let sum20 = b.temporal(
+            "sum20",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, stock, 20),
+        );
+        let avg10 = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
+        let avg20 = b.temporal("avg20", TDom::every_tick(), Expr::at(sum20).div(Expr::c(20.0)));
+        let join = b.temporal(
+            "join",
+            TDom::every_tick(),
+            Expr::if_else(
+                Expr::at(avg10).is_present().and(Expr::at(avg20).is_present()),
+                Expr::at(avg10).sub(Expr::at(avg20)),
+                Expr::null(),
+            ),
+        );
+        let filter = b.temporal(
+            "filter",
+            TDom::every_tick(),
+            Expr::if_else(Expr::at(join).gt(Expr::c(0.0)), Expr::at(join), Expr::null()),
+        );
+        b.finish(filter).unwrap()
+    }
+
+    fn price_events(n: i64) -> Vec<Event<Value>> {
+        // Deterministic pseudo-random walk.
+        let mut x = 100.0f64;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        (1..=n)
+            .map(|t| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let step = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                x += step;
+                Event::point(Time::new(t), Value::Float(x))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_and_unfused_agree_on_trend_query() {
+        let q = trend_query();
+        let n = 500;
+        let range = TimeRange::new(Time::new(0), Time::new(n));
+        let input = SnapshotBuf::from_events(&price_events(n), range);
+        let fused = Compiler::new().compile(&q).unwrap();
+        let unfused = Compiler::unoptimized().compile(&q).unwrap();
+        assert_eq!(fused.num_kernels(), 1);
+        assert_eq!(unfused.num_kernels(), 6);
+        let a = fused.run(&[&input], range);
+        let b = unfused.run(&[&input], range);
+        assert!(
+            streams_equivalent(&a.to_events(), &b.to_events()),
+            "fused vs unfused disagree: {} vs {} events",
+            a.to_events().len(),
+            b.to_events().len()
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let q = trend_query();
+        let n = 2000;
+        let range = TimeRange::new(Time::new(0), Time::new(n));
+        let input = SnapshotBuf::from_events(&price_events(n), range);
+        let cq = Compiler::new().compile(&q).unwrap();
+        let serial = cq.run(&[&input], range);
+        for threads in [2, 4] {
+            for interval in [97, 250, 1000] {
+                let par = cq.run_parallel(&[&input], range, threads, interval);
+                assert!(
+                    streams_equivalent(&serial.to_events(), &par.to_events()),
+                    "threads={threads} interval={interval}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_streaming_matches_one_shot() {
+        let q = trend_query();
+        let n = 600;
+        let range = TimeRange::new(Time::new(0), Time::new(n));
+        let events = price_events(n);
+        let input = SnapshotBuf::from_events(&events, range);
+        let cq = Compiler::new().compile(&q).unwrap();
+        let oneshot = cq.run(&[&input], range);
+
+        let mut session = cq.stream_session(Time::new(0));
+        let mut out_events = Vec::new();
+        let batch = 50usize;
+        for chunk in events.chunks(batch) {
+            session.push_events(0, chunk);
+            let upto = chunk.last().unwrap().end;
+            let out = session.advance_to(upto);
+            out_events.extend(out.to_events());
+        }
+        assert!(
+            streams_equivalent(&oneshot.to_events(), &out_events),
+            "streaming {} vs one-shot {}",
+            out_events.len(),
+            oneshot.to_events().len()
+        );
+    }
+
+    #[test]
+    fn identity_query_slices_input() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let q = b.finish(input).unwrap();
+        let cq = Compiler::new().compile(&q).unwrap();
+        let range = TimeRange::new(Time::new(0), Time::new(10));
+        let buf = SnapshotBuf::from_events(
+            &[Event::point(Time::new(5), Value::Float(1.0))],
+            range,
+        );
+        let out = cq.run(&[&buf], range);
+        assert_eq!(out.to_events().len(), 1);
+    }
+
+    #[test]
+    fn grid_is_lcm_of_precisions() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let w1 = b.temporal("w1", TDom::unbounded(4), Expr::reduce_window(ReduceOp::Sum, input, 4));
+        let w2 = b.temporal("w2", TDom::unbounded(6), Expr::reduce_window(ReduceOp::Sum, input, 6));
+        let out = b.temporal("out", TDom::unbounded(12), Expr::at(w1).add(Expr::at(w2)));
+        let q = b.finish(out).unwrap();
+        let cq = Compiler::unoptimized().compile(&q).unwrap();
+        assert_eq!(cq.grid(), 12);
+    }
+
+    #[test]
+    fn run_timed_reports_stats() {
+        let q = trend_query();
+        let range = TimeRange::new(Time::new(0), Time::new(100));
+        let input = SnapshotBuf::from_events(&price_events(100), range);
+        let cq = Compiler::new().compile(&q).unwrap();
+        let (_, stats) = cq.run_timed(&[&input], range);
+        assert!(stats.output_spans > 0);
+    }
+}

@@ -1,0 +1,701 @@
+//! The scalar + temporal expression language of the TiLT IR (paper §4.1).
+//!
+//! Expressions are ordinary functional-language terms (constants, arithmetic,
+//! conditionals, lets, structs) extended with the two temporal constructs:
+//!
+//! * [`Expr::At`] — `~obj[t + offset]`, the value of a temporal object at an
+//!   offset from the current time;
+//! * [`Expr::Reduce`] — `⊕(op, ~obj[t+lo : t+hi])`, a reduction function
+//!   applied to a derived window of a temporal object.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tilt_data::Value;
+
+use super::types::DataType;
+
+/// Identifier of a temporal object (an input stream or the output of a
+/// temporal expression).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TObjId(pub(crate) u32);
+
+impl TObjId {
+    /// The raw index (stable within one [`super::Query`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "~t{}", self.0)
+    }
+}
+
+/// Identifier of a let-bound (or reduce-element) scalar variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Constructs a variable id from a raw index.
+    ///
+    /// Intended for frontends that synthesize expression fragments with
+    /// placeholder ("hole") variables before handing them to a
+    /// [`super::QueryBuilder`]; within a built query, allocate variables with
+    /// `QueryBuilder::var` instead so ids never collide.
+    pub const fn from_raw(raw: u32) -> VarId {
+        VarId(raw)
+    }
+
+    /// The raw index of this variable.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Binary operators with φ-propagating semantics (see `tilt_data::Value`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division by zero yields φ).
+    Div,
+    /// Remainder.
+    Rem,
+    /// Exponentiation.
+    Pow,
+    /// Binary minimum.
+    Min,
+    /// Binary maximum.
+    Max,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equality (φ-propagating, unlike `is_null`).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Kleene conjunction.
+    And,
+    /// Kleene disjunction.
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator to runtime values.
+    #[inline]
+    pub fn apply(self, a: &Value, b: &Value) -> Value {
+        match self {
+            BinOp::Add => a.add(b),
+            BinOp::Sub => a.sub(b),
+            BinOp::Mul => a.mul(b),
+            BinOp::Div => a.div(b),
+            BinOp::Rem => a.rem(b),
+            BinOp::Pow => a.pow(b),
+            BinOp::Min => a.min_v(b),
+            BinOp::Max => a.max_v(b),
+            BinOp::Lt => a.lt(b),
+            BinOp::Le => a.le(b),
+            BinOp::Gt => a.gt(b),
+            BinOp::Ge => a.ge(b),
+            BinOp::Eq => a.eq_v(b),
+            BinOp::Ne => a.ne_v(b),
+            BinOp::And => a.and(b),
+            BinOp::Or => a.or(b),
+        }
+    }
+
+    /// Whether the operator is an ordering/equality comparison.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// Whether the operator is a Kleene connective.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Pow => "^",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators with φ-propagating semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Square root (promotes to float).
+    Sqrt,
+    /// The `e != φ` test of the paper; never yields φ. True when φ.
+    IsNull,
+    /// Cast to float.
+    ToFloat,
+    /// Cast to int (truncating).
+    ToInt,
+}
+
+impl UnOp {
+    /// Applies the operator to a runtime value.
+    #[inline]
+    pub fn apply(self, v: &Value) -> Value {
+        match self {
+            UnOp::Neg => v.neg(),
+            UnOp::Not => v.not(),
+            UnOp::Abs => v.abs(),
+            UnOp::Sqrt => v.sqrt(),
+            UnOp::IsNull => v.is_null_v(),
+            UnOp::ToFloat => v.to_float(),
+            UnOp::ToInt => v.to_int(),
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::IsNull => "is_null",
+            UnOp::ToFloat => "float",
+            UnOp::ToInt => "int",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A user-defined reduction function (paper §6.1.2).
+///
+/// The template mirrors the paper's four lambdas: `init`, `acc`, optional
+/// `deacc` (for invertible aggregates, enabling Subtract-on-Evict), and
+/// `result`. The accumulator receives the tick-weight of each snapshot so a
+/// span of length `w` is accumulated once with multiplicity `w` rather than
+/// `w` times.
+pub struct CustomReduce {
+    /// Display name (used by the printer and Debug output).
+    pub name: String,
+    /// Result type of the reduction.
+    pub result_type: DataType,
+    /// Initial accumulator state.
+    pub init: Value,
+    /// Folds one snapshot value with tick-weight `w` into the state.
+    pub acc: Arc<dyn Fn(&Value, &Value, i64) -> Value + Send + Sync>,
+    /// Inverse of `acc`, when the aggregate is invertible.
+    pub deacc: Option<Arc<dyn Fn(&Value, &Value, i64) -> Value + Send + Sync>>,
+    /// Extracts the reduction result from the state; receives the number of
+    /// non-φ ticks accumulated. Never called with zero ticks (an all-φ window
+    /// reduces to φ before `result` is consulted).
+    pub result: Arc<dyn Fn(&Value, i64) -> Value + Send + Sync>,
+}
+
+impl fmt::Debug for CustomReduce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CustomReduce")
+            .field("name", &self.name)
+            .field("result_type", &self.result_type)
+            .field("invertible", &self.deacc.is_some())
+            .finish()
+    }
+}
+
+/// A reduction operation usable in [`Expr::Reduce`].
+#[derive(Clone, Debug)]
+pub enum ReduceOp {
+    /// Tick-weighted sum.
+    Sum,
+    /// Tick-weighted product.
+    Product,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Number of non-φ ticks in the window.
+    Count,
+    /// Tick-weighted mean (`Sum / Count`, fused for efficiency).
+    Mean,
+    /// Tick-weighted population standard deviation.
+    StdDev,
+    /// A user-defined reduction.
+    Custom(Arc<CustomReduce>),
+}
+
+impl ReduceOp {
+    /// The result type given the element type.
+    pub fn result_type(&self, elem: &DataType) -> DataType {
+        match self {
+            ReduceOp::Sum | ReduceOp::Product | ReduceOp::Min | ReduceOp::Max => elem.clone(),
+            ReduceOp::Count => DataType::Int,
+            ReduceOp::Mean | ReduceOp::StdDev => DataType::Float,
+            ReduceOp::Custom(c) => c.result_type.clone(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Product => "prod",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+            ReduceOp::Count => "count",
+            ReduceOp::Mean => "mean",
+            ReduceOp::StdDev => "stddev",
+            ReduceOp::Custom(c) => &c.name,
+        }
+    }
+}
+
+impl PartialEq for ReduceOp {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ReduceOp::Custom(a), ReduceOp::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => std::mem::discriminant(self) == std::mem::discriminant(other),
+        }
+    }
+}
+
+/// A window access `~obj[t+lo : t+hi]` with an optional fused element map.
+///
+/// The `map` field is produced by the fusion pass when a pointwise producer
+/// is inlined *into* a reduction: each element of the window is transformed
+/// by `map` (with `elem` bound to the raw element) before accumulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowRef {
+    /// The source temporal object.
+    pub obj: TObjId,
+    /// Window start offset relative to `t` (exclusive bound `t + lo`).
+    pub lo: i64,
+    /// Window end offset relative to `t` (inclusive bound `t + hi`).
+    pub hi: i64,
+    /// Optional fused pointwise transform applied to each element.
+    pub map: Option<(VarId, Box<Expr>)>,
+}
+
+/// A TiLT IR expression.
+///
+/// Expressions are evaluated at a time point `t` of the enclosing temporal
+/// expression's time domain; the temporal constructs [`Expr::At`] and
+/// [`Expr::Reduce`] read input temporal objects relative to `t`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal value (φ literals give the paper's `: φ` arms).
+    Const(Value),
+    /// A let-bound variable reference.
+    Var(VarId),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? then : else`; a φ condition yields φ.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `let var = value in body`.
+    Let {
+        /// The bound variable.
+        var: VarId,
+        /// The bound value.
+        value: Box<Expr>,
+        /// The body in which `var` is visible.
+        body: Box<Expr>,
+    },
+    /// Struct field projection.
+    Field(Box<Expr>, usize),
+    /// Struct construction.
+    Tuple(Vec<Expr>),
+    /// The current evaluation time `t` as an integer tick count. Needed by
+    /// queries whose payload math references time itself (e.g. the linear
+    /// interpolation of the resampling application).
+    Time,
+    /// `~obj[t + offset]` — point access to a temporal object.
+    At {
+        /// The accessed object.
+        obj: TObjId,
+        /// Offset in ticks relative to the evaluation time.
+        offset: i64,
+    },
+    /// `⊕(op, ~obj[t+lo : t+hi])` — reduction over a derived window.
+    Reduce {
+        /// The reduction operation.
+        op: ReduceOp,
+        /// The window being reduced.
+        window: WindowRef,
+    },
+}
+
+impl Expr {
+    /// Constant constructor.
+    pub fn c<V: Into<Value>>(v: V) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// The φ literal.
+    pub fn null() -> Expr {
+        Expr::Const(Value::Null)
+    }
+
+    /// `~obj[t]`.
+    pub fn at(obj: TObjId) -> Expr {
+        Expr::At { obj, offset: 0 }
+    }
+
+    /// `~obj[t + offset]`.
+    pub fn at_off(obj: TObjId, offset: i64) -> Expr {
+        Expr::At { obj, offset }
+    }
+
+    /// `⊕(op, ~obj[t - size : t])` — the common trailing window.
+    pub fn reduce_window(op: ReduceOp, obj: TObjId, size: i64) -> Expr {
+        Expr::Reduce { op, window: WindowRef { obj, lo: -size, hi: 0, map: None } }
+    }
+
+    /// `⊕(op, ~obj[t + lo : t + hi])`.
+    pub fn reduce(op: ReduceOp, obj: TObjId, lo: i64, hi: i64) -> Expr {
+        Expr::Reduce { op, window: WindowRef { obj, lo, hi, map: None } }
+    }
+
+    /// Binary op builder.
+    pub fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+
+    /// `self % rhs`.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Rem, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+
+    /// `self == rhs` (φ-propagating).
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+
+    /// `self != rhs` (φ-propagating).
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+
+    /// `self && rhs` (Kleene).
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+
+    /// `self || rhs` (Kleene).
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+
+    /// `abs(self)`.
+    pub fn abs(self) -> Expr {
+        Expr::Unary(UnOp::Abs, Box::new(self))
+    }
+
+    /// `sqrt(self)`.
+    pub fn sqrt(self) -> Expr {
+        Expr::Unary(UnOp::Sqrt, Box::new(self))
+    }
+
+    /// The paper's `self != φ` test (never φ). Note the *polarity*: this is
+    /// `is_null`, so "has a value" is `is_null().not()`.
+    pub fn is_null(self) -> Expr {
+        Expr::Unary(UnOp::IsNull, Box::new(self))
+    }
+
+    /// "Has a value" — `!(self is φ)`; never φ.
+    pub fn is_present(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(Expr::Unary(UnOp::IsNull, Box::new(self))))
+    }
+
+    /// `cond ? self : else_`.
+    pub fn if_else(cond: Expr, then: Expr, else_: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then), Box::new(else_))
+    }
+
+    /// Struct field access.
+    pub fn get(self, field: usize) -> Expr {
+        Expr::Field(Box::new(self), field)
+    }
+
+    /// Visits every node of the expression tree (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Time | Expr::At { .. } => {}
+            Expr::Unary(_, a) | Expr::Field(a, _) => a.walk(f),
+            Expr::Binary(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::If(c, t, e) => {
+                c.walk(f);
+                t.walk(f);
+                e.walk(f);
+            }
+            Expr::Let { value, body, .. } => {
+                value.walk(f);
+                body.walk(f);
+            }
+            Expr::Tuple(items) => {
+                for it in items {
+                    it.walk(f);
+                }
+            }
+            Expr::Reduce { window, .. } => {
+                if let Some((_, m)) = &window.map {
+                    m.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrites the tree bottom-up with `f` applied to every rebuilt node.
+    pub fn rewrite(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Time | Expr::At { .. } => self,
+            Expr::Unary(op, a) => Expr::Unary(op, Box::new(a.rewrite(f))),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(op, Box::new(a.rewrite(f)), Box::new(b.rewrite(f)))
+            }
+            Expr::If(c, t, e) => Expr::If(
+                Box::new(c.rewrite(f)),
+                Box::new(t.rewrite(f)),
+                Box::new(e.rewrite(f)),
+            ),
+            Expr::Let { var, value, body } => Expr::Let {
+                var,
+                value: Box::new(value.rewrite(f)),
+                body: Box::new(body.rewrite(f)),
+            },
+            Expr::Field(a, i) => Expr::Field(Box::new(a.rewrite(f)), i),
+            Expr::Tuple(items) => Expr::Tuple(items.into_iter().map(|e| e.rewrite(f)).collect()),
+            Expr::Reduce { op, window } => {
+                let map = window
+                    .map
+                    .map(|(v, m)| (v, Box::new(m.rewrite(f))));
+                Expr::Reduce { op, window: WindowRef { map, ..window } }
+            }
+        };
+        f(rebuilt)
+    }
+
+    /// Collects the temporal objects this expression reads.
+    pub fn referenced_objects(&self) -> Vec<TObjId> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match e {
+            Expr::At { obj, .. } => out.push(*obj),
+            Expr::Reduce { window, .. } => out.push(window.obj),
+            _ => {}
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Shifts every temporal access by `delta` ticks (`t → t + delta`),
+    /// used when inlining a producer accessed at an offset.
+    pub fn shift_time(self, delta: i64) -> Expr {
+        if delta == 0 {
+            return self;
+        }
+        self.rewrite(&mut |e| match e {
+            // `t` inlined at offset d reads the producer's clock: t + d.
+            Expr::Time => Expr::Time.add(Expr::c(delta)),
+            Expr::At { obj, offset } => Expr::At { obj, offset: offset + delta },
+            Expr::Reduce { op, window } => Expr::Reduce {
+                op,
+                window: WindowRef {
+                    lo: window.lo + delta,
+                    hi: window.hi + delta,
+                    ..window
+                },
+            },
+            other => other,
+        })
+    }
+
+    /// Substitutes `replacement` for every occurrence of `Var(var)`.
+    pub fn subst_var(self, var: VarId, replacement: &Expr) -> Expr {
+        self.rewrite(&mut |e| match e {
+            Expr::Var(v) if v == var => replacement.clone(),
+            other => other,
+        })
+    }
+
+    /// Whether the expression contains any reduction.
+    pub fn has_reduce(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Reduce { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Number of nodes in the tree (used by inlining cost heuristics).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> TObjId {
+        TObjId(i)
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::at(obj(0)).add(Expr::c(1i64)).gt(Expr::c(0i64));
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.referenced_objects(), vec![obj(0)]);
+    }
+
+    #[test]
+    fn shift_time_adjusts_all_accesses() {
+        let e = Expr::at_off(obj(0), -2).add(Expr::reduce(ReduceOp::Sum, obj(1), -10, 0));
+        let shifted = e.shift_time(-5);
+        let mut offsets = Vec::new();
+        shifted.walk(&mut |n| match n {
+            Expr::At { offset, .. } => offsets.push(*offset),
+            Expr::Reduce { window, .. } => offsets.extend([window.lo, window.hi]),
+            _ => {}
+        });
+        offsets.sort();
+        assert_eq!(offsets, vec![-15, -7, -5]);
+    }
+
+    #[test]
+    fn subst_var_replaces_only_target() {
+        let v0 = VarId(0);
+        let v1 = VarId(1);
+        let e = Expr::Var(v0).add(Expr::Var(v1));
+        let s = e.subst_var(v0, &Expr::c(7i64));
+        assert_eq!(s, Expr::c(7i64).add(Expr::Var(v1)));
+    }
+
+    #[test]
+    fn reduce_detection_and_object_collection() {
+        let e = Expr::reduce_window(ReduceOp::Mean, obj(3), 10).sub(Expr::at(obj(2)));
+        assert!(e.has_reduce());
+        assert_eq!(e.referenced_objects(), vec![obj(2), obj(3)]);
+        assert!(!Expr::c(1i64).has_reduce());
+    }
+
+    #[test]
+    fn ops_apply_matches_value_semantics() {
+        assert_eq!(BinOp::Add.apply(&Value::Int(1), &Value::Int(2)), Value::Int(3));
+        assert_eq!(BinOp::And.apply(&Value::Bool(false), &Value::Null), Value::Bool(false));
+        assert_eq!(UnOp::IsNull.apply(&Value::Null), Value::Bool(true));
+        assert_eq!(UnOp::Sqrt.apply(&Value::Int(4)), Value::Float(2.0));
+    }
+
+    #[test]
+    fn reduce_op_result_types() {
+        assert_eq!(ReduceOp::Sum.result_type(&DataType::Int), DataType::Int);
+        assert_eq!(ReduceOp::Count.result_type(&DataType::Float), DataType::Int);
+        assert_eq!(ReduceOp::Mean.result_type(&DataType::Int), DataType::Float);
+    }
+
+    #[test]
+    fn rewrite_is_bottom_up() {
+        // Fold (1 + 2) by rewriting constants' additions.
+        let e = Expr::c(1i64).add(Expr::c(2i64)).mul(Expr::c(3i64));
+        let folded = e.rewrite(&mut |n| match n {
+            Expr::Binary(BinOp::Add, a, b) => match (&*a, &*b) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.add(y)),
+                _ => Expr::Binary(BinOp::Add, a, b),
+            },
+            other => other,
+        });
+        assert_eq!(folded, Expr::c(3i64).mul(Expr::c(3i64)));
+    }
+}

@@ -1,0 +1,22 @@
+//! The TiLT intermediate representation (paper §4).
+//!
+//! A streaming query in TiLT IR is a [`Query`]: a DAG of [`TempExpr`]s, each
+//! defining one temporal object as a functional transformation of other
+//! temporal objects over a [`TDom`] time domain. The expression language
+//! ([`Expr`]) is a small functional language with φ-propagating scalar
+//! operations plus the two temporal constructs: point access ([`Expr::At`])
+//! and window reduction ([`Expr::Reduce`]).
+
+mod expr;
+mod printer;
+mod query;
+mod texpr;
+mod typeck;
+mod types;
+
+pub use expr::{BinOp, CustomReduce, Expr, ReduceOp, TObjId, UnOp, VarId, WindowRef};
+pub use printer::{print_expr, print_query};
+pub use query::{Query, QueryBuilder};
+pub use texpr::{TDom, TempExpr};
+pub use typeck::{typecheck, TypeInfo};
+pub use types::DataType;

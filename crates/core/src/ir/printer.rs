@@ -1,0 +1,170 @@
+//! Pretty-printer rendering TiLT IR in the paper's notation.
+
+use std::fmt::Write as _;
+
+use super::expr::{Expr, TObjId};
+use super::query::Query;
+
+/// Renders a query in (approximately) the notation of Fig. 3 of the paper:
+///
+/// ```text
+/// t = TDom(-inf, +inf, 1)
+/// ~filter[t] = (~join[t] > 0) ? ~join[t] : φ
+/// ```
+pub fn print_query(q: &Query) -> String {
+    let mut out = String::new();
+    for input in q.inputs() {
+        let _ = writeln!(out, "input ~{}", q.name(*input));
+    }
+    for te in q.exprs() {
+        let _ = writeln!(
+            out,
+            "~{}[t] @ {}{} = {}",
+            q.name(te.output),
+            te.dom,
+            if te.sample { " sampled" } else { "" },
+            print_expr(&te.body, q)
+        );
+    }
+    let _ = writeln!(out, "return ~{}", q.name(q.output()));
+    out
+}
+
+/// Renders one expression.
+pub fn print_expr(e: &Expr, q: &Query) -> String {
+    let mut s = String::new();
+    emit(e, q, &mut s);
+    s
+}
+
+fn obj_name(obj: TObjId, q: &Query) -> String {
+    format!("~{}", q.name(obj))
+}
+
+fn off(offset: i64) -> String {
+    if offset == 0 {
+        "t".to_string()
+    } else if offset > 0 {
+        format!("t+{offset}")
+    } else {
+        format!("t{offset}")
+    }
+}
+
+fn emit(e: &Expr, q: &Query, s: &mut String) {
+    match e {
+        Expr::Const(v) => {
+            let _ = write!(s, "{v}");
+        }
+        Expr::Var(v) => {
+            let _ = write!(s, "{v}");
+        }
+        Expr::Time => {
+            let _ = write!(s, "t");
+        }
+        Expr::Unary(op, a) => {
+            let _ = write!(s, "{op}(");
+            emit(a, q, s);
+            let _ = write!(s, ")");
+        }
+        Expr::Binary(op, a, b) => {
+            let _ = write!(s, "(");
+            emit(a, q, s);
+            let _ = write!(s, " {op} ");
+            emit(b, q, s);
+            let _ = write!(s, ")");
+        }
+        Expr::If(c, t, f) => {
+            let _ = write!(s, "(");
+            emit(c, q, s);
+            let _ = write!(s, " ? ");
+            emit(t, q, s);
+            let _ = write!(s, " : ");
+            emit(f, q, s);
+            let _ = write!(s, ")");
+        }
+        Expr::Let { var, value, body } => {
+            let _ = write!(s, "{{ {var} = ");
+            emit(value, q, s);
+            let _ = write!(s, "; ");
+            emit(body, q, s);
+            let _ = write!(s, " }}");
+        }
+        Expr::Field(a, i) => {
+            emit(a, q, s);
+            let _ = write!(s, ".{i}");
+        }
+        Expr::Tuple(items) => {
+            let _ = write!(s, "{{");
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(s, ", ");
+                }
+                emit(it, q, s);
+            }
+            let _ = write!(s, "}}");
+        }
+        Expr::At { obj, offset } => {
+            let _ = write!(s, "{}[{}]", obj_name(*obj, q), off(*offset));
+        }
+        Expr::Reduce { op, window } => {
+            let _ = write!(s, "⊕({}, {}[{} : {}]", op.name(), obj_name(window.obj, q), off(window.lo), off(window.hi));
+            if let Some((var, m)) = &window.map {
+                let _ = write!(s, ", {var} => ");
+                emit(m, q, s);
+            }
+            let _ = write!(s, ")");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Expr, ReduceOp, TDom};
+
+    #[test]
+    fn prints_trend_like_query() {
+        let mut b = Query::builder();
+        let stock = b.input("stock", DataType::Float);
+        let sum10 = b.temporal(
+            "sum10",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, stock, 10),
+        );
+        let avg = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
+        let q = b.finish(avg).unwrap();
+        let text = print_query(&q);
+        assert!(text.contains("input ~stock"));
+        assert!(text.contains("~sum10[t]"));
+        assert!(text.contains("⊕(sum, ~stock[t-10 : t])"));
+        assert!(text.contains("(~sum10[t] / 10)"));
+        assert!(text.contains("return ~avg10"));
+    }
+
+    #[test]
+    fn prints_phi_and_conditionals() {
+        let mut b = Query::builder();
+        let input = b.input("m", DataType::Float);
+        let body = Expr::if_else(
+            Expr::at(input).gt(Expr::c(0.0)),
+            Expr::at(input),
+            Expr::null(),
+        );
+        let out = b.temporal("where", TDom::every_tick(), body);
+        let q = b.finish(out).unwrap();
+        let text = print_query(&q);
+        assert!(text.contains("((~m[t] > 0) ? ~m[t] : φ)"));
+    }
+
+    #[test]
+    fn prints_offsets_both_directions() {
+        let mut b = Query::builder();
+        let input = b.input("m", DataType::Float);
+        let body = Expr::at_off(input, -3).add(Expr::at_off(input, 2));
+        let out = b.temporal("o", TDom::every_tick(), body);
+        let q = b.finish(out).unwrap();
+        let text = print_expr(&q.exprs()[0].body, &q);
+        assert_eq!(text, "(~m[t-3] + ~m[t+2])");
+    }
+}

@@ -1,0 +1,329 @@
+//! Whole-query IR: inputs, temporal expressions, and the query builder.
+
+use std::collections::HashMap;
+
+use super::expr::{Expr, TObjId, VarId};
+use super::texpr::{TDom, TempExpr};
+use super::types::DataType;
+use crate::error::{CompileError, Result};
+
+/// A complete TiLT IR query: a DAG of temporal expressions over declared
+/// input streams, with one designated output object.
+///
+/// Build queries with [`QueryBuilder`] (via [`Query::builder`]); the builder
+/// allocates object/variable identifiers and [`QueryBuilder::finish`]
+/// validates well-formedness (acyclicity, no unbound references) and
+/// topologically orders the expressions.
+///
+/// # Examples
+///
+/// ```
+/// use tilt_core::ir::{Expr, Query, ReduceOp, TDom, DataType};
+///
+/// let mut b = Query::builder();
+/// let stock = b.input("stock", DataType::Float);
+/// let avg = b.temporal(
+///     "avg10",
+///     TDom::unbounded(1),
+///     Expr::reduce_window(ReduceOp::Mean, stock, 10),
+/// );
+/// let query = b.finish(avg).unwrap();
+/// assert_eq!(query.inputs().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Query {
+    inputs: Vec<TObjId>,
+    input_types: HashMap<TObjId, DataType>,
+    exprs: Vec<TempExpr>,
+    output: TObjId,
+    names: HashMap<TObjId, String>,
+    next_obj: u32,
+    next_var: u32,
+}
+
+impl Query {
+    /// Starts building a query.
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// The declared input objects, in declaration order.
+    pub fn inputs(&self) -> &[TObjId] {
+        &self.inputs
+    }
+
+    /// The declared type of an input object.
+    pub fn input_type(&self, obj: TObjId) -> Option<&DataType> {
+        self.input_types.get(&obj)
+    }
+
+    /// The temporal expressions in topological (definition-before-use) order.
+    pub fn exprs(&self) -> &[TempExpr] {
+        &self.exprs
+    }
+
+    /// The query's output object.
+    pub fn output(&self) -> TObjId {
+        self.output
+    }
+
+    /// The debug name of an object.
+    pub fn name(&self, obj: TObjId) -> &str {
+        self.names.get(&obj).map_or("?", |s| s.as_str())
+    }
+
+    /// The temporal expression defining `obj`, if it is not an input.
+    pub fn definition(&self, obj: TObjId) -> Option<&TempExpr> {
+        self.exprs.iter().find(|e| e.output == obj)
+    }
+
+    /// Whether `obj` is a declared input.
+    pub fn is_input(&self, obj: TObjId) -> bool {
+        self.inputs.contains(&obj)
+    }
+
+    /// Number of consumers of each object (how many expressions read it,
+    /// counting the query output as one extra use).
+    pub fn use_counts(&self) -> HashMap<TObjId, usize> {
+        let mut counts: HashMap<TObjId, usize> = HashMap::new();
+        for te in &self.exprs {
+            let mut seen = te.dependencies();
+            seen.dedup();
+            for dep in seen {
+                *counts.entry(dep).or_insert(0) += 1;
+            }
+        }
+        *counts.entry(self.output).or_insert(0) += 1;
+        counts
+    }
+
+    /// Replaces the expression list (used by optimization passes), revalidating
+    /// the query structure.
+    pub fn with_exprs(&self, exprs: Vec<TempExpr>) -> Result<Query> {
+        let mut q = self.clone();
+        q.exprs = exprs;
+        q.exprs = toposort(&q)?;
+        Ok(q)
+    }
+
+    /// Allocates a fresh scalar variable (for passes that introduce lets).
+    pub fn fresh_var(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// The current variable counter (the next id [`Query::fresh_var`] would
+    /// return). Passes that batch-allocate variables read this, construct
+    /// ids locally, and then call [`Query::reserve_vars`].
+    pub(crate) fn var_counter(&self) -> u32 {
+        self.next_var
+    }
+
+    /// Ensures future [`Query::fresh_var`] calls return ids ≥ `upto`.
+    pub(crate) fn reserve_vars(&mut self, upto: u32) {
+        self.next_var = self.next_var.max(upto);
+    }
+
+    /// Allocates a fresh temporal object (for passes that split expressions).
+    pub fn fresh_obj(&mut self, name: &str) -> TObjId {
+        let o = TObjId(self.next_obj);
+        self.next_obj += 1;
+        self.names.insert(o, name.to_string());
+        o
+    }
+}
+
+/// Incremental builder for [`Query`] values.
+#[derive(Default, Debug)]
+pub struct QueryBuilder {
+    inputs: Vec<TObjId>,
+    input_types: HashMap<TObjId, DataType>,
+    exprs: Vec<TempExpr>,
+    names: HashMap<TObjId, String>,
+    next_obj: u32,
+    next_var: u32,
+}
+
+impl QueryBuilder {
+    /// Declares an input stream with the given payload type.
+    pub fn input(&mut self, name: &str, ty: DataType) -> TObjId {
+        let id = self.alloc(name);
+        self.inputs.push(id);
+        self.input_types.insert(id, ty);
+        id
+    }
+
+    /// Defines a temporal object by an event-driven temporal expression.
+    pub fn temporal(&mut self, name: &str, dom: TDom, body: Expr) -> TObjId {
+        let id = self.alloc(name);
+        self.exprs.push(TempExpr::new(id, dom, body));
+        id
+    }
+
+    /// Defines a temporal object by a sampled temporal expression (see
+    /// [`TempExpr`] for the distinction).
+    pub fn temporal_sampled(&mut self, name: &str, dom: TDom, body: Expr) -> TObjId {
+        let id = self.alloc(name);
+        self.exprs.push(TempExpr::sampled(id, dom, body));
+        id
+    }
+
+    /// Allocates a fresh scalar variable for let-bindings.
+    pub fn var(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Finishes the query with `output` as the result object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the output or any referenced object is
+    /// undefined, or when the temporal expressions form a cycle.
+    pub fn finish(self, output: TObjId) -> Result<Query> {
+        let mut q = Query {
+            inputs: self.inputs,
+            input_types: self.input_types,
+            exprs: self.exprs,
+            output,
+            names: self.names,
+            next_obj: self.next_obj,
+            next_var: self.next_var,
+        };
+        if !q.is_input(output) && q.definition(output).is_none() {
+            return Err(CompileError::UnboundObject(format!("{output} (query output)")));
+        }
+        q.exprs = toposort(&q)?;
+        Ok(q)
+    }
+
+    fn alloc(&mut self, name: &str) -> TObjId {
+        let id = TObjId(self.next_obj);
+        self.next_obj += 1;
+        self.names.insert(id, name.to_string());
+        id
+    }
+}
+
+/// Topologically sorts the expressions; rejects cycles and unbound references.
+fn toposort(q: &Query) -> Result<Vec<TempExpr>> {
+    let mut order: Vec<TempExpr> = Vec::with_capacity(q.exprs.len());
+    let mut state: HashMap<TObjId, u8> = HashMap::new(); // 1 = visiting, 2 = done
+
+    fn visit(
+        q: &Query,
+        obj: TObjId,
+        state: &mut HashMap<TObjId, u8>,
+        order: &mut Vec<TempExpr>,
+    ) -> Result<()> {
+        if q.is_input(obj) {
+            return Ok(());
+        }
+        match state.get(&obj) {
+            Some(2) => return Ok(()),
+            Some(1) => return Err(CompileError::Cycle(q.name(obj).to_string())),
+            _ => {}
+        }
+        let def = q
+            .definition(obj)
+            .ok_or_else(|| CompileError::UnboundObject(q.name(obj).to_string()))?
+            .clone();
+        state.insert(obj, 1);
+        for dep in def.dependencies() {
+            visit(q, dep, state, order)?;
+        }
+        state.insert(obj, 2);
+        order.push(def);
+        Ok(())
+    }
+
+    // Visit from every defined expression (not just the output) so that
+    // dead expressions remain valid until DCE removes them.
+    let roots: Vec<TObjId> = q.exprs.iter().map(|e| e.output).collect();
+    for root in roots {
+        visit(q, root, &mut state, &mut order)?;
+    }
+    visit(q, q.output, &mut state, &mut order)?;
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::expr::ReduceOp;
+
+    #[test]
+    fn builder_orders_expressions_topologically() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        // Define consumer before producer textually; toposort must fix it.
+        let stage2_id = TObjId(2); // forward reference to the object defined below
+        let stage3 = b.temporal("stage3", TDom::every_tick(), Expr::at(stage2_id).add(Expr::c(1i64)));
+        let stage2 = b.temporal("stage2", TDom::every_tick(), Expr::at(input).mul(Expr::c(2i64)));
+        assert_eq!(stage2, stage2_id);
+        let q = b.finish(stage3).unwrap();
+        let order: Vec<TObjId> = q.exprs().iter().map(|e| e.output).collect();
+        assert_eq!(order, vec![stage2, stage3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = Query::builder();
+        let _ = b.input("in", DataType::Float);
+        let a_id = TObjId(1);
+        let b_id = TObjId(2);
+        let a = b.temporal("a", TDom::every_tick(), Expr::at(b_id));
+        let bb = b.temporal("b", TDom::every_tick(), Expr::at(a_id));
+        assert_eq!((a, bb), (a_id, b_id));
+        let err = b.finish(b_id).unwrap_err();
+        assert!(matches!(err, CompileError::Cycle(_)));
+    }
+
+    #[test]
+    fn unbound_reference_rejected() {
+        let mut b = Query::builder();
+        let _ = b.input("in", DataType::Float);
+        let bogus = TObjId(77);
+        let out = b.temporal("out", TDom::every_tick(), Expr::at(bogus));
+        assert!(matches!(b.finish(out), Err(CompileError::UnboundObject(_))));
+    }
+
+    #[test]
+    fn unbound_output_rejected() {
+        let mut b = Query::builder();
+        let _ = b.input("in", DataType::Float);
+        assert!(matches!(b.finish(TObjId(9)), Err(CompileError::UnboundObject(_))));
+    }
+
+    #[test]
+    fn use_counts_track_consumers() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let avg = b.temporal(
+            "avg",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Mean, input, 10),
+        );
+        let out = b.temporal("out", TDom::every_tick(), Expr::at(avg).add(Expr::at(avg)));
+        let q = b.finish(out).unwrap();
+        let counts = q.use_counts();
+        assert_eq!(counts[&avg], 1); // deduplicated within one consumer
+        assert_eq!(counts[&input], 1);
+        assert_eq!(counts[&out], 1); // the query output use
+    }
+
+    #[test]
+    fn names_and_types_tracked() {
+        let mut b = Query::builder();
+        let input = b.input("stock", DataType::Float);
+        let out = b.temporal("sel", TDom::every_tick(), Expr::at(input));
+        let q = b.finish(out).unwrap();
+        assert_eq!(q.name(input), "stock");
+        assert_eq!(q.input_type(input), Some(&DataType::Float));
+        assert!(q.is_input(input));
+        assert!(!q.is_input(out));
+        assert_eq!(q.output(), out);
+    }
+}

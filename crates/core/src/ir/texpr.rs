@@ -1,0 +1,126 @@
+//! Temporal expressions and time domains (paper §4.1).
+
+use std::fmt;
+
+use tilt_data::{Time, TimeRange};
+
+use super::expr::{Expr, TObjId};
+
+/// A time domain `TDom(start, end, precision)`.
+///
+/// The temporal expression defined over this domain produces values for
+/// times in `(start, end]` that are multiples of `precision`. Queries are
+/// initially written over the unbounded domain ([`TDom::unbounded`]); the
+/// boundary-resolution pass re-domains them to the symbolic `(Ts, Te]`
+/// interval supplied at execution time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TDom {
+    /// Exclusive domain start (`Time::MIN` = −∞).
+    pub start: Time,
+    /// Inclusive domain end (`Time::MAX` = +∞).
+    pub end: Time,
+    /// Tick granularity at which the output may change value (> 0).
+    pub precision: i64,
+}
+
+impl TDom {
+    /// `TDom(-∞, +∞, precision)`.
+    pub fn unbounded(precision: i64) -> TDom {
+        assert!(precision > 0, "precision must be positive");
+        TDom { start: Time::MIN, end: Time::MAX, precision }
+    }
+
+    /// `TDom(-∞, +∞, 1)` — the default domain of per-event operations.
+    pub fn every_tick() -> TDom {
+        TDom::unbounded(1)
+    }
+
+    /// Whether the domain covers the whole timeline.
+    pub fn is_unbounded(&self) -> bool {
+        self.start == Time::MIN && self.end == Time::MAX
+    }
+
+    /// The covered range.
+    pub fn range(&self) -> TimeRange {
+        TimeRange { start: self.start, end: self.end }
+    }
+}
+
+impl fmt::Display for TDom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TDom({}, {}, {})", self.start, self.end, self.precision)
+    }
+}
+
+/// A temporal expression: `~output[t] = body` over a time domain.
+///
+/// `sample` selects between the two loop-synthesis strategies of §6.1.3:
+///
+/// * `false` (default) — *event-driven*: the kernel advances `t` directly to
+///   the next time any referenced input changes value, skipping redundant
+///   ticks (the paper's loop-counter-increment optimization);
+/// * `true` — *sampled*: the kernel evaluates at every precision tick while
+///   any input is active. This is the semantics of re-sampling operators
+///   (`Chop`), which must emit snapshots even when inputs do not change.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TempExpr {
+    /// The defined temporal object.
+    pub output: TObjId,
+    /// The time domain of the definition.
+    pub dom: TDom,
+    /// The defining expression, evaluated at each domain time point.
+    pub body: Expr,
+    /// Sampled (true) vs event-driven (false) loop synthesis.
+    pub sample: bool,
+}
+
+impl TempExpr {
+    /// Creates an event-driven temporal expression.
+    pub fn new(output: TObjId, dom: TDom, body: Expr) -> TempExpr {
+        TempExpr { output, dom, body, sample: false }
+    }
+
+    /// Creates a sampled temporal expression (see type-level docs).
+    pub fn sampled(output: TObjId, dom: TDom, body: Expr) -> TempExpr {
+        TempExpr { output, dom, body, sample: true }
+    }
+
+    /// The temporal objects read by this expression.
+    pub fn dependencies(&self) -> Vec<TObjId> {
+        self.body.referenced_objects()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::expr::ReduceOp;
+
+    #[test]
+    fn unbounded_domain() {
+        let d = TDom::unbounded(5);
+        assert!(d.is_unbounded());
+        assert_eq!(d.precision, 5);
+        assert_eq!(TDom::every_tick().precision, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_precision_rejected() {
+        let _ = TDom::unbounded(0);
+    }
+
+    #[test]
+    fn dependencies_deduplicated() {
+        let a = TObjId(1);
+        let body = Expr::at(a).add(Expr::reduce_window(ReduceOp::Sum, a, 10));
+        let te = TempExpr::new(TObjId(2), TDom::every_tick(), body);
+        assert_eq!(te.dependencies(), vec![a]);
+        assert!(!te.sample);
+    }
+
+    #[test]
+    fn display_tdom() {
+        assert_eq!(TDom::unbounded(1).to_string(), "TDom(-inf, +inf, 1)");
+    }
+}

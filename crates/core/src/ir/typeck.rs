@@ -1,0 +1,319 @@
+//! Type checking and inference for TiLT IR queries.
+
+use std::collections::HashMap;
+
+use super::expr::{BinOp, Expr, TObjId, UnOp, VarId};
+use super::query::Query;
+use super::types::DataType;
+use crate::error::{CompileError, Result};
+
+/// The result of type checking: the payload type of every temporal object.
+#[derive(Clone, Debug, Default)]
+pub struct TypeInfo {
+    object_types: HashMap<TObjId, DataType>,
+}
+
+impl TypeInfo {
+    /// The inferred payload type of `obj`.
+    pub fn object_type(&self, obj: TObjId) -> Option<&DataType> {
+        self.object_types.get(&obj)
+    }
+}
+
+/// Type checks `query`, inferring the payload type of each temporal object.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Type`] when an operator is applied to operands of
+/// incompatible types, and [`CompileError::UnboundVar`] for out-of-scope
+/// variable references.
+pub fn typecheck(query: &Query) -> Result<TypeInfo> {
+    let mut info = TypeInfo::default();
+    for &input in query.inputs() {
+        let ty = query
+            .input_type(input)
+            .cloned()
+            .ok_or_else(|| CompileError::Type(format!("input {input} has no declared type")))?;
+        info.object_types.insert(input, ty);
+    }
+    for te in query.exprs() {
+        let mut env: HashMap<VarId, DataType> = HashMap::new();
+        let ty = infer(&te.body, &info, &mut env, query)?;
+        info.object_types.insert(te.output, ty);
+    }
+    Ok(info)
+}
+
+fn obj_type(obj: TObjId, info: &TypeInfo, query: &Query) -> Result<DataType> {
+    info.object_types
+        .get(&obj)
+        .cloned()
+        .ok_or_else(|| CompileError::UnboundObject(query.name(obj).to_string()))
+}
+
+fn infer(
+    e: &Expr,
+    info: &TypeInfo,
+    env: &mut HashMap<VarId, DataType>,
+    query: &Query,
+) -> Result<DataType> {
+    match e {
+        Expr::Const(v) => Ok(DataType::of_value(v)),
+        Expr::Time => Ok(DataType::Int),
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| CompileError::UnboundVar(v.to_string())),
+        Expr::Unary(op, a) => {
+            let ta = infer(a, info, env, query)?;
+            unary_type(*op, &ta)
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = infer(a, info, env, query)?;
+            let tb = infer(b, info, env, query)?;
+            binary_type(*op, &ta, &tb)
+        }
+        Expr::If(c, t, f) => {
+            let tc = infer(c, info, env, query)?;
+            if tc.unify(&DataType::Bool).is_none() {
+                return Err(CompileError::Type(format!("if condition has type {tc}, not bool")));
+            }
+            let tt = infer(t, info, env, query)?;
+            let tf = infer(f, info, env, query)?;
+            tt.unify(&tf)
+                .or_else(|| tt.promote(&tf))
+                .ok_or_else(|| CompileError::Type(format!("if branches disagree: {tt} vs {tf}")))
+        }
+        Expr::Let { var, value, body } => {
+            let tv = infer(value, info, env, query)?;
+            let shadowed = env.insert(*var, tv);
+            let tb = infer(body, info, env, query)?;
+            match shadowed {
+                Some(t) => {
+                    env.insert(*var, t);
+                }
+                None => {
+                    env.remove(var);
+                }
+            }
+            Ok(tb)
+        }
+        Expr::Field(a, i) => {
+            let ta = infer(a, info, env, query)?;
+            match ta {
+                DataType::Tuple(fields) => fields.get(*i).cloned().ok_or_else(|| {
+                    CompileError::Type(format!("field {i} out of bounds for {}-tuple", fields.len()))
+                }),
+                DataType::Unknown => Ok(DataType::Unknown),
+                other => Err(CompileError::Type(format!("field access on non-struct {other}"))),
+            }
+        }
+        Expr::Tuple(items) => {
+            let fields: Result<Vec<DataType>> =
+                items.iter().map(|it| infer(it, info, env, query)).collect();
+            Ok(DataType::Tuple(fields?))
+        }
+        Expr::At { obj, .. } => obj_type(*obj, info, query),
+        Expr::Reduce { op, window } => {
+            if window.lo >= window.hi {
+                return Err(CompileError::Invalid(format!(
+                    "reduce window (t{:+}, t{:+}] is empty",
+                    window.lo, window.hi
+                )));
+            }
+            let src = obj_type(window.obj, info, query)?;
+            let elem = match &window.map {
+                Some((var, mapped)) => {
+                    let shadowed = env.insert(*var, src);
+                    let t = infer(mapped, info, env, query)?;
+                    match shadowed {
+                        Some(prev) => {
+                            env.insert(*var, prev);
+                        }
+                        None => {
+                            env.remove(var);
+                        }
+                    }
+                    t
+                }
+                None => src,
+            };
+            Ok(op.result_type(&elem))
+        }
+    }
+}
+
+fn unary_type(op: UnOp, a: &DataType) -> Result<DataType> {
+    let err = |msg: String| Err(CompileError::Type(msg));
+    match op {
+        UnOp::Neg | UnOp::Abs => {
+            if a.is_numeric() {
+                Ok(if *a == DataType::Unknown { DataType::Unknown } else { a.clone() })
+            } else {
+                err(format!("{op} applied to {a}"))
+            }
+        }
+        UnOp::Sqrt => {
+            if a.is_numeric() {
+                Ok(DataType::Float)
+            } else {
+                err(format!("sqrt applied to {a}"))
+            }
+        }
+        UnOp::Not => match a.unify(&DataType::Bool) {
+            Some(_) => Ok(DataType::Bool),
+            None => err(format!("! applied to {a}")),
+        },
+        UnOp::IsNull => Ok(DataType::Bool),
+        UnOp::ToFloat => {
+            if a.is_numeric() {
+                Ok(DataType::Float)
+            } else {
+                err(format!("float cast applied to {a}"))
+            }
+        }
+        UnOp::ToInt => {
+            if a.is_numeric() {
+                Ok(DataType::Int)
+            } else {
+                err(format!("int cast applied to {a}"))
+            }
+        }
+    }
+}
+
+fn binary_type(op: BinOp, a: &DataType, b: &DataType) -> Result<DataType> {
+    let err = || {
+        Err(CompileError::Type(format!("operator {op} applied to {a} and {b}")))
+    };
+    if op.is_comparison() {
+        // Comparisons accept comparable pairs; result is bool.
+        if a.promote(b).is_some() || a.unify(b).is_some() {
+            return Ok(DataType::Bool);
+        }
+        return err();
+    }
+    if op.is_logical() {
+        if a.unify(&DataType::Bool).is_some() && b.unify(&DataType::Bool).is_some() {
+            return Ok(DataType::Bool);
+        }
+        return err();
+    }
+    match a.promote(b) {
+        Some(t) => Ok(t),
+        None => err(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::expr::ReduceOp;
+    use crate::ir::texpr::TDom;
+
+    fn check(build: impl FnOnce(&mut super::super::query::QueryBuilder, TObjId) -> Expr) -> Result<TypeInfo> {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let body = build(&mut b, input);
+        let out = b.temporal("out", TDom::every_tick(), body);
+        let q = b.finish(out)?;
+        typecheck(&q)
+    }
+
+    #[test]
+    fn infers_float_pipeline() {
+        let info = check(|_, i| Expr::at(i).add(Expr::c(1.0))).unwrap();
+        assert_eq!(info.object_type(TObjId(1)), Some(&DataType::Float));
+    }
+
+    #[test]
+    fn mean_of_float_window_is_float() {
+        let info = check(|_, i| Expr::reduce_window(ReduceOp::Mean, i, 10)).unwrap();
+        assert_eq!(info.object_type(TObjId(1)), Some(&DataType::Float));
+    }
+
+    #[test]
+    fn count_is_int() {
+        let info = check(|_, i| Expr::reduce_window(ReduceOp::Count, i, 10)).unwrap();
+        assert_eq!(info.object_type(TObjId(1)), Some(&DataType::Int));
+    }
+
+    #[test]
+    fn null_branches_unify() {
+        // (in > 0) ? in : φ — the standard Where encoding.
+        let info = check(|_, i| {
+            Expr::if_else(Expr::at(i).gt(Expr::c(0.0)), Expr::at(i), Expr::null())
+        })
+        .unwrap();
+        assert_eq!(info.object_type(TObjId(1)), Some(&DataType::Float));
+    }
+
+    #[test]
+    fn bool_arith_rejected() {
+        let err = check(|_, i| Expr::at(i).gt(Expr::c(0.0)).add(Expr::c(1i64))).unwrap_err();
+        assert!(matches!(err, CompileError::Type(_)));
+    }
+
+    #[test]
+    fn if_condition_must_be_bool() {
+        let err = check(|_, i| Expr::if_else(Expr::at(i), Expr::c(1i64), Expr::c(2i64))).unwrap_err();
+        assert!(matches!(err, CompileError::Type(_)));
+    }
+
+    #[test]
+    fn let_scoping_restores_shadowed() {
+        let info = check(|b, i| {
+            let v = b.var();
+            // let v = in + 1 in v * v
+            Expr::Let {
+                var: v,
+                value: Box::new(Expr::at(i).add(Expr::c(1.0))),
+                body: Box::new(Expr::Var(v).mul(Expr::Var(v))),
+            }
+        })
+        .unwrap();
+        assert_eq!(info.object_type(TObjId(1)), Some(&DataType::Float));
+    }
+
+    #[test]
+    fn unbound_var_caught() {
+        let err = check(|_, _| Expr::Var(VarId(42))).unwrap_err();
+        assert!(matches!(err, CompileError::UnboundVar(_)));
+    }
+
+    #[test]
+    fn tuple_projection() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Tuple(vec![DataType::Int, DataType::Float]));
+        let out = b.temporal("out", TDom::every_tick(), Expr::at(input).get(1).add(Expr::c(1.0)));
+        let q = b.finish(out).unwrap();
+        let info = typecheck(&q).unwrap();
+        assert_eq!(info.object_type(out), Some(&DataType::Float));
+    }
+
+    #[test]
+    fn empty_reduce_window_rejected() {
+        let err = check(|_, i| Expr::reduce(ReduceOp::Sum, i, 0, 0)).unwrap_err();
+        assert!(matches!(err, CompileError::Invalid(_)));
+    }
+
+    #[test]
+    fn mapped_window_types_element() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let v = b.var();
+        let body = Expr::Reduce {
+            op: ReduceOp::Sum,
+            window: crate::ir::expr::WindowRef {
+                obj: input,
+                lo: -10,
+                hi: 0,
+                map: Some((v, Box::new(Expr::Var(v).mul(Expr::Var(v))))),
+            },
+        };
+        let out = b.temporal("out", TDom::every_tick(), body);
+        let q = b.finish(out).unwrap();
+        let info = typecheck(&q).unwrap();
+        assert_eq!(info.object_type(out), Some(&DataType::Float));
+    }
+}

@@ -1,0 +1,137 @@
+//! Data types of the TiLT IR's scalar expression language.
+
+use std::fmt;
+
+use tilt_data::Value;
+
+/// The type of a scalar expression or temporal-object payload.
+///
+/// φ inhabits every type (it is the "no value" of temporal objects), so
+/// there is no dedicated null type; an expression that always evaluates to φ
+/// has the polymorphic [`DataType::Unknown`] type, which unifies with
+/// anything.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DataType {
+    /// Type not yet determined (e.g. a bare φ literal); unifies with any.
+    Unknown,
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Interned strings.
+    Str,
+    /// Positional structs.
+    Tuple(Vec<DataType>),
+}
+
+impl DataType {
+    /// Whether this type is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Unknown)
+    }
+
+    /// The type of the given runtime value.
+    pub fn of_value(v: &Value) -> DataType {
+        match v {
+            Value::Null => DataType::Unknown,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Tuple(fields) => {
+                DataType::Tuple(fields.iter().map(DataType::of_value).collect())
+            }
+        }
+    }
+
+    /// Unifies two types, treating [`DataType::Unknown`] as a wildcard.
+    /// Returns `None` when the types conflict.
+    pub fn unify(&self, other: &DataType) -> Option<DataType> {
+        match (self, other) {
+            (DataType::Unknown, t) | (t, DataType::Unknown) => Some(t.clone()),
+            (DataType::Tuple(a), DataType::Tuple(b)) => {
+                if a.len() != b.len() {
+                    return None;
+                }
+                let fields: Option<Vec<DataType>> =
+                    a.iter().zip(b.iter()).map(|(x, y)| x.unify(y)).collect();
+                Some(DataType::Tuple(fields?))
+            }
+            (a, b) if a == b => Some(a.clone()),
+            _ => None,
+        }
+    }
+
+    /// Numeric promotion: `Int ⊔ Float = Float`; `None` for non-numerics.
+    pub fn promote(&self, other: &DataType) -> Option<DataType> {
+        match (self, other) {
+            (DataType::Unknown, t) | (t, DataType::Unknown) if t.is_numeric() => Some(t.clone()),
+            (DataType::Int, DataType::Int) => Some(DataType::Int),
+            (DataType::Float, DataType::Float)
+            | (DataType::Int, DataType::Float)
+            | (DataType::Float, DataType::Int) => Some(DataType::Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Unknown => write!(f, "?"),
+            DataType::Bool => write!(f, "bool"),
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::Str => write!(f, "str"),
+            DataType::Tuple(fields) => {
+                write!(f, "{{")?;
+                for (i, t) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_wildcards_and_tuples() {
+        assert_eq!(DataType::Unknown.unify(&DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Int.unify(&DataType::Int), Some(DataType::Int));
+        assert_eq!(DataType::Int.unify(&DataType::Float), None);
+        let a = DataType::Tuple(vec![DataType::Unknown, DataType::Int]);
+        let b = DataType::Tuple(vec![DataType::Float, DataType::Unknown]);
+        assert_eq!(a.unify(&b), Some(DataType::Tuple(vec![DataType::Float, DataType::Int])));
+    }
+
+    #[test]
+    fn promotion() {
+        assert_eq!(DataType::Int.promote(&DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Int.promote(&DataType::Int), Some(DataType::Int));
+        assert_eq!(DataType::Bool.promote(&DataType::Int), None);
+    }
+
+    #[test]
+    fn of_value() {
+        assert_eq!(DataType::of_value(&Value::Float(1.0)), DataType::Float);
+        assert_eq!(DataType::of_value(&Value::Null), DataType::Unknown);
+        assert_eq!(
+            DataType::of_value(&Value::tuple([Value::Int(1), Value::Bool(true)])),
+            DataType::Tuple(vec![DataType::Int, DataType::Bool])
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::Tuple(vec![DataType::Int, DataType::Str]).to_string(), "{int, str}");
+    }
+}

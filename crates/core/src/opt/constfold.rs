@@ -1,0 +1,116 @@
+//! Constant folding over TiLT IR expressions.
+//!
+//! Because the scalar language's runtime semantics (including φ propagation)
+//! live on `tilt_data::Value`, folding is a direct partial evaluation: any
+//! operator whose operands are literals is applied at compile time.
+
+use tilt_data::Value;
+
+use crate::ir::{BinOp, Expr, Query, TempExpr};
+
+/// Folds constants in every temporal expression of the query.
+pub fn fold_query(query: &Query) -> Query {
+    let exprs: Vec<TempExpr> = query
+        .exprs()
+        .iter()
+        .map(|te| TempExpr { body: fold_expr(te.body.clone()), ..te.clone() })
+        .collect();
+    query.with_exprs(exprs).expect("constant folding preserves query structure")
+}
+
+/// Folds constants in one expression.
+pub fn fold_expr(e: Expr) -> Expr {
+    e.rewrite(&mut |node| match node {
+        Expr::Unary(op, a) => match &*a {
+            Expr::Const(v) => Expr::Const(op.apply(v)),
+            _ => Expr::Unary(op, a),
+        },
+        Expr::Binary(op, a, b) => match (&*a, &*b) {
+            (Expr::Const(x), Expr::Const(y)) => Expr::Const(op.apply(x, y)),
+            // Kleene short circuits are sound with a single constant operand.
+            (Expr::Const(Value::Bool(false)), _) | (_, Expr::Const(Value::Bool(false)))
+                if op == BinOp::And =>
+            {
+                Expr::Const(Value::Bool(false))
+            }
+            (Expr::Const(Value::Bool(true)), _) | (_, Expr::Const(Value::Bool(true)))
+                if op == BinOp::Or =>
+            {
+                Expr::Const(Value::Bool(true))
+            }
+            (Expr::Const(Value::Bool(true)), _) if op == BinOp::And => *b,
+            (_, Expr::Const(Value::Bool(true))) if op == BinOp::And => *a,
+            (Expr::Const(Value::Bool(false)), _) if op == BinOp::Or => *b,
+            (_, Expr::Const(Value::Bool(false))) if op == BinOp::Or => *a,
+            _ => Expr::Binary(op, a, b),
+        },
+        Expr::If(c, t, e2) => match &*c {
+            Expr::Const(Value::Bool(true)) => *t,
+            Expr::Const(Value::Bool(false)) => *e2,
+            Expr::Const(Value::Null) => Expr::Const(Value::Null),
+            _ => Expr::If(c, t, e2),
+        },
+        // Substituting a constant can create new foldable nodes in the body,
+        // so fold the result again.
+        Expr::Let { var, value, body } => match &*value {
+            Expr::Const(_) | Expr::Var(_) => fold_expr(body.subst_var(var, &value)),
+            _ => Expr::Let { var, value, body },
+        },
+        Expr::Field(a, i) => match &*a {
+            Expr::Tuple(items) => items[i].clone(),
+            Expr::Const(v) => Expr::Const(v.field(i)),
+            _ => Expr::Field(a, i),
+        },
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::VarId;
+
+    #[test]
+    fn folds_arithmetic() {
+        let e = Expr::c(2i64).add(Expr::c(3i64)).mul(Expr::c(4i64));
+        assert_eq!(fold_expr(e), Expr::c(20i64));
+    }
+
+    #[test]
+    fn folds_conditionals() {
+        let e = Expr::if_else(Expr::c(1i64).lt(Expr::c(2i64)), Expr::c(10i64), Expr::c(20i64));
+        assert_eq!(fold_expr(e), Expr::c(10i64));
+        let nulled = Expr::if_else(Expr::null(), Expr::c(10i64), Expr::c(20i64));
+        assert_eq!(fold_expr(nulled), Expr::null());
+    }
+
+    #[test]
+    fn kleene_short_circuit_preserves_phi_semantics() {
+        let x = Expr::at(crate::ir::TObjId(0)).is_null();
+        let e = Expr::c(false).and(x.clone());
+        assert_eq!(fold_expr(e), Expr::c(false));
+        let e2 = Expr::c(true).or(x.clone());
+        assert_eq!(fold_expr(e2), Expr::c(true));
+        let e3 = Expr::c(true).and(x.clone());
+        assert_eq!(fold_expr(e3), x);
+    }
+
+    #[test]
+    fn propagates_lets_and_fields() {
+        let v = VarId(0);
+        let e = Expr::Let {
+            var: v,
+            value: Box::new(Expr::c(5i64)),
+            body: Box::new(Expr::Var(v).add(Expr::Var(v))),
+        };
+        assert_eq!(fold_expr(e), Expr::c(10i64));
+        let f = Expr::Tuple(vec![Expr::c(1i64), Expr::c(2i64)]).get(1);
+        assert_eq!(fold_expr(f), Expr::c(2i64));
+    }
+
+    #[test]
+    fn null_arithmetic_folds_to_null() {
+        let e = Expr::null().add(Expr::c(3i64));
+        assert_eq!(fold_expr(e), Expr::null());
+    }
+}

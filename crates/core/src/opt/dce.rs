@@ -1,0 +1,60 @@
+//! Dead temporal-expression elimination.
+
+use std::collections::HashSet;
+
+use crate::ir::{Query, TObjId};
+
+/// Removes temporal expressions not reachable from the query output.
+pub fn eliminate_dead(query: &Query) -> Query {
+    let mut live: HashSet<TObjId> = HashSet::new();
+    let mut stack = vec![query.output()];
+    while let Some(obj) = stack.pop() {
+        if !live.insert(obj) {
+            continue;
+        }
+        if let Some(def) = query.definition(obj) {
+            stack.extend(def.dependencies());
+        }
+    }
+    let exprs = query
+        .exprs()
+        .iter()
+        .filter(|te| live.contains(&te.output))
+        .cloned()
+        .collect();
+    query.with_exprs(exprs).expect("removing dead expressions preserves query structure")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Expr, ReduceOp, TDom};
+
+    #[test]
+    fn drops_unreachable_expressions() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let _dead = b.temporal(
+            "dead",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, input, 100),
+        );
+        let live = b.temporal("live", TDom::every_tick(), Expr::at(input).add(Expr::c(1.0)));
+        let q = b.finish(live).unwrap();
+        assert_eq!(q.exprs().len(), 2);
+        let pruned = eliminate_dead(&q);
+        assert_eq!(pruned.exprs().len(), 1);
+        assert_eq!(pruned.exprs()[0].output, live);
+    }
+
+    #[test]
+    fn keeps_transitive_dependencies() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let mid = b.temporal("mid", TDom::every_tick(), Expr::at(input).mul(Expr::c(2.0)));
+        let out = b.temporal("out", TDom::every_tick(), Expr::at(mid).add(Expr::c(1.0)));
+        let q = b.finish(out).unwrap();
+        let pruned = eliminate_dead(&q);
+        assert_eq!(pruned.exprs().len(), 2);
+    }
+}

@@ -1,0 +1,408 @@
+//! Operator fusion across pipeline breakers (paper §5.2).
+//!
+//! In TiLT, fusing two operators is a *textual* IR transformation: every
+//! access `~producer[t+d]` in a consumer is replaced by the producer's
+//! defining expression with its time axis shifted by `d`. Because window
+//! reductions are ordinary sub-expressions, the transformation applies
+//! equally to soft pipeline breakers (window aggregations, temporal joins) —
+//! the cases where event-centric optimizers give up.
+//!
+//! Two rewrite rules are applied to a fixpoint:
+//!
+//! * **point inlining** — `~c[t] = F(~p[t+d])` with `~p[t] = B(t)` becomes
+//!   `~c[t] = let v = B(t+d) in F(v)`, sharing multiple accesses at the same
+//!   offset through the let binding (this is exactly the fused form shown in
+//!   §5.2 of the paper);
+//! * **window-map fusion** — `⊕(op, ~p[t+lo : t+hi])` where `~p` is a
+//!   pointwise transform of a single source `~s` becomes
+//!   `⊕(op, ~s[t+lo+d : t+hi+d], elem ⇒ B[~s[t+d] := elem])`, pushing maps
+//!   (Select/Where-style stages) inside the reduction.
+//!
+//! Inlining is unconditional for single-consumer producers and limited by a
+//! size heuristic otherwise; sampled (Chop) producers and incompatible time
+//! domains are never fused.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::ir::{Expr, Query, TDom, TempExpr, TObjId, VarId, WindowRef};
+use crate::opt::dce::eliminate_dead;
+
+/// Maximum body size (in nodes) for inlining a producer that has multiple
+/// consumers or would be duplicated.
+const INLINE_SIZE_LIMIT: usize = 24;
+
+/// Maximum fuse/DCE rounds before declaring fixpoint.
+const MAX_ROUNDS: usize = 8;
+
+/// Runs fusion to a fixpoint, interleaved with dead-expression elimination.
+pub fn fuse(query: &Query) -> Result<Query> {
+    let mut q = query.clone();
+    for _ in 0..MAX_ROUNDS {
+        let (next, changed) = fuse_once(&q)?;
+        q = eliminate_dead(&next);
+        if !changed {
+            break;
+        }
+    }
+    Ok(q)
+}
+
+/// One fusion sweep over all temporal expressions (in topological order, so
+/// producers are already in fused form when consumers inline them).
+fn fuse_once(query: &Query) -> Result<(Query, bool)> {
+    let mut q = query.clone();
+    let uses = q.use_counts();
+    let mut exprs: Vec<TempExpr> = q.exprs().to_vec();
+    let defs: HashMap<TObjId, usize> =
+        exprs.iter().enumerate().map(|(i, te)| (te.output, i)).collect();
+    let var_counter = Cell::new(q.var_counter());
+    let fresh = || {
+        let v = VarId(var_counter.get());
+        var_counter.set(var_counter.get() + 1);
+        v
+    };
+    let mut changed = false;
+
+    for i in 0..exprs.len() {
+        let te = exprs[i].clone();
+        let mut body = te.body.clone();
+
+        // Rule 2: push pointwise producers inside window reductions.
+        body = body.rewrite(&mut |node| {
+            let Expr::Reduce { op, window } = node else { return node };
+            let Some(&pi) = defs.get(&window.obj) else {
+                return Expr::Reduce { op, window };
+            };
+            let producer = &exprs[pi];
+            if !window_fusible(producer, &te, &uses) {
+                return Expr::Reduce { op, window };
+            }
+            let Some((src, d)) = pointwise_source(&producer.body) else {
+                return Expr::Reduce { op, window };
+            };
+            let elem = fresh();
+            let elem_body = producer.body.clone().rewrite(&mut |n| match n {
+                Expr::At { obj, offset } if obj == src && offset == d => Expr::Var(elem),
+                other => other,
+            });
+            let map = match window.map {
+                None => (elem, Box::new(elem_body)),
+                // The existing map transformed *producer* elements; compose.
+                Some((old_var, m)) => (elem, Box::new(m.subst_var(old_var, &elem_body))),
+            };
+            Expr::Reduce {
+                op,
+                window: WindowRef {
+                    obj: src,
+                    lo: window.lo + d,
+                    hi: window.hi + d,
+                    map: Some(map),
+                },
+            }
+        });
+
+        // Rule 1: inline point accesses to fusible producers via lets.
+        let mut sites: Vec<(TObjId, i64)> = Vec::new();
+        body.walk(&mut |n| {
+            if let Expr::At { obj, offset } = n {
+                if let Some(&pi) = defs.get(obj) {
+                    if point_fusible(&exprs[pi], *offset, &te, &uses)
+                        && !sites.contains(&(*obj, *offset))
+                    {
+                        sites.push((*obj, *offset));
+                    }
+                }
+            }
+        });
+        let mut lets: Vec<(VarId, Expr)> = Vec::new();
+        for (obj, offset) in sites {
+            let producer_body = exprs[defs[&obj]].body.clone();
+            let v = fresh();
+            body = body.rewrite(&mut |n| match n {
+                Expr::At { obj: o, offset: d } if o == obj && d == offset => Expr::Var(v),
+                other => other,
+            });
+            lets.push((v, producer_body.shift_time(offset)));
+        }
+        for (v, value) in lets.into_iter().rev() {
+            body = Expr::Let { var: v, value: Box::new(value), body: Box::new(body) };
+        }
+
+        if body != te.body {
+            changed = true;
+            exprs[i].body = body;
+        }
+    }
+
+    q.reserve_vars(var_counter.get());
+    let q = q.with_exprs(exprs)?;
+    Ok((q, changed))
+}
+
+/// Whether the time domains allow `producer` values read at consumer grid
+/// ticks (+`offset`) to be recomputed in place of being looked up.
+fn domains_compatible(producer: &TempExpr, consumer: &TempExpr, offset: i64) -> bool {
+    let p = producer.dom.precision;
+    domain_covers(&producer.dom, &consumer.dom)
+        && consumer.dom.precision % p == 0
+        && offset % p == 0
+}
+
+fn domain_covers(producer: &TDom, consumer: &TDom) -> bool {
+    producer.start <= consumer.start && producer.end >= consumer.end
+}
+
+fn inline_profitable(producer: &TempExpr, uses: &HashMap<TObjId, usize>) -> bool {
+    let n = uses.get(&producer.output).copied().unwrap_or(0);
+    n <= 1 || (!producer.body.has_reduce() && producer.body.size() <= INLINE_SIZE_LIMIT)
+}
+
+fn point_fusible(
+    producer: &TempExpr,
+    offset: i64,
+    consumer: &TempExpr,
+    uses: &HashMap<TObjId, usize>,
+) -> bool {
+    !producer.sample
+        && domains_compatible(producer, consumer, offset)
+        && inline_profitable(producer, uses)
+}
+
+fn window_fusible(
+    producer: &TempExpr,
+    consumer: &TempExpr,
+    uses: &HashMap<TObjId, usize>,
+) -> bool {
+    // Window elements are read at every tick, so the producer must be
+    // defined at every tick (precision 1) and event-driven.
+    !producer.sample
+        && producer.dom.precision == 1
+        && domain_covers(&producer.dom, &consumer.dom)
+        && inline_profitable(producer, uses)
+}
+
+/// If `body` is a pointwise transform of a single source — every temporal
+/// access is `~src[t+d]` for one fixed `(src, d)` and there is no nested
+/// reduction — returns `(src, d)`.
+fn pointwise_source(body: &Expr) -> Option<(TObjId, i64)> {
+    let mut src: Option<(TObjId, i64)> = None;
+    let mut ok = true;
+    body.walk(&mut |e| match e {
+        Expr::At { obj, offset } => match src {
+            None => src = Some((*obj, *offset)),
+            Some(s) if s == (*obj, *offset) => {}
+            _ => ok = false,
+        },
+        Expr::Reduce { .. } => ok = false,
+        // A map is evaluated at the consumer's clock, but each window
+        // element was produced at its own time — fusing `t` would be wrong.
+        Expr::Time => ok = false,
+        _ => {}
+    });
+    if ok {
+        src
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{print_query, DataType, ReduceOp};
+
+    /// The running example of the paper: after fusion the trend query is a
+    /// single temporal expression reading only `~stock`.
+    #[test]
+    fn trend_query_fuses_to_single_expression() {
+        let mut b = Query::builder();
+        let stock = b.input("stock", DataType::Float);
+        let sum10 = b.temporal(
+            "sum10",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, stock, 10),
+        );
+        let sum20 = b.temporal(
+            "sum20",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, stock, 20),
+        );
+        let avg10 = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
+        let avg20 = b.temporal("avg20", TDom::every_tick(), Expr::at(sum20).div(Expr::c(20.0)));
+        let join = b.temporal(
+            "join",
+            TDom::every_tick(),
+            Expr::if_else(
+                Expr::at(avg10).is_present().and(Expr::at(avg20).is_present()),
+                Expr::at(avg10).sub(Expr::at(avg20)),
+                Expr::null(),
+            ),
+        );
+        let filter = b.temporal(
+            "filter",
+            TDom::every_tick(),
+            Expr::if_else(Expr::at(join).gt(Expr::c(0.0)), Expr::at(join), Expr::null()),
+        );
+        let q = b.finish(filter).unwrap();
+        assert_eq!(q.exprs().len(), 6);
+
+        let fused = fuse(&q).unwrap();
+        assert_eq!(fused.exprs().len(), 1, "query:\n{}", print_query(&fused));
+        let only = &fused.exprs()[0];
+        assert_eq!(only.output, filter);
+        // The fused body reads only the input stream.
+        assert_eq!(only.body.referenced_objects(), vec![stock]);
+        // Reductions survived inside the fused expression.
+        assert!(only.body.has_reduce());
+    }
+
+    #[test]
+    fn select_fuses_into_window_sum_as_map() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let doubled =
+            b.temporal("sel", TDom::every_tick(), Expr::at(input).mul(Expr::c(2.0)));
+        let wsum = b.temporal(
+            "wsum",
+            TDom::unbounded(5),
+            Expr::reduce_window(ReduceOp::Sum, doubled, 10),
+        );
+        let q = b.finish(wsum).unwrap();
+        let fused = fuse(&q).unwrap();
+        assert_eq!(fused.exprs().len(), 1);
+        let Expr::Reduce { window, .. } = &fused.exprs()[0].body else {
+            panic!("expected a reduce at the top: {}", print_query(&fused));
+        };
+        assert_eq!(window.obj, input);
+        assert!(window.map.is_some(), "map-fused select expected");
+        assert_eq!((window.lo, window.hi), (-10, 0));
+    }
+
+    #[test]
+    fn shifted_producer_inlines_with_shifted_windows() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let avg = b.temporal(
+            "avg",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Mean, input, 10),
+        );
+        // out[t] = avg[t-5] - avg[t]
+        let out = b.temporal(
+            "out",
+            TDom::every_tick(),
+            Expr::at_off(avg, -5).sub(Expr::at(avg)),
+        );
+        let q = b.finish(out).unwrap();
+        let fused = fuse(&q).unwrap();
+        assert_eq!(fused.exprs().len(), 1);
+        // Both accesses inline; the shifted one gets a shifted window.
+        let mut windows = Vec::new();
+        fused.exprs()[0].body.walk(&mut |e| {
+            if let Expr::Reduce { window, .. } = e {
+                windows.push((window.lo, window.hi));
+            }
+        });
+        windows.sort();
+        assert_eq!(windows, vec![(-15, -5), (-10, 0)]);
+    }
+
+    #[test]
+    fn sampled_producers_are_not_fused() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let chopped = b.temporal_sampled("chop", TDom::unbounded(2), Expr::at(input));
+        let out = b.temporal("out", TDom::unbounded(2), Expr::at(chopped).add(Expr::c(1.0)));
+        let q = b.finish(out).unwrap();
+        let fused = fuse(&q).unwrap();
+        assert_eq!(fused.exprs().len(), 2, "sampled producer must stay materialized");
+    }
+
+    #[test]
+    fn incompatible_precisions_are_not_fused() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        // Producer changes every 5 ticks; consumer wants values every 3.
+        let win = b.temporal(
+            "win",
+            TDom::unbounded(5),
+            Expr::reduce_window(ReduceOp::Sum, input, 5),
+        );
+        let out = b.temporal("out", TDom::unbounded(3), Expr::at(win).add(Expr::c(1.0)));
+        let q = b.finish(out).unwrap();
+        let fused = fuse(&q).unwrap();
+        assert_eq!(fused.exprs().len(), 2);
+    }
+
+    #[test]
+    fn compatible_precision_multiple_fuses() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let win = b.temporal(
+            "win",
+            TDom::unbounded(5),
+            Expr::reduce_window(ReduceOp::Sum, input, 5),
+        );
+        let out = b.temporal("out", TDom::unbounded(10), Expr::at(win).add(Expr::c(1.0)));
+        let q = b.finish(out).unwrap();
+        let fused = fuse(&q).unwrap();
+        assert_eq!(fused.exprs().len(), 1);
+    }
+
+    #[test]
+    fn multi_use_reduce_producer_duplicates_only_when_cheap() {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let avg = b.temporal(
+            "avg",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Mean, input, 10),
+        );
+        let c1 = b.temporal("c1", TDom::every_tick(), Expr::at(avg).add(Expr::c(1.0)));
+        let c2 = b.temporal("c2", TDom::every_tick(), Expr::at(avg).sub(Expr::c(1.0)));
+        let out = b.temporal("out", TDom::every_tick(), Expr::at(c1).add(Expr::at(c2)));
+        let q = b.finish(out).unwrap();
+        let fused = fuse(&q).unwrap();
+        // Round 1: c1/c2 (single-use) inline into out, leaving avg with one
+        // consumer. Round 2: avg inlines with a *shared* let binding — the
+        // expensive reduce appears exactly once in the fused body.
+        assert_eq!(fused.exprs().len(), 1, "{}", print_query(&fused));
+        assert_eq!(fused.exprs()[0].output, out);
+        let _ = avg;
+        let mut reduce_count = 0;
+        fused.exprs()[0].body.walk(&mut |e| {
+            if matches!(e, Expr::Reduce { .. }) {
+                reduce_count += 1;
+            }
+        });
+        assert_eq!(reduce_count, 1, "reduce must be shared via a let binding");
+    }
+
+    #[test]
+    fn where_fuses_into_count_window() {
+        // The YSB shape: filter → tumbling count. The filter becomes a map
+        // producing φ for non-matching elements, which Count then skips.
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let filtered = b.temporal(
+            "where",
+            TDom::every_tick(),
+            Expr::if_else(Expr::at(input).gt(Expr::c(0.5)), Expr::at(input), Expr::null()),
+        );
+        let count = b.temporal(
+            "count",
+            TDom::unbounded(10),
+            Expr::reduce_window(ReduceOp::Count, filtered, 10),
+        );
+        let q = b.finish(count).unwrap();
+        let fused = fuse(&q).unwrap();
+        assert_eq!(fused.exprs().len(), 1);
+        let Expr::Reduce { window, .. } = &fused.exprs()[0].body else {
+            panic!("expected top-level reduce");
+        };
+        assert_eq!(window.obj, input);
+        assert!(window.map.is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! IR-to-IR optimization passes (paper §5.2).
+//!
+//! The pass pipeline is deliberately small — the paper focuses on the
+//! "most bang-for-the-buck" optimization, operator fusion — but each pass is
+//! independently togglable so the Fig. 10 ablation can run the compiler with
+//! fusion disabled.
+
+mod constfold;
+mod dce;
+mod fusion;
+
+pub use constfold::{fold_expr, fold_query};
+pub use dce::eliminate_dead;
+pub use fusion::fuse;
+
+use crate::error::Result;
+use crate::ir::Query;
+
+/// Configuration of the optimization pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct Optimizer {
+    /// Operator fusion across pipeline breakers (§5.2).
+    pub fusion: bool,
+    /// Constant folding / partial evaluation.
+    pub constfold: bool,
+    /// Dead temporal-expression elimination.
+    pub dce: bool,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer { fusion: true, constfold: true, dce: true }
+    }
+}
+
+impl Optimizer {
+    /// All passes enabled (the default).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// No optimization at all — every temporal expression becomes its own
+    /// kernel, mimicking the per-operator execution of an interpreted SPE
+    /// (the "TiLT UnOpt" configuration of Fig. 10).
+    pub fn none() -> Self {
+        Optimizer { fusion: false, constfold: false, dce: false }
+    }
+
+    /// Runs the enabled passes over `query`.
+    pub fn optimize(&self, query: &Query) -> Result<Query> {
+        let mut q = query.clone();
+        if self.constfold {
+            q = fold_query(&q);
+        }
+        if self.fusion {
+            q = fuse(&q)?;
+        }
+        if self.dce {
+            q = eliminate_dead(&q);
+        }
+        if self.constfold {
+            q = fold_query(&q);
+        }
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Expr, ReduceOp, TDom};
+
+    fn sample_query() -> Query {
+        let mut b = Query::builder();
+        let input = b.input("in", DataType::Float);
+        let sum = b.temporal(
+            "sum",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, input, 10),
+        );
+        let avg = b.temporal(
+            "avg",
+            TDom::every_tick(),
+            Expr::at(sum).div(Expr::c(2.0).mul(Expr::c(5.0))),
+        );
+        b.finish(avg).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_fuses_and_folds() {
+        let q = sample_query();
+        let opt = Optimizer::full().optimize(&q).unwrap();
+        assert_eq!(opt.exprs().len(), 1);
+        // 2.0 * 5.0 folded to 10.0
+        let mut found_ten = false;
+        opt.exprs()[0].body.walk(&mut |e| {
+            if let Expr::Const(v) = e {
+                if v.as_f64() == Some(10.0) {
+                    found_ten = true;
+                }
+            }
+        });
+        assert!(found_ten);
+    }
+
+    #[test]
+    fn none_pipeline_is_identity_on_structure() {
+        let q = sample_query();
+        let opt = Optimizer::none().optimize(&q).unwrap();
+        assert_eq!(opt.exprs().len(), q.exprs().len());
+    }
+}

@@ -1,0 +1,503 @@
+//! Snapshot buffers: the physical encoding of temporal objects (paper §6.1.1).
+//!
+//! A temporal object is a piecewise-constant function of time. A
+//! [`SnapshotBuf`] stores only the *changes* of that function: an ordered
+//! sequence of spans `(t_end, value)` where span *i* carries `value` over
+//! `(t_end[i-1], t_end[i]]` (the first span starts at the buffer's start
+//! time). Gaps — times with no active event — are explicit φ spans, exactly
+//! as in Fig. 5 of the paper.
+
+use std::fmt;
+
+use crate::{coalesce, Event, Payload, Time, TimeRange};
+
+/// One entry of a snapshot buffer: `value` holds until `t_end` (inclusive).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span<P> {
+    /// Inclusive end of the span.
+    pub t_end: Time,
+    /// The value over the span.
+    pub value: P,
+}
+
+/// A snapshot buffer: the change-point encoding of a temporal object.
+///
+/// Invariants (checked in debug builds, preserved by all constructors):
+///
+/// * span end times are strictly increasing and all greater than `start`;
+/// * outside `(start, end]` the object is φ.
+///
+/// Adjacent spans *may* carry equal values: the paper's reduction functions
+/// fold each snapshot once (eq. 3 folds the *values* the object assumes, one
+/// per snapshot), so span boundaries carry event identity — two back-to-back
+/// events with the same price are two snapshots, not one. Use
+/// [`SnapshotBuf::push`] for coalescing writes (derived piecewise-constant
+/// results) and [`SnapshotBuf::push_raw`] to preserve boundaries (event
+/// ingestion and kernel outputs).
+///
+/// # Examples
+///
+/// ```
+/// use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+/// let events = vec![Event::new(Time::new(5), Time::new(10), Value::Float(1.0))];
+/// let buf = SnapshotBuf::from_events(&events, TimeRange::new(Time::new(0), Time::new(12)));
+/// assert_eq!(buf.value_at(Time::new(7)), Value::Float(1.0));
+/// assert_eq!(buf.value_at(Time::new(11)), Value::Null);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct SnapshotBuf<P> {
+    start: Time,
+    spans: Vec<Span<P>>,
+}
+
+impl<P: Payload> SnapshotBuf<P> {
+    /// Creates an empty buffer whose first span will begin at `start`.
+    pub fn new(start: Time) -> Self {
+        SnapshotBuf { start, spans: Vec::new() }
+    }
+
+    /// Creates an empty buffer with span capacity pre-allocated.
+    pub fn with_capacity(start: Time, capacity: usize) -> Self {
+        SnapshotBuf { start, spans: Vec::with_capacity(capacity) }
+    }
+
+    /// Builds a buffer covering `range` from a sorted, non-overlapping event
+    /// stream, clipping events to `range` and inserting φ spans for gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if events are unsorted or overlapping.
+    pub fn from_events(events: &[Event<P>], range: TimeRange) -> Self {
+        debug_assert!(crate::validate_stream(events).is_ok(), "events must be sorted and disjoint");
+        let mut buf = SnapshotBuf::with_capacity(range.start, events.len() * 2 + 1);
+        for e in events {
+            let iv = e.interval().intersect(&range);
+            if iv.is_empty() {
+                continue;
+            }
+            if iv.start > buf.end() {
+                buf.push_raw(iv.start, P::null());
+            }
+            buf.push_raw(iv.end, e.payload.clone());
+        }
+        if buf.end() < range.end {
+            buf.push_raw(range.end, P::null());
+        }
+        buf
+    }
+
+    /// Extracts the non-φ spans as events (the inverse of
+    /// [`SnapshotBuf::from_events`] up to coalescing).
+    pub fn to_events(&self) -> Vec<Event<P>> {
+        let mut out = Vec::new();
+        let mut prev = self.start;
+        for s in &self.spans {
+            if !s.value.is_null() {
+                out.push(Event::new(prev, s.t_end, s.value.clone()));
+            }
+            prev = s.t_end;
+        }
+        coalesce(&out)
+    }
+
+    /// Appends a span ending at `t_end`, coalescing with the last span when
+    /// values are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end` does not advance past the current end.
+    pub fn push(&mut self, t_end: Time, value: P) {
+        assert!(t_end > self.end(), "span end {t_end:?} must advance past {:?}", self.end());
+        match self.spans.last_mut() {
+            Some(last) if last.value.same(&value) => last.t_end = t_end,
+            _ => self.spans.push(Span { t_end, value }),
+        }
+    }
+
+    /// Appends a span ending at `t_end` without coalescing, preserving the
+    /// boundary as a distinct snapshot (event identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end` does not advance past the current end.
+    pub fn push_raw(&mut self, t_end: Time, value: P) {
+        assert!(t_end > self.end(), "span end {t_end:?} must advance past {:?}", self.end());
+        self.spans.push(Span { t_end, value });
+    }
+
+    /// Exclusive start of the buffer's coverage.
+    #[inline]
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// Inclusive end of the buffer's coverage (equals `start` when empty).
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.spans.last().map_or(self.start, |s| s.t_end)
+    }
+
+    /// The covered range `(start, end]`.
+    #[inline]
+    pub fn range(&self) -> TimeRange {
+        TimeRange { start: self.start, end: self.end() }
+    }
+
+    /// Number of spans (change points).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the buffer covers no time at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The raw spans, ordered by end time.
+    #[inline]
+    pub fn spans(&self) -> &[Span<P>] {
+        &self.spans
+    }
+
+    /// Iterates `(interval, value)` pairs in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeRange, &P)> + '_ {
+        let mut prev = self.start;
+        self.spans.iter().map(move |s| {
+            let iv = TimeRange { start: prev, end: s.t_end };
+            prev = s.t_end;
+            (iv, &s.value)
+        })
+    }
+
+    /// The value of the temporal object at time `t` (φ outside coverage).
+    pub fn value_at(&self, t: Time) -> P {
+        if t <= self.start || t > self.end() {
+            return P::null();
+        }
+        let i = self.spans.partition_point(|s| s.t_end < t);
+        self.spans[i].value.clone()
+    }
+
+    /// Index of the span containing `t`, if within coverage.
+    #[inline]
+    pub fn span_index_at(&self, t: Time) -> Option<usize> {
+        if t <= self.start || t > self.end() {
+            return None;
+        }
+        Some(self.spans.partition_point(|s| s.t_end < t))
+    }
+
+    /// Exclusive start time of span `i`.
+    #[inline]
+    pub fn span_start(&self, i: usize) -> Time {
+        if i == 0 { self.start } else { self.spans[i - 1].t_end }
+    }
+
+    /// Copies the restriction of the object to `range` into a fresh buffer
+    /// (used by the batched/latency execution mode; the parallel executor
+    /// reads the shared buffer in place instead).
+    pub fn slice(&self, range: TimeRange) -> SnapshotBuf<P> {
+        let range = range.intersect(&self.range().intersect(&TimeRange::ALL));
+        let mut out = SnapshotBuf::new(range.start);
+        if range.is_empty() {
+            return out;
+        }
+        let first = self.spans.partition_point(|s| s.t_end <= range.start);
+        for s in &self.spans[first..] {
+            let end = s.t_end.min(range.end);
+            out.push_raw(end, s.value.clone());
+            if end == range.end {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The first time strictly after `t` at which the object value (or span
+    /// identity) changes: the buffer start if `t` precedes coverage, the end
+    /// of the span containing/following `t` otherwise; `None` past the end.
+    pub fn next_boundary_after(&self, t: Time) -> Option<Time> {
+        if self.spans.is_empty() || t >= self.end() {
+            return None;
+        }
+        if t < self.start {
+            return Some(self.start);
+        }
+        let i = self.spans.partition_point(|s| s.t_end <= t);
+        Some(self.spans[i].t_end)
+    }
+
+    /// Concatenates partition outputs that tile `(start, end]` back into one
+    /// canonical buffer, merging equal values across the seams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts do not tile contiguously.
+    pub fn concat(parts: Vec<SnapshotBuf<P>>) -> SnapshotBuf<P> {
+        let mut iter = parts.into_iter();
+        let mut out = match iter.next() {
+            Some(first) => first,
+            None => return SnapshotBuf::new(Time::ZERO),
+        };
+        for part in iter {
+            assert_eq!(part.start, out.end(), "partition outputs must tile contiguously");
+            for s in part.spans {
+                out.push(s.t_end, s.value);
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev = self.start;
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.t_end <= prev {
+                return Err(format!("span {i} end {:?} does not advance past {prev:?}", s.t_end));
+            }
+            prev = s.t_end;
+        }
+        Ok(())
+    }
+
+    /// Whether no two adjacent spans carry equal values (fully coalesced).
+    pub fn is_coalesced(&self) -> bool {
+        self.spans.windows(2).all(|w| !w[0].value.same(&w[1].value))
+    }
+}
+
+impl<P: Payload> fmt::Debug for SnapshotBuf<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SSBuf[{:?}", self.start)?;
+        for s in &self.spans {
+            write!(f, " ({:?},{:?})", s.t_end, s.value)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A monotonic read cursor over a snapshot buffer.
+///
+/// Kernels generated by the TiLT compiler advance time monotonically; the
+/// cursor remembers its last position so value lookups and next-change
+/// queries are amortized O(1) instead of a binary search per tick.
+#[derive(Clone, Debug)]
+pub struct SsCursor<'a, P: Payload> {
+    buf: &'a SnapshotBuf<P>,
+    idx: usize,
+}
+
+impl<'a, P: Payload> SsCursor<'a, P> {
+    /// Creates a cursor positioned at the beginning of `buf`.
+    pub fn new(buf: &'a SnapshotBuf<P>) -> Self {
+        SsCursor { buf, idx: 0 }
+    }
+
+    /// The underlying buffer.
+    #[inline]
+    pub fn buffer(&self) -> &'a SnapshotBuf<P> {
+        self.buf
+    }
+
+    /// Advances to the span containing `t` and returns the object value at
+    /// `t` (φ outside coverage). `t` must not decrease across calls for the
+    /// amortized O(1) bound, but correctness holds for any `t` at the cost of
+    /// a re-scan.
+    pub fn value_at(&mut self, t: Time) -> P {
+        if t <= self.buf.start || t > self.buf.end() {
+            return P::null();
+        }
+        self.seek(t);
+        self.buf.spans[self.idx].value.clone()
+    }
+
+    /// Returns the value at `t` together with the end of the span providing
+    /// it (`None` when the value is φ forever after): one seek answers both
+    /// "what is the value" and "when can it next change", which is what the
+    /// generated kernel loop asks every iteration.
+    pub fn value_and_boundary(&mut self, t: Time) -> (P, Option<Time>) {
+        if t <= self.buf.start {
+            let b = if self.buf.is_empty() { None } else { Some(self.buf.start) };
+            return (P::null(), b);
+        }
+        if t > self.buf.end() {
+            return (P::null(), None);
+        }
+        self.seek(t);
+        let span = &self.buf.spans[self.idx];
+        (span.value.clone(), Some(span.t_end))
+    }
+
+    /// Returns a reference to the value at `t`, or `None` when φ-outside.
+    pub fn value_ref_at(&mut self, t: Time) -> Option<&'a P> {
+        if t <= self.buf.start || t > self.buf.end() {
+            return None;
+        }
+        self.seek(t);
+        Some(&self.buf.spans[self.idx].value)
+    }
+
+    /// The next time strictly after `t` at which the object value changes,
+    /// or `None` when the value is constant ever after.
+    ///
+    /// Change points are the buffer start (φ → first span) and every span
+    /// end (value → next value, or → φ at the buffer end).
+    pub fn next_change_after(&mut self, t: Time) -> Option<Time> {
+        if t < self.buf.start {
+            return if self.buf.is_empty() { None } else { Some(self.buf.start) };
+        }
+        if t >= self.buf.end() {
+            return None;
+        }
+        self.seek_boundary(t);
+        Some(self.buf.spans[self.idx].t_end)
+    }
+
+    /// Positions `idx` at the span containing `t` (requires coverage).
+    #[inline]
+    fn seek(&mut self, t: Time) {
+        if self.idx >= self.buf.spans.len() || self.buf.span_start(self.idx) >= t {
+            self.idx = self.buf.spans.partition_point(|s| s.t_end < t);
+            return;
+        }
+        while self.buf.spans[self.idx].t_end < t {
+            self.idx += 1;
+        }
+    }
+
+    /// Positions `idx` at the first span with `t_end > t` (requires `t` in
+    /// `[start, end)`).
+    #[inline]
+    fn seek_boundary(&mut self, t: Time) {
+        if self.idx >= self.buf.spans.len() || self.buf.span_start(self.idx) > t {
+            self.idx = self.buf.spans.partition_point(|s| s.t_end <= t);
+            return;
+        }
+        while self.buf.spans[self.idx].t_end <= t {
+            self.idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn fbuf(events: &[(i64, i64, f64)], lo: i64, hi: i64) -> SnapshotBuf<Value> {
+        let evs: Vec<Event<Value>> = events
+            .iter()
+            .map(|&(s, e, v)| Event::new(Time::new(s), Time::new(e), Value::Float(v)))
+            .collect();
+        SnapshotBuf::from_events(&evs, TimeRange::new(Time::new(lo), Time::new(hi)))
+    }
+
+    #[test]
+    fn from_events_matches_figure_5() {
+        // Events a=(5,10], b=(16,23], c=(30,35] over (0, 40].
+        let buf = fbuf(&[(5, 10, 1.0), (16, 23, 2.0), (30, 35, 3.0)], 0, 40);
+        let ends: Vec<i64> = buf.spans().iter().map(|s| s.t_end.ticks()).collect();
+        assert_eq!(ends, vec![5, 10, 16, 23, 30, 35, 40]);
+        assert_eq!(buf.value_at(Time::new(5)), Value::Null);
+        assert_eq!(buf.value_at(Time::new(6)), Value::Float(1.0));
+        assert_eq!(buf.value_at(Time::new(10)), Value::Float(1.0));
+        assert_eq!(buf.value_at(Time::new(11)), Value::Null);
+        assert_eq!(buf.value_at(Time::new(23)), Value::Float(2.0));
+        assert_eq!(buf.value_at(Time::new(36)), Value::Null);
+        buf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn round_trip_to_events() {
+        let buf = fbuf(&[(5, 10, 1.0), (16, 23, 2.0)], 0, 30);
+        let evs = buf.to_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].interval(), TimeRange::new(Time::new(5), Time::new(10)));
+        assert_eq!(evs[1].payload, Value::Float(2.0));
+    }
+
+    #[test]
+    fn push_coalesces_equal_values() {
+        let mut buf: SnapshotBuf<Value> = SnapshotBuf::new(Time::new(0));
+        buf.push(Time::new(5), Value::Int(1));
+        buf.push(Time::new(9), Value::Int(1));
+        buf.push(Time::new(12), Value::Int(2));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.value_at(Time::new(8)), Value::Int(1));
+        buf.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must advance")]
+    fn push_rejects_non_advancing_end() {
+        let mut buf: SnapshotBuf<Value> = SnapshotBuf::new(Time::new(0));
+        buf.push(Time::new(5), Value::Int(1));
+        buf.push(Time::new(5), Value::Int(2));
+    }
+
+    #[test]
+    fn slice_restricts_and_renormalizes() {
+        let buf = fbuf(&[(5, 10, 1.0), (16, 23, 2.0)], 0, 30);
+        let s = buf.slice(TimeRange::new(Time::new(7), Time::new(20)));
+        assert_eq!(s.range(), TimeRange::new(Time::new(7), Time::new(20)));
+        assert_eq!(s.value_at(Time::new(8)), Value::Float(1.0));
+        assert_eq!(s.value_at(Time::new(12)), Value::Null);
+        assert_eq!(s.value_at(Time::new(18)), Value::Float(2.0));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concat_merges_seams() {
+        let buf = fbuf(&[(0, 20, 1.0)], 0, 20);
+        let a = buf.slice(TimeRange::new(Time::new(0), Time::new(10)));
+        let b = buf.slice(TimeRange::new(Time::new(10), Time::new(20)));
+        let joined = SnapshotBuf::concat(vec![a, b]);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined, buf);
+    }
+
+    #[test]
+    fn cursor_tracks_values_and_changes() {
+        let buf = fbuf(&[(5, 10, 1.0), (16, 23, 2.0)], 0, 30);
+        let mut cur = SsCursor::new(&buf);
+        assert_eq!(cur.value_at(Time::new(3)), Value::Null);
+        assert_eq!(cur.value_at(Time::new(6)), Value::Float(1.0));
+        assert_eq!(cur.value_at(Time::new(20)), Value::Float(2.0));
+        let mut cur2 = SsCursor::new(&buf);
+        assert_eq!(cur2.next_change_after(Time::new(0)), Some(Time::new(5)));
+        assert_eq!(cur2.next_change_after(Time::new(5)), Some(Time::new(10)));
+        assert_eq!(cur2.next_change_after(Time::new(24)), Some(Time::new(30)));
+        assert_eq!(cur2.next_change_after(Time::new(30)), None);
+        assert_eq!(cur2.next_change_after(Time::new(-5)), Some(Time::new(0)));
+    }
+
+    #[test]
+    fn cursor_handles_backward_seek() {
+        let buf = fbuf(&[(5, 10, 1.0), (16, 23, 2.0)], 0, 30);
+        let mut cur = SsCursor::new(&buf);
+        assert_eq!(cur.value_at(Time::new(20)), Value::Float(2.0));
+        assert_eq!(cur.value_at(Time::new(6)), Value::Float(1.0));
+    }
+
+    #[test]
+    fn empty_buffer_behaviour() {
+        let buf: SnapshotBuf<Value> = SnapshotBuf::new(Time::new(0));
+        assert!(buf.is_empty());
+        assert_eq!(buf.value_at(Time::new(1)), Value::Null);
+        assert_eq!(buf.end(), Time::new(0));
+        let mut cur = SsCursor::new(&buf);
+        assert_eq!(cur.next_change_after(Time::new(-2)), None);
+    }
+
+    #[test]
+    fn iter_yields_contiguous_intervals() {
+        let buf = fbuf(&[(5, 10, 1.0)], 0, 12);
+        let items: Vec<(TimeRange, Value)> = buf.iter().map(|(r, v)| (r, v.clone())).collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].0, TimeRange::new(Time::new(0), Time::new(5)));
+        assert_eq!(items[1].1, Value::Float(1.0));
+        assert_eq!(items[2].0, TimeRange::new(Time::new(10), Time::new(12)));
+    }
+}

@@ -1,0 +1,300 @@
+//! Logical time for temporal streams.
+//!
+//! TiLT is unit-agnostic: time is measured in integer *ticks* and every query
+//! decides what a tick means (the paper uses seconds for exposition). A
+//! [`Time`] is a point on the global timeline; a [`TimeRange`] is a half-open
+//! interval `(start, end]`, the interval convention used by the paper for
+//! event validity and window extents.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in logical time, measured in ticks.
+///
+/// `Time` is ordered and supports offset arithmetic with plain `i64` tick
+/// counts. The extreme values [`Time::MIN`] and [`Time::MAX`] stand in for
+/// `-∞` / `+∞` in unbounded time domains.
+///
+/// # Examples
+///
+/// ```
+/// use tilt_data::Time;
+/// let t = Time::new(10);
+/// assert_eq!(t + 5, Time::new(15));
+/// assert_eq!((t - Time::new(4)), 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// The origin of the timeline (tick 0).
+    pub const ZERO: Time = Time(0);
+    /// Stands in for `-∞` in unbounded time domains.
+    pub const MIN: Time = Time(i64::MIN / 4);
+    /// Stands in for `+∞` in unbounded time domains.
+    pub const MAX: Time = Time(i64::MAX / 4);
+
+    /// Creates a time at the given tick.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the tick count of this time point.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating offset: adding past [`Time::MAX`] / [`Time::MIN`] clamps.
+    #[inline]
+    pub fn saturating_add(self, off: i64) -> Self {
+        Time(self.0.saturating_add(off).clamp(Self::MIN.0, Self::MAX.0))
+    }
+
+    /// Rounds up to the next multiple of `precision` strictly greater than or
+    /// equal to `self`. `precision` must be positive.
+    ///
+    /// Grid points are anchored at tick 0, matching the paper's
+    /// `TDom(start, end, precision)` which lets values change only at
+    /// multiples of the precision.
+    #[inline]
+    pub fn align_up(self, precision: i64) -> Self {
+        debug_assert!(precision > 0);
+        Time(self.0.div_euclid(precision) * precision
+            + if self.0.rem_euclid(precision) == 0 { 0 } else { precision })
+    }
+
+    /// Rounds down to the greatest multiple of `precision` less than or equal
+    /// to `self`. `precision` must be positive.
+    #[inline]
+    pub fn align_down(self, precision: i64) -> Self {
+        debug_assert!(precision > 0);
+        Time(self.0.div_euclid(precision) * precision)
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other { self } else { other }
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other { self } else { other }
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Time::MIN {
+            write!(f, "-inf")
+        } else if *self == Time::MAX {
+            write!(f, "+inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Time {
+    fn from(t: i64) -> Self {
+        Time(t)
+    }
+}
+
+impl Add<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: i64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<i64> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: i64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: i64) -> Time {
+        Time(self.0 - rhs)
+    }
+}
+
+impl SubAssign<i64> for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: i64) {
+        self.0 -= rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = i64;
+    #[inline]
+    fn sub(self, rhs: Time) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A half-open interval of logical time, `(start, end]`.
+///
+/// This is the validity-interval convention of the paper: an event with
+/// interval `(s, e]` is *not* active at `s` and *is* active at `e`.
+///
+/// # Examples
+///
+/// ```
+/// use tilt_data::{Time, TimeRange};
+/// let r = TimeRange::new(Time::new(0), Time::new(10));
+/// assert!(!r.contains(Time::new(0)));
+/// assert!(r.contains(Time::new(10)));
+/// assert_eq!(r.len(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    /// Exclusive lower bound.
+    pub start: Time,
+    /// Inclusive upper bound.
+    pub end: Time,
+}
+
+impl TimeRange {
+    /// Creates the range `(start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(end >= start, "TimeRange end {end:?} < start {start:?}");
+        TimeRange { start, end }
+    }
+
+    /// The unbounded range `(-∞, +∞]`.
+    pub const ALL: TimeRange = TimeRange { start: Time::MIN, end: Time::MAX };
+
+    /// Length of the range in ticks.
+    #[inline]
+    pub fn len(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether the range contains no time points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Whether `t` lies within `(start, end]`.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        t > self.start && t <= self.end
+    }
+
+    /// Intersection of two ranges; empty ranges collapse to `(start, start]`.
+    #[inline]
+    pub fn intersect(&self, other: &TimeRange) -> TimeRange {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end).max(start);
+        TimeRange { start, end }
+    }
+
+    /// Whether the two ranges share any time point.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Debug for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?}]", self.start, self.end)
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::new(7);
+        assert_eq!(t + 3, Time::new(10));
+        assert_eq!(t - 3, Time::new(4));
+        assert_eq!(Time::new(10) - Time::new(4), 6);
+        let mut u = t;
+        u += 1;
+        u -= 2;
+        assert_eq!(u, Time::new(6));
+    }
+
+    #[test]
+    fn align_up_handles_negatives_and_grid_points() {
+        assert_eq!(Time::new(7).align_up(5), Time::new(10));
+        assert_eq!(Time::new(10).align_up(5), Time::new(10));
+        assert_eq!(Time::new(-7).align_up(5), Time::new(-5));
+        assert_eq!(Time::new(-10).align_up(5), Time::new(-10));
+        assert_eq!(Time::new(0).align_up(5), Time::new(0));
+        assert_eq!(Time::new(1).align_up(1), Time::new(1));
+    }
+
+    #[test]
+    fn align_down_handles_negatives() {
+        assert_eq!(Time::new(7).align_down(5), Time::new(5));
+        assert_eq!(Time::new(-7).align_down(5), Time::new(-10));
+        assert_eq!(Time::new(10).align_down(5), Time::new(10));
+    }
+
+    #[test]
+    fn range_contains_follows_half_open_convention() {
+        let r = TimeRange::new(Time::new(5), Time::new(10));
+        assert!(!r.contains(Time::new(5)));
+        assert!(r.contains(Time::new(6)));
+        assert!(r.contains(Time::new(10)));
+        assert!(!r.contains(Time::new(11)));
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = TimeRange::new(Time::new(0), Time::new(10));
+        let b = TimeRange::new(Time::new(5), Time::new(20));
+        assert_eq!(a.intersect(&b), TimeRange::new(Time::new(5), Time::new(10)));
+        let c = TimeRange::new(Time::new(15), Time::new(20));
+        assert!(a.intersect(&c).is_empty());
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_infinities() {
+        assert_eq!(Time::MAX.saturating_add(100), Time::MAX);
+        assert_eq!(Time::MIN.saturating_add(-100), Time::MIN);
+        assert_eq!(Time::new(5).saturating_add(3), Time::new(8));
+    }
+
+    #[test]
+    fn infinities_format_readably() {
+        assert_eq!(format!("{:?}", Time::MIN), "-inf");
+        assert_eq!(format!("{:?}", Time::MAX), "+inf");
+        assert_eq!(format!("{}", Time::new(42)), "42");
+        assert_eq!(format!("{}", TimeRange::new(Time::new(1), Time::new(2))), "(1, 2]");
+    }
+}

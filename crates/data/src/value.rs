@@ -1,0 +1,434 @@
+//! Dynamic payload values with TiLT's φ (null) propagation semantics.
+//!
+//! The TiLT IR is dynamically executed over [`Value`]s: a small tagged union
+//! covering the types the paper's queries need (booleans, integers, floats,
+//! short strings, and structs). The distinguished [`Value::Null`] is the
+//! paper's φ: *any* arithmetic or comparison involving φ yields φ, and only
+//! the explicit `is_null` test (paper: `e != φ`) escapes back to booleans.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Payload;
+
+/// A dynamically typed stream payload.
+///
+/// # φ semantics
+///
+/// Arithmetic ([`Value::add`], …) and comparisons ([`Value::lt`], …) return
+/// [`Value::Null`] when either operand is null; [`Value::is_null_v`] and the
+/// logical connectives treat null as absence (Kleene logic for `and`/`or`).
+///
+/// # Examples
+///
+/// ```
+/// use tilt_data::Value;
+/// let a = Value::Float(2.0);
+/// assert_eq!(a.add(&Value::Float(3.0)), Value::Float(5.0));
+/// assert_eq!(a.add(&Value::Null), Value::Null);
+/// assert_eq!(Value::Null.is_null_v(), Value::Bool(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub enum Value {
+    /// The paper's φ: "no event active".
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An immutable interned string.
+    Str(Arc<str>),
+    /// A struct payload (positional fields).
+    Tuple(Arc<[Value]>),
+}
+
+impl Value {
+    /// Builds a struct value from field values.
+    pub fn tuple<I: IntoIterator<Item = Value>>(fields: I) -> Value {
+        Value::Tuple(fields.into_iter().collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Returns the float content, coercing integers; `None` for other types.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content; `None` for other types.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content; `None` for other types (including φ).
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Projects field `i` of a struct value; φ projects to φ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is a tuple and `i` is out of bounds, or if `self` is a
+    /// non-tuple, non-null value (a type error caught by the IR type checker
+    /// in well-formed programs).
+    #[inline]
+    pub fn field(&self, i: usize) -> Value {
+        match self {
+            Value::Tuple(fields) => fields[i].clone(),
+            Value::Null => Value::Null,
+            other => panic!("field access on non-struct value {other:?}"),
+        }
+    }
+
+    /// Identity comparison used for snapshot coalescing: φ equals φ, floats
+    /// compare bitwise (so NaN payloads coalesce deterministically).
+    pub fn same(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.same(y))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Applies a binary numeric op with int/float promotion and φ propagation.
+macro_rules! numeric_binop {
+    ($name:ident, $int:expr, $float:expr) => {
+        /// Numeric operation with φ propagation and int→float promotion.
+        #[inline]
+        pub fn $name(&self, other: &Value) -> Value {
+            match (self, other) {
+                (Value::Int(a), Value::Int(b)) => $int(*a, *b),
+                (Value::Float(a), Value::Float(b)) => $float(*a, *b),
+                (Value::Int(a), Value::Float(b)) => $float(*a as f64, *b),
+                (Value::Float(a), Value::Int(b)) => $float(*a, *b as f64),
+                _ => Value::Null,
+            }
+        }
+    };
+}
+
+/// Applies a comparison with φ propagation.
+macro_rules! compare_binop {
+    ($name:ident, $op:tt) => {
+        /// Comparison with φ propagation (φ compared with anything is φ).
+        #[inline]
+        pub fn $name(&self, other: &Value) -> Value {
+            match (self, other) {
+                (Value::Int(a), Value::Int(b)) => Value::Bool(a $op b),
+                (Value::Float(a), Value::Float(b)) => Value::Bool(a $op b),
+                (Value::Int(a), Value::Float(b)) => Value::Bool((*a as f64) $op *b),
+                (Value::Float(a), Value::Int(b)) => Value::Bool(*a $op (*b as f64)),
+                (Value::Str(a), Value::Str(b)) => Value::Bool(a $op b),
+                (Value::Bool(a), Value::Bool(b)) => Value::Bool(a $op b),
+                _ => Value::Null,
+            }
+        }
+    };
+}
+
+impl Value {
+    numeric_binop!(add, |a: i64, b: i64| Value::Int(a.wrapping_add(b)), |a: f64, b| Value::Float(a + b));
+    numeric_binop!(sub, |a: i64, b: i64| Value::Int(a.wrapping_sub(b)), |a: f64, b| Value::Float(a - b));
+    numeric_binop!(mul, |a: i64, b: i64| Value::Int(a.wrapping_mul(b)), |a: f64, b| Value::Float(a * b));
+    numeric_binop!(div, |a: i64, b: i64| if b == 0 { Value::Null } else { Value::Int(a / b) },
+                   |a: f64, b| Value::Float(a / b));
+    numeric_binop!(rem, |a: i64, b: i64| if b == 0 { Value::Null } else { Value::Int(a % b) },
+                   |a: f64, b: f64| Value::Float(a % b));
+    numeric_binop!(pow, |a: i64, b: i64| Value::Int(a.pow(b.clamp(0, u32::MAX as i64) as u32)),
+                   |a: f64, b: f64| Value::Float(a.powf(b)));
+    numeric_binop!(min_v, |a: i64, b: i64| Value::Int(a.min(b)), |a: f64, b: f64| Value::Float(a.min(b)));
+    numeric_binop!(max_v, |a: i64, b: i64| Value::Int(a.max(b)), |a: f64, b: f64| Value::Float(a.max(b)));
+
+    compare_binop!(lt, <);
+    compare_binop!(le, <=);
+    compare_binop!(gt, >);
+    compare_binop!(ge, >=);
+
+    /// Equality as a value-level op (φ-propagating, unlike [`Value::same`]).
+    #[inline]
+    pub fn eq_v(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            _ => Value::Bool(self.same(other)),
+        }
+    }
+
+    /// Inequality as a value-level op (φ-propagating).
+    #[inline]
+    pub fn ne_v(&self, other: &Value) -> Value {
+        match self.eq_v(other) {
+            Value::Bool(b) => Value::Bool(!b),
+            v => v,
+        }
+    }
+
+    /// Arithmetic negation with φ propagation.
+    #[inline]
+    pub fn neg(&self) -> Value {
+        match self {
+            Value::Int(a) => Value::Int(-a),
+            Value::Float(a) => Value::Float(-a),
+            _ => Value::Null,
+        }
+    }
+
+    /// Absolute value with φ propagation.
+    #[inline]
+    pub fn abs(&self) -> Value {
+        match self {
+            Value::Int(a) => Value::Int(a.abs()),
+            Value::Float(a) => Value::Float(a.abs()),
+            _ => Value::Null,
+        }
+    }
+
+    /// Square root (promotes ints) with φ propagation.
+    #[inline]
+    pub fn sqrt(&self) -> Value {
+        match self.as_f64() {
+            Some(x) => Value::Float(x.sqrt()),
+            None => Value::Null,
+        }
+    }
+
+    /// Kleene logical and: `false ∧ x = false` even when `x` is φ.
+    #[inline]
+    pub fn and(&self, other: &Value) -> Value {
+        match (self.as_bool(), other.as_bool()) {
+            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+            (Some(true), Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        }
+    }
+
+    /// Kleene logical or: `true ∨ x = true` even when `x` is φ.
+    #[inline]
+    pub fn or(&self, other: &Value) -> Value {
+        match (self.as_bool(), other.as_bool()) {
+            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+            (Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        }
+    }
+
+    /// Logical not with φ propagation.
+    #[inline]
+    pub fn not(&self) -> Value {
+        match self {
+            Value::Bool(b) => Value::Bool(!b),
+            _ => Value::Null,
+        }
+    }
+
+    /// The paper's `e != φ` test; never returns φ.
+    #[inline]
+    pub fn is_null_v(&self) -> Value {
+        Value::Bool(matches!(self, Value::Null))
+    }
+
+    /// Casts to float (φ-propagating).
+    #[inline]
+    pub fn to_float(&self) -> Value {
+        match self.as_f64() {
+            Some(x) => Value::Float(x),
+            None => Value::Null,
+        }
+    }
+
+    /// Casts to integer, truncating floats (φ-propagating).
+    #[inline]
+    pub fn to_int(&self) -> Value {
+        match self {
+            Value::Int(x) => Value::Int(*x),
+            Value::Float(x) => Value::Int(*x as i64),
+            _ => Value::Null,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.same(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "φ"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Tuple(fields) => {
+                write!(f, "{{")?;
+                for (i, v) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl Payload for Value {
+    #[inline]
+    fn null() -> Self {
+        Value::Null
+    }
+
+    #[inline]
+    fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    #[inline]
+    fn same(&self, other: &Self) -> bool {
+        Value::same(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let x = Value::Float(1.5);
+        assert_eq!(x.add(&Value::Null), Value::Null);
+        assert_eq!(Value::Null.mul(&x), Value::Null);
+        assert_eq!(Value::Null.neg(), Value::Null);
+        assert_eq!(Value::Null.sqrt(), Value::Null);
+        assert_eq!(x.lt(&Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn int_float_promotion() {
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Value::Float(2.5));
+        assert_eq!(Value::Float(1.0).mul(&Value::Int(4)), Value::Float(4.0));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Value::Int(3));
+        assert_eq!(Value::Int(7).rem(&Value::Int(2)), Value::Int(1));
+    }
+
+    #[test]
+    fn integer_division_by_zero_is_null() {
+        assert_eq!(Value::Int(1).div(&Value::Int(0)), Value::Null);
+        assert_eq!(Value::Int(1).rem(&Value::Int(0)), Value::Null);
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let t = Value::Bool(true);
+        let f = Value::Bool(false);
+        assert_eq!(f.and(&Value::Null), Value::Bool(false));
+        assert_eq!(t.and(&Value::Null), Value::Null);
+        assert_eq!(t.or(&Value::Null), Value::Bool(true));
+        assert_eq!(f.or(&Value::Null), Value::Null);
+        assert_eq!(Value::Null.not(), Value::Null);
+    }
+
+    #[test]
+    fn is_null_never_returns_null() {
+        assert_eq!(Value::Null.is_null_v(), Value::Bool(true));
+        assert_eq!(Value::Int(3).is_null_v(), Value::Bool(false));
+    }
+
+    #[test]
+    fn tuples_project_and_compare() {
+        let v = Value::tuple([Value::Int(1), Value::Float(2.0)]);
+        assert_eq!(v.field(0), Value::Int(1));
+        assert_eq!(v.field(1), Value::Float(2.0));
+        assert_eq!(Value::Null.field(1), Value::Null);
+        let w = Value::tuple([Value::Int(1), Value::Float(2.0)]);
+        assert!(v.same(&w));
+        assert_eq!(v.eq_v(&w), Value::Bool(true));
+    }
+
+    #[test]
+    fn same_treats_nan_bitwise() {
+        let nan = Value::Float(f64::NAN);
+        assert!(nan.same(&Value::Float(f64::NAN)));
+        assert!(!nan.same(&Value::Float(1.0)));
+        assert!(Value::Null.same(&Value::Null));
+    }
+
+    #[test]
+    fn comparisons_and_equality() {
+        assert_eq!(Value::Int(2).lt(&Value::Int(3)), Value::Bool(true));
+        assert_eq!(Value::Float(2.0).ge(&Value::Int(2)), Value::Bool(true));
+        assert_eq!(Value::str("a").eq_v(&Value::str("a")), Value::Bool(true));
+        assert_eq!(Value::str("a").ne_v(&Value::str("b")), Value::Bool(true));
+        assert_eq!(Value::Int(1).eq_v(&Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Value::Null.to_string(), "φ");
+        assert_eq!(Value::tuple([Value::Int(1), Value::Bool(true)]).to_string(), "{1, true}");
+    }
+
+    #[test]
+    fn min_max_and_misc_math() {
+        assert_eq!(Value::Int(3).min_v(&Value::Int(5)), Value::Int(3));
+        assert_eq!(Value::Float(3.0).max_v(&Value::Int(5)), Value::Float(5.0));
+        assert_eq!(Value::Float(-2.5).abs(), Value::Float(2.5));
+        assert_eq!(Value::Int(9).sqrt(), Value::Float(3.0));
+        assert_eq!(Value::Float(2.0).pow(&Value::Int(10)), Value::Float(1024.0));
+        assert_eq!(Value::Float(2.9).to_int(), Value::Int(2));
+        assert_eq!(Value::Int(2).to_float(), Value::Float(2.0));
+    }
+}

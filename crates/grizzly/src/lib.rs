@@ -1,0 +1,218 @@
+//! `spe-grizzly` — a Grizzly-style fused-loop aggregation engine
+//! (baseline [14]).
+//!
+//! Grizzly compiles a query into one fused loop, but parallelizes by having
+//! all worker threads update *shared aggregation state with atomics*. The
+//! paper attributes Grizzly's overhead and poor scaling (§7.1–7.2) to
+//! exactly those atomic updates, so this reproduction keeps them: every
+//! event performs a CAS/fetch-add on a shared window table. Like
+//! LightSaber, the vocabulary is aggregation-only (no temporal join).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use tilt_data::{Event, Time, TimeRange};
+
+/// Atomically adds an `f64` via compare-exchange on its bit pattern — the
+/// contended update Grizzly's shared window state performs.
+#[inline]
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Sliding/tumbling window sum computed by a fused loop over event chunks,
+/// with all threads adding into one shared table of per-window atomics.
+///
+/// # Panics
+///
+/// Panics unless `stride` divides `size`.
+pub fn run_window_sum(
+    events: &[Event<f64>],
+    size: i64,
+    stride: i64,
+    range: TimeRange,
+    threads: usize,
+) -> Vec<Event<f64>> {
+    assert!(size % stride == 0, "stride must divide size");
+    let n_windows = ((range.end - range.start) + stride - 1) / stride;
+    if n_windows <= 0 {
+        return Vec::new();
+    }
+    let sums: Vec<AtomicU64> = (0..n_windows).map(|_| AtomicU64::new(0)).collect();
+    let counts: Vec<AtomicI64> = (0..n_windows).map(|_| AtomicI64::new(0)).collect();
+    let per_window = size / stride;
+    let threads = threads.max(1);
+    let chunk = events.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|s| {
+        let (sums, counts) = (&sums, &counts);
+        for worker_chunk in events.chunks(chunk) {
+            s.spawn(move |_| {
+                for e in worker_chunk {
+                    let t = e.end;
+                    if t <= range.start || t > range.end {
+                        continue;
+                    }
+                    // The event lands in `size/stride` consecutive windows.
+                    let first = (t - range.start - 1) / stride;
+                    for w in first..(first + per_window).min(n_windows) {
+                        atomic_f64_add(&sums[w as usize], e.payload);
+                        counts[w as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .expect("grizzly worker panicked");
+
+    (0..n_windows)
+        .filter_map(|w| {
+            if counts[w as usize].load(Ordering::Relaxed) == 0 {
+                return None;
+            }
+            let end = range.start + (w + 1) * stride;
+            Some(Event::new(
+                end - stride,
+                end.min(range.end),
+                f64::from_bits(sums[w as usize].load(Ordering::Relaxed)),
+            ))
+        })
+        .collect()
+}
+
+/// Grouped tumbling-window count with a shared `(window × key)` table of
+/// atomics (the YSB shape in Grizzly's execution model).
+pub fn run_grouped_count(
+    keyed: &[(Time, i64)],
+    window: i64,
+    n_keys: usize,
+    range: TimeRange,
+    threads: usize,
+) -> Vec<Vec<i64>> {
+    let n_windows = (((range.end - range.start) + window - 1) / window).max(0) as usize;
+    let table: Vec<AtomicI64> = (0..n_windows * n_keys).map(|_| AtomicI64::new(0)).collect();
+    let threads = threads.max(1);
+    let chunk = keyed.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|s| {
+        let table = &table;
+        for worker_chunk in keyed.chunks(chunk) {
+            s.spawn(move |_| {
+                for (t, key) in worker_chunk {
+                    if *t <= range.start || *t > range.end {
+                        continue;
+                    }
+                    let w = ((*t - range.start - 1) / window) as usize;
+                    let k = (*key as usize) % n_keys;
+                    table[w * n_keys + k].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("grizzly worker panicked");
+    (0..n_windows)
+        .map(|w| (0..n_keys).map(|k| table[w * n_keys + k].load(Ordering::Relaxed)).collect())
+        .collect()
+}
+
+/// Fused parallel select (per-event map over chunks; no shared state).
+pub fn run_select(events: &[Event<f64>], f: impl Fn(f64) -> f64 + Sync, threads: usize) -> Vec<Event<f64>> {
+    chunked(events, threads, |e| Some(Event::new(e.start, e.end, f(e.payload))))
+}
+
+/// Fused parallel filter.
+pub fn run_where(events: &[Event<f64>], pred: impl Fn(f64) -> bool + Sync, threads: usize) -> Vec<Event<f64>> {
+    chunked(events, threads, |e| if pred(e.payload) { Some(*e) } else { None })
+}
+
+fn chunked(
+    events: &[Event<f64>],
+    threads: usize,
+    f: impl Fn(&Event<f64>) -> Option<Event<f64>> + Sync,
+) -> Vec<Event<f64>> {
+    let threads = threads.max(1);
+    let chunk = events.len().div_ceil(threads).max(1);
+    let out: std::sync::Mutex<Vec<(usize, Vec<Event<f64>>)>> = std::sync::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|s| {
+        let (f, out) = (&f, &out);
+        for (i, worker_chunk) in events.chunks(chunk).enumerate() {
+            s.spawn(move |_| {
+                let mapped: Vec<Event<f64>> = worker_chunk.iter().filter_map(f).collect();
+                out.lock().expect("chunk lock").push((i, mapped));
+            });
+        }
+    })
+    .expect("grizzly worker panicked");
+    let mut pieces = out.into_inner().expect("workers joined");
+    pieces.sort_by_key(|(i, _)| *i);
+    pieces.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(points: &[(i64, f64)]) -> Vec<Event<f64>> {
+        points.iter().map(|&(t, v)| Event::point(Time::new(t), v)).collect()
+    }
+
+    #[test]
+    fn tumbling_sum_with_atomics() {
+        let events = pts(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)]);
+        let range = TimeRange::new(Time::new(0), Time::new(4));
+        let out = run_window_sum(&events, 2, 2, range, 3);
+        assert_eq!(out.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn sliding_sum_fans_into_multiple_windows() {
+        let events = pts(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)]);
+        let range = TimeRange::new(Time::new(0), Time::new(4));
+        let out = run_window_sum(&events, 2, 1, range, 2);
+        // windows ending at 1,2,3,4 with size 2: 1, 3, 5, 7
+        assert_eq!(out.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn grouped_count_table() {
+        let keyed = vec![(Time::new(1), 0), (Time::new(2), 1), (Time::new(3), 0), (Time::new(11), 1)];
+        let range = TimeRange::new(Time::new(0), Time::new(20));
+        let tables = run_grouped_count(&keyed, 10, 2, range, 2);
+        assert_eq!(tables[0], vec![2, 1]);
+        assert_eq!(tables[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn select_where_chunked() {
+        let events = pts(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0), (5, 5.0)]);
+        let out = run_select(&events, |x| x + 0.5, 2);
+        assert_eq!(out[4].payload, 5.5);
+        let out = run_where(&events, |x| x >= 3.0, 2);
+        assert_eq!(out.len(), 3);
+        // Order preserved across chunks.
+        assert_eq!(out[0].payload, 3.0);
+    }
+
+    #[test]
+    fn atomic_f64_add_accumulates_concurrently() {
+        let cell = AtomicU64::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        atomic_f64_add(&cell, 1.0);
+                    }
+                });
+            }
+        })
+        .expect("no panic");
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 4000.0);
+    }
+}

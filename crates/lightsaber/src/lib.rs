@@ -1,0 +1,327 @@
+//! `spe-lightsaber` — a LightSaber-style window-aggregation engine
+//! (baseline [47]).
+//!
+//! LightSaber is a compiler-based SPE specialized for window aggregation:
+//! streams are cut into stride-sized *panes*, pane partials are computed in
+//! parallel, and windows are assembled by combining consecutive panes
+//! (generalized aggregation graphs). Its vocabulary is restricted — simple
+//! per-event filters/projections feeding one windowed aggregate, optionally
+//! grouped by key — and it has **no temporal join**, which is why the paper
+//! can only compare it on Select/Where/WSum/YSB.
+//!
+//! Payloads are plain `f64`s (NaN = φ): the specialization that makes the
+//! compiled baselines fast is part of what the paper credits them for.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tilt_data::{Event, Time, TimeRange};
+
+/// Aggregates LightSaber can compute (mergeable pane partials only; no
+/// user-defined templates — the restriction §3 calls out).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LsAgg {
+    /// Sum of payloads.
+    Sum,
+    /// Event count.
+    Count,
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// A mergeable pane partial.
+#[derive(Clone, Copy, Debug)]
+struct Partial {
+    sum: f64,
+    count: i64,
+    min: f64,
+    max: f64,
+}
+
+impl Partial {
+    const EMPTY: Partial = Partial { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+
+    #[inline]
+    fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    #[inline]
+    fn merge(&mut self, other: &Partial) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn result(&self, agg: LsAgg) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(match agg {
+            LsAgg::Sum => self.sum,
+            LsAgg::Count => self.count as f64,
+            LsAgg::Mean => self.sum / self.count as f64,
+            LsAgg::Min => self.min,
+            LsAgg::Max => self.max,
+        })
+    }
+}
+
+/// A window aggregation query in LightSaber's restricted vocabulary.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowQuery {
+    /// Window length in ticks.
+    pub size: i64,
+    /// Stride (pane length) in ticks; must divide `size`.
+    pub stride: i64,
+    /// The aggregate.
+    pub agg: LsAgg,
+}
+
+/// Runs pane-parallel window aggregation over point events.
+///
+/// Stage 1 computes pane partials in parallel over event chunks; stage 2
+/// combines `size / stride` consecutive panes per window in parallel over
+/// pane chunks.
+///
+/// # Panics
+///
+/// Panics unless `stride` divides `size`.
+pub fn run_window(
+    events: &[Event<f64>],
+    query: WindowQuery,
+    range: TimeRange,
+    threads: usize,
+) -> Vec<Event<f64>> {
+    assert!(query.size % query.stride == 0, "stride must divide size (pane model)");
+    let stride = query.stride;
+    let n_panes = ((range.end - range.start) + stride - 1) / stride;
+    if n_panes <= 0 {
+        return Vec::new();
+    }
+    let pane_of = |t: Time| -> Option<usize> {
+        if t <= range.start || t > range.end {
+            return None;
+        }
+        Some(((t - range.start - 1) / stride) as usize)
+    };
+
+    // Stage 1: parallel pane partials.
+    let threads = threads.max(1);
+    let chunk = events.len().div_ceil(threads).max(1);
+    let partials = Mutex::new(vec![Partial::EMPTY; n_panes as usize]);
+    crossbeam::thread::scope(|s| {
+        let (partials, pane_of) = (&partials, &pane_of);
+        for worker_chunk in events.chunks(chunk) {
+            s.spawn(move |_| {
+                let mut local: HashMap<usize, Partial> = HashMap::new();
+                for e in worker_chunk {
+                    if let Some(p) = pane_of(e.end) {
+                        local.entry(p).or_insert(Partial::EMPTY).add(e.payload);
+                    }
+                }
+                let mut global = partials.lock().expect("pane lock");
+                for (p, partial) in local {
+                    global[p].merge(&partial);
+                }
+            });
+        }
+    })
+    .expect("pane worker panicked");
+    let partials = partials.into_inner().expect("workers joined");
+
+    // Stage 2: combine consecutive panes per window, in parallel.
+    let panes_per_window = (query.size / query.stride) as usize;
+    let out = Mutex::new(vec![None::<f64>; n_panes as usize]);
+    let next = AtomicUsize::new(0);
+    let combine_chunk = (n_panes as usize).div_ceil(threads).max(1);
+    crossbeam::thread::scope(|s| {
+        let (out, next, partials) = (&out, &next, &partials);
+        for _ in 0..threads {
+            s.spawn(move |_| loop {
+                let base = next.fetch_add(combine_chunk, Ordering::Relaxed);
+                if base >= n_panes as usize {
+                    break;
+                }
+                let end = (base + combine_chunk).min(n_panes as usize);
+                let mut local: Vec<(usize, Option<f64>)> = Vec::with_capacity(end - base);
+                for w in base..end {
+                    let mut acc = Partial::EMPTY;
+                    let lo = w.saturating_sub(panes_per_window - 1);
+                    for partial in &partials[lo..=w] {
+                        acc.merge(partial);
+                    }
+                    local.push((w, acc.result(query.agg)));
+                }
+                let mut guard = out.lock().expect("combine lock");
+                for (w, v) in local {
+                    guard[w] = v;
+                }
+            });
+        }
+    })
+    .expect("combine worker panicked");
+
+    out.into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .enumerate()
+        .filter_map(|(w, v)| {
+            let end = range.start + (w as i64 + 1) * stride;
+            v.map(|v| Event::new(end - stride, end.min(range.end), v))
+        })
+        .collect()
+}
+
+/// Grouped tumbling-window count (the YSB shape): parallel pane partials
+/// keyed by an integer key, merged into per-window key tables.
+pub fn run_grouped_count(
+    keyed: &[(Time, i64)],
+    window: i64,
+    range: TimeRange,
+    threads: usize,
+) -> Vec<HashMap<i64, i64>> {
+    let n_windows = ((range.end - range.start) + window - 1) / window;
+    if n_windows <= 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1);
+    let chunk = keyed.len().div_ceil(threads).max(1);
+    let tables: Mutex<Vec<HashMap<i64, i64>>> =
+        Mutex::new(vec![HashMap::new(); n_windows as usize]);
+    crossbeam::thread::scope(|s| {
+        let tables = &tables;
+        for worker_chunk in keyed.chunks(chunk) {
+            s.spawn(move |_| {
+                let mut local: Vec<HashMap<i64, i64>> = vec![HashMap::new(); n_windows as usize];
+                for (t, key) in worker_chunk {
+                    if *t <= range.start || *t > range.end {
+                        continue;
+                    }
+                    let w = ((*t - range.start - 1) / window) as usize;
+                    *local[w].entry(*key).or_insert(0) += 1;
+                }
+                let mut global = tables.lock().expect("table lock");
+                for (w, table) in local.into_iter().enumerate() {
+                    for (k, c) in table {
+                        *global[w].entry(k).or_insert(0) += c;
+                    }
+                }
+            });
+        }
+    })
+    .expect("grouped worker panicked");
+    tables.into_inner().expect("workers joined")
+}
+
+/// Parallel per-event map (LightSaber's fused pre-processing stage).
+pub fn run_select(events: &[Event<f64>], f: impl Fn(f64) -> f64 + Sync, threads: usize) -> Vec<Event<f64>> {
+    parallel_map(events, threads, |e| Some(Event::new(e.start, e.end, f(e.payload))))
+}
+
+/// Parallel per-event filter.
+pub fn run_where(events: &[Event<f64>], pred: impl Fn(f64) -> bool + Sync, threads: usize) -> Vec<Event<f64>> {
+    parallel_map(events, threads, |e| if pred(e.payload) { Some(*e) } else { None })
+}
+
+fn parallel_map(
+    events: &[Event<f64>],
+    threads: usize,
+    f: impl Fn(&Event<f64>) -> Option<Event<f64>> + Sync,
+) -> Vec<Event<f64>> {
+    let threads = threads.max(1);
+    let chunk = events.len().div_ceil(threads).max(1);
+    let pieces: Mutex<Vec<(usize, Vec<Event<f64>>)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|s| {
+        let (f, pieces) = (&f, &pieces);
+        for (i, worker_chunk) in events.chunks(chunk).enumerate() {
+            s.spawn(move |_| {
+                let mapped: Vec<Event<f64>> = worker_chunk.iter().filter_map(f).collect();
+                pieces.lock().expect("map lock").push((i, mapped));
+            });
+        }
+    })
+    .expect("map worker panicked");
+    let mut pieces = pieces.into_inner().expect("workers joined");
+    pieces.sort_by_key(|(i, _)| *i);
+    pieces.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(points: &[(i64, f64)]) -> Vec<Event<f64>> {
+        points.iter().map(|&(t, v)| Event::point(Time::new(t), v)).collect()
+    }
+
+    #[test]
+    fn tumbling_sum_matches_hand_computation() {
+        let events = pts(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0), (5, 5.0), (6, 6.0)]);
+        let range = TimeRange::new(Time::new(0), Time::new(6));
+        let q = WindowQuery { size: 3, stride: 3, agg: LsAgg::Sum };
+        let out = run_window(&events, q, range, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload, 6.0);
+        assert_eq!(out[1].payload, 15.0);
+    }
+
+    #[test]
+    fn sliding_mean_combines_panes() {
+        let events = pts(&[(1, 2.0), (2, 4.0), (3, 6.0), (4, 8.0)]);
+        let range = TimeRange::new(Time::new(0), Time::new(4));
+        let q = WindowQuery { size: 2, stride: 1, agg: LsAgg::Mean };
+        let out = run_window(&events, q, range, 3);
+        let vals: Vec<f64> = out.iter().map(|e| e.payload).collect();
+        assert_eq!(vals, vec![2.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn min_max_partials() {
+        let events = pts(&[(1, 5.0), (2, 1.0), (3, 9.0), (4, 3.0)]);
+        let range = TimeRange::new(Time::new(0), Time::new(4));
+        let out = run_window(&events, WindowQuery { size: 2, stride: 2, agg: LsAgg::Max }, range, 2);
+        assert_eq!(out.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![5.0, 9.0]);
+        let out = run_window(&events, WindowQuery { size: 2, stride: 2, agg: LsAgg::Min }, range, 2);
+        assert_eq!(out.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn grouped_count_tables() {
+        let keyed: Vec<(Time, i64)> =
+            vec![(Time::new(1), 7), (Time::new(2), 7), (Time::new(3), 8), (Time::new(12), 7)];
+        let range = TimeRange::new(Time::new(0), Time::new(20));
+        let tables = run_grouped_count(&keyed, 10, range, 2);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0][&7], 2);
+        assert_eq!(tables[0][&8], 1);
+        assert_eq!(tables[1][&7], 1);
+    }
+
+    #[test]
+    fn select_and_where_parallel() {
+        let events = pts(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let doubled = run_select(&events, |x| x * 2.0, 2);
+        assert_eq!(doubled[2].payload, 6.0);
+        let kept = run_where(&events, |x| x > 1.5, 2);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn non_divisible_stride_rejected() {
+        let range = TimeRange::new(Time::new(0), Time::new(10));
+        let _ = run_window(&[], WindowQuery { size: 5, stride: 2, agg: LsAgg::Sum }, range, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! `tilt-query` — the event-centric temporal query frontend.
+//!
+//! This crate is the "SQL-like temporal query language" layer of the paper
+//! (§2): users describe streaming computations as a DAG of classic temporal
+//! operators ([`LogicalPlan`]), and the plan is then executed by any of the
+//! workspace engines:
+//!
+//! * lowered to TiLT IR with [`lower`] and compiled by `tilt_core::Compiler`
+//!   (the paper's system);
+//! * interpreted operator-by-operator by the baseline SPEs (`spe-trill`,
+//!   `spe-streambox`, …);
+//! * evaluated naively by [`reference::evaluate`] for differential testing.
+//!
+//! # Example
+//!
+//! ```
+//! use tilt_query::{elem, lhs, rhs, Agg, LogicalPlan};
+//! use tilt_core::ir::{DataType, Expr};
+//! use tilt_core::Compiler;
+//!
+//! // Moving-average crossover (the paper's running example).
+//! let mut plan = LogicalPlan::new();
+//! let stock = plan.source("stock", DataType::Float);
+//! let avg10 = plan.window(stock, 10, 1, Agg::Mean);
+//! let avg20 = plan.window(stock, 20, 1, Agg::Mean);
+//! let diff = plan.join(avg10, avg20, lhs().sub(rhs()));
+//! let up = plan.where_(diff, elem().gt(Expr::c(0.0)));
+//!
+//! let query = tilt_query::lower(&plan, up)?;
+//! let compiled = Compiler::new().compile(&query)?;
+//! assert_eq!(compiled.num_kernels(), 1); // fused across 3 pipeline breakers
+//! # Ok::<(), tilt_core::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod lower;
+mod plan;
+pub mod reference;
+mod scalar;
+
+pub use lower::lower;
+pub use plan::{Agg, LogicalPlan, NodeId, OpNode};
+pub use scalar::{
+    apply1, apply2, elem, eval_scalar, lhs, rhs, uses_time, HOLE_ELEM, HOLE_LEFT, HOLE_RIGHT,
+};

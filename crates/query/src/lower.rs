@@ -1,0 +1,223 @@
+//! Lowering the event-centric plan to TiLT IR (paper §4.2 / Fig. 3a).
+//!
+//! Every operator becomes one temporal expression over an unbounded time
+//! domain, using the translations of Fig. 4:
+//!
+//! | operator          | temporal expression                                        |
+//! |-------------------|------------------------------------------------------------|
+//! | `Select(f)`       | `~o[t] = f(~i[t])`                                         |
+//! | `Where(p)`        | `~o[t] = p(~i[t]) ? ~i[t] : φ`                             |
+//! | `Shift(d)`        | `~o[t] = ~i[t-d]`                                          |
+//! | `Chop(p)`         | `~o[t] = ~i[t]` on a *sampled* domain of precision `p`     |
+//! | `Window(w, s, ⊕)` | `~o[t] = ⊕(~i[t-w : t])` on a domain of precision `s`      |
+//! | `Join(f)`         | `~o[t] = (~l[t]≠φ ∧ ~r[t]≠φ) ? f(~l[t], ~r[t]) : φ`        |
+//! | `Merge`           | `~o[t] = (~l[t]≠φ) ? ~l[t] : ~r[t]`                        |
+
+use std::collections::HashMap;
+
+use tilt_core::ir::{Expr, Query, QueryBuilder, TDom, TObjId, VarId};
+use tilt_core::Result;
+
+use crate::plan::{LogicalPlan, NodeId, OpNode};
+use crate::scalar::{HOLE_ELEM, HOLE_LEFT, HOLE_RIGHT};
+
+/// Lowers `plan` (with `output` as the result node) to a TiLT IR query.
+///
+/// # Errors
+///
+/// Propagates structural errors from the query builder (the plan DAG itself
+/// is valid by construction).
+pub fn lower(plan: &LogicalPlan, output: NodeId) -> Result<Query> {
+    let mut b = Query::builder();
+    let mut objs: Vec<Option<TObjId>> = vec![None; plan.len()];
+    for (i, node) in plan.nodes().iter().enumerate() {
+        let at = |id: NodeId, objs: &[Option<TObjId>]| {
+            Expr::at(objs[id.index()].expect("plan nodes are in topological order"))
+        };
+        let obj = match node {
+            OpNode::Source { name, ty } => b.input(name, ty.clone()),
+            OpNode::Select { input, f } => {
+                let body = bind(f, &mut b, &[(HOLE_ELEM, at(*input, &objs))]);
+                b.temporal(&format!("select_{i}"), TDom::every_tick(), body)
+            }
+            OpNode::Where { input, pred } => {
+                let p = bind(pred, &mut b, &[(HOLE_ELEM, at(*input, &objs))]);
+                let body = Expr::if_else(p, at(*input, &objs), Expr::null());
+                b.temporal(&format!("where_{i}"), TDom::every_tick(), body)
+            }
+            OpNode::Shift { input, delta } => {
+                let src = objs[input.index()].expect("topological order");
+                b.temporal(&format!("shift_{i}"), TDom::every_tick(), Expr::at_off(src, -delta))
+            }
+            OpNode::Chop { input, period } => {
+                let body = at(*input, &objs);
+                b.temporal_sampled(&format!("chop_{i}"), TDom::unbounded(*period), body)
+            }
+            OpNode::Window { input, size, stride, agg } => {
+                let src = objs[input.index()].expect("topological order");
+                let body = Expr::reduce_window(agg.reduce_op(), src, *size);
+                b.temporal(&format!("window_{i}"), TDom::unbounded(*stride), body)
+            }
+            OpNode::Join { left, right, f } => {
+                let l = at(*left, &objs);
+                let r = at(*right, &objs);
+                let applied =
+                    bind(f, &mut b, &[(HOLE_LEFT, l.clone()), (HOLE_RIGHT, r.clone())]);
+                let cond = l.is_present().and(r.is_present());
+                let body = Expr::if_else(cond, applied, Expr::null());
+                b.temporal(&format!("join_{i}"), TDom::every_tick(), body)
+            }
+            OpNode::Merge { left, right } => {
+                let l = at(*left, &objs);
+                let r = at(*right, &objs);
+                let body = Expr::if_else(l.clone().is_present(), l, r);
+                b.temporal(&format!("merge_{i}"), TDom::every_tick(), body)
+            }
+        };
+        objs[i] = Some(obj);
+    }
+    b.finish(objs[output.index()].expect("output node exists"))
+}
+
+/// Renames the fragment's own let-variables to builder-fresh ids and then
+/// substitutes the holes, so fragments from different operators never share
+/// variable ids inside one query.
+fn bind(f: &Expr, b: &mut QueryBuilder, holes: &[(VarId, Expr)]) -> Expr {
+    // Collect the fragment's bound variables (Let and reduce-map binders).
+    let mut bound: Vec<VarId> = Vec::new();
+    f.walk(&mut |e| match e {
+        Expr::Let { var, .. } => bound.push(*var),
+        Expr::Reduce { window, .. } => {
+            if let Some((var, _)) = &window.map {
+                bound.push(*var);
+            }
+        }
+        _ => {}
+    });
+    bound.sort();
+    bound.dedup();
+    let renames: HashMap<VarId, VarId> = bound.into_iter().map(|v| (v, b.var())).collect();
+    let mut renamed = f.clone().rewrite(&mut |e| match e {
+        Expr::Var(v) => match renames.get(&v) {
+            Some(nv) => Expr::Var(*nv),
+            None => Expr::Var(v),
+        },
+        Expr::Let { var, value, body } => Expr::Let {
+            var: *renames.get(&var).unwrap_or(&var),
+            value,
+            body,
+        },
+        other => other,
+    });
+    for (hole, replacement) in holes {
+        renamed = renamed.subst_var(*hole, replacement);
+    }
+    renamed
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::plan::Agg;
+    use crate::{elem, lhs, rhs};
+    use tilt_core::ir::{print_query, DataType};
+    use tilt_core::Compiler;
+    use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+
+    /// The paper's trend query, written as an event-centric plan.
+    pub(crate) fn trend_plan() -> (LogicalPlan, NodeId) {
+        let mut plan = LogicalPlan::new();
+        let stock = plan.source("stock", DataType::Float);
+        let sum10 = plan.window(stock, 10, 1, Agg::Sum);
+        let sum20 = plan.window(stock, 20, 1, Agg::Sum);
+        let avg10 = plan.select(sum10, elem().div(Expr::c(10.0)));
+        let avg20 = plan.select(sum20, elem().div(Expr::c(20.0)));
+        let diff = plan.join(avg10, avg20, lhs().sub(rhs()));
+        let up = plan.where_(diff, elem().gt(Expr::c(0.0)));
+        (plan, up)
+    }
+
+    #[test]
+    fn trend_plan_lowers_and_fuses_to_one_kernel() {
+        let (plan, out) = trend_plan();
+        assert_eq!(plan.pipeline_breakers(), 3);
+        let q = lower(&plan, out).unwrap();
+        assert_eq!(q.exprs().len(), 6, "{}", print_query(&q));
+        let compiled = Compiler::new().compile(&q).unwrap();
+        assert_eq!(compiled.num_kernels(), 1, "fusion across breakers expected");
+    }
+
+    #[test]
+    fn lowered_trend_executes() {
+        let (plan, out) = trend_plan();
+        let q = lower(&plan, out).unwrap();
+        let cq = Compiler::new().compile(&q).unwrap();
+        // Rising prices: short avg > long avg, so every steady-state tick
+        // should pass the filter.
+        let events: Vec<Event<Value>> =
+            (1..=100).map(|t| Event::point(Time::new(t), Value::Float(t as f64))).collect();
+        let range = TimeRange::new(Time::new(0), Time::new(100));
+        let input = SnapshotBuf::from_events(&events, range);
+        let result = cq.run(&[&input], range);
+        assert_eq!(result.value_at(Time::new(50)), Value::Float(5.0)); // avg10-avg20 = 5 in steady state
+    }
+
+    #[test]
+    fn fragment_lets_are_renamed_apart() {
+        // Two operators using the same local var id must not collide.
+        let local = VarId::from_raw(0);
+        let frag = |k: f64| Expr::Let {
+            var: local,
+            value: Box::new(elem().mul(Expr::c(k))),
+            body: Box::new(Expr::Var(local).add(Expr::Var(local))),
+        };
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let a = plan.select(src, frag(2.0));
+        let bnode = plan.select(a, frag(3.0));
+        let q = lower(&plan, bnode).unwrap();
+        let cq = Compiler::new().compile(&q).unwrap();
+        let range = TimeRange::new(Time::new(0), Time::new(2));
+        let input = SnapshotBuf::from_events(
+            &[Event::point(Time::new(1), Value::Float(1.0))],
+            range,
+        );
+        let out = cq.run(&[&input], range);
+        // ((1*2)+(1*2)) = 4, then (4*3)+(4*3) = 24.
+        assert_eq!(out.value_at(Time::new(1)), Value::Float(24.0));
+    }
+
+    #[test]
+    fn merge_prefers_left() {
+        let mut plan = LogicalPlan::new();
+        let a = plan.source("a", DataType::Float);
+        let b_src = plan.source("b", DataType::Float);
+        let m = plan.merge(a, b_src);
+        let q = lower(&plan, m).unwrap();
+        let cq = Compiler::new().compile(&q).unwrap();
+        let range = TimeRange::new(Time::new(0), Time::new(10));
+        let left = SnapshotBuf::from_events(
+            &[Event::new(Time::new(2), Time::new(5), Value::Float(1.0))],
+            range,
+        );
+        let right = SnapshotBuf::from_events(
+            &[Event::new(Time::new(0), Time::new(10), Value::Float(9.0))],
+            range,
+        );
+        let out = cq.run(&[&left, &right], range);
+        assert_eq!(out.value_at(Time::new(1)), Value::Float(9.0));
+        assert_eq!(out.value_at(Time::new(4)), Value::Float(1.0));
+        assert_eq!(out.value_at(Time::new(7)), Value::Float(9.0));
+    }
+
+    #[test]
+    fn chop_lowers_to_sampled_domain() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let c = plan.chop(src, 4);
+        let q = lower(&plan, c).unwrap();
+        let te = &q.exprs()[0];
+        assert!(te.sample);
+        assert_eq!(te.dom.precision, 4);
+    }
+}

@@ -1,0 +1,359 @@
+//! The event-centric logical plan: the operator vocabulary of §2.
+//!
+//! A [`LogicalPlan`] is the query as a user of an SPE writes it — a DAG of
+//! the classic temporal operators (Fig. 1 of the paper) plus the extras the
+//! benchmark suite needs (`Shift`, `Chop`, `Merge`). The same plan is
+//! consumed by three executors: the TiLT compiler (via [`crate::lower`]),
+//! the interpreted baseline engines, and the naive reference evaluator.
+
+use std::sync::Arc;
+
+use tilt_core::ir::{CustomReduce, Expr, ReduceOp};
+use tilt_data::Value;
+
+/// Identifier of a node within a [`LogicalPlan`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's index within its plan.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An aggregate function usable in [`OpNode::Window`].
+#[derive(Clone, Debug)]
+pub enum Agg {
+    /// Sum of event payloads.
+    Sum,
+    /// Number of events.
+    Count,
+    /// Arithmetic mean of event payloads.
+    Mean,
+    /// Population standard deviation.
+    StdDev,
+    /// Minimum payload.
+    Min,
+    /// Maximum payload.
+    Max,
+    /// A user-defined reduction (paper §6.1.2 template).
+    Custom(Arc<CustomReduce>),
+}
+
+impl Agg {
+    /// The TiLT reduction this aggregate lowers to.
+    pub fn reduce_op(&self) -> ReduceOp {
+        match self {
+            Agg::Sum => ReduceOp::Sum,
+            Agg::Count => ReduceOp::Count,
+            Agg::Mean => ReduceOp::Mean,
+            Agg::StdDev => ReduceOp::StdDev,
+            Agg::Min => ReduceOp::Min,
+            Agg::Max => ReduceOp::Max,
+            Agg::Custom(c) => ReduceOp::Custom(c.clone()),
+        }
+    }
+
+    /// Folds the aggregate over a window's payloads the obvious way — the
+    /// specification the incremental implementations are tested against.
+    /// φ payloads are skipped; an effectively empty window yields φ.
+    pub fn apply_naive(&self, values: &[Value]) -> Value {
+        let vals: Vec<&Value> = values.iter().filter(|v| !matches!(v, Value::Null)).collect();
+        if vals.is_empty() {
+            return Value::Null;
+        }
+        let n = vals.len() as i64;
+        match self {
+            Agg::Sum => vals.iter().fold(Value::Int(0), |acc, v| acc.add(v)),
+            Agg::Count => Value::Int(n),
+            Agg::Mean => {
+                vals.iter().fold(Value::Int(0), |acc, v| acc.add(v)).to_float().div(&Value::Int(n))
+            }
+            Agg::StdDev => {
+                let xs: Vec<f64> = vals.iter().filter_map(|v| v.as_f64()).collect();
+                let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+                Value::Float(var.sqrt())
+            }
+            Agg::Min => vals.iter().fold(Value::Null, |acc, v| {
+                if matches!(acc, Value::Null) {
+                    (*v).clone()
+                } else {
+                    acc.min_v(v)
+                }
+            }),
+            Agg::Max => vals.iter().fold(Value::Null, |acc, v| {
+                if matches!(acc, Value::Null) {
+                    (*v).clone()
+                } else {
+                    acc.max_v(v)
+                }
+            }),
+            Agg::Custom(c) => {
+                let mut state = c.init.clone();
+                for v in &vals {
+                    state = (c.acc)(&state, v, 1);
+                }
+                (c.result)(&state, n)
+            }
+        }
+    }
+}
+
+/// One operator of the event-centric plan.
+#[derive(Clone, Debug)]
+pub enum OpNode {
+    /// An input stream.
+    Source {
+        /// Stream name.
+        name: String,
+        /// Payload type.
+        ty: tilt_core::ir::DataType,
+    },
+    /// Per-event projection: payload ↦ `f[elem := payload]` (Fig. 1a).
+    Select {
+        /// Upstream node.
+        input: NodeId,
+        /// Unary fragment over [`crate::elem`].
+        f: Expr,
+    },
+    /// Per-event filtering by a predicate (Fig. 1b).
+    Where {
+        /// Upstream node.
+        input: NodeId,
+        /// Boolean fragment over [`crate::elem`].
+        pred: Expr,
+    },
+    /// Moves validity intervals by `delta` ticks (positive = later).
+    Shift {
+        /// Upstream node.
+        input: NodeId,
+        /// Tick offset.
+        delta: i64,
+    },
+    /// Splits events into `period`-length chunks on the aligned grid
+    /// (the non-standard operator of the resampling benchmark).
+    Chop {
+        /// Upstream node.
+        input: NodeId,
+        /// Chunk length in ticks.
+        period: i64,
+    },
+    /// Windowed aggregation (Fig. 1d): every `stride` ticks, aggregate the
+    /// events of the last `size` ticks.
+    Window {
+        /// Upstream node.
+        input: NodeId,
+        /// Window length in ticks.
+        size: i64,
+        /// Output stride in ticks (= `size` for tumbling windows).
+        stride: i64,
+        /// The aggregate function.
+        agg: Agg,
+    },
+    /// Temporal join (Fig. 1c): emits `f(l, r)` over strictly overlapping
+    /// validity regions.
+    Join {
+        /// Left upstream.
+        left: NodeId,
+        /// Right upstream.
+        right: NodeId,
+        /// Binary fragment over [`crate::lhs`] / [`crate::rhs`].
+        f: Expr,
+    },
+    /// Temporal coalesce: the left value where present, otherwise the right
+    /// (used by the imputation benchmark).
+    Merge {
+        /// Preferred upstream.
+        left: NodeId,
+        /// Fallback upstream.
+        right: NodeId,
+    },
+}
+
+impl OpNode {
+    /// The upstream nodes of this operator.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            OpNode::Source { .. } => vec![],
+            OpNode::Select { input, .. }
+            | OpNode::Where { input, .. }
+            | OpNode::Shift { input, .. }
+            | OpNode::Chop { input, .. }
+            | OpNode::Window { input, .. } => vec![*input],
+            OpNode::Join { left, right, .. } | OpNode::Merge { left, right } => {
+                vec![*left, *right]
+            }
+        }
+    }
+
+    /// Whether this operator requires partial materialization before the
+    /// next operator can run — a *soft pipeline breaker* in the sense of §3.
+    pub fn is_pipeline_breaker(&self) -> bool {
+        matches!(self, OpNode::Window { .. } | OpNode::Join { .. } | OpNode::Merge { .. })
+    }
+}
+
+/// An event-centric query: a DAG of [`OpNode`]s.
+///
+/// # Examples
+///
+/// ```
+/// use tilt_query::{elem, Agg, LogicalPlan};
+/// use tilt_core::ir::{DataType, Expr};
+///
+/// let mut plan = LogicalPlan::new();
+/// let src = plan.source("prices", DataType::Float);
+/// let avg = plan.window(src, 10, 1, Agg::Mean);
+/// let up = plan.where_(avg, elem().gt(Expr::c(100.0)));
+/// assert_eq!(plan.node(up).inputs(), vec![avg]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LogicalPlan {
+    nodes: Vec<OpNode>,
+}
+
+impl LogicalPlan {
+    /// An empty plan.
+    pub fn new() -> LogicalPlan {
+        LogicalPlan::default()
+    }
+
+    /// All nodes, in creation (hence topological) order.
+    pub fn nodes(&self) -> &[OpNode] {
+        &self.nodes
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &OpNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The source nodes in declaration order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, OpNode::Source { .. }))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Number of soft pipeline breakers (how hard this plan is to fuse for
+    /// an event-centric optimizer; cf. Table 2's 2–6 per application).
+    pub fn pipeline_breakers(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_pipeline_breaker()).count()
+    }
+
+    fn push(&mut self, node: OpNode) -> NodeId {
+        for dep in node.inputs() {
+            assert!(dep.0 < self.nodes.len(), "operator references a later node");
+        }
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Declares an input stream.
+    pub fn source(&mut self, name: &str, ty: tilt_core::ir::DataType) -> NodeId {
+        self.push(OpNode::Source { name: name.to_string(), ty })
+    }
+
+    /// Adds a Select (projection) operator.
+    pub fn select(&mut self, input: NodeId, f: Expr) -> NodeId {
+        self.push(OpNode::Select { input, f })
+    }
+
+    /// Adds a Where (filter) operator.
+    pub fn where_(&mut self, input: NodeId, pred: Expr) -> NodeId {
+        self.push(OpNode::Where { input, pred })
+    }
+
+    /// Adds a Shift operator (`delta > 0` moves events later).
+    pub fn shift(&mut self, input: NodeId, delta: i64) -> NodeId {
+        self.push(OpNode::Shift { input, delta })
+    }
+
+    /// Adds a Chop operator with the given chunk period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`.
+    pub fn chop(&mut self, input: NodeId, period: i64) -> NodeId {
+        assert!(period > 0, "chop period must be positive");
+        self.push(OpNode::Chop { input, period })
+    }
+
+    /// Adds a windowed aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < stride <= size`.
+    pub fn window(&mut self, input: NodeId, size: i64, stride: i64, agg: Agg) -> NodeId {
+        assert!(stride > 0 && size >= stride, "require 0 < stride <= size");
+        self.push(OpNode::Window { input, size, stride, agg })
+    }
+
+    /// Adds a temporal join.
+    pub fn join(&mut self, left: NodeId, right: NodeId, f: Expr) -> NodeId {
+        self.push(OpNode::Join { left, right, f })
+    }
+
+    /// Adds a temporal coalesce (left where present, else right).
+    pub fn merge(&mut self, left: NodeId, right: NodeId) -> NodeId {
+        self.push(OpNode::Merge { left, right })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem;
+    use tilt_core::ir::DataType;
+
+    #[test]
+    fn plan_tracks_structure() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let sel = plan.select(src, elem().add(Expr::c(1.0)));
+        let win = plan.window(sel, 10, 5, Agg::Sum);
+        let win2 = plan.window(sel, 20, 5, Agg::Sum);
+        let joined = plan.join(win, win2, crate::lhs().sub(crate::rhs()));
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.sources(), vec![src]);
+        assert_eq!(plan.pipeline_breakers(), 3);
+        assert_eq!(plan.node(joined).inputs(), vec![win, win2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn bad_window_rejected() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let _ = plan.window(src, 5, 10, Agg::Sum);
+    }
+
+    #[test]
+    fn naive_aggs_match_definitions() {
+        let vals: Vec<Value> = [1.0, 2.0, 3.0, 4.0].iter().map(|&x| Value::Float(x)).collect();
+        assert_eq!(Agg::Sum.apply_naive(&vals), Value::Float(10.0));
+        assert_eq!(Agg::Count.apply_naive(&vals), Value::Int(4));
+        assert_eq!(Agg::Mean.apply_naive(&vals), Value::Float(2.5));
+        assert_eq!(Agg::Min.apply_naive(&vals), Value::Float(1.0));
+        assert_eq!(Agg::Max.apply_naive(&vals), Value::Float(4.0));
+        let Value::Float(sd) = Agg::StdDev.apply_naive(&vals) else { panic!() };
+        assert!((sd - 1.118033988749895).abs() < 1e-12);
+        assert_eq!(Agg::Sum.apply_naive(&[]), Value::Null);
+        assert_eq!(Agg::Sum.apply_naive(&[Value::Null]), Value::Null);
+    }
+}

@@ -1,0 +1,289 @@
+//! A naive, obviously-correct reference evaluator for logical plans.
+//!
+//! This evaluator defines the ground-truth semantics the TiLT compiler and
+//! every baseline engine are differentially tested against. It favours
+//! clarity over speed: joins are pairwise O(n²), windows re-scan all events
+//! per grid tick, and time-dependent fragments fall back to per-tick
+//! evaluation. Use it on small inputs only.
+
+use tilt_data::{sort_stream, Event, Time, TimeRange, Value};
+
+use crate::plan::{LogicalPlan, NodeId, OpNode};
+use crate::scalar::{apply1, apply2, uses_time};
+
+/// Evaluates `plan` over event-list inputs (one per source, in
+/// [`LogicalPlan::sources`] order), producing the events of `output` within
+/// `range`.
+///
+/// # Panics
+///
+/// Panics if the number of inputs does not match the number of sources.
+pub fn evaluate(
+    plan: &LogicalPlan,
+    output: NodeId,
+    inputs: &[Vec<Event<Value>>],
+    range: TimeRange,
+) -> Vec<Event<Value>> {
+    let sources = plan.sources();
+    assert_eq!(inputs.len(), sources.len(), "one input per source required");
+    let mut memo: Vec<Option<Vec<Event<Value>>>> = vec![None; plan.len()];
+    let mut source_iter = inputs.iter();
+    for (i, node) in plan.nodes().iter().enumerate() {
+        let get = |id: NodeId, memo: &[Option<Vec<Event<Value>>>]| -> Vec<Event<Value>> {
+            memo[id.index()].clone().expect("topological order")
+        };
+        let computed = match node {
+            OpNode::Source { .. } => {
+                let evs = source_iter.next().expect("checked above");
+                clip(evs, range)
+            }
+            OpNode::Select { input, f } => {
+                let mut out = Vec::new();
+                for e in get(*input, &memo) {
+                    if uses_time(f) {
+                        for t in ticks(e.interval()) {
+                            push_nonnull(&mut out, t - 1, t, apply1(f, &e.payload, t.ticks()));
+                        }
+                    } else {
+                        push_nonnull(
+                            &mut out,
+                            e.start,
+                            e.end,
+                            apply1(f, &e.payload, e.end.ticks()),
+                        );
+                    }
+                }
+                out
+            }
+            OpNode::Where { input, pred } => {
+                let mut out = Vec::new();
+                for e in get(*input, &memo) {
+                    if uses_time(pred) {
+                        for t in ticks(e.interval()) {
+                            if apply1(pred, &e.payload, t.ticks()) == Value::Bool(true) {
+                                out.push(Event::new(t - 1, t, e.payload.clone()));
+                            }
+                        }
+                    } else if apply1(pred, &e.payload, e.end.ticks()) == Value::Bool(true) {
+                        out.push(e);
+                    }
+                }
+                out
+            }
+            OpNode::Shift { input, delta } => get(*input, &memo)
+                .into_iter()
+                .map(|e| Event::new(e.start + *delta, e.end + *delta, e.payload))
+                .collect(),
+            OpNode::Chop { input, period } => {
+                let evs = get(*input, &memo);
+                let mut out = Vec::new();
+                let mut g = Time::new(range.start.ticks() + 1).align_up(*period);
+                while g <= range.end {
+                    if let Some(e) = evs.iter().find(|e| e.is_active_at(g)) {
+                        out.push(Event::new(g - *period, g, e.payload.clone()));
+                    }
+                    g = g + *period;
+                }
+                out
+            }
+            OpNode::Window { input, size, stride, agg } => {
+                let evs = get(*input, &memo);
+                let mut out = Vec::new();
+                let mut g = Time::new(range.start.ticks() + 1).align_up(*stride);
+                while g <= range.end {
+                    let win = TimeRange::new(g - *size, g);
+                    let payloads: Vec<Value> = evs
+                        .iter()
+                        .filter(|e| e.interval().overlaps(&win))
+                        .map(|e| e.payload.clone())
+                        .collect();
+                    let v = agg.apply_naive(&payloads);
+                    if !matches!(v, Value::Null) {
+                        out.push(Event::new(g - *stride, g, v));
+                    }
+                    g = g + *stride;
+                }
+                out
+            }
+            OpNode::Join { left, right, f } => {
+                let ls = get(*left, &memo);
+                let rs = get(*right, &memo);
+                let mut out = Vec::new();
+                for el in &ls {
+                    for er in &rs {
+                        let iv = el.interval().intersect(&er.interval());
+                        if iv.is_empty() {
+                            continue;
+                        }
+                        if uses_time(f) {
+                            for t in ticks(iv) {
+                                push_nonnull(
+                                    &mut out,
+                                    t - 1,
+                                    t,
+                                    apply2(f, &el.payload, &er.payload, t.ticks()),
+                                );
+                            }
+                        } else {
+                            push_nonnull(
+                                &mut out,
+                                iv.start,
+                                iv.end,
+                                apply2(f, &el.payload, &er.payload, iv.end.ticks()),
+                            );
+                        }
+                    }
+                }
+                sort_stream(&mut out);
+                out
+            }
+            OpNode::Merge { left, right } => {
+                let ls = get(*left, &memo);
+                let rs = get(*right, &memo);
+                let mut out = Vec::new();
+                for t in ticks(range) {
+                    let v = ls
+                        .iter()
+                        .find(|e| e.is_active_at(t))
+                        .or_else(|| rs.iter().find(|e| e.is_active_at(t)))
+                        .map(|e| e.payload.clone());
+                    if let Some(v) = v {
+                        out.push(Event::new(t - 1, t, v));
+                    }
+                }
+                out
+            }
+        };
+        memo[i] = Some(computed);
+    }
+    // The query's observable output is its restriction to `range` (shifts
+    // can push intermediate events outside it).
+    clip(&memo[output.index()].take().expect("output computed"), range)
+}
+
+fn clip(events: &[Event<Value>], range: TimeRange) -> Vec<Event<Value>> {
+    events
+        .iter()
+        .filter_map(|e| {
+            let iv = e.interval().intersect(&range);
+            if iv.is_empty() {
+                None
+            } else {
+                Some(Event::new(iv.start, iv.end, e.payload.clone()))
+            }
+        })
+        .collect()
+}
+
+fn ticks(range: TimeRange) -> impl Iterator<Item = Time> {
+    let (a, b) = (range.start.ticks(), range.end.ticks());
+    (a + 1..=b).map(Time::new)
+}
+
+fn push_nonnull(out: &mut Vec<Event<Value>>, start: Time, end: Time, v: Value) {
+    if !matches!(v, Value::Null) {
+        out.push(Event::new(start, end, v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Agg;
+    use crate::{elem, lhs, rhs};
+    use tilt_core::ir::{DataType, Expr};
+    use tilt_core::Compiler;
+    use tilt_data::{streams_equivalent, SnapshotBuf};
+
+    fn pts(points: &[(i64, f64)]) -> Vec<Event<Value>> {
+        points.iter().map(|&(t, v)| Event::point(Time::new(t), Value::Float(v))).collect()
+    }
+
+    /// Differential helper: run the plan through both the reference
+    /// evaluator and the TiLT compiler, assert equivalence.
+    fn check(plan: &LogicalPlan, out: NodeId, inputs: &[Vec<Event<Value>>], hi: i64) {
+        let range = TimeRange::new(Time::new(0), Time::new(hi));
+        let expected = evaluate(plan, out, inputs, range);
+        let q = crate::lower(plan, out).unwrap();
+        let cq = Compiler::new().compile(&q).unwrap();
+        let bufs: Vec<SnapshotBuf<Value>> =
+            inputs.iter().map(|evs| SnapshotBuf::from_events(evs, range)).collect();
+        let refs: Vec<&SnapshotBuf<Value>> = bufs.iter().collect();
+        let got = cq.run(&refs, range).to_events();
+        assert!(
+            streams_equivalent(&expected, &got),
+            "reference {expected:?}\n!= tilt {got:?}"
+        );
+    }
+
+    #[test]
+    fn select_where_agree_with_tilt() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let sel = plan.select(src, elem().mul(Expr::c(3.0)));
+        let out = plan.where_(sel, elem().gt(Expr::c(10.0)));
+        check(&plan, out, &[pts(&[(1, 2.0), (3, 4.0), (5, 6.0)])], 8);
+    }
+
+    #[test]
+    fn window_agrees_with_tilt() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let out = plan.window(src, 6, 2, Agg::Mean);
+        check(&plan, out, &[pts(&[(1, 1.0), (2, 5.0), (4, 3.0), (9, 7.0)])], 12);
+    }
+
+    #[test]
+    fn join_agrees_with_tilt() {
+        let mut plan = LogicalPlan::new();
+        let a = plan.source("a", DataType::Float);
+        let b = plan.source("b", DataType::Float);
+        let out = plan.join(a, b, lhs().add(rhs()));
+        let left = vec![Event::new(Time::new(0), Time::new(6), Value::Float(1.0))];
+        let right = vec![
+            Event::new(Time::new(2), Time::new(4), Value::Float(10.0)),
+            Event::new(Time::new(5), Time::new(9), Value::Float(20.0)),
+        ];
+        check(&plan, out, &[left, right], 10);
+    }
+
+    #[test]
+    fn shift_and_merge_agree_with_tilt() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let lagged = plan.shift(src, 3);
+        let out = plan.merge(src, lagged);
+        check(&plan, out, &[pts(&[(2, 1.0), (7, 2.0)])], 12);
+    }
+
+    #[test]
+    fn chop_agrees_with_tilt() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let out = plan.chop(src, 3);
+        let input = vec![Event::new(Time::new(1), Time::new(11), Value::Float(4.0))];
+        check(&plan, out, &[input], 12);
+    }
+
+    #[test]
+    fn time_dependent_select_agrees_with_tilt() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        // payload + t: changes every tick inside an event.
+        let out = plan.select(src, elem().add(Expr::Time.bin(tilt_core::ir::BinOp::Mul, Expr::c(1i64))));
+        let input = vec![Event::new(Time::new(0), Time::new(5), Value::Float(10.0))];
+        check(&plan, out, &[input], 6);
+    }
+
+    #[test]
+    fn trend_query_reference_matches_tilt() {
+        let (plan, out) = crate::lower::tests::trend_plan();
+        let events: Vec<Event<Value>> = (1..=60)
+            .map(|t| {
+                let v = 100.0 + ((t * 7919) % 13) as f64 - 6.0;
+                Event::point(Time::new(t), Value::Float(v))
+            })
+            .collect();
+        check(&plan, out, &[events], 60);
+    }
+}

@@ -1,0 +1,154 @@
+//! Scalar expression fragments and a small reference interpreter.
+//!
+//! Frontend operators carry their per-event logic as TiLT IR [`Expr`]
+//! fragments with *hole* variables standing for the operator's inputs:
+//! [`elem`] for unary operators (Select, Where) and [`lhs`]/[`rhs`] for
+//! binary ones (Join). Lowering substitutes the holes with temporal
+//! accesses; the baseline engines instead interpret the fragments per event
+//! with [`eval_scalar`] — the per-event interpretation overhead that defines
+//! an interpreted SPE.
+
+use tilt_core::ir::{Expr, VarId};
+use tilt_data::Value;
+
+/// Hole variable for the single input of Select/Where fragments.
+pub const HOLE_ELEM: VarId = hole(0);
+/// Hole variable for the left input of Join fragments.
+pub const HOLE_LEFT: VarId = hole(1);
+/// Hole variable for the right input of Join fragments.
+pub const HOLE_RIGHT: VarId = hole(2);
+
+const fn hole(i: u32) -> VarId {
+    // High ids keep holes clearly out of the range QueryBuilder allocates.
+    VarId::from_raw(u32::MAX - 16 + i)
+}
+
+/// The element hole: the current event's payload in Select/Where fragments.
+pub fn elem() -> Expr {
+    Expr::Var(HOLE_ELEM)
+}
+
+/// The left-payload hole of a Join fragment.
+pub fn lhs() -> Expr {
+    Expr::Var(HOLE_LEFT)
+}
+
+/// The right-payload hole of a Join fragment.
+pub fn rhs() -> Expr {
+    Expr::Var(HOLE_RIGHT)
+}
+
+/// Whether a fragment reads the clock ([`Expr::Time`]).
+pub fn uses_time(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        if matches!(n, Expr::Time) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Interprets a scalar fragment: holes and let-bound variables are resolved
+/// through `env`, the clock through `t`.
+///
+/// This is the slow per-event path used by the interpreted baseline engines
+/// and the reference evaluator; the TiLT pipeline compiles fragments instead.
+///
+/// # Panics
+///
+/// Panics on temporal accesses (`At`/`Reduce`) — fragments are scalar — and
+/// on unbound variables.
+pub fn eval_scalar(e: &Expr, t: i64, env: &mut Vec<(VarId, Value)>) -> Value {
+    match e {
+        Expr::Const(v) => v.clone(),
+        Expr::Time => Value::Int(t),
+        Expr::Var(v) => env
+            .iter()
+            .rev()
+            .find(|(var, _)| var == v)
+            .map(|(_, val)| val.clone())
+            .unwrap_or_else(|| panic!("unbound variable {v} in scalar fragment")),
+        Expr::Unary(op, a) => op.apply(&eval_scalar(a, t, env)),
+        Expr::Binary(op, a, b) => {
+            let va = eval_scalar(a, t, env);
+            let vb = eval_scalar(b, t, env);
+            op.apply(&va, &vb)
+        }
+        Expr::If(c, th, el) => match eval_scalar(c, t, env) {
+            Value::Bool(true) => eval_scalar(th, t, env),
+            Value::Bool(false) => eval_scalar(el, t, env),
+            _ => Value::Null,
+        },
+        Expr::Let { var, value, body } => {
+            let v = eval_scalar(value, t, env);
+            env.push((*var, v));
+            let out = eval_scalar(body, t, env);
+            env.pop();
+            out
+        }
+        Expr::Field(a, i) => eval_scalar(a, t, env).field(*i),
+        Expr::Tuple(items) => Value::tuple(items.iter().map(|it| eval_scalar(it, t, env))),
+        Expr::At { .. } | Expr::Reduce { .. } => {
+            panic!("temporal access in scalar fragment")
+        }
+    }
+}
+
+/// Evaluates a unary fragment on one payload.
+pub fn apply1(f: &Expr, payload: &Value, t: i64) -> Value {
+    let mut env = vec![(HOLE_ELEM, payload.clone())];
+    eval_scalar(f, t, &mut env)
+}
+
+/// Evaluates a binary (join) fragment on two payloads.
+pub fn apply2(f: &Expr, left: &Value, right: &Value, t: i64) -> Value {
+    let mut env = vec![(HOLE_LEFT, left.clone()), (HOLE_RIGHT, right.clone())];
+    eval_scalar(f, t, &mut env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply1_select_fragment() {
+        let f = elem().add(Expr::c(1.0));
+        assert_eq!(apply1(&f, &Value::Float(2.0), 0), Value::Float(3.0));
+        assert_eq!(apply1(&f, &Value::Null, 0), Value::Null);
+    }
+
+    #[test]
+    fn apply2_join_fragment() {
+        let f = lhs().sub(rhs());
+        assert_eq!(apply2(&f, &Value::Float(5.0), &Value::Float(2.0), 0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn time_reads_clock() {
+        let f = Expr::Time.mul(Expr::c(2i64));
+        assert_eq!(apply1(&f, &Value::Int(0), 21), Value::Int(42));
+        assert!(uses_time(&f));
+        assert!(!uses_time(&elem()));
+    }
+
+    #[test]
+    fn lets_shadow_and_restore() {
+        let v = VarId::from_raw(3);
+        let f = Expr::Let {
+            var: v,
+            value: Box::new(elem().mul(Expr::c(10.0))),
+            body: Box::new(Expr::Var(v).add(Expr::Var(v))),
+        };
+        assert_eq!(apply1(&f, &Value::Float(1.5), 0), Value::Float(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal access")]
+    fn temporal_access_rejected() {
+        let mut b = tilt_core::ir::Query::builder();
+        let obj = b.input("x", tilt_core::ir::DataType::Float);
+        let f = Expr::at(obj);
+        let _ = apply1(&f, &Value::Null, 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! `spe-streambox` — a StreamBox-style pipeline-parallel SPE (baseline [34]).
+//!
+//! StreamBox parallelizes a query by running each operator as its own
+//! pipeline stage and streaming record *bundles* between stages over
+//! channels. Parallelism is therefore bounded by pipeline depth, stateful
+//! stages serialize, and — as the paper observes in §7.1 — its temporal
+//! join is O(n²): every left event is checked against every buffered right
+//! event. Both properties are reproduced faithfully here because they are
+//! what Fig. 7a measures (321.94× behind TiLT on Join).
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use tilt_data::{Event, Time, Value};
+use tilt_query::{apply1, apply2, Agg, LogicalPlan, NodeId, OpNode};
+
+/// Messages flowing between pipeline stages.
+enum Msg {
+    /// A bundle of events from the given input port (0 = left/unary).
+    Bundle(usize, Vec<Event<Value>>),
+    /// End-of-stream marker (per input port).
+    Eos,
+}
+
+/// Runs `plan` as a pipeline of operator stages, one thread per operator,
+/// feeding `bundle_size`-event bundles. Returns the output events.
+///
+/// # Panics
+///
+/// Panics if the plan has no operators or the number of inputs does not
+/// match the number of sources.
+pub fn run_pipeline(
+    plan: &LogicalPlan,
+    output: NodeId,
+    inputs: &[Vec<Event<Value>>],
+    bundle_size: usize,
+) -> Vec<Event<Value>> {
+    let sources = plan.sources();
+    assert_eq!(sources.len(), inputs.len(), "one input per source");
+    let n = plan.len();
+
+    // Channel per node; consumers list per node with ports.
+    let mut senders: Vec<Option<Sender<Msg>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded::<Msg>(64);
+        senders.push(Some(tx));
+        receivers.push(Some(rx));
+    }
+    let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (i, node) in plan.nodes().iter().enumerate() {
+        for (port, dep) in node.inputs().iter().enumerate() {
+            consumers[dep.index()].push((i, port));
+        }
+    }
+    let (out_tx, out_rx) = bounded::<Msg>(64);
+
+    let result = crossbeam::thread::scope(|s| {
+        // Spawn one stage per non-source operator.
+        for (i, node) in plan.nodes().iter().enumerate() {
+            if matches!(node, OpNode::Source { .. }) {
+                continue;
+            }
+            let rx = receivers[i].take().expect("each stage spawned once");
+            let downstream: Vec<(Sender<Msg>, usize)> = consumers[i]
+                .iter()
+                .map(|(c, port)| (senders[*c].clone().expect("consumer channel"), *port))
+                .collect();
+            let out = if i == output.index() { Some(out_tx.clone()) } else { None };
+            let node = node.clone();
+            s.spawn(move |_| stage(node, rx, downstream, out));
+        }
+        // Sources push bundles directly to their consumers.
+        for (k, src) in sources.iter().enumerate() {
+            let downstream: Vec<(Sender<Msg>, usize)> = consumers[src.index()]
+                .iter()
+                .map(|(c, port)| (senders[*c].clone().expect("consumer channel"), *port))
+                .collect();
+            let out = if src.index() == output.index() { Some(out_tx.clone()) } else { None };
+            for bundle in inputs[k].chunks(bundle_size.max(1)) {
+                for (tx, port) in &downstream {
+                    let _ = tx.send(Msg::Bundle(*port, bundle.to_vec()));
+                }
+                if let Some(tx) = &out {
+                    let _ = tx.send(Msg::Bundle(0, bundle.to_vec()));
+                }
+            }
+            for (tx, _) in &downstream {
+                let _ = tx.send(Msg::Eos);
+            }
+            if let Some(tx) = &out {
+                let _ = tx.send(Msg::Eos);
+            }
+        }
+        // Drop our copies of the channel endpoints so stages terminate.
+        drop(senders);
+        drop(out_tx);
+
+        let mut collected = Vec::new();
+        while let Ok(msg) = out_rx.recv() {
+            if let Msg::Bundle(_, events) = msg {
+                collected.extend(events);
+            }
+        }
+        tilt_data::sort_stream(&mut collected);
+        collected
+    })
+    .expect("pipeline stage panicked");
+    result
+}
+
+/// One pipeline stage: applies the operator to bundles as they arrive.
+fn stage(
+    node: OpNode,
+    rx: Receiver<Msg>,
+    downstream: Vec<(Sender<Msg>, usize)>,
+    out: Option<Sender<Msg>>,
+) {
+    let emit = |events: Vec<Event<Value>>| {
+        if events.is_empty() {
+            return;
+        }
+        for (tx, port) in &downstream {
+            let _ = tx.send(Msg::Bundle(*port, events.clone()));
+        }
+        if let Some(tx) = &out {
+            let _ = tx.send(Msg::Bundle(0, events.clone()));
+        }
+    };
+    let needed_eos = node.inputs().len().max(1);
+    let mut eos = 0usize;
+
+    // Stage-local state for stateful operators.
+    let mut left_buf: Vec<Event<Value>> = Vec::new();
+    let mut right_buf: Vec<Event<Value>> = Vec::new();
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Bundle(port, events) => match &node {
+                OpNode::Select { f, .. } => {
+                    let mut mapped = Vec::with_capacity(events.len());
+                    for e in &events {
+                        if tilt_query::uses_time(f) {
+                            for t in (e.start.ticks() + 1)..=e.end.ticks() {
+                                let v = apply1(f, &e.payload, t);
+                                if !matches!(v, Value::Null) {
+                                    mapped.push(Event::new(Time::new(t - 1), Time::new(t), v));
+                                }
+                            }
+                        } else {
+                            let v = apply1(f, &e.payload, e.end.ticks());
+                            if !matches!(v, Value::Null) {
+                                mapped.push(Event::new(e.start, e.end, v));
+                            }
+                        }
+                    }
+                    emit(mapped);
+                }
+                OpNode::Where { pred, .. } => {
+                    let kept = events
+                        .iter()
+                        .filter(|e| apply1(pred, &e.payload, e.end.ticks()) == Value::Bool(true))
+                        .cloned()
+                        .collect();
+                    emit(kept);
+                }
+                OpNode::Shift { delta, .. } => {
+                    let shifted = events
+                        .iter()
+                        .map(|e| Event::new(e.start + *delta, e.end + *delta, e.payload.clone()))
+                        .collect();
+                    emit(shifted);
+                }
+                OpNode::Chop { period, .. } => {
+                    let mut chopped = Vec::new();
+                    for e in &events {
+                        let mut g = Time::new(e.start.ticks() + 1).align_up(*period);
+                        while g <= e.end {
+                            chopped.push(Event::new(g - *period, g, e.payload.clone()));
+                            g = g + *period;
+                        }
+                    }
+                    emit(chopped);
+                }
+                // Stateful operators buffer until EOS (StreamBox's stateful
+                // stages serialize on their state).
+                OpNode::Window { .. } | OpNode::Join { .. } | OpNode::Merge { .. } => {
+                    if port == 0 {
+                        left_buf.extend(events);
+                    } else {
+                        right_buf.extend(events);
+                    }
+                }
+                OpNode::Source { .. } => emit(events),
+            },
+            Msg::Eos => {
+                eos += 1;
+                if eos < needed_eos {
+                    continue;
+                }
+                // Flush stateful operators.
+                match &node {
+                    OpNode::Window { size, stride, agg, .. } => {
+                        emit(window_flush(&mut left_buf, *size, *stride, agg));
+                    }
+                    OpNode::Join { f, .. } => {
+                        emit(join_quadratic(&left_buf, &right_buf, f));
+                    }
+                    OpNode::Merge { .. } => {
+                        emit(merge_flush(&left_buf, &right_buf));
+                    }
+                    _ => {}
+                }
+                for (tx, _) in &downstream {
+                    let _ = tx.send(Msg::Eos);
+                }
+                if let Some(tx) = &out {
+                    let _ = tx.send(Msg::Eos);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The O(n²) interval join the paper measured in StreamBox (§7.1).
+fn join_quadratic(left: &[Event<Value>], right: &[Event<Value>], f: &tilt_core::ir::Expr) -> Vec<Event<Value>> {
+    let mut out = Vec::new();
+    let time_dep = tilt_query::uses_time(f);
+    for el in left {
+        for er in right {
+            // No ordering assumption is exploited: full scan per left event.
+            let s = el.start.max(er.start);
+            let e = el.end.min(er.end);
+            if s >= e {
+                continue;
+            }
+            if time_dep {
+                for t in (s.ticks() + 1)..=e.ticks() {
+                    let v = apply2(f, &el.payload, &er.payload, t);
+                    if !matches!(v, Value::Null) {
+                        out.push(Event::new(Time::new(t - 1), Time::new(t), v));
+                    }
+                }
+            } else {
+                let v = apply2(f, &el.payload, &er.payload, e.ticks());
+                if !matches!(v, Value::Null) {
+                    out.push(Event::new(s, e, v));
+                }
+            }
+        }
+    }
+    tilt_data::sort_stream(&mut out);
+    out
+}
+
+fn window_flush(buf: &mut Vec<Event<Value>>, size: i64, stride: i64, agg: &Agg) -> Vec<Event<Value>> {
+    tilt_data::sort_stream(buf);
+    let Some(first) = buf.first() else { return Vec::new() };
+    let last_end = buf.iter().map(|e| e.end).max().expect("non-empty");
+    let mut out = Vec::new();
+    let mut g = Time::new(first.start.ticks() + 1).align_up(stride);
+    let mut head = 0usize;
+    let mut payloads: Vec<Value> = Vec::new();
+    while g <= last_end + size {
+        // Sorted starts + disjoint intervals ⇒ sorted ends: advance the head
+        // past events fully left of the window and scan only up to the first
+        // event starting at/after the window end.
+        while head < buf.len() && buf[head].end <= g - size {
+            head += 1;
+        }
+        let upper = buf.partition_point(|e| e.start < g);
+        payloads.clear();
+        payloads.extend(
+            buf[head..upper]
+                .iter()
+                .filter(|e| e.end > g - size)
+                .map(|e| e.payload.clone()),
+        );
+        let v = agg.apply_naive(&payloads);
+        if !matches!(v, Value::Null) {
+            out.push(Event::new(g - stride, g, v));
+        }
+        g = g + stride;
+    }
+    out
+}
+
+fn merge_flush(left: &[Event<Value>], right: &[Event<Value>]) -> Vec<Event<Value>> {
+    let mut bounds: Vec<i64> = left
+        .iter()
+        .chain(right.iter())
+        .flat_map(|e| [e.start.ticks(), e.end.ticks()])
+        .collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut out = Vec::new();
+    for w in bounds.windows(2) {
+        let probe = Time::new(w[1]);
+        let v = left
+            .iter()
+            .find(|e| e.is_active_at(probe))
+            .or_else(|| right.iter().find(|e| e.is_active_at(probe)))
+            .map(|e| e.payload.clone());
+        if let Some(v) = v {
+            out.push(Event::new(Time::new(w[0]), probe, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_core::ir::{DataType, Expr};
+    use tilt_data::{streams_equivalent, TimeRange};
+    use tilt_query::{elem, lhs, rhs};
+
+    fn pts(points: &[(i64, f64)]) -> Vec<Event<Value>> {
+        points.iter().map(|&(t, v)| Event::point(Time::new(t), Value::Float(v))).collect()
+    }
+
+    #[test]
+    fn select_where_pipeline_matches_reference() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let sel = plan.select(src, elem().mul(Expr::c(2.0)));
+        let out = plan.where_(sel, elem().gt(Expr::c(4.0)));
+        let events = pts(&[(1, 1.0), (2, 3.0), (3, 5.0)]);
+        let range = TimeRange::new(Time::new(0), Time::new(4));
+        let expected = tilt_query::reference::evaluate(&plan, out, &[events.clone()], range);
+        let got = run_pipeline(&plan, out, &[events], 2);
+        assert!(streams_equivalent(&expected, &got), "{expected:?} != {got:?}");
+    }
+
+    #[test]
+    fn join_pipeline_matches_reference() {
+        let mut plan = LogicalPlan::new();
+        let a = plan.source("a", DataType::Float);
+        let b = plan.source("b", DataType::Float);
+        let out = plan.join(a, b, lhs().add(rhs()));
+        let left = vec![Event::new(Time::new(0), Time::new(6), Value::Float(1.0))];
+        let right = vec![
+            Event::new(Time::new(2), Time::new(4), Value::Float(10.0)),
+            Event::new(Time::new(5), Time::new(9), Value::Float(20.0)),
+        ];
+        let range = TimeRange::new(Time::new(0), Time::new(10));
+        let expected =
+            tilt_query::reference::evaluate(&plan, out, &[left.clone(), right.clone()], range);
+        let got = run_pipeline(&plan, out, &[left, right], 8);
+        assert!(streams_equivalent(&expected, &got), "{expected:?} != {got:?}");
+    }
+
+    #[test]
+    fn window_pipeline_matches_reference() {
+        let mut plan = LogicalPlan::new();
+        let src = plan.source("s", DataType::Float);
+        let out = plan.window(src, 4, 2, Agg::Sum);
+        let events = pts(&[(1, 1.0), (2, 2.0), (3, 3.0), (6, 4.0)]);
+        let range = TimeRange::new(Time::new(0), Time::new(8));
+        let expected = tilt_query::reference::evaluate(&plan, out, &[events.clone()], range);
+        let got: Vec<Event<Value>> = run_pipeline(&plan, out, &[events], 2)
+            .into_iter()
+            .filter(|e| e.end <= range.end)
+            .collect();
+        assert!(streams_equivalent(&expected, &got), "{expected:?} != {got:?}");
+    }
+}

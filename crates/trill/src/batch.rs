@@ -1,0 +1,153 @@
+//! Columnar micro-batches, after Trill's batch layout [11].
+//!
+//! Trill stores events column-wise — sync times, other times, payloads —
+//! plus an occupancy bit vector so filters can *mark* rows dead without
+//! compacting. Rows are compacted lazily when occupancy drops below a
+//! threshold. This reproduction keeps the same design because it is what
+//! gives the interpreted baseline its characteristic costs: per-operator
+//! batch allocation, bitmap maintenance, and copying at compaction points.
+
+use tilt_data::{Event, Time, Value};
+
+/// Occupancy ratio below which a batch is compacted.
+const COMPACT_THRESHOLD: f64 = 0.5;
+
+/// A columnar batch of interval events.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnarBatch {
+    /// Interval starts (Trill: "sync time").
+    pub starts: Vec<i64>,
+    /// Interval ends (Trill: "other time").
+    pub ends: Vec<i64>,
+    /// Payload column.
+    pub payloads: Vec<Value>,
+    /// Occupancy bitmap: `false` rows are logically deleted.
+    pub active: Vec<bool>,
+}
+
+impl ColumnarBatch {
+    /// An empty batch with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ColumnarBatch {
+            starts: Vec::with_capacity(capacity),
+            ends: Vec::with_capacity(capacity),
+            payloads: Vec::with_capacity(capacity),
+            active: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a batch from events.
+    pub fn from_events(events: &[Event<Value>]) -> Self {
+        let mut b = ColumnarBatch::with_capacity(events.len());
+        for e in events {
+            b.push(e.start, e.end, e.payload.clone());
+        }
+        b
+    }
+
+    /// Appends a row.
+    #[inline]
+    pub fn push(&mut self, start: Time, end: Time, payload: Value) {
+        self.starts.push(start.ticks());
+        self.ends.push(end.ticks());
+        self.payloads.push(payload);
+        self.active.push(true);
+    }
+
+    /// Total rows (including dead ones).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the batch holds no rows at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Number of live rows.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// Drops dead rows if occupancy fell below the compaction threshold.
+    pub fn maybe_compact(&mut self) {
+        if self.is_empty() {
+            return;
+        }
+        let live = self.active_count();
+        if (live as f64) / (self.len() as f64) >= COMPACT_THRESHOLD {
+            return;
+        }
+        let mut out = ColumnarBatch::with_capacity(live);
+        for i in 0..self.len() {
+            if self.active[i] {
+                out.starts.push(self.starts[i]);
+                out.ends.push(self.ends[i]);
+                out.payloads.push(std::mem::take(&mut self.payloads[i]));
+                out.active.push(true);
+            }
+        }
+        *self = out;
+    }
+
+    /// Extracts the live rows as events.
+    pub fn to_events(&self) -> Vec<Event<Value>> {
+        (0..self.len())
+            .filter(|&i| self.active[i])
+            .map(|i| {
+                Event::new(Time::new(self.starts[i]), Time::new(self.ends[i]), self.payloads[i].clone())
+            })
+            .collect()
+    }
+
+    /// Iterates live rows as `(start, end, payload)`.
+    pub fn iter_active(&self) -> impl Iterator<Item = (i64, i64, &Value)> + '_ {
+        (0..self.len())
+            .filter(|&i| self.active[i])
+            .map(|i| (self.starts[i], self.ends[i], &self.payloads[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_roundtrip() {
+        let evs = vec![
+            Event::point(Time::new(1), Value::Float(1.0)),
+            Event::point(Time::new(2), Value::Float(2.0)),
+        ];
+        let b = ColumnarBatch::from_events(&evs);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.to_events(), evs);
+    }
+
+    #[test]
+    fn compaction_drops_dead_rows() {
+        let mut b = ColumnarBatch::with_capacity(4);
+        for i in 0..4 {
+            b.push(Time::new(i), Time::new(i + 1), Value::Int(i));
+        }
+        b.active[0] = false;
+        b.active[1] = false;
+        b.active[2] = false;
+        b.maybe_compact();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.payloads[0], Value::Int(3));
+    }
+
+    #[test]
+    fn compaction_skipped_at_high_occupancy() {
+        let mut b = ColumnarBatch::with_capacity(4);
+        for i in 0..4 {
+            b.push(Time::new(i), Time::new(i + 1), Value::Int(i));
+        }
+        b.active[0] = false;
+        b.maybe_compact();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.active_count(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! `spe-trill` — a Trill-style interpreted micro-batch SPE (baseline [11]).
+//!
+//! Structural reproduction of the baseline the paper compares against most
+//! extensively: columnar micro-batches with occupancy bitmaps
+//! ([`ColumnarBatch`]), hand-written physical operators behind virtual
+//! dispatch, per-event interpreted payload logic, and parallelism only over
+//! partitioned streams ([`run_partitioned`]). The full operator vocabulary
+//! (including temporal join, chop, and merge) is supported — in the paper,
+//! Trill is the only baseline expressive enough for all eight applications.
+
+#![warn(missing_docs)]
+
+mod batch;
+mod engine;
+mod operators;
+
+pub use batch::ColumnarBatch;
+pub use engine::{run_partitioned, run_single, TrillEngine};
+pub use operators::{BinaryOp, ChopOp, JoinOp, MergeOp, SelectOp, ShiftOp, UnaryOp, WhereOp, WindowOp};

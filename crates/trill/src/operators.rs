@@ -1,0 +1,558 @@
+//! Hand-written physical operators (the interpreted iterator model of §3).
+//!
+//! Each operator consumes columnar batches and produces columnar batches.
+//! This is the classic interpreted-SPE execution model the paper contrasts
+//! TiLT against: every operator boundary materializes a batch, every event
+//! crosses a virtual call, and per-event logic is interpreted.
+
+use tilt_core::ir::Expr;
+use tilt_data::{Time, Value};
+use tilt_query::{apply1, apply2, uses_time, Agg};
+
+use crate::batch::ColumnarBatch;
+
+/// A single-input physical operator.
+pub trait UnaryOp: Send {
+    /// Processes one input batch.
+    fn on_batch(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch>;
+
+    /// Emits whatever is still buffered at end-of-stream.
+    fn flush(&mut self) -> Vec<ColumnarBatch> {
+        Vec::new()
+    }
+}
+
+/// A two-input physical operator.
+pub trait BinaryOp: Send {
+    /// Processes a batch from the left input.
+    fn on_left(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch>;
+
+    /// Processes a batch from the right input.
+    fn on_right(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch>;
+
+    /// Emits whatever is still buffered at end-of-stream.
+    fn flush(&mut self) -> Vec<ColumnarBatch>;
+}
+
+/// Projection: rewrites payloads in place (dead rows skipped).
+pub struct SelectOp {
+    f: Expr,
+}
+
+impl SelectOp {
+    /// Creates a Select with the given unary fragment.
+    pub fn new(f: Expr) -> Self {
+        SelectOp { f }
+    }
+}
+
+impl UnaryOp for SelectOp {
+    fn on_batch(&mut self, mut batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        if uses_time(&self.f) {
+            // Clock-dependent projection: the result varies inside an
+            // event's interval, so rows are split per tick.
+            let mut out = ColumnarBatch::with_capacity(batch.len());
+            for (s, e, payload) in batch.iter_active() {
+                for t in (s + 1)..=e {
+                    let v = apply1(&self.f, payload, t);
+                    if !matches!(v, Value::Null) {
+                        out.push(Time::new(t - 1), Time::new(t), v);
+                    }
+                }
+            }
+            return vec![out];
+        }
+        for i in 0..batch.len() {
+            if !batch.active[i] {
+                continue;
+            }
+            let v = apply1(&self.f, &batch.payloads[i], batch.ends[i]);
+            if matches!(v, Value::Null) {
+                batch.active[i] = false;
+            } else {
+                batch.payloads[i] = v;
+            }
+        }
+        batch.maybe_compact();
+        vec![batch]
+    }
+}
+
+/// Filter: clears occupancy bits, compacting lazily.
+pub struct WhereOp {
+    pred: Expr,
+}
+
+impl WhereOp {
+    /// Creates a Where with the given predicate fragment.
+    pub fn new(pred: Expr) -> Self {
+        WhereOp { pred }
+    }
+}
+
+impl UnaryOp for WhereOp {
+    fn on_batch(&mut self, mut batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        for i in 0..batch.len() {
+            if !batch.active[i] {
+                continue;
+            }
+            if apply1(&self.pred, &batch.payloads[i], batch.ends[i]) != Value::Bool(true) {
+                batch.active[i] = false;
+            }
+        }
+        batch.maybe_compact();
+        vec![batch]
+    }
+}
+
+/// Shift: moves validity intervals by a constant.
+pub struct ShiftOp {
+    delta: i64,
+}
+
+impl ShiftOp {
+    /// Creates a Shift by `delta` ticks.
+    pub fn new(delta: i64) -> Self {
+        ShiftOp { delta }
+    }
+}
+
+impl UnaryOp for ShiftOp {
+    fn on_batch(&mut self, mut batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        for i in 0..batch.len() {
+            batch.starts[i] += self.delta;
+            batch.ends[i] += self.delta;
+        }
+        vec![batch]
+    }
+}
+
+/// Chop: splits events into aligned `period`-length chunks.
+pub struct ChopOp {
+    period: i64,
+}
+
+impl ChopOp {
+    /// Creates a Chop with the given period.
+    pub fn new(period: i64) -> Self {
+        ChopOp { period }
+    }
+}
+
+impl UnaryOp for ChopOp {
+    fn on_batch(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        let p = self.period;
+        let mut out = ColumnarBatch::with_capacity(batch.len());
+        for (s, e, payload) in batch.iter_active() {
+            let mut g = Time::new(s + 1).align_up(p).ticks();
+            while g <= e {
+                out.push(Time::new(g - p), Time::new(g), payload.clone());
+                g += p;
+            }
+        }
+        vec![out]
+    }
+}
+
+/// Buffered event used by the stateful operators.
+#[derive(Clone, Debug)]
+struct Ev {
+    start: i64,
+    end: i64,
+    payload: Value,
+}
+
+fn insert_sorted(buf: &mut Vec<Ev>, ev: Ev) {
+    let pos = buf.partition_point(|e| (e.start, e.end) <= (ev.start, ev.end));
+    buf.insert(pos, ev);
+}
+
+/// Windowed aggregation: buffers events, emits one output per settled grid
+/// tick, evicting events that can no longer overlap any future window.
+///
+/// The buffer is kept start-sorted; per tick only the slice of events that
+/// can overlap the window is scanned (`head..upper`), so emission is
+/// O(window) per tick — the "efficient hand-written operator" the paper
+/// credits Trill with, still fully interpreted per event.
+pub struct WindowOp {
+    size: i64,
+    stride: i64,
+    agg: Agg,
+    buf: Vec<Ev>,
+    /// Index of the first event that may still overlap a future window.
+    head: usize,
+    /// Next grid tick to emit.
+    next_g: Option<i64>,
+    /// Largest event start seen (events arrive start-ordered).
+    watermark: i64,
+}
+
+impl WindowOp {
+    /// Creates a window aggregation operator.
+    pub fn new(size: i64, stride: i64, agg: Agg) -> Self {
+        WindowOp {
+            size,
+            stride,
+            agg,
+            buf: Vec::new(),
+            head: 0,
+            next_g: None,
+            watermark: i64::MIN,
+        }
+    }
+
+    fn emit_upto(&mut self, limit: i64, out: &mut ColumnarBatch) {
+        let Some(mut g) = self.next_g else { return };
+        let mut payloads: Vec<Value> = Vec::new();
+        while g <= limit {
+            let lo = g - self.size;
+            // Advance the head past events that ended at or before the
+            // window's left edge (sorted starts + disjoint intervals imply
+            // sorted ends).
+            while self.head < self.buf.len() && self.buf[self.head].end <= lo {
+                self.head += 1;
+            }
+            let upper = self.buf.partition_point(|e| e.start < g);
+            payloads.clear();
+            payloads.extend(
+                self.buf[self.head..upper]
+                    .iter()
+                    .filter(|e| e.end > lo)
+                    .map(|e| e.payload.clone()),
+            );
+            let v = self.agg.apply_naive(&payloads);
+            if !matches!(v, Value::Null) {
+                out.push(Time::new(g - self.stride), Time::new(g), v);
+            }
+            g += self.stride;
+        }
+        self.next_g = Some(g);
+        // Reclaim the dead prefix occasionally.
+        if self.head > 8192 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl UnaryOp for WindowOp {
+    fn on_batch(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        let mut out = ColumnarBatch::default();
+        for (s, e, payload) in batch.iter_active() {
+            if self.next_g.is_none() {
+                // First grid tick that could see this event.
+                self.next_g = Some(Time::new(s + 1).align_up(self.stride).ticks());
+            }
+            self.watermark = self.watermark.max(s);
+            insert_sorted(&mut self.buf, Ev { start: s, end: e, payload: payload.clone() });
+        }
+        // Ticks `g ≤ watermark` are settled: later events start ≥ watermark
+        // and cannot overlap `( g-size, g ]` windows with `start < g`.
+        self.emit_upto(self.watermark, &mut out);
+        if out.is_empty() {
+            vec![]
+        } else {
+            vec![out]
+        }
+    }
+
+    fn flush(&mut self) -> Vec<ColumnarBatch> {
+        let mut out = ColumnarBatch::default();
+        let limit = self.buf.iter().map(|e| e.end + self.size).max().unwrap_or(i64::MIN);
+        self.emit_upto(limit, &mut out);
+        if out.is_empty() {
+            vec![]
+        } else {
+            vec![out]
+        }
+    }
+}
+
+/// In-order interval join (O(n + matches) sweeps, like Trill's streaming
+/// join). Head indices replace buffer compaction so pops and eviction are
+/// O(1) amortized.
+pub struct JoinOp {
+    f: Expr,
+    left: Vec<Ev>,
+    right: Vec<Ev>,
+    left_head: usize,
+    right_head: usize,
+    wl: i64,
+    wr: i64,
+}
+
+impl JoinOp {
+    /// Creates a join with the given binary fragment.
+    pub fn new(f: Expr) -> Self {
+        JoinOp {
+            f,
+            left: Vec::new(),
+            right: Vec::new(),
+            left_head: 0,
+            right_head: 0,
+            wl: i64::MIN,
+            wr: i64::MIN,
+        }
+    }
+
+    fn emit_settled(&mut self, force: bool, out: &mut ColumnarBatch) {
+        // A left event is settled once the right watermark passes its end:
+        // no future right event (start ≥ wr) can overlap it.
+        let time_dep = uses_time(&self.f);
+        while self.left_head < self.left.len() {
+            let el = self.left[self.left_head].clone();
+            if !force && el.end > self.wr {
+                break;
+            }
+            self.left_head += 1;
+            // Right events ending at or before this left's start can never
+            // match this or any later left (left starts are sorted).
+            while self.right_head < self.right.len()
+                && self.right[self.right_head].end <= el.start
+            {
+                self.right_head += 1;
+            }
+            for er in &self.right[self.right_head..] {
+                if er.start >= el.end {
+                    break;
+                }
+                let s = el.start.max(er.start);
+                let e = el.end.min(er.end);
+                if s >= e {
+                    continue;
+                }
+                if time_dep {
+                    for t in (s + 1)..=e {
+                        let v = apply2(&self.f, &el.payload, &er.payload, t);
+                        if !matches!(v, Value::Null) {
+                            out.push(Time::new(t - 1), Time::new(t), v);
+                        }
+                    }
+                } else {
+                    let v = apply2(&self.f, &el.payload, &er.payload, e);
+                    if !matches!(v, Value::Null) {
+                        out.push(Time::new(s), Time::new(e), v);
+                    }
+                }
+            }
+        }
+        if self.left_head > 8192 {
+            self.left.drain(..self.left_head);
+            self.left_head = 0;
+        }
+        if self.right_head > 8192 {
+            self.right.drain(..self.right_head);
+            self.right_head = 0;
+        }
+    }
+}
+
+impl BinaryOp for JoinOp {
+    fn on_left(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        for (s, e, p) in batch.iter_active() {
+            self.wl = self.wl.max(s);
+            insert_sorted(&mut self.left, Ev { start: s, end: e, payload: p.clone() });
+        }
+        let mut out = ColumnarBatch::default();
+        self.emit_settled(false, &mut out);
+        if out.is_empty() {
+            vec![]
+        } else {
+            vec![out]
+        }
+    }
+
+    fn on_right(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        for (s, e, p) in batch.iter_active() {
+            self.wr = self.wr.max(s);
+            insert_sorted(&mut self.right, Ev { start: s, end: e, payload: p.clone() });
+        }
+        let mut out = ColumnarBatch::default();
+        self.emit_settled(false, &mut out);
+        if out.is_empty() {
+            vec![]
+        } else {
+            vec![out]
+        }
+    }
+
+    fn flush(&mut self) -> Vec<ColumnarBatch> {
+        let mut out = ColumnarBatch::default();
+        self.emit_settled(true, &mut out);
+        if out.is_empty() {
+            vec![]
+        } else {
+            vec![out]
+        }
+    }
+}
+
+/// Temporal coalesce: left where present, else right (flush-time emission).
+pub struct MergeOp {
+    left: Vec<Ev>,
+    right: Vec<Ev>,
+}
+
+impl MergeOp {
+    /// Creates a merge operator.
+    pub fn new() -> Self {
+        MergeOp { left: Vec::new(), right: Vec::new() }
+    }
+}
+
+impl Default for MergeOp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BinaryOp for MergeOp {
+    fn on_left(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        for (s, e, p) in batch.iter_active() {
+            insert_sorted(&mut self.left, Ev { start: s, end: e, payload: p.clone() });
+        }
+        vec![]
+    }
+
+    fn on_right(&mut self, batch: ColumnarBatch) -> Vec<ColumnarBatch> {
+        for (s, e, p) in batch.iter_active() {
+            insert_sorted(&mut self.right, Ev { start: s, end: e, payload: p.clone() });
+        }
+        vec![]
+    }
+
+    fn flush(&mut self) -> Vec<ColumnarBatch> {
+        // Sweep over the union of boundaries, preferring the left stream.
+        // Events per side are sorted and disjoint, so per-side cursors make
+        // the sweep linear.
+        let mut bounds: Vec<i64> = self
+            .left
+            .iter()
+            .chain(self.right.iter())
+            .flat_map(|e| [e.start, e.end])
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut out = ColumnarBatch::default();
+        let (mut li, mut ri) = (0usize, 0usize);
+        for w in bounds.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            let probe = e; // value is constant on (s, e]
+            while li < self.left.len() && self.left[li].end < probe {
+                li += 1;
+            }
+            while ri < self.right.len() && self.right[ri].end < probe {
+                ri += 1;
+            }
+            let covers = |ev: &Ev| ev.start < probe && probe <= ev.end;
+            let v = self
+                .left
+                .get(li)
+                .filter(|ev| covers(ev))
+                .or_else(|| self.right.get(ri).filter(|ev| covers(ev)))
+                .map(|ev| ev.payload.clone());
+            if let Some(v) = v {
+                out.push(Time::new(s), Time::new(e), v);
+            }
+        }
+        if out.is_empty() {
+            vec![]
+        } else {
+            vec![out]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_data::Event;
+    use tilt_query::{elem, lhs, rhs};
+
+    fn batch(points: &[(i64, f64)]) -> ColumnarBatch {
+        let evs: Vec<Event<Value>> =
+            points.iter().map(|&(t, v)| Event::point(Time::new(t), Value::Float(v))).collect();
+        ColumnarBatch::from_events(&evs)
+    }
+
+    #[test]
+    fn select_rewrites_payloads() {
+        let mut op = SelectOp::new(elem().mul(Expr::c(2.0)));
+        let out = op.on_batch(batch(&[(1, 1.0), (2, 2.0)]));
+        let evs: Vec<_> = out[0].to_events();
+        assert_eq!(evs[0].payload, Value::Float(2.0));
+        assert_eq!(evs[1].payload, Value::Float(4.0));
+    }
+
+    #[test]
+    fn where_marks_dead_rows() {
+        let mut op = WhereOp::new(elem().gt(Expr::c(1.5)));
+        let out = op.on_batch(batch(&[(1, 1.0), (2, 2.0), (3, 3.0)]));
+        assert_eq!(out[0].active_count(), 2);
+    }
+
+    #[test]
+    fn window_sum_emits_settled_ticks() {
+        let mut op = WindowOp::new(3, 1, Agg::Sum);
+        let mut outs = op.on_batch(batch(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)]));
+        outs.extend(op.flush());
+        let evs: Vec<Event<Value>> = outs.iter().flat_map(|b| b.to_events()).collect();
+        // t=1:1, t=2:3, t=3:6, t=4:9, t=5:7, t=6:4
+        let vals: Vec<f64> = evs.iter().filter_map(|e| e.payload.as_f64()).collect();
+        assert_eq!(vals, vec![1.0, 3.0, 6.0, 9.0, 7.0, 4.0]);
+    }
+
+    #[test]
+    fn join_intersects_in_order() {
+        let mut op = JoinOp::new(lhs().add(rhs()));
+        let left = ColumnarBatch::from_events(&[Event::new(
+            Time::new(0),
+            Time::new(6),
+            Value::Float(1.0),
+        )]);
+        let right = ColumnarBatch::from_events(&[
+            Event::new(Time::new(2), Time::new(4), Value::Float(10.0)),
+            Event::new(Time::new(5), Time::new(9), Value::Float(20.0)),
+        ]);
+        let mut outs = op.on_left(left);
+        outs.extend(op.on_right(right));
+        outs.extend(op.flush());
+        let evs: Vec<Event<Value>> = outs.iter().flat_map(|b| b.to_events()).collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].payload, Value::Float(11.0));
+        assert_eq!(evs[1].payload, Value::Float(21.0));
+    }
+
+    #[test]
+    fn chop_splits_long_events() {
+        let mut op = ChopOp::new(2);
+        let input = ColumnarBatch::from_events(&[Event::new(
+            Time::new(0),
+            Time::new(6),
+            Value::Float(5.0),
+        )]);
+        let out = op.on_batch(input);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn merge_prefers_left() {
+        let mut op = MergeOp::new();
+        let left = ColumnarBatch::from_events(&[Event::new(
+            Time::new(2),
+            Time::new(4),
+            Value::Float(1.0),
+        )]);
+        let right = ColumnarBatch::from_events(&[Event::new(
+            Time::new(0),
+            Time::new(6),
+            Value::Float(9.0),
+        )]);
+        op.on_left(left);
+        op.on_right(right);
+        let outs = op.flush();
+        let evs: Vec<Event<Value>> = outs.iter().flat_map(|b| b.to_events()).collect();
+        let vals: Vec<f64> = evs.iter().filter_map(|e| e.payload.as_f64()).collect();
+        assert_eq!(vals, vec![9.0, 1.0, 9.0]);
+    }
+}

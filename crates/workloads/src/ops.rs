@@ -1,0 +1,301 @@
+//! The primitive temporal-operation micro-benchmarks of Fig. 7a:
+//! Select, Where, Window-Sum, and temporal Join, runnable on every engine
+//! that supports them.
+//!
+//! LightSaber and Grizzly have no temporal join (paper §7.1), so
+//! [`PrimitiveOp::Join`] is only runnable on TiLT, Trill, and StreamBox.
+
+use tilt_core::ir::{DataType, Expr};
+use tilt_core::Compiler;
+use tilt_data::{Event, Time, TimeRange, Value};
+use tilt_query::{elem, lhs, rhs, Agg, LogicalPlan, NodeId};
+
+use crate::gen;
+
+/// The four primitive operations of Fig. 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrimitiveOp {
+    /// `Select(e ⇒ e + 1)`.
+    Select,
+    /// `Where(e ⇒ e > 0.5)`.
+    Where,
+    /// `Window(10, 5).Sum()`.
+    WSum,
+    /// `Join((l, r) ⇒ l + r)`.
+    Join,
+}
+
+impl PrimitiveOp {
+    /// All four ops in Fig. 7a order.
+    pub const ALL: [PrimitiveOp; 4] = [
+        PrimitiveOp::Select,
+        PrimitiveOp::Where,
+        PrimitiveOp::WSum,
+        PrimitiveOp::Join,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimitiveOp::Select => "Select",
+            PrimitiveOp::Where => "Where",
+            PrimitiveOp::WSum => "WSum",
+            PrimitiveOp::Join => "Join",
+        }
+    }
+
+    /// Whether the op needs two input streams.
+    pub fn is_binary(self) -> bool {
+        self == PrimitiveOp::Join
+    }
+}
+
+/// The logical plan of a primitive op.
+pub fn plan(op: PrimitiveOp) -> (LogicalPlan, NodeId) {
+    let mut p = LogicalPlan::new();
+    match op {
+        PrimitiveOp::Select => {
+            let src = p.source("m", DataType::Float);
+            let out = p.select(src, elem().add(Expr::c(1.0)));
+            (p, out)
+        }
+        PrimitiveOp::Where => {
+            let src = p.source("m", DataType::Float);
+            let out = p.where_(src, elem().gt(Expr::c(0.5)));
+            (p, out)
+        }
+        PrimitiveOp::WSum => {
+            let src = p.source("m", DataType::Float);
+            let out = p.window(src, 10, 5, Agg::Sum);
+            (p, out)
+        }
+        PrimitiveOp::Join => {
+            let m = p.source("m", DataType::Float);
+            let n = p.source("n", DataType::Float);
+            let out = p.join(m, n, lhs().add(rhs()));
+            (p, out)
+        }
+    }
+}
+
+/// Input streams for a primitive op: one point-event stream per tick, and —
+/// for Join — a second stream of 2-tick events so intersections are
+/// non-trivial.
+pub fn datasets(op: PrimitiveOp, n: usize, seed: u64) -> Vec<Vec<Event<Value>>> {
+    let first = gen::uniform_floats(n, seed);
+    if !op.is_binary() {
+        return vec![first];
+    }
+    let second: Vec<Event<Value>> = gen::uniform_floats(n / 2, seed ^ 0xDEAD)
+        .into_iter()
+        .enumerate()
+        .map(|(k, e)| {
+            let start = 2 * k as i64;
+            Event::new(Time::new(start), Time::new(start + 2), e.payload)
+        })
+        .collect();
+    vec![first, second]
+}
+
+/// The covered range of the generated datasets.
+pub fn range_for(inputs: &[Vec<Event<Value>>]) -> TimeRange {
+    let hi = inputs
+        .iter()
+        .flat_map(|evs| evs.iter().map(|e| e.end))
+        .max()
+        .unwrap_or(Time::ZERO);
+    TimeRange::new(Time::ZERO, hi.align_up(10))
+}
+
+/// Runs a primitive op on TiLT (parallel over boundary-resolved partitions)
+/// and returns the number of output events.
+pub fn run_tilt(
+    op: PrimitiveOp,
+    inputs: &[Vec<Event<Value>>],
+    range: TimeRange,
+    threads: usize,
+    interval: i64,
+) -> usize {
+    let (p, out) = plan(op);
+    let q = tilt_query::lower(&p, out).expect("primitive op lowers");
+    let cq = Compiler::new().compile(&q).expect("primitive op compiles");
+    let bufs: Vec<tilt_data::SnapshotBuf<Value>> =
+        inputs.iter().map(|evs| tilt_data::SnapshotBuf::from_events(evs, range)).collect();
+    let refs: Vec<&tilt_data::SnapshotBuf<Value>> = bufs.iter().collect();
+    let result = cq.run_parallel(&refs, range, threads, interval);
+    result.to_events().len()
+}
+
+/// Runs a primitive op on the Trill baseline (single partition — an
+/// unpartitioned stream gives Trill no parallelism).
+pub fn run_trill(op: PrimitiveOp, inputs: &[Vec<Event<Value>>], batch: usize) -> usize {
+    let (p, out) = plan(op);
+    if op.is_binary() {
+        let mut engine = spe_trill::TrillEngine::new(&p, out);
+        let sources = p.sources();
+        let (a, b) = (&inputs[0], &inputs[1]);
+        // Interleave batches from both sides to keep watermarks advancing.
+        let mut ia = 0;
+        let mut ib = 0;
+        while ia < a.len() || ib < b.len() {
+            if ia < a.len() {
+                let hi = (ia + batch).min(a.len());
+                engine.push_batch(sources[0], &a[ia..hi]);
+                ia = hi;
+            }
+            if ib < b.len() {
+                let hi = (ib + batch).min(b.len());
+                engine.push_batch(sources[1], &b[ib..hi]);
+                ib = hi;
+            }
+        }
+        engine.finish().len()
+    } else {
+        spe_trill::run_single(&p, out, &inputs[0], batch).len()
+    }
+}
+
+/// Runs a primitive op on the StreamBox baseline.
+pub fn run_streambox(op: PrimitiveOp, inputs: &[Vec<Event<Value>>], bundle: usize) -> usize {
+    let (p, out) = plan(op);
+    spe_streambox::run_pipeline(&p, out, inputs, bundle).len()
+}
+
+/// Runs a primitive op on the LightSaber baseline; `None` when unsupported
+/// (Join).
+pub fn run_lightsaber(
+    op: PrimitiveOp,
+    inputs: &[Vec<Event<Value>>],
+    range: TimeRange,
+    threads: usize,
+) -> Option<usize> {
+    let events = gen::to_f64_events(&inputs[0]);
+    Some(match op {
+        PrimitiveOp::Select => spe_lightsaber::run_select(&events, |x| x + 1.0, threads).len(),
+        PrimitiveOp::Where => spe_lightsaber::run_where(&events, |x| x > 0.5, threads).len(),
+        PrimitiveOp::WSum => {
+            let q = spe_lightsaber::WindowQuery {
+                size: 10,
+                stride: 5,
+                agg: spe_lightsaber::LsAgg::Sum,
+            };
+            spe_lightsaber::run_window(&events, q, range, threads).len()
+        }
+        PrimitiveOp::Join => return None,
+    })
+}
+
+/// Runs a primitive op on the Grizzly baseline; `None` when unsupported
+/// (Join).
+pub fn run_grizzly(
+    op: PrimitiveOp,
+    inputs: &[Vec<Event<Value>>],
+    range: TimeRange,
+    threads: usize,
+) -> Option<usize> {
+    let events = gen::to_f64_events(&inputs[0]);
+    Some(match op {
+        PrimitiveOp::Select => spe_grizzly::run_select(&events, |x| x + 1.0, threads).len(),
+        PrimitiveOp::Where => spe_grizzly::run_where(&events, |x| x > 0.5, threads).len(),
+        PrimitiveOp::WSum => spe_grizzly::run_window_sum(&events, 10, 5, range, threads).len(),
+        PrimitiveOp::Join => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_data::streams_close;
+
+    /// TiLT, Trill, StreamBox, and the reference evaluator must agree
+    /// event-for-event on every primitive op.
+    #[test]
+    fn engines_agree_on_primitives() {
+        for op in PrimitiveOp::ALL {
+            let inputs = datasets(op, 300, 5);
+            let range = range_for(&inputs);
+            let expected =
+                tilt_query::reference::evaluate(&plan(op).0, plan(op).1, &inputs, range);
+
+            let (p, out) = plan(op);
+            let q = tilt_query::lower(&p, out).unwrap();
+            let cq = Compiler::new().compile(&q).unwrap();
+            let bufs: Vec<tilt_data::SnapshotBuf<Value>> = inputs
+                .iter()
+                .map(|evs| tilt_data::SnapshotBuf::from_events(evs, range))
+                .collect();
+            let refs: Vec<&tilt_data::SnapshotBuf<Value>> = bufs.iter().collect();
+            let tilt_out = cq.run(&refs, range).to_events();
+            assert!(
+                streams_close(&expected, &tilt_out, 1e-6),
+                "{}: tilt disagrees ({} vs {})",
+                op.name(),
+                expected.len(),
+                tilt_out.len()
+            );
+
+            let trill_out: Vec<Event<Value>> = if op.is_binary() {
+                let mut engine = spe_trill::TrillEngine::new(&p, out);
+                let sources = p.sources();
+                engine.push_batch(sources[0], &inputs[0]);
+                engine.push_batch(sources[1], &inputs[1]);
+                engine.finish()
+            } else {
+                spe_trill::run_single(&p, out, &inputs[0], 64)
+            };
+            let trill_out: Vec<Event<Value>> =
+                trill_out.into_iter().filter(|e| e.end <= range.end).collect();
+            assert!(
+                streams_close(&expected, &trill_out, 1e-6),
+                "{}: trill disagrees ({} vs {})",
+                op.name(),
+                expected.len(),
+                trill_out.len()
+            );
+
+            let sb_out: Vec<Event<Value>> = spe_streambox::run_pipeline(&p, out, &inputs, 64)
+                .into_iter()
+                .filter(|e| e.end <= range.end)
+                .collect();
+            assert!(
+                streams_close(&expected, &sb_out, 1e-6),
+                "{}: streambox disagrees ({} vs {})",
+                op.name(),
+                expected.len(),
+                sb_out.len()
+            );
+        }
+    }
+
+    /// The aggregation-only engines agree with the reference on the ops they
+    /// support (modulo f64 payloads).
+    #[test]
+    fn specialized_engines_agree_on_wsum() {
+        let op = PrimitiveOp::WSum;
+        let inputs = datasets(op, 200, 5);
+        let range = range_for(&inputs);
+        let expected = tilt_query::reference::evaluate(&plan(op).0, plan(op).1, &inputs, range);
+        let expected_sums: Vec<f64> =
+            expected.iter().filter_map(|e| e.payload.as_f64()).collect();
+
+        let events = gen::to_f64_events(&inputs[0]);
+        let q = spe_lightsaber::WindowQuery { size: 10, stride: 5, agg: spe_lightsaber::LsAgg::Sum };
+        let ls: Vec<f64> = spe_lightsaber::run_window(&events, q, range, 2)
+            .iter()
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(expected_sums.len(), ls.len());
+        for (a, b) in expected_sums.iter().zip(ls.iter()) {
+            assert!((a - b).abs() < 1e-9, "lightsaber {b} vs {a}");
+        }
+
+        let gz: Vec<f64> = spe_grizzly::run_window_sum(&events, 10, 5, range, 2)
+            .iter()
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(expected_sums.len(), gz.len());
+        for (a, b) in expected_sums.iter().zip(gz.iter()) {
+            assert!((a - b).abs() < 1e-9, "grizzly {b} vs {a}");
+        }
+    }
+}

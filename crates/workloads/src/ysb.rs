@@ -1,0 +1,225 @@
+//! The Yahoo Streaming Benchmark [12] for all five engines.
+//!
+//! YSB: filter ad events to views, map ad → campaign, count views per
+//! campaign in 10-second tumbling windows. As in standard YSB setups the
+//! stream is hash-partitioned by campaign; TiLT and Trill consume the
+//! per-campaign partitions (Trill's only source of parallelism), while
+//! LightSaber and Grizzly consume the flat keyed stream their aggregation
+//! models expect.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tilt_core::ir::{DataType, Expr};
+use tilt_core::Compiler;
+use tilt_data::{Event, Time, TimeRange, Value};
+use tilt_query::{elem, Agg, LogicalPlan, NodeId};
+
+/// The YSB window length in "seconds".
+pub const WINDOW_SECONDS: i64 = 10;
+
+/// Window length in ticks for a stream of `events_per_sec` events per
+/// second: event timestamps are strictly increasing (one tick per event), so
+/// a 10-second window covers `10 × events_per_sec` ticks.
+pub fn window_ticks(events_per_sec: usize) -> i64 {
+    WINDOW_SECONDS * events_per_sec.max(1) as i64
+}
+
+/// One YSB ad event.
+#[derive(Clone, Copy, Debug)]
+pub struct YsbEvent {
+    /// Event timestamp.
+    pub time: Time,
+    /// Campaign id (already joined from ad id, as in pre-joined YSB setups).
+    pub campaign: i64,
+    /// 0 = view (kept), 1 = click, 2 = purchase (filtered out).
+    pub event_type: i64,
+}
+
+/// Generates `n` YSB events across `campaigns` campaigns with strictly
+/// increasing timestamps (one tick per event, keeping every stream and every
+/// campaign partition well formed), uniformly typed over view/click/purchase.
+pub fn generate(n: usize, campaigns: usize, seed: u64) -> Vec<YsbEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| YsbEvent {
+            time: Time::new(i as i64 + 1),
+            campaign: rng.gen_range(0..campaigns as i64),
+            event_type: rng.gen_range(0..3),
+        })
+        .collect()
+}
+
+/// The logical YSB query (per campaign partition): Where → Window-Count.
+pub fn plan(window: i64) -> (LogicalPlan, NodeId) {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("ad_events", DataType::Int);
+    let views = plan.where_(src, elem().eq(Expr::c(0i64)));
+    let counts = plan.window(views, window, window, Agg::Count);
+    (plan, counts)
+}
+
+/// Hash-partitions events by campaign into per-campaign event streams whose
+/// payload is the event type.
+pub fn partition(events: &[YsbEvent], campaigns: usize) -> Vec<Vec<Event<Value>>> {
+    let mut parts: Vec<Vec<Event<Value>>> = vec![Vec::new(); campaigns];
+    for e in events {
+        parts[(e.campaign as usize) % campaigns]
+            .push(Event::new(e.time - 1, e.time, Value::Int(e.event_type)));
+    }
+    parts
+}
+
+/// The covered time range of an event set, aligned to the window grid.
+pub fn extent(events: &[YsbEvent], window: i64) -> TimeRange {
+    let hi = events.iter().map(|e| e.time).max().unwrap_or(Time::ZERO);
+    TimeRange::new(Time::ZERO, hi.align_up(window))
+}
+
+/// Total view count per engine output, used to cross-check engines.
+pub type ViewCount = i64;
+
+/// Runs YSB on TiLT: one compiled query, campaign partitions processed by a
+/// synchronization-free worker pool. Returns the total counted views.
+pub fn run_tilt(
+    partitions: &[Vec<Event<Value>>],
+    range: TimeRange,
+    threads: usize,
+    window: i64,
+) -> ViewCount {
+    let (plan, out) = plan(window);
+    let q = tilt_query::lower(&plan, out).expect("YSB lowers");
+    let cq = Compiler::new().compile(&q).expect("YSB compiles");
+    let total = std::sync::atomic::AtomicI64::new(0);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let (cq, total, next, partitions) = (&cq, &total, &next, &partitions);
+        for _ in 0..threads.max(1).min(partitions.len()) {
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= partitions.len() {
+                    break;
+                }
+                let buf = tilt_data::SnapshotBuf::from_events(&partitions[i], range);
+                let out = cq.run(&[&buf], range);
+                // Sum raw spans (one per window): `to_events` would coalesce
+                // adjacent windows that happen to have equal counts.
+                let sum: i64 = out.spans().iter().filter_map(|s| s.value.as_i64()).sum();
+                total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("YSB worker panicked");
+    total.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Runs YSB on the Trill baseline: one operator graph per campaign
+/// partition, `threads` workers.
+pub fn run_trill(
+    partitions: &[Vec<Event<Value>>],
+    batch_size: usize,
+    threads: usize,
+    range: TimeRange,
+    window: i64,
+) -> ViewCount {
+    let (plan, out) = plan(window);
+    let outputs = spe_trill::run_partitioned(&plan, out, partitions, batch_size, threads);
+    outputs
+        .iter()
+        .flatten()
+        .filter(|e| e.end <= range.end)
+        .filter_map(|e| e.payload.as_i64())
+        .sum()
+}
+
+/// Runs YSB on the StreamBox baseline: pipeline-parallel stages, one
+/// campaign partition at a time.
+pub fn run_streambox(
+    partitions: &[Vec<Event<Value>>],
+    bundle: usize,
+    range: TimeRange,
+    window: i64,
+) -> ViewCount {
+    let (plan, out) = plan(window);
+    let mut total = 0i64;
+    for part in partitions {
+        if part.is_empty() {
+            continue;
+        }
+        let events = spe_streambox::run_pipeline(&plan, out, std::slice::from_ref(part), bundle);
+        total += events
+            .iter()
+            .filter(|e| e.end <= range.end)
+            .filter_map(|e| e.payload.as_i64())
+            .sum::<i64>();
+    }
+    total
+}
+
+/// Runs YSB on the LightSaber baseline: parallel filter + pane-parallel
+/// grouped count over the flat keyed stream.
+pub fn run_lightsaber(
+    events: &[YsbEvent],
+    range: TimeRange,
+    threads: usize,
+    window: i64,
+) -> ViewCount {
+    let keyed: Vec<(Time, i64)> = events
+        .iter()
+        .filter(|e| e.event_type == 0)
+        .map(|e| (e.time, e.campaign))
+        .collect();
+    let tables = spe_lightsaber::run_grouped_count(&keyed, window, range, threads);
+    tables.iter().flat_map(|t| t.values()).sum()
+}
+
+/// Runs YSB on the Grizzly baseline: fused loop with shared atomic state
+/// over the flat keyed stream.
+pub fn run_grizzly(
+    events: &[YsbEvent],
+    campaigns: usize,
+    range: TimeRange,
+    threads: usize,
+    window: i64,
+) -> ViewCount {
+    let keyed: Vec<(Time, i64)> = events
+        .iter()
+        .filter(|e| e.event_type == 0)
+        .map(|e| (e.time, e.campaign))
+        .collect();
+    let tables = spe_grizzly::run_grouped_count(&keyed, window, campaigns, range, threads);
+    tables.iter().flatten().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_engines_count_the_same_views() {
+        let campaigns = 8;
+        let window = window_ticks(40);
+        let events = generate(4000, campaigns, 99);
+        let range = extent(&events, window);
+        let partitions = partition(&events, campaigns);
+        let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
+
+        assert_eq!(run_tilt(&partitions, range, 3, window), expected, "tilt");
+        assert_eq!(run_trill(&partitions, 256, 3, range, window), expected, "trill");
+        assert_eq!(run_streambox(&partitions, 256, range, window), expected, "streambox");
+        assert_eq!(run_lightsaber(&events, range, 3, window), expected, "lightsaber");
+        assert_eq!(run_grizzly(&events, campaigns, range, 3, window), expected, "grizzly");
+    }
+
+    #[test]
+    fn generator_shape() {
+        let events = generate(1000, 10, 1);
+        assert_eq!(events.len(), 1000);
+        assert!(events.iter().map(|e| e.time).max().unwrap() == Time::new(1000));
+        assert!(events.iter().all(|e| (0..10).contains(&e.campaign)));
+        // Strictly increasing, so every partition is well formed.
+        let parts = partition(&events, 10);
+        for p in &parts {
+            assert_eq!(tilt_data::validate_stream(p), Ok(()));
+        }
+    }
+}

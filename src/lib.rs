@@ -1,0 +1,9 @@
+//! Umbrella crate for the TiLT reproduction; re-exports the workspace crates.
+pub use spe_grizzly as grizzly;
+pub use spe_lightsaber as lightsaber;
+pub use spe_streambox as streambox;
+pub use spe_trill as trill;
+pub use tilt_core as core;
+pub use tilt_data as data;
+pub use tilt_query as query;
+pub use tilt_workloads as workloads;
