@@ -23,9 +23,7 @@ fn bench_ssbuf(c: &mut Criterion) {
     let range = TimeRange::new(Time::ZERO, Time::new(N as i64));
     let mut g = c.benchmark_group("ssbuf");
     g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("from_events", |b| {
-        b.iter(|| SnapshotBuf::from_events(&events, range))
-    });
+    g.bench_function("from_events", |b| b.iter(|| SnapshotBuf::from_events(&events, range)));
     let buf = SnapshotBuf::from_events(&events, range);
     g.bench_function("to_events", |b| b.iter(|| buf.to_events()));
     g.finish();
@@ -50,8 +48,7 @@ fn bench_reduce_state(c: &mut Criterion) {
     // Sliding sum vs min/max deque vs stddev over the same window.
     let mut g = c.benchmark_group("reduce");
     g.throughput(Throughput::Elements(N as u64));
-    for (name, op) in
-        [("sum", ReduceOp::Sum), ("max", ReduceOp::Max), ("stddev", ReduceOp::StdDev)]
+    for (name, op) in [("sum", ReduceOp::Sum), ("max", ReduceOp::Max), ("stddev", ReduceOp::StdDev)]
     {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);

@@ -37,7 +37,10 @@ fn main() {
     }
     print_table(
         "Ablation — partition interval size vs throughput (TiLT, Fig. 6 knob)",
-        &format!("{} events, {} threads; overhead = duplicated lookback / interval", cfg.events, cfg.threads),
+        &format!(
+            "{} events, {} threads; overhead = duplicated lookback / interval",
+            cfg.events, cfg.threads
+        ),
         &["app", "interval", "dup. overhead", "Mev/s"],
         &rows,
     );

@@ -34,11 +34,7 @@ fn trend_opt() -> (LogicalPlan, NodeId) {
     let stock = plan.source("stock", tilt_core::ir::DataType::Float);
     let sum10 = plan.window(stock, 10, 1, Agg::Sum);
     let sum20 = plan.window(stock, 20, 1, Agg::Sum);
-    let diff = plan.join(
-        sum10,
-        sum20,
-        lhs().div(Expr::c(10.0)).sub(rhs().div(Expr::c(20.0))),
-    );
+    let diff = plan.join(sum10, sum20, lhs().div(Expr::c(10.0)).sub(rhs().div(Expr::c(20.0))));
     let up = plan.where_(diff, elem().gt(Expr::c(0.0)));
     (plan, up)
 }

@@ -47,11 +47,7 @@ fn main() {
             op.name().to_string(),
             fmt_meps(tilt),
             fmt_meps(trill),
-            if sb_scale > 1 {
-                format!("{}*", fmt_meps(streambox))
-            } else {
-                fmt_meps(streambox)
-            },
+            if sb_scale > 1 { format!("{}*", fmt_meps(streambox)) } else { fmt_meps(streambox) },
             lightsaber.map_or("n/a".into(), fmt_meps),
             grizzly.map_or("n/a".into(), fmt_meps),
         ]);

@@ -47,12 +47,7 @@ fn main() {
 
         let ratio = tilt / trill.max(1e-9);
         ratios.push(ratio);
-        rows.push(vec![
-            app.name.to_string(),
-            fmt_meps(tilt),
-            fmt_meps(trill),
-            fmt_ratio(ratio),
-        ]);
+        rows.push(vec![app.name.to_string(), fmt_meps(tilt), fmt_meps(trill), fmt_ratio(ratio)]);
     }
 
     let geo: f64 = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();

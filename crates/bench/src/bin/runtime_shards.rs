@@ -1,0 +1,71 @@
+//! Keyed-runtime shard scaling: YSB through `tilt-runtime` at increasing
+//! shard counts, in-order and with bounded out-of-order arrival.
+//!
+//! The runtime's shards share nothing but the read-only compiled query, so
+//! throughput should scale with shard count until ingestion (one producer
+//! thread routing events) or the core count becomes the bottleneck. On a
+//! single-core container the table degenerates to ~1x — the scaling claim
+//! needs real parallel hardware.
+//!
+//! ```sh
+//! cargo run --release --bin runtime_shards -- --events 2000000
+//! ```
+
+use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, RunCfg};
+use tilt_workloads::ysb;
+
+fn main() {
+    let cfg = RunCfg::from_args(2_000_000);
+    let campaigns = 1_000;
+    let rate = 10_000; // events per "second"
+    let window = ysb::window_ticks(rate);
+    let displacement = 512usize;
+
+    let events = ysb::generate(cfg.events, campaigns, 1);
+    let shuffled = ysb::shuffle_bounded(&events, displacement, 2);
+    let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
+
+    let shard_counts: [usize; 4] = [1, 2, 4, 8];
+
+    let mut rows = Vec::new();
+    let mut base_inorder = 0.0f64;
+    let mut base_ooo = 0.0f64;
+    for &shards in &shard_counts {
+        let t_inorder = best_throughput(cfg.events, cfg.runs, || {
+            let (views, stats) = ysb::run_tilt_runtime(&events, shards, window, 0);
+            assert_eq!(views, expected, "in-order run must count every view");
+            assert_eq!(stats.late_dropped, 0);
+            views as usize
+        });
+        let t_ooo = best_throughput(cfg.events, cfg.runs, || {
+            let (views, stats) =
+                ysb::run_tilt_runtime(&shuffled, shards, window, 2 * displacement as i64 + 2);
+            assert_eq!(views, expected, "bounded lateness must absorb the shuffle");
+            assert_eq!(stats.late_dropped, 0);
+            views as usize
+        });
+        if shards == 1 {
+            base_inorder = t_inorder;
+            base_ooo = t_ooo;
+        }
+        rows.push(vec![
+            shards.to_string(),
+            fmt_meps(t_inorder),
+            fmt_ratio(t_inorder / base_inorder),
+            fmt_meps(t_ooo),
+            fmt_ratio(t_ooo / base_ooo),
+        ]);
+    }
+
+    print_table(
+        "Keyed runtime — YSB throughput vs shard count (million events/sec)",
+        &format!(
+            "{} events, {campaigns} campaigns, window {window} ticks, \
+             displacement {displacement} when out-of-order; {} hardware threads",
+            cfg.events,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ),
+        &["shards", "in-order", "speedup", "ooo", "speedup"],
+        &rows,
+    );
+}

@@ -55,7 +55,9 @@ impl RunCfg {
                     cfg.runs = args[i].parse().expect("--runs takes a number");
                 }
                 "--quick" => cfg.quick = true,
-                other => panic!("unknown flag {other}; supported: --events --threads --runs --quick"),
+                other => {
+                    panic!("unknown flag {other}; supported: --events --threads --runs --quick")
+                }
             }
             i += 1;
         }

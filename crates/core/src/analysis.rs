@@ -134,11 +134,7 @@ pub fn resolve_boundaries(query: &Query) -> Boundary {
             ext.lo -= slack;
             ext.hi += slack;
             let total = out_ext.chain(ext);
-            boundary
-                .extents
-                .entry(dep)
-                .and_modify(|e| *e = e.join(total))
-                .or_insert(total);
+            boundary.extents.entry(dep).and_modify(|e| *e = e.join(total)).or_insert(total);
         }
     }
     boundary
@@ -155,16 +151,10 @@ mod tests {
     fn trend_query_boundary_matches_paper() {
         let mut b = Query::builder();
         let stock = b.input("stock", DataType::Float);
-        let sum10 = b.temporal(
-            "sum10",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, stock, 10),
-        );
-        let sum20 = b.temporal(
-            "sum20",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, stock, 20),
-        );
+        let sum10 =
+            b.temporal("sum10", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, stock, 10));
+        let sum20 =
+            b.temporal("sum20", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, stock, 20));
         let avg10 = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
         let avg20 = b.temporal("avg20", TDom::every_tick(), Expr::at(sum20).div(Expr::c(20.0)));
         let join = b.temporal(
@@ -208,16 +198,10 @@ mod tests {
     fn window_extents_accumulate_along_chains() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let smooth = b.temporal(
-            "smooth",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Mean, input, 8),
-        );
-        let agg = b.temporal(
-            "agg",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Max, smooth, 4),
-        );
+        let smooth =
+            b.temporal("smooth", TDom::every_tick(), Expr::reduce_window(ReduceOp::Mean, input, 8));
+        let agg =
+            b.temporal("agg", TDom::every_tick(), Expr::reduce_window(ReduceOp::Max, smooth, 4));
         let q = b.finish(agg).unwrap();
         let boundary = resolve_boundaries(&q);
         assert_eq!(boundary.extent(smooth).lookback(), 4);
@@ -228,11 +212,8 @@ mod tests {
     fn precision_adds_slack() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let win = b.temporal(
-            "win",
-            TDom::unbounded(5),
-            Expr::reduce_window(ReduceOp::Sum, input, 10),
-        );
+        let win =
+            b.temporal("win", TDom::unbounded(5), Expr::reduce_window(ReduceOp::Sum, input, 10));
         let q = b.finish(win).unwrap();
         let boundary = resolve_boundaries(&q);
         assert_eq!(boundary.extent(input).lookback(), 14); // 10 + (5 - 1)
@@ -242,11 +223,8 @@ mod tests {
     fn dead_expressions_have_no_extent() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let _dead = b.temporal(
-            "dead",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, input, 100),
-        );
+        let _dead =
+            b.temporal("dead", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, 100));
         let out = b.temporal("out", TDom::every_tick(), Expr::at(input));
         let q = b.finish(out).unwrap();
         let boundary = resolve_boundaries(&q);

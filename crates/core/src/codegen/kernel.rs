@@ -13,7 +13,7 @@ use tilt_data::{SnapshotBuf, SsCursor, Time, TimeRange, Value};
 use super::program::{compile, EvalCtx, PointSpec, Program};
 use super::reduce::ReduceRunner;
 use crate::error::Result;
-use crate::ir::{TempExpr, TObjId};
+use crate::ir::{TObjId, TempExpr};
 
 /// A compiled temporal expression: the unit of execution.
 #[derive(Debug)]
@@ -76,7 +76,11 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if a dependency buffer is missing.
-    pub fn run(&self, bufs: &[Option<&SnapshotBuf<Value>>], range: TimeRange) -> SnapshotBuf<Value> {
+    pub fn run(
+        &self,
+        bufs: &[Option<&SnapshotBuf<Value>>],
+        range: TimeRange,
+    ) -> SnapshotBuf<Value> {
         let p = self.precision;
         let mut out = SnapshotBuf::new(range.start);
         if range.is_empty() {
@@ -105,17 +109,13 @@ impl Kernel {
                 boundary: None,
             })
             .collect();
-        let mut reduces: Vec<ReduceRunner<'_>> = self
-            .program
-            .reduces
-            .iter()
-            .map(|rs| ReduceRunner::new(rs, buf_for(rs.obj)))
-            .collect();
+        let mut reduces: Vec<ReduceRunner<'_>> =
+            self.program.reduces.iter().map(|rs| ReduceRunner::new(rs, buf_for(rs.obj))).collect();
 
         let mut g = g_first;
         loop {
             let v = eval_at(&self.program, &mut ctx, &mut points, &mut reduces, g);
-            match self.next_tick(g, g_last, &mut points, &reduces) {
+            match self.next_tick(g, g_last, &points, &reduces) {
                 Some(ng) => {
                     // `v` holds for every tick in [g, ng − p].
                     out.push_raw(ng - p, v);
@@ -233,10 +233,8 @@ mod tests {
     ) -> SnapshotBuf<Value> {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let body = body.rewrite(&mut |e| match e {
-            // tests write the input as TObjId(0); keep as-is
-            other => other,
-        });
+        // Tests write the input as TObjId(0), which is exactly what the
+        // builder assigned: no rewrite needed.
         let _ = input;
         let out = if sample {
             b.temporal_sampled("out", dom, body)
@@ -255,7 +253,8 @@ mod tests {
     #[test]
     fn select_maps_every_event() {
         let body = Expr::at(TObjId(0)).add(Expr::c(1.0));
-        let out = run_single(body, TDom::every_tick(), false, &[(1, 10.0), (2, 11.0), (3, 12.0)], (0, 4));
+        let out =
+            run_single(body, TDom::every_tick(), false, &[(1, 10.0), (2, 11.0), (3, 12.0)], (0, 4));
         let events = out.to_events();
         assert_eq!(events.len(), 3);
         assert_eq!(events[0].payload, Value::Float(11.0));
@@ -265,12 +264,10 @@ mod tests {
 
     #[test]
     fn where_filters_via_phi() {
-        let body = Expr::if_else(
-            Expr::at(TObjId(0)).gt(Expr::c(10.5)),
-            Expr::at(TObjId(0)),
-            Expr::null(),
-        );
-        let out = run_single(body, TDom::every_tick(), false, &[(1, 10.0), (2, 11.0), (3, 12.0)], (0, 3));
+        let body =
+            Expr::if_else(Expr::at(TObjId(0)).gt(Expr::c(10.5)), Expr::at(TObjId(0)), Expr::null());
+        let out =
+            run_single(body, TDom::every_tick(), false, &[(1, 10.0), (2, 11.0), (3, 12.0)], (0, 3));
         let events = out.to_events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].payload, Value::Float(11.0));

@@ -20,11 +20,7 @@ use crate::ir::Query;
 /// Lowers every temporal expression of `query` into a kernel, in execution
 /// (topological) order.
 pub fn lower(query: &Query) -> Result<Vec<Kernel>> {
-    query
-        .exprs()
-        .iter()
-        .map(|te| Kernel::new(te, query.name(te.output)))
-        .collect()
+    query.exprs().iter().map(|te| Kernel::new(te, query.name(te.output))).collect()
 }
 
 #[cfg(test)]
@@ -36,11 +32,8 @@ mod tests {
     fn lower_produces_one_kernel_per_expression() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let avg = b.temporal(
-            "avg",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Mean, input, 10),
-        );
+        let avg =
+            b.temporal("avg", TDom::every_tick(), Expr::reduce_window(ReduceOp::Mean, input, 10));
         let out = b.temporal("out", TDom::every_tick(), Expr::at(avg).mul(Expr::c(2.0)));
         let q = b.finish(out).unwrap();
         let kernels = lower(&q).unwrap();

@@ -364,10 +364,8 @@ mod tests {
     use tilt_data::{Event, TimeRange};
 
     fn buf(points: &[(i64, f64)]) -> SnapshotBuf<Value> {
-        let events: Vec<Event<Value>> = points
-            .iter()
-            .map(|&(t, v)| Event::point(Time::new(t), Value::Float(v)))
-            .collect();
+        let events: Vec<Event<Value>> =
+            points.iter().map(|&(t, v)| Event::point(Time::new(t), Value::Float(v))).collect();
         let hi = points.iter().map(|p| p.0).max().unwrap_or(0);
         SnapshotBuf::from_events(&events, TimeRange::new(Time::new(0), Time::new(hi)))
     }
@@ -425,7 +423,8 @@ mod tests {
 
     #[test]
     fn stddev_population() {
-        let src = buf(&[(1, 2.0), (2, 4.0), (3, 4.0), (4, 4.0), (5, 5.0), (6, 5.0), (7, 7.0), (8, 9.0)]);
+        let src =
+            buf(&[(1, 2.0), (2, 4.0), (3, 4.0), (4, 4.0), (5, 5.0), (6, 5.0), (7, 7.0), (8, 9.0)]);
         let s = spec(ReduceOp::StdDev, 8);
         let out = eval_series(&s, &src, &[8]);
         let Value::Float(x) = out[0] else { panic!("expected float") };

@@ -9,8 +9,9 @@
 //! shared, read-only input buffers — and the partition outputs are
 //! concatenated (Fig. 6).
 
+use std::borrow::Borrow;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
@@ -243,7 +244,11 @@ impl CompiledQuery {
     }
 
     /// Runs serially and reports wall-clock statistics.
-    pub fn run_timed(&self, inputs: &[&SnapshotBuf<Value>], range: TimeRange) -> (SnapshotBuf<Value>, ExecStats) {
+    pub fn run_timed(
+        &self,
+        inputs: &[&SnapshotBuf<Value>],
+        range: TimeRange,
+    ) -> (SnapshotBuf<Value>, ExecStats) {
         let t0 = Instant::now();
         let out = self.run(inputs, range);
         let stats = ExecStats { elapsed: t0.elapsed(), output_spans: out.len() };
@@ -253,31 +258,51 @@ impl CompiledQuery {
     /// Opens a batched streaming session starting at `start` (used by the
     /// latency-bounded-throughput experiment, Fig. 9).
     pub fn stream_session(&self, start: Time) -> StreamSession<'_> {
-        let keep = self.boundary.max_input_lookback(&self.query) + self.grid();
-        StreamSession {
-            cq: self,
-            histories: self.query.inputs().iter().map(|_| SnapshotBuf::new(start)).collect(),
-            watermark: start,
-            keep,
-        }
+        StreamSessionIn::new(self, start)
+    }
+
+    /// Opens a streaming session that *owns* its handle on the compiled
+    /// query. Worker threads (e.g. the shards of `tilt-runtime`) hold many
+    /// such sessions over one shared compilation, amortizing compile-once
+    /// across millions of independent key streams.
+    pub fn shared_stream_session(self: &Arc<Self>, start: Time) -> SharedStreamSession {
+        StreamSessionIn::new(Arc::clone(self), start)
     }
 }
 
 /// Incremental batched execution: events arrive in batches, each
-/// [`StreamSession::advance_to`] call processes one batch interval.
+/// [`StreamSessionIn::advance_to`] call processes one batch interval.
 ///
 /// The session keeps just enough input history (the boundary-resolved
 /// lookback) to evaluate windows that straddle batch boundaries — the
 /// streaming analogue of the duplicated partition edges of Fig. 6.
+///
+/// The type is generic over how it holds the compiled query: borrowed
+/// ([`StreamSession`], the original single-query API) or shared
+/// ([`SharedStreamSession`], an `Arc` handle that lets long-lived worker
+/// threads own sessions without borrowing).
 #[derive(Debug)]
-pub struct StreamSession<'a> {
-    cq: &'a CompiledQuery,
+pub struct StreamSessionIn<C: Borrow<CompiledQuery>> {
+    cq: C,
     histories: Vec<SnapshotBuf<Value>>,
     watermark: Time,
     keep: i64,
 }
 
-impl StreamSession<'_> {
+/// A streaming session borrowing its compiled query.
+pub type StreamSession<'a> = StreamSessionIn<&'a CompiledQuery>;
+
+/// A streaming session sharing ownership of its compiled query.
+pub type SharedStreamSession = StreamSessionIn<Arc<CompiledQuery>>;
+
+impl<C: Borrow<CompiledQuery>> StreamSessionIn<C> {
+    fn new(cq: C, start: Time) -> Self {
+        let q = cq.borrow();
+        let keep = q.boundary.max_input_lookback(&q.query) + q.grid();
+        let histories = q.query.inputs().iter().map(|_| SnapshotBuf::new(start)).collect();
+        StreamSessionIn { cq, histories, watermark: start, keep }
+    }
+
     /// The current watermark (everything up to it has been emitted).
     pub fn watermark(&self) -> Time {
         self.watermark
@@ -310,8 +335,9 @@ impl StreamSession<'_> {
     /// [`StreamSession::flush_to`] at end-of-stream to force the tail out.
     pub fn advance_to(&mut self, upto: Time) -> SnapshotBuf<Value> {
         assert!(upto > self.watermark, "advance_to must move forward");
-        let la = self.cq.boundary.max_input_lookahead(&self.cq.query);
-        let target = Time::new(upto.ticks() - la).align_down(self.cq.grid());
+        let cq = self.cq.borrow();
+        let la = cq.boundary.max_input_lookahead(&cq.query);
+        let target = Time::new(upto.ticks() - la).align_down(cq.grid());
         if target <= self.watermark {
             return SnapshotBuf::new(self.watermark);
         }
@@ -335,7 +361,7 @@ impl StreamSession<'_> {
             }
         }
         let refs: Vec<&SnapshotBuf<Value>> = self.histories.iter().collect();
-        let out = self.cq.run(&refs, TimeRange::new(self.watermark, target));
+        let out = self.cq.borrow().run(&refs, TimeRange::new(self.watermark, target));
         self.watermark = target;
         // Trim histories: keep `keep` ticks of lookback, amortized.
         let cutoff = self.watermark.saturating_add(-self.keep);
@@ -369,16 +395,10 @@ mod tests {
     fn trend_query() -> Query {
         let mut b = Query::builder();
         let stock = b.input("stock", DataType::Float);
-        let sum10 = b.temporal(
-            "sum10",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, stock, 10),
-        );
-        let sum20 = b.temporal(
-            "sum20",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, stock, 20),
-        );
+        let sum10 =
+            b.temporal("sum10", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, stock, 10));
+        let sum20 =
+            b.temporal("sum20", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, stock, 20));
         let avg10 = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
         let avg20 = b.temporal("avg20", TDom::every_tick(), Expr::at(sum20).div(Expr::c(20.0)));
         let join = b.temporal(
@@ -485,10 +505,7 @@ mod tests {
         let q = b.finish(input).unwrap();
         let cq = Compiler::new().compile(&q).unwrap();
         let range = TimeRange::new(Time::new(0), Time::new(10));
-        let buf = SnapshotBuf::from_events(
-            &[Event::point(Time::new(5), Value::Float(1.0))],
-            range,
-        );
+        let buf = SnapshotBuf::from_events(&[Event::point(Time::new(5), Value::Float(1.0))], range);
         let out = cq.run(&[&buf], range);
         assert_eq!(out.to_events().len(), 1);
     }
@@ -503,6 +520,43 @@ mod tests {
         let q = b.finish(out).unwrap();
         let cq = Compiler::unoptimized().compile(&q).unwrap();
         assert_eq!(cq.grid(), 12);
+    }
+
+    #[test]
+    fn shared_session_matches_borrowed_session_and_is_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledQuery>();
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedStreamSession>();
+
+        let q = trend_query();
+        let events = price_events(300);
+        let cq = Arc::new(Compiler::new().compile(&q).unwrap());
+        let mut shared = cq.shared_stream_session(Time::new(0));
+        let mut borrowed = cq.stream_session(Time::new(0));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for chunk in events.chunks(64) {
+            let upto = chunk.last().unwrap().end;
+            shared.push_events(0, chunk);
+            borrowed.push_events(0, chunk);
+            if upto > shared.watermark() {
+                a.extend(shared.advance_to(upto).to_events());
+                b.extend(borrowed.advance_to(upto).to_events());
+            }
+        }
+        // A shared session can outlive the `Arc` binding it was made from
+        // and move to another thread.
+        drop(borrowed);
+        drop(cq);
+        let tail = std::thread::spawn(move || {
+            let out = shared.flush_to(Time::new(330)).to_events();
+            (shared, out)
+        });
+        let (_shared, tail_events) = tail.join().unwrap();
+        a.extend(tail_events);
+        assert!(!a.is_empty());
+        assert!(streams_equivalent(&a[..b.len()], &b));
     }
 
     #[test]

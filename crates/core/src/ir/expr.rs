@@ -221,14 +221,20 @@ pub struct CustomReduce {
     /// Initial accumulator state.
     pub init: Value,
     /// Folds one snapshot value with tick-weight `w` into the state.
-    pub acc: Arc<dyn Fn(&Value, &Value, i64) -> Value + Send + Sync>,
+    pub acc: ReduceFold,
     /// Inverse of `acc`, when the aggregate is invertible.
-    pub deacc: Option<Arc<dyn Fn(&Value, &Value, i64) -> Value + Send + Sync>>,
+    pub deacc: Option<ReduceFold>,
     /// Extracts the reduction result from the state; receives the number of
     /// non-φ ticks accumulated. Never called with zero ticks (an all-φ window
     /// reduces to φ before `result` is consulted).
-    pub result: Arc<dyn Fn(&Value, i64) -> Value + Send + Sync>,
+    pub result: ReduceFinish,
 }
+
+/// Fold step of a [`CustomReduce`]: `(state, value, tick_weight) → state`.
+pub type ReduceFold = Arc<dyn Fn(&Value, &Value, i64) -> Value + Send + Sync>;
+
+/// Result extraction of a [`CustomReduce`]: `(state, non_phi_ticks) → value`.
+pub type ReduceFinish = Arc<dyn Fn(&Value, i64) -> Value + Send + Sync>;
 
 impl fmt::Debug for CustomReduce {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -400,26 +406,31 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, consumes `self` by design
     pub fn add(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Add, rhs)
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, consumes `self` by design
     pub fn sub(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Sub, rhs)
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, consumes `self` by design
     pub fn mul(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Mul, rhs)
     }
 
     /// `self / rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, consumes `self` by design
     pub fn div(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Div, rhs)
     }
 
     /// `self % rhs`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, consumes `self` by design
     pub fn rem(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Rem, rhs)
     }
@@ -465,6 +476,7 @@ impl Expr {
     }
 
     /// `-self`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, consumes `self` by design
     pub fn neg(self) -> Expr {
         Expr::Unary(UnOp::Neg, Box::new(self))
     }
@@ -540,11 +552,9 @@ impl Expr {
             Expr::Binary(op, a, b) => {
                 Expr::Binary(op, Box::new(a.rewrite(f)), Box::new(b.rewrite(f)))
             }
-            Expr::If(c, t, e) => Expr::If(
-                Box::new(c.rewrite(f)),
-                Box::new(t.rewrite(f)),
-                Box::new(e.rewrite(f)),
-            ),
+            Expr::If(c, t, e) => {
+                Expr::If(Box::new(c.rewrite(f)), Box::new(t.rewrite(f)), Box::new(e.rewrite(f)))
+            }
             Expr::Let { var, value, body } => Expr::Let {
                 var,
                 value: Box::new(value.rewrite(f)),
@@ -553,9 +563,7 @@ impl Expr {
             Expr::Field(a, i) => Expr::Field(Box::new(a.rewrite(f)), i),
             Expr::Tuple(items) => Expr::Tuple(items.into_iter().map(|e| e.rewrite(f)).collect()),
             Expr::Reduce { op, window } => {
-                let map = window
-                    .map
-                    .map(|(v, m)| (v, Box::new(m.rewrite(f))));
+                let map = window.map.map(|(v, m)| (v, Box::new(m.rewrite(f))));
                 Expr::Reduce { op, window: WindowRef { map, ..window } }
             }
         };
@@ -587,11 +595,7 @@ impl Expr {
             Expr::At { obj, offset } => Expr::At { obj, offset: offset + delta },
             Expr::Reduce { op, window } => Expr::Reduce {
                 op,
-                window: WindowRef {
-                    lo: window.lo + delta,
-                    hi: window.hi + delta,
-                    ..window
-                },
+                window: WindowRef { lo: window.lo + delta, hi: window.hi + delta, ..window },
             },
             other => other,
         })

@@ -108,7 +108,14 @@ fn emit(e: &Expr, q: &Query, s: &mut String) {
             let _ = write!(s, "{}[{}]", obj_name(*obj, q), off(*offset));
         }
         Expr::Reduce { op, window } => {
-            let _ = write!(s, "⊕({}, {}[{} : {}]", op.name(), obj_name(window.obj, q), off(window.lo), off(window.hi));
+            let _ = write!(
+                s,
+                "⊕({}, {}[{} : {}]",
+                op.name(),
+                obj_name(window.obj, q),
+                off(window.lo),
+                off(window.hi)
+            );
             if let Some((var, m)) = &window.map {
                 let _ = write!(s, ", {var} => ");
                 emit(m, q, s);
@@ -127,11 +134,8 @@ mod tests {
     fn prints_trend_like_query() {
         let mut b = Query::builder();
         let stock = b.input("stock", DataType::Float);
-        let sum10 = b.temporal(
-            "sum10",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, stock, 10),
-        );
+        let sum10 =
+            b.temporal("sum10", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, stock, 10));
         let avg = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
         let q = b.finish(avg).unwrap();
         let text = print_query(&q);
@@ -146,11 +150,7 @@ mod tests {
     fn prints_phi_and_conditionals() {
         let mut b = Query::builder();
         let input = b.input("m", DataType::Float);
-        let body = Expr::if_else(
-            Expr::at(input).gt(Expr::c(0.0)),
-            Expr::at(input),
-            Expr::null(),
-        );
+        let body = Expr::if_else(Expr::at(input).gt(Expr::c(0.0)), Expr::at(input), Expr::null());
         let out = b.temporal("where", TDom::every_tick(), body);
         let q = b.finish(out).unwrap();
         let text = print_query(&q);

@@ -260,7 +260,8 @@ mod tests {
         let input = b.input("in", DataType::Float);
         // Define consumer before producer textually; toposort must fix it.
         let stage2_id = TObjId(2); // forward reference to the object defined below
-        let stage3 = b.temporal("stage3", TDom::every_tick(), Expr::at(stage2_id).add(Expr::c(1i64)));
+        let stage3 =
+            b.temporal("stage3", TDom::every_tick(), Expr::at(stage2_id).add(Expr::c(1i64)));
         let stage2 = b.temporal("stage2", TDom::every_tick(), Expr::at(input).mul(Expr::c(2i64)));
         assert_eq!(stage2, stage2_id);
         let q = b.finish(stage3).unwrap();
@@ -301,11 +302,8 @@ mod tests {
     fn use_counts_track_consumers() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let avg = b.temporal(
-            "avg",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Mean, input, 10),
-        );
+        let avg =
+            b.temporal("avg", TDom::every_tick(), Expr::reduce_window(ReduceOp::Mean, input, 10));
         let out = b.temporal("out", TDom::every_tick(), Expr::at(avg).add(Expr::at(avg)));
         let q = b.finish(out).unwrap();
         let counts = q.use_counts();

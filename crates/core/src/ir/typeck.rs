@@ -60,10 +60,7 @@ fn infer(
     match e {
         Expr::Const(v) => Ok(DataType::of_value(v)),
         Expr::Time => Ok(DataType::Int),
-        Expr::Var(v) => env
-            .get(v)
-            .cloned()
-            .ok_or_else(|| CompileError::UnboundVar(v.to_string())),
+        Expr::Var(v) => env.get(v).cloned().ok_or_else(|| CompileError::UnboundVar(v.to_string())),
         Expr::Unary(op, a) => {
             let ta = infer(a, info, env, query)?;
             unary_type(*op, &ta)
@@ -102,7 +99,10 @@ fn infer(
             let ta = infer(a, info, env, query)?;
             match ta {
                 DataType::Tuple(fields) => fields.get(*i).cloned().ok_or_else(|| {
-                    CompileError::Type(format!("field {i} out of bounds for {}-tuple", fields.len()))
+                    CompileError::Type(format!(
+                        "field {i} out of bounds for {}-tuple",
+                        fields.len()
+                    ))
                 }),
                 DataType::Unknown => Ok(DataType::Unknown),
                 other => Err(CompileError::Type(format!("field access on non-struct {other}"))),
@@ -183,9 +183,7 @@ fn unary_type(op: UnOp, a: &DataType) -> Result<DataType> {
 }
 
 fn binary_type(op: BinOp, a: &DataType, b: &DataType) -> Result<DataType> {
-    let err = || {
-        Err(CompileError::Type(format!("operator {op} applied to {a} and {b}")))
-    };
+    let err = || Err(CompileError::Type(format!("operator {op} applied to {a} and {b}")));
     if op.is_comparison() {
         // Comparisons accept comparable pairs; result is bool.
         if a.promote(b).is_some() || a.unify(b).is_some() {
@@ -211,7 +209,9 @@ mod tests {
     use crate::ir::expr::ReduceOp;
     use crate::ir::texpr::TDom;
 
-    fn check(build: impl FnOnce(&mut super::super::query::QueryBuilder, TObjId) -> Expr) -> Result<TypeInfo> {
+    fn check(
+        build: impl FnOnce(&mut super::super::query::QueryBuilder, TObjId) -> Expr,
+    ) -> Result<TypeInfo> {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
         let body = build(&mut b, input);
@@ -241,10 +241,9 @@ mod tests {
     #[test]
     fn null_branches_unify() {
         // (in > 0) ? in : φ — the standard Where encoding.
-        let info = check(|_, i| {
-            Expr::if_else(Expr::at(i).gt(Expr::c(0.0)), Expr::at(i), Expr::null())
-        })
-        .unwrap();
+        let info =
+            check(|_, i| Expr::if_else(Expr::at(i).gt(Expr::c(0.0)), Expr::at(i), Expr::null()))
+                .unwrap();
         assert_eq!(info.object_type(TObjId(1)), Some(&DataType::Float));
     }
 
@@ -256,7 +255,8 @@ mod tests {
 
     #[test]
     fn if_condition_must_be_bool() {
-        let err = check(|_, i| Expr::if_else(Expr::at(i), Expr::c(1i64), Expr::c(2i64))).unwrap_err();
+        let err =
+            check(|_, i| Expr::if_else(Expr::at(i), Expr::c(1i64), Expr::c(2i64))).unwrap_err();
         assert!(matches!(err, CompileError::Type(_)));
     }
 

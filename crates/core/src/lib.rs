@@ -47,4 +47,6 @@ pub mod ir;
 pub mod opt;
 
 pub use error::{CompileError, Result};
-pub use exec::{CompiledQuery, Compiler, ExecStats};
+pub use exec::{
+    CompiledQuery, Compiler, ExecStats, SharedStreamSession, StreamSession, StreamSessionIn,
+};

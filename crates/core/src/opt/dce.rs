@@ -16,12 +16,7 @@ pub fn eliminate_dead(query: &Query) -> Query {
             stack.extend(def.dependencies());
         }
     }
-    let exprs = query
-        .exprs()
-        .iter()
-        .filter(|te| live.contains(&te.output))
-        .cloned()
-        .collect();
+    let exprs = query.exprs().iter().filter(|te| live.contains(&te.output)).cloned().collect();
     query.with_exprs(exprs).expect("removing dead expressions preserves query structure")
 }
 
@@ -34,11 +29,8 @@ mod tests {
     fn drops_unreachable_expressions() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let _dead = b.temporal(
-            "dead",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, input, 100),
-        );
+        let _dead =
+            b.temporal("dead", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, 100));
         let live = b.temporal("live", TDom::every_tick(), Expr::at(input).add(Expr::c(1.0)));
         let q = b.finish(live).unwrap();
         assert_eq!(q.exprs().len(), 2);

@@ -26,7 +26,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::error::Result;
-use crate::ir::{Expr, Query, TDom, TempExpr, TObjId, VarId, WindowRef};
+use crate::ir::{Expr, Query, TDom, TObjId, TempExpr, VarId, WindowRef};
 use crate::opt::dce::eliminate_dead;
 
 /// Maximum body size (in nodes) for inlining a producer that has multiple
@@ -170,11 +170,7 @@ fn point_fusible(
         && inline_profitable(producer, uses)
 }
 
-fn window_fusible(
-    producer: &TempExpr,
-    consumer: &TempExpr,
-    uses: &HashMap<TObjId, usize>,
-) -> bool {
+fn window_fusible(producer: &TempExpr, consumer: &TempExpr, uses: &HashMap<TObjId, usize>) -> bool {
     // Window elements are read at every tick, so the producer must be
     // defined at every tick (precision 1) and event-driven.
     !producer.sample
@@ -219,16 +215,10 @@ mod tests {
     fn trend_query_fuses_to_single_expression() {
         let mut b = Query::builder();
         let stock = b.input("stock", DataType::Float);
-        let sum10 = b.temporal(
-            "sum10",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, stock, 10),
-        );
-        let sum20 = b.temporal(
-            "sum20",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, stock, 20),
-        );
+        let sum10 =
+            b.temporal("sum10", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, stock, 10));
+        let sum20 =
+            b.temporal("sum20", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, stock, 20));
         let avg10 = b.temporal("avg10", TDom::every_tick(), Expr::at(sum10).div(Expr::c(10.0)));
         let avg20 = b.temporal("avg20", TDom::every_tick(), Expr::at(sum20).div(Expr::c(20.0)));
         let join = b.temporal(
@@ -262,13 +252,9 @@ mod tests {
     fn select_fuses_into_window_sum_as_map() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let doubled =
-            b.temporal("sel", TDom::every_tick(), Expr::at(input).mul(Expr::c(2.0)));
-        let wsum = b.temporal(
-            "wsum",
-            TDom::unbounded(5),
-            Expr::reduce_window(ReduceOp::Sum, doubled, 10),
-        );
+        let doubled = b.temporal("sel", TDom::every_tick(), Expr::at(input).mul(Expr::c(2.0)));
+        let wsum =
+            b.temporal("wsum", TDom::unbounded(5), Expr::reduce_window(ReduceOp::Sum, doubled, 10));
         let q = b.finish(wsum).unwrap();
         let fused = fuse(&q).unwrap();
         assert_eq!(fused.exprs().len(), 1);
@@ -284,17 +270,10 @@ mod tests {
     fn shifted_producer_inlines_with_shifted_windows() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let avg = b.temporal(
-            "avg",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Mean, input, 10),
-        );
+        let avg =
+            b.temporal("avg", TDom::every_tick(), Expr::reduce_window(ReduceOp::Mean, input, 10));
         // out[t] = avg[t-5] - avg[t]
-        let out = b.temporal(
-            "out",
-            TDom::every_tick(),
-            Expr::at_off(avg, -5).sub(Expr::at(avg)),
-        );
+        let out = b.temporal("out", TDom::every_tick(), Expr::at_off(avg, -5).sub(Expr::at(avg)));
         let q = b.finish(out).unwrap();
         let fused = fuse(&q).unwrap();
         assert_eq!(fused.exprs().len(), 1);
@@ -325,11 +304,8 @@ mod tests {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
         // Producer changes every 5 ticks; consumer wants values every 3.
-        let win = b.temporal(
-            "win",
-            TDom::unbounded(5),
-            Expr::reduce_window(ReduceOp::Sum, input, 5),
-        );
+        let win =
+            b.temporal("win", TDom::unbounded(5), Expr::reduce_window(ReduceOp::Sum, input, 5));
         let out = b.temporal("out", TDom::unbounded(3), Expr::at(win).add(Expr::c(1.0)));
         let q = b.finish(out).unwrap();
         let fused = fuse(&q).unwrap();
@@ -340,11 +316,8 @@ mod tests {
     fn compatible_precision_multiple_fuses() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let win = b.temporal(
-            "win",
-            TDom::unbounded(5),
-            Expr::reduce_window(ReduceOp::Sum, input, 5),
-        );
+        let win =
+            b.temporal("win", TDom::unbounded(5), Expr::reduce_window(ReduceOp::Sum, input, 5));
         let out = b.temporal("out", TDom::unbounded(10), Expr::at(win).add(Expr::c(1.0)));
         let q = b.finish(out).unwrap();
         let fused = fuse(&q).unwrap();
@@ -355,11 +328,8 @@ mod tests {
     fn multi_use_reduce_producer_duplicates_only_when_cheap() {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let avg = b.temporal(
-            "avg",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Mean, input, 10),
-        );
+        let avg =
+            b.temporal("avg", TDom::every_tick(), Expr::reduce_window(ReduceOp::Mean, input, 10));
         let c1 = b.temporal("c1", TDom::every_tick(), Expr::at(avg).add(Expr::c(1.0)));
         let c2 = b.temporal("c2", TDom::every_tick(), Expr::at(avg).sub(Expr::c(1.0)));
         let out = b.temporal("out", TDom::every_tick(), Expr::at(c1).add(Expr::at(c2)));

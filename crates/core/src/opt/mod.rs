@@ -73,11 +73,8 @@ mod tests {
     fn sample_query() -> Query {
         let mut b = Query::builder();
         let input = b.input("in", DataType::Float);
-        let sum = b.temporal(
-            "sum",
-            TDom::every_tick(),
-            Expr::reduce_window(ReduceOp::Sum, input, 10),
-        );
+        let sum =
+            b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, 10));
         let avg = b.temporal(
             "avg",
             TDom::every_tick(),

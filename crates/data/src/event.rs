@@ -133,10 +133,9 @@ pub fn streams_close(a: &[Event<Value>], b: &[Event<Value>], rel: f64) -> bool {
     let ca = coalesce_close(a, rel);
     let cb = coalesce_close(b, rel);
     ca.len() == cb.len()
-        && ca
-            .iter()
-            .zip(cb.iter())
-            .all(|(x, y)| x.start == y.start && x.end == y.end && values_close(&x.payload, &y.payload, rel))
+        && ca.iter().zip(cb.iter()).all(|(x, y)| {
+            x.start == y.start && x.end == y.end && values_close(&x.payload, &y.payload, rel)
+        })
 }
 
 /// Merges adjacent events whose payloads are within tolerance.

@@ -192,7 +192,11 @@ impl<P: Payload> SnapshotBuf<P> {
     /// Exclusive start time of span `i`.
     #[inline]
     pub fn span_start(&self, i: usize) -> Time {
-        if i == 0 { self.start } else { self.spans[i - 1].t_end }
+        if i == 0 {
+            self.start
+        } else {
+            self.spans[i - 1].t_end
+        }
     }
 
     /// Copies the restriction of the object to `range` into a fresh buffer

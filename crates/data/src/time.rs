@@ -61,8 +61,10 @@ impl Time {
     #[inline]
     pub fn align_up(self, precision: i64) -> Self {
         debug_assert!(precision > 0);
-        Time(self.0.div_euclid(precision) * precision
-            + if self.0.rem_euclid(precision) == 0 { 0 } else { precision })
+        Time(
+            self.0.div_euclid(precision) * precision
+                + if self.0.rem_euclid(precision) == 0 { 0 } else { precision },
+        )
     }
 
     /// Rounds down to the greatest multiple of `precision` less than or equal
@@ -76,13 +78,21 @@ impl Time {
     /// Returns the smaller of two times.
     #[inline]
     pub fn min(self, other: Self) -> Self {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Returns the larger of two times.
     #[inline]
     pub fn max(self, other: Self) -> Self {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 }
 

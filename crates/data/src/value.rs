@@ -154,17 +154,36 @@ macro_rules! compare_binop {
 }
 
 impl Value {
-    numeric_binop!(add, |a: i64, b: i64| Value::Int(a.wrapping_add(b)), |a: f64, b| Value::Float(a + b));
-    numeric_binop!(sub, |a: i64, b: i64| Value::Int(a.wrapping_sub(b)), |a: f64, b| Value::Float(a - b));
-    numeric_binop!(mul, |a: i64, b: i64| Value::Int(a.wrapping_mul(b)), |a: f64, b| Value::Float(a * b));
-    numeric_binop!(div, |a: i64, b: i64| if b == 0 { Value::Null } else { Value::Int(a / b) },
-                   |a: f64, b| Value::Float(a / b));
-    numeric_binop!(rem, |a: i64, b: i64| if b == 0 { Value::Null } else { Value::Int(a % b) },
-                   |a: f64, b: f64| Value::Float(a % b));
-    numeric_binop!(pow, |a: i64, b: i64| Value::Int(a.pow(b.clamp(0, u32::MAX as i64) as u32)),
-                   |a: f64, b: f64| Value::Float(a.powf(b)));
-    numeric_binop!(min_v, |a: i64, b: i64| Value::Int(a.min(b)), |a: f64, b: f64| Value::Float(a.min(b)));
-    numeric_binop!(max_v, |a: i64, b: i64| Value::Int(a.max(b)), |a: f64, b: f64| Value::Float(a.max(b)));
+    numeric_binop!(add, |a: i64, b: i64| Value::Int(a.wrapping_add(b)), |a: f64, b| Value::Float(
+        a + b
+    ));
+    numeric_binop!(sub, |a: i64, b: i64| Value::Int(a.wrapping_sub(b)), |a: f64, b| Value::Float(
+        a - b
+    ));
+    numeric_binop!(mul, |a: i64, b: i64| Value::Int(a.wrapping_mul(b)), |a: f64, b| Value::Float(
+        a * b
+    ));
+    numeric_binop!(
+        div,
+        |a: i64, b: i64| if b == 0 { Value::Null } else { Value::Int(a / b) },
+        |a: f64, b| Value::Float(a / b)
+    );
+    numeric_binop!(
+        rem,
+        |a: i64, b: i64| if b == 0 { Value::Null } else { Value::Int(a % b) },
+        |a: f64, b: f64| Value::Float(a % b)
+    );
+    numeric_binop!(
+        pow,
+        |a: i64, b: i64| Value::Int(a.pow(b.clamp(0, u32::MAX as i64) as u32)),
+        |a: f64, b: f64| Value::Float(a.powf(b))
+    );
+    numeric_binop!(min_v, |a: i64, b: i64| Value::Int(a.min(b)), |a: f64, b: f64| Value::Float(
+        a.min(b)
+    ));
+    numeric_binop!(max_v, |a: i64, b: i64| Value::Int(a.max(b)), |a: f64, b: f64| Value::Float(
+        a.max(b)
+    ));
 
     compare_binop!(lt, <);
     compare_binop!(le, <=);

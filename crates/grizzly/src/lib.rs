@@ -123,12 +123,20 @@ pub fn run_grouped_count(
 }
 
 /// Fused parallel select (per-event map over chunks; no shared state).
-pub fn run_select(events: &[Event<f64>], f: impl Fn(f64) -> f64 + Sync, threads: usize) -> Vec<Event<f64>> {
+pub fn run_select(
+    events: &[Event<f64>],
+    f: impl Fn(f64) -> f64 + Sync,
+    threads: usize,
+) -> Vec<Event<f64>> {
     chunked(events, threads, |e| Some(Event::new(e.start, e.end, f(e.payload))))
 }
 
 /// Fused parallel filter.
-pub fn run_where(events: &[Event<f64>], pred: impl Fn(f64) -> bool + Sync, threads: usize) -> Vec<Event<f64>> {
+pub fn run_where(
+    events: &[Event<f64>],
+    pred: impl Fn(f64) -> bool + Sync,
+    threads: usize,
+) -> Vec<Event<f64>> {
     chunked(events, threads, |e| if pred(e.payload) { Some(*e) } else { None })
 }
 
@@ -182,7 +190,8 @@ mod tests {
 
     #[test]
     fn grouped_count_table() {
-        let keyed = vec![(Time::new(1), 0), (Time::new(2), 1), (Time::new(3), 0), (Time::new(11), 1)];
+        let keyed =
+            vec![(Time::new(1), 0), (Time::new(2), 1), (Time::new(3), 0), (Time::new(11), 1)];
         let range = TimeRange::new(Time::new(0), Time::new(20));
         let tables = run_grouped_count(&keyed, 10, 2, range, 2);
         assert_eq!(tables[0], vec![2, 1]);

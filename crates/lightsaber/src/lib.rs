@@ -46,7 +46,8 @@ struct Partial {
 }
 
 impl Partial {
-    const EMPTY: Partial = Partial { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+    const EMPTY: Partial =
+        Partial { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY };
 
     #[inline]
     fn add(&mut self, v: f64) {
@@ -226,12 +227,20 @@ pub fn run_grouped_count(
 }
 
 /// Parallel per-event map (LightSaber's fused pre-processing stage).
-pub fn run_select(events: &[Event<f64>], f: impl Fn(f64) -> f64 + Sync, threads: usize) -> Vec<Event<f64>> {
+pub fn run_select(
+    events: &[Event<f64>],
+    f: impl Fn(f64) -> f64 + Sync,
+    threads: usize,
+) -> Vec<Event<f64>> {
     parallel_map(events, threads, |e| Some(Event::new(e.start, e.end, f(e.payload))))
 }
 
 /// Parallel per-event filter.
-pub fn run_where(events: &[Event<f64>], pred: impl Fn(f64) -> bool + Sync, threads: usize) -> Vec<Event<f64>> {
+pub fn run_where(
+    events: &[Event<f64>],
+    pred: impl Fn(f64) -> bool + Sync,
+    threads: usize,
+) -> Vec<Event<f64>> {
     parallel_map(events, threads, |e| if pred(e.payload) { Some(*e) } else { None })
 }
 
@@ -291,9 +300,11 @@ mod tests {
     fn min_max_partials() {
         let events = pts(&[(1, 5.0), (2, 1.0), (3, 9.0), (4, 3.0)]);
         let range = TimeRange::new(Time::new(0), Time::new(4));
-        let out = run_window(&events, WindowQuery { size: 2, stride: 2, agg: LsAgg::Max }, range, 2);
+        let out =
+            run_window(&events, WindowQuery { size: 2, stride: 2, agg: LsAgg::Max }, range, 2);
         assert_eq!(out.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![5.0, 9.0]);
-        let out = run_window(&events, WindowQuery { size: 2, stride: 2, agg: LsAgg::Min }, range, 2);
+        let out =
+            run_window(&events, WindowQuery { size: 2, stride: 2, agg: LsAgg::Min }, range, 2);
         assert_eq!(out.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1.0, 3.0]);
     }
 

@@ -61,8 +61,7 @@ pub fn lower(plan: &LogicalPlan, output: NodeId) -> Result<Query> {
             OpNode::Join { left, right, f } => {
                 let l = at(*left, &objs);
                 let r = at(*right, &objs);
-                let applied =
-                    bind(f, &mut b, &[(HOLE_LEFT, l.clone()), (HOLE_RIGHT, r.clone())]);
+                let applied = bind(f, &mut b, &[(HOLE_LEFT, l.clone()), (HOLE_RIGHT, r.clone())]);
                 let cond = l.is_present().and(r.is_present());
                 let body = Expr::if_else(cond, applied, Expr::null());
                 b.temporal(&format!("join_{i}"), TDom::every_tick(), body)
@@ -102,11 +101,9 @@ fn bind(f: &Expr, b: &mut QueryBuilder, holes: &[(VarId, Expr)]) -> Expr {
             Some(nv) => Expr::Var(*nv),
             None => Expr::Var(v),
         },
-        Expr::Let { var, value, body } => Expr::Let {
-            var: *renames.get(&var).unwrap_or(&var),
-            value,
-            body,
-        },
+        Expr::Let { var, value, body } => {
+            Expr::Let { var: *renames.get(&var).unwrap_or(&var), value, body }
+        }
         other => other,
     });
     for (hole, replacement) in holes {
@@ -178,10 +175,8 @@ pub(crate) mod tests {
         let q = lower(&plan, bnode).unwrap();
         let cq = Compiler::new().compile(&q).unwrap();
         let range = TimeRange::new(Time::new(0), Time::new(2));
-        let input = SnapshotBuf::from_events(
-            &[Event::point(Time::new(1), Value::Float(1.0))],
-            range,
-        );
+        let input =
+            SnapshotBuf::from_events(&[Event::point(Time::new(1), Value::Float(1.0))], range);
         let out = cq.run(&[&input], range);
         // ((1*2)+(1*2)) = 4, then (4*3)+(4*3) = 24.
         assert_eq!(out.value_at(Time::new(1)), Value::Float(24.0));

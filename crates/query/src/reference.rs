@@ -26,6 +26,23 @@ pub fn evaluate(
 ) -> Vec<Event<Value>> {
     let sources = plan.sources();
     assert_eq!(inputs.len(), sources.len(), "one input per source required");
+    // Grid-based operators (Window, Chop, Merge) must be evaluated beyond
+    // `range`: a downstream window's lookback can read panes before
+    // `range.start`, and shifts can move events across either edge. Extend
+    // every intermediate by the plan's total temporal reach and clip only
+    // the final output — the event-list analogue of the compiler's
+    // boundary-resolved partition extension (Fig. 6).
+    let reach: i64 = plan
+        .nodes()
+        .iter()
+        .map(|n| match n {
+            OpNode::Window { size, stride, .. } => size + stride,
+            OpNode::Chop { period, .. } => 2 * period,
+            OpNode::Shift { delta, .. } => delta.abs(),
+            _ => 0,
+        })
+        .sum();
+    let eval = TimeRange::new(range.start.saturating_add(-reach), range.end.saturating_add(reach));
     let mut memo: Vec<Option<Vec<Event<Value>>>> = vec![None; plan.len()];
     let mut source_iter = inputs.iter();
     for (i, node) in plan.nodes().iter().enumerate() {
@@ -77,20 +94,20 @@ pub fn evaluate(
             OpNode::Chop { input, period } => {
                 let evs = get(*input, &memo);
                 let mut out = Vec::new();
-                let mut g = Time::new(range.start.ticks() + 1).align_up(*period);
-                while g <= range.end {
+                let mut g = Time::new(eval.start.ticks() + 1).align_up(*period);
+                while g <= eval.end {
                     if let Some(e) = evs.iter().find(|e| e.is_active_at(g)) {
                         out.push(Event::new(g - *period, g, e.payload.clone()));
                     }
-                    g = g + *period;
+                    g += *period;
                 }
                 out
             }
             OpNode::Window { input, size, stride, agg } => {
                 let evs = get(*input, &memo);
                 let mut out = Vec::new();
-                let mut g = Time::new(range.start.ticks() + 1).align_up(*stride);
-                while g <= range.end {
+                let mut g = Time::new(eval.start.ticks() + 1).align_up(*stride);
+                while g <= eval.end {
                     let win = TimeRange::new(g - *size, g);
                     let payloads: Vec<Value> = evs
                         .iter()
@@ -101,7 +118,7 @@ pub fn evaluate(
                     if !matches!(v, Value::Null) {
                         out.push(Event::new(g - *stride, g, v));
                     }
-                    g = g + *stride;
+                    g += *stride;
                 }
                 out
             }
@@ -141,7 +158,7 @@ pub fn evaluate(
                 let ls = get(*left, &memo);
                 let rs = get(*right, &memo);
                 let mut out = Vec::new();
-                for t in ticks(range) {
+                for t in ticks(eval) {
                     let v = ls
                         .iter()
                         .find(|e| e.is_active_at(t))
@@ -210,10 +227,7 @@ mod tests {
             inputs.iter().map(|evs| SnapshotBuf::from_events(evs, range)).collect();
         let refs: Vec<&SnapshotBuf<Value>> = bufs.iter().collect();
         let got = cq.run(&refs, range).to_events();
-        assert!(
-            streams_equivalent(&expected, &got),
-            "reference {expected:?}\n!= tilt {got:?}"
-        );
+        assert!(streams_equivalent(&expected, &got), "reference {expected:?}\n!= tilt {got:?}");
     }
 
     #[test]
@@ -270,7 +284,8 @@ mod tests {
         let mut plan = LogicalPlan::new();
         let src = plan.source("s", DataType::Float);
         // payload + t: changes every tick inside an event.
-        let out = plan.select(src, elem().add(Expr::Time.bin(tilt_core::ir::BinOp::Mul, Expr::c(1i64))));
+        let out =
+            plan.select(src, elem().add(Expr::Time.bin(tilt_core::ir::BinOp::Mul, Expr::c(1i64))));
         let input = vec![Event::new(Time::new(0), Time::new(5), Value::Float(10.0))];
         check(&plan, out, &[input], 6);
     }

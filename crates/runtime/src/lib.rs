@@ -1,0 +1,649 @@
+//! `tilt-runtime` — a sharded, keyed, out-of-order-tolerant streaming
+//! runtime that serves one compiled TiLT query over many independent key
+//! streams.
+//!
+//! The TiLT compiler (paper §6) produces a [`CompiledQuery`] for a single
+//! logical stream. Long-running services need the layer above: millions of
+//! per-key streams (one per user, campaign, device, …) multiplexed over a
+//! fixed worker pool, with events arriving out of order. This crate
+//! provides that layer, compile-once/serve-many style:
+//!
+//! * **Keyed ingestion** — [`Runtime::ingest`] hash-partitions
+//!   [`KeyedEvent`]s across `N` shard threads over bounded channels
+//!   (backpressure: producers block when a shard falls behind);
+//! * **Out-of-order tolerance** — each shard holds a per-key, per-source
+//!   reorder buffer; events mature once the shard watermark passes them.
+//!   Per-source watermarks advance as `max event start seen −
+//!   allowed_lateness` (floored by explicit [`Runtime::watermark`]
+//!   promises) and their minimum drives emission, so a slow source holds
+//!   results back rather than corrupting them. Watermarks bound event
+//!   *starts* because an event contributes value back to its start: once
+//!   no future event can start at or before `wm`, every tick up to `wm`
+//!   is final;
+//! * **Synchronization-free data parallelism** — keys never migrate
+//!   between shards; each shard drives plain
+//!   [`tilt_core::SharedStreamSession`]s, so shards share nothing but the
+//!   read-only compiled query (the runtime analogue of §6.2's partition
+//!   workers);
+//! * **Observability** — [`Runtime::stats`] snapshots throughput,
+//!   watermark lag, late-drop counts, and per-shard queue depths.
+//!
+//! Events later than `allowed_lateness` are *dropped and counted*
+//! ([`RuntimeStats::late_dropped`]), the classic watermark trade-off.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+//! use tilt_core::Compiler;
+//! use tilt_data::{Event, Time, Value};
+//! use tilt_runtime::{KeyedEvent, Runtime, RuntimeConfig};
+//!
+//! // Per-key 4-tick sliding sum.
+//! let mut b = Query::builder();
+//! let input = b.input("x", DataType::Float);
+//! let sum = b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, 4));
+//! let query = b.finish(sum).unwrap();
+//! let cq = Arc::new(Compiler::new().compile(&query).unwrap());
+//!
+//! let runtime = Runtime::start(
+//!     Arc::clone(&cq),
+//!     RuntimeConfig { shards: 2, allowed_lateness: 8, ..RuntimeConfig::default() },
+//! );
+//! // Two keys, events interleaved and out of order within each key.
+//! runtime.ingest([
+//!     KeyedEvent::new(7, 0, Event::point(Time::new(2), Value::Float(1.0))),
+//!     KeyedEvent::new(9, 0, Event::point(Time::new(1), Value::Float(5.0))),
+//!     KeyedEvent::new(7, 0, Event::point(Time::new(1), Value::Float(2.0))), // late, in bound
+//!     KeyedEvent::new(9, 0, Event::point(Time::new(2), Value::Float(6.0))),
+//! ]);
+//! let output = runtime.finish_at(Time::new(4));
+//! assert_eq!(output.stats.late_dropped, 0);
+//! // Key 7 saw 1.0@2 and 2.0@1: the 4-tick sum at t=2 is 3.0.
+//! let key7 = &output.per_key[&7];
+//! assert!(key7.iter().any(|e| e.payload == Value::Float(3.0)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod shard;
+mod stats;
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tilt_core::CompiledQuery;
+use tilt_data::{Event, Time, Value};
+
+use shard::{Shard, ShardMsg, ShardOutput};
+pub use stats::RuntimeStats;
+use stats::SharedStats;
+
+/// One event addressed to one key's stream.
+///
+/// `source` selects which of the query's declared inputs the event feeds
+/// (0 for single-input queries).
+#[derive(Clone, Debug)]
+pub struct KeyedEvent {
+    /// The stream key (user id, campaign id, device id, …).
+    pub key: u64,
+    /// Index into the compiled query's inputs.
+    pub source: usize,
+    /// The event itself.
+    pub event: Event<Value>,
+}
+
+impl KeyedEvent {
+    /// Convenience constructor.
+    pub fn new(key: u64, source: usize, event: Event<Value>) -> Self {
+        KeyedEvent { key, source, event }
+    }
+}
+
+/// Streaming output consumer: called by shard threads with each key's
+/// newly finalized events, in per-key time order.
+pub type OutputSink = Arc<dyn Fn(u64, &[Event<Value>]) + Send + Sync>;
+
+/// Configuration for [`Runtime::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Number of shard worker threads (keys are hash-partitioned across
+    /// them). Defaults to available parallelism.
+    pub shards: usize,
+    /// How many ticks late an event may arrive (its start relative to the
+    /// newest event start seen on its source) before it is dropped.
+    /// 0 = in-order input.
+    pub allowed_lateness: i64,
+    /// Target bound on each shard's ingest queue, in events; producers
+    /// block when a queue is full (backpressure). Enforced in channel
+    /// messages as `max(channel_capacity / ingest_batch, 1)`, so it is
+    /// exact for full [`Runtime::ingest`] batches; producers sending
+    /// single-event messages ([`Runtime::send`]) hit the message bound
+    /// after `channel_capacity / ingest_batch` events instead.
+    pub channel_capacity: usize,
+    /// Events per channel message: [`Runtime::ingest`] groups routed
+    /// events into batches of this size to amortize channel overhead.
+    pub ingest_batch: usize,
+    /// Minimum watermark advance (ticks) between kernel re-runs per key.
+    /// Larger values batch more input into each kernel invocation.
+    pub emit_interval: i64,
+    /// Logical start of every key's timeline.
+    pub start: Time,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            shards: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            allowed_lateness: 0,
+            channel_capacity: 65_536,
+            ingest_batch: 256,
+            emit_interval: 64,
+            start: Time::ZERO,
+        }
+    }
+}
+
+/// Everything the runtime hands back when it drains and shuts down.
+#[derive(Debug)]
+pub struct RuntimeOutput {
+    /// Finalized output events per key. Keys whose queries emitted nothing
+    /// map to empty vectors; when an [`OutputSink`] consumed events as
+    /// they were finalized, the vectors are empty too.
+    pub per_key: HashMap<u64, Vec<Event<Value>>>,
+    /// Final counter snapshot.
+    pub stats: RuntimeStats,
+}
+
+/// A running sharded streaming service over one compiled query.
+///
+/// Create with [`Runtime::start`], feed with [`Runtime::ingest`], observe
+/// with [`Runtime::stats`], and shut down with [`Runtime::finish`] /
+/// [`Runtime::finish_at`] (graceful drain: buffered events are flushed
+/// through the final horizon before worker threads exit). Dropping a
+/// `Runtime` without finishing also joins the workers, discarding their
+/// output.
+#[derive(Debug)]
+pub struct Runtime {
+    senders: Vec<SyncSender<ShardMsg>>,
+    handles: Vec<JoinHandle<ShardOutput>>,
+    stats: Arc<SharedStats>,
+    shards: usize,
+    ingest_batch: usize,
+}
+
+impl Runtime {
+    /// Spawns `config.shards` worker threads serving `cq` and returns the
+    /// ingestion handle.
+    pub fn start(cq: Arc<CompiledQuery>, config: RuntimeConfig) -> Runtime {
+        Self::start_with(cq, config, None)
+    }
+
+    /// Like [`Runtime::start`], with a sink receiving each key's events as
+    /// they are finalized instead of accumulating them for `finish`.
+    pub fn start_with_sink(
+        cq: Arc<CompiledQuery>,
+        config: RuntimeConfig,
+        sink: OutputSink,
+    ) -> Runtime {
+        Self::start_with(cq, config, Some(sink))
+    }
+
+    fn start_with(
+        cq: Arc<CompiledQuery>,
+        config: RuntimeConfig,
+        sink: Option<OutputSink>,
+    ) -> Runtime {
+        let shards = config.shards.max(1);
+        let ingest_batch = config.ingest_batch.max(1);
+        let stats = Arc::new(SharedStats::new(shards));
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let cap_msgs = (config.channel_capacity / ingest_batch).max(1);
+        for id in 0..shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel(cap_msgs);
+            let shard = Shard::new(id, Arc::clone(&cq), config, sink.clone(), Arc::clone(&stats));
+            let handle = std::thread::Builder::new()
+                .name(format!("tilt-shard-{id}"))
+                .spawn(move || shard.run(rx))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Runtime { senders, handles, stats, shards, ingest_batch }
+    }
+
+    /// Which shard serves `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_index(key, self.shards)
+    }
+
+    /// Routes and enqueues events, blocking when a destination shard's
+    /// queue is full (backpressure). Events for different keys may be
+    /// interleaved arbitrarily; within a key and source, arrival order may
+    /// deviate from time order by up to the configured allowed lateness.
+    pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+        let mut routed: Vec<Vec<KeyedEvent>> = (0..self.shards).map(|_| Vec::new()).collect();
+        let mut n: u64 = 0;
+        for ev in events {
+            n += 1;
+            self.stats.note_event_end(ev.event.end);
+            let s = shard_index(ev.key, self.shards);
+            routed[s].push(ev);
+            if routed[s].len() >= self.ingest_batch {
+                self.send_batch(s, std::mem::take(&mut routed[s]));
+            }
+        }
+        for (s, batch) in routed.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send_batch(s, batch);
+            }
+        }
+        self.stats.events_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Ingests a single event ([`Runtime::ingest`] amortizes better).
+    pub fn send(&self, event: KeyedEvent) {
+        self.stats.note_event_end(event.event.end);
+        let s = shard_index(event.key, self.shards);
+        self.send_batch(s, vec![event]);
+        self.stats.events_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Broadcasts an explicit watermark: source `source` promises to
+    /// deliver no further events starting at or before `time`. Drives
+    /// emission forward on sources that have gone quiet.
+    pub fn watermark(&self, source: usize, time: Time) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Watermark { source, time });
+        }
+    }
+
+    /// Snapshots runtime health counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats.snapshot()
+    }
+
+    /// Gracefully drains and shuts down: every buffered event is flushed,
+    /// every session is run through the horizon of its shard's newest
+    /// event, and per-key outputs are returned.
+    pub fn finish(self) -> RuntimeOutput {
+        self.shutdown(None)
+    }
+
+    /// Like [`Runtime::finish`], but flushes every key's session through
+    /// the same explicit horizon `end`, making outputs independent of how
+    /// events were interleaved across shards.
+    pub fn finish_at(self, end: Time) -> RuntimeOutput {
+        self.shutdown(Some(end))
+    }
+
+    fn shutdown(mut self, end: Option<Time>) -> RuntimeOutput {
+        if let Some(end) = end {
+            for tx in &self.senders {
+                let _ = tx.send(ShardMsg::FinishAt(end));
+            }
+        }
+        self.senders.clear(); // close channels: workers drain and exit
+        let mut per_key = HashMap::new();
+        for handle in self.handles.drain(..) {
+            let out = match handle.join() {
+                Ok(out) => out,
+                Err(cause) => std::panic::resume_unwind(cause),
+            };
+            for (key, events) in out.per_key {
+                per_key.insert(key, events);
+            }
+        }
+        RuntimeOutput { per_key, stats: self.stats.snapshot() }
+    }
+
+    fn send_batch(&self, shard: usize, batch: Vec<KeyedEvent>) {
+        self.stats.queue_depth[shard].fetch_add(batch.len() as i64, Ordering::Relaxed);
+        // A send can only fail if the shard thread died; surface that on
+        // join rather than panicking mid-ingest.
+        let _ = self.senders[shard].send(ShardMsg::Batch(batch));
+    }
+}
+
+fn shard_index(key: u64, shards: usize) -> usize {
+    // SplitMix64 finalizer: cheap, well-mixed, stable across runs.
+    let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            if let Err(cause) = handle.join() {
+                // A dead shard means lost events; surface the worker's
+                // panic instead of silently discarding it (unless this
+                // drop is itself part of a panic unwind).
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+    use tilt_core::Compiler;
+    use tilt_data::{coalesce, streams_equivalent, TimeRange};
+
+    fn sliding_sum_query(window: i64) -> Arc<CompiledQuery> {
+        let mut b = Query::builder();
+        let input = b.input("x", DataType::Float);
+        let sum = b.temporal(
+            "sum",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, input, window),
+        );
+        let q = b.finish(sum).unwrap();
+        Arc::new(Compiler::new().compile(&q).unwrap())
+    }
+
+    fn key_events(key: u64, n: i64) -> Vec<KeyedEvent> {
+        (1..=n)
+            .map(|t| {
+                KeyedEvent::new(
+                    key,
+                    0,
+                    Event::point(Time::new(t), Value::Float((key as f64) + t as f64)),
+                )
+            })
+            .collect()
+    }
+
+    /// In-order replay of one key through a borrowed StreamSession — the
+    /// ground truth the runtime must reproduce.
+    fn replay(cq: &CompiledQuery, events: &[Event<Value>], end: Time) -> Vec<Event<Value>> {
+        let mut session = cq.stream_session(Time::ZERO);
+        session.push_events(0, events);
+        session.flush_to(end).to_events()
+    }
+
+    #[test]
+    fn in_order_multi_key_matches_replay() {
+        let cq = sliding_sum_query(10);
+        let n = 300i64;
+        let keys: Vec<u64> = (0..7).collect();
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 3, ..RuntimeConfig::default() },
+        );
+        // Interleave keys round-robin, in time order within each key.
+        for t in 1..=n {
+            runtime.ingest(keys.iter().map(|&k| {
+                KeyedEvent::new(k, 0, Event::point(Time::new(t), Value::Float(k as f64 + t as f64)))
+            }));
+        }
+        let end = Time::new(n + 10);
+        let out = runtime.finish_at(end);
+        assert_eq!(out.stats.late_dropped, 0);
+        assert_eq!(out.stats.events_in, (n as u64) * keys.len() as u64);
+        assert_eq!(out.per_key.len(), keys.len());
+        for &k in &keys {
+            let expected = replay(
+                &cq,
+                &key_events(k, n).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+                end,
+            );
+            let got = &out.per_key[&k];
+            assert!(
+                streams_equivalent(&coalesce(&expected), &coalesce(got)),
+                "key {k}: {} vs {} events",
+                expected.len(),
+                got.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_out_of_order_matches_replay() {
+        let cq = sliding_sum_query(8);
+        let n = 240i64;
+        let key = 42u64;
+        let mut events = key_events(key, n);
+        // Deterministic bounded shuffle: swap within windows of 6.
+        for w in events.chunks_mut(6) {
+            w.reverse();
+        }
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 2, allowed_lateness: 8, ..RuntimeConfig::default() },
+        );
+        runtime.ingest(events.clone());
+        let end = Time::new(n + 8);
+        let out = runtime.finish_at(end);
+        assert_eq!(out.stats.late_dropped, 0, "lateness bound must absorb the shuffle");
+        let expected = replay(
+            &cq,
+            &key_events(key, n).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+            end,
+        );
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&key])));
+    }
+
+    #[test]
+    fn beyond_lateness_events_are_dropped_and_counted() {
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig {
+                shards: 1,
+                allowed_lateness: 2,
+                emit_interval: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        let key = 5u64;
+        // Advance far, then send a hopeless straggler.
+        runtime.ingest(
+            (1..=100)
+                .map(|t| KeyedEvent::new(key, 0, Event::point(Time::new(t), Value::Float(1.0)))),
+        );
+        runtime.ingest([KeyedEvent::new(key, 0, Event::point(Time::new(3), Value::Float(9.0)))]);
+        let out = runtime.finish_at(Time::new(104));
+        assert_eq!(out.stats.late_dropped, 1);
+        // Output equals a replay that never saw the straggler.
+        let clean: Vec<Event<Value>> =
+            (1..=100).map(|t| Event::point(Time::new(t), Value::Float(1.0))).collect();
+        let expected = replay(&cq, &clean, Time::new(104));
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&key])));
+    }
+
+    #[test]
+    fn explicit_watermarks_drive_emission_and_sink_streams() {
+        let cq = sliding_sum_query(4);
+        let emitted = Arc::new(std::sync::Mutex::new(Vec::<(u64, Event<Value>)>::new()));
+        let sink_store = Arc::clone(&emitted);
+        let runtime = Runtime::start_with_sink(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 2, emit_interval: 1, ..RuntimeConfig::default() },
+            Arc::new(move |key, events| {
+                sink_store.lock().unwrap().extend(events.iter().map(|e| (key, e.clone())));
+            }),
+        );
+        runtime.ingest(key_events(1, 50));
+        runtime.watermark(0, Time::new(50));
+        // The sink sees finalized prefixes before shutdown.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while emitted.lock().unwrap().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(!emitted.lock().unwrap().is_empty(), "sink never saw streamed output");
+        let out = runtime.finish_at(Time::new(54));
+        assert!(out.per_key[&1].is_empty(), "sink consumed the events");
+        assert_eq!(out.stats.events_out as usize, emitted.lock().unwrap().len());
+        // Streamed output equals replay.
+        let expected = replay(
+            &cq,
+            &key_events(1, 50).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+            Time::new(54),
+        );
+        let streamed: Vec<Event<Value>> =
+            emitted.lock().unwrap().iter().map(|(_, e)| e.clone()).collect();
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&streamed)));
+    }
+
+    #[test]
+    fn quiet_key_tail_reaches_sink_without_finish() {
+        // Key 1 stops at t=20; key 2 keeps driving the shard watermark
+        // forward. The sink must receive key 1's closing windows (the last
+        // non-φ output of a 4-tick sum ends at t=23) while the runtime is
+        // still running — not only at shutdown flush.
+        let cq = sliding_sum_query(4);
+        let emitted = Arc::new(std::sync::Mutex::new(Vec::<(u64, Event<Value>)>::new()));
+        let sink_store = Arc::clone(&emitted);
+        let runtime = Runtime::start_with_sink(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() },
+            Arc::new(move |key, events| {
+                sink_store.lock().unwrap().extend(events.iter().map(|e| (key, e.clone())));
+            }),
+        );
+        runtime.ingest(key_events(1, 20));
+        let quiet_tail_seen = |emitted: &std::sync::Mutex<Vec<(u64, Event<Value>)>>| {
+            emitted.lock().unwrap().iter().any(|(k, e)| *k == 1 && e.end >= Time::new(23))
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut t = 21i64;
+        while !quiet_tail_seen(&emitted) && std::time::Instant::now() < deadline {
+            runtime.send(KeyedEvent::new(2, 0, Event::point(Time::new(t), Value::Float(1.0))));
+            t += 1;
+        }
+        assert!(
+            quiet_tail_seen(&emitted),
+            "quiet key's finalized tail never reached the sink while running (watermark pushed to t={t})"
+        );
+        runtime.finish();
+    }
+
+    #[test]
+    fn stats_track_queue_and_watermarks() {
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 2, emit_interval: 1, ..RuntimeConfig::default() },
+        );
+        runtime.ingest(key_events(3, 100));
+        runtime.ingest(key_events(4, 100));
+        let out = runtime.finish();
+        assert_eq!(out.stats.events_in, 200);
+        assert!(out.stats.events_out > 0);
+        assert_eq!(out.stats.keys, 2);
+        assert_eq!(out.stats.queue_depths.len(), 2);
+        assert!(out.stats.queue_depths.iter().all(|&d| d == 0), "drained queues");
+        assert!(out.stats.min_watermark >= Time::new(100), "flush horizon reached");
+    }
+
+    #[test]
+    fn two_source_query_holds_back_for_slowest_source() {
+        // join(a, b): per-key sum of two sources' running 4-windows.
+        let mut b = Query::builder();
+        let a_in = b.input("a", DataType::Float);
+        let b_in = b.input("b", DataType::Float);
+        let sum = b.temporal(
+            "sum",
+            TDom::every_tick(),
+            Expr::reduce_window(ReduceOp::Sum, a_in, 4).add(Expr::reduce_window(
+                ReduceOp::Sum,
+                b_in,
+                4,
+            )),
+        );
+        let q = b.finish(sum).unwrap();
+        let cq = Arc::new(Compiler::new().compile(&q).unwrap());
+
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() },
+        );
+        let key = 9u64;
+        // Source 0 races ahead; source 1 lags at t=10.
+        runtime.ingest(
+            (1..=60)
+                .map(|t| KeyedEvent::new(key, 0, Event::point(Time::new(t), Value::Float(1.0)))),
+        );
+        runtime.ingest(
+            (1..=10)
+                .map(|t| KeyedEvent::new(key, 1, Event::point(Time::new(t), Value::Float(10.0)))),
+        );
+        let stats = runtime.stats();
+        // Min-watermark propagation: the shard watermark tracks the slow
+        // source, not the fast one.
+        assert!(
+            stats.shard_watermarks.iter().all(|&w| w <= Time::new(10)),
+            "watermarks {:?} ran ahead of the slow source",
+            stats.shard_watermarks
+        );
+        let out = runtime.finish_at(Time::new(64));
+        // Ground truth: replay both sources in order.
+        let mut session = cq.stream_session(Time::ZERO);
+        session.push_events(
+            0,
+            &(1..=60).map(|t| Event::point(Time::new(t), Value::Float(1.0))).collect::<Vec<_>>(),
+        );
+        session.push_events(
+            1,
+            &(1..=10).map(|t| Event::point(Time::new(t), Value::Float(10.0))).collect::<Vec<_>>(),
+        );
+        let expected = session.flush_to(Time::new(64)).to_events();
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&key])));
+    }
+
+    #[test]
+    fn keys_partition_stably_across_shards() {
+        let shards = 8;
+        for key in 0..1000u64 {
+            let a = shard_index(key, shards);
+            let b = shard_index(key, shards);
+            assert_eq!(a, b);
+            assert!(a < shards);
+        }
+        // Rough balance over sequential keys.
+        let mut counts = vec![0usize; shards];
+        for key in 0..8000u64 {
+            counts[shard_index(key, shards)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() {
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(Arc::clone(&cq), RuntimeConfig::default());
+        runtime.ingest(key_events(1, 10));
+        drop(runtime); // must not hang or leak panics
+    }
+
+    #[test]
+    fn one_shot_run_agrees_with_runtime_for_single_key() {
+        // Closing the loop with the batch executor: runtime output ==
+        // CompiledQuery::run over the same events.
+        let cq = sliding_sum_query(6);
+        let n = 120i64;
+        let events: Vec<Event<Value>> =
+            (1..=n).map(|t| Event::point(Time::new(t), Value::Float(t as f64 * 0.5))).collect();
+        let range = TimeRange::new(Time::ZERO, Time::new(n + 6));
+        let buf = tilt_data::SnapshotBuf::from_events(&events, range);
+        let oneshot = cq.run(&[&buf], range).to_events();
+
+        let runtime = Runtime::start(Arc::clone(&cq), RuntimeConfig::default());
+        runtime.ingest(events.iter().map(|e| KeyedEvent::new(77, 0, e.clone())));
+        let out = runtime.finish_at(Time::new(n + 6));
+        assert!(streams_equivalent(&coalesce(&oneshot), &coalesce(&out.per_key[&77])));
+    }
+}

@@ -1,0 +1,318 @@
+//! The shard worker: one thread owning a disjoint subset of keys.
+//!
+//! Each shard receives batches of keyed events over a bounded channel,
+//! buffers them per key and per source in a reorder buffer, tracks
+//! per-source watermarks (`max event start seen − allowed lateness`,
+//! floored by explicit watermark messages — see the `max_start` field for
+//! why starts, not ends), and — whenever the min-watermark crosses a new
+//! emission grid point — drains the matured prefix of every active key's
+//! buffer into that key's [`SharedStreamSession`] and advances it. Keys never migrate between shards, so shards share nothing and run
+//! synchronization-free, the runtime analogue of the paper's §6.2
+//! partition workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use tilt_core::{CompiledQuery, SharedStreamSession};
+use tilt_data::{Event, Time, Value};
+
+use crate::stats::SharedStats;
+use crate::{KeyedEvent, OutputSink, RuntimeConfig};
+
+/// Messages flowing from the runtime handle to a shard worker.
+pub(crate) enum ShardMsg {
+    /// A batch of events, already routed to this shard.
+    Batch(Vec<KeyedEvent>),
+    /// An explicit promise that source `source` will deliver no further
+    /// events *starting* at or before `time`.
+    Watermark { source: usize, time: Time },
+    /// Final horizon: flush every session through `time` when the channel
+    /// closes.
+    FinishAt(Time),
+}
+
+/// Per-key state: the streaming session plus the per-source reorder
+/// buffers feeding it.
+struct KeyState {
+    session: SharedStreamSession,
+    /// Out-of-order arrivals per source, held until the watermark passes
+    /// them.
+    pending: Vec<Vec<Event<Value>>>,
+    /// End of the last event pushed into the session, per source: the
+    /// frontier behind which arrivals are unsalvageably late.
+    pushed_end: Vec<Time>,
+    /// Finalized output events (drained by `finish` unless a sink is set).
+    out: Vec<Event<Value>>,
+    /// Whether events were pushed since the session last advanced.
+    dirty: bool,
+    /// Whether the key is already on the shard's active-visit queue.
+    queued: bool,
+}
+
+/// Everything a shard returns when it drains and exits.
+pub(crate) struct ShardOutput {
+    /// Finalized output per key (empty vectors when a sink consumed them).
+    pub(crate) per_key: Vec<(u64, Vec<Event<Value>>)>,
+}
+
+pub(crate) struct Shard {
+    id: usize,
+    cq: Arc<CompiledQuery>,
+    cfg: RuntimeConfig,
+    n_sources: usize,
+    grid: i64,
+    lookahead: i64,
+    keys: HashMap<u64, KeyState>,
+    /// Per source: the largest event *start* observed on this shard.
+    ///
+    /// Watermarks are defined over starts, not ends: an event contributes
+    /// value all the way back to its start, so a not-yet-arrived event with
+    /// `start ≥ wm` can never change any tick at or before `wm` — which is
+    /// exactly the finality emission needs. (An end-based watermark would
+    /// let a long straddling event arrive after its early ticks were
+    /// already emitted.)
+    max_start: Vec<Time>,
+    /// The largest event end observed (final flush horizon).
+    max_end: Time,
+    /// Per source: the largest explicit watermark received.
+    explicit: Vec<Time>,
+    /// The last emission target the shard advanced its keys to.
+    emitted: Time,
+    /// Keys needing a visit on the next emission cycle (have new input,
+    /// pushed-but-unemitted history, or — with a sink — an unexhausted
+    /// output tail). Emission cost scales with this set, not with the
+    /// total key population.
+    active: Vec<u64>,
+    sink: Option<OutputSink>,
+    stats: Arc<SharedStats>,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        id: usize,
+        cq: Arc<CompiledQuery>,
+        cfg: RuntimeConfig,
+        sink: Option<OutputSink>,
+        stats: Arc<SharedStats>,
+    ) -> Self {
+        let n_sources = cq.query().inputs().len();
+        let grid = cq.grid();
+        let lookahead = cq.boundary().max_input_lookahead(cq.query());
+        Shard {
+            id,
+            cq,
+            cfg,
+            n_sources,
+            grid,
+            lookahead,
+            keys: HashMap::new(),
+            max_start: vec![Time::MIN; n_sources],
+            max_end: Time::MIN,
+            explicit: vec![Time::MIN; n_sources],
+            emitted: cfg.start,
+            active: Vec::new(),
+            sink,
+            stats,
+        }
+    }
+
+    /// The shard main loop: drain the channel, then flush and exit.
+    pub(crate) fn run(mut self, rx: std::sync::mpsc::Receiver<ShardMsg>) -> ShardOutput {
+        let mut finish_at: Option<Time> = None;
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Batch(events) => {
+                    self.stats.queue_depth[self.id]
+                        .fetch_sub(events.len() as i64, Ordering::Relaxed);
+                    for ev in events {
+                        self.accept(ev);
+                    }
+                }
+                ShardMsg::Watermark { source, time } => {
+                    if source < self.n_sources {
+                        let w = &mut self.explicit[source];
+                        *w = (*w).max(time);
+                    }
+                }
+                ShardMsg::FinishAt(time) => finish_at = Some(time),
+            }
+            self.maybe_advance();
+        }
+        self.flush(finish_at)
+    }
+
+    /// Routes one event into its key's reorder buffer, creating the key's
+    /// session on first contact.
+    fn accept(&mut self, ev: KeyedEvent) {
+        assert!(
+            ev.source < self.n_sources,
+            "source index {} out of range: query has {} inputs",
+            ev.source,
+            self.n_sources
+        );
+        self.max_start[ev.source] = self.max_start[ev.source].max(ev.event.start);
+        self.max_end = self.max_end.max(ev.event.end);
+
+        let state = match self.keys.entry(ev.key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.stats.keys.fetch_add(1, Ordering::Relaxed);
+                let session = self.cq.shared_stream_session(self.cfg.start);
+                e.insert(KeyState {
+                    session,
+                    pending: vec![Vec::new(); self.n_sources],
+                    pushed_end: vec![self.cfg.start; self.n_sources],
+                    out: Vec::new(),
+                    dirty: false,
+                    queued: false,
+                })
+            }
+        };
+
+        // Beyond-lateness arrivals cannot be spliced in front of history
+        // that already reached the session; count and drop them.
+        let frontier = state.pushed_end[ev.source].max(state.session.watermark());
+        if ev.event.start < frontier {
+            self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        state.pending[ev.source].push(ev.event);
+        if !state.queued {
+            state.queued = true;
+            self.active.push(ev.key);
+        }
+    }
+
+    /// The shard low-watermark: the min across sources of
+    /// `max(max_start − allowed_lateness, explicit)`. No future event may
+    /// start before it (later arrivals are dropped as late).
+    fn watermark(&self) -> Time {
+        (0..self.n_sources)
+            .map(|s| {
+                self.max_start[s].saturating_add(-self.cfg.allowed_lateness).max(self.explicit[s])
+            })
+            .min()
+            .unwrap_or(Time::MIN)
+    }
+
+    /// Advances keys when the watermark has crossed a new emission point
+    /// (at least `emit_interval` past the previous one, snapped to the
+    /// kernel grid).
+    ///
+    /// Only keys on the active queue are visited, so a cycle costs
+    /// O(active keys), not O(total keys). A visited key is re-queued while
+    /// it still has buffered input or pushed-but-unemitted history; with a
+    /// sink it is additionally re-queued while its eager advances keep
+    /// producing output, so a quiet key's already-final tail (the closing
+    /// windows after its last event) reaches the sink while the service
+    /// keeps running. Once an eager advance produces nothing the key is
+    /// parked until new input arrives — for window-style queries an empty
+    /// region stays empty without new events. (Queries that emit output on
+    /// an empty timeline only surface that output at the shutdown flush.)
+    fn maybe_advance(&mut self) {
+        let wm = self.watermark();
+        self.stats.shard_watermark[self.id].store(wm.ticks(), Ordering::Relaxed);
+        // The session emission horizon for watermark `wm`
+        // (cf. `StreamSessionIn::advance_to`).
+        let target = Time::new(wm.ticks().saturating_sub(self.lookahead)).align_down(self.grid);
+        if target.ticks() < self.emitted.ticks().saturating_add(self.cfg.emit_interval) {
+            return;
+        }
+        self.emitted = target;
+        let eager = self.sink.is_some();
+        let (sink, stats) = (&self.sink, &self.stats);
+        let mut visit = std::mem::take(&mut self.active);
+        for key in visit.drain(..) {
+            let Some(state) = self.keys.get_mut(&key) else { continue };
+            state.queued = false;
+            Self::drain_pending(state, wm, stats);
+            let mut emitted_any = false;
+            if (state.dirty || eager) && target > state.session.watermark() {
+                let emitted = state.session.advance_to(wm).to_events();
+                state.dirty = false;
+                emitted_any = !emitted.is_empty();
+                Self::deliver(key, emitted, state, sink, stats);
+            }
+            let revisit = state.dirty
+                || state.pending.iter().any(|p| !p.is_empty())
+                || (eager && emitted_any);
+            if revisit {
+                state.queued = true;
+                self.active.push(key);
+            }
+        }
+    }
+
+    /// Moves every matured pending event (start < `upto`) into the
+    /// session, in time order. Events starting at or after the watermark
+    /// stay buffered: an earlier-starting straggler could still arrive and
+    /// must sort in front of them.
+    fn drain_pending(state: &mut KeyState, upto: Time, stats: &SharedStats) {
+        for (source, pending) in state.pending.iter_mut().enumerate() {
+            if pending.is_empty() {
+                continue;
+            }
+            pending.sort_by_key(|e| (e.start, e.end));
+            let n = pending.partition_point(|e| e.start < upto);
+            if n == 0 {
+                continue;
+            }
+            let mut matured: Vec<Event<Value>> = pending.drain(..n).collect();
+            // Duplicate or overlapping arrivals (malformed per-key streams)
+            // cannot be appended disjointly; count them as drops rather
+            // than corrupting the session history.
+            matured.retain(|e| {
+                if e.start < state.pushed_end[source] {
+                    stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    state.pushed_end[source] = e.end;
+                    true
+                }
+            });
+            if !matured.is_empty() {
+                state.session.push_events(source, &matured);
+                state.dirty = true;
+            }
+        }
+    }
+
+    fn deliver(
+        key: u64,
+        events: Vec<Event<Value>>,
+        state: &mut KeyState,
+        sink: &Option<OutputSink>,
+        stats: &SharedStats,
+    ) {
+        if events.is_empty() {
+            return;
+        }
+        stats.events_out.fetch_add(events.len() as u64, Ordering::Relaxed);
+        match sink {
+            Some(sink) => sink(key, &events),
+            None => state.out.extend(events),
+        }
+    }
+
+    /// End-of-stream: push everything still pending (the watermark can no
+    /// longer refute it), flush every session through the final horizon,
+    /// and hand the per-key outputs back.
+    fn flush(mut self, finish_at: Option<Time>) -> ShardOutput {
+        let horizon =
+            finish_at.unwrap_or_else(|| self.max_end.max(self.cfg.start).align_up(self.grid));
+        self.stats.shard_watermark[self.id].store(horizon.ticks(), Ordering::Relaxed);
+        let (sink, stats) = (&self.sink, &self.stats);
+        let mut per_key: Vec<(u64, Vec<Event<Value>>)> = Vec::with_capacity(self.keys.len());
+        for (key, mut state) in self.keys.drain() {
+            Self::drain_pending(&mut state, Time::MAX, stats);
+            if horizon > state.session.watermark() {
+                let emitted = state.session.flush_to(horizon).to_events();
+                Self::deliver(key, emitted, &mut state, sink, stats);
+            }
+            per_key.push((key, state.out));
+        }
+        per_key.sort_by_key(|(k, _)| *k);
+        ShardOutput { per_key }
+    }
+}

@@ -1,0 +1,118 @@
+//! Runtime observability: lock-free counters updated by producers and
+//! shard workers, snapshotted on demand as [`RuntimeStats`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use tilt_data::Time;
+
+/// Shared atomic counters; one instance per [`crate::Runtime`], updated by
+/// every producer and shard thread.
+#[derive(Debug)]
+pub(crate) struct SharedStats {
+    pub(crate) started: Instant,
+    pub(crate) events_in: AtomicU64,
+    pub(crate) events_out: AtomicU64,
+    pub(crate) late_dropped: AtomicU64,
+    pub(crate) keys: AtomicU64,
+    pub(crate) max_event_end: AtomicI64,
+    /// Per shard: events currently queued (sent, not yet received).
+    pub(crate) queue_depth: Vec<AtomicI64>,
+    /// Per shard: the low-watermark the shard last propagated.
+    pub(crate) shard_watermark: Vec<AtomicI64>,
+}
+
+impl SharedStats {
+    pub(crate) fn new(shards: usize) -> Self {
+        SharedStats {
+            started: Instant::now(),
+            events_in: AtomicU64::new(0),
+            events_out: AtomicU64::new(0),
+            late_dropped: AtomicU64::new(0),
+            keys: AtomicU64::new(0),
+            max_event_end: AtomicI64::new(Time::MIN.ticks()),
+            queue_depth: (0..shards).map(|_| AtomicI64::new(0)).collect(),
+            shard_watermark: (0..shards).map(|_| AtomicI64::new(Time::MIN.ticks())).collect(),
+        }
+    }
+
+    pub(crate) fn note_event_end(&self, end: Time) {
+        self.max_event_end.fetch_max(end.ticks(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> RuntimeStats {
+        let queue_depths: Vec<usize> =
+            self.queue_depth.iter().map(|d| d.load(Ordering::Relaxed).max(0) as usize).collect();
+        let shard_watermarks: Vec<Time> =
+            self.shard_watermark.iter().map(|w| Time::new(w.load(Ordering::Relaxed))).collect();
+        let min_watermark = shard_watermarks.iter().copied().min().unwrap_or(Time::MIN);
+        let max_event_end = Time::new(self.max_event_end.load(Ordering::Relaxed));
+        let elapsed = self.started.elapsed();
+        let events_in = self.events_in.load(Ordering::Relaxed);
+        RuntimeStats {
+            events_in,
+            events_out: self.events_out.load(Ordering::Relaxed),
+            late_dropped: self.late_dropped.load(Ordering::Relaxed),
+            keys: self.keys.load(Ordering::Relaxed),
+            queue_depths,
+            shard_watermarks,
+            min_watermark,
+            watermark_lag: if max_event_end > min_watermark {
+                max_event_end - min_watermark
+            } else {
+                0
+            },
+            elapsed,
+            events_per_sec: if elapsed.as_secs_f64() > 0.0 {
+                events_in as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A point-in-time snapshot of runtime health, returned by
+/// [`crate::Runtime::stats`].
+#[derive(Clone, Debug)]
+pub struct RuntimeStats {
+    /// Events accepted by [`crate::Runtime::ingest`] so far.
+    pub events_in: u64,
+    /// Output events emitted across all keys so far.
+    pub events_out: u64,
+    /// Events dropped for arriving later than the configured
+    /// allowed lateness.
+    pub late_dropped: u64,
+    /// Distinct keys with live sessions.
+    pub keys: u64,
+    /// Events sitting in each shard's ingest queue (backpressure signal).
+    pub queue_depths: Vec<usize>,
+    /// Each shard's current low-watermark.
+    pub shard_watermarks: Vec<Time>,
+    /// The minimum shard watermark: everything at or before this time has
+    /// been finalized on every shard.
+    pub min_watermark: Time,
+    /// Ticks between the newest event seen and the minimum watermark — how
+    /// far finalization trails ingestion.
+    pub watermark_lag: i64,
+    /// Wall-clock time since the runtime started.
+    pub elapsed: Duration,
+    /// Ingest throughput since start (events per wall-clock second).
+    pub events_per_sec: f64,
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "in={} out={} late={} keys={} lag={} ticks, {:.0} ev/s, queues {:?}",
+            self.events_in,
+            self.events_out,
+            self.late_dropped,
+            self.keys,
+            self.watermark_lag,
+            self.events_per_sec,
+            self.queue_depths,
+        )
+    }
+}

@@ -1,0 +1,250 @@
+//! Workspace-local stand-in for the subset of the crates.io `criterion` API
+//! the workspace's micro-benchmarks use.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the few external APIs it needs as small shim crates
+//! (see `crates/shims/`). This shim keeps the `criterion_group!` /
+//! `criterion_main!` harness shape and the `BenchmarkGroup` builder API but
+//! replaces the statistical machinery with a plain
+//! warmup-then-measure loop that prints mean time per iteration (and
+//! element throughput when configured). No plotting, no outlier analysis,
+//! no saved baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many measured iterations each benchmark runs (lower bound).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_one(&id.to_string(), None, sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier; mirrors `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a per-iteration element count,
+    /// enabling elements/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        });
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly — one untimed warmup call, then measured
+    /// iterations until the sample size or the time budget is reached.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let budget = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while (iters as usize) < self.sample_size && budget.elapsed() < self.measurement_time {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            total += t0.elapsed();
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters.max(1);
+    }
+}
+
+fn run_one<F>(
+    name: &str,
+    throughput: Option<u64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { sample_size, measurement_time, total: Duration::ZERO, iters: 1 };
+    f(&mut b);
+    let per_iter = b.total.as_secs_f64() / b.iters as f64;
+    let time_str = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} us", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    match throughput {
+        Some(elems) if per_iter > 0.0 => {
+            let meps = elems as f64 / per_iter / 1e6;
+            println!("{name:<40} {time_str:>12}/iter  {meps:>10.2} Melem/s  ({} iters)", b.iters);
+        }
+        _ => println!("{name:<40} {time_str:>12}/iter  ({} iters)", b.iters),
+    }
+}
+
+/// Declares a benchmark group function; mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` entry point; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(50));
+        targets = trivial
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

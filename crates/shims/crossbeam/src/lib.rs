@@ -1,0 +1,156 @@
+//! Workspace-local stand-in for the subset of the crates.io `crossbeam` API
+//! the workspace uses: [`thread::scope`] (scoped worker pools) and
+//! [`channel::bounded`] (MPSC channels with backpressure).
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the few external APIs it needs as small shim crates
+//! (see `crates/shims/`). Both facilities delegate to `std`:
+//! `std::thread::scope` and `std::sync::mpsc::sync_channel`.
+//!
+//! Behavioral differences from real crossbeam, acceptable for this
+//! workspace: a panicking scoped thread propagates the panic out of
+//! [`thread::scope`] instead of returning `Err`, and receivers are
+//! single-consumer (every use in the workspace gives each receiver to
+//! exactly one thread).
+
+#![warn(missing_docs)]
+
+/// Scoped threads (API of `crossbeam::thread`).
+pub mod thread {
+    /// A handle for spawning scoped threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// workers can spawn nested workers, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the calling
+    /// stack frame; joins all of them before returning.
+    ///
+    /// Unlike crossbeam, a panicking worker resumes unwinding here (the
+    /// `Err` arm is never constructed); workspace callers only ever
+    /// `.expect()` the result, so the observable behavior — a panic with the
+    /// worker's message — is equivalent.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Multi-producer channels (API of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    /// The sending half of a bounded channel; cloneable for multi-producer
+    /// use. Mirrors `crossbeam::channel::Sender`.
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (backpressure) or every
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+
+        /// Attempts to enqueue without blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg)
+        }
+    }
+
+    /// The receiving half of a channel. Mirrors
+    /// `crossbeam::channel::Receiver` minus `Clone` (single-consumer).
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Attempts to dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocks for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Iterates over received messages until every sender is dropped.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages;
+    /// senders block when it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|inner| {
+                // Nested spawn through the re-passed scope.
+                inner.spawn(|_| ()).join().unwrap();
+                10
+            });
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 16);
+    }
+
+    #[test]
+    fn bounded_channel_backpressure_and_close() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        thread::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move |_| {
+                for i in 100..200 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got.len(), 200);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,446 @@
+//! Workspace-local stand-in for the subset of the crates.io `proptest` API
+//! the workspace's property tests use: the [`proptest!`] macro, range and
+//! tuple strategies, `prop::collection::vec`, [`Strategy::prop_map`],
+//! [`prop_oneof!`], `any::<bool>()`, and the `prop_assert*` macros.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the few external APIs it needs as small shim crates
+//! (see `crates/shims/`). Differences from real proptest: generation is
+//! deterministic (a fixed seed derived from the test name), there is **no
+//! shrinking** — a failing case reports its inputs via the assertion
+//! message and its case index — and strategies are simple uniform samplers
+//! rather than bias-tuned distributions.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed (typically derived from the test
+    /// name so each property gets an independent stream).
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E3779B97F4A7C15 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below 0");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A value generator; mirrors `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, retrying until `f` accepts one (bounded
+    /// retries; panics if the predicate rejects everything).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, whence }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// Object-safe strategy surface used by [`BoxedStrategy`] and
+/// [`prop_oneof!`].
+pub trait DynStrategy<V> {
+    /// Draws one value through the erased strategy.
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The [`Strategy::prop_filter`] combinator.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 10000 consecutive candidates", self.whence);
+    }
+}
+
+/// Uniform choice between type-erased alternatives; built by
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len());
+        self.options[i].generate_dyn(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy; mirrors
+/// `proptest::arbitrary::Arbitrary` (generation only).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: PhantomData }
+}
+
+/// Per-block configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespaced re-exports matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// The prelude glob-imported by property-test files.
+pub mod prelude {
+    pub use super::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, DynStrategy, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Uniform choice among strategies with a common value type; mirrors
+/// `proptest::prop_oneof!` (weights unsupported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::DynStrategy<_>>),+
+        ])
+    };
+}
+
+/// Asserts within a property; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item becomes a
+/// normal `#[test]` that draws `cases` inputs deterministically and runs
+/// the body on each. On failure, the panic message is prefixed with the
+/// case index so the failure is reproducible (generation is seeded by the
+/// test name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(cause) = result {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed",
+                        case + 1, config.cases, stringify!($name)
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(
+            x in -5i64..10,
+            pair in (0u8..4, 0.0f64..1.0),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((-5..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((0.0..1.0).contains(&pair.1));
+            let _ = flag;
+        }
+
+        /// Vec strategies honor their length range; prop_map applies.
+        #[test]
+        fn vecs_and_maps(
+            v in prop::collection::vec((1i64..6).prop_map(|x| x * 2), 0..20),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|x| (2..12).contains(x) && x % 2 == 0));
+        }
+
+        /// prop_oneof unions alternatives of one value type.
+        #[test]
+        fn oneof_unions(
+            v in prop_oneof![
+                (0i64..1).prop_map(|_| -1i64),
+                1i64..100,
+            ],
+        ) {
+            prop_assert!(v == -1i64 || (1i64..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = prop::collection::vec(0i64..1000, 5..6);
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

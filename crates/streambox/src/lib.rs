@@ -177,7 +177,7 @@ fn stage(
                         let mut g = Time::new(e.start.ticks() + 1).align_up(*period);
                         while g <= e.end {
                             chopped.push(Event::new(g - *period, g, e.payload.clone()));
-                            g = g + *period;
+                            g += *period;
                         }
                     }
                     emit(chopped);
@@ -224,7 +224,11 @@ fn stage(
 }
 
 /// The O(n²) interval join the paper measured in StreamBox (§7.1).
-fn join_quadratic(left: &[Event<Value>], right: &[Event<Value>], f: &tilt_core::ir::Expr) -> Vec<Event<Value>> {
+fn join_quadratic(
+    left: &[Event<Value>],
+    right: &[Event<Value>],
+    f: &tilt_core::ir::Expr,
+) -> Vec<Event<Value>> {
     let mut out = Vec::new();
     let time_dep = tilt_query::uses_time(f);
     for el in left {
@@ -254,7 +258,7 @@ fn join_quadratic(left: &[Event<Value>], right: &[Event<Value>], f: &tilt_core::
     out
 }
 
-fn window_flush(buf: &mut Vec<Event<Value>>, size: i64, stride: i64, agg: &Agg) -> Vec<Event<Value>> {
+fn window_flush(buf: &mut [Event<Value>], size: i64, stride: i64, agg: &Agg) -> Vec<Event<Value>> {
     tilt_data::sort_stream(buf);
     let Some(first) = buf.first() else { return Vec::new() };
     let last_end = buf.iter().map(|e| e.end).max().expect("non-empty");
@@ -272,26 +276,20 @@ fn window_flush(buf: &mut Vec<Event<Value>>, size: i64, stride: i64, agg: &Agg) 
         let upper = buf.partition_point(|e| e.start < g);
         payloads.clear();
         payloads.extend(
-            buf[head..upper]
-                .iter()
-                .filter(|e| e.end > g - size)
-                .map(|e| e.payload.clone()),
+            buf[head..upper].iter().filter(|e| e.end > g - size).map(|e| e.payload.clone()),
         );
         let v = agg.apply_naive(&payloads);
         if !matches!(v, Value::Null) {
             out.push(Event::new(g - stride, g, v));
         }
-        g = g + stride;
+        g += stride;
     }
     out
 }
 
 fn merge_flush(left: &[Event<Value>], right: &[Event<Value>]) -> Vec<Event<Value>> {
-    let mut bounds: Vec<i64> = left
-        .iter()
-        .chain(right.iter())
-        .flat_map(|e| [e.start.ticks(), e.end.ticks()])
-        .collect();
+    let mut bounds: Vec<i64> =
+        left.iter().chain(right.iter()).flat_map(|e| [e.start.ticks(), e.end.ticks()]).collect();
     bounds.sort_unstable();
     bounds.dedup();
     let mut out = Vec::new();
@@ -328,7 +326,8 @@ mod tests {
         let out = plan.where_(sel, elem().gt(Expr::c(4.0)));
         let events = pts(&[(1, 1.0), (2, 3.0), (3, 5.0)]);
         let range = TimeRange::new(Time::new(0), Time::new(4));
-        let expected = tilt_query::reference::evaluate(&plan, out, &[events.clone()], range);
+        let expected =
+            tilt_query::reference::evaluate(&plan, out, std::slice::from_ref(&events), range);
         let got = run_pipeline(&plan, out, &[events], 2);
         assert!(streams_equivalent(&expected, &got), "{expected:?} != {got:?}");
     }
@@ -358,7 +357,8 @@ mod tests {
         let out = plan.window(src, 4, 2, Agg::Sum);
         let events = pts(&[(1, 1.0), (2, 2.0), (3, 3.0), (6, 4.0)]);
         let range = TimeRange::new(Time::new(0), Time::new(8));
-        let expected = tilt_query::reference::evaluate(&plan, out, &[events.clone()], range);
+        let expected =
+            tilt_query::reference::evaluate(&plan, out, std::slice::from_ref(&events), range);
         let got: Vec<Event<Value>> = run_pipeline(&plan, out, &[events], 2)
             .into_iter()
             .filter(|e| e.end <= range.end)

@@ -97,7 +97,11 @@ impl ColumnarBatch {
         (0..self.len())
             .filter(|&i| self.active[i])
             .map(|i| {
-                Event::new(Time::new(self.starts[i]), Time::new(self.ends[i]), self.payloads[i].clone())
+                Event::new(
+                    Time::new(self.starts[i]),
+                    Time::new(self.ends[i]),
+                    self.payloads[i].clone(),
+                )
             })
             .collect()
     }

@@ -14,9 +14,7 @@ use tilt_data::{Event, Value};
 use tilt_query::{LogicalPlan, NodeId, OpNode};
 
 use crate::batch::ColumnarBatch;
-use crate::operators::{
-    BinaryOp, ChopOp, JoinOp, MergeOp, SelectOp, ShiftOp, WhereOp, WindowOp,
-};
+use crate::operators::{BinaryOp, ChopOp, JoinOp, MergeOp, SelectOp, ShiftOp, WhereOp, WindowOp};
 use crate::UnaryOp;
 
 enum Physical {
@@ -83,13 +81,7 @@ impl TrillEngine {
             };
             ops.push(physical);
         }
-        TrillEngine {
-            ops,
-            consumers,
-            output: output.index(),
-            collected: Vec::new(),
-            events_in: 0,
-        }
+        TrillEngine { ops, consumers, output: output.index(), collected: Vec::new(), events_in: 0 }
     }
 
     /// Pushes one micro-batch into source `source_idx` (index into
@@ -123,11 +115,8 @@ impl TrillEngine {
 
     fn dispatch(&mut self, node: usize, batch: ColumnarBatch) {
         // Iterative worklist to avoid deep recursion on long pipelines.
-        let mut work: Vec<(usize, usize, ColumnarBatch)> = self
-            .edges_from(node)
-            .into_iter()
-            .map(|(c, port)| (c, port, batch.clone()))
-            .collect();
+        let mut work: Vec<(usize, usize, ColumnarBatch)> =
+            self.edges_from(node).into_iter().map(|(c, port)| (c, port, batch.clone())).collect();
         if node == self.output {
             self.collected.extend(batch.to_events());
         }
@@ -264,11 +253,11 @@ mod tests {
             })
             .collect();
         let range = TimeRange::new(Time::new(0), Time::new(80));
-        let expected = tilt_query::reference::evaluate(&plan, up, &[events.clone()], range);
+        let expected =
+            tilt_query::reference::evaluate(&plan, up, std::slice::from_ref(&events), range);
         for batch_size in [7, 100_000] {
             let got = run_single(&plan, up, &events, batch_size);
-            let got: Vec<Event<Value>> =
-                got.into_iter().filter(|e| e.end <= range.end).collect();
+            let got: Vec<Event<Value>> = got.into_iter().filter(|e| e.end <= range.end).collect();
             assert!(
                 streams_equivalent(&expected, &got),
                 "batch={batch_size}: {expected:?} != {got:?}"
@@ -298,11 +287,10 @@ mod tests {
         let out = plan.window(src, 6, 2, Agg::Mean);
         let events = pts(&[(1, 1.0), (2, 5.0), (4, 3.0), (9, 7.0), (11, 2.0)]);
         let range = TimeRange::new(Time::new(0), Time::new(12));
-        let expected = tilt_query::reference::evaluate(&plan, out, &[events.clone()], range);
-        let got: Vec<Event<Value>> = run_single(&plan, out, &events, 3)
-            .into_iter()
-            .filter(|e| e.end <= range.end)
-            .collect();
+        let expected =
+            tilt_query::reference::evaluate(&plan, out, std::slice::from_ref(&events), range);
+        let got: Vec<Event<Value>> =
+            run_single(&plan, out, &events, 3).into_iter().filter(|e| e.end <= range.end).collect();
         assert!(streams_equivalent(&expected, &got), "{expected:?} != {got:?}");
     }
 }

@@ -16,4 +16,6 @@ mod operators;
 
 pub use batch::ColumnarBatch;
 pub use engine::{run_partitioned, run_single, TrillEngine};
-pub use operators::{BinaryOp, ChopOp, JoinOp, MergeOp, SelectOp, ShiftOp, UnaryOp, WhereOp, WindowOp};
+pub use operators::{
+    BinaryOp, ChopOp, JoinOp, MergeOp, SelectOp, ShiftOp, UnaryOp, WhereOp, WindowOp,
+};

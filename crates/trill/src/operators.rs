@@ -190,15 +190,7 @@ pub struct WindowOp {
 impl WindowOp {
     /// Creates a window aggregation operator.
     pub fn new(size: i64, stride: i64, agg: Agg) -> Self {
-        WindowOp {
-            size,
-            stride,
-            agg,
-            buf: Vec::new(),
-            head: 0,
-            next_g: None,
-            watermark: i64::MIN,
-        }
+        WindowOp { size, stride, agg, buf: Vec::new(), head: 0, next_g: None, watermark: i64::MIN }
     }
 
     fn emit_upto(&mut self, limit: i64, out: &mut ColumnarBatch) {
@@ -215,10 +207,7 @@ impl WindowOp {
             let upper = self.buf.partition_point(|e| e.start < g);
             payloads.clear();
             payloads.extend(
-                self.buf[self.head..upper]
-                    .iter()
-                    .filter(|e| e.end > lo)
-                    .map(|e| e.payload.clone()),
+                self.buf[self.head..upper].iter().filter(|e| e.end > lo).map(|e| e.payload.clone()),
             );
             let v = self.agg.apply_naive(&payloads);
             if !matches!(v, Value::Null) {
@@ -307,8 +296,7 @@ impl JoinOp {
             self.left_head += 1;
             // Right events ending at or before this left's start can never
             // match this or any later left (left starts are sorted).
-            while self.right_head < self.right.len()
-                && self.right[self.right_head].end <= el.start
+            while self.right_head < self.right.len() && self.right[self.right_head].end <= el.start
             {
                 self.right_head += 1;
             }
@@ -425,12 +413,8 @@ impl BinaryOp for MergeOp {
         // Sweep over the union of boundaries, preferring the left stream.
         // Events per side are sorted and disjoint, so per-side cursors make
         // the sweep linear.
-        let mut bounds: Vec<i64> = self
-            .left
-            .iter()
-            .chain(self.right.iter())
-            .flat_map(|e| [e.start, e.end])
-            .collect();
+        let mut bounds: Vec<i64> =
+            self.left.iter().chain(self.right.iter()).flat_map(|e| [e.start, e.end]).collect();
         bounds.sort_unstable();
         bounds.dedup();
         let mut out = ColumnarBatch::default();

@@ -37,16 +37,7 @@ impl std::fmt::Debug for App {
 
 /// Builds the full benchmark suite in Fig. 7b order.
 pub fn all_apps() -> Vec<App> {
-    vec![
-        trading(),
-        rsi(),
-        normalize(),
-        impute(),
-        resample(),
-        pantom(),
-        vibration(),
-        fraud_det(),
-    ]
+    vec![trading(), rsi(), normalize(), impute(), resample(), pantom(), vibration(), fraud_det()]
 }
 
 /// Trend-based trading [18]: moving-average crossover (the paper's running
@@ -203,8 +194,7 @@ pub fn vibration() -> App {
     let mut plan = LogicalPlan::new();
     let vib = plan.source("vibration", DataType::Float);
     let rms = plan.window(vib, VIBRATION_WINDOW, VIBRATION_WINDOW, Agg::Custom(rms_reduce()));
-    let kurt =
-        plan.window(vib, VIBRATION_WINDOW, VIBRATION_WINDOW, Agg::Custom(kurtosis_reduce()));
+    let kurt = plan.window(vib, VIBRATION_WINDOW, VIBRATION_WINDOW, Agg::Custom(kurtosis_reduce()));
     let absolute = plan.select(vib, elem().abs());
     let peak = plan.window(absolute, VIBRATION_WINDOW, VIBRATION_WINDOW, Agg::Max);
     let crest = plan.join(peak, rms, lhs().div(rhs()));
@@ -231,11 +221,8 @@ pub fn fraud_det() -> App {
     let std = plan.window(txn, FRAUD_WINDOW, 1, Agg::StdDev);
     let threshold = plan.join(mean, std, lhs().add(rhs().mul(Expr::c(3.0))));
     let prev_threshold = plan.shift(threshold, 1);
-    let flagged = plan.join(
-        txn,
-        prev_threshold,
-        Expr::if_else(lhs().gt(rhs()), lhs(), Expr::null()),
-    );
+    let flagged =
+        plan.join(txn, prev_threshold, Expr::if_else(lhs().gt(rhs()), lhs(), Expr::null()));
     App {
         name: "FraudDet",
         description: "flag transactions above μ+3σ of the sliding window",
@@ -310,9 +297,7 @@ mod tests {
         for app in all_apps() {
             let q = tilt_query::lower(&app.plan, app.output)
                 .unwrap_or_else(|e| panic!("{}: {e}", app.name));
-            let cq = Compiler::new()
-                .compile(&q)
-                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            let cq = Compiler::new().compile(&q).unwrap_or_else(|e| panic!("{}: {e}", app.name));
             assert!(cq.num_kernels() >= 1);
             assert!(cq.num_kernels() <= app.plan.len(), "{}: fusion should not grow", app.name);
         }
@@ -327,8 +312,12 @@ mod tests {
             let events = (app.dataset)(n, 7);
             let hi = events.iter().map(|e| e.end).max().unwrap();
             let range = TimeRange::new(Time::ZERO, hi);
-            let expected =
-                tilt_query::reference::evaluate(&app.plan, app.output, &[events.clone()], range);
+            let expected = tilt_query::reference::evaluate(
+                &app.plan,
+                app.output,
+                std::slice::from_ref(&events),
+                range,
+            );
             let q = tilt_query::lower(&app.plan, app.output).unwrap();
             let cq = Compiler::new().compile(&q).unwrap();
             let buf = SnapshotBuf::from_events(&events, range);
@@ -394,8 +383,7 @@ mod tests {
     #[test]
     fn kurtosis_of_gaussian_like_window_is_reasonable() {
         // Kurtosis of a constant-amplitude sine over a full period ≈ 1.5.
-        let vals: Vec<Value> =
-            (0..100).map(|i| Value::Float((i as f64 * 0.0628).sin())).collect();
+        let vals: Vec<Value> = (0..100).map(|i| Value::Float((i as f64 * 0.0628).sin())).collect();
         let agg = Agg::Custom(kurtosis_reduce());
         let Value::Float(k) = agg.apply_naive(&vals) else { panic!() };
         assert!((k - 1.5).abs() < 0.1, "sine kurtosis ≈ 1.5, got {k}");
@@ -416,7 +404,16 @@ mod tests {
         let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
         assert_eq!(
             names,
-            vec!["Trading", "RSI", "Normalize", "Impute", "Resample", "PanTom", "Vibration", "FraudDet"]
+            vec![
+                "Trading",
+                "RSI",
+                "Normalize",
+                "Impute",
+                "Resample",
+                "PanTom",
+                "Vibration",
+                "FraudDet"
+            ]
         );
         // Every app has multiple pipeline breakers (§3 reports 2–6 for the
         // paper's formulations; ours range 1–7).

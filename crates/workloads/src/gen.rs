@@ -139,7 +139,8 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_and_ordered() {
-        for gen in [uniform_floats, stock_walk, ecg_wave, vibration_wave, transactions, gapped_signal]
+        for gen in
+            [uniform_floats, stock_walk, ecg_wave, vibration_wave, transactions, gapped_signal]
         {
             let a = gen(500, 42);
             let b = gen(500, 42);

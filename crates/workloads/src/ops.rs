@@ -27,12 +27,8 @@ pub enum PrimitiveOp {
 
 impl PrimitiveOp {
     /// All four ops in Fig. 7a order.
-    pub const ALL: [PrimitiveOp; 4] = [
-        PrimitiveOp::Select,
-        PrimitiveOp::Where,
-        PrimitiveOp::WSum,
-        PrimitiveOp::Join,
-    ];
+    pub const ALL: [PrimitiveOp; 4] =
+        [PrimitiveOp::Select, PrimitiveOp::Where, PrimitiveOp::WSum, PrimitiveOp::Join];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -99,11 +95,7 @@ pub fn datasets(op: PrimitiveOp, n: usize, seed: u64) -> Vec<Vec<Event<Value>>> 
 
 /// The covered range of the generated datasets.
 pub fn range_for(inputs: &[Vec<Event<Value>>]) -> TimeRange {
-    let hi = inputs
-        .iter()
-        .flat_map(|evs| evs.iter().map(|e| e.end))
-        .max()
-        .unwrap_or(Time::ZERO);
+    let hi = inputs.iter().flat_map(|evs| evs.iter().map(|e| e.end)).max().unwrap_or(Time::ZERO);
     TimeRange::new(Time::ZERO, hi.align_up(10))
 }
 
@@ -214,16 +206,13 @@ mod tests {
         for op in PrimitiveOp::ALL {
             let inputs = datasets(op, 300, 5);
             let range = range_for(&inputs);
-            let expected =
-                tilt_query::reference::evaluate(&plan(op).0, plan(op).1, &inputs, range);
+            let expected = tilt_query::reference::evaluate(&plan(op).0, plan(op).1, &inputs, range);
 
             let (p, out) = plan(op);
             let q = tilt_query::lower(&p, out).unwrap();
             let cq = Compiler::new().compile(&q).unwrap();
-            let bufs: Vec<tilt_data::SnapshotBuf<Value>> = inputs
-                .iter()
-                .map(|evs| tilt_data::SnapshotBuf::from_events(evs, range))
-                .collect();
+            let bufs: Vec<tilt_data::SnapshotBuf<Value>> =
+                inputs.iter().map(|evs| tilt_data::SnapshotBuf::from_events(evs, range)).collect();
             let refs: Vec<&tilt_data::SnapshotBuf<Value>> = bufs.iter().collect();
             let tilt_out = cq.run(&refs, range).to_events();
             assert!(
@@ -275,15 +264,13 @@ mod tests {
         let inputs = datasets(op, 200, 5);
         let range = range_for(&inputs);
         let expected = tilt_query::reference::evaluate(&plan(op).0, plan(op).1, &inputs, range);
-        let expected_sums: Vec<f64> =
-            expected.iter().filter_map(|e| e.payload.as_f64()).collect();
+        let expected_sums: Vec<f64> = expected.iter().filter_map(|e| e.payload.as_f64()).collect();
 
         let events = gen::to_f64_events(&inputs[0]);
-        let q = spe_lightsaber::WindowQuery { size: 10, stride: 5, agg: spe_lightsaber::LsAgg::Sum };
-        let ls: Vec<f64> = spe_lightsaber::run_window(&events, q, range, 2)
-            .iter()
-            .map(|e| e.payload)
-            .collect();
+        let q =
+            spe_lightsaber::WindowQuery { size: 10, stride: 5, agg: spe_lightsaber::LsAgg::Sum };
+        let ls: Vec<f64> =
+            spe_lightsaber::run_window(&events, q, range, 2).iter().map(|e| e.payload).collect();
         assert_eq!(expected_sums.len(), ls.len());
         for (a, b) in expected_sums.iter().zip(ls.iter()) {
             assert!((a - b).abs() < 1e-9, "lightsaber {b} vs {a}");

@@ -7,12 +7,15 @@
 //! LightSaber and Grizzly consume the flat keyed stream their aggregation
 //! models expect.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tilt_core::ir::{DataType, Expr};
 use tilt_core::Compiler;
 use tilt_data::{Event, Time, TimeRange, Value};
 use tilt_query::{elem, Agg, LogicalPlan, NodeId};
+use tilt_runtime::{KeyedEvent, Runtime, RuntimeConfig, RuntimeStats};
 
 /// The YSB window length in "seconds".
 pub const WINDOW_SECONDS: i64 = 10;
@@ -63,8 +66,11 @@ pub fn plan(window: i64) -> (LogicalPlan, NodeId) {
 pub fn partition(events: &[YsbEvent], campaigns: usize) -> Vec<Vec<Event<Value>>> {
     let mut parts: Vec<Vec<Event<Value>>> = vec![Vec::new(); campaigns];
     for e in events {
-        parts[(e.campaign as usize) % campaigns]
-            .push(Event::new(e.time - 1, e.time, Value::Int(e.event_type)));
+        parts[(e.campaign as usize) % campaigns].push(Event::new(
+            e.time - 1,
+            e.time,
+            Value::Int(e.event_type),
+        ));
     }
     parts
 }
@@ -73,6 +79,39 @@ pub fn partition(events: &[YsbEvent], campaigns: usize) -> Vec<Vec<Event<Value>>
 pub fn extent(events: &[YsbEvent], window: i64) -> TimeRange {
     let hi = events.iter().map(|e| e.time).max().unwrap_or(Time::ZERO);
     TimeRange::new(Time::ZERO, hi.align_up(window))
+}
+
+/// Converts the flat ad stream into keyed events for `tilt-runtime`:
+/// campaign id is the key, the payload is the event type.
+pub fn keyed(events: &[YsbEvent]) -> Vec<KeyedEvent> {
+    events
+        .iter()
+        .map(|e| {
+            KeyedEvent::new(
+                e.campaign as u64,
+                0,
+                Event::new(e.time - 1, e.time, Value::Int(e.event_type)),
+            )
+        })
+        .collect()
+}
+
+/// Deterministically scrambles arrival order within consecutive blocks of
+/// `displacement` events (Fisher–Yates per block), so no event arrives more
+/// than `2 × displacement` positions — and, with one-tick event spacing,
+/// `2 × displacement` ticks — from its timestamp order.
+pub fn shuffle_bounded(events: &[YsbEvent], displacement: usize, seed: u64) -> Vec<YsbEvent> {
+    let mut out = events.to_vec();
+    if displacement < 2 {
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for block in out.chunks_mut(displacement) {
+        for i in (1..block.len()).rev() {
+            block.swap(i, rng.gen_range(0..i + 1));
+        }
+    }
+    out
 }
 
 /// Total view count per engine output, used to cross-check engines.
@@ -112,6 +151,46 @@ pub fn run_tilt(
     total.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Runs keyed YSB through `tilt-runtime`: the flat (optionally
+/// out-of-order) ad stream is ingested as keyed events, the runtime
+/// hash-partitions campaigns across `shards` worker threads, and each
+/// campaign's windows are counted by its own streaming session over one
+/// shared compiled query. Returns the total counted views and the final
+/// runtime stats.
+pub fn run_tilt_runtime(
+    events: &[YsbEvent],
+    shards: usize,
+    window: i64,
+    allowed_lateness: i64,
+) -> (ViewCount, RuntimeStats) {
+    let (plan, out) = plan(window);
+    let q = tilt_query::lower(&plan, out).expect("YSB lowers");
+    let cq = Arc::new(Compiler::new().compile(&q).expect("YSB compiles"));
+    let runtime = Runtime::start(
+        cq,
+        RuntimeConfig {
+            shards,
+            allowed_lateness,
+            emit_interval: window,
+            ..RuntimeConfig::default()
+        },
+    );
+    runtime.ingest(keyed(events));
+    let end = extent(events, window).end;
+    let output = runtime.finish_at(end);
+    // Each output event covers one or more whole windows; adjacent windows
+    // with equal counts coalesce, so weight each event by the number of
+    // windows it spans.
+    let total = output
+        .per_key
+        .values()
+        .flatten()
+        .filter(|e| e.end <= end)
+        .filter_map(|e| Some(e.payload.as_i64()? * (e.interval().len() / window)))
+        .sum();
+    (total, output.stats)
+}
+
 /// Runs YSB on the Trill baseline: one operator graph per campaign
 /// partition, `threads` workers.
 pub fn run_trill(
@@ -123,12 +202,7 @@ pub fn run_trill(
 ) -> ViewCount {
     let (plan, out) = plan(window);
     let outputs = spe_trill::run_partitioned(&plan, out, partitions, batch_size, threads);
-    outputs
-        .iter()
-        .flatten()
-        .filter(|e| e.end <= range.end)
-        .filter_map(|e| e.payload.as_i64())
-        .sum()
+    outputs.iter().flatten().filter(|e| e.end <= range.end).filter_map(|e| e.payload.as_i64()).sum()
 }
 
 /// Runs YSB on the StreamBox baseline: pipeline-parallel stages, one
@@ -163,11 +237,8 @@ pub fn run_lightsaber(
     threads: usize,
     window: i64,
 ) -> ViewCount {
-    let keyed: Vec<(Time, i64)> = events
-        .iter()
-        .filter(|e| e.event_type == 0)
-        .map(|e| (e.time, e.campaign))
-        .collect();
+    let keyed: Vec<(Time, i64)> =
+        events.iter().filter(|e| e.event_type == 0).map(|e| (e.time, e.campaign)).collect();
     let tables = spe_lightsaber::run_grouped_count(&keyed, window, range, threads);
     tables.iter().flat_map(|t| t.values()).sum()
 }
@@ -181,11 +252,8 @@ pub fn run_grizzly(
     threads: usize,
     window: i64,
 ) -> ViewCount {
-    let keyed: Vec<(Time, i64)> = events
-        .iter()
-        .filter(|e| e.event_type == 0)
-        .map(|e| (e.time, e.campaign))
-        .collect();
+    let keyed: Vec<(Time, i64)> =
+        events.iter().filter(|e| e.event_type == 0).map(|e| (e.time, e.campaign)).collect();
     let tables = spe_grizzly::run_grouped_count(&keyed, window, campaigns, range, threads);
     tables.iter().flatten().sum()
 }
@@ -208,6 +276,44 @@ mod tests {
         assert_eq!(run_streambox(&partitions, 256, range, window), expected, "streambox");
         assert_eq!(run_lightsaber(&events, range, 3, window), expected, "lightsaber");
         assert_eq!(run_grizzly(&events, campaigns, range, 3, window), expected, "grizzly");
+    }
+
+    #[test]
+    fn keyed_runtime_counts_match_batch_engines() {
+        let campaigns = 8;
+        let window = window_ticks(40);
+        let events = generate(4000, campaigns, 99);
+        let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
+        for shards in [1usize, 3] {
+            let (views, stats) = run_tilt_runtime(&events, shards, window, 0);
+            assert_eq!(views, expected, "shards={shards}");
+            assert_eq!(stats.late_dropped, 0);
+            assert_eq!(stats.events_in, events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn keyed_runtime_tolerates_bounded_disorder() {
+        let campaigns = 10;
+        let window = window_ticks(40);
+        let events = generate(5000, campaigns, 7);
+        let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
+        let displacement = 64usize;
+        let shuffled = shuffle_bounded(&events, displacement, 11);
+        assert_ne!(
+            shuffled.iter().map(|e| e.time).collect::<Vec<_>>(),
+            events.iter().map(|e| e.time).collect::<Vec<_>>(),
+            "shuffle must actually reorder"
+        );
+        let (views, stats) = run_tilt_runtime(&shuffled, 2, window, 2 * displacement as i64 + 2);
+        assert_eq!(stats.late_dropped, 0, "lateness bound must absorb the shuffle");
+        assert_eq!(views, expected);
+
+        // With zero allowed lateness the same disorder loses events — and
+        // says so in the stats rather than failing silently.
+        let (views_strict, stats_strict) = run_tilt_runtime(&shuffled, 2, window, 0);
+        assert!(stats_strict.late_dropped > 0);
+        assert!(views_strict < expected);
     }
 
     #[test]

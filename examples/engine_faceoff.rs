@@ -43,20 +43,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sb_events: Vec<_> = events[..sb_n].to_vec();
     let sb_range = TimeRange::new(Time::ZERO, Time::new(sb_n as i64));
     let t0 = Instant::now();
-    let sb_out: Vec<_> =
-        spe_streambox::run_pipeline(&app.plan, app.output, std::slice::from_ref(&sb_events), 65_536)
-            .into_iter()
-            .filter(|e| e.end <= sb_range.end)
-            .collect();
+    let sb_out: Vec<_> = spe_streambox::run_pipeline(
+        &app.plan,
+        app.output,
+        std::slice::from_ref(&sb_events),
+        65_536,
+    )
+    .into_iter()
+    .filter(|e| e.end <= sb_range.end)
+    .collect();
     let sb_time = t0.elapsed();
 
-    println!("query: {} ({} operators, {} pipeline breakers)", app.name, app.plan.len(), app.plan.pipeline_breakers());
+    println!(
+        "query: {} ({} operators, {} pipeline breakers)",
+        app.name,
+        app.plan.len(),
+        app.plan.pipeline_breakers()
+    );
     println!("events: {n}");
     println!();
     let meps = |nn: usize, d: std::time::Duration| nn as f64 / d.as_secs_f64() / 1e6;
-    println!("TiLT      : {:>8.2?}  ({:>6.2} M events/s, {} output events)", tilt_time, meps(n, tilt_time), tilt_out.len());
-    println!("Trill     : {:>8.2?}  ({:>6.2} M events/s, {} output events)", trill_time, meps(n, trill_time), trill_out.len());
-    println!("StreamBox : {:>8.2?}  ({:>6.2} M events/s on a {sb_n}-event slice; O(n^2) join)", sb_time, meps(sb_n, sb_time));
+    println!(
+        "TiLT      : {:>8.2?}  ({:>6.2} M events/s, {} output events)",
+        tilt_time,
+        meps(n, tilt_time),
+        tilt_out.len()
+    );
+    println!(
+        "Trill     : {:>8.2?}  ({:>6.2} M events/s, {} output events)",
+        trill_time,
+        meps(n, trill_time),
+        trill_out.len()
+    );
+    println!(
+        "StreamBox : {:>8.2?}  ({:>6.2} M events/s on a {sb_n}-event slice; O(n^2) join)",
+        sb_time,
+        meps(sb_n, sb_time)
+    );
 
     assert!(streams_close(&tilt_out, &trill_out, 1e-6), "TiLT and Trill disagree!");
     let tilt_slice: Vec<_> =

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  beat {:>2} at tick {b}", i + 1);
     }
     if beats.len() > 1 {
-        let avg_interval =
-            (beats[beats.len() - 1] - beats[0]) as f64 / (beats.len() - 1) as f64;
+        let avg_interval = (beats[beats.len() - 1] - beats[0]) as f64 / (beats.len() - 1) as f64;
         // tick = 4 ms at 250 Hz.
         let bpm = 60_000.0 / (avg_interval * 4.0);
         println!("estimated heart rate: {bpm:.0} bpm (generator ground truth: 75 bpm)");

@@ -37,9 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Run over a little stream: prices fall, then rally.
-    let prices: Vec<f64> = (1..=30)
-        .map(|t| if t <= 15 { 100.0 - t as f64 } else { 70.0 + 2.0 * t as f64 })
-        .collect();
+    let prices: Vec<f64> =
+        (1..=30).map(|t| if t <= 15 { 100.0 - t as f64 } else { 70.0 + 2.0 * t as f64 }).collect();
     let events: Vec<Event<Value>> = prices
         .iter()
         .enumerate()

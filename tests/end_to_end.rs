@@ -21,8 +21,12 @@ fn five_way_agreement_on_every_app() {
         let unfused = Compiler::unoptimized().compile(&q).unwrap();
         let range = TimeRange::new(Time::ZERO, hi.align_up(fused.grid()));
 
-        let expected =
-            tilt_query::reference::evaluate(&app.plan, app.output, &[events.clone()], range);
+        let expected = tilt_query::reference::evaluate(
+            &app.plan,
+            app.output,
+            std::slice::from_ref(&events),
+            range,
+        );
         let buf = SnapshotBuf::from_events(&events, range);
 
         let tilt_fused = fused.run(&[&buf], range).to_events();
@@ -40,11 +44,10 @@ fn five_way_agreement_on_every_app() {
             app.name
         );
 
-        let trill: Vec<Event<Value>> =
-            spe_trill::run_single(&app.plan, app.output, &events, 64)
-                .into_iter()
-                .filter(|e| e.end <= range.end)
-                .collect();
+        let trill: Vec<Event<Value>> = spe_trill::run_single(&app.plan, app.output, &events, 64)
+            .into_iter()
+            .filter(|e| e.end <= range.end)
+            .collect();
         assert!(streams_close(&expected, &trill, 1e-6), "{}: Trill vs reference", app.name);
 
         // Batched streaming (three different batch sizes).
@@ -99,7 +102,7 @@ fn fusion_compresses_every_app() {
             assert_eq!(fused.num_kernels(), 3);
         }
         let lookback = fused.boundary().max_input_lookback(fused.query());
-        assert!(lookback >= 0 && lookback < 1_000_000, "{}: lookback {lookback}", app.name);
+        assert!((0..1_000_000).contains(&lookback), "{}: lookback {lookback}", app.name);
     }
 }
 

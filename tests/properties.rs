@@ -131,7 +131,7 @@ proptest! {
         let fused = Compiler::new().compile(&q).unwrap();
         let unfused = Compiler::unoptimized().compile(&q).unwrap();
         let range = TimeRange::new(Time::ZERO, hi.align_up(fused.grid()));
-        let expected = tilt_query::reference::evaluate(&plan, out, &[events.clone()], range);
+        let expected = tilt_query::reference::evaluate(&plan, out, std::slice::from_ref(&events), range);
         let buf = SnapshotBuf::from_events(&events, range);
         let got_fused = fused.run(&[&buf], range).to_events();
         prop_assert!(
@@ -193,7 +193,7 @@ proptest! {
         let range = TimeRange::new(Time::ZERO, hi.align_up(stride));
         let buf = SnapshotBuf::from_events(&events, range);
         let got = cq.run(&[&buf], range).to_events();
-        let expected = tilt_query::reference::evaluate(&plan, out, &[events.clone()], range);
+        let expected = tilt_query::reference::evaluate(&plan, out, std::slice::from_ref(&events), range);
         prop_assert!(
             streams_close(&expected, &got, 1e-6),
             "window({},{}) {:?}: {:?} vs {:?}", size, stride, agg, got, expected
