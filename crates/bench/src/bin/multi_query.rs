@@ -1,0 +1,146 @@
+//! Multi-query sharing: N queries over one ad stream through a shared
+//! `MultiRuntime` vs N independent `Runtime`s that each re-ingest,
+//! re-buffer, and re-watermark the same events.
+//!
+//! The query set is the multi-tenant shape the registry is built for:
+//! YSB (per-campaign 10s view counts), a second tenant registering the
+//! *identical* YSB query, and the correlated factor query (peak 10s count
+//! per minute) whose pane-count prefix is structurally identical to YSB's.
+//! The shared runtime ingests and reorder-buffers each event once and
+//! executes the deduplicated pane kernel once per advance; the independent
+//! setup pays all of it N times.
+//!
+//! ```sh
+//! cargo run --release --bin multi_query -- --events 2000000
+//! ```
+
+use std::sync::Arc;
+
+use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, RunCfg};
+use tilt_core::Compiler;
+use tilt_runtime::{MultiRuntime, Runtime, RuntimeConfig};
+use tilt_workloads::ysb;
+
+fn main() {
+    let cfg = RunCfg::from_args(2_000_000);
+    let campaigns = 1_000;
+    let rate = 10_000; // events per "second"
+    let window = ysb::window_ticks(rate);
+    let displacement = 512usize;
+    let lateness = 2 * displacement as i64 + 2;
+
+    let events = ysb::generate(cfg.events, campaigns, 1);
+    let shuffled = ysb::shuffle_bounded(&events, displacement, 2);
+    let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
+    let end = ysb::extent(&events, ysb::FACTOR * window).end;
+
+    // The registered set: YSB, a second tenant's identical YSB, the factor
+    // query sharing YSB's pane prefix.
+    let compile = |plan: (tilt_query::LogicalPlan, tilt_query::NodeId)| {
+        let q = tilt_query::lower(&plan.0, plan.1).expect("plan lowers");
+        Arc::new(Compiler::new().compile(&q).expect("plan compiles"))
+    };
+    let queries = [
+        compile(ysb::plan(window)),
+        compile(ysb::plan(window)),
+        compile(ysb::factor_plan(window, ysb::FACTOR)),
+    ];
+
+    let runtime_cfg = |shards: usize| RuntimeConfig {
+        shards,
+        allowed_lateness: lateness,
+        emit_interval: window,
+        ..RuntimeConfig::default()
+    };
+
+    // One probe run for the sharing accounting (identical every run).
+    let probe = {
+        let mut builder = MultiRuntime::builder(runtime_cfg(2));
+        for cq in &queries {
+            builder.register(Arc::clone(cq));
+        }
+        let rt = builder.start().expect("register");
+        println!(
+            "query set: {} queries, {} kernel instances, {} distinct after dedup \
+             ({} shared)",
+            rt.num_queries(),
+            rt.group().kernel_instances(),
+            rt.group().distinct_kernels(),
+            rt.group().shared_kernels(),
+        );
+        rt.ingest(ysb::keyed(&shuffled));
+        rt.finish_at(end)
+    };
+    assert_eq!(probe.stats.late_dropped, 0, "lateness bound must absorb the shuffle");
+    assert_eq!(
+        probe.stats.reorder_buffered,
+        events.len() as u64,
+        "shared ingestion must buffer each event exactly once for all queries"
+    );
+    println!(
+        "shared run: {} events reorder-buffered once for {} queries; kernels: {} run, \
+         {} deduped away ({}% of the unshared schedule)\n",
+        probe.stats.reorder_buffered,
+        queries.len(),
+        probe.stats.kernels_run,
+        probe.stats.kernels_saved,
+        100 * probe.stats.kernels_saved
+            / (probe.stats.kernels_run + probe.stats.kernels_saved).max(1),
+    );
+
+    let shard_counts: [usize; 3] = [1, 2, 4];
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        // Shared: one runtime, one ingestion pass, N outputs.
+        let t_shared = best_throughput(cfg.events, cfg.runs, || {
+            let mut builder = MultiRuntime::builder(runtime_cfg(shards));
+            let ysb_id = builder.register(Arc::clone(&queries[0]));
+            for cq in &queries[1..] {
+                builder.register(Arc::clone(cq));
+            }
+            let rt = builder.start().expect("register");
+            rt.ingest(ysb::keyed(&shuffled));
+            let out = rt.finish_at(end);
+            let views = ysb::count_views(out.per_query[ysb_id.index()].values(), end, window);
+            assert_eq!(views, expected, "shared YSB must count every view");
+            views as usize
+        });
+
+        // Independent: N runtimes, each re-ingesting the whole stream.
+        let t_indep = best_throughput(cfg.events, cfg.runs, || {
+            let mut reorder_total = 0u64;
+            for cq in &queries {
+                let rt = Runtime::start(Arc::clone(cq), runtime_cfg(shards));
+                rt.ingest(ysb::keyed(&shuffled));
+                let out = rt.finish_at(end);
+                assert_eq!(out.stats.late_dropped, 0);
+                reorder_total += out.stats.reorder_buffered;
+            }
+            assert_eq!(
+                reorder_total,
+                (queries.len() * events.len()) as u64,
+                "independent runtimes buffer every event once per query"
+            );
+            reorder_total as usize
+        });
+
+        rows.push(vec![
+            shards.to_string(),
+            fmt_meps(t_shared),
+            fmt_meps(t_indep),
+            fmt_ratio(t_shared / t_indep),
+        ]);
+    }
+
+    print_table(
+        &format!("Multi-query — shared MultiRuntime vs {} independent runtimes", queries.len()),
+        &format!(
+            "{} events, {campaigns} campaigns, window {window} ticks, displacement \
+             {displacement}; {} hardware threads",
+            cfg.events,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ),
+        &["shards", "shared", "independent", "speedup"],
+        &rows,
+    );
+}

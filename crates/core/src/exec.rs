@@ -109,6 +109,16 @@ impl CompiledQuery {
         &self.query
     }
 
+    /// The lowered kernels in execution (topological) order.
+    pub(crate) fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Size of the object-indexed slot table used during execution.
+    pub(crate) fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
     /// The resolved boundary conditions.
     pub fn boundary(&self) -> &Boundary {
         &self.boundary
@@ -315,13 +325,7 @@ impl<C: Borrow<CompiledQuery>> StreamSessionIn<C> {
     ///
     /// Panics if `idx` is out of range or events regress in time.
     pub fn push_events(&mut self, idx: usize, events: &[Event<Value>]) {
-        let hist = &mut self.histories[idx];
-        for e in events {
-            if e.start > hist.end() {
-                hist.push_raw(e.start, Value::Null);
-            }
-            hist.push_raw(e.end, e.payload.clone());
-        }
+        push_history(&mut self.histories[idx], events);
     }
 
     /// Advances the input watermark to `upto` and returns the *finalized*
@@ -363,14 +367,35 @@ impl<C: Borrow<CompiledQuery>> StreamSessionIn<C> {
         let refs: Vec<&SnapshotBuf<Value>> = self.histories.iter().collect();
         let out = self.cq.borrow().run(&refs, TimeRange::new(self.watermark, target));
         self.watermark = target;
-        // Trim histories: keep `keep` ticks of lookback, amortized.
-        let cutoff = self.watermark.saturating_add(-self.keep);
         for hist in &mut self.histories {
-            if cutoff - hist.start() > 4 * self.keep.max(16) {
-                *hist = hist.slice(TimeRange::new(cutoff, hist.end()));
-            }
+            trim_history(hist, self.watermark, self.keep);
         }
         out
+    }
+}
+
+/// Appends in-order events to a session input history, φ-filling gaps.
+///
+/// Single-query sessions ([`StreamSessionIn`]) and multi-query group
+/// sessions (`sharing::GroupSessionIn`) must encode histories identically —
+/// the group's correctness guarantee is observational identity with a
+/// standalone session — so both call this one function.
+pub(crate) fn push_history(hist: &mut SnapshotBuf<Value>, events: &[Event<Value>]) {
+    for e in events {
+        if e.start > hist.end() {
+            hist.push_raw(e.start, Value::Null);
+        }
+        hist.push_raw(e.end, e.payload.clone());
+    }
+}
+
+/// Amortized history trim shared by single- and multi-query sessions:
+/// keeps `keep` ticks of lookback behind `watermark`, rebuilding the
+/// buffer only once the dead prefix grows past `4 × max(keep, 16)` ticks.
+pub(crate) fn trim_history(hist: &mut SnapshotBuf<Value>, watermark: Time, keep: i64) {
+    let cutoff = watermark.saturating_add(-keep);
+    if cutoff - hist.start() > 4 * keep.max(16) {
+        *hist = hist.slice(TimeRange::new(cutoff, hist.end()));
     }
 }
 
@@ -382,7 +407,7 @@ fn gcd(a: i64, b: i64) -> i64 {
     }
 }
 
-fn lcm(a: i64, b: i64) -> i64 {
+pub(crate) fn lcm(a: i64, b: i64) -> i64 {
     (a / gcd(a, b)).saturating_mul(b)
 }
 

@@ -45,8 +45,10 @@ pub mod error;
 pub mod exec;
 pub mod ir;
 pub mod opt;
+pub mod sharing;
 
 pub use error::{CompileError, Result};
 pub use exec::{
     CompiledQuery, Compiler, ExecStats, SharedStreamSession, StreamSession, StreamSessionIn,
 };
+pub use sharing::{GroupSession, GroupSessionIn, QueryGroup, SharedGroupSession};

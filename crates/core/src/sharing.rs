@@ -1,0 +1,811 @@
+//! Multi-query sharing: kernel-prefix dedup across compiled queries
+//! (cf. *Shared Arrangements* and *Factor Windows*).
+//!
+//! A production stream processor serves many queries over the same input
+//! streams, and correlated queries repeat work: two tenants registering
+//! the same dashboard query, or a coarse window aggregate built from the
+//! same fine-grained panes another query already maintains. This module
+//! detects such overlap *structurally* and executes it once:
+//!
+//! 1. [`structural_keys`] assigns every temporal object of a compiled
+//!    query a canonical fingerprint, rooted at input *positions* (not
+//!    object ids) with let/map variables De-Bruijn-numbered, so two
+//!    independently built queries produce identical keys exactly when
+//!    their computations are identical;
+//! 2. [`QueryGroup`] merges the kernel lists of N compiled queries,
+//!    collapsing kernels with equal fingerprints into one *shared node*.
+//!    Because fingerprints are recursive over dependencies, the shared
+//!    set is automatically closed under prefixes: if two kernels match,
+//!    their entire upstream chains match too;
+//! 3. [`GroupSessionIn`] is the streaming executor for a group: one input
+//!    history per source (kept once, not once per query), each distinct
+//!    node executed once per advance over the union of its consumers'
+//!    boundary-resolved extents, and per-query outputs sliced from the
+//!    shared buffers.
+//!
+//! Sharing is *observationally invisible*: a query's output through a
+//! group session equals its output through its own [`StreamSession`]
+//! (`crate::StreamSession`) — the differential property tests in the
+//! workspace root pin this down.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+
+use crate::analysis::Extent;
+use crate::error::{CompileError, Result};
+use crate::exec::{lcm, CompiledQuery};
+use crate::ir::{Expr, ReduceOp, TObjId, VarId};
+
+/// Interns canonical fingerprints so dependency references can be embedded
+/// as small ids instead of full fingerprint strings — *exact* hash-consing
+/// by string equality, not by a digest, so distinct structures can never
+/// collide and silently merge.
+///
+/// Fingerprints are only comparable when produced against the **same**
+/// interner: [`QueryGroup::new`] threads one interner through every member
+/// query. (Two structurally identical *whole queries* keyed against fresh
+/// interners still agree, because their intern orders coincide.)
+#[derive(Debug, Default)]
+pub struct KeyInterner {
+    ids: HashMap<String, usize>,
+}
+
+impl KeyInterner {
+    /// A fresh, empty interner.
+    pub fn new() -> KeyInterner {
+        KeyInterner::default()
+    }
+
+    /// The stable id of `key` within this interner, allocating on first
+    /// sight.
+    fn intern(&mut self, key: &str) -> usize {
+        match self.ids.get(key) {
+            Some(&id) => id,
+            None => {
+                let id = self.ids.len();
+                self.ids.insert(key.to_string(), id);
+                id
+            }
+        }
+    }
+}
+
+/// Canonical structural fingerprints for every temporal object (inputs and
+/// kernel outputs) of a compiled query, against a fresh [`KeyInterner`].
+///
+/// To compare fingerprints *across* queries, use [`structural_keys_with`]
+/// with one shared interner (as [`QueryGroup::new`] does).
+pub fn structural_keys(cq: &CompiledQuery) -> HashMap<TObjId, String> {
+    structural_keys_with(cq, &mut KeyInterner::new())
+}
+
+/// Canonical structural fingerprints for every temporal object (inputs and
+/// kernel outputs) of a compiled query.
+///
+/// Two objects in different queries keyed against the same `interner`
+/// receive the same fingerprint iff they are computed by structurally
+/// identical kernel chains from the same input positions: object ids are
+/// replaced by input positions or interned upstream fingerprints, and
+/// bound variables by De Bruijn indices, so id/counter differences between
+/// independently built queries do not matter. [`ReduceOp::Custom`]
+/// reductions fingerprint by `Arc` identity — only literally shared custom
+/// reducers are considered equal.
+///
+/// Dependency references embed the upstream fingerprint's intern id, not
+/// the upstream string itself, so fingerprint size stays linear in body
+/// size instead of growing exponentially along kernel chains that
+/// reference a producer more than once.
+pub fn structural_keys_with(
+    cq: &CompiledQuery,
+    interner: &mut KeyInterner,
+) -> HashMap<TObjId, String> {
+    let q = cq.query();
+    let mut keys: HashMap<TObjId, String> = HashMap::new();
+    // Inputs are referenced by position directly (already compact).
+    let mut refs: HashMap<TObjId, String> = HashMap::new();
+    for (i, obj) in q.inputs().iter().enumerate() {
+        let ty = q.input_type(*obj).cloned();
+        let key = format!("in{i}:{ty:?}");
+        refs.insert(*obj, key.clone());
+        keys.insert(*obj, key);
+    }
+    // Kernels are in topological order: dependencies always resolve.
+    for te in q.exprs() {
+        let mut key = format!(
+            "k(p={},s={},dom=({:?},{:?}))",
+            te.dom.precision, te.sample, te.dom.start, te.dom.end
+        );
+        let mut scope: Vec<VarId> = Vec::new();
+        write_expr(&mut key, &te.body, &refs, &mut scope);
+        refs.insert(te.output, format!("n{}", interner.intern(&key)));
+        keys.insert(te.output, key);
+    }
+    keys
+}
+
+/// Writes the canonical form of `e` into `out`. `scope` is the stack of
+/// enclosing let/map binders (innermost last) for De Bruijn numbering.
+fn write_expr(out: &mut String, e: &Expr, keys: &HashMap<TObjId, String>, scope: &mut Vec<VarId>) {
+    match e {
+        Expr::Const(v) => {
+            let _ = write!(out, "c:{v:?}");
+        }
+        Expr::Var(v) => {
+            // Innermost binder = index 0. Free variables cannot occur in a
+            // type-checked kernel body, but degrade gracefully if they do.
+            match scope.iter().rev().position(|b| b == v) {
+                Some(depth) => {
+                    let _ = write!(out, "v{depth}");
+                }
+                None => {
+                    let _ = write!(out, "free{}", v.raw());
+                }
+            }
+        }
+        Expr::Unary(op, a) => {
+            let _ = write!(out, "u:{op:?}(");
+            write_expr(out, a, keys, scope);
+            out.push(')');
+        }
+        Expr::Binary(op, a, b) => {
+            let _ = write!(out, "b:{op:?}(");
+            write_expr(out, a, keys, scope);
+            out.push(',');
+            write_expr(out, b, keys, scope);
+            out.push(')');
+        }
+        Expr::If(c, t, f) => {
+            out.push_str("if(");
+            write_expr(out, c, keys, scope);
+            out.push(',');
+            write_expr(out, t, keys, scope);
+            out.push(',');
+            write_expr(out, f, keys, scope);
+            out.push(')');
+        }
+        Expr::Let { var, value, body } => {
+            out.push_str("let(");
+            write_expr(out, value, keys, scope);
+            out.push(',');
+            scope.push(*var);
+            write_expr(out, body, keys, scope);
+            scope.pop();
+            out.push(')');
+        }
+        Expr::Field(a, i) => {
+            let _ = write!(out, "f{i}(");
+            write_expr(out, a, keys, scope);
+            out.push(')');
+        }
+        Expr::Tuple(items) => {
+            out.push_str("tup(");
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_expr(out, it, keys, scope);
+            }
+            out.push(')');
+        }
+        Expr::Time => out.push('t'),
+        Expr::At { obj, offset } => {
+            let _ = write!(out, "at([{}],{offset})", obj_key(keys, *obj));
+        }
+        Expr::Reduce { op, window } => {
+            let op_key = match op {
+                // Custom reducers carry opaque closures: equal only when
+                // they are literally the same Arc.
+                ReduceOp::Custom(c) => format!("custom@{:p}", Arc::as_ptr(c)),
+                other => other.name().to_string(),
+            };
+            let _ = write!(
+                out,
+                "red:{op_key}([{}],{},{},",
+                obj_key(keys, window.obj),
+                window.lo,
+                window.hi
+            );
+            match &window.map {
+                None => out.push('_'),
+                Some((var, m)) => {
+                    out.push_str("map(");
+                    scope.push(*var);
+                    write_expr(out, m, keys, scope);
+                    scope.pop();
+                    out.push(')');
+                }
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn obj_key(keys: &HashMap<TObjId, String>, obj: TObjId) -> &str {
+    keys.get(&obj).map_or("?", |s| s.as_str())
+}
+
+/// One distinct kernel of a [`QueryGroup`]: the representative instance plus
+/// the union of every consumer's boundary-resolved extent.
+#[derive(Debug)]
+struct SharedNode {
+    /// Representative query index (the first registrant of this fingerprint).
+    query: usize,
+    /// Kernel index within the representative query.
+    kernel: usize,
+    /// Union over all instances of the boundary extent of the kernel's
+    /// output object — how far beyond the emission range the shared buffer
+    /// must reach to serve every consumer.
+    ext: Extent,
+    /// Number of (query, kernel) instances collapsed into this node.
+    instances: usize,
+    /// The kernel's input wiring, resolved once at group build: for each
+    /// dependency, its slot in the representative query's slot table and
+    /// where its buffer comes from. Execution fills exactly these slots —
+    /// no per-advance rescan of earlier kernels.
+    deps: Vec<(usize, OutputRef)>,
+}
+
+/// Where a query's output comes from within the group.
+#[derive(Clone, Copy, Debug)]
+enum OutputRef {
+    /// The query is an identity over source `i`.
+    Source(usize),
+    /// The query's output object is node `i`'s buffer.
+    Node(usize),
+}
+
+/// N compiled queries merged into one executable unit with structurally
+/// identical kernel prefixes deduplicated.
+///
+/// Query input `i` is wired to group source `i` for every member, so all
+/// members read the same ingested streams; registration fails if two
+/// queries declare different payload types for the same source position.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+/// use tilt_core::sharing::QueryGroup;
+/// use tilt_core::Compiler;
+///
+/// let mut b = Query::builder();
+/// let x = b.input("x", DataType::Float);
+/// let s = b.temporal("s", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, x, 4));
+/// let q = b.finish(s).unwrap();
+/// let cq = Arc::new(Compiler::new().compile(&q).unwrap());
+/// // Two tenants registering the same query share its single kernel.
+/// let group = QueryGroup::new(vec![Arc::clone(&cq), cq]).unwrap();
+/// assert_eq!(group.kernel_instances(), 2);
+/// assert_eq!(group.distinct_kernels(), 1);
+/// ```
+#[derive(Debug)]
+pub struct QueryGroup {
+    queries: Vec<Arc<CompiledQuery>>,
+    n_sources: usize,
+    grid: i64,
+    lookahead: i64,
+    keep: i64,
+    nodes: Vec<SharedNode>,
+    /// Per query, per kernel index: the node executing that kernel.
+    node_of: Vec<Vec<usize>>,
+    outputs: Vec<OutputRef>,
+}
+
+impl QueryGroup {
+    /// Merges `queries` into a group, deduplicating structurally identical
+    /// kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Invalid`] when `queries` is empty and
+    /// [`CompileError::Type`] when two queries disagree on the payload type
+    /// of a shared source position.
+    pub fn new(queries: Vec<Arc<CompiledQuery>>) -> Result<QueryGroup> {
+        if queries.is_empty() {
+            return Err(CompileError::Invalid("a query group needs at least one query".into()));
+        }
+        let n_sources = queries.iter().map(|q| q.query().inputs().len()).max().unwrap_or(0);
+        let mut source_types: Vec<Option<crate::ir::DataType>> = vec![None; n_sources];
+        for (qi, cq) in queries.iter().enumerate() {
+            for (i, obj) in cq.query().inputs().iter().enumerate() {
+                let Some(ty) = cq.query().input_type(*obj) else { continue };
+                match &source_types[i] {
+                    None => source_types[i] = Some(ty.clone()),
+                    Some(prev) if prev == ty => {}
+                    Some(prev) => {
+                        return Err(CompileError::Type(format!(
+                            "query {qi} reads source {i} as {ty:?}, \
+                             but an earlier query reads it as {prev:?}"
+                        )));
+                    }
+                }
+            }
+        }
+
+        let mut nodes: Vec<SharedNode> = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        let mut node_of: Vec<Vec<usize>> = Vec::with_capacity(queries.len());
+        let mut outputs: Vec<OutputRef> = Vec::with_capacity(queries.len());
+        // One interner across every member: fingerprints embed intern ids
+        // for upstream references, and equal ids mean byte-equal upstream
+        // fingerprints — exact cross-query comparison, no digests.
+        let mut interner = KeyInterner::new();
+        for (qi, cq) in queries.iter().enumerate() {
+            let q = cq.query();
+            let keys = structural_keys_with(cq, &mut interner);
+            let kernel_index: HashMap<TObjId, usize> =
+                cq.kernels().iter().enumerate().map(|(i, k)| (k.out, i)).collect();
+            let mut this: Vec<usize> = Vec::with_capacity(cq.kernels().len());
+            for (ki, kernel) in cq.kernels().iter().enumerate() {
+                let key = keys[&kernel.out].clone();
+                let ext = cq.boundary().extent(kernel.out);
+                let ni = match by_key.get(&key) {
+                    Some(&ni) => {
+                        nodes[ni].ext = nodes[ni].ext.join(ext);
+                        nodes[ni].instances += 1;
+                        ni
+                    }
+                    None => {
+                        // First encounter within a topologically ordered
+                        // kernel list: dependencies already have nodes, so
+                        // creation order is a valid execution order.
+                        let deps = kernel
+                            .dependencies()
+                            .into_iter()
+                            .map(|obj| {
+                                let src = match q.inputs().iter().position(|o| *o == obj) {
+                                    Some(i) => OutputRef::Source(i),
+                                    None => OutputRef::Node(this[kernel_index[&obj]]),
+                                };
+                                (obj.index(), src)
+                            })
+                            .collect();
+                        nodes.push(SharedNode { query: qi, kernel: ki, ext, instances: 1, deps });
+                        by_key.insert(key, nodes.len() - 1);
+                        nodes.len() - 1
+                    }
+                };
+                this.push(ni);
+            }
+            outputs.push(if q.is_input(q.output()) {
+                let i = q
+                    .inputs()
+                    .iter()
+                    .position(|o| *o == q.output())
+                    .expect("identity output is an input");
+                OutputRef::Source(i)
+            } else {
+                OutputRef::Node(this[kernel_index[&q.output()]])
+            });
+            node_of.push(this);
+        }
+
+        let grid = queries.iter().map(|q| q.grid()).fold(1, lcm);
+        let lookahead =
+            queries.iter().map(|q| q.boundary().max_input_lookahead(q.query())).max().unwrap_or(0);
+        let keep =
+            queries.iter().map(|q| q.boundary().max_input_lookback(q.query())).max().unwrap_or(0)
+                + grid;
+        Ok(QueryGroup { queries, n_sources, grid, lookahead, keep, nodes, node_of, outputs })
+    }
+
+    /// The member queries, in registration order.
+    pub fn queries(&self) -> &[Arc<CompiledQuery>] {
+        &self.queries
+    }
+
+    /// Number of member queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of input sources the group reads (the widest member).
+    pub fn n_sources(&self) -> usize {
+        self.n_sources
+    }
+
+    /// The coarsest grid every member query agrees on (lcm of member grids):
+    /// group emission horizons are aligned to it so each member's per-advance
+    /// chunks stay seam-free.
+    pub fn grid(&self) -> i64 {
+        self.grid
+    }
+
+    /// The largest input lookahead over all member queries: emission must
+    /// trail the watermark by this much.
+    pub fn max_input_lookahead(&self) -> i64 {
+        self.lookahead
+    }
+
+    /// Total kernels across all member queries (what N independent sessions
+    /// would execute per advance).
+    pub fn kernel_instances(&self) -> usize {
+        self.node_of.iter().map(|v| v.len()).sum()
+    }
+
+    /// Distinct kernels after structural dedup (what the group executes per
+    /// advance).
+    pub fn distinct_kernels(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Distinct kernels serving more than one instance — the shared prefix
+    /// the dedup pass found.
+    pub fn shared_kernels(&self) -> usize {
+        self.nodes.iter().filter(|n| n.instances > 1).count()
+    }
+
+    /// Opens a streaming session borrowing this group.
+    pub fn session(&self, start: Time) -> GroupSession<'_> {
+        GroupSessionIn::new(self, start)
+    }
+
+    /// Opens a streaming session that owns an `Arc` handle on this group
+    /// (for worker threads holding many sessions over one shared plan).
+    pub fn shared_session(self: &Arc<Self>, start: Time) -> SharedGroupSession {
+        GroupSessionIn::new(Arc::clone(self), start)
+    }
+}
+
+/// Incremental batched execution of a [`QueryGroup`]: the multi-query
+/// analogue of [`crate::StreamSessionIn`].
+///
+/// One input history per group source feeds every member query; each
+/// [`GroupSessionIn::advance_to`] executes every *distinct* kernel once and
+/// returns one finalized output buffer per member query, in registration
+/// order.
+#[derive(Debug)]
+pub struct GroupSessionIn<G: Borrow<QueryGroup>> {
+    group: G,
+    histories: Vec<SnapshotBuf<Value>>,
+    watermark: Time,
+}
+
+/// A group session borrowing its [`QueryGroup`].
+pub type GroupSession<'a> = GroupSessionIn<&'a QueryGroup>;
+
+/// A group session sharing ownership of its [`QueryGroup`].
+pub type SharedGroupSession = GroupSessionIn<Arc<QueryGroup>>;
+
+impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
+    fn new(group: G, start: Time) -> Self {
+        let g = group.borrow();
+        let histories = (0..g.n_sources).map(|_| SnapshotBuf::new(start)).collect();
+        GroupSessionIn { group, histories, watermark: start }
+    }
+
+    /// The current watermark (everything up to it has been emitted).
+    pub fn watermark(&self) -> Time {
+        self.watermark
+    }
+
+    /// Appends events to group source `idx` (feeding every member query that
+    /// declares that input position). Events must be in order and start at
+    /// or after the previous end of that source's history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or events regress in time.
+    pub fn push_events(&mut self, idx: usize, events: &[Event<Value>]) {
+        crate::exec::push_history(&mut self.histories[idx], events);
+    }
+
+    /// Advances the input watermark to `upto` and returns each member
+    /// query's finalized output prefix, in registration order.
+    ///
+    /// Emission stops at `align_down(upto − max lookahead, group grid)` —
+    /// the most conservative member's horizon — so every returned prefix is
+    /// final. Buffers may be empty when the horizon has not advanced.
+    pub fn advance_to(&mut self, upto: Time) -> Vec<SnapshotBuf<Value>> {
+        assert!(upto > self.watermark, "advance_to must move forward");
+        let g = self.group.borrow();
+        let target = Time::new(upto.ticks() - g.lookahead).align_down(g.grid);
+        if target <= self.watermark {
+            return (0..g.num_queries()).map(|_| SnapshotBuf::new(self.watermark)).collect();
+        }
+        self.emit_range(target)
+    }
+
+    /// Emits everything up to `end` unconditionally (end-of-stream flush:
+    /// missing future input reads as φ).
+    pub fn flush_to(&mut self, end: Time) -> Vec<SnapshotBuf<Value>> {
+        if end <= self.watermark {
+            let g = self.group.borrow();
+            return (0..g.num_queries()).map(|_| SnapshotBuf::new(self.watermark)).collect();
+        }
+        self.emit_range(end)
+    }
+
+    fn emit_range(&mut self, target: Time) -> Vec<SnapshotBuf<Value>> {
+        let g = self.group.borrow();
+        for hist in &mut self.histories {
+            if hist.end() < target {
+                hist.push_raw(target, Value::Null);
+            }
+        }
+        let range = TimeRange::new(self.watermark, target);
+
+        // Pass 1: every distinct kernel once, over the union of its
+        // consumers' extents (creation order is topological).
+        let mut node_bufs: Vec<Option<SnapshotBuf<Value>>> =
+            (0..g.nodes.len()).map(|_| None).collect();
+        for ni in 0..g.nodes.len() {
+            let node = &g.nodes[ni];
+            let cq = &g.queries[node.query];
+            let kernel = &cq.kernels()[node.kernel];
+            let kstart = range.start.saturating_add(-node.ext.lookback());
+            let kend = range.end.saturating_add(node.ext.lookahead()).align_up(kernel.precision);
+            let out = {
+                let mut view: Vec<Option<&SnapshotBuf<Value>>> = vec![None; cq.n_slots()];
+                for &(slot, src) in &node.deps {
+                    view[slot] = Some(match src {
+                        OutputRef::Source(i) => &self.histories[i],
+                        OutputRef::Node(d) => {
+                            node_bufs[d].as_ref().expect("dep node computed before its consumer")
+                        }
+                    });
+                }
+                kernel.run(&view, TimeRange::new(kstart, kend))
+            };
+            node_bufs[ni] = Some(out);
+        }
+
+        // Pass 2: per-query outputs, sliced from the shared buffers with
+        // the same tail semantics as a standalone run (grid ticks past the
+        // last one inside the range read φ, not extrapolated values).
+        let outs = g
+            .outputs
+            .iter()
+            .map(|out| match *out {
+                OutputRef::Source(i) => self.histories[i].slice(range),
+                OutputRef::Node(ni) => {
+                    let node = &g.nodes[ni];
+                    let p = g.queries[node.query].kernels()[node.kernel].precision;
+                    output_slice(node_bufs[ni].as_ref().expect("node computed"), range, p)
+                }
+            })
+            .collect();
+
+        self.watermark = target;
+        for hist in &mut self.histories {
+            crate::exec::trim_history(hist, target, g.keep);
+        }
+        outs
+    }
+}
+
+/// Restricts a shared node buffer to a query's exact output range,
+/// reproducing the tail a standalone output kernel would emit: values only
+/// through the last grid tick inside the range, φ beyond it.
+fn output_slice(buf: &SnapshotBuf<Value>, range: TimeRange, precision: i64) -> SnapshotBuf<Value> {
+    let g_last = range.end.align_down(precision);
+    if g_last <= range.start {
+        // No grid tick inside the range: all φ (cf. `Kernel::run`).
+        let mut out = SnapshotBuf::new(range.start);
+        out.push_raw(range.end, Value::Null);
+        return out;
+    }
+    let mut out = buf.slice(TimeRange::new(range.start, g_last));
+    if g_last < range.end {
+        out.push_raw(range.end, Value::Null);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataType, Query, ReduceOp, TDom};
+    use crate::Compiler;
+    use tilt_data::{coalesce, streams_equivalent};
+
+    /// The YSB pane shape: tumbling count over a filtered stream.
+    fn pane_query() -> Query {
+        let mut b = Query::builder();
+        let x = b.input("ads", DataType::Int);
+        let views = b.temporal(
+            "views",
+            TDom::every_tick(),
+            Expr::if_else(Expr::at(x).eq(Expr::c(0i64)), Expr::at(x), Expr::null()),
+        );
+        let counts =
+            b.temporal("c10", TDom::unbounded(10), Expr::reduce_window(ReduceOp::Count, views, 10));
+        b.finish(counts).unwrap()
+    }
+
+    /// The correlated factor query: peak pane count per coarse window,
+    /// built on the *same* panes as `pane_query`.
+    fn factor_query() -> Query {
+        let mut b = Query::builder();
+        let x = b.input("ads", DataType::Int);
+        let views = b.temporal(
+            "views",
+            TDom::every_tick(),
+            Expr::if_else(Expr::at(x).eq(Expr::c(0i64)), Expr::at(x), Expr::null()),
+        );
+        let counts =
+            b.temporal("c10", TDom::unbounded(10), Expr::reduce_window(ReduceOp::Count, views, 10));
+        let peak =
+            b.temporal("peak", TDom::unbounded(60), Expr::reduce_window(ReduceOp::Max, counts, 60));
+        b.finish(peak).unwrap()
+    }
+
+    fn int_events(n: i64) -> Vec<Event<Value>> {
+        (1..=n).map(|t| Event::point(Time::new(t), Value::Int(t % 3))).collect()
+    }
+
+    #[test]
+    fn structural_keys_ignore_id_and_var_numbering() {
+        // Build the same query twice; the second builder burns extra object
+        // and variable ids first, so raw ids differ everywhere.
+        let cq1 = Compiler::new().compile(&pane_query()).unwrap();
+        let q2 = {
+            let mut b = Query::builder();
+            let _decoy_in = b.input("decoy", DataType::Float);
+            let _ = b.var();
+            let _ = b.var();
+            let mut b2 = Query::builder();
+            let x = b2.input("ads", DataType::Int);
+            let views = b2.temporal(
+                "v",
+                TDom::every_tick(),
+                Expr::if_else(Expr::at(x).eq(Expr::c(0i64)), Expr::at(x), Expr::null()),
+            );
+            let counts = b2.temporal(
+                "c",
+                TDom::unbounded(10),
+                Expr::reduce_window(ReduceOp::Count, views, 10),
+            );
+            b2.finish(counts).unwrap()
+        };
+        let cq2 = Compiler::new().compile(&q2).unwrap();
+        let k1 = structural_keys(&cq1);
+        let k2 = structural_keys(&cq2);
+        assert_eq!(k1[&cq1.query().output()], k2[&cq2.query().output()]);
+    }
+
+    #[test]
+    fn fingerprints_stay_small_on_deep_multi_reference_chains() {
+        // Regression: dependency references are hash-consed. A chain of
+        // kernels that each read their upstream object several times used
+        // to square the fingerprint size per level (exponential in depth);
+        // with digests it stays linear in body size.
+        let depth = 40usize;
+        let mut b = Query::builder();
+        let mut prev = b.input("x", DataType::Float);
+        for i in 0..depth {
+            prev = b.temporal(
+                &format!("n{i}"),
+                TDom::every_tick(),
+                Expr::if_else(
+                    Expr::at(prev).gt(Expr::c(0.0)),
+                    Expr::at(prev),
+                    Expr::reduce_window(ReduceOp::Sum, prev, 4),
+                ),
+            );
+        }
+        let q = b.finish(prev).unwrap();
+        // Unoptimized: one kernel per expression, so the chain depth is real.
+        let cq = Compiler::unoptimized().compile(&q).unwrap();
+        assert_eq!(cq.num_kernels(), depth);
+        let started = std::time::Instant::now();
+        let keys = structural_keys(&cq);
+        assert!(started.elapsed() < std::time::Duration::from_secs(1));
+        assert!(
+            keys.values().all(|k| k.len() < 4096),
+            "fingerprints must stay bounded, got max {}",
+            keys.values().map(|k| k.len()).max().unwrap()
+        );
+        // And the dedup still works through the digested references.
+        let cq2 = Arc::new(Compiler::unoptimized().compile(&q).unwrap());
+        let group = QueryGroup::new(vec![Arc::new(cq), cq2]).unwrap();
+        assert_eq!(group.distinct_kernels(), depth);
+        assert_eq!(group.kernel_instances(), 2 * depth);
+    }
+
+    #[test]
+    fn identical_queries_collapse_to_one_kernel() {
+        let cq = Arc::new(Compiler::new().compile(&pane_query()).unwrap());
+        let group = QueryGroup::new(vec![Arc::clone(&cq), Arc::clone(&cq), cq]).unwrap();
+        assert_eq!(group.kernel_instances(), 3);
+        assert_eq!(group.distinct_kernels(), 1);
+        assert_eq!(group.shared_kernels(), 1);
+    }
+
+    #[test]
+    fn factor_query_shares_the_pane_prefix() {
+        let pane = Arc::new(Compiler::new().compile(&pane_query()).unwrap());
+        let factor = Arc::new(Compiler::new().compile(&factor_query()).unwrap());
+        assert_eq!(pane.num_kernels(), 1, "filter fuses into the pane count");
+        assert_eq!(factor.num_kernels(), 2, "coarse window must not fuse into the panes");
+        let group = QueryGroup::new(vec![pane, factor]).unwrap();
+        assert_eq!(group.kernel_instances(), 3);
+        assert_eq!(group.distinct_kernels(), 2, "the pane kernel is shared");
+        assert_eq!(group.shared_kernels(), 1);
+        assert_eq!(group.grid(), 60);
+    }
+
+    #[test]
+    fn unrelated_queries_share_nothing() {
+        let pane = Arc::new(Compiler::new().compile(&pane_query()).unwrap());
+        let other = {
+            let mut b = Query::builder();
+            let x = b.input("ads", DataType::Int);
+            let s = b.temporal("s", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, x, 7));
+            Arc::new(Compiler::new().compile(&b.finish(s).unwrap()).unwrap())
+        };
+        let group = QueryGroup::new(vec![pane, other]).unwrap();
+        assert_eq!(group.distinct_kernels(), 2);
+        assert_eq!(group.shared_kernels(), 0);
+    }
+
+    #[test]
+    fn mismatched_source_types_are_rejected() {
+        let int_q = Arc::new(Compiler::new().compile(&pane_query()).unwrap());
+        let float_q = {
+            let mut b = Query::builder();
+            let x = b.input("ads", DataType::Float);
+            let s = b.temporal("s", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, x, 4));
+            Arc::new(Compiler::new().compile(&b.finish(s).unwrap()).unwrap())
+        };
+        assert!(matches!(QueryGroup::new(vec![int_q, float_q]), Err(CompileError::Type(_))));
+        assert!(matches!(QueryGroup::new(vec![]), Err(CompileError::Invalid(_))));
+    }
+
+    #[test]
+    fn group_session_matches_standalone_sessions() {
+        // The core differential property, deterministically: pane + factor
+        // through one group session vs each through its own StreamSession,
+        // chunked identically, must agree per query.
+        let pane = Arc::new(Compiler::new().compile(&pane_query()).unwrap());
+        let factor = Arc::new(Compiler::new().compile(&factor_query()).unwrap());
+        let group = QueryGroup::new(vec![Arc::clone(&pane), Arc::clone(&factor)]).unwrap();
+        let events = int_events(500);
+        let end = Time::new(540);
+
+        let mut gs = group.session(Time::ZERO);
+        let mut outs: Vec<Vec<Event<Value>>> = vec![Vec::new(); 2];
+        for chunk in events.chunks(64) {
+            gs.push_events(0, chunk);
+            let upto = chunk.last().unwrap().end;
+            if upto > gs.watermark() {
+                for (qi, buf) in gs.advance_to(upto).into_iter().enumerate() {
+                    outs[qi].extend(buf.to_events());
+                }
+            }
+        }
+        for (qi, buf) in gs.flush_to(end).into_iter().enumerate() {
+            outs[qi].extend(buf.to_events());
+        }
+
+        for (qi, cq) in [pane, factor].iter().enumerate() {
+            let mut session = cq.stream_session(Time::ZERO);
+            session.push_events(0, &events);
+            let expected = session.flush_to(end).to_events();
+            assert!(
+                streams_equivalent(&coalesce(&expected), &coalesce(&outs[qi])),
+                "query {qi}: expected {expected:?}, got {:?}",
+                outs[qi]
+            );
+        }
+    }
+
+    #[test]
+    fn identity_member_slices_its_source() {
+        let ident = {
+            let mut b = Query::builder();
+            let x = b.input("ads", DataType::Int);
+            Arc::new(Compiler::new().compile(&b.finish(x).unwrap()).unwrap())
+        };
+        let pane = Arc::new(Compiler::new().compile(&pane_query()).unwrap());
+        let group = QueryGroup::new(vec![ident, pane]).unwrap();
+        let events = int_events(40);
+        let mut gs = group.session(Time::ZERO);
+        gs.push_events(0, &events);
+        let outs = gs.flush_to(Time::new(60));
+        assert!(streams_equivalent(&coalesce(&events), &coalesce(&outs[0].to_events())));
+    }
+}

@@ -1,0 +1,146 @@
+//! Pluggable per-key execution engines for shard workers.
+//!
+//! A shard owns the *stream-management* half of the runtime — reorder
+//! buffers, watermark tracking, emission scheduling — and delegates the
+//! *query-execution* half to an [`Engine`]: either one compiled query
+//! (the original single-query runtime) or a [`QueryGroup`] serving N
+//! registered queries with structurally identical kernel prefixes
+//! executed once. Keeping the two runtimes on the same shard code but
+//! different engines is what makes the differential harness meaningful:
+//! the shared path is validated against the standalone path it replaces.
+
+use std::sync::Arc;
+
+use tilt_core::sharing::{QueryGroup, SharedGroupSession};
+use tilt_core::{CompiledQuery, SharedStreamSession};
+use tilt_data::{Event, SnapshotBuf, Time, Value};
+
+/// How a shard executes registered queries over one key's stream.
+///
+/// An engine is shared read-only across all shard threads; each key gets
+/// its own [`Engine::Session`].
+pub(crate) trait Engine: Clone + Send + Sync + 'static {
+    /// Per-key execution state.
+    type Session: Send + 'static;
+
+    /// Number of registered queries (one output stream each).
+    fn n_queries(&self) -> usize;
+
+    /// Number of input sources the engine reads.
+    fn n_sources(&self) -> usize;
+
+    /// The grid emission horizons must align to.
+    fn grid(&self) -> i64;
+
+    /// The input lookahead emission must trail the watermark by.
+    fn lookahead(&self) -> i64;
+
+    /// Opens a fresh session for one key.
+    fn open(&self, start: Time) -> Self::Session;
+
+    /// The session's emission watermark.
+    fn watermark(session: &Self::Session) -> Time;
+
+    /// Appends in-order matured events to one source.
+    fn push(session: &mut Self::Session, source: usize, events: &[Event<Value>]);
+
+    /// Advances emission toward `upto`; returns one finalized buffer per
+    /// query, in registration order.
+    fn advance(session: &mut Self::Session, upto: Time) -> Vec<SnapshotBuf<Value>>;
+
+    /// End-of-stream flush through `end`; one buffer per query.
+    fn flush(session: &mut Self::Session, end: Time) -> Vec<SnapshotBuf<Value>>;
+
+    /// `(kernels executed, kernel executions saved by dedup)` per session
+    /// advance — the observable accounting of prefix sharing.
+    fn kernel_counts(&self) -> (u64, u64);
+}
+
+impl Engine for Arc<CompiledQuery> {
+    type Session = SharedStreamSession;
+
+    fn n_queries(&self) -> usize {
+        1
+    }
+
+    fn n_sources(&self) -> usize {
+        self.query().inputs().len()
+    }
+
+    fn grid(&self) -> i64 {
+        CompiledQuery::grid(self)
+    }
+
+    fn lookahead(&self) -> i64 {
+        self.boundary().max_input_lookahead(self.query())
+    }
+
+    fn open(&self, start: Time) -> SharedStreamSession {
+        self.shared_stream_session(start)
+    }
+
+    fn watermark(session: &SharedStreamSession) -> Time {
+        session.watermark()
+    }
+
+    fn push(session: &mut SharedStreamSession, source: usize, events: &[Event<Value>]) {
+        session.push_events(source, events);
+    }
+
+    fn advance(session: &mut SharedStreamSession, upto: Time) -> Vec<SnapshotBuf<Value>> {
+        vec![session.advance_to(upto)]
+    }
+
+    fn flush(session: &mut SharedStreamSession, end: Time) -> Vec<SnapshotBuf<Value>> {
+        vec![session.flush_to(end)]
+    }
+
+    fn kernel_counts(&self) -> (u64, u64) {
+        (self.num_kernels() as u64, 0)
+    }
+}
+
+impl Engine for Arc<QueryGroup> {
+    type Session = SharedGroupSession;
+
+    fn n_queries(&self) -> usize {
+        self.num_queries()
+    }
+
+    fn n_sources(&self) -> usize {
+        QueryGroup::n_sources(self)
+    }
+
+    fn grid(&self) -> i64 {
+        QueryGroup::grid(self)
+    }
+
+    fn lookahead(&self) -> i64 {
+        self.max_input_lookahead()
+    }
+
+    fn open(&self, start: Time) -> SharedGroupSession {
+        self.shared_session(start)
+    }
+
+    fn watermark(session: &SharedGroupSession) -> Time {
+        session.watermark()
+    }
+
+    fn push(session: &mut SharedGroupSession, source: usize, events: &[Event<Value>]) {
+        session.push_events(source, events);
+    }
+
+    fn advance(session: &mut SharedGroupSession, upto: Time) -> Vec<SnapshotBuf<Value>> {
+        session.advance_to(upto)
+    }
+
+    fn flush(session: &mut SharedGroupSession, end: Time) -> Vec<SnapshotBuf<Value>> {
+        session.flush_to(end)
+    }
+
+    fn kernel_counts(&self) -> (u64, u64) {
+        let distinct = self.distinct_kernels() as u64;
+        (distinct, self.kernel_instances() as u64 - distinct)
+    }
+}

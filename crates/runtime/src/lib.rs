@@ -1,18 +1,20 @@
 //! `tilt-runtime` — a sharded, keyed, out-of-order-tolerant streaming
-//! runtime that serves one compiled TiLT query over many independent key
+//! runtime that serves compiled TiLT queries over many independent key
 //! streams.
 //!
 //! The TiLT compiler (paper §6) produces a [`CompiledQuery`] for a single
 //! logical stream. Long-running services need the layer above: millions of
 //! per-key streams (one per user, campaign, device, …) multiplexed over a
-//! fixed worker pool, with events arriving out of order. This crate
-//! provides that layer, compile-once/serve-many style:
+//! fixed worker pool, with events arriving out of order — and usually more
+//! than one query watching the same streams. This crate provides that
+//! layer, compile-once/serve-many style:
 //!
 //! * **Keyed ingestion** — [`Runtime::ingest`] hash-partitions
 //!   [`KeyedEvent`]s across `N` shard threads over bounded channels
 //!   (backpressure: producers block when a shard falls behind);
 //! * **Out-of-order tolerance** — each shard holds a per-key, per-source
-//!   reorder buffer; events mature once the shard watermark passes them.
+//!   reorder buffer (kept sorted by monotone insertion; drains never
+//!   re-sort); events mature once the shard watermark passes them.
 //!   Per-source watermarks advance as `max event start seen −
 //!   allowed_lateness` (floored by explicit [`Runtime::watermark`]
 //!   promises) and their minimum drives emission, so a slow source holds
@@ -20,13 +22,20 @@
 //!   *starts* because an event contributes value back to its start: once
 //!   no future event can start at or before `wm`, every tick up to `wm`
 //!   is final;
+//! * **Multi-query sharing** — a [`MultiRuntime`] serves N registered
+//!   queries over *one* ingested stream: reorder buffering and watermark
+//!   tracking happen once per shard (not once per query), and structurally
+//!   identical kernel prefixes across queries execute once per advance
+//!   (via [`tilt_core::sharing::QueryGroup`] — cf. *Shared Arrangements*
+//!   and *Factor Windows*). Each query keeps its own [`QueryId`], sink,
+//!   and output/stats accounting;
 //! * **Synchronization-free data parallelism** — keys never migrate
-//!   between shards; each shard drives plain
-//!   [`tilt_core::SharedStreamSession`]s, so shards share nothing but the
-//!   read-only compiled query (the runtime analogue of §6.2's partition
-//!   workers);
+//!   between shards; each shard drives plain per-key sessions, so shards
+//!   share nothing but the read-only compiled queries (the runtime
+//!   analogue of §6.2's partition workers);
 //! * **Observability** — [`Runtime::stats`] snapshots throughput,
-//!   watermark lag, late-drop counts, and per-shard queue depths.
+//!   watermark lag, late-drop counts, per-shard queue depths, per-query
+//!   output counts, and the kernel executions saved by dedup.
 //!
 //! Events later than `allowed_lateness` are *dropped and counted*
 //! ([`RuntimeStats::late_dropped`]), the classic watermark trade-off.
@@ -64,9 +73,43 @@
 //! let key7 = &output.per_key[&7];
 //! assert!(key7.iter().any(|e| e.payload == Value::Float(3.0)));
 //! ```
+//!
+//! # Multi-query example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+//! use tilt_core::Compiler;
+//! use tilt_data::{Event, Time, Value};
+//! use tilt_runtime::{KeyedEvent, MultiRuntime, RuntimeConfig};
+//!
+//! let compile = |window: i64| {
+//!     let mut b = Query::builder();
+//!     let input = b.input("x", DataType::Float);
+//!     let s = b.temporal("s", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, window));
+//!     Arc::new(Compiler::new().compile(&b.finish(s).unwrap()).unwrap())
+//! };
+//! let mut builder = MultiRuntime::builder(RuntimeConfig { shards: 2, ..Default::default() });
+//! let q_fast = builder.register(compile(2));
+//! let q_slow = builder.register(compile(8));
+//! let tenant2 = builder.register(compile(2)); // identical to q_fast: kernel deduped
+//! let runtime = builder.start().unwrap();
+//! runtime.ingest((1..=100).map(|t| {
+//!     KeyedEvent::new(t % 5, 0, Event::point(Time::new(t as i64), Value::Float(1.0)))
+//! }));
+//! let out = runtime.finish_at(Time::new(108));
+//! // One ingestion pass served all three queries...
+//! assert_eq!(out.stats.reorder_buffered, 100);
+//! // ...and the duplicated kernel ran once per advance, not twice.
+//! assert!(out.stats.kernels_saved > 0);
+//! assert_eq!(out.per_query[q_fast.index()].len(), 5);
+//! assert_eq!(out.per_query[q_slow.index()].len(), 5);
+//! assert_eq!(out.per_query[q_fast.index()], out.per_query[tenant2.index()]);
+//! ```
 
 #![warn(missing_docs)]
 
+mod engine;
 mod shard;
 mod stats;
 
@@ -76,22 +119,25 @@ use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use tilt_core::sharing::QueryGroup;
 use tilt_core::CompiledQuery;
 use tilt_data::{Event, Time, Value};
 
+use engine::Engine;
 use shard::{Shard, ShardMsg, ShardOutput};
 pub use stats::RuntimeStats;
 use stats::SharedStats;
 
 /// One event addressed to one key's stream.
 ///
-/// `source` selects which of the query's declared inputs the event feeds
-/// (0 for single-input queries).
+/// `source` selects which input stream the event feeds (0 for single-input
+/// queries). In a [`MultiRuntime`], source `i` feeds input `i` of every
+/// registered query that declares at least `i + 1` inputs.
 #[derive(Clone, Debug)]
 pub struct KeyedEvent {
     /// The stream key (user id, campaign id, device id, …).
     pub key: u64,
-    /// Index into the compiled query's inputs.
+    /// Index into the runtime's input sources.
     pub source: usize,
     /// The event itself.
     pub event: Event<Value>,
@@ -108,7 +154,20 @@ impl KeyedEvent {
 /// newly finalized events, in per-key time order.
 pub type OutputSink = Arc<dyn Fn(u64, &[Event<Value>]) + Send + Sync>;
 
-/// Configuration for [`Runtime::start`].
+/// Identifies one registered query of a [`MultiRuntime`]; indexes
+/// [`MultiRuntimeOutput::per_query`] and
+/// [`RuntimeStats::events_out_per_query`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QueryId(usize);
+
+impl QueryId {
+    /// The query's position in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Configuration for [`Runtime::start`] / [`MultiRuntime::builder`].
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
     /// Number of shard worker threads (keys are hash-partitioned across
@@ -148,65 +207,58 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// Everything the runtime hands back when it drains and shuts down.
+/// Everything a single-query [`Runtime`] hands back when it drains and
+/// shuts down.
 #[derive(Debug)]
 pub struct RuntimeOutput {
     /// Finalized output events per key. Keys whose queries emitted nothing
     /// map to empty vectors; when an [`OutputSink`] consumed events as
     /// they were finalized, the vectors are empty too.
-    pub per_key: HashMap<u64, Vec<Event<Value>>>,
+    pub per_key: PerKeyOutput,
     /// Final counter snapshot.
     pub stats: RuntimeStats,
 }
 
-/// A running sharded streaming service over one compiled query.
-///
-/// Create with [`Runtime::start`], feed with [`Runtime::ingest`], observe
-/// with [`Runtime::stats`], and shut down with [`Runtime::finish`] /
-/// [`Runtime::finish_at`] (graceful drain: buffered events are flushed
-/// through the final horizon before worker threads exit). Dropping a
-/// `Runtime` without finishing also joins the workers, discarding their
-/// output.
+/// One query's finalized output events, per key.
+pub type PerKeyOutput = HashMap<u64, Vec<Event<Value>>>;
+
+/// Everything a [`MultiRuntime`] hands back when it drains and shuts down.
 #[derive(Debug)]
-pub struct Runtime {
+pub struct MultiRuntimeOutput {
+    /// Per registered query (in [`QueryId`] order): finalized output events
+    /// per key. Queries with sinks have empty vectors here.
+    pub per_query: Vec<PerKeyOutput>,
+    /// Final counter snapshot.
+    pub stats: RuntimeStats,
+}
+
+/// The engine-agnostic running service: shard threads, channels, counters.
+/// [`Runtime`] and [`MultiRuntime`] are thin typed views over this.
+#[derive(Debug)]
+struct Core {
     senders: Vec<SyncSender<ShardMsg>>,
     handles: Vec<JoinHandle<ShardOutput>>,
     stats: Arc<SharedStats>,
     shards: usize,
     ingest_batch: usize,
+    queries: usize,
 }
 
-impl Runtime {
-    /// Spawns `config.shards` worker threads serving `cq` and returns the
-    /// ingestion handle.
-    pub fn start(cq: Arc<CompiledQuery>, config: RuntimeConfig) -> Runtime {
-        Self::start_with(cq, config, None)
-    }
-
-    /// Like [`Runtime::start`], with a sink receiving each key's events as
-    /// they are finalized instead of accumulating them for `finish`.
-    pub fn start_with_sink(
-        cq: Arc<CompiledQuery>,
-        config: RuntimeConfig,
-        sink: OutputSink,
-    ) -> Runtime {
-        Self::start_with(cq, config, Some(sink))
-    }
-
-    fn start_with(
-        cq: Arc<CompiledQuery>,
-        config: RuntimeConfig,
-        sink: Option<OutputSink>,
-    ) -> Runtime {
+impl Core {
+    fn start<E: Engine>(engine: E, config: RuntimeConfig, sinks: Vec<Option<OutputSink>>) -> Core {
         let shards = config.shards.max(1);
         let ingest_batch = config.ingest_batch.max(1);
-        let stats = Arc::new(SharedStats::new(shards));
+        let queries = engine.n_queries();
+        debug_assert_eq!(sinks.len(), queries);
+        let sinks: Arc<[Option<OutputSink>]> = sinks.into();
+        let stats = Arc::new(SharedStats::new(shards, queries));
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let cap_msgs = (config.channel_capacity / ingest_batch).max(1);
         for id in 0..shards {
             let (tx, rx) = std::sync::mpsc::sync_channel(cap_msgs);
-            let shard = Shard::new(id, Arc::clone(&cq), config, sink.clone(), Arc::clone(&stats));
+            let shard =
+                Shard::new(id, engine.clone(), config, Arc::clone(&sinks), Arc::clone(&stats));
             let handle = std::thread::Builder::new()
                 .name(format!("tilt-shard-{id}"))
                 .spawn(move || shard.run(rx))
@@ -214,19 +266,10 @@ impl Runtime {
             senders.push(tx);
             handles.push(handle);
         }
-        Runtime { senders, handles, stats, shards, ingest_batch }
+        Core { senders, handles, stats, shards, ingest_batch, queries }
     }
 
-    /// Which shard serves `key`.
-    pub fn shard_of(&self, key: u64) -> usize {
-        shard_index(key, self.shards)
-    }
-
-    /// Routes and enqueues events, blocking when a destination shard's
-    /// queue is full (backpressure). Events for different keys may be
-    /// interleaved arbitrarily; within a key and source, arrival order may
-    /// deviate from time order by up to the configured allowed lateness.
-    pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+    fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
         let mut routed: Vec<Vec<KeyedEvent>> = (0..self.shards).map(|_| Vec::new()).collect();
         let mut n: u64 = 0;
         for ev in events {
@@ -246,26 +289,127 @@ impl Runtime {
         self.stats.events_in.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Ingests a single event ([`Runtime::ingest`] amortizes better).
-    pub fn send(&self, event: KeyedEvent) {
+    fn send(&self, event: KeyedEvent) {
         self.stats.note_event_end(event.event.end);
         let s = shard_index(event.key, self.shards);
         self.send_batch(s, vec![event]);
         self.stats.events_in.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Broadcasts an explicit watermark: source `source` promises to
-    /// deliver no further events starting at or before `time`. Drives
-    /// emission forward on sources that have gone quiet.
-    pub fn watermark(&self, source: usize, time: Time) {
+    fn watermark(&self, source: usize, time: Time) {
         for tx in &self.senders {
             let _ = tx.send(ShardMsg::Watermark { source, time });
         }
     }
 
+    fn shutdown(&mut self, end: Option<Time>) -> (Vec<PerKeyOutput>, RuntimeStats) {
+        if let Some(end) = end {
+            for tx in &self.senders {
+                let _ = tx.send(ShardMsg::FinishAt(end));
+            }
+        }
+        self.senders.clear(); // close channels: workers drain and exit
+        let mut per_query: Vec<PerKeyOutput> = (0..self.queries).map(|_| HashMap::new()).collect();
+        for handle in self.handles.drain(..) {
+            let out = match handle.join() {
+                Ok(out) => out,
+                Err(cause) => std::panic::resume_unwind(cause),
+            };
+            for (key, outs) in out.per_key {
+                for (qi, events) in outs.into_iter().enumerate() {
+                    per_query[qi].insert(key, events);
+                }
+            }
+        }
+        (per_query, self.stats.snapshot())
+    }
+
+    fn send_batch(&self, shard: usize, batch: Vec<KeyedEvent>) {
+        self.stats.queue_depth[shard].fetch_add(batch.len() as i64, Ordering::Relaxed);
+        // A send can only fail if the shard thread died; surface that on
+        // join rather than panicking mid-ingest.
+        let _ = self.senders[shard].send(ShardMsg::Batch(batch));
+    }
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            if let Err(cause) = handle.join() {
+                // A dead shard means lost events; surface the worker's
+                // panic instead of silently discarding it (unless this
+                // drop is itself part of a panic unwind).
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    }
+}
+
+/// A running sharded streaming service over one compiled query.
+///
+/// Create with [`Runtime::start`], feed with [`Runtime::ingest`], observe
+/// with [`Runtime::stats`], and shut down with [`Runtime::finish`] /
+/// [`Runtime::finish_at`] (graceful drain: buffered events are flushed
+/// through the final horizon before worker threads exit). Dropping a
+/// `Runtime` without finishing also joins the workers, discarding their
+/// output.
+///
+/// To serve several queries over one ingested stream, use
+/// [`MultiRuntime`] instead.
+#[derive(Debug)]
+pub struct Runtime {
+    core: Core,
+}
+
+impl Runtime {
+    /// Spawns `config.shards` worker threads serving `cq` and returns the
+    /// ingestion handle.
+    pub fn start(cq: Arc<CompiledQuery>, config: RuntimeConfig) -> Runtime {
+        Runtime { core: Core::start(cq, config, vec![None]) }
+    }
+
+    /// Like [`Runtime::start`], with a sink receiving each key's events as
+    /// they are finalized instead of accumulating them for `finish`.
+    pub fn start_with_sink(
+        cq: Arc<CompiledQuery>,
+        config: RuntimeConfig,
+        sink: OutputSink,
+    ) -> Runtime {
+        Runtime { core: Core::start(cq, config, vec![Some(sink)]) }
+    }
+
+    /// Which shard serves `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_index(key, self.core.shards)
+    }
+
+    /// Routes and enqueues events, blocking when a destination shard's
+    /// queue is full (backpressure). Events for different keys may be
+    /// interleaved arbitrarily; within a key and source, arrival order may
+    /// deviate from time order by up to the configured allowed lateness.
+    pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+        self.core.ingest(events);
+    }
+
+    /// Ingests a single event ([`Runtime::ingest`] amortizes better).
+    pub fn send(&self, event: KeyedEvent) {
+        self.core.send(event);
+    }
+
+    /// Broadcasts an explicit watermark: source `source` promises to
+    /// deliver no further events starting at or before `time`. Drives
+    /// emission forward on sources that have gone quiet. Floors, never
+    /// regresses: a promise behind the observed event frontier is a no-op.
+    pub fn watermark(&self, source: usize, time: Time) {
+        self.core.watermark(source, time);
+    }
+
     /// Snapshots runtime health counters.
     pub fn stats(&self) -> RuntimeStats {
-        self.stats.snapshot()
+        self.core.stats.snapshot()
     }
 
     /// Gracefully drains and shuts down: every buffered event is flushed,
@@ -283,30 +427,134 @@ impl Runtime {
     }
 
     fn shutdown(mut self, end: Option<Time>) -> RuntimeOutput {
-        if let Some(end) = end {
-            for tx in &self.senders {
-                let _ = tx.send(ShardMsg::FinishAt(end));
-            }
-        }
-        self.senders.clear(); // close channels: workers drain and exit
-        let mut per_key = HashMap::new();
-        for handle in self.handles.drain(..) {
-            let out = match handle.join() {
-                Ok(out) => out,
-                Err(cause) => std::panic::resume_unwind(cause),
-            };
-            for (key, events) in out.per_key {
-                per_key.insert(key, events);
-            }
-        }
-        RuntimeOutput { per_key, stats: self.stats.snapshot() }
+        let (mut per_query, stats) = self.core.shutdown(end);
+        RuntimeOutput { per_key: per_query.pop().expect("single query"), stats }
+    }
+}
+
+/// Registers queries (and optional per-query sinks) for a
+/// [`MultiRuntime`]; create with [`MultiRuntime::builder`].
+pub struct MultiRuntimeBuilder {
+    config: RuntimeConfig,
+    queries: Vec<Arc<CompiledQuery>>,
+    sinks: Vec<Option<OutputSink>>,
+}
+
+impl MultiRuntimeBuilder {
+    /// Registers a query whose outputs accumulate until
+    /// [`MultiRuntime::finish`].
+    pub fn register(&mut self, cq: Arc<CompiledQuery>) -> QueryId {
+        self.queries.push(cq);
+        self.sinks.push(None);
+        QueryId(self.queries.len() - 1)
     }
 
-    fn send_batch(&self, shard: usize, batch: Vec<KeyedEvent>) {
-        self.stats.queue_depth[shard].fetch_add(batch.len() as i64, Ordering::Relaxed);
-        // A send can only fail if the shard thread died; surface that on
-        // join rather than panicking mid-ingest.
-        let _ = self.senders[shard].send(ShardMsg::Batch(batch));
+    /// Registers a query whose finalized events stream to `sink` as they
+    /// mature.
+    pub fn register_with_sink(&mut self, cq: Arc<CompiledQuery>, sink: OutputSink) -> QueryId {
+        self.queries.push(cq);
+        self.sinks.push(Some(sink));
+        QueryId(self.queries.len() - 1)
+    }
+
+    /// Builds the shared [`QueryGroup`] (deduplicating structurally
+    /// identical kernel prefixes) and spawns the shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no query was registered or two queries declare different
+    /// payload types for the same source position (see [`QueryGroup::new`]).
+    pub fn start(self) -> tilt_core::Result<MultiRuntime> {
+        let group = Arc::new(QueryGroup::new(self.queries)?);
+        Ok(MultiRuntime { core: Core::start(Arc::clone(&group), self.config, self.sinks), group })
+    }
+}
+
+/// A running sharded streaming service over **N registered queries**
+/// sharing one ingested keyed stream.
+///
+/// Ingestion, hash-partitioning, reorder buffering, and watermark tracking
+/// happen once per shard and fan out to every query; structurally
+/// identical kernel prefixes across queries execute once per advance
+/// ([`QueryGroup`]). Each query's output is observationally identical to
+/// running it alone in a [`Runtime`] — the workspace's differential
+/// property tests (`tests/multi_query_properties.rs`) pin this guarantee.
+///
+/// **Watermarks are group-wide.** Emission is driven by the minimum
+/// watermark over *all* sources any member declares — the multi-query
+/// extension of "a slow source holds results back". When queries of
+/// different input arity are mixed, a source only the wider query reads
+/// gates streaming emission for every member: if it stays silent, no
+/// query streams until an explicit [`MultiRuntime::watermark`] promise
+/// (or shutdown flush) advances it. Results are never wrong, only held;
+/// per-query emission cadence is a ROADMAP follow-up.
+///
+/// See the [crate-level multi-query example](crate#multi-query-example).
+#[derive(Debug)]
+pub struct MultiRuntime {
+    core: Core,
+    group: Arc<QueryGroup>,
+}
+
+impl MultiRuntime {
+    /// Starts registering queries for a shared runtime.
+    pub fn builder(config: RuntimeConfig) -> MultiRuntimeBuilder {
+        MultiRuntimeBuilder { config, queries: Vec::new(), sinks: Vec::new() }
+    }
+
+    /// The shared execution plan (kernel dedup structure) being served.
+    pub fn group(&self) -> &QueryGroup {
+        &self.group
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.core.queries
+    }
+
+    /// Which shard serves `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_index(key, self.core.shards)
+    }
+
+    /// Routes and enqueues events once for all registered queries; see
+    /// [`Runtime::ingest`].
+    pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+        self.core.ingest(events);
+    }
+
+    /// Ingests a single event ([`MultiRuntime::ingest`] amortizes better).
+    pub fn send(&self, event: KeyedEvent) {
+        self.core.send(event);
+    }
+
+    /// Broadcasts an explicit watermark for one shared source; see
+    /// [`Runtime::watermark`].
+    pub fn watermark(&self, source: usize, time: Time) {
+        self.core.watermark(source, time);
+    }
+
+    /// Snapshots runtime health counters (shared ingestion counters plus
+    /// per-query output counts).
+    pub fn stats(&self) -> RuntimeStats {
+        self.core.stats.snapshot()
+    }
+
+    /// Gracefully drains and shuts down, returning every query's per-key
+    /// outputs.
+    pub fn finish(self) -> MultiRuntimeOutput {
+        self.shutdown(None)
+    }
+
+    /// Like [`MultiRuntime::finish`], but flushes every key's session
+    /// through the same explicit horizon `end`.
+    pub fn finish_at(self, end: Time) -> MultiRuntimeOutput {
+        self.shutdown(Some(end))
+    }
+
+    fn shutdown(mut self, end: Option<Time>) -> MultiRuntimeOutput {
+        let (per_query, stats) = self.core.shutdown(end);
+        MultiRuntimeOutput { per_query, stats }
     }
 }
 
@@ -317,22 +565,6 @@ fn shard_index(key: u64, shards: usize) -> usize {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^= z >> 31;
     (z % shards as u64) as usize
-}
-
-impl Drop for Runtime {
-    fn drop(&mut self) {
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            if let Err(cause) = handle.join() {
-                // A dead shard means lost events; surface the worker's
-                // panic instead of silently discarding it (unless this
-                // drop is itself part of a panic unwind).
-                if !std::thread::panicking() {
-                    std::panic::resume_unwind(cause);
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -547,6 +779,10 @@ mod tests {
         assert_eq!(out.stats.queue_depths.len(), 2);
         assert!(out.stats.queue_depths.iter().all(|&d| d == 0), "drained queues");
         assert!(out.stats.min_watermark >= Time::new(100), "flush horizon reached");
+        // Single-query accounting: every event buffered once, nothing saved.
+        assert_eq!(out.stats.reorder_buffered, 200);
+        assert_eq!(out.stats.kernels_saved, 0);
+        assert_eq!(out.stats.events_out_per_query, vec![out.stats.events_out]);
     }
 
     #[test]
@@ -645,5 +881,328 @@ mod tests {
         runtime.ingest(events.iter().map(|e| KeyedEvent::new(77, 0, e.clone())));
         let out = runtime.finish_at(Time::new(n + 6));
         assert!(streams_equivalent(&coalesce(&oneshot), &coalesce(&out.per_key[&77])));
+    }
+
+    // ── Watermark / lateness edge cases ────────────────────────────────
+
+    #[test]
+    fn explicit_watermark_floors_but_never_regresses() {
+        // The event-driven watermark reached t=50; a stale explicit promise
+        // at t=10 must not pull emission backwards, and a forward promise
+        // must floor the watermark even with no further events.
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() },
+        );
+        runtime.ingest(key_events(1, 50));
+        runtime.watermark(0, Time::new(10)); // stale: behind max_start
+        let wait_for_wm = |runtime: &Runtime, at_least: Time| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while std::time::Instant::now() < deadline {
+                if runtime.stats().min_watermark >= at_least {
+                    return true;
+                }
+                std::thread::yield_now();
+            }
+            false
+        };
+        // Point events at t=1..=50 span (t−1, t]: the start-based watermark
+        // rests at 49, and the stale promise at 10 must not move it.
+        assert!(wait_for_wm(&runtime, Time::new(49)), "event-driven watermark must hold at 49");
+        // Forward promise: emission advances past the last event with no
+        // new input at all.
+        runtime.watermark(0, Time::new(90));
+        assert!(wait_for_wm(&runtime, Time::new(90)), "explicit watermark must floor to 90");
+        // A second stale promise after the forward one is also a no-op.
+        runtime.watermark(0, Time::new(40));
+        let out = runtime.finish_at(Time::new(94));
+        assert_eq!(out.stats.late_dropped, 0);
+        let expected = replay(
+            &cq,
+            &key_events(1, 50).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+            Time::new(94),
+        );
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&1])));
+    }
+
+    #[test]
+    fn finish_at_drains_events_still_held_by_lateness() {
+        // A huge allowed lateness keeps the watermark far behind the data:
+        // nothing matures during the run. finish_at must still flush every
+        // buffered event through the horizon — a drained shutdown loses
+        // nothing.
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig {
+                shards: 2,
+                allowed_lateness: 1_000_000,
+                emit_interval: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        runtime.ingest(key_events(8, 60));
+        let mid = runtime.stats();
+        assert_eq!(mid.events_out, 0, "nothing may emit while the watermark holds everything");
+        let out = runtime.finish_at(Time::new(64));
+        assert_eq!(out.stats.late_dropped, 0);
+        let expected = replay(
+            &cq,
+            &key_events(8, 60).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+            Time::new(64),
+        );
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&8])));
+    }
+
+    #[test]
+    fn interval_event_straddling_emission_horizon_is_exact() {
+        // Regression for the PR 1 boundary fix: a long interval event spans
+        // several emission cycles (emit_interval 8 with points driving the
+        // watermark across its extent). The straddled event's early ticks
+        // are emitted before its interval closes; the result must still
+        // equal an in-order replay.
+        let mut b = Query::builder();
+        let input = b.input("x", DataType::Float);
+        let sum =
+            b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, 5));
+        let q = b.finish(sum).unwrap();
+        let cq = Arc::new(Compiler::new().compile(&q).unwrap());
+
+        // One long event (10, 40] then points 41..=80 pushing the watermark
+        // over both of its edges.
+        let mut events: Vec<Event<Value>> =
+            vec![Event::new(Time::new(10), Time::new(40), Value::Float(2.5))];
+        events.extend((41..=80).map(|t| Event::point(Time::new(t), Value::Float(1.0))));
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 1, emit_interval: 8, ..RuntimeConfig::default() },
+        );
+        runtime.ingest(events.iter().map(|e| KeyedEvent::new(3, 0, e.clone())));
+        let out = runtime.finish_at(Time::new(85));
+        assert_eq!(out.stats.late_dropped, 0);
+        let expected = replay(&cq, &events, Time::new(85));
+        assert!(
+            streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&3])),
+            "straddling interval event corrupted emission: {:?} vs {:?}",
+            expected,
+            out.per_key[&3]
+        );
+    }
+
+    // ── Multi-query runtime ────────────────────────────────────────────
+
+    #[test]
+    fn multi_runtime_outputs_match_standalone_runtimes() {
+        let fast = sliding_sum_query(3);
+        let slow = sliding_sum_query(9);
+        let mut builder = MultiRuntime::builder(RuntimeConfig {
+            shards: 2,
+            allowed_lateness: 8,
+            ..RuntimeConfig::default()
+        });
+        let q_fast = builder.register(Arc::clone(&fast));
+        let q_slow = builder.register(Arc::clone(&slow));
+        let multi = builder.start().unwrap();
+
+        // Interleave keys by time, then scramble arrival order within
+        // bounded blocks (shared by the multi and standalone runs).
+        let mut events: Vec<KeyedEvent> = Vec::new();
+        for t in 1..=120i64 {
+            for k in 0..4u64 {
+                events.push(KeyedEvent::new(
+                    k,
+                    0,
+                    Event::point(Time::new(t), Value::Float(k as f64 + t as f64)),
+                ));
+            }
+        }
+        for w in events.chunks_mut(5) {
+            w.reverse();
+        }
+        multi.ingest(events.iter().cloned());
+        let end = Time::new(140);
+        let out = multi.finish_at(end);
+        assert_eq!(out.stats.late_dropped, 0);
+        assert_eq!(out.stats.reorder_buffered, events.len() as u64, "buffered once, not per query");
+
+        for (qid, cq) in [(q_fast, &fast), (q_slow, &slow)] {
+            let standalone = Runtime::start(
+                Arc::clone(cq),
+                RuntimeConfig { shards: 2, allowed_lateness: 8, ..RuntimeConfig::default() },
+            );
+            standalone.ingest(events.iter().cloned());
+            let solo = standalone.finish_at(end);
+            for k in 0..4u64 {
+                assert!(
+                    streams_equivalent(
+                        &coalesce(&solo.per_key[&k]),
+                        &coalesce(&out.per_query[qid.index()][&k])
+                    ),
+                    "query {} key {k} diverged from standalone runtime",
+                    qid.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_runtime_per_query_sinks_and_stats() {
+        let cq = sliding_sum_query(4);
+        let streamed = Arc::new(std::sync::Mutex::new(Vec::<Event<Value>>::new()));
+        let sink_store = Arc::clone(&streamed);
+        let mut builder = MultiRuntime::builder(RuntimeConfig {
+            shards: 1,
+            emit_interval: 1,
+            ..RuntimeConfig::default()
+        });
+        let sunk = builder.register_with_sink(
+            Arc::clone(&cq),
+            Arc::new(move |_key, events| {
+                sink_store.lock().unwrap().extend(events.iter().cloned());
+            }),
+        );
+        let kept = builder.register(Arc::clone(&cq));
+        let multi = builder.start().unwrap();
+        assert_eq!(multi.num_queries(), 2);
+        assert_eq!(multi.group().shared_kernels(), 1, "identical queries share their kernel");
+
+        multi.ingest(key_events(1, 50));
+        let out = multi.finish_at(Time::new(54));
+        // The sink consumed query 0; query 1 accumulated.
+        assert!(out.per_query[sunk.index()][&1].is_empty());
+        assert!(!out.per_query[kept.index()][&1].is_empty());
+        // Both queries emitted the same number of events, counted per query.
+        assert_eq!(
+            out.stats.events_out_per_query[sunk.index()],
+            out.stats.events_out_per_query[kept.index()]
+        );
+        assert_eq!(out.stats.events_out_per_query.iter().sum::<u64>(), out.stats.events_out);
+        assert!(out.stats.kernels_saved > 0, "dedup must fire for identical queries");
+        // Streamed == kept.
+        assert!(streams_equivalent(
+            &coalesce(&streamed.lock().unwrap()),
+            &coalesce(&out.per_query[kept.index()][&1])
+        ));
+    }
+
+    #[test]
+    fn multi_runtime_drops_late_events_once() {
+        // A beyond-lateness straggler is one lost *ingest* event, however
+        // many queries are registered.
+        let cq = sliding_sum_query(4);
+        let mut builder = MultiRuntime::builder(RuntimeConfig {
+            shards: 1,
+            allowed_lateness: 2,
+            emit_interval: 1,
+            ..RuntimeConfig::default()
+        });
+        let a = builder.register(Arc::clone(&cq));
+        let b = builder.register(Arc::clone(&cq));
+        let multi = builder.start().unwrap();
+        multi.ingest(
+            (1..=100).map(|t| KeyedEvent::new(5, 0, Event::point(Time::new(t), Value::Float(1.0)))),
+        );
+        multi.ingest([KeyedEvent::new(5, 0, Event::point(Time::new(3), Value::Float(9.0)))]);
+        let out = multi.finish_at(Time::new(104));
+        assert_eq!(out.stats.late_dropped, 1, "dropped once, not once per query");
+        let clean: Vec<Event<Value>> =
+            (1..=100).map(|t| Event::point(Time::new(t), Value::Float(1.0))).collect();
+        let expected = replay(&cq, &clean, Time::new(104));
+        for qid in [a, b] {
+            assert!(streams_equivalent(
+                &coalesce(&expected),
+                &coalesce(&out.per_query[qid.index()][&5])
+            ));
+        }
+    }
+
+    #[test]
+    fn mixed_arity_group_waits_for_quiet_source_until_promised() {
+        // Group-wide watermark semantics (documented on MultiRuntime): a
+        // 1-input query co-registered with a 2-input query is gated by the
+        // 2-input query's second source. With source 1 silent nothing
+        // streams; an explicit watermark promise on source 1 releases
+        // emission for everyone; the flush output still matches replay.
+        let single = sliding_sum_query(4);
+        let dual = {
+            let mut b = Query::builder();
+            let a_in = b.input("a", DataType::Float);
+            let b_in = b.input("b", DataType::Float);
+            let sum = b.temporal(
+                "sum",
+                TDom::every_tick(),
+                Expr::reduce_window(ReduceOp::Sum, a_in, 4).add(Expr::reduce_window(
+                    ReduceOp::Sum,
+                    b_in,
+                    4,
+                )),
+            );
+            Arc::new(Compiler::new().compile(&b.finish(sum).unwrap()).unwrap())
+        };
+        let streamed = Arc::new(std::sync::Mutex::new(Vec::<Event<Value>>::new()));
+        let sink_store = Arc::clone(&streamed);
+        let mut builder = MultiRuntime::builder(RuntimeConfig {
+            shards: 1,
+            emit_interval: 1,
+            ..RuntimeConfig::default()
+        });
+        let single_id = builder.register_with_sink(
+            Arc::clone(&single),
+            Arc::new(move |_key, events| {
+                sink_store.lock().unwrap().extend(events.iter().cloned());
+            }),
+        );
+        builder.register(dual);
+        let multi = builder.start().unwrap();
+
+        multi.ingest(key_events(1, 40)); // source 0 only; source 1 silent
+                                         // The quiet source holds the group watermark at -inf: nothing may
+                                         // stream yet (bounded wait to let the shard process the batch).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        while std::time::Instant::now() < deadline {
+            assert!(
+                streamed.lock().unwrap().is_empty(),
+                "1-input query streamed while the group watermark was held"
+            );
+            std::thread::yield_now();
+        }
+        // An explicit promise on the silent source releases emission.
+        multi.watermark(1, Time::new(40));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while streamed.lock().unwrap().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(
+            !streamed.lock().unwrap().is_empty(),
+            "explicit watermark on the quiet source must unstick streaming"
+        );
+        let out = multi.finish_at(Time::new(44));
+        assert!(out.per_query[single_id.index()][&1].is_empty(), "sink consumed the events");
+        let expected = replay(
+            &single,
+            &key_events(1, 40).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+            Time::new(44),
+        );
+        let streamed: Vec<Event<Value>> = streamed.lock().unwrap().clone();
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&streamed)));
+    }
+
+    #[test]
+    fn multi_runtime_rejects_conflicting_source_types() {
+        let float_q = sliding_sum_query(4);
+        let int_q = {
+            let mut b = Query::builder();
+            let input = b.input("x", DataType::Int);
+            let s =
+                b.temporal("s", TDom::every_tick(), Expr::reduce_window(ReduceOp::Count, input, 4));
+            Arc::new(Compiler::new().compile(&b.finish(s).unwrap()).unwrap())
+        };
+        let mut builder = MultiRuntime::builder(RuntimeConfig::default());
+        builder.register(float_q);
+        builder.register(int_q);
+        assert!(builder.start().is_err());
+        let empty = MultiRuntime::builder(RuntimeConfig::default());
+        assert!(empty.start().is_err());
     }
 }

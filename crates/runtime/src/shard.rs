@@ -6,17 +6,22 @@
 //! floored by explicit watermark messages — see the `max_start` field for
 //! why starts, not ends), and — whenever the min-watermark crosses a new
 //! emission grid point — drains the matured prefix of every active key's
-//! buffer into that key's [`SharedStreamSession`] and advances it. Keys never migrate between shards, so shards share nothing and run
-//! synchronization-free, the runtime analogue of the paper's §6.2
-//! partition workers.
+//! buffer into that key's session and advances it. Keys never migrate
+//! between shards, so shards share nothing and run synchronization-free,
+//! the runtime analogue of the paper's §6.2 partition workers.
+//!
+//! The shard is generic over an [`Engine`]: stream management (this file)
+//! happens once per shard regardless of how many queries are registered;
+//! the engine decides whether a key's session serves one compiled query
+//! or a deduplicated [`tilt_core::sharing::QueryGroup`].
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use tilt_core::{CompiledQuery, SharedStreamSession};
 use tilt_data::{Event, Time, Value};
 
+use crate::engine::Engine;
 use crate::stats::SharedStats;
 use crate::{KeyedEvent, OutputSink, RuntimeConfig};
 
@@ -32,18 +37,66 @@ pub(crate) enum ShardMsg {
     FinishAt(Time),
 }
 
-/// Per-key state: the streaming session plus the per-source reorder
-/// buffers feeding it.
-struct KeyState {
-    session: SharedStreamSession,
+/// A per-key, per-source reorder buffer kept sorted by `(start, end)` at
+/// insertion time (monotone/binary insertion), so draining the matured
+/// prefix never re-sorts.
+///
+/// Streams are mostly in order in practice: the fast path is an O(1)
+/// append, and a displaced event pays a shift bounded by how far out of
+/// order it actually arrived — instead of the previous
+/// O(n log n)-sort-per-drain over the whole pending set.
+#[derive(Debug, Default)]
+pub(crate) struct ReorderBuf {
+    events: Vec<Event<Value>>,
+}
+
+impl ReorderBuf {
+    /// Inserts `ev` at its sorted position; ties keep arrival order
+    /// (stable, matching the previous stable sort).
+    pub(crate) fn insert(&mut self, ev: Event<Value>) {
+        let key = (ev.start, ev.end);
+        if self.events.last().is_none_or(|last| (last.start, last.end) <= key) {
+            self.events.push(ev);
+            return;
+        }
+        let i = self.events.partition_point(|e| (e.start, e.end) <= key);
+        self.events.insert(i, ev);
+    }
+
+    /// Removes and returns the matured prefix: every event starting before
+    /// `upto`, in time order. Events starting at or after the watermark
+    /// stay buffered — an earlier-starting straggler could still arrive
+    /// and must sort in front of them.
+    pub(crate) fn drain_matured(&mut self, upto: Time) -> Vec<Event<Value>> {
+        let n = self.events.partition_point(|e| e.start < upto);
+        self.events.drain(..n).collect()
+    }
+
+    /// Whether any events are pending.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of pending events.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Per-key state: the engine session plus the per-source reorder buffers
+/// feeding it.
+struct KeyState<S> {
+    session: S,
     /// Out-of-order arrivals per source, held until the watermark passes
     /// them.
-    pending: Vec<Vec<Event<Value>>>,
+    pending: Vec<ReorderBuf>,
     /// End of the last event pushed into the session, per source: the
     /// frontier behind which arrivals are unsalvageably late.
     pushed_end: Vec<Time>,
-    /// Finalized output events (drained by `finish` unless a sink is set).
-    out: Vec<Event<Value>>,
+    /// Finalized output events per query (drained by `finish` unless that
+    /// query has a sink).
+    out: Vec<Vec<Event<Value>>>,
     /// Whether events were pushed since the session last advanced.
     dirty: bool,
     /// Whether the key is already on the shard's active-visit queue.
@@ -52,18 +105,21 @@ struct KeyState {
 
 /// Everything a shard returns when it drains and exits.
 pub(crate) struct ShardOutput {
-    /// Finalized output per key (empty vectors when a sink consumed them).
-    pub(crate) per_key: Vec<(u64, Vec<Event<Value>>)>,
+    /// Finalized output per key, one vector per registered query (empty
+    /// when a sink consumed them).
+    pub(crate) per_key: Vec<(u64, Vec<Vec<Event<Value>>>)>,
 }
 
-pub(crate) struct Shard {
+pub(crate) struct Shard<E: Engine> {
     id: usize,
-    cq: Arc<CompiledQuery>,
+    engine: E,
     cfg: RuntimeConfig,
     n_sources: usize,
     grid: i64,
     lookahead: i64,
-    keys: HashMap<u64, KeyState>,
+    /// Cached `engine.kernel_counts()`: (executed, saved) per advance.
+    kernel_counts: (u64, u64),
+    keys: HashMap<u64, KeyState<E::Session>>,
     /// Per source: the largest event *start* observed on this shard.
     ///
     /// Watermarks are defined over starts, not ends: an event contributes
@@ -84,35 +140,38 @@ pub(crate) struct Shard {
     /// output tail). Emission cost scales with this set, not with the
     /// total key population.
     active: Vec<u64>,
-    sink: Option<OutputSink>,
+    /// Per registered query: where finalized events stream to, if anywhere.
+    sinks: Arc<[Option<OutputSink>]>,
     stats: Arc<SharedStats>,
 }
 
-impl Shard {
+impl<E: Engine> Shard<E> {
     pub(crate) fn new(
         id: usize,
-        cq: Arc<CompiledQuery>,
+        engine: E,
         cfg: RuntimeConfig,
-        sink: Option<OutputSink>,
+        sinks: Arc<[Option<OutputSink>]>,
         stats: Arc<SharedStats>,
     ) -> Self {
-        let n_sources = cq.query().inputs().len();
-        let grid = cq.grid();
-        let lookahead = cq.boundary().max_input_lookahead(cq.query());
+        let n_sources = engine.n_sources();
+        let grid = engine.grid();
+        let lookahead = engine.lookahead();
+        let kernel_counts = engine.kernel_counts();
         Shard {
             id,
-            cq,
+            engine,
             cfg,
             n_sources,
             grid,
             lookahead,
+            kernel_counts,
             keys: HashMap::new(),
             max_start: vec![Time::MIN; n_sources],
             max_end: Time::MIN,
             explicit: vec![Time::MIN; n_sources],
             emitted: cfg.start,
             active: Vec::new(),
-            sink,
+            sinks,
             stats,
         }
     }
@@ -147,7 +206,7 @@ impl Shard {
     fn accept(&mut self, ev: KeyedEvent) {
         assert!(
             ev.source < self.n_sources,
-            "source index {} out of range: query has {} inputs",
+            "source index {} out of range: engine reads {} sources",
             ev.source,
             self.n_sources
         );
@@ -158,12 +217,12 @@ impl Shard {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 self.stats.keys.fetch_add(1, Ordering::Relaxed);
-                let session = self.cq.shared_stream_session(self.cfg.start);
+                let session = self.engine.open(self.cfg.start);
                 e.insert(KeyState {
                     session,
-                    pending: vec![Vec::new(); self.n_sources],
+                    pending: (0..self.n_sources).map(|_| ReorderBuf::default()).collect(),
                     pushed_end: vec![self.cfg.start; self.n_sources],
-                    out: Vec::new(),
+                    out: vec![Vec::new(); self.engine.n_queries()],
                     dirty: false,
                     queued: false,
                 })
@@ -171,13 +230,15 @@ impl Shard {
         };
 
         // Beyond-lateness arrivals cannot be spliced in front of history
-        // that already reached the session; count and drop them.
-        let frontier = state.pushed_end[ev.source].max(state.session.watermark());
+        // that already reached the session; count and drop them. (Counted
+        // once per event, however many queries the engine serves.)
+        let frontier = state.pushed_end[ev.source].max(E::watermark(&state.session));
         if ev.event.start < frontier {
             self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        state.pending[ev.source].push(ev.event);
+        state.pending[ev.source].insert(ev.event);
+        self.stats.reorder_buffered.fetch_add(1, Ordering::Relaxed);
         if !state.queued {
             state.queued = true;
             self.active.push(ev.key);
@@ -220,19 +281,25 @@ impl Shard {
             return;
         }
         self.emitted = target;
-        let eager = self.sink.is_some();
-        let (sink, stats) = (&self.sink, &self.stats);
+        let eager = self.sinks.iter().any(|s| s.is_some());
+        let (sinks, stats) = (&self.sinks, &self.stats);
+        let (k_run, k_saved) = self.kernel_counts;
         let mut visit = std::mem::take(&mut self.active);
         for key in visit.drain(..) {
             let Some(state) = self.keys.get_mut(&key) else { continue };
             state.queued = false;
             Self::drain_pending(state, wm, stats);
             let mut emitted_any = false;
-            if (state.dirty || eager) && target > state.session.watermark() {
-                let emitted = state.session.advance_to(wm).to_events();
+            if (state.dirty || eager) && target > E::watermark(&state.session) {
+                let bufs = E::advance(&mut state.session, wm);
                 state.dirty = false;
-                emitted_any = !emitted.is_empty();
-                Self::deliver(key, emitted, state, sink, stats);
+                stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
+                stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
+                for (qi, buf) in bufs.into_iter().enumerate() {
+                    let emitted = buf.to_events();
+                    emitted_any |= !emitted.is_empty();
+                    Self::deliver(key, qi, emitted, state, sinks, stats);
+                }
             }
             let revisit = state.dirty
                 || state.pending.iter().any(|p| !p.is_empty())
@@ -245,20 +312,16 @@ impl Shard {
     }
 
     /// Moves every matured pending event (start < `upto`) into the
-    /// session, in time order. Events starting at or after the watermark
-    /// stay buffered: an earlier-starting straggler could still arrive and
-    /// must sort in front of them.
-    fn drain_pending(state: &mut KeyState, upto: Time, stats: &SharedStats) {
+    /// session, in time order (the buffers are kept sorted at insertion).
+    fn drain_pending(state: &mut KeyState<E::Session>, upto: Time, stats: &SharedStats) {
         for (source, pending) in state.pending.iter_mut().enumerate() {
             if pending.is_empty() {
                 continue;
             }
-            pending.sort_by_key(|e| (e.start, e.end));
-            let n = pending.partition_point(|e| e.start < upto);
-            if n == 0 {
+            let mut matured = pending.drain_matured(upto);
+            if matured.is_empty() {
                 continue;
             }
-            let mut matured: Vec<Event<Value>> = pending.drain(..n).collect();
             // Duplicate or overlapping arrivals (malformed per-key streams)
             // cannot be appended disjointly; count them as drops rather
             // than corrupting the session history.
@@ -272,7 +335,7 @@ impl Shard {
                 }
             });
             if !matured.is_empty() {
-                state.session.push_events(source, &matured);
+                E::push(&mut state.session, source, &matured);
                 state.dirty = true;
             }
         }
@@ -280,18 +343,20 @@ impl Shard {
 
     fn deliver(
         key: u64,
+        query: usize,
         events: Vec<Event<Value>>,
-        state: &mut KeyState,
-        sink: &Option<OutputSink>,
+        state: &mut KeyState<E::Session>,
+        sinks: &[Option<OutputSink>],
         stats: &SharedStats,
     ) {
         if events.is_empty() {
             return;
         }
         stats.events_out.fetch_add(events.len() as u64, Ordering::Relaxed);
-        match sink {
+        stats.events_out_query[query].fetch_add(events.len() as u64, Ordering::Relaxed);
+        match &sinks[query] {
             Some(sink) => sink(key, &events),
-            None => state.out.extend(events),
+            None => state.out[query].extend(events),
         }
     }
 
@@ -302,17 +367,109 @@ impl Shard {
         let horizon =
             finish_at.unwrap_or_else(|| self.max_end.max(self.cfg.start).align_up(self.grid));
         self.stats.shard_watermark[self.id].store(horizon.ticks(), Ordering::Relaxed);
-        let (sink, stats) = (&self.sink, &self.stats);
-        let mut per_key: Vec<(u64, Vec<Event<Value>>)> = Vec::with_capacity(self.keys.len());
+        let (sinks, stats) = (&self.sinks, &self.stats);
+        let (k_run, k_saved) = self.kernel_counts;
+        let mut per_key: Vec<(u64, Vec<Vec<Event<Value>>>)> = Vec::with_capacity(self.keys.len());
         for (key, mut state) in self.keys.drain() {
             Self::drain_pending(&mut state, Time::MAX, stats);
-            if horizon > state.session.watermark() {
-                let emitted = state.session.flush_to(horizon).to_events();
-                Self::deliver(key, emitted, &mut state, sink, stats);
+            if horizon > E::watermark(&state.session) {
+                let bufs = E::flush(&mut state.session, horizon);
+                stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
+                stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
+                for (qi, buf) in bufs.into_iter().enumerate() {
+                    let emitted = buf.to_events();
+                    Self::deliver(key, qi, emitted, &mut state, sinks, stats);
+                }
             }
             per_key.push((key, state.out));
         }
         per_key.sort_by_key(|(k, _)| *k);
         ShardOutput { per_key }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: i64, end: i64, v: f64) -> Event<Value> {
+        Event::new(Time::new(start), Time::new(end), Value::Float(v))
+    }
+
+    #[test]
+    fn monotone_insertion_preserves_drain_order() {
+        // Bounded-out-of-order arrivals; drain must be (start, end)-sorted —
+        // exactly what the previous sort-per-drain produced.
+        let mut buf = ReorderBuf::default();
+        for (s, e, v) in [(3, 4, 0.0), (1, 2, 1.0), (5, 6, 2.0), (2, 3, 3.0), (4, 5, 4.0)] {
+            buf.insert(ev(s, e, v));
+        }
+        let drained = buf.drain_matured(Time::new(5));
+        let starts: Vec<i64> = drained.iter().map(|e| e.start.ticks()).collect();
+        assert_eq!(starts, vec![1, 2, 3, 4]);
+        assert_eq!(buf.len(), 1, "event starting at 5 is not yet matured");
+        let rest = buf.drain_matured(Time::MAX);
+        assert_eq!(rest.len(), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_keep_arrival_order() {
+        // Stability: ties on (start, end) must drain in arrival order, as
+        // the previous stable sort guaranteed.
+        let mut buf = ReorderBuf::default();
+        buf.insert(ev(1, 2, 10.0));
+        buf.insert(ev(1, 2, 20.0));
+        buf.insert(ev(0, 1, 5.0));
+        buf.insert(ev(1, 2, 30.0));
+        let drained = buf.drain_matured(Time::MAX);
+        let vals: Vec<f64> = drained
+            .iter()
+            .map(|e| match e.payload {
+                Value::Float(f) => f,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vals, vec![5.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn in_order_insertion_is_append_only() {
+        // The fast path: monotone arrivals never trigger a shifting insert.
+        let mut buf = ReorderBuf::default();
+        for t in 1..=1000 {
+            buf.insert(ev(t, t + 1, t as f64));
+        }
+        assert_eq!(buf.len(), 1000);
+        let drained = buf.drain_matured(Time::new(500));
+        assert_eq!(drained.len(), 499);
+        assert!(drained.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn drain_random_interleaving_matches_sorted_reference() {
+        // Pseudo-random bounded shuffle vs a reference sort.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let mut events: Vec<Event<Value>> =
+            (0..200).map(|i| ev(i + next() % 8, i + 8 + next() % 4, i as f64)).collect();
+        let mut reference = events.clone();
+        reference.sort_by_key(|e| (e.start, e.end));
+        // Scramble arrival order deterministically.
+        for i in (1..events.len()).rev() {
+            let j = (next() as usize) % (i + 1);
+            events.swap(i, j);
+        }
+        let mut buf = ReorderBuf::default();
+        for e in events {
+            buf.insert(e);
+        }
+        let drained = buf.drain_matured(Time::MAX);
+        let got: Vec<(Time, Time)> = drained.iter().map(|e| (e.start, e.end)).collect();
+        let want: Vec<(Time, Time)> = reference.iter().map(|e| (e.start, e.end)).collect();
+        assert_eq!(got, want);
     }
 }

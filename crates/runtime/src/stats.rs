@@ -6,15 +6,27 @@ use std::time::{Duration, Instant};
 
 use tilt_data::Time;
 
-/// Shared atomic counters; one instance per [`crate::Runtime`], updated by
-/// every producer and shard thread.
+/// Shared atomic counters; one instance per runtime, updated by every
+/// producer and shard thread.
 #[derive(Debug)]
 pub(crate) struct SharedStats {
     pub(crate) started: Instant,
     pub(crate) events_in: AtomicU64,
     pub(crate) events_out: AtomicU64,
+    /// Per registered query: output events emitted for that query.
+    pub(crate) events_out_query: Vec<AtomicU64>,
     pub(crate) late_dropped: AtomicU64,
     pub(crate) keys: AtomicU64,
+    /// Events accepted into a reorder buffer. Ingestion is shared across
+    /// registered queries, so this counts each event once — N independent
+    /// runtimes would count it N times between them.
+    pub(crate) reorder_buffered: AtomicU64,
+    /// Kernel executions performed by session advances/flushes.
+    pub(crate) kernels_run: AtomicU64,
+    /// Kernel executions *avoided* by structural prefix dedup (what the
+    /// same advances would have cost without sharing, minus what they
+    /// actually cost).
+    pub(crate) kernels_saved: AtomicU64,
     pub(crate) max_event_end: AtomicI64,
     /// Per shard: events currently queued (sent, not yet received).
     pub(crate) queue_depth: Vec<AtomicI64>,
@@ -23,13 +35,17 @@ pub(crate) struct SharedStats {
 }
 
 impl SharedStats {
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, queries: usize) -> Self {
         SharedStats {
             started: Instant::now(),
             events_in: AtomicU64::new(0),
             events_out: AtomicU64::new(0),
+            events_out_query: (0..queries).map(|_| AtomicU64::new(0)).collect(),
             late_dropped: AtomicU64::new(0),
             keys: AtomicU64::new(0),
+            reorder_buffered: AtomicU64::new(0),
+            kernels_run: AtomicU64::new(0),
+            kernels_saved: AtomicU64::new(0),
             max_event_end: AtomicI64::new(Time::MIN.ticks()),
             queue_depth: (0..shards).map(|_| AtomicI64::new(0)).collect(),
             shard_watermark: (0..shards).map(|_| AtomicI64::new(Time::MIN.ticks())).collect(),
@@ -52,8 +68,16 @@ impl SharedStats {
         RuntimeStats {
             events_in,
             events_out: self.events_out.load(Ordering::Relaxed),
+            events_out_per_query: self
+                .events_out_query
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             late_dropped: self.late_dropped.load(Ordering::Relaxed),
             keys: self.keys.load(Ordering::Relaxed),
+            reorder_buffered: self.reorder_buffered.load(Ordering::Relaxed),
+            kernels_run: self.kernels_run.load(Ordering::Relaxed),
+            kernels_saved: self.kernels_saved.load(Ordering::Relaxed),
             queue_depths,
             shard_watermarks,
             min_watermark,
@@ -73,18 +97,31 @@ impl SharedStats {
 }
 
 /// A point-in-time snapshot of runtime health, returned by
-/// [`crate::Runtime::stats`].
+/// [`crate::Runtime::stats`] and [`crate::MultiRuntime::stats`].
 #[derive(Clone, Debug)]
 pub struct RuntimeStats {
-    /// Events accepted by [`crate::Runtime::ingest`] so far.
+    /// Events accepted by ingestion so far.
     pub events_in: u64,
-    /// Output events emitted across all keys so far.
+    /// Output events emitted across all keys and queries so far.
     pub events_out: u64,
+    /// Output events emitted per registered query (one entry for a
+    /// single-query [`crate::Runtime`]).
+    pub events_out_per_query: Vec<u64>,
     /// Events dropped for arriving later than the configured
     /// allowed lateness.
     pub late_dropped: u64,
     /// Distinct keys with live sessions.
     pub keys: u64,
+    /// Events accepted into per-key reorder buffers. Reorder/watermark work
+    /// is shared: this counts each ingested event once no matter how many
+    /// queries are registered, whereas N independent runtimes would buffer
+    /// and sort every event N times.
+    pub reorder_buffered: u64,
+    /// Kernel executions performed by session advances.
+    pub kernels_run: u64,
+    /// Kernel executions avoided by the structural prefix dedup across
+    /// registered queries (0 for a single-query runtime).
+    pub kernels_saved: u64,
     /// Events sitting in each shard's ingest queue (backpressure signal).
     pub queue_depths: Vec<usize>,
     /// Each shard's current low-watermark.
@@ -113,6 +150,10 @@ impl std::fmt::Display for RuntimeStats {
             self.watermark_lag,
             self.events_per_sec,
             self.queue_depths,
-        )
+        )?;
+        if self.kernels_saved > 0 {
+            write!(f, ", kernels {} run / {} deduped", self.kernels_run, self.kernels_saved)?;
+        }
+        Ok(())
     }
 }

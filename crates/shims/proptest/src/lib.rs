@@ -321,6 +321,30 @@ pub fn seed_from_name(name: &str) -> u64 {
     h
 }
 
+/// The seed a [`proptest!`] block actually runs with: the per-test-name
+/// seed, perturbed by the `PROPTEST_SEED` environment variable when set.
+///
+/// CI runs the property suites under several fixed `PROPTEST_SEED` values
+/// so each push explores distinct deterministic case streams; locally,
+/// `PROPTEST_SEED=n cargo test` reproduces exactly what CI saw for seed
+/// `n`. Unset, generation falls back to the name-derived default. Every
+/// set value perturbs — including `0` — and a value that does not parse
+/// as a `u64` panics rather than silently running the default stream.
+pub fn resolved_seed(name: &str) -> u64 {
+    let base = seed_from_name(name);
+    match std::env::var("PROPTEST_SEED") {
+        Ok(raw) => {
+            let env: u64 = raw
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {raw:?}"));
+            // Offset before mixing so seed 0 still differs from unset.
+            base ^ env.wrapping_add(0x9E3779B97F4A7C15).wrapping_mul(0xBF58476D1CE4E5B9)
+        }
+        Err(_) => base,
+    }
+}
+
 /// Uniform choice among strategies with a common value type; mirrors
 /// `proptest::prop_oneof!` (weights unsupported).
 #[macro_export]
@@ -371,7 +395,7 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+            let mut rng = $crate::TestRng::new($crate::resolved_seed(concat!(
                 module_path!(), "::", stringify!($name)
             )));
             for case in 0..config.cases {

@@ -15,7 +15,9 @@ use tilt_core::ir::{DataType, Expr};
 use tilt_core::Compiler;
 use tilt_data::{Event, Time, TimeRange, Value};
 use tilt_query::{elem, Agg, LogicalPlan, NodeId};
-use tilt_runtime::{KeyedEvent, Runtime, RuntimeConfig, RuntimeStats};
+use tilt_runtime::{
+    KeyedEvent, MultiRuntime, MultiRuntimeOutput, Runtime, RuntimeConfig, RuntimeStats,
+};
 
 /// The YSB window length in "seconds".
 pub const WINDOW_SECONDS: i64 = 10;
@@ -59,6 +61,26 @@ pub fn plan(window: i64) -> (LogicalPlan, NodeId) {
     let views = plan.where_(src, elem().eq(Expr::c(0i64)));
     let counts = plan.window(views, window, window, Agg::Count);
     (plan, counts)
+}
+
+/// How many YSB windows the correlated factor query aggregates over.
+pub const FACTOR: i64 = 6;
+
+/// The correlated *factor* query (cf. Factor Windows): the peak per-window
+/// view count within each coarse window of `factor` YSB windows — "hottest
+/// 10-second burst per campaign per minute".
+///
+/// Its first two operators (Where → Window-Count over the same ad stream)
+/// are structurally identical to [`plan`]'s, so when both queries are
+/// registered in one [`MultiRuntime`] the pane-count kernel is detected by
+/// the kernel-prefix dedup and executed once per advance, serving both.
+pub fn factor_plan(window: i64, factor: i64) -> (LogicalPlan, NodeId) {
+    let mut plan = LogicalPlan::new();
+    let src = plan.source("ad_events", DataType::Int);
+    let views = plan.where_(src, elem().eq(Expr::c(0i64)));
+    let counts = plan.window(views, window, window, Agg::Count);
+    let peak = plan.window(counts, factor * window, factor * window, Agg::Max);
+    (plan, peak)
 }
 
 /// Hash-partitions events by campaign into per-campaign event streams whose
@@ -178,17 +200,62 @@ pub fn run_tilt_runtime(
     runtime.ingest(keyed(events));
     let end = extent(events, window).end;
     let output = runtime.finish_at(end);
-    // Each output event covers one or more whole windows; adjacent windows
-    // with equal counts coalesce, so weight each event by the number of
-    // windows it spans.
-    let total = output
-        .per_key
-        .values()
+    (count_views(output.per_key.values(), end, window), output.stats)
+}
+
+/// Totals the views in per-campaign YSB window outputs, counting windows
+/// that close at or before `end`.
+///
+/// Each output event covers one or more whole windows; adjacent windows
+/// with equal counts coalesce, so each event is weighted by the number of
+/// windows it spans. Every YSB consumer (runtime, multi-runtime, bench,
+/// examples) must count this one way — use this helper, don't re-derive
+/// the fold.
+pub fn count_views<'a, I>(outputs: I, end: Time, window: i64) -> ViewCount
+where
+    I: IntoIterator<Item = &'a Vec<Event<Value>>>,
+{
+    outputs
+        .into_iter()
         .flatten()
         .filter(|e| e.end <= end)
         .filter_map(|e| Some(e.payload.as_i64()? * (e.interval().len() / window)))
-        .sum();
-    (total, output.stats)
+        .sum()
+}
+
+/// Runs YSB *and* the correlated factor query through one shared
+/// [`MultiRuntime`]: the flat (optionally out-of-order) ad stream is
+/// ingested, reorder-buffered, and watermarked **once** per shard, feeding
+/// both queries; the pane-count kernel they structurally share executes
+/// once per advance. Returns the YSB view count (query 0) and the full
+/// per-query output (query 1 is the factor query's per-campaign peaks).
+pub fn run_tilt_multi_runtime(
+    events: &[YsbEvent],
+    shards: usize,
+    window: i64,
+    allowed_lateness: i64,
+) -> (ViewCount, MultiRuntimeOutput) {
+    let (p1, out1) = plan(window);
+    let (p2, out2) = factor_plan(window, FACTOR);
+    let q1 = tilt_query::lower(&p1, out1).expect("YSB lowers");
+    let q2 = tilt_query::lower(&p2, out2).expect("factor query lowers");
+    let cq1 = Arc::new(Compiler::new().compile(&q1).expect("YSB compiles"));
+    let cq2 = Arc::new(Compiler::new().compile(&q2).expect("factor query compiles"));
+
+    let mut builder = MultiRuntime::builder(RuntimeConfig {
+        shards,
+        allowed_lateness,
+        emit_interval: window,
+        ..RuntimeConfig::default()
+    });
+    let ysb_id = builder.register(cq1);
+    let _factor_id = builder.register(cq2);
+    let runtime = builder.start().expect("queries share the ad stream source");
+    runtime.ingest(keyed(events));
+    let end = extent(events, FACTOR * window).end;
+    let output = runtime.finish_at(end);
+    let views = count_views(output.per_query[ysb_id.index()].values(), end, window);
+    (views, output)
 }
 
 /// Runs YSB on the Trill baseline: one operator graph per campaign
@@ -314,6 +381,67 @@ mod tests {
         let (views_strict, stats_strict) = run_tilt_runtime(&shuffled, 2, window, 0);
         assert!(stats_strict.late_dropped > 0);
         assert!(views_strict < expected);
+    }
+
+    #[test]
+    fn multi_runtime_shares_ingestion_and_counts_views() {
+        let campaigns = 8;
+        let window = window_ticks(40);
+        let events = generate(4000, campaigns, 99);
+        let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
+        for shards in [1usize, 2] {
+            let (views, out) = run_tilt_multi_runtime(&events, shards, window, 0);
+            assert_eq!(views, expected, "shards={shards}");
+            assert_eq!(out.stats.late_dropped, 0);
+            // One shared ingestion pass: each event reorder-buffered once,
+            // not once per query.
+            assert_eq!(out.stats.reorder_buffered, events.len() as u64);
+            // The pane-count kernel is structurally shared between YSB and
+            // the factor query and must have been deduplicated.
+            assert!(out.stats.kernels_saved > 0, "prefix dedup never fired");
+        }
+    }
+
+    #[test]
+    fn multi_runtime_factor_query_matches_standalone() {
+        // Differential check at the workload level: the factor query served
+        // from the shared runtime (with its pane prefix deduped into YSB's
+        // kernel) produces exactly what it produces alone, in-order and
+        // under bounded disorder.
+        let campaigns = 6;
+        let window = window_ticks(20);
+        let events = generate(3000, campaigns, 5);
+        let shuffled = shuffle_bounded(&events, 32, 3);
+        let end = extent(&events, FACTOR * window).end;
+        for (input, lateness) in [(&events, 0i64), (&shuffled, 66i64)] {
+            let (_, multi) = run_tilt_multi_runtime(input, 2, window, lateness);
+            assert_eq!(multi.stats.late_dropped, 0);
+
+            let (fp, fout) = factor_plan(window, FACTOR);
+            let q = tilt_query::lower(&fp, fout).unwrap();
+            let cq = Arc::new(Compiler::new().compile(&q).unwrap());
+            let solo = Runtime::start(
+                cq,
+                RuntimeConfig {
+                    shards: 2,
+                    allowed_lateness: lateness,
+                    emit_interval: window,
+                    ..RuntimeConfig::default()
+                },
+            );
+            solo.ingest(keyed(input));
+            let solo_out = solo.finish_at(end);
+            assert_eq!(solo_out.per_key.len(), multi.per_query[1].len());
+            for (key, events) in &solo_out.per_key {
+                assert!(
+                    tilt_data::streams_equivalent(
+                        &tilt_data::coalesce(events),
+                        &tilt_data::coalesce(&multi.per_query[1][key])
+                    ),
+                    "campaign {key}: shared factor output diverged from standalone"
+                );
+            }
+        }
     }
 
     #[test]
