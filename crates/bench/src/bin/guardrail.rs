@@ -1,0 +1,256 @@
+//! CI regression guardrail: re-checks the **machine-independent
+//! invariants** in the bench binaries' `--json` reports.
+//!
+//! Raw throughput depends on the runner (the CI container is 1-core, so
+//! shard-scaling ratios are meaningless there); what must *never* regress
+//! are the correctness-shaped facts the benches establish:
+//!
+//! * `runtime_shards`: zero late drops, in-order and with bounded
+//!   disorder, at every shard count;
+//! * `multi_query`: each event reorder-buffered exactly once for all
+//!   registered queries, zero late drops, and a kernel-dedup ratio at
+//!   least as good as the query set structurally guarantees (≥ 1/3 for
+//!   YSB + tenant copy + factor query);
+//! * `hardening`: `evictions == revivals` (> 0) with zero late drops
+//!   under skew, both backstop policies holding their cap (drop-and-count
+//!   exact, force-drain lossless), and exactly one quarantined key with
+//!   every healthy key's output intact.
+//!
+//! ```sh
+//! cargo run --release --bin guardrail -- bench-artifacts/
+//! cargo run --release --bin guardrail -- a.json b.json
+//! ```
+//!
+//! Exits non-zero (after printing every violation) if any invariant fails,
+//! if a file does not parse, or if no report was checked at all.
+
+use std::path::{Path, PathBuf};
+
+use tilt_bench::json::{parse, Json};
+
+/// One report's check results.
+struct Outcome {
+    file: PathBuf,
+    bench: String,
+    violations: Vec<String>,
+    checked: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: guardrail <report.json | directory>...");
+        std::process::exit(2);
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in &args {
+        let path = Path::new(arg);
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+                .unwrap_or_else(|e| panic!("read directory {arg}: {e}"))
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    if files.is_empty() {
+        eprintln!("guardrail: no .json reports found under {args:?}");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    let mut total_checks = 0usize;
+    for file in files {
+        let outcome = check_file(&file);
+        total_checks += outcome.checked;
+        if outcome.violations.is_empty() {
+            println!(
+                "ok   {} [{}]: {} invariants hold",
+                outcome.file.display(),
+                outcome.bench,
+                outcome.checked
+            );
+        } else {
+            failed = true;
+            println!("FAIL {} [{}]:", outcome.file.display(), outcome.bench);
+            for v in &outcome.violations {
+                println!("     - {v}");
+            }
+        }
+    }
+    if total_checks == 0 {
+        eprintln!("guardrail: reports parsed but nothing was checked — unknown bench names?");
+        std::process::exit(2);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn check_file(file: &Path) -> Outcome {
+    let mut outcome = Outcome {
+        file: file.to_path_buf(),
+        bench: "?".to_string(),
+        violations: Vec::new(),
+        checked: 0,
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            outcome.violations.push(format!("unreadable: {e}"));
+            return outcome;
+        }
+    };
+    let report = match parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            outcome.violations.push(format!("invalid JSON: {e}"));
+            return outcome;
+        }
+    };
+    let bench = report.get("bench").and_then(Json::as_str).unwrap_or("?").to_string();
+    outcome.bench = bench.clone();
+    let mut check = Checker { report: &report, outcome: &mut outcome };
+    match bench.as_str() {
+        "runtime_shards" => {
+            check.eq_i64("invariants.late_dropped_inorder", 0);
+            check.eq_i64("invariants.late_dropped_ooo", 0);
+            check.is_true("invariants.views_match_expected");
+        }
+        "multi_query" => {
+            check.eq_i64("invariants.late_dropped", 0);
+            check.fields_equal("invariants.reorder_buffered", "invariants.events_ingested");
+            // The YSB + tenant-copy + factor set structurally dedups at
+            // least a third of kernel executions; the exact ratio is
+            // schedule-independent (saved/run scale together per advance).
+            check.ratio_at_least("invariants.kernels_saved", "invariants.kernels_run", 0.5);
+        }
+        "hardening" => {
+            check.fields_equal("eviction.final.evictions", "eviction.final.revivals");
+            check.gt_i64("eviction.final.evictions", 0);
+            check.eq_i64("eviction.final.late_dropped", 0);
+            check.lt_fields("eviction.steady_state.live_keys", "eviction.steady_state.keys_seen");
+            check.fields_equal(
+                "backstop.drop_newest.backstop_dropped",
+                "backstop.drop_newest.expected_dropped",
+            );
+            check.le_fields("backstop.drop_newest.max_pending_sampled", "backstop.cap");
+            check.eq_i64("backstop.force_drain.backstop_dropped", 0);
+            check.eq_i64("backstop.force_drain.late_dropped", 0);
+            check.gt_i64("backstop.force_drain.backstop_forced", 0);
+            check.is_true("backstop.force_drain.lossless_vs_uncapped");
+            check.eq_i64("quarantine.keys_quarantined", 1);
+            check.le_fields("quarantine.quarantine_dropped_min", "quarantine.quarantine_dropped");
+            check.is_true("quarantine.healthy_keys_intact");
+        }
+        other => {
+            check
+                .outcome
+                .violations
+                .push(format!("unknown bench name {other:?} (guardrail needs updating?)"));
+        }
+    }
+    outcome
+}
+
+/// Dotted-path invariant checks over one report.
+struct Checker<'a> {
+    report: &'a Json,
+    outcome: &'a mut Outcome,
+}
+
+impl Checker<'_> {
+    fn lookup(&mut self, path: &str) -> Option<Json> {
+        let mut cur = self.report;
+        for part in path.split('.') {
+            match cur.get(part) {
+                Some(v) => cur = v,
+                None => {
+                    self.outcome.violations.push(format!("missing field {path}"));
+                    return None;
+                }
+            }
+        }
+        Some(cur.clone())
+    }
+
+    fn num(&mut self, path: &str) -> Option<f64> {
+        let v = self.lookup(path)?;
+        match v.as_f64() {
+            Some(x) => Some(x),
+            None => {
+                self.outcome.violations.push(format!("{path} is not a number"));
+                None
+            }
+        }
+    }
+
+    fn eq_i64(&mut self, path: &str, expect: i64) {
+        self.outcome.checked += 1;
+        if let Some(x) = self.num(path) {
+            if x != expect as f64 {
+                self.outcome.violations.push(format!("{path} = {x}, expected {expect}"));
+            }
+        }
+    }
+
+    fn gt_i64(&mut self, path: &str, floor: i64) {
+        self.outcome.checked += 1;
+        if let Some(x) = self.num(path) {
+            if x <= floor as f64 {
+                self.outcome.violations.push(format!("{path} = {x}, expected > {floor}"));
+            }
+        }
+    }
+
+    fn is_true(&mut self, path: &str) {
+        self.outcome.checked += 1;
+        if let Some(v) = self.lookup(path) {
+            if v.as_bool() != Some(true) {
+                self.outcome.violations.push(format!("{path} = {v}, expected true"));
+            }
+        }
+    }
+
+    fn fields_equal(&mut self, a: &str, b: &str) {
+        self.outcome.checked += 1;
+        if let (Some(x), Some(y)) = (self.num(a), self.num(b)) {
+            if x != y {
+                self.outcome.violations.push(format!("{a} = {x} but {b} = {y}"));
+            }
+        }
+    }
+
+    fn le_fields(&mut self, a: &str, b: &str) {
+        self.outcome.checked += 1;
+        if let (Some(x), Some(y)) = (self.num(a), self.num(b)) {
+            if x > y {
+                self.outcome.violations.push(format!("{a} = {x} exceeds {b} = {y}"));
+            }
+        }
+    }
+
+    fn lt_fields(&mut self, a: &str, b: &str) {
+        self.outcome.checked += 1;
+        if let (Some(x), Some(y)) = (self.num(a), self.num(b)) {
+            if x >= y {
+                self.outcome.violations.push(format!("{a} = {x}, expected < {b} = {y}"));
+            }
+        }
+    }
+
+    fn ratio_at_least(&mut self, num: &str, den: &str, floor: f64) {
+        self.outcome.checked += 1;
+        if let (Some(x), Some(y)) = (self.num(num), self.num(den)) {
+            if y <= 0.0 || x / y < floor {
+                self.outcome
+                    .violations
+                    .push(format!("{num} / {den} = {x}/{y}, expected ratio >= {floor}"));
+            }
+        }
+    }
+}

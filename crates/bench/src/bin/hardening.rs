@@ -1,0 +1,370 @@
+//! Runtime hardening under hostile traffic: steady-state memory and
+//! throughput with **Zipf-skewed keys** (idle-session eviction), a
+//! **pinned watermark** (reorder-buffer backstop, both policies), and a
+//! **poisoned key** (panic quarantine).
+//!
+//! Three sections, each exercising one hardening mechanism end to end:
+//!
+//! 1. *Eviction*: a Zipf(1.2) keyed stream over many keys with
+//!    `key_ttl` set — the hot set stays resident while the long tail is
+//!    retired; a final revival sweep touches every key once, so
+//!    `evictions == revivals` exactly.
+//! 2. *Backstop*: an enormous allowed lateness pins the watermark, so
+//!    reorder buffers are the only place events can live; the per-shard
+//!    cap holds under both `DropNewest` (bounded, counted loss) and
+//!    `ForceDrain` (bounded, lossless for in-order input).
+//! 3. *Quarantine*: one key's kernel panics mid-stream; every other key's
+//!    output is byte-identical to an unpoisoned replay.
+//!
+//! ```sh
+//! cargo run --release --bin hardening -- --events 2000000 --json out.json
+//! ```
+//!
+//! The `--json` report carries machine-independent invariants that the CI
+//! `guardrail` binary re-checks; throughput numbers are informational.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tilt_bench::json::Json;
+use tilt_bench::{fmt_meps, meps, print_table, time_it, write_json_report, RunCfg};
+use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+use tilt_core::{CompiledQuery, Compiler};
+use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
+use tilt_runtime::{BackstopPolicy, KeyedEvent, Runtime, RuntimeConfig, RuntimeStats};
+use tilt_workloads::gen;
+use tilt_workloads::gen::{poisonable_sum, silence_poison_panics};
+
+fn sliding_sum(window: i64) -> Arc<CompiledQuery> {
+    let mut b = Query::builder();
+    let input = b.input("x", DataType::Float);
+    let out =
+        b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, window));
+    Arc::new(Compiler::new().compile(&b.finish(out).unwrap()).unwrap())
+}
+
+fn wait_for(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        if done() {
+            return true;
+        }
+        std::thread::yield_now();
+    }
+    done()
+}
+
+/// Section 1: Zipf-skewed traffic with idle eviction.
+fn eviction_section(cfg: &RunCfg, shards: usize) -> (Vec<Vec<String>>, Json) {
+    let num_keys = (cfg.events / 100).clamp(1_000, 50_000);
+    let ttl = 4_096i64;
+    let window = 16i64;
+    let stream = gen::zipf_keyed_floats(cfg.events, num_keys, 1.2, 42);
+    let stream_end = Time::new(cfg.events as i64);
+
+    let emitted = Arc::new(AtomicU64::new(0));
+    let sink_count = Arc::clone(&emitted);
+    let runtime = Runtime::start_with_sink(
+        sliding_sum(window),
+        RuntimeConfig {
+            shards,
+            allowed_lateness: 0,
+            emit_interval: 256,
+            key_ttl: Some(ttl),
+            ..RuntimeConfig::default()
+        },
+        Arc::new(move |_key, events| {
+            sink_count.fetch_add(events.len() as u64, Ordering::Relaxed);
+        }),
+    );
+
+    // Ingest in chunks, sampling the live-session and buffer gauges: the
+    // steady-state memory story is the row series, not one number.
+    let mut samples: Vec<RuntimeStats> = Vec::new();
+    let chunk = (stream.len() / 8).max(1);
+    let (_, ingest_time) = time_it(|| {
+        for part in stream.chunks(chunk) {
+            runtime.ingest(part.iter().map(|(k, e)| KeyedEvent::new(*k, 0, e.clone())));
+            samples.push(runtime.stats());
+        }
+    });
+
+    // Let the shards drain to the stream head so the idle sweeps have run,
+    // then revive every key with one fresh event each. The sweep uses
+    // non-decreasing times (no revival can land behind an eviction
+    // frontier) and is time-compressed to span at most ttl/2 ticks — a
+    // sweep longer than the TTL would let its own early revivals idle out
+    // and be re-evicted with no revival to match.
+    let settled = wait_for(Duration::from_secs(60), || {
+        let s = runtime.stats();
+        s.min_watermark >= Time::new(stream_end.ticks() - 8 * 256) && s.evictions > 0
+    });
+    assert!(settled, "watermark never reached the stream head (or nothing was evicted)");
+    let steady = runtime.stats();
+    let keys_per_tick = num_keys.div_ceil((ttl / 2) as usize) as i64;
+    let sweep_span = num_keys as i64 / keys_per_tick + 1;
+    runtime.ingest((0..num_keys as u64).map(|k| {
+        KeyedEvent::new(
+            k,
+            0,
+            Event::point(
+                Time::new(stream_end.ticks() + ttl + k as i64 / keys_per_tick + 1),
+                Value::Float(1.0),
+            ),
+        )
+    }));
+    let out = runtime.finish_at(Time::new(stream_end.ticks() + ttl + sweep_span + window));
+
+    assert_eq!(out.stats.late_dropped, 0, "in-order skewed stream must lose nothing");
+    assert_eq!(
+        out.stats.evictions, out.stats.revivals,
+        "the revival sweep must bring every evicted key back"
+    );
+    assert!(out.stats.evictions > 0, "the tail must idle out under skew");
+    assert!(steady.live_keys < steady.keys, "steady state must hold fewer sessions than keys seen");
+
+    let throughput = meps(cfg.events, ingest_time);
+    let mut rows = Vec::new();
+    for s in &samples {
+        rows.push(vec![
+            s.events_in.to_string(),
+            s.keys.to_string(),
+            s.live_keys.to_string(),
+            s.evictions.to_string(),
+            s.reorder_pending.iter().sum::<usize>().to_string(),
+        ]);
+    }
+    rows.push(vec![
+        format!("{} (final)", out.stats.events_in),
+        out.stats.keys.to_string(),
+        out.stats.live_keys.to_string(),
+        out.stats.evictions.to_string(),
+        "0".to_string(),
+    ]);
+
+    let json = Json::obj([
+        ("events", cfg.events.into()),
+        ("keys", num_keys.into()),
+        ("zipf_exponent", 1.2.into()),
+        ("ttl", ttl.into()),
+        ("shards", shards.into()),
+        ("throughput_meps", throughput.into()),
+        ("events_out", emitted.load(Ordering::Relaxed).into()),
+        (
+            "steady_state",
+            Json::obj([
+                ("keys_seen", steady.keys.into()),
+                ("live_keys", steady.live_keys.into()),
+                ("evictions", steady.evictions.into()),
+            ]),
+        ),
+        (
+            "final",
+            Json::obj([
+                ("keys_seen", out.stats.keys.into()),
+                ("live_keys", out.stats.live_keys.into()),
+                ("evictions", out.stats.evictions.into()),
+                ("revivals", out.stats.revivals.into()),
+                ("late_dropped", out.stats.late_dropped.into()),
+            ]),
+        ),
+    ]);
+    println!(
+        "eviction: {} keys, steady-state {} live ({} evicted), {} Mev/s ingest",
+        steady.keys,
+        steady.live_keys,
+        steady.evictions,
+        fmt_meps(throughput)
+    );
+    (rows, json)
+}
+
+/// Section 2: watermark pinned by huge lateness; the per-shard cap bounds
+/// buffered events under both policies.
+fn backstop_section(cfg: &RunCfg) -> Json {
+    let n = (cfg.events / 20).clamp(20_000, 200_000);
+    let cap = 4_096usize;
+    let keys = 32u64;
+    let window = 16i64;
+    let stream: Vec<KeyedEvent> = (1..=n as i64)
+        .map(|t| KeyedEvent::new(t as u64 % keys, 0, Event::point(Time::new(t), Value::Float(1.0))))
+        .collect();
+    let config = |policy| RuntimeConfig {
+        shards: 1,
+        allowed_lateness: 1_000_000_000,
+        emit_interval: 64,
+        max_pending_per_shard: Some(cap),
+        backstop: policy,
+        ..RuntimeConfig::default()
+    };
+    let end = Time::new(n as i64 + window);
+
+    // Drop-and-count: strict bound, counted loss.
+    // Samples taken only after the ingest queue drains are meaningful: the
+    // shard thread may not even have been scheduled while ingest runs.
+    let settled_backlog = |runtime: &Runtime| -> usize {
+        let drained = wait_for(Duration::from_secs(60), || {
+            let s = runtime.stats();
+            s.queue_depths.iter().sum::<usize>() == 0 && s.events_in == n as u64
+        });
+        assert!(drained, "shard never drained its ingest queue");
+        runtime.stats().reorder_pending.iter().sum()
+    };
+
+    let runtime = Runtime::start(sliding_sum(window), config(BackstopPolicy::DropNewest));
+    runtime.ingest(stream.iter().cloned());
+    let max_pending = settled_backlog(&runtime);
+    let drop_out = runtime.finish_at(end);
+    assert_eq!(
+        drop_out.stats.backstop_dropped,
+        (n - cap) as u64,
+        "everything past the cap is refused while the watermark is pinned"
+    );
+    assert_eq!(max_pending, cap, "a pinned watermark holds exactly the cap");
+
+    // Force-drain: same bound, nothing lost on in-order input.
+    let runtime = Runtime::start(sliding_sum(window), config(BackstopPolicy::ForceDrain));
+    runtime.ingest(stream.iter().cloned());
+    let force_max_pending = settled_backlog(&runtime);
+    let force_out = runtime.finish_at(end);
+    assert_eq!(force_out.stats.backstop_dropped, 0);
+    assert_eq!(force_out.stats.late_dropped, 0, "in-order input loses nothing to force-drain");
+    assert!(force_out.stats.backstop_forced > 0, "the cap must have fired");
+    assert!(force_max_pending <= cap + 1, "force-drain backlog exceeded the cap");
+
+    // Lossless: force-drained output equals an uncapped baseline, per key.
+    let baseline = Runtime::start(
+        sliding_sum(window),
+        RuntimeConfig { shards: 1, allowed_lateness: 1_000_000_000, ..RuntimeConfig::default() },
+    );
+    baseline.ingest(stream.iter().cloned());
+    let base_out = baseline.finish_at(end);
+    let lossless = (0..keys).all(|k| {
+        streams_equivalent(&coalesce(&base_out.per_key[&k]), &coalesce(&force_out.per_key[&k]))
+    });
+    assert!(lossless, "force-drain diverged from the uncapped baseline");
+
+    println!(
+        "backstop: cap {cap}, pinned watermark; drop policy refused {} of {} events \
+         (max backlog {max_pending}); force-drain forced {} and lost none",
+        drop_out.stats.backstop_dropped, n, force_out.stats.backstop_forced
+    );
+    Json::obj([
+        ("events", n.into()),
+        ("cap", cap.into()),
+        (
+            "drop_newest",
+            Json::obj([
+                ("backstop_dropped", drop_out.stats.backstop_dropped.into()),
+                ("expected_dropped", (n - cap).into()),
+                ("max_pending_sampled", max_pending.into()),
+            ]),
+        ),
+        (
+            "force_drain",
+            Json::obj([
+                ("backstop_forced", force_out.stats.backstop_forced.into()),
+                ("backstop_dropped", force_out.stats.backstop_dropped.into()),
+                ("late_dropped", force_out.stats.late_dropped.into()),
+                ("max_pending_sampled", force_max_pending.into()),
+                ("lossless_vs_uncapped", lossless.into()),
+            ]),
+        ),
+    ])
+}
+
+/// Section 3: one poisoned key panics its kernel; every other key's output
+/// is identical to an unpoisoned replay.
+fn quarantine_section(cfg: &RunCfg) -> Json {
+    let keys = 64u64;
+    let ticks = ((cfg.events / keys as usize) / 2).clamp(500, 20_000) as i64;
+    let half = ticks / 2;
+    let poison_key = 13u64;
+    let window = 8i64;
+    let cq = poisonable_sum(window);
+
+    // Silence the deliberate panic (and only it): the runtime catches the
+    // unwind, but the default hook would still spam stderr.
+    silence_poison_panics();
+
+    let runtime = Runtime::start(
+        Arc::clone(&cq),
+        RuntimeConfig { shards: 2, emit_interval: 32, ..RuntimeConfig::default() },
+    );
+    let phase = |lo: i64, hi: i64| {
+        let mut events = Vec::new();
+        for t in lo..=hi {
+            for k in 0..keys {
+                let v = if k == poison_key && t == half / 2 { -1.0 } else { (t % 17) as f64 };
+                events.push(KeyedEvent::new(k, 0, Event::point(Time::new(t), Value::Float(v))));
+            }
+        }
+        events
+    };
+    runtime.ingest(phase(1, half));
+    let caught = wait_for(Duration::from_secs(60), || runtime.stats().keys_quarantined == 1);
+    assert!(caught, "the poisoned key was never quarantined");
+    runtime.ingest(phase(half + 1, ticks));
+    let out = runtime.finish_at(Time::new(ticks + window));
+
+    assert_eq!(out.stats.keys_quarantined, 1, "exactly one key is poisoned");
+    // At least every phase-B event for the poisoned key is refused; the
+    // quarantine usually fires mid-phase-A, catching some of its tail too.
+    assert!(
+        out.stats.quarantine_dropped >= (ticks - half) as u64,
+        "post-quarantine events for the poisoned key must be refused and counted (got {})",
+        out.stats.quarantine_dropped
+    );
+    // Healthy keys all saw identical inputs: their outputs must match the
+    // in-order replay exactly.
+    let clean: Vec<Event<Value>> =
+        (1..=ticks).map(|t| Event::point(Time::new(t), Value::Float((t % 17) as f64))).collect();
+    let mut session = cq.stream_session(Time::ZERO);
+    session.push_events(0, &clean);
+    let expected = session.flush_to(Time::new(ticks + window)).to_events();
+    let healthy_intact = (0..keys)
+        .filter(|k| *k != poison_key)
+        .all(|k| streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&k])));
+    assert!(healthy_intact, "a healthy key's output was corrupted by the poisoned one");
+
+    println!(
+        "quarantine: poisoned key {} isolated ({} later events refused); {} healthy keys intact",
+        poison_key,
+        out.stats.quarantine_dropped,
+        keys - 1
+    );
+    Json::obj([
+        ("keys", keys.into()),
+        ("ticks", ticks.into()),
+        ("keys_quarantined", out.stats.keys_quarantined.into()),
+        ("quarantine_dropped", out.stats.quarantine_dropped.into()),
+        ("quarantine_dropped_min", (ticks - half).into()),
+        ("healthy_keys_intact", healthy_intact.into()),
+    ])
+}
+
+fn main() {
+    let cfg = RunCfg::from_args(2_000_000);
+    let shards = cfg.threads.clamp(1, 4);
+
+    let (rows, eviction) = eviction_section(&cfg, shards);
+    print_table(
+        "Hardening — steady-state sessions under Zipf skew (idle eviction)",
+        "sampled during ingest; the final row is the post-revival-sweep state",
+        &["events_in", "keys_seen", "live_keys", "evictions", "buffered"],
+        &rows,
+    );
+    let backstop = backstop_section(&cfg);
+    let quarantine = quarantine_section(&cfg);
+
+    write_json_report(
+        &cfg,
+        &Json::obj([
+            ("bench", "hardening".into()),
+            ("eviction", eviction),
+            ("backstop", backstop),
+            ("quarantine", quarantine),
+        ]),
+    );
+}

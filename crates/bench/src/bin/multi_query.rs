@@ -16,7 +16,8 @@
 
 use std::sync::Arc;
 
-use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, RunCfg};
+use tilt_bench::json::Json;
+use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, write_json_report, RunCfg};
 use tilt_core::Compiler;
 use tilt_runtime::{MultiRuntime, Runtime, RuntimeConfig};
 use tilt_workloads::ysb;
@@ -90,6 +91,7 @@ fn main() {
 
     let shard_counts: [usize; 3] = [1, 2, 4];
     let mut rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     for &shards in &shard_counts {
         // Shared: one runtime, one ingestion pass, N outputs.
         let t_shared = best_throughput(cfg.events, cfg.runs, || {
@@ -130,6 +132,11 @@ fn main() {
             fmt_meps(t_indep),
             fmt_ratio(t_shared / t_indep),
         ]);
+        json_rows.push(Json::obj([
+            ("shards", shards.into()),
+            ("shared_meps", t_shared.into()),
+            ("independent_meps", t_indep.into()),
+        ]));
     }
 
     print_table(
@@ -142,5 +149,29 @@ fn main() {
         ),
         &["shards", "shared", "independent", "speedup"],
         &rows,
+    );
+
+    // Machine-readable results; the kernel-dedup accounting and the
+    // buffer-once guarantee are the guardrail invariants (throughput is
+    // informational).
+    write_json_report(
+        &cfg,
+        &Json::obj([
+            ("bench", "multi_query".into()),
+            ("events", cfg.events.into()),
+            ("queries", queries.len().into()),
+            ("window", window.into()),
+            ("rows", Json::Arr(json_rows)),
+            (
+                "invariants",
+                Json::obj([
+                    ("late_dropped", probe.stats.late_dropped.into()),
+                    ("reorder_buffered", probe.stats.reorder_buffered.into()),
+                    ("events_ingested", events.len().into()),
+                    ("kernels_run", probe.stats.kernels_run.into()),
+                    ("kernels_saved", probe.stats.kernels_saved.into()),
+                ]),
+            ),
+        ]),
     );
 }

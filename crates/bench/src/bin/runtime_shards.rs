@@ -11,7 +11,8 @@
 //! cargo run --release --bin runtime_shards -- --events 2000000
 //! ```
 
-use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, RunCfg};
+use tilt_bench::json::Json;
+use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, write_json_report, RunCfg};
 use tilt_workloads::ysb;
 
 fn main() {
@@ -28,20 +29,23 @@ fn main() {
     let shard_counts: [usize; 4] = [1, 2, 4, 8];
 
     let mut rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut late_inorder = 0u64;
+    let mut late_ooo = 0u64;
     let mut base_inorder = 0.0f64;
     let mut base_ooo = 0.0f64;
     for &shards in &shard_counts {
         let t_inorder = best_throughput(cfg.events, cfg.runs, || {
             let (views, stats) = ysb::run_tilt_runtime(&events, shards, window, 0);
             assert_eq!(views, expected, "in-order run must count every view");
-            assert_eq!(stats.late_dropped, 0);
+            late_inorder += stats.late_dropped;
             views as usize
         });
         let t_ooo = best_throughput(cfg.events, cfg.runs, || {
             let (views, stats) =
                 ysb::run_tilt_runtime(&shuffled, shards, window, 2 * displacement as i64 + 2);
             assert_eq!(views, expected, "bounded lateness must absorb the shuffle");
-            assert_eq!(stats.late_dropped, 0);
+            late_ooo += stats.late_dropped;
             views as usize
         });
         if shards == 1 {
@@ -55,6 +59,11 @@ fn main() {
             fmt_meps(t_ooo),
             fmt_ratio(t_ooo / base_ooo),
         ]);
+        json_rows.push(Json::obj([
+            ("shards", shards.into()),
+            ("inorder_meps", t_inorder.into()),
+            ("ooo_meps", t_ooo.into()),
+        ]));
     }
 
     print_table(
@@ -67,5 +76,28 @@ fn main() {
         ),
         &["shards", "in-order", "speedup", "ooo", "speedup"],
         &rows,
+    );
+
+    // Machine-readable results + the machine-independent invariants the CI
+    // guardrail re-checks (throughput numbers are informational only).
+    write_json_report(
+        &cfg,
+        &Json::obj([
+            ("bench", "runtime_shards".into()),
+            ("events", cfg.events.into()),
+            ("campaigns", campaigns.into()),
+            ("window", window.into()),
+            ("displacement", displacement.into()),
+            ("rows", Json::Arr(json_rows)),
+            (
+                "invariants",
+                Json::obj([
+                    ("expected_views", expected.into()),
+                    ("views_match_expected", true.into()),
+                    ("late_dropped_inorder", late_inorder.into()),
+                    ("late_dropped_ooo", late_ooo.into()),
+                ]),
+            ),
+        ]),
     );
 }

@@ -5,14 +5,20 @@
 //! * `--events N` — base event count (each binary documents its default);
 //! * `--threads N` — maximum worker threads (default: available cores);
 //! * `--quick` — shrink the run ~10× for smoke testing;
-//! * `--runs N` — measurement repetitions (default 3; the paper averages 5).
+//! * `--runs N` — measurement repetitions (default 3; the paper averages 5);
+//! * `--json PATH` — additionally write the results and their
+//!   machine-independent invariants as JSON (see [`json`]); CI uploads
+//!   these as workflow artifacts and the `guardrail` binary re-checks the
+//!   invariants.
 
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
 
+pub mod json;
+
 /// Parsed command-line configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunCfg {
     /// Base number of events.
     pub events: usize,
@@ -22,6 +28,8 @@ pub struct RunCfg {
     pub runs: usize,
     /// Quick (smoke-test) mode.
     pub quick: bool,
+    /// Where to write the machine-readable results, if anywhere.
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl RunCfg {
@@ -38,6 +46,7 @@ impl RunCfg {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             runs: 3,
             quick: false,
+            json: None,
         };
         let mut i = 1;
         while i < args.len() {
@@ -55,8 +64,14 @@ impl RunCfg {
                     cfg.runs = args[i].parse().expect("--runs takes a number");
                 }
                 "--quick" => cfg.quick = true,
+                "--json" => {
+                    i += 1;
+                    cfg.json = Some(std::path::PathBuf::from(&args[i]));
+                }
                 other => {
-                    panic!("unknown flag {other}; supported: --events --threads --runs --quick")
+                    panic!(
+                        "unknown flag {other}; supported: --events --threads --runs --quick --json"
+                    )
                 }
             }
             i += 1;
@@ -67,6 +82,23 @@ impl RunCfg {
         }
         cfg
     }
+}
+
+/// Writes `report` to `cfg.json` when `--json` was given, creating parent
+/// directories; a no-op otherwise.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written (this is a benchmark CLI).
+pub fn write_json_report(cfg: &RunCfg, report: &json::Json) {
+    let Some(path) = &cfg.json else { return };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create --json parent directory");
+        }
+    }
+    std::fs::write(path, format!("{report}\n")).expect("write --json report");
+    println!("wrote {}", path.display());
 }
 
 /// Times a closure.

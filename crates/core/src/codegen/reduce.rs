@@ -9,7 +9,7 @@
 //! Strategy per operation:
 //!
 //! * Sum / Count / Mean / StdDev / Product — invertible accumulators with
-//!   Subtract-on-Evict [16];
+//!   Subtract-on-Evict \[16\];
 //! * Min / Max — monotonic deques with expiry-based eviction (O(1) amortized,
 //!   no inverse needed);
 //! * Custom with `deacc` — Subtract-on-Evict through the user's template;

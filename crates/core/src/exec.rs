@@ -265,6 +265,25 @@ impl CompiledQuery {
         (out, stats)
     }
 
+    /// The *state horizon* of this query, in ticks: once a stream has been
+    /// quiet for at least this long past an aligned emission point, a fresh
+    /// session opened at that point is observationally identical to the
+    /// session that lived through the quiet stretch — every access window
+    /// reaching back from any future output tick lands in the φ gap, never
+    /// on the pre-gap history.
+    ///
+    /// This is what makes per-key session *eviction* safe in a long-running
+    /// service (`tilt-runtime`): a key idle past its state horizon can be
+    /// torn down and transparently re-created on revival. The bound is
+    /// `max input lookback + max input lookahead + 2 × grid` — lookback for
+    /// window reach, lookahead plus a grid step for how far emission trails
+    /// the quiet point, and one more grid step for alignment slack.
+    pub fn state_horizon(&self) -> i64 {
+        self.boundary.max_input_lookback(&self.query)
+            + self.boundary.max_input_lookahead(&self.query)
+            + 2 * self.grid()
+    }
+
     /// Opens a batched streaming session starting at `start` (used by the
     /// latency-bounded-throughput experiment, Fig. 9).
     pub fn stream_session(&self, start: Time) -> StreamSession<'_> {
@@ -582,6 +601,45 @@ mod tests {
         a.extend(tail_events);
         assert!(!a.is_empty());
         assert!(streams_equivalent(&a[..b.len()], &b));
+    }
+
+    #[test]
+    fn fresh_session_after_state_horizon_matches_surviving_session() {
+        // The eviction contract behind `state_horizon`: a session that lived
+        // through a quiet stretch and a fresh session opened at an aligned
+        // point past the horizon agree on everything after the gap.
+        let q = trend_query();
+        let cq = Arc::new(Compiler::new().compile(&q).unwrap());
+        let horizon = cq.state_horizon();
+        assert!(horizon >= 20, "trend query looks back 20 ticks");
+
+        let old_events = price_events(50);
+        let mut survivor = cq.shared_stream_session(Time::ZERO);
+        survivor.push_events(0, &old_events);
+        // Advance past the old data, then let the stream go quiet for more
+        // than the state horizon.
+        let quiet_point = Time::new(50 + horizon + 6).align_down(cq.grid());
+        let mut a = survivor.advance_to(quiet_point).to_events();
+        // The evicted replacement starts cold at the same aligned point.
+        let mut fresh = cq.shared_stream_session(quiet_point);
+
+        // Revival: identical new traffic into both sessions.
+        let new_events: Vec<Event<Value>> = (1..=60)
+            .map(|i| Event::point(quiet_point.saturating_add(i), Value::Float(i as f64 * 0.5)))
+            .collect();
+        survivor.push_events(0, &new_events);
+        fresh.push_events(0, &new_events);
+        let end = quiet_point.saturating_add(80);
+        a.extend(survivor.flush_to(end).to_events());
+        let b = fresh.flush_to(end).to_events();
+        // Outputs after the quiet point are identical; the survivor's extra
+        // prefix covers only the pre-gap region.
+        let a_tail: Vec<Event<Value>> = a.into_iter().filter(|e| e.start >= quiet_point).collect();
+        assert!(!b.is_empty());
+        assert!(
+            streams_equivalent(&a_tail, &b),
+            "fresh session diverged after the state horizon: {a_tail:?} vs {b:?}"
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //!    shared buffers.
 //!
 //! Sharing is *observationally invisible*: a query's output through a
-//! group session equals its output through its own [`StreamSession`]
-//! (`crate::StreamSession`) — the differential property tests in the
+//! group session equals its output through its own [`StreamSession`](crate::StreamSession)
+//! — the differential property tests in the
 //! workspace root pin this down.
 
 use std::borrow::Borrow;
@@ -418,6 +418,19 @@ impl QueryGroup {
     /// trail the watermark by this much.
     pub fn max_input_lookahead(&self) -> i64 {
         self.lookahead
+    }
+
+    /// The largest input lookback over all member queries (the history each
+    /// group session retains behind its watermark).
+    pub fn max_input_lookback(&self) -> i64 {
+        self.keep - self.grid
+    }
+
+    /// The group's *state horizon*: the quiet stretch after which a fresh
+    /// group session is observationally identical to one that lived through
+    /// it — the widest member bound of [`CompiledQuery::state_horizon`].
+    pub fn state_horizon(&self) -> i64 {
+        self.max_input_lookback() + self.lookahead + 2 * self.grid
     }
 
     /// Total kernels across all member queries (what N independent sessions

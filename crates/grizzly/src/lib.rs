@@ -1,5 +1,5 @@
 //! `spe-grizzly` — a Grizzly-style fused-loop aggregation engine
-//! (baseline [14]).
+//! (baseline \[14\]).
 //!
 //! Grizzly compiles a query into one fused loop, but parallelizes by having
 //! all worker threads update *shared aggregation state with atomics*. The

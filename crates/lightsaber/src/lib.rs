@@ -1,5 +1,5 @@
 //! `spe-lightsaber` — a LightSaber-style window-aggregation engine
-//! (baseline [47]).
+//! (baseline \[47\]).
 //!
 //! LightSaber is a compiler-based SPE specialized for window aggregation:
 //! streams are cut into stride-sized *panes*, pane partials are computed in

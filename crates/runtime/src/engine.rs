@@ -35,7 +35,14 @@ pub(crate) trait Engine: Clone + Send + Sync + 'static {
     /// The input lookahead emission must trail the watermark by.
     fn lookahead(&self) -> i64;
 
-    /// Opens a fresh session for one key.
+    /// The quiet stretch (ticks) after which a fresh session is
+    /// observationally identical to one that lived through it — the floor
+    /// every idle-eviction TTL is clamped to (see
+    /// [`tilt_core::CompiledQuery::state_horizon`]).
+    fn state_horizon(&self) -> i64;
+
+    /// Opens a fresh session for one key, rooted at `start` (the runtime
+    /// start for first contact, or the eviction frontier on revival).
     fn open(&self, start: Time) -> Self::Session;
 
     /// The session's emission watermark.
@@ -73,6 +80,10 @@ impl Engine for Arc<CompiledQuery> {
 
     fn lookahead(&self) -> i64 {
         self.boundary().max_input_lookahead(self.query())
+    }
+
+    fn state_horizon(&self) -> i64 {
+        CompiledQuery::state_horizon(self)
     }
 
     fn open(&self, start: Time) -> SharedStreamSession {
@@ -117,6 +128,10 @@ impl Engine for Arc<QueryGroup> {
 
     fn lookahead(&self) -> i64 {
         self.max_input_lookahead()
+    }
+
+    fn state_horizon(&self) -> i64 {
+        QueryGroup::state_horizon(self)
     }
 
     fn open(&self, start: Time) -> SharedGroupSession {

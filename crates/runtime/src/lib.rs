@@ -33,9 +33,19 @@
 //!   between shards; each shard drives plain per-key sessions, so shards
 //!   share nothing but the read-only compiled queries (the runtime
 //!   analogue of §6.2's partition workers);
+//! * **Hardening for long-running skewed traffic** — sessions for keys
+//!   idle past a configurable TTL are *evicted* and transparently
+//!   re-created on revival ([`RuntimeConfig::key_ttl`]); reorder buffers
+//!   are *capped* so a stalled source cannot pin unbounded memory
+//!   ([`RuntimeConfig::max_pending_per_key`] /
+//!   [`RuntimeConfig::max_pending_per_shard`] with a [`BackstopPolicy`]);
+//!   and kernel execution runs under `catch_unwind`, so a poisoned key is
+//!   *quarantined* — counted, its later events refused — instead of
+//!   killing its shard thread and every other key on it;
 //! * **Observability** — [`Runtime::stats`] snapshots throughput,
-//!   watermark lag, late-drop counts, per-shard queue depths, per-query
-//!   output counts, and the kernel executions saved by dedup.
+//!   watermark lag, late-drop counts, live/evicted/quarantined key counts,
+//!   reorder-buffer occupancy, per-shard queue depths, per-query output
+//!   counts, and the kernel executions saved by dedup.
 //!
 //! Events later than `allowed_lateness` are *dropped and counted*
 //! ([`RuntimeStats::late_dropped`]), the classic watermark trade-off.
@@ -167,6 +177,24 @@ impl QueryId {
     }
 }
 
+/// What a shard does when a reorder-buffer cap
+/// ([`RuntimeConfig::max_pending_per_key`] /
+/// [`RuntimeConfig::max_pending_per_shard`]) is hit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BackstopPolicy {
+    /// Drop the incoming event and count it
+    /// ([`RuntimeStats::backstop_dropped`]). Strictly bounds memory; the
+    /// stream loses its newest out-of-order arrivals while the cap holds.
+    #[default]
+    DropNewest,
+    /// Force-drain the oldest buffered events into their key's session
+    /// ahead of the watermark, emitting what matures
+    /// ([`RuntimeStats::backstop_forced`]). Nothing is lost at the moment
+    /// the cap is hit, but the drained keys sacrifice lateness tolerance:
+    /// stragglers older than the force-drained frontier are late-dropped.
+    ForceDrain,
+}
+
 /// Configuration for [`Runtime::start`] / [`MultiRuntime::builder`].
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
@@ -192,6 +220,26 @@ pub struct RuntimeConfig {
     pub emit_interval: i64,
     /// Logical start of every key's timeline.
     pub start: Time,
+    /// Idle-eviction TTL in ticks: a key whose reorder buffers are empty
+    /// and whose newest event trails the shard's emission horizon by more
+    /// than this is retired — its session (history, buffers) is torn down
+    /// and transparently re-created if the key revives. `None` (default)
+    /// keeps every session forever. The TTL is clamped up to the engine's
+    /// *state horizon* (lookback + lookahead + 2 grid steps) so eviction
+    /// never changes output; an evicted key's revival events must start at
+    /// or after its eviction frontier (earlier stragglers are late-dropped,
+    /// as they would be past any lateness horizon).
+    pub key_ttl: Option<i64>,
+    /// Cap on buffered out-of-order events per key and source (`None` =
+    /// unbounded). On overflow, [`RuntimeConfig::backstop`] applies.
+    pub max_pending_per_key: Option<usize>,
+    /// Cap on buffered out-of-order events across a whole shard (`None` =
+    /// unbounded) — the OOM backstop for a stalled source holding the
+    /// watermark while other sources keep feeding. On overflow,
+    /// [`RuntimeConfig::backstop`] applies to the fullest key.
+    pub max_pending_per_shard: Option<usize>,
+    /// What to do when a reorder-buffer cap is hit.
+    pub backstop: BackstopPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -203,6 +251,10 @@ impl Default for RuntimeConfig {
             ingest_batch: 256,
             emit_interval: 64,
             start: Time::ZERO,
+            key_ttl: None,
+            max_pending_per_key: None,
+            max_pending_per_shard: None,
+            backstop: BackstopPolicy::DropNewest,
         }
     }
 }
@@ -694,6 +746,153 @@ mod tests {
             (1..=100).map(|t| Event::point(Time::new(t), Value::Float(1.0))).collect();
         let expected = replay(&cq, &clean, Time::new(104));
         assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&key])));
+    }
+
+    // ── Hardening: eviction, backstop ──────────────────────────────────
+
+    /// One shard, one hot key driving the watermark, one key that goes
+    /// idle past the TTL and then revives. The evicting runtime's output
+    /// must equal both a never-evicting runtime's and an in-order replay.
+    #[test]
+    fn idle_key_eviction_and_revival_are_transparent() {
+        let cq = sliding_sum_query(4);
+        let config = |ttl| RuntimeConfig {
+            shards: 1,
+            emit_interval: 8,
+            key_ttl: ttl,
+            ..RuntimeConfig::default()
+        };
+        let phase1: Vec<KeyedEvent> =
+            key_events(7, 20).into_iter().chain(key_events(9, 500)).collect();
+        let phase2: Vec<KeyedEvent> = (501..=520)
+            .flat_map(|t| {
+                [7u64, 9u64].map(|k| {
+                    KeyedEvent::new(k, 0, Event::point(Time::new(t), Value::Float(k as f64)))
+                })
+            })
+            .collect();
+        let end = Time::new(530);
+
+        let evicting = Runtime::start(Arc::clone(&cq), config(Some(32)));
+        evicting.ingest(phase1.iter().cloned());
+        // Key 7 idles while key 9 drives the watermark: wait for the sweep
+        // to retire it before reviving it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while evicting.stats().evictions == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(evicting.stats().evictions >= 1, "idle key was never evicted");
+        assert_eq!(evicting.stats().live_keys, 1, "only the hot key stays live");
+        evicting.ingest(phase2.iter().cloned());
+        let out = evicting.finish_at(end);
+        assert_eq!(out.stats.late_dropped, 0);
+        assert!(out.stats.revivals >= 1, "revival event must re-create the session");
+        assert_eq!(out.stats.keys, 2, "keys counts distinct keys ever seen");
+
+        let plain = Runtime::start(Arc::clone(&cq), config(None));
+        plain.ingest(phase1.iter().cloned());
+        plain.ingest(phase2.iter().cloned());
+        let base = plain.finish_at(end);
+        assert_eq!(base.stats.evictions, 0);
+        for k in [7u64, 9u64] {
+            assert!(
+                streams_equivalent(&coalesce(&base.per_key[&k]), &coalesce(&out.per_key[&k])),
+                "key {k}: evicting runtime diverged from never-evicting"
+            );
+            // And both equal the in-order replay of the key's own stream.
+            let events: Vec<Event<Value>> = phase1
+                .iter()
+                .chain(phase2.iter())
+                .filter(|ke| ke.key == k)
+                .map(|ke| ke.event.clone())
+                .collect();
+            let expected = replay(&cq, &events, end);
+            assert!(
+                streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&k])),
+                "key {k}: evicting runtime diverged from replay"
+            );
+        }
+    }
+
+    #[test]
+    fn backstop_drop_newest_caps_buffered_events() {
+        // A watermark pinned by huge allowed lateness: nothing matures, so
+        // the reorder buffer is the only place events can live. The cap
+        // holds and the overflow is counted.
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig {
+                shards: 1,
+                allowed_lateness: 1_000_000,
+                emit_interval: 1,
+                max_pending_per_key: Some(64),
+                backstop: BackstopPolicy::DropNewest,
+                ..RuntimeConfig::default()
+            },
+        );
+        runtime.ingest(key_events(1, 500));
+        let out = runtime.finish_at(Time::new(504));
+        assert_eq!(out.stats.backstop_dropped, 500 - 64, "overflow is dropped and counted");
+        assert_eq!(out.stats.backstop_forced, 0);
+        // The survivors are the oldest 64 (the cap refuses newest), so the
+        // output equals a replay of the in-order prefix.
+        let prefix: Vec<Event<Value>> =
+            key_events(1, 64).iter().map(|ke| ke.event.clone()).collect();
+        let expected = replay(&cq, &prefix, Time::new(504));
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&1])));
+        assert!(out.stats.reorder_pending.iter().all(|&p| p == 0), "drained at shutdown");
+    }
+
+    #[test]
+    fn backstop_force_drain_is_lossless_for_in_order_input() {
+        // Same pinned watermark, but the force-drain policy pushes the
+        // oldest buffered events through the session instead of dropping
+        // the newest: for in-order input nothing is lost at all.
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig {
+                shards: 1,
+                allowed_lateness: 1_000_000,
+                emit_interval: 1,
+                max_pending_per_key: Some(64),
+                backstop: BackstopPolicy::ForceDrain,
+                ..RuntimeConfig::default()
+            },
+        );
+        runtime.ingest(key_events(1, 500));
+        let out = runtime.finish_at(Time::new(504));
+        assert_eq!(out.stats.backstop_dropped, 0);
+        assert_eq!(out.stats.late_dropped, 0, "in-order input loses nothing to force-drain");
+        assert!(out.stats.backstop_forced > 0, "the cap must have fired");
+        let all: Vec<Event<Value>> = key_events(1, 500).iter().map(|ke| ke.event.clone()).collect();
+        let expected = replay(&cq, &all, Time::new(504));
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&1])));
+    }
+
+    #[test]
+    fn shard_level_backstop_bounds_total_pending() {
+        // Many keys share one shard: no single key exceeds the per-key cap,
+        // but the shard-wide cap still bounds the backlog.
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig {
+                shards: 1,
+                allowed_lateness: 1_000_000,
+                emit_interval: 1,
+                max_pending_per_shard: Some(100),
+                backstop: BackstopPolicy::DropNewest,
+                ..RuntimeConfig::default()
+            },
+        );
+        for k in 0..20u64 {
+            runtime.ingest(key_events(k, 10));
+        }
+        let out = runtime.finish_at(Time::new(20));
+        assert_eq!(out.stats.backstop_dropped, 100, "200 sent, 100 buffered, 100 refused");
+        assert_eq!(out.stats.reorder_buffered, 100);
     }
 
     #[test]

@@ -14,8 +14,26 @@
 //! happens once per shard regardless of how many queries are registered;
 //! the engine decides whether a key's session serves one compiled query
 //! or a deduplicated [`tilt_core::sharing::QueryGroup`].
+//!
+//! Three hardening mechanisms keep a shard viable under hostile traffic:
+//!
+//! * **Idle eviction** (`RuntimeConfig::key_ttl`): keys quiet past their
+//!   state horizon have their session retired to a tiny tombstone holding
+//!   the eviction frontier; a later arrival at or after the frontier
+//!   transparently re-creates the session. Keys touched once and never
+//!   again stop costing session memory.
+//! * **Reorder backstop** (`max_pending_per_key` / `max_pending_per_shard`
+//!   with a [`BackstopPolicy`]): a stalled source can hold the watermark
+//!   forever, so buffered out-of-order events are capped — overflow is
+//!   either dropped-and-counted or force-drained into the session ahead of
+//!   the watermark.
+//! * **Panic quarantine**: all kernel execution for a key runs under
+//!   `catch_unwind`; a poisoned key is retired (its later events dropped
+//!   and counted) instead of unwinding the shard thread and taking every
+//!   other key down with it.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -23,7 +41,7 @@ use tilt_data::{Event, Time, Value};
 
 use crate::engine::Engine;
 use crate::stats::SharedStats;
-use crate::{KeyedEvent, OutputSink, RuntimeConfig};
+use crate::{BackstopPolicy, KeyedEvent, OutputSink, RuntimeConfig};
 
 /// Messages flowing from the runtime handle to a shard worker.
 pub(crate) enum ShardMsg {
@@ -36,6 +54,12 @@ pub(crate) enum ShardMsg {
     /// closes.
     FinishAt(Time),
 }
+
+/// How many channel messages a shard folds into one watermark
+/// recomputation / emission cycle: after a blocking `recv`, anything
+/// already queued is drained (up to this bound, so sink latency stays
+/// bounded) before `maybe_advance` runs once for the whole batch.
+const MAX_MSGS_PER_CYCLE: usize = 64;
 
 /// A per-key, per-source reorder buffer kept sorted by `(start, end)` at
 /// insertion time (monotone/binary insertion), so draining the matured
@@ -72,13 +96,19 @@ impl ReorderBuf {
         self.events.drain(..n).collect()
     }
 
+    /// Removes and returns the `n` oldest buffered events (the backstop's
+    /// force-drain path), in time order.
+    pub(crate) fn drain_oldest(&mut self, n: usize) -> Vec<Event<Value>> {
+        let n = n.min(self.events.len());
+        self.events.drain(..n).collect()
+    }
+
     /// Whether any events are pending.
     pub(crate) fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
     /// Number of pending events.
-    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.events.len()
     }
@@ -97,10 +127,28 @@ struct KeyState<S> {
     /// Finalized output events per query (drained by `finish` unless that
     /// query has a sink).
     out: Vec<Vec<Event<Value>>>,
+    /// The newest event end accepted for this key (idleness clock for the
+    /// eviction sweep).
+    last_end: Time,
     /// Whether events were pushed since the session last advanced.
     dirty: bool,
     /// Whether the key is already on the shard's active-visit queue.
     queued: bool,
+}
+
+/// A retired key: evicted for idleness (revivable at `frontier`) or
+/// quarantined after a kernel panic (never revived). Holds only the
+/// accumulated non-sink output and a frontier — the session and its
+/// buffers are gone.
+struct Retired {
+    /// Arrivals starting before this are unsalvageably late; a revival
+    /// arrival at or after it re-creates the session here. `Time::MAX` for
+    /// quarantined keys, which refuse all further events.
+    frontier: Time,
+    /// Accumulated per-query output (returned at shutdown).
+    out: Vec<Vec<Event<Value>>>,
+    /// Whether the key was quarantined by a kernel panic.
+    quarantined: bool,
 }
 
 /// Everything a shard returns when it drains and exits.
@@ -117,9 +165,15 @@ pub(crate) struct Shard<E: Engine> {
     n_sources: usize,
     grid: i64,
     lookahead: i64,
+    /// The effective idle-eviction TTL: `cfg.key_ttl` clamped up to the
+    /// engine's state horizon, so a retired-then-revived session is
+    /// observationally identical to one that lived through the gap.
+    ttl: Option<i64>,
     /// Cached `engine.kernel_counts()`: (executed, saved) per advance.
     kernel_counts: (u64, u64),
     keys: HashMap<u64, KeyState<E::Session>>,
+    /// Evicted and quarantined keys (see [`Retired`]).
+    retired: HashMap<u64, Retired>,
     /// Per source: the largest event *start* observed on this shard.
     ///
     /// Watermarks are defined over starts, not ends: an event contributes
@@ -135,6 +189,9 @@ pub(crate) struct Shard<E: Engine> {
     explicit: Vec<Time>,
     /// The last emission target the shard advanced its keys to.
     emitted: Time,
+    /// Where the last idle-eviction sweep ran (sweeps are amortized to at
+    /// most one full key scan per `ttl / 2` ticks of emission progress).
+    last_sweep: Time,
     /// Keys needing a visit on the next emission cycle (have new input,
     /// pushed-but-unemitted history, or — with a sink — an unexhausted
     /// output tail). Emission cost scales with this set, not with the
@@ -157,6 +214,7 @@ impl<E: Engine> Shard<E> {
         let grid = engine.grid();
         let lookahead = engine.lookahead();
         let kernel_counts = engine.kernel_counts();
+        let ttl = cfg.key_ttl.map(|t| t.max(engine.state_horizon()).max(1));
         Shard {
             id,
             engine,
@@ -164,12 +222,15 @@ impl<E: Engine> Shard<E> {
             n_sources,
             grid,
             lookahead,
+            ttl,
             kernel_counts,
             keys: HashMap::new(),
+            retired: HashMap::new(),
             max_start: vec![Time::MIN; n_sources],
             max_end: Time::MIN,
             explicit: vec![Time::MIN; n_sources],
             emitted: cfg.start,
+            last_sweep: cfg.start,
             active: Vec::new(),
             sinks,
             stats,
@@ -177,32 +238,52 @@ impl<E: Engine> Shard<E> {
     }
 
     /// The shard main loop: drain the channel, then flush and exit.
+    ///
+    /// Watermark recomputation is batched: after each blocking `recv`,
+    /// every message already sitting in the channel (bounded by
+    /// [`MAX_MSGS_PER_CYCLE`]) is folded in before `maybe_advance`
+    /// recomputes the min-watermark and visits active keys once — under
+    /// load, one emission cycle serves many ingest batches instead of one.
     pub(crate) fn run(mut self, rx: std::sync::mpsc::Receiver<ShardMsg>) -> ShardOutput {
         let mut finish_at: Option<Time> = None;
         while let Ok(msg) = rx.recv() {
-            match msg {
-                ShardMsg::Batch(events) => {
-                    self.stats.queue_depth[self.id]
-                        .fetch_sub(events.len() as i64, Ordering::Relaxed);
-                    for ev in events {
-                        self.accept(ev);
+            self.apply(msg, &mut finish_at);
+            let mut folded = 1usize;
+            while folded < MAX_MSGS_PER_CYCLE {
+                match rx.try_recv() {
+                    Ok(msg) => {
+                        self.apply(msg, &mut finish_at);
+                        folded += 1;
                     }
+                    Err(_) => break,
                 }
-                ShardMsg::Watermark { source, time } => {
-                    if source < self.n_sources {
-                        let w = &mut self.explicit[source];
-                        *w = (*w).max(time);
-                    }
-                }
-                ShardMsg::FinishAt(time) => finish_at = Some(time),
             }
             self.maybe_advance();
         }
         self.flush(finish_at)
     }
 
+    /// Folds one channel message into shard state (no emission).
+    fn apply(&mut self, msg: ShardMsg, finish_at: &mut Option<Time>) {
+        match msg {
+            ShardMsg::Batch(events) => {
+                self.stats.queue_depth[self.id].fetch_sub(events.len() as i64, Ordering::Relaxed);
+                for ev in events {
+                    self.accept(ev);
+                }
+            }
+            ShardMsg::Watermark { source, time } => {
+                if source < self.n_sources {
+                    let w = &mut self.explicit[source];
+                    *w = (*w).max(time);
+                }
+            }
+            ShardMsg::FinishAt(time) => *finish_at = Some(time),
+        }
+    }
+
     /// Routes one event into its key's reorder buffer, creating the key's
-    /// session on first contact.
+    /// session on first contact and reviving it after eviction.
     fn accept(&mut self, ev: KeyedEvent) {
         assert!(
             ev.source < self.n_sources,
@@ -213,16 +294,47 @@ impl<E: Engine> Shard<E> {
         self.max_start[ev.source] = self.max_start[ev.source].max(ev.event.start);
         self.max_end = self.max_end.max(ev.event.end);
 
+        // Retired keys: quarantined ones refuse all events; evicted ones
+        // revive at their frontier (arrivals behind it are unsalvageably
+        // late — the session that could have absorbed them is gone).
+        if let Some(r) = self.retired.get(&ev.key) {
+            if r.quarantined {
+                self.stats.quarantine_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if ev.event.start < r.frontier {
+                self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let r = self.retired.remove(&ev.key).expect("checked above");
+            self.stats.revivals.fetch_add(1, Ordering::Relaxed);
+            self.stats.live_keys.fetch_add(1, Ordering::Relaxed);
+            self.keys.insert(
+                ev.key,
+                KeyState {
+                    session: self.engine.open(r.frontier),
+                    pending: (0..self.n_sources).map(|_| ReorderBuf::default()).collect(),
+                    pushed_end: vec![r.frontier; self.n_sources],
+                    out: r.out,
+                    last_end: r.frontier,
+                    dirty: false,
+                    queued: false,
+                },
+            );
+        }
+
         let state = match self.keys.entry(ev.key) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 self.stats.keys.fetch_add(1, Ordering::Relaxed);
+                self.stats.live_keys.fetch_add(1, Ordering::Relaxed);
                 let session = self.engine.open(self.cfg.start);
                 e.insert(KeyState {
                     session,
                     pending: (0..self.n_sources).map(|_| ReorderBuf::default()).collect(),
                     pushed_end: vec![self.cfg.start; self.n_sources],
                     out: vec![Vec::new(); self.engine.n_queries()],
+                    last_end: self.cfg.start,
                     dirty: false,
                     queued: false,
                 })
@@ -237,11 +349,32 @@ impl<E: Engine> Shard<E> {
             self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        state.last_end = state.last_end.max(ev.event.end);
+
+        // Reorder-buffer backstop: bound what a stalled watermark can pin.
+        let key_full =
+            self.cfg.max_pending_per_key.is_some_and(|cap| state.pending[ev.source].len() >= cap);
+        let shard_full = self.cfg.max_pending_per_shard.is_some_and(|cap| {
+            self.stats.reorder_pending[self.id].load(Ordering::Relaxed) >= cap as i64
+        });
+        if (key_full || shard_full) && self.cfg.backstop == BackstopPolicy::DropNewest {
+            self.stats.backstop_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
         state.pending[ev.source].insert(ev.event);
+        let buffered = state.pending[ev.source].len();
         self.stats.reorder_buffered.fetch_add(1, Ordering::Relaxed);
+        self.stats.reorder_pending[self.id].fetch_add(1, Ordering::Relaxed);
         if !state.queued {
             state.queued = true;
             self.active.push(ev.key);
+        }
+        if key_full {
+            let cap = self.cfg.max_pending_per_key.expect("key_full implies a cap");
+            self.force_drain_buf(ev.key, ev.source, buffered.saturating_sub(cap / 2));
+        } else if shard_full {
+            self.force_drain_shard();
         }
     }
 
@@ -271,6 +404,9 @@ impl<E: Engine> Shard<E> {
     /// parked until new input arrives — for window-style queries an empty
     /// region stays empty without new events. (Queries that emit output on
     /// an empty timeline only surface that output at the shutdown flush.)
+    ///
+    /// Kernel execution runs under `catch_unwind`: a panicking key is
+    /// quarantined instead of unwinding the shard thread.
     fn maybe_advance(&mut self) {
         let wm = self.watermark();
         self.stats.shard_watermark[self.id].store(wm.ticks(), Ordering::Relaxed);
@@ -282,38 +418,190 @@ impl<E: Engine> Shard<E> {
         }
         self.emitted = target;
         let eager = self.sinks.iter().any(|s| s.is_some());
-        let (sinks, stats) = (&self.sinks, &self.stats);
+        let id = self.id;
+        let sinks = Arc::clone(&self.sinks);
+        let stats = Arc::clone(&self.stats);
         let (k_run, k_saved) = self.kernel_counts;
         let mut visit = std::mem::take(&mut self.active);
         for key in visit.drain(..) {
             let Some(state) = self.keys.get_mut(&key) else { continue };
             state.queued = false;
-            Self::drain_pending(state, wm, stats);
-            let mut emitted_any = false;
-            if (state.dirty || eager) && target > E::watermark(&state.session) {
+            let mut revisit = false;
+            let panicked = catch_unwind(AssertUnwindSafe(|| {
+                Self::drain_pending(id, state, wm, &stats);
+                let mut emitted_any = false;
+                if (state.dirty || eager) && target > E::watermark(&state.session) {
+                    let bufs = E::advance(&mut state.session, wm);
+                    state.dirty = false;
+                    stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
+                    stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
+                    for (qi, buf) in bufs.into_iter().enumerate() {
+                        let emitted = buf.to_events();
+                        emitted_any |= !emitted.is_empty();
+                        Self::deliver(key, qi, emitted, &mut state.out, &sinks, &stats);
+                    }
+                }
+                revisit = state.dirty
+                    || state.pending.iter().any(|p| !p.is_empty())
+                    || (eager && emitted_any);
+            }))
+            .is_err();
+            if panicked {
+                self.quarantine(key);
+            } else if revisit {
+                if let Some(state) = self.keys.get_mut(&key) {
+                    state.queued = true;
+                    self.active.push(key);
+                }
+            }
+        }
+        self.sweep_idle(wm);
+    }
+
+    /// Retires keys idle past the TTL: the session is advanced through the
+    /// current horizon (emitting its quiet tail), then torn down to a
+    /// tombstone carrying the eviction frontier. Amortized to one key scan
+    /// per `ttl / 2` ticks of emission progress.
+    fn sweep_idle(&mut self, wm: Time) {
+        let Some(ttl) = self.ttl else { return };
+        if self.emitted - self.last_sweep < (ttl / 2).max(1) {
+            return;
+        }
+        self.last_sweep = self.emitted;
+        let cutoff = self.emitted.saturating_add(-ttl);
+        let victims: Vec<u64> = self
+            .keys
+            .iter()
+            .filter(|(_, s)| {
+                !s.queued && s.last_end <= cutoff && s.pending.iter().all(|p| p.is_empty())
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in victims {
+            self.evict(key, wm);
+        }
+    }
+
+    /// Evicts one idle key: advance its session through the current
+    /// horizon (the output it would eventually have emitted anyway), then
+    /// replace it with a [`Retired`] tombstone at the session's final
+    /// watermark.
+    fn evict(&mut self, key: u64, wm: Time) {
+        let Some(mut state) = self.keys.remove(&key) else { return };
+        let sinks = Arc::clone(&self.sinks);
+        let stats = Arc::clone(&self.stats);
+        let (k_run, k_saved) = self.kernel_counts;
+        let target = Time::new(wm.ticks().saturating_sub(self.lookahead)).align_down(self.grid);
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            if target > E::watermark(&state.session) {
                 let bufs = E::advance(&mut state.session, wm);
+                stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
+                stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
+                for (qi, buf) in bufs.into_iter().enumerate() {
+                    Self::deliver(key, qi, buf.to_events(), &mut state.out, &sinks, &stats);
+                }
+            }
+        }))
+        .is_err();
+        self.stats.live_keys.fetch_sub(1, Ordering::Relaxed);
+        if panicked {
+            self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+            self.retired
+                .insert(key, Retired { frontier: Time::MAX, out: state.out, quarantined: true });
+            return;
+        }
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        let frontier = E::watermark(&state.session);
+        self.retired.insert(key, Retired { frontier, out: state.out, quarantined: false });
+    }
+
+    /// Retires a key whose kernel execution panicked: its session (in an
+    /// unknown state) and buffers are dropped, its accumulated output is
+    /// kept for shutdown, and all further events for it are refused.
+    fn quarantine(&mut self, key: u64) {
+        let Some(state) = self.keys.remove(&key) else { return };
+        let pending: i64 = state.pending.iter().map(|p| p.len() as i64).sum();
+        self.stats.reorder_pending[self.id].fetch_sub(pending, Ordering::Relaxed);
+        self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+        self.stats.live_keys.fetch_sub(1, Ordering::Relaxed);
+        self.retired
+            .insert(key, Retired { frontier: Time::MAX, out: state.out, quarantined: true });
+    }
+
+    /// Force-drains the `excess` oldest buffered events of one key/source
+    /// into its session ahead of the watermark ([`BackstopPolicy::ForceDrain`]),
+    /// emitting what matures. The key keeps its output stream but loses
+    /// lateness tolerance behind the drained frontier.
+    fn force_drain_buf(&mut self, key: u64, source: usize, excess: usize) {
+        if excess == 0 {
+            return;
+        }
+        let Some(state) = self.keys.get_mut(&key) else { return };
+        let id = self.id;
+        let sinks = Arc::clone(&self.sinks);
+        let stats = Arc::clone(&self.stats);
+        let (k_run, k_saved) = self.kernel_counts;
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let mut drained = state.pending[source].drain_oldest(excess);
+            stats.reorder_pending[id].fetch_sub(drained.len() as i64, Ordering::Relaxed);
+            stats.backstop_forced.fetch_add(drained.len() as u64, Ordering::Relaxed);
+            drained.retain(|e| {
+                if e.start < state.pushed_end[source] {
+                    stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    state.pushed_end[source] = e.end;
+                    true
+                }
+            });
+            let Some(last) = drained.last() else { return };
+            let upto = last.end;
+            E::push(&mut state.session, source, &drained);
+            state.dirty = true;
+            if upto > E::watermark(&state.session) {
+                let bufs = E::advance(&mut state.session, upto);
                 state.dirty = false;
                 stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
                 stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
                 for (qi, buf) in bufs.into_iter().enumerate() {
-                    let emitted = buf.to_events();
-                    emitted_any |= !emitted.is_empty();
-                    Self::deliver(key, qi, emitted, state, sinks, stats);
+                    Self::deliver(key, qi, buf.to_events(), &mut state.out, &sinks, &stats);
                 }
             }
-            let revisit = state.dirty
-                || state.pending.iter().any(|p| !p.is_empty())
-                || (eager && emitted_any);
-            if revisit {
-                state.queued = true;
-                self.active.push(key);
-            }
+        }))
+        .is_err();
+        if panicked {
+            self.quarantine(key);
+        }
+    }
+
+    /// Applies [`BackstopPolicy::ForceDrain`] at the shard level: the
+    /// fullest buffers are drained until the shard backlog is at half its
+    /// cap, so the O(keys) victim scans amortize across many arrivals.
+    fn force_drain_shard(&mut self) {
+        let Some(cap) = self.cfg.max_pending_per_shard else { return };
+        let floor = (cap / 2).max(1) as i64;
+        while self.stats.reorder_pending[self.id].load(Ordering::Relaxed) > floor {
+            let victim = self
+                .keys
+                .iter()
+                .flat_map(|(k, s)| {
+                    s.pending.iter().enumerate().map(move |(src, p)| (p.len(), *k, src))
+                })
+                .filter(|&(len, _, _)| len > 0)
+                .max_by_key(|&(len, k, src)| (len, std::cmp::Reverse(k), std::cmp::Reverse(src)));
+            let Some((len, key, source)) = victim else { break };
+            self.force_drain_buf(key, source, (len / 2).max(1));
         }
     }
 
     /// Moves every matured pending event (start < `upto`) into the
     /// session, in time order (the buffers are kept sorted at insertion).
-    fn drain_pending(state: &mut KeyState<E::Session>, upto: Time, stats: &SharedStats) {
+    fn drain_pending(
+        shard_id: usize,
+        state: &mut KeyState<E::Session>,
+        upto: Time,
+        stats: &SharedStats,
+    ) {
         for (source, pending) in state.pending.iter_mut().enumerate() {
             if pending.is_empty() {
                 continue;
@@ -322,6 +610,7 @@ impl<E: Engine> Shard<E> {
             if matured.is_empty() {
                 continue;
             }
+            stats.reorder_pending[shard_id].fetch_sub(matured.len() as i64, Ordering::Relaxed);
             // Duplicate or overlapping arrivals (malformed per-key streams)
             // cannot be appended disjointly; count them as drops rather
             // than corrupting the session history.
@@ -345,7 +634,7 @@ impl<E: Engine> Shard<E> {
         key: u64,
         query: usize,
         events: Vec<Event<Value>>,
-        state: &mut KeyState<E::Session>,
+        out: &mut [Vec<Event<Value>>],
         sinks: &[Option<OutputSink>],
         stats: &SharedStats,
     ) {
@@ -356,32 +645,62 @@ impl<E: Engine> Shard<E> {
         stats.events_out_query[query].fetch_add(events.len() as u64, Ordering::Relaxed);
         match &sinks[query] {
             Some(sink) => sink(key, &events),
-            None => state.out[query].extend(events),
+            None => out[query].extend(events),
         }
     }
 
     /// End-of-stream: push everything still pending (the watermark can no
     /// longer refute it), flush every session through the final horizon,
-    /// and hand the per-key outputs back.
+    /// and hand the per-key outputs back. Evicted keys are resurrected for
+    /// the final flush so queries that emit output on an empty timeline
+    /// still surface their tail; quarantined keys return what they had.
     fn flush(mut self, finish_at: Option<Time>) -> ShardOutput {
         let horizon =
             finish_at.unwrap_or_else(|| self.max_end.max(self.cfg.start).align_up(self.grid));
         self.stats.shard_watermark[self.id].store(horizon.ticks(), Ordering::Relaxed);
-        let (sinks, stats) = (&self.sinks, &self.stats);
+        let id = self.id;
+        let sinks = Arc::clone(&self.sinks);
+        let stats = Arc::clone(&self.stats);
         let (k_run, k_saved) = self.kernel_counts;
-        let mut per_key: Vec<(u64, Vec<Vec<Event<Value>>>)> = Vec::with_capacity(self.keys.len());
+        let mut per_key: Vec<(u64, Vec<Vec<Event<Value>>>)> =
+            Vec::with_capacity(self.keys.len() + self.retired.len());
         for (key, mut state) in self.keys.drain() {
-            Self::drain_pending(&mut state, Time::MAX, stats);
-            if horizon > E::watermark(&state.session) {
-                let bufs = E::flush(&mut state.session, horizon);
-                stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
-                stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
-                for (qi, buf) in bufs.into_iter().enumerate() {
-                    let emitted = buf.to_events();
-                    Self::deliver(key, qi, emitted, &mut state, sinks, stats);
+            let panicked = catch_unwind(AssertUnwindSafe(|| {
+                Self::drain_pending(id, &mut state, Time::MAX, &stats);
+                if horizon > E::watermark(&state.session) {
+                    let bufs = E::flush(&mut state.session, horizon);
+                    stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
+                    stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
+                    for (qi, buf) in bufs.into_iter().enumerate() {
+                        let emitted = buf.to_events();
+                        Self::deliver(key, qi, emitted, &mut state.out, &sinks, &stats);
+                    }
                 }
+            }))
+            .is_err();
+            if panicked {
+                stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
             }
             per_key.push((key, state.out));
+        }
+        for (key, r) in self.retired.drain() {
+            let mut out = r.out;
+            if !r.quarantined && horizon > r.frontier {
+                let mut session = self.engine.open(r.frontier);
+                match catch_unwind(AssertUnwindSafe(|| E::flush(&mut session, horizon))) {
+                    Ok(bufs) => {
+                        stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
+                        stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
+                        for (qi, buf) in bufs.into_iter().enumerate() {
+                            Self::deliver(key, qi, buf.to_events(), &mut out, &sinks, &stats);
+                        }
+                    }
+                    Err(_) => {
+                        stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            per_key.push((key, out));
         }
         per_key.sort_by_key(|(k, _)| *k);
         ShardOutput { per_key }
@@ -444,6 +763,21 @@ mod tests {
         let drained = buf.drain_matured(Time::new(500));
         assert_eq!(drained.len(), 499);
         assert!(drained.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn drain_oldest_takes_the_sorted_prefix() {
+        let mut buf = ReorderBuf::default();
+        for (s, e) in [(5, 6), (1, 2), (3, 4), (2, 3)] {
+            buf.insert(ev(s, e, 0.0));
+        }
+        let oldest = buf.drain_oldest(2);
+        let starts: Vec<i64> = oldest.iter().map(|e| e.start.ticks()).collect();
+        assert_eq!(starts, vec![1, 2]);
+        assert_eq!(buf.len(), 2);
+        // Asking for more than is buffered drains what exists.
+        assert_eq!(buf.drain_oldest(10).len(), 2);
+        assert!(buf.is_empty());
     }
 
     #[test]

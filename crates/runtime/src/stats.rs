@@ -17,6 +17,24 @@ pub(crate) struct SharedStats {
     pub(crate) events_out_query: Vec<AtomicU64>,
     pub(crate) late_dropped: AtomicU64,
     pub(crate) keys: AtomicU64,
+    /// Gauge: keys with a live session right now (created − evicted −
+    /// quarantined + revived).
+    pub(crate) live_keys: AtomicI64,
+    /// Idle sessions retired by the TTL policy.
+    pub(crate) evictions: AtomicU64,
+    /// Evicted keys transparently re-created by a later arrival.
+    pub(crate) revivals: AtomicU64,
+    /// Events rejected by the reorder-buffer backstop (drop-and-count
+    /// policy, or arrivals behind a force-drained frontier are counted as
+    /// `late_dropped` instead).
+    pub(crate) backstop_dropped: AtomicU64,
+    /// Events force-drained into their session ahead of the watermark by
+    /// the backstop.
+    pub(crate) backstop_forced: AtomicU64,
+    /// Keys whose kernel execution panicked and were quarantined.
+    pub(crate) keys_quarantined: AtomicU64,
+    /// Events dropped because their key is quarantined.
+    pub(crate) quarantine_dropped: AtomicU64,
     /// Events accepted into a reorder buffer. Ingestion is shared across
     /// registered queries, so this counts each event once — N independent
     /// runtimes would count it N times between them.
@@ -30,6 +48,9 @@ pub(crate) struct SharedStats {
     pub(crate) max_event_end: AtomicI64,
     /// Per shard: events currently queued (sent, not yet received).
     pub(crate) queue_depth: Vec<AtomicI64>,
+    /// Per shard: events currently held in reorder buffers (gauge; the
+    /// backstop caps this).
+    pub(crate) reorder_pending: Vec<AtomicI64>,
     /// Per shard: the low-watermark the shard last propagated.
     pub(crate) shard_watermark: Vec<AtomicI64>,
 }
@@ -43,11 +64,19 @@ impl SharedStats {
             events_out_query: (0..queries).map(|_| AtomicU64::new(0)).collect(),
             late_dropped: AtomicU64::new(0),
             keys: AtomicU64::new(0),
+            live_keys: AtomicI64::new(0),
+            evictions: AtomicU64::new(0),
+            revivals: AtomicU64::new(0),
+            backstop_dropped: AtomicU64::new(0),
+            backstop_forced: AtomicU64::new(0),
+            keys_quarantined: AtomicU64::new(0),
+            quarantine_dropped: AtomicU64::new(0),
             reorder_buffered: AtomicU64::new(0),
             kernels_run: AtomicU64::new(0),
             kernels_saved: AtomicU64::new(0),
             max_event_end: AtomicI64::new(Time::MIN.ticks()),
             queue_depth: (0..shards).map(|_| AtomicI64::new(0)).collect(),
+            reorder_pending: (0..shards).map(|_| AtomicI64::new(0)).collect(),
             shard_watermark: (0..shards).map(|_| AtomicI64::new(Time::MIN.ticks())).collect(),
         }
     }
@@ -75,6 +104,18 @@ impl SharedStats {
                 .collect(),
             late_dropped: self.late_dropped.load(Ordering::Relaxed),
             keys: self.keys.load(Ordering::Relaxed),
+            live_keys: self.live_keys.load(Ordering::Relaxed).max(0) as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            revivals: self.revivals.load(Ordering::Relaxed),
+            backstop_dropped: self.backstop_dropped.load(Ordering::Relaxed),
+            backstop_forced: self.backstop_forced.load(Ordering::Relaxed),
+            keys_quarantined: self.keys_quarantined.load(Ordering::Relaxed),
+            quarantine_dropped: self.quarantine_dropped.load(Ordering::Relaxed),
+            reorder_pending: self
+                .reorder_pending
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed).max(0) as usize)
+                .collect(),
             reorder_buffered: self.reorder_buffered.load(Ordering::Relaxed),
             kernels_run: self.kernels_run.load(Ordering::Relaxed),
             kernels_saved: self.kernels_saved.load(Ordering::Relaxed),
@@ -110,8 +151,35 @@ pub struct RuntimeStats {
     /// Events dropped for arriving later than the configured
     /// allowed lateness.
     pub late_dropped: u64,
-    /// Distinct keys with live sessions.
+    /// Distinct keys ever seen (live, evicted, and quarantined).
     pub keys: u64,
+    /// Keys with a live session right now. With idle eviction enabled
+    /// ([`crate::RuntimeConfig::key_ttl`]) this is the steady-state memory
+    /// gauge: it tracks the *active* key population, not every key ever
+    /// seen.
+    pub live_keys: u64,
+    /// Idle sessions retired by the TTL policy
+    /// ([`crate::RuntimeConfig::key_ttl`]).
+    pub evictions: u64,
+    /// Evicted keys whose session was transparently re-created by a later
+    /// arrival.
+    pub revivals: u64,
+    /// Events rejected by the reorder-buffer backstop under
+    /// [`crate::BackstopPolicy::DropNewest`].
+    pub backstop_dropped: u64,
+    /// Events force-drained into their session ahead of the watermark under
+    /// [`crate::BackstopPolicy::ForceDrain`].
+    pub backstop_forced: u64,
+    /// Keys quarantined after a panic inside their kernel execution; their
+    /// subsequent events are dropped (`quarantine_dropped`) instead of
+    /// taking the shard down.
+    pub keys_quarantined: u64,
+    /// Events dropped because their key is quarantined.
+    pub quarantine_dropped: u64,
+    /// Events currently held in each shard's reorder buffers (gauge; the
+    /// backstop caps on this are [`crate::RuntimeConfig::max_pending_per_key`]
+    /// and [`crate::RuntimeConfig::max_pending_per_shard`]).
+    pub reorder_pending: Vec<usize>,
     /// Events accepted into per-key reorder buffers. Reorder/watermark work
     /// is shared: this counts each ingested event once no matter how many
     /// queries are registered, whereas N independent runtimes would buffer
@@ -153,6 +221,27 @@ impl std::fmt::Display for RuntimeStats {
         )?;
         if self.kernels_saved > 0 {
             write!(f, ", kernels {} run / {} deduped", self.kernels_run, self.kernels_saved)?;
+        }
+        if self.evictions > 0 {
+            write!(
+                f,
+                ", sessions {} live ({} evicted, {} revived)",
+                self.live_keys, self.evictions, self.revivals
+            )?;
+        }
+        if self.backstop_dropped + self.backstop_forced > 0 {
+            write!(
+                f,
+                ", backstop {} dropped / {} forced",
+                self.backstop_dropped, self.backstop_forced
+            )?;
+        }
+        if self.keys_quarantined > 0 {
+            write!(
+                f,
+                ", {} keys quarantined ({} events refused)",
+                self.keys_quarantined, self.quarantine_dropped
+            )?;
         }
         Ok(())
     }

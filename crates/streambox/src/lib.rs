@@ -1,4 +1,4 @@
-//! `spe-streambox` — a StreamBox-style pipeline-parallel SPE (baseline [34]).
+//! `spe-streambox` — a StreamBox-style pipeline-parallel SPE (baseline \[34\]).
 //!
 //! StreamBox parallelizes a query by running each operator as its own
 //! pipeline stage and streaming record *bundles* between stages over

@@ -1,4 +1,4 @@
-//! `spe-trill` — a Trill-style interpreted micro-batch SPE (baseline [11]).
+//! `spe-trill` — a Trill-style interpreted micro-batch SPE (baseline \[11\]).
 //!
 //! Structural reproduction of the baseline the paper compares against most
 //! extensively: columnar micro-batches with occupancy bitmaps

@@ -40,7 +40,7 @@ pub fn all_apps() -> Vec<App> {
     vec![trading(), rsi(), normalize(), impute(), resample(), pantom(), vibration(), fraud_det()]
 }
 
-/// Trend-based trading [18]: moving-average crossover (the paper's running
+/// Trend-based trading \[18\]: moving-average crossover (the paper's running
 /// example, Figs. 2/3).
 pub fn trading() -> App {
     let mut plan = LogicalPlan::new();
@@ -59,7 +59,7 @@ pub fn trading() -> App {
     }
 }
 
-/// Relative strength index [46]: momentum indicator over a 14-tick period.
+/// Relative strength index \[46\]: momentum indicator over a 14-tick period.
 pub fn rsi() -> App {
     let mut plan = LogicalPlan::new();
     let price = plan.source("price", DataType::Float);
@@ -89,7 +89,7 @@ pub fn rsi() -> App {
     }
 }
 
-/// Z-score normalization [57] over 10-tick tumbling windows.
+/// Z-score normalization \[57\] over 10-tick tumbling windows.
 pub fn normalize() -> App {
     let mut plan = LogicalPlan::new();
     let sig = plan.source("signal", DataType::Float);
@@ -111,7 +111,7 @@ pub fn normalize() -> App {
     }
 }
 
-/// Signal imputation [54]: replace missing samples with the window average.
+/// Signal imputation \[54\]: replace missing samples with the window average.
 pub fn impute() -> App {
     let mut plan = LogicalPlan::new();
     let sig = plan.source("signal", DataType::Float);
@@ -132,7 +132,7 @@ pub const RESAMPLE_IN: i64 = 4;
 /// The output sample period of the resampling benchmark.
 pub const RESAMPLE_OUT: i64 = 3;
 
-/// Signal resampling [55]: linear interpolation from a 1/4-tick rate to a
+/// Signal resampling \[55\]: linear interpolation from a 1/4-tick rate to a
 /// 1/3-tick rate.
 pub fn resample() -> App {
     let mut plan = LogicalPlan::new();
@@ -157,7 +157,7 @@ pub fn resample() -> App {
     }
 }
 
-/// Pan–Tompkins QRS detection [39] (streaming approximation): bandpass via
+/// Pan–Tompkins QRS detection \[39\] (streaming approximation): bandpass via
 /// moving-average difference, derivative, squaring, moving-window
 /// integration, adaptive threshold against a trailing maximum.
 pub fn pantom() -> App {
@@ -189,7 +189,7 @@ pub fn pantom() -> App {
 /// The tumbling analysis window of the vibration benchmark (100 ms at 1 kHz).
 pub const VIBRATION_WINDOW: i64 = 100;
 
-/// Vibration analysis [41]: kurtosis, RMS, and crest factor per window.
+/// Vibration analysis \[41\]: kurtosis, RMS, and crest factor per window.
 pub fn vibration() -> App {
     let mut plan = LogicalPlan::new();
     let vib = plan.source("vibration", DataType::Float);
@@ -212,7 +212,7 @@ pub fn vibration() -> App {
 /// The sliding window (in ticks) of the fraud-detection benchmark.
 pub const FRAUD_WINDOW: i64 = 240;
 
-/// Credit-card fraud detection [58]: flag transactions above μ + 3σ of the
+/// Credit-card fraud detection \[58\]: flag transactions above μ + 3σ of the
 /// trailing window.
 pub fn fraud_det() -> App {
     let mut plan = LogicalPlan::new();

@@ -119,6 +119,112 @@ pub fn sampled_signal(n: usize, period: i64, seed: u64) -> Vec<Event<Value>> {
         .collect()
 }
 
+/// A Zipf(`exponent`) sampler over ranks `0..num_keys`: rank `r` is drawn
+/// with probability proportional to `1 / (r + 1)^exponent` via an inverted
+/// precomputed CDF (O(num_keys) setup, O(log num_keys) per draw).
+///
+/// This is the key-popularity shape of real keyed traffic (users,
+/// campaigns, devices): a small hot set plus a long tail of keys touched a
+/// handful of times — exactly what idle-session eviction exists for.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_keys` is zero or `exponent` is not finite.
+    pub fn new(num_keys: usize, exponent: f64) -> Zipf {
+        assert!(num_keys > 0, "Zipf needs at least one key");
+        assert!(exponent.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(num_keys);
+        let mut total = 0.0f64;
+        for r in 0..num_keys {
+            total += 1.0 / ((r + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank in `0..num_keys` (rank 0 is the hottest).
+    pub fn sample<R: rand::RngCore>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rand::Rng::gen(rng);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// A skewed keyed event stream: `n` point events at one tick each, keys
+/// drawn Zipf(`exponent`) over `0..num_keys` (the runtime's own key hash
+/// spreads the hot set across shards). Returns `(key, event)` pairs in
+/// time order.
+pub fn zipf_keyed_floats(
+    n: usize,
+    num_keys: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<(u64, Event<Value>)> {
+    let zipf = Zipf::new(num_keys, exponent);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (1..=n as i64)
+        .map(|t| {
+            (zipf.sample(&mut rng), Event::point(Time::new(t), Value::Float(rng.gen::<f64>())))
+        })
+        .collect()
+}
+
+/// A sliding-window sum whose accumulator **panics on negative input** —
+/// the deliberate poison pill for exercising the runtime's per-key panic
+/// quarantine (tests and the `hardening` bench). Pair with
+/// [`silence_poison_panics`] to keep the deliberate unwinds off stderr.
+pub fn poisonable_sum(window: i64) -> std::sync::Arc<tilt_core::CompiledQuery> {
+    use tilt_core::ir::{CustomReduce, DataType, Expr, Query, ReduceOp, TDom};
+    let acc = std::sync::Arc::new(|state: &Value, v: &Value, w: i64| {
+        let x = v.as_f64().expect("float input");
+        assert!(x >= 0.0, "poison-pill value reached the kernel");
+        Value::Float(state.as_f64().unwrap_or(0.0) + x * w as f64)
+    });
+    let op = ReduceOp::Custom(std::sync::Arc::new(CustomReduce {
+        name: "poisonable_sum".to_string(),
+        result_type: DataType::Float,
+        init: Value::Float(0.0),
+        acc,
+        deacc: None,
+        result: std::sync::Arc::new(|state: &Value, _n: i64| state.clone()),
+    }));
+    let mut b = Query::builder();
+    let input = b.input("x", DataType::Float);
+    let out = b.temporal("sum", TDom::every_tick(), Expr::reduce_window(op, input, window));
+    std::sync::Arc::new(
+        tilt_core::Compiler::new().compile(&b.finish(out).expect("valid query")).expect("compiles"),
+    )
+}
+
+/// Filters the deliberate [`poisonable_sum`] panics out of stderr (the
+/// runtime catches the unwind; this only silences the default hook's
+/// noise). Installs a chaining hook once per process; everything else
+/// still prints through the previously installed hook.
+pub fn silence_poison_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg =
+                info.payload().downcast_ref::<String>().map(String::as_str).unwrap_or_else(|| {
+                    info.payload().downcast_ref::<&str>().copied().unwrap_or("")
+                });
+            if !msg.contains("poison-pill") {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
 /// Converts `Value` events to plain-`f64` events (for the specialized
 /// baseline engines).
 ///
@@ -174,6 +280,48 @@ mod tests {
         let mean: f64 =
             evs.iter().map(|e| e.payload.as_f64().unwrap()).sum::<f64>() / evs.len() as f64;
         assert!(max > mean * 10.0, "tail missing: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_deterministic_and_in_range() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 dominates and the tail is long: the head outdraws any
+        // mid-rank key by an order of magnitude.
+        assert!(counts[0] > 2_000, "head rank too cold: {}", counts[0]);
+        assert!(counts[0] > 20 * counts[500].max(1));
+        let touched = counts.iter().filter(|&&c| c > 0).count();
+        assert!(touched > 200, "tail never sampled: {touched} keys touched");
+
+        // Deterministic in the rng stream.
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_keyed_floats_shape() {
+        let stream = zipf_keyed_floats(5000, 300, 1.1, 9);
+        assert_eq!(stream.len(), 5000);
+        assert!(stream.iter().all(|(k, _)| *k < 300));
+        // Time-ordered point events, one per tick.
+        assert!(stream
+            .windows(2)
+            .all(|w| w[0].1.end <= w[1].1.start || w[0].1.start < w[1].1.start));
+        assert_eq!(stream, zipf_keyed_floats(5000, 300, 1.1, 9), "deterministic in seed");
+        // Skew: the most popular key owns a large share of the stream.
+        let mut counts = std::collections::HashMap::new();
+        for (k, _) in &stream {
+            *counts.entry(*k).or_insert(0usize) += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > stream.len() / 20, "hottest key only {hottest} events");
     }
 
     #[test]
