@@ -13,8 +13,12 @@
 //!   YSB + tenant copy + factor query);
 //! * `hardening`: `evictions == revivals` (> 0) with zero late drops
 //!   under skew, both backstop policies holding their cap (drop-and-count
-//!   exact, force-drain lossless), and exactly one quarantined key with
-//!   every healthy key's output intact.
+//!   exact, force-drain lossless), exactly one quarantined key with
+//!   every healthy key's output intact, and — for the control-plane churn
+//!   section — monotone attach frontiers that clear the watermark, every
+//!   detach reclaiming sessions, and the surviving query's output
+//!   unchanged (identical streams, equal coalesced event counts) under
+//!   attach/detach churn.
 //!
 //! ```sh
 //! cargo run --release --bin guardrail -- bench-artifacts/
@@ -146,6 +150,15 @@ fn check_file(file: &Path) -> Outcome {
             check.eq_i64("quarantine.keys_quarantined", 1);
             check.le_fields("quarantine.quarantine_dropped_min", "quarantine.quarantine_dropped");
             check.is_true("quarantine.healthy_keys_intact");
+            check.fields_equal("churn.attached", "churn.attached_expected");
+            check.fields_equal("churn.detached", "churn.detached_expected");
+            check.is_true("churn.frontiers_monotone");
+            check.is_true("churn.frontiers_above_watermark");
+            check.gt_i64("churn.sessions_reclaimed", 0);
+            check.is_true("churn.survivor_identical");
+            check.fields_equal("churn.survivor_events", "churn.survivor_events_baseline");
+            check.eq_i64("churn.late_dropped", 0);
+            check.eq_i64("churn.baseline_late_dropped", 0);
         }
         other => {
             check

@@ -1,9 +1,10 @@
 //! Runtime hardening under hostile traffic: steady-state memory and
 //! throughput with **Zipf-skewed keys** (idle-session eviction), a
-//! **pinned watermark** (reorder-buffer backstop, both policies), and a
-//! **poisoned key** (panic quarantine).
+//! **pinned watermark** (reorder-buffer backstop, both policies), a
+//! **poisoned key** (panic quarantine), and **query churn** (live
+//! attach/detach under steady load).
 //!
-//! Three sections, each exercising one hardening mechanism end to end:
+//! Four sections, each exercising one hardening mechanism end to end:
 //!
 //! 1. *Eviction*: a Zipf(1.2) keyed stream over many keys with
 //!    `key_ttl` set — the hot set stays resident while the long tail is
@@ -15,6 +16,10 @@
 //!    `ForceDrain` (bounded, lossless for in-order input).
 //! 3. *Quarantine*: one key's kernel panics mid-stream; every other key's
 //!    output is byte-identical to an unpoisoned replay.
+//! 4. *Churn*: tenants attach to and detach from the running service under
+//!    steady Zipf load — attach frontiers are monotone and clear the
+//!    watermark, detaches reclaim sessions, and the surviving query's
+//!    coalesced output is identical to a churn-free run.
 //!
 //! ```sh
 //! cargo run --release --bin hardening -- --events 2000000 --json out.json
@@ -32,7 +37,10 @@ use tilt_bench::{fmt_meps, meps, print_table, time_it, write_json_report, RunCfg
 use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
 use tilt_core::{CompiledQuery, Compiler};
 use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
-use tilt_runtime::{BackstopPolicy, KeyedEvent, Runtime, RuntimeConfig, RuntimeStats};
+use tilt_runtime::{
+    BackstopPolicy, KeyedEvent, PerKeyOutput, QueryHandle, QuerySettings, RuntimeConfig,
+    RuntimeStats, StreamService,
+};
 use tilt_workloads::gen;
 use tilt_workloads::gen::{poisonable_sum, silence_poison_panics};
 
@@ -42,6 +50,49 @@ fn sliding_sum(window: i64) -> Arc<CompiledQuery> {
     let out =
         b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, window));
     Arc::new(Compiler::new().compile(&b.finish(out).unwrap()).unwrap())
+}
+
+/// A single-query service plus its handle: the bench sections all run one
+/// query at a time, so keep the old `Runtime`-shaped surface locally.
+struct Single {
+    svc: StreamService,
+    q: QueryHandle,
+}
+
+struct SingleOutput {
+    per_key: PerKeyOutput,
+    stats: RuntimeStats,
+}
+
+impl Single {
+    fn start(cq: Arc<CompiledQuery>, config: RuntimeConfig) -> Single {
+        let mut builder = StreamService::builder(config);
+        let q = builder.register(cq);
+        Single { svc: builder.start().expect("single registration"), q }
+    }
+
+    fn start_with_sink(
+        cq: Arc<CompiledQuery>,
+        config: RuntimeConfig,
+        sink: tilt_runtime::OutputSink,
+    ) -> Single {
+        let mut builder = StreamService::builder(config);
+        let q = builder.register_with(cq, QuerySettings::with_sink(sink));
+        Single { svc: builder.start().expect("single registration"), q }
+    }
+
+    fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+        self.svc.ingest(events);
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        self.svc.stats()
+    }
+
+    fn finish_at(self, end: Time) -> SingleOutput {
+        let mut out = self.svc.finish_at(end);
+        SingleOutput { per_key: out.per_query.swap_remove(self.q.index()), stats: out.stats }
+    }
 }
 
 fn wait_for(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
@@ -65,7 +116,7 @@ fn eviction_section(cfg: &RunCfg, shards: usize) -> (Vec<Vec<String>>, Json) {
 
     let emitted = Arc::new(AtomicU64::new(0));
     let sink_count = Arc::clone(&emitted);
-    let runtime = Runtime::start_with_sink(
+    let runtime = Single::start_with_sink(
         sliding_sum(window),
         RuntimeConfig {
             shards,
@@ -203,7 +254,7 @@ fn backstop_section(cfg: &RunCfg) -> Json {
     // Drop-and-count: strict bound, counted loss.
     // Samples taken only after the ingest queue drains are meaningful: the
     // shard thread may not even have been scheduled while ingest runs.
-    let settled_backlog = |runtime: &Runtime| -> usize {
+    let settled_backlog = |runtime: &Single| -> usize {
         let drained = wait_for(Duration::from_secs(60), || {
             let s = runtime.stats();
             s.queue_depths.iter().sum::<usize>() == 0 && s.events_in == n as u64
@@ -212,7 +263,7 @@ fn backstop_section(cfg: &RunCfg) -> Json {
         runtime.stats().reorder_pending.iter().sum()
     };
 
-    let runtime = Runtime::start(sliding_sum(window), config(BackstopPolicy::DropNewest));
+    let runtime = Single::start(sliding_sum(window), config(BackstopPolicy::DropNewest));
     runtime.ingest(stream.iter().cloned());
     let max_pending = settled_backlog(&runtime);
     let drop_out = runtime.finish_at(end);
@@ -224,7 +275,7 @@ fn backstop_section(cfg: &RunCfg) -> Json {
     assert_eq!(max_pending, cap, "a pinned watermark holds exactly the cap");
 
     // Force-drain: same bound, nothing lost on in-order input.
-    let runtime = Runtime::start(sliding_sum(window), config(BackstopPolicy::ForceDrain));
+    let runtime = Single::start(sliding_sum(window), config(BackstopPolicy::ForceDrain));
     runtime.ingest(stream.iter().cloned());
     let force_max_pending = settled_backlog(&runtime);
     let force_out = runtime.finish_at(end);
@@ -234,7 +285,7 @@ fn backstop_section(cfg: &RunCfg) -> Json {
     assert!(force_max_pending <= cap + 1, "force-drain backlog exceeded the cap");
 
     // Lossless: force-drained output equals an uncapped baseline, per key.
-    let baseline = Runtime::start(
+    let baseline = Single::start(
         sliding_sum(window),
         RuntimeConfig { shards: 1, allowed_lateness: 1_000_000_000, ..RuntimeConfig::default() },
     );
@@ -288,7 +339,7 @@ fn quarantine_section(cfg: &RunCfg) -> Json {
     // unwind, but the default hook would still spam stderr.
     silence_poison_panics();
 
-    let runtime = Runtime::start(
+    let runtime = Single::start(
         Arc::clone(&cq),
         RuntimeConfig { shards: 2, emit_interval: 32, ..RuntimeConfig::default() },
     );
@@ -344,6 +395,105 @@ fn quarantine_section(cfg: &RunCfg) -> Json {
     ])
 }
 
+/// Section 4: live attach/detach churn under steady Zipf load. The
+/// surviving query's coalesced output must be identical to a churn-free
+/// baseline, attach frontiers must be monotone and clear the watermark,
+/// and every detach must reclaim its per-key sessions.
+fn churn_section(cfg: &RunCfg) -> Json {
+    let n = (cfg.events / 10).clamp(50_000, 400_000);
+    let num_keys = 512usize;
+    let window = 16i64;
+    // Quantize payloads to multiples of 1/64 so the float window sums are
+    // exact regardless of emission chunking: the churn run advances on a
+    // different cycle cadence than the baseline (attach/detach messages
+    // add cycles), and raw f64 sums would differ by ULPs.
+    let stream: Vec<(u64, Event<Value>)> = gen::zipf_keyed_floats(n, num_keys, 1.2, 7)
+        .into_iter()
+        .map(|(k, mut e)| {
+            if let Value::Float(f) = e.payload {
+                e.payload = Value::Float((f * 64.0).round() / 64.0);
+            }
+            (k, e)
+        })
+        .collect();
+    let end = Time::new(n as i64 + window);
+    let config = RuntimeConfig { shards: 2, emit_interval: 64, ..RuntimeConfig::default() };
+    let coalesced_events = |per_key: &PerKeyOutput| -> u64 {
+        per_key.values().map(|evs| coalesce(evs).len() as u64).sum()
+    };
+
+    // Churn-free baseline: the survivor alone over the whole stream.
+    let baseline = Single::start(sliding_sum(window), config);
+    baseline.ingest(stream.iter().map(|(k, e)| KeyedEvent::new(*k, 0, e.clone())));
+    let base = baseline.finish_at(end);
+    assert_eq!(base.stats.late_dropped, 0);
+    let base_events = coalesced_events(&base.per_key);
+
+    // Churn run: the same survivor, plus a tenant attaching after every
+    // chunk and detaching two chunks later.
+    let mut builder = StreamService::builder(config);
+    let survivor = builder.register(sliding_sum(window));
+    let service = builder.start().expect("register");
+    let chunk = (stream.len() / 8).max(1);
+    let mut frontiers: Vec<Time> = Vec::new();
+    let mut frontiers_above_watermark = true;
+    let mut tenants: std::collections::VecDeque<QueryHandle> = std::collections::VecDeque::new();
+    let mut attached = 0u64;
+    let mut detached = 0u64;
+    for part in stream.chunks(chunk) {
+        service.ingest(part.iter().map(|(k, e)| KeyedEvent::new(*k, 0, e.clone())));
+        let wm_before = service.stats().min_watermark;
+        let tenant =
+            service.attach(sliding_sum(window), QuerySettings::default()).expect("tenant attaches");
+        attached += 1;
+        frontiers_above_watermark &= tenant.frontier() >= wm_before;
+        frontiers.push(tenant.frontier());
+        tenants.push_back(tenant);
+        if tenants.len() > 2 {
+            let old = tenants.pop_front().expect("tenant queued");
+            service.detach(old).expect("tenant detaches");
+            detached += 1;
+        }
+    }
+    let frontiers_monotone = frontiers.windows(2).all(|w| w[0] <= w[1]);
+    let out = service.finish_at(end);
+    let churn_events = coalesced_events(&out.per_query[survivor.index()]);
+    let survivor_identical = base.per_key.len() == out.per_query[survivor.index()].len()
+        && base.per_key.iter().all(|(k, evs)| {
+            streams_equivalent(&coalesce(evs), &coalesce(&out.per_query[survivor.index()][k]))
+        });
+
+    assert!(frontiers_monotone, "attach frontiers regressed: {frontiers:?}");
+    assert!(frontiers_above_watermark, "an attach frontier fell behind the watermark");
+    assert!(survivor_identical, "churn changed the surviving query's output");
+    assert_eq!(out.stats.attached, attached);
+    assert_eq!(out.stats.detached, detached);
+    assert!(out.stats.sessions_reclaimed > 0, "detach must reclaim sessions");
+    assert_eq!(out.stats.late_dropped, 0, "in-order churn run must lose nothing");
+
+    println!(
+        "churn: {} tenants attached / {} detached under load; {} sessions reclaimed; \
+         survivor emitted {} coalesced events (baseline {})",
+        attached, detached, out.stats.sessions_reclaimed, churn_events, base_events
+    );
+    Json::obj([
+        ("events", n.into()),
+        ("attached", out.stats.attached.into()),
+        ("attached_expected", attached.into()),
+        ("detached", out.stats.detached.into()),
+        ("detached_expected", detached.into()),
+        ("queries_live", out.stats.queries_live.into()),
+        ("sessions_reclaimed", out.stats.sessions_reclaimed.into()),
+        ("frontiers_monotone", frontiers_monotone.into()),
+        ("frontiers_above_watermark", frontiers_above_watermark.into()),
+        ("survivor_identical", survivor_identical.into()),
+        ("survivor_events", churn_events.into()),
+        ("survivor_events_baseline", base_events.into()),
+        ("late_dropped", out.stats.late_dropped.into()),
+        ("baseline_late_dropped", base.stats.late_dropped.into()),
+    ])
+}
+
 fn main() {
     let cfg = RunCfg::from_args(2_000_000);
     let shards = cfg.threads.clamp(1, 4);
@@ -357,6 +507,7 @@ fn main() {
     );
     let backstop = backstop_section(&cfg);
     let quarantine = quarantine_section(&cfg);
+    let churn = churn_section(&cfg);
 
     write_json_report(
         &cfg,
@@ -365,6 +516,7 @@ fn main() {
             ("eviction", eviction),
             ("backstop", backstop),
             ("quarantine", quarantine),
+            ("churn", churn),
         ]),
     );
 }

@@ -1,12 +1,12 @@
 //! Multi-query sharing: N queries over one ad stream through a shared
-//! `MultiRuntime` vs N independent `Runtime`s that each re-ingest,
-//! re-buffer, and re-watermark the same events.
+//! `StreamService` vs N independent single-query services that each
+//! re-ingest, re-buffer, and re-watermark the same events.
 //!
 //! The query set is the multi-tenant shape the registry is built for:
 //! YSB (per-campaign 10s view counts), a second tenant registering the
 //! *identical* YSB query, and the correlated factor query (peak 10s count
 //! per minute) whose pane-count prefix is structurally identical to YSB's.
-//! The shared runtime ingests and reorder-buffers each event once and
+//! The shared service ingests and reorder-buffers each event once and
 //! executes the deduplicated pane kernel once per advance; the independent
 //! setup pays all of it N times.
 //!
@@ -18,8 +18,9 @@ use std::sync::Arc;
 
 use tilt_bench::json::Json;
 use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, write_json_report, RunCfg};
+use tilt_core::sharing::QueryGroup;
 use tilt_core::Compiler;
-use tilt_runtime::{MultiRuntime, Runtime, RuntimeConfig};
+use tilt_runtime::{RuntimeConfig, StreamService};
 use tilt_workloads::ysb;
 
 fn main() {
@@ -55,22 +56,22 @@ fn main() {
     };
 
     // One probe run for the sharing accounting (identical every run).
+    let plan_group = QueryGroup::new(queries.to_vec()).expect("queries share the ad stream");
+    println!(
+        "query set: {} queries, {} kernel instances, {} distinct after dedup ({} shared)",
+        queries.len(),
+        plan_group.kernel_instances(),
+        plan_group.distinct_kernels(),
+        plan_group.shared_kernels(),
+    );
     let probe = {
-        let mut builder = MultiRuntime::builder(runtime_cfg(2));
+        let mut builder = StreamService::builder(runtime_cfg(2));
         for cq in &queries {
             builder.register(Arc::clone(cq));
         }
-        let rt = builder.start().expect("register");
-        println!(
-            "query set: {} queries, {} kernel instances, {} distinct after dedup \
-             ({} shared)",
-            rt.num_queries(),
-            rt.group().kernel_instances(),
-            rt.group().distinct_kernels(),
-            rt.group().shared_kernels(),
-        );
-        rt.ingest(ysb::keyed(&shuffled));
-        rt.finish_at(end)
+        let svc = builder.start().expect("register");
+        svc.ingest(ysb::keyed(&shuffled));
+        svc.finish_at(end)
     };
     assert_eq!(probe.stats.late_dropped, 0, "lateness bound must absorb the shuffle");
     assert_eq!(
@@ -93,35 +94,37 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_rows: Vec<Json> = Vec::new();
     for &shards in &shard_counts {
-        // Shared: one runtime, one ingestion pass, N outputs.
+        // Shared: one service, one ingestion pass, N outputs.
         let t_shared = best_throughput(cfg.events, cfg.runs, || {
-            let mut builder = MultiRuntime::builder(runtime_cfg(shards));
+            let mut builder = StreamService::builder(runtime_cfg(shards));
             let ysb_id = builder.register(Arc::clone(&queries[0]));
             for cq in &queries[1..] {
                 builder.register(Arc::clone(cq));
             }
-            let rt = builder.start().expect("register");
-            rt.ingest(ysb::keyed(&shuffled));
-            let out = rt.finish_at(end);
+            let svc = builder.start().expect("register");
+            svc.ingest(ysb::keyed(&shuffled));
+            let out = svc.finish_at(end);
             let views = ysb::count_views(out.per_query[ysb_id.index()].values(), end, window);
             assert_eq!(views, expected, "shared YSB must count every view");
             views as usize
         });
 
-        // Independent: N runtimes, each re-ingesting the whole stream.
+        // Independent: N services, each re-ingesting the whole stream.
         let t_indep = best_throughput(cfg.events, cfg.runs, || {
             let mut reorder_total = 0u64;
             for cq in &queries {
-                let rt = Runtime::start(Arc::clone(cq), runtime_cfg(shards));
-                rt.ingest(ysb::keyed(&shuffled));
-                let out = rt.finish_at(end);
+                let mut builder = StreamService::builder(runtime_cfg(shards));
+                builder.register(Arc::clone(cq));
+                let svc = builder.start().expect("register");
+                svc.ingest(ysb::keyed(&shuffled));
+                let out = svc.finish_at(end);
                 assert_eq!(out.stats.late_dropped, 0);
                 reorder_total += out.stats.reorder_buffered;
             }
             assert_eq!(
                 reorder_total,
                 (queries.len() * events.len()) as u64,
-                "independent runtimes buffer every event once per query"
+                "independent services buffer every event once per query"
             );
             reorder_total as usize
         });
@@ -140,7 +143,7 @@ fn main() {
     }
 
     print_table(
-        &format!("Multi-query — shared MultiRuntime vs {} independent runtimes", queries.len()),
+        &format!("Multi-query — shared StreamService vs {} independent services", queries.len()),
         &format!(
             "{} events, {campaigns} campaigns, window {window} ticks, displacement \
              {displacement}; {} hardware threads",

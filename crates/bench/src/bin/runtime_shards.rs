@@ -36,14 +36,14 @@ fn main() {
     let mut base_ooo = 0.0f64;
     for &shards in &shard_counts {
         let t_inorder = best_throughput(cfg.events, cfg.runs, || {
-            let (views, stats) = ysb::run_tilt_runtime(&events, shards, window, 0);
+            let (views, stats) = ysb::run_tilt_service(&events, shards, window, 0);
             assert_eq!(views, expected, "in-order run must count every view");
             late_inorder += stats.late_dropped;
             views as usize
         });
         let t_ooo = best_throughput(cfg.events, cfg.runs, || {
             let (views, stats) =
-                ysb::run_tilt_runtime(&shuffled, shards, window, 2 * displacement as i64 + 2);
+                ysb::run_tilt_service(&shuffled, shards, window, 2 * displacement as i64 + 2);
             assert_eq!(views, expected, "bounded lateness must absorb the shuffle");
             late_ooo += stats.late_dropped;
             views as usize

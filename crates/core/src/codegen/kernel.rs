@@ -81,16 +81,31 @@ impl Kernel {
         bufs: &[Option<&SnapshotBuf<Value>>],
         range: TimeRange,
     ) -> SnapshotBuf<Value> {
-        let p = self.precision;
         let mut out = SnapshotBuf::new(range.start);
+        self.run_into(bufs, range, &mut out);
+        out
+    }
+
+    /// Like [`Kernel::run`], but writes into `out` (reset to `range.start`
+    /// first), reusing its span allocation. Hot emission paths recycle
+    /// output buffers through a [`tilt_data::BufPool`] this way instead of
+    /// reallocating one per kernel per advance.
+    pub fn run_into(
+        &self,
+        bufs: &[Option<&SnapshotBuf<Value>>],
+        range: TimeRange,
+        out: &mut SnapshotBuf<Value>,
+    ) {
+        let p = self.precision;
+        out.reset(range.start);
         if range.is_empty() {
-            return out;
+            return;
         }
         let g_first = Time::new(range.start.ticks() + 1).align_up(p);
         let g_last = range.end.align_down(p);
         if g_first > g_last {
             out.push_raw(range.end, Value::Null);
-            return out;
+            return;
         }
 
         let buf_for = |obj: TObjId| -> &SnapshotBuf<Value> {
@@ -130,7 +145,6 @@ impl Kernel {
         if g_last < range.end {
             out.push_raw(range.end, Value::Null);
         }
-        out
     }
 
     /// The next grid tick (≤ `g_last`) at which any access may change value.

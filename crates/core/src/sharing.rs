@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+use tilt_data::{BufPool, Event, SnapshotBuf, Time, TimeRange, Value};
 
 use crate::analysis::Extent;
 use crate::error::{CompileError, Result};
@@ -392,6 +392,48 @@ impl QueryGroup {
         Ok(QueryGroup { queries, n_sources, grid, lookahead, keep, nodes, node_of, outputs })
     }
 
+    /// A new group with `cq` appended as the last member: the incremental
+    /// edit behind live query *attach*. Shared-prefix nodes are recomputed
+    /// from scratch (group construction is cheap next to streaming), but
+    /// live per-key sessions are untouched — their state is only input
+    /// histories and a watermark, both independent of the member set, so
+    /// [`GroupSessionIn::migrate_group`] can move them to the new group
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueryGroup::new`] source-type conflicts.
+    pub fn with_member(&self, cq: Arc<CompiledQuery>) -> Result<QueryGroup> {
+        let mut queries = self.queries.clone();
+        queries.push(cq);
+        QueryGroup::new(queries)
+    }
+
+    /// A new group with member `index` removed: the incremental edit behind
+    /// live query *detach*. Later members shift down one position; callers
+    /// tracking stable query identities must remap accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Invalid`] when `index` is out of range or
+    /// the group would become empty (drop the last session instead).
+    pub fn without_member(&self, index: usize) -> Result<QueryGroup> {
+        if index >= self.queries.len() {
+            return Err(CompileError::Invalid(format!(
+                "cannot detach member {index} of a {}-member group",
+                self.queries.len()
+            )));
+        }
+        if self.queries.len() == 1 {
+            return Err(CompileError::Invalid(
+                "cannot detach the last member of a group; drop the group instead".into(),
+            ));
+        }
+        let mut queries = self.queries.clone();
+        queries.remove(index);
+        QueryGroup::new(queries)
+    }
+
     /// The member queries, in registration order.
     pub fn queries(&self) -> &[Arc<CompiledQuery>] {
         &self.queries
@@ -495,6 +537,26 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
         self.watermark
     }
 
+    /// Moves this session onto a different (typically edited) group without
+    /// disturbing its streaming state: input histories and the watermark
+    /// carry over unchanged. This is what makes live attach/detach cheap —
+    /// a session's state depends only on the *input* it has absorbed, never
+    /// on the member set, so recomputing shared-prefix nodes
+    /// ([`QueryGroup::with_member`] / [`QueryGroup::without_member`]) does
+    /// not invalidate it.
+    ///
+    /// If the new group reads more sources than the session has histories,
+    /// the new histories are rooted at the current watermark (that source
+    /// contributed nothing so far). Extra histories from a shrunk group are
+    /// retained and ignored.
+    pub fn migrate_group(&mut self, group: G) {
+        let n = group.borrow().n_sources;
+        while self.histories.len() < n {
+            self.histories.push(SnapshotBuf::new(self.watermark));
+        }
+        self.group = group;
+    }
+
     /// Appends events to group source `idx` (feeding every member query that
     /// declares that input position). Events must be in order and start at
     /// or after the previous end of that source's history.
@@ -513,26 +575,53 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
     /// the most conservative member's horizon — so every returned prefix is
     /// final. Buffers may be empty when the horizon has not advanced.
     pub fn advance_to(&mut self, upto: Time) -> Vec<SnapshotBuf<Value>> {
+        let mut pool = BufPool::new();
+        self.advance_to_with(upto, &mut pool)
+    }
+
+    /// Like [`GroupSessionIn::advance_to`], drawing every intermediate
+    /// kernel buffer from `pool` (and returning it there before the call
+    /// ends). Long-lived workers holding many sessions pass one shared pool
+    /// so per-advance allocation churn amortizes away; the returned output
+    /// buffers can be [`BufPool::put`] back once consumed.
+    pub fn advance_to_with(
+        &mut self,
+        upto: Time,
+        pool: &mut BufPool<Value>,
+    ) -> Vec<SnapshotBuf<Value>> {
         assert!(upto > self.watermark, "advance_to must move forward");
         let g = self.group.borrow();
         let target = Time::new(upto.ticks() - g.lookahead).align_down(g.grid);
         if target <= self.watermark {
-            return (0..g.num_queries()).map(|_| SnapshotBuf::new(self.watermark)).collect();
+            let wm = self.watermark;
+            return (0..g.num_queries()).map(|_| pool.take(wm)).collect();
         }
-        self.emit_range(target)
+        self.emit_range(target, pool)
     }
 
     /// Emits everything up to `end` unconditionally (end-of-stream flush:
     /// missing future input reads as φ).
     pub fn flush_to(&mut self, end: Time) -> Vec<SnapshotBuf<Value>> {
-        if end <= self.watermark {
-            let g = self.group.borrow();
-            return (0..g.num_queries()).map(|_| SnapshotBuf::new(self.watermark)).collect();
-        }
-        self.emit_range(end)
+        let mut pool = BufPool::new();
+        self.flush_to_with(end, &mut pool)
     }
 
-    fn emit_range(&mut self, target: Time) -> Vec<SnapshotBuf<Value>> {
+    /// Like [`GroupSessionIn::flush_to`], drawing intermediates from `pool`
+    /// (see [`GroupSessionIn::advance_to_with`]).
+    pub fn flush_to_with(
+        &mut self,
+        end: Time,
+        pool: &mut BufPool<Value>,
+    ) -> Vec<SnapshotBuf<Value>> {
+        if end <= self.watermark {
+            let g = self.group.borrow();
+            let wm = self.watermark;
+            return (0..g.num_queries()).map(|_| pool.take(wm)).collect();
+        }
+        self.emit_range(end, pool)
+    }
+
+    fn emit_range(&mut self, target: Time, pool: &mut BufPool<Value>) -> Vec<SnapshotBuf<Value>> {
         let g = self.group.borrow();
         for hist in &mut self.histories {
             if hist.end() < target {
@@ -542,7 +631,8 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
         let range = TimeRange::new(self.watermark, target);
 
         // Pass 1: every distinct kernel once, over the union of its
-        // consumers' extents (creation order is topological).
+        // consumers' extents (creation order is topological). Buffers come
+        // from the pool and go back at the end of the pass.
         let mut node_bufs: Vec<Option<SnapshotBuf<Value>>> =
             (0..g.nodes.len()).map(|_| None).collect();
         for ni in 0..g.nodes.len() {
@@ -551,7 +641,8 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
             let kernel = &cq.kernels()[node.kernel];
             let kstart = range.start.saturating_add(-node.ext.lookback());
             let kend = range.end.saturating_add(node.ext.lookahead()).align_up(kernel.precision);
-            let out = {
+            let mut out = pool.take(kstart);
+            {
                 let mut view: Vec<Option<&SnapshotBuf<Value>>> = vec![None; cq.n_slots()];
                 for &(slot, src) in &node.deps {
                     view[slot] = Some(match src {
@@ -561,8 +652,8 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
                         }
                     });
                 }
-                kernel.run(&view, TimeRange::new(kstart, kend))
-            };
+                kernel.run_into(&view, TimeRange::new(kstart, kend), &mut out);
+            }
             node_bufs[ni] = Some(out);
         }
 
@@ -581,6 +672,9 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
                 }
             })
             .collect();
+        for buf in node_bufs.into_iter().flatten() {
+            pool.put(buf);
+        }
 
         self.watermark = target;
         for hist in &mut self.histories {
@@ -804,6 +898,56 @@ mod tests {
                 outs[qi]
             );
         }
+    }
+
+    #[test]
+    fn incremental_edits_preserve_live_sessions() {
+        // The live attach/detach contract: a session's state is input
+        // histories + watermark, independent of the member set, so a
+        // group edited with `with_member` / `without_member` can adopt a
+        // running session via `migrate_group` and the surviving member's
+        // output is exactly what an unedited run produces.
+        let pane = Arc::new(Compiler::new().compile(&pane_query()).unwrap());
+        let factor = Arc::new(Compiler::new().compile(&factor_query()).unwrap());
+        let base = Arc::new(QueryGroup::new(vec![Arc::clone(&pane)]).unwrap());
+        let grown = Arc::new(base.with_member(Arc::clone(&factor)).unwrap());
+        assert_eq!(grown.num_queries(), 2);
+        assert_eq!(grown.shared_kernels(), 1, "the appended member shares the pane prefix");
+        let shrunk = Arc::new(grown.without_member(1).unwrap());
+        assert_eq!(shrunk.num_queries(), 1);
+        assert!(grown.without_member(5).is_err(), "out-of-range member");
+        assert!(shrunk.without_member(0).is_err(), "cannot empty a group");
+
+        let events = int_events(300);
+        let end = Time::new(360);
+        // Reference: the pane query through an unedited 1-member group.
+        let mut plain = base.shared_session(Time::ZERO);
+        let mut expected: Vec<Event<Value>> = Vec::new();
+        // Edited: grow mid-stream, then shrink back, migrating the live
+        // session each time.
+        let mut edited = base.shared_session(Time::ZERO);
+        let mut got: Vec<Event<Value>> = Vec::new();
+        for (i, chunk) in events.chunks(60).enumerate() {
+            let upto = chunk.last().unwrap().end;
+            plain.push_events(0, chunk);
+            edited.push_events(0, chunk);
+            if upto > plain.watermark() {
+                expected.extend(plain.advance_to(upto).remove(0).to_events());
+                got.extend(edited.advance_to(upto).remove(0).to_events());
+            }
+            if i == 1 {
+                edited.migrate_group(Arc::clone(&grown));
+            }
+            if i == 3 {
+                edited.migrate_group(Arc::clone(&shrunk));
+            }
+        }
+        expected.extend(plain.flush_to(end).remove(0).to_events());
+        got.extend(edited.flush_to(end).remove(0).to_events());
+        assert!(
+            streams_equivalent(&coalesce(&expected), &coalesce(&got)),
+            "group edits disturbed a live session's output"
+        );
     }
 
     #[test]

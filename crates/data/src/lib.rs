@@ -36,7 +36,7 @@ pub use event::{
     coalesce, count_in_range, sort_stream, stream_extent, streams_close, streams_equivalent,
     validate_stream, values_close, Event,
 };
-pub use ssbuf::{SnapshotBuf, Span, SsCursor};
+pub use ssbuf::{BufPool, SnapshotBuf, Span, SsCursor};
 pub use time::{Time, TimeRange};
 pub use value::Value;
 

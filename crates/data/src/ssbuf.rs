@@ -125,6 +125,14 @@ impl<P: Payload> SnapshotBuf<P> {
         self.spans.push(Span { t_end, value });
     }
 
+    /// Resets the buffer to an empty state rooted at `start`, retaining the
+    /// span allocation. This is what lets hot emission paths recycle
+    /// buffers through a [`BufPool`] instead of reallocating every cycle.
+    pub fn reset(&mut self, start: Time) {
+        self.start = start;
+        self.spans.clear();
+    }
+
     /// Exclusive start of the buffer's coverage.
     #[inline]
     pub fn start(&self) -> Time {
@@ -269,6 +277,60 @@ impl<P: Payload> SnapshotBuf<P> {
     /// Whether no two adjacent spans carry equal values (fully coalesced).
     pub fn is_coalesced(&self) -> bool {
         self.spans.windows(2).all(|w| !w[0].value.same(&w[1].value))
+    }
+}
+
+/// A recycling pool of [`SnapshotBuf`] allocations.
+///
+/// Streaming sessions allocate several intermediate buffers per emission
+/// cycle (one per distinct kernel); under millions of advances per second
+/// that allocation churn dominates small-batch costs. A pool owned by the
+/// *worker* (one per shard thread, not per key session) lets every advance
+/// reuse the span vectors of the previous one without holding per-key
+/// memory: [`BufPool::take`] hands out a reset buffer, [`BufPool::put`]
+/// returns it once its contents have been consumed.
+pub struct BufPool<P> {
+    free: Vec<SnapshotBuf<P>>,
+}
+
+impl<P> Default for BufPool<P> {
+    fn default() -> Self {
+        BufPool { free: Vec::new() }
+    }
+}
+
+impl<P> fmt::Debug for BufPool<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BufPool({} idle)", self.free.len())
+    }
+}
+
+impl<P: Payload> BufPool<P> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool { free: Vec::new() }
+    }
+
+    /// Takes a buffer rooted at `start`: a recycled allocation when one is
+    /// available, a fresh one otherwise.
+    pub fn take(&mut self, start: Time) -> SnapshotBuf<P> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.reset(start);
+                buf
+            }
+            None => SnapshotBuf::new(start),
+        }
+    }
+
+    /// Returns a consumed buffer's allocation to the pool.
+    pub fn put(&mut self, buf: SnapshotBuf<P>) {
+        self.free.push(buf);
+    }
+
+    /// Number of idle buffers held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
     }
 }
 

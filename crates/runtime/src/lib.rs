@@ -1,54 +1,63 @@
 //! `tilt-runtime` — a sharded, keyed, out-of-order-tolerant streaming
-//! runtime that serves compiled TiLT queries over many independent key
-//! streams.
+//! service that serves a **dynamic set** of compiled TiLT queries over
+//! many independent key streams.
 //!
 //! The TiLT compiler (paper §6) produces a [`CompiledQuery`] for a single
 //! logical stream. Long-running services need the layer above: millions of
 //! per-key streams (one per user, campaign, device, …) multiplexed over a
-//! fixed worker pool, with events arriving out of order — and usually more
-//! than one query watching the same streams. This crate provides that
-//! layer, compile-once/serve-many style:
+//! fixed worker pool, events arriving out of order, many queries watching
+//! the same streams — and tenants coming and going *while the service
+//! runs*. This crate provides that layer behind one handle-based control
+//! plane, [`StreamService`]:
 //!
-//! * **Keyed ingestion** — [`Runtime::ingest`] hash-partitions
+//! * **Build → run** — [`StreamService::builder`] registers queries (each
+//!   returning a typed [`QueryHandle`]) and [`StreamServiceBuilder::start`]
+//!   spawns the shard workers;
+//! * **Live attach/detach** — [`StreamService::attach`] admits a query to
+//!   the *running* service: it joins at a negotiated frontier at or above
+//!   the current watermark, and from that frontier onward its output is
+//!   identical to a standalone service fed only the post-frontier suffix
+//!   (cf. *Shared Arrangements*). [`StreamService::detach`] removes a
+//!   query, reclaiming its per-key sessions and tombstone output
+//!   ([`RuntimeStats::sessions_reclaimed`]);
+//! * **Per-query settings** — [`QuerySettings`] gives each registration its
+//!   own allowed lateness, emission cadence, and sink instead of one
+//!   group-wide conservative setting; queries with identical settings share
+//!   an execution cell and its kernel-prefix dedup
+//!   ([`tilt_core::sharing::QueryGroup`]);
+//! * **Output subscription** — [`StreamService::subscribe`] installs a sink
+//!   on a live query so finalized events stream out without waiting for
+//!   [`StreamService::finish`];
+//! * **Keyed ingestion** — [`StreamService::ingest`] hash-partitions
 //!   [`KeyedEvent`]s across `N` shard threads over bounded channels
 //!   (backpressure: producers block when a shard falls behind);
 //! * **Out-of-order tolerance** — each shard holds a per-key, per-source
-//!   reorder buffer (kept sorted by monotone insertion; drains never
-//!   re-sort); events mature once the shard watermark passes them.
-//!   Per-source watermarks advance as `max event start seen −
-//!   allowed_lateness` (floored by explicit [`Runtime::watermark`]
-//!   promises) and their minimum drives emission, so a slow source holds
-//!   results back rather than corrupting them. Watermarks bound event
-//!   *starts* because an event contributes value back to its start: once
-//!   no future event can start at or before `wm`, every tick up to `wm`
-//!   is final;
-//! * **Multi-query sharing** — a [`MultiRuntime`] serves N registered
-//!   queries over *one* ingested stream: reorder buffering and watermark
-//!   tracking happen once per shard (not once per query), and structurally
-//!   identical kernel prefixes across queries execute once per advance
-//!   (via [`tilt_core::sharing::QueryGroup`] — cf. *Shared Arrangements*
-//!   and *Factor Windows*). Each query keeps its own [`QueryId`], sink,
-//!   and output/stats accounting;
-//! * **Synchronization-free data parallelism** — keys never migrate
-//!   between shards; each shard drives plain per-key sessions, so shards
-//!   share nothing but the read-only compiled queries (the runtime
-//!   analogue of §6.2's partition workers);
-//! * **Hardening for long-running skewed traffic** — sessions for keys
-//!   idle past a configurable TTL are *evicted* and transparently
-//!   re-created on revival ([`RuntimeConfig::key_ttl`]); reorder buffers
-//!   are *capped* so a stalled source cannot pin unbounded memory
+//!   reorder buffer shared by every query; events mature once a query's
+//!   cell watermark passes them. Watermarks advance as `max event start
+//!   seen − allowed_lateness` per source (floored by explicit
+//!   [`StreamService::watermark`] promises) and their minimum over a
+//!   cell's sources drives emission, so a slow source holds results back
+//!   rather than corrupting them;
+//! * **Hardening** — idle sessions are evicted by event-time TTL
+//!   ([`RuntimeConfig::key_ttl`]) *and*, new in this revision, wall-clock
+//!   TTL ([`RuntimeConfig::wall_clock_ttl`]) so a shard with no traffic
+//!   still frees memory; reorder buffers are capped
 //!   ([`RuntimeConfig::max_pending_per_key`] /
 //!   [`RuntimeConfig::max_pending_per_shard`] with a [`BackstopPolicy`]);
-//!   and kernel execution runs under `catch_unwind`, so a poisoned key is
-//!   *quarantined* — counted, its later events refused — instead of
-//!   killing its shard thread and every other key on it;
-//! * **Observability** — [`Runtime::stats`] snapshots throughput,
-//!   watermark lag, late-drop counts, live/evicted/quarantined key counts,
-//!   reorder-buffer occupancy, per-shard queue depths, per-query output
-//!   counts, and the kernel executions saved by dedup.
+//!   kernel execution runs under `catch_unwind` so a poisoned key is
+//!   quarantined instead of killing its shard;
+//! * **Observability** — [`StreamService::stats`] snapshots throughput,
+//!   watermark lag, late drops, per-query output counts and join
+//!   frontiers, attach/detach/reclamation counters, eviction and
+//!   quarantine gauges, queue depths, and kernel executions saved by
+//!   dedup.
 //!
-//! Events later than `allowed_lateness` are *dropped and counted*
-//! ([`RuntimeStats::late_dropped`]), the classic watermark trade-off.
+//! Events later than every interested query's allowed lateness are
+//! *dropped and counted* ([`RuntimeStats::late_dropped`]), the classic
+//! watermark trade-off.
+//!
+//! The pre-control-plane entry points ([`Runtime`], [`MultiRuntime`])
+//! remain as thin deprecated shims over [`StreamService`].
 //!
 //! # Example
 //!
@@ -57,7 +66,7 @@
 //! use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
 //! use tilt_core::Compiler;
 //! use tilt_data::{Event, Time, Value};
-//! use tilt_runtime::{KeyedEvent, Runtime, RuntimeConfig};
+//! use tilt_runtime::{KeyedEvent, RuntimeConfig, StreamService};
 //!
 //! // Per-key 4-tick sliding sum.
 //! let mut b = Query::builder();
@@ -66,32 +75,35 @@
 //! let query = b.finish(sum).unwrap();
 //! let cq = Arc::new(Compiler::new().compile(&query).unwrap());
 //!
-//! let runtime = Runtime::start(
-//!     Arc::clone(&cq),
-//!     RuntimeConfig { shards: 2, allowed_lateness: 8, ..RuntimeConfig::default() },
-//! );
+//! let mut builder = StreamService::builder(RuntimeConfig {
+//!     shards: 2,
+//!     allowed_lateness: 8,
+//!     ..RuntimeConfig::default()
+//! });
+//! let sum_q = builder.register(Arc::clone(&cq));
+//! let service = builder.start().unwrap();
 //! // Two keys, events interleaved and out of order within each key.
-//! runtime.ingest([
+//! service.ingest([
 //!     KeyedEvent::new(7, 0, Event::point(Time::new(2), Value::Float(1.0))),
 //!     KeyedEvent::new(9, 0, Event::point(Time::new(1), Value::Float(5.0))),
 //!     KeyedEvent::new(7, 0, Event::point(Time::new(1), Value::Float(2.0))), // late, in bound
 //!     KeyedEvent::new(9, 0, Event::point(Time::new(2), Value::Float(6.0))),
 //! ]);
-//! let output = runtime.finish_at(Time::new(4));
+//! let output = service.finish_at(Time::new(4));
 //! assert_eq!(output.stats.late_dropped, 0);
 //! // Key 7 saw 1.0@2 and 2.0@1: the 4-tick sum at t=2 is 3.0.
-//! let key7 = &output.per_key[&7];
+//! let key7 = &output.per_query[sum_q.index()][&7];
 //! assert!(key7.iter().any(|e| e.payload == Value::Float(3.0)));
 //! ```
 //!
-//! # Multi-query example
+//! # Live attach/detach example
 //!
 //! ```
 //! use std::sync::Arc;
 //! use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
 //! use tilt_core::Compiler;
 //! use tilt_data::{Event, Time, Value};
-//! use tilt_runtime::{KeyedEvent, MultiRuntime, RuntimeConfig};
+//! use tilt_runtime::{KeyedEvent, QuerySettings, RuntimeConfig, StreamService};
 //!
 //! let compile = |window: i64| {
 //!     let mut b = Query::builder();
@@ -99,55 +111,60 @@
 //!     let s = b.temporal("s", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, window));
 //!     Arc::new(Compiler::new().compile(&b.finish(s).unwrap()).unwrap())
 //! };
-//! let mut builder = MultiRuntime::builder(RuntimeConfig { shards: 2, ..Default::default() });
+//! let mut builder = StreamService::builder(RuntimeConfig { shards: 2, ..Default::default() });
 //! let q_fast = builder.register(compile(2));
-//! let q_slow = builder.register(compile(8));
-//! let tenant2 = builder.register(compile(2)); // identical to q_fast: kernel deduped
-//! let runtime = builder.start().unwrap();
-//! runtime.ingest((1..=100).map(|t| {
-//!     KeyedEvent::new(t % 5, 0, Event::point(Time::new(t as i64), Value::Float(1.0)))
-//! }));
-//! let out = runtime.finish_at(Time::new(108));
-//! // One ingestion pass served all three queries...
-//! assert_eq!(out.stats.reorder_buffered, 100);
-//! // ...and the duplicated kernel ran once per advance, not twice.
-//! assert!(out.stats.kernels_saved > 0);
-//! assert_eq!(out.per_query[q_fast.index()].len(), 5);
-//! assert_eq!(out.per_query[q_slow.index()].len(), 5);
-//! assert_eq!(out.per_query[q_fast.index()], out.per_query[tenant2.index()]);
+//! let service = builder.start().unwrap();
+//! let event = |t: i64| KeyedEvent::new(t as u64 % 5, 0, Event::point(Time::new(t), Value::Float(1.0)));
+//! service.ingest((1..=50).map(event));
+//!
+//! // A tenant joins the *running* service: its handle records the
+//! // negotiated frontier, and it sees exactly the post-frontier suffix.
+//! let tenant = service.attach(compile(2), QuerySettings::default()).unwrap();
+//! assert!(tenant.frontier() >= Time::new(50));
+//! service.ingest((51..=100).map(event));
+//!
+//! let out = service.finish_at(Time::new(108));
+//! assert_eq!(out.stats.attached, 1);
+//! // Both queries are live through the shutdown flush; the tenant's
+//! // output covers only ticks at or after its join frontier.
+//! assert!(!out.per_query[q_fast.index()].is_empty());
+//! assert!(out.per_query[tenant.index()]
+//!     .values()
+//!     .flatten()
+//!     .all(|e| e.start >= tenant.frontier()));
 //! ```
 
 #![warn(missing_docs)]
 
-mod engine;
 mod shard;
 mod stats;
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::SyncSender;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use tilt_core::ir::DataType;
 use tilt_core::sharing::QueryGroup;
 use tilt_core::CompiledQuery;
 use tilt_data::{Event, Time, Value};
 
-use engine::Engine;
-use shard::{Shard, ShardMsg, ShardOutput};
+use shard::{CellSpec, Shard, ShardMsg, ShardOutput};
 pub use stats::RuntimeStats;
-use stats::SharedStats;
+use stats::{SharedStats, SinkTable};
 
 /// One event addressed to one key's stream.
 ///
 /// `source` selects which input stream the event feeds (0 for single-input
-/// queries). In a [`MultiRuntime`], source `i` feeds input `i` of every
-/// registered query that declares at least `i + 1` inputs.
+/// queries). Source `i` feeds input `i` of every registered query that
+/// declares at least `i + 1` inputs.
 #[derive(Clone, Debug)]
 pub struct KeyedEvent {
     /// The stream key (user id, campaign id, device id, …).
     pub key: u64,
-    /// Index into the runtime's input sources.
+    /// Index into the service's input sources.
     pub source: usize,
     /// The event itself.
     pub event: Event<Value>,
@@ -164,19 +181,6 @@ impl KeyedEvent {
 /// newly finalized events, in per-key time order.
 pub type OutputSink = Arc<dyn Fn(u64, &[Event<Value>]) + Send + Sync>;
 
-/// Identifies one registered query of a [`MultiRuntime`]; indexes
-/// [`MultiRuntimeOutput::per_query`] and
-/// [`RuntimeStats::events_out_per_query`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct QueryId(usize);
-
-impl QueryId {
-    /// The query's position in registration order.
-    pub fn index(self) -> usize {
-        self.0
-    }
-}
-
 /// What a shard does when a reorder-buffer cap
 /// ([`RuntimeConfig::max_pending_per_key`] /
 /// [`RuntimeConfig::max_pending_per_shard`]) is hit.
@@ -187,7 +191,7 @@ pub enum BackstopPolicy {
     /// stream loses its newest out-of-order arrivals while the cap holds.
     #[default]
     DropNewest,
-    /// Force-drain the oldest buffered events into their key's session
+    /// Force-drain the oldest buffered events into their key's sessions
     /// ahead of the watermark, emitting what matures
     /// ([`RuntimeStats::backstop_forced`]). Nothing is lost at the moment
     /// the cap is hit, but the drained keys sacrifice lateness tolerance:
@@ -195,41 +199,57 @@ pub enum BackstopPolicy {
     ForceDrain,
 }
 
-/// Configuration for [`Runtime::start`] / [`MultiRuntime::builder`].
+/// Configuration for [`StreamService::builder`].
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
     /// Number of shard worker threads (keys are hash-partitioned across
     /// them). Defaults to available parallelism.
     pub shards: usize,
-    /// How many ticks late an event may arrive (its start relative to the
-    /// newest event start seen on its source) before it is dropped.
-    /// 0 = in-order input.
+    /// Default allowed lateness (ticks): how late an event may arrive (its
+    /// start relative to the newest event start seen on its source) before
+    /// it is dropped. 0 = in-order input. Overridable per query via
+    /// [`QuerySettings::allowed_lateness`].
     pub allowed_lateness: i64,
     /// Target bound on each shard's ingest queue, in events; producers
     /// block when a queue is full (backpressure). Enforced in channel
     /// messages as `max(channel_capacity / ingest_batch, 1)`, so it is
-    /// exact for full [`Runtime::ingest`] batches; producers sending
-    /// single-event messages ([`Runtime::send`]) hit the message bound
-    /// after `channel_capacity / ingest_batch` events instead.
+    /// exact for full [`StreamService::ingest`] batches; producers sending
+    /// single-event messages ([`StreamService::send`]) hit the message
+    /// bound after `channel_capacity / ingest_batch` events instead.
     pub channel_capacity: usize,
-    /// Events per channel message: [`Runtime::ingest`] groups routed
+    /// Events per channel message: [`StreamService::ingest`] groups routed
     /// events into batches of this size to amortize channel overhead.
     pub ingest_batch: usize,
-    /// Minimum watermark advance (ticks) between kernel re-runs per key.
-    /// Larger values batch more input into each kernel invocation.
+    /// Default minimum watermark advance (ticks) between kernel re-runs per
+    /// key. Larger values batch more input into each kernel invocation.
+    /// Overridable per query via [`QuerySettings::emit_interval`].
     pub emit_interval: i64,
     /// Logical start of every key's timeline.
     pub start: Time,
-    /// Idle-eviction TTL in ticks: a key whose reorder buffers are empty
-    /// and whose newest event trails the shard's emission horizon by more
-    /// than this is retired — its session (history, buffers) is torn down
-    /// and transparently re-created if the key revives. `None` (default)
-    /// keeps every session forever. The TTL is clamped up to the engine's
-    /// *state horizon* (lookback + lookahead + 2 grid steps) so eviction
-    /// never changes output; an evicted key's revival events must start at
-    /// or after its eviction frontier (earlier stragglers are late-dropped,
-    /// as they would be past any lateness horizon).
+    /// Event-time idle-eviction TTL in ticks: a key whose reorder buffers
+    /// are empty and whose newest event trails the shard's emission horizon
+    /// by more than this is retired — its sessions (history, buffers) are
+    /// torn down and transparently re-created if the key revives. `None`
+    /// (default) keeps every session forever. The TTL is clamped up to the
+    /// widest live query's *state horizon* (lookback + lookahead + 2 grid
+    /// steps) so eviction never changes output; an evicted key's revival
+    /// events must start at or after its eviction frontier (earlier
+    /// stragglers are late-dropped, as they would be past any lateness
+    /// horizon).
     pub key_ttl: Option<i64>,
+    /// Wall-clock idle-eviction TTL: a key that has received no events for
+    /// this long is retired even if the event-time watermark never moved —
+    /// the escape hatch for shards whose sources went silent entirely,
+    /// where the purely event-time `key_ttl` can never fire. Anything the
+    /// key still has buffered is force-flushed through its sessions first
+    /// (the wall clock, not the watermark, declares the stream over) and
+    /// the key is tombstoned past its full output tail, so for traffic
+    /// that simply stopped the output is unchanged; in-bound stragglers
+    /// arriving *after* the eviction land behind that frontier and are
+    /// late-dropped — the trade wall-clock reclamation makes that
+    /// event-time eviction never has to. `None` (default) disables
+    /// wall-clock eviction.
+    pub wall_clock_ttl: Option<Duration>,
     /// Cap on buffered out-of-order events per key and source (`None` =
     /// unbounded). On overflow, [`RuntimeConfig::backstop`] applies.
     pub max_pending_per_key: Option<usize>,
@@ -252,6 +272,7 @@ impl Default for RuntimeConfig {
             emit_interval: 64,
             start: Time::ZERO,
             key_ttl: None,
+            wall_clock_ttl: None,
             max_pending_per_key: None,
             max_pending_per_shard: None,
             backstop: BackstopPolicy::DropNewest,
@@ -259,58 +280,181 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// Everything a single-query [`Runtime`] hands back when it drains and
-/// shuts down.
+/// Per-query settings, resolved against the service-wide
+/// [`RuntimeConfig`] defaults at registration.
+#[derive(Clone, Default)]
+pub struct QuerySettings {
+    /// Allowed lateness for this query, in ticks (`None` inherits
+    /// [`RuntimeConfig::allowed_lateness`]). Queries with a larger bound
+    /// hold shared reorder-buffer entries longer; each query drops exactly
+    /// the stragglers *its* bound refuses.
+    pub allowed_lateness: Option<i64>,
+    /// Emission cadence for this query (`None` inherits
+    /// [`RuntimeConfig::emit_interval`]).
+    pub emit_interval: Option<i64>,
+    /// Where this query's finalized events stream, if anywhere (also
+    /// installable later via [`StreamService::subscribe`]).
+    pub sink: Option<OutputSink>,
+}
+
+impl QuerySettings {
+    /// Settings that inherit every service default and stream to `sink`.
+    pub fn with_sink(sink: OutputSink) -> QuerySettings {
+        QuerySettings { sink: Some(sink), ..QuerySettings::default() }
+    }
+}
+
+impl std::fmt::Debug for QuerySettings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySettings")
+            .field("allowed_lateness", &self.allowed_lateness)
+            .field("emit_interval", &self.emit_interval)
+            .field("sink", &self.sink.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// Identifies one registered query of a [`StreamService`] and records the
+/// frontier it joined at.
+///
+/// Handles index [`ServiceOutput::per_query`],
+/// [`RuntimeStats::events_out_per_query`], and
+/// [`RuntimeStats::query_frontiers`]; they stay valid (for indexing) after
+/// detach — slots are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct QueryHandle {
+    id: usize,
+    frontier: Time,
+}
+
+impl QueryHandle {
+    /// The query's slot in registration order.
+    pub fn index(self) -> usize {
+        self.id
+    }
+
+    /// The join frontier this query was admitted at: `config.start` for
+    /// queries registered before the service started, the negotiated
+    /// frontier (≥ every watermark at attach time) for live attaches. The
+    /// query's output covers only ticks at or after it.
+    pub fn frontier(self) -> Time {
+        self.frontier
+    }
+}
+
+/// Control-plane errors from [`StreamService::attach`] /
+/// [`StreamService::detach`] / [`StreamService::subscribe`].
 #[derive(Debug)]
-pub struct RuntimeOutput {
-    /// Finalized output events per key. Keys whose queries emitted nothing
-    /// map to empty vectors; when an [`OutputSink`] consumed events as
-    /// they were finalized, the vectors are empty too.
-    pub per_key: PerKeyOutput,
-    /// Final counter snapshot.
-    pub stats: RuntimeStats,
+pub enum ServiceError {
+    /// The query could not be admitted (source-type conflict with a live
+    /// query, or query-group construction failed).
+    Compile(tilt_core::CompileError),
+    /// The handle does not name a query of this service.
+    UnknownQuery(usize),
+    /// The query was already detached.
+    Detached(usize),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Compile(e) => write!(f, "cannot admit query: {e}"),
+            ServiceError::UnknownQuery(id) => write!(f, "unknown query handle {id}"),
+            ServiceError::Detached(id) => write!(f, "query {id} was already detached"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<tilt_core::CompileError> for ServiceError {
+    fn from(e: tilt_core::CompileError) -> Self {
+        ServiceError::Compile(e)
+    }
 }
 
 /// One query's finalized output events, per key.
 pub type PerKeyOutput = HashMap<u64, Vec<Event<Value>>>;
 
-/// Everything a [`MultiRuntime`] hands back when it drains and shuts down.
+/// Everything a [`StreamService`] hands back when it drains and shuts
+/// down.
 #[derive(Debug)]
-pub struct MultiRuntimeOutput {
-    /// Per registered query (in [`QueryId`] order): finalized output events
-    /// per key. Queries with sinks have empty vectors here.
+pub struct ServiceOutput {
+    /// Per registered query (indexed by [`QueryHandle::index`]): finalized
+    /// output events per key. Every map carries an entry for every key the
+    /// service saw; the vectors are empty for queries whose sinks consumed
+    /// their events and for detached queries (whose accumulated output was
+    /// reclaimed).
     pub per_query: Vec<PerKeyOutput>,
     /// Final counter snapshot.
     pub stats: RuntimeStats,
 }
 
-/// The engine-agnostic running service: shard threads, channels, counters.
-/// [`Runtime`] and [`MultiRuntime`] are thin typed views over this.
+/// Service-side registry of query slots (shard-side state lives in the
+/// cells; this is only what the control plane needs to validate calls and
+/// assemble outputs).
+#[derive(Debug, Default)]
+struct Registry {
+    /// Liveness per query slot.
+    live: Vec<bool>,
+    /// Source payload types any live-or-past query has declared, by source
+    /// position (conservative: never shrinks on detach).
+    source_types: Vec<Option<DataType>>,
+}
+
+impl Registry {
+    /// Checks `cq` against the declared source types and records its own.
+    fn admit(&mut self, cq: &CompiledQuery) -> Result<(), ServiceError> {
+        let q = cq.query();
+        for (i, obj) in q.inputs().iter().enumerate() {
+            let Some(ty) = q.input_type(*obj) else { continue };
+            if self.source_types.len() <= i {
+                self.source_types.resize(i + 1, None);
+            }
+            match &self.source_types[i] {
+                None => self.source_types[i] = Some(ty.clone()),
+                Some(prev) if prev == ty => {}
+                Some(prev) => {
+                    return Err(ServiceError::Compile(tilt_core::CompileError::Type(format!(
+                        "query reads source {i} as {ty:?}, \
+                         but a registered query reads it as {prev:?}"
+                    ))));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The running service: shard threads, channels, counters, registry.
 #[derive(Debug)]
 struct Core {
+    config: RuntimeConfig,
     senders: Vec<SyncSender<ShardMsg>>,
     handles: Vec<JoinHandle<ShardOutput>>,
     stats: Arc<SharedStats>,
+    sinks: Arc<SinkTable>,
+    registry: Mutex<Registry>,
     shards: usize,
     ingest_batch: usize,
-    queries: usize,
 }
 
 impl Core {
-    fn start<E: Engine>(engine: E, config: RuntimeConfig, sinks: Vec<Option<OutputSink>>) -> Core {
+    fn start(
+        cells: Vec<Arc<CellSpec>>,
+        config: RuntimeConfig,
+        sinks: Arc<SinkTable>,
+        stats: Arc<SharedStats>,
+        registry: Registry,
+    ) -> Core {
         let shards = config.shards.max(1);
         let ingest_batch = config.ingest_batch.max(1);
-        let queries = engine.n_queries();
-        debug_assert_eq!(sinks.len(), queries);
-        let sinks: Arc<[Option<OutputSink>]> = sinks.into();
-        let stats = Arc::new(SharedStats::new(shards, queries));
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let cap_msgs = (config.channel_capacity / ingest_batch).max(1);
         for id in 0..shards {
             let (tx, rx) = std::sync::mpsc::sync_channel(cap_msgs);
-            let shard =
-                Shard::new(id, engine.clone(), config, Arc::clone(&sinks), Arc::clone(&stats));
+            let shard = Shard::new(id, &cells, config, Arc::clone(&sinks), Arc::clone(&stats));
             let handle = std::thread::Builder::new()
                 .name(format!("tilt-shard-{id}"))
                 .spawn(move || shard.run(rx))
@@ -318,7 +462,16 @@ impl Core {
             senders.push(tx);
             handles.push(handle);
         }
-        Core { senders, handles, stats, shards, ingest_batch, queries }
+        Core {
+            config,
+            senders,
+            handles,
+            stats,
+            sinks,
+            registry: Mutex::new(registry),
+            shards,
+            ingest_batch,
+        }
     }
 
     fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
@@ -349,9 +502,21 @@ impl Core {
     }
 
     fn watermark(&self, source: usize, time: Time) {
+        self.stats.note_promise(time);
         for tx in &self.senders {
             let _ = tx.send(ShardMsg::Watermark { source, time });
         }
+    }
+
+    /// The frontier a query attaching right now joins at: past every event
+    /// already ingested (event starts are strictly below their ends) and
+    /// every explicit watermark promise, hence at or above every shard's
+    /// current and future-given-no-new-input watermark. Monotone
+    /// non-decreasing across attaches.
+    fn negotiate_frontier(&self) -> Time {
+        let seen = Time::new(self.stats.max_event_end.load(Ordering::Relaxed));
+        let promised = Time::new(self.stats.max_promise.load(Ordering::Relaxed));
+        self.config.start.max(seen).max(promised)
     }
 
     fn shutdown(&mut self, end: Option<Time>) -> (Vec<PerKeyOutput>, RuntimeStats) {
@@ -361,13 +526,15 @@ impl Core {
             }
         }
         self.senders.clear(); // close channels: workers drain and exit
-        let mut per_query: Vec<PerKeyOutput> = (0..self.queries).map(|_| HashMap::new()).collect();
+        let n_queries = self.registry.lock().expect("registry lock").live.len();
+        let mut per_query: Vec<PerKeyOutput> = (0..n_queries).map(|_| HashMap::new()).collect();
         for handle in self.handles.drain(..) {
             let out = match handle.join() {
                 Ok(out) => out,
                 Err(cause) => std::panic::resume_unwind(cause),
             };
-            for (key, outs) in out.per_key {
+            for (key, mut outs) in out.per_key {
+                outs.resize_with(n_queries, Vec::new);
                 for (qi, events) in outs.into_iter().enumerate() {
                     per_query[qi].insert(key, events);
                 }
@@ -400,37 +567,224 @@ impl Drop for Core {
     }
 }
 
-/// A running sharded streaming service over one compiled query.
+/// Registers queries for a [`StreamService`] before it starts; create with
+/// [`StreamService::builder`].
 ///
-/// Create with [`Runtime::start`], feed with [`Runtime::ingest`], observe
-/// with [`Runtime::stats`], and shut down with [`Runtime::finish`] /
-/// [`Runtime::finish_at`] (graceful drain: buffered events are flushed
-/// through the final horizon before worker threads exit). Dropping a
-/// `Runtime` without finishing also joins the workers, discarding their
-/// output.
+/// Queries registered with identical (resolved) lateness and emission
+/// cadence share one execution cell, so structurally identical kernel
+/// prefixes across them execute once per advance.
+pub struct StreamServiceBuilder {
+    config: RuntimeConfig,
+    regs: Vec<(Arc<CompiledQuery>, QuerySettings)>,
+}
+
+impl StreamServiceBuilder {
+    /// Registers a query with default settings; its outputs accumulate
+    /// until [`StreamService::finish`].
+    pub fn register(&mut self, cq: Arc<CompiledQuery>) -> QueryHandle {
+        self.register_with(cq, QuerySettings::default())
+    }
+
+    /// Registers a query with explicit per-query settings.
+    pub fn register_with(
+        &mut self,
+        cq: Arc<CompiledQuery>,
+        settings: QuerySettings,
+    ) -> QueryHandle {
+        self.regs.push((cq, settings));
+        QueryHandle { id: self.regs.len() - 1, frontier: self.config.start }
+    }
+
+    /// Spawns the shard workers and returns the running service. A builder
+    /// with no registrations starts an *empty* service — attach queries
+    /// before ingesting events.
+    ///
+    /// # Errors
+    ///
+    /// Fails when two queries declare different payload types for the same
+    /// source position, or a query group cannot be built.
+    pub fn start(self) -> Result<StreamService, ServiceError> {
+        let config = self.config;
+        let stats = Arc::new(SharedStats::new(config.shards.max(1)));
+        let sinks = Arc::new(SinkTable::new());
+        let mut registry = Registry::default();
+        // One cell per distinct (lateness, cadence) pair, preserving
+        // registration order for handle indices.
+        struct ProtoCell {
+            lateness: i64,
+            emit_interval: i64,
+            qids: Vec<usize>,
+            queries: Vec<Arc<CompiledQuery>>,
+        }
+        let mut protos: Vec<ProtoCell> = Vec::new();
+        for (qid, (cq, settings)) in self.regs.into_iter().enumerate() {
+            registry.admit(&cq)?;
+            registry.live.push(true);
+            let id = stats.register_query(config.start, false);
+            debug_assert_eq!(id, qid);
+            sinks.push(settings.sink);
+            let lateness = settings.allowed_lateness.unwrap_or(config.allowed_lateness);
+            let emit_interval = settings.emit_interval.unwrap_or(config.emit_interval);
+            match protos
+                .iter_mut()
+                .find(|p| p.lateness == lateness && p.emit_interval == emit_interval)
+            {
+                Some(p) => {
+                    p.qids.push(qid);
+                    p.queries.push(cq);
+                }
+                None => protos.push(ProtoCell {
+                    lateness,
+                    emit_interval,
+                    qids: vec![qid],
+                    queries: vec![cq],
+                }),
+            }
+        }
+        let mut cells = Vec::with_capacity(protos.len());
+        for p in protos {
+            cells.push(Arc::new(CellSpec {
+                group: Arc::new(QueryGroup::new(p.queries)?),
+                qids: p.qids,
+                root: config.start,
+                lateness: p.lateness,
+                emit_interval: p.emit_interval,
+            }));
+        }
+        Ok(StreamService { core: Core::start(cells, config, sinks, stats, registry) })
+    }
+}
+
+/// A running sharded streaming service over a **dynamic set of registered
+/// queries** sharing one ingested keyed stream.
 ///
-/// To serve several queries over one ingested stream, use
-/// [`MultiRuntime`] instead.
+/// Build with [`StreamService::builder`], feed with
+/// [`StreamService::ingest`], grow and shrink the query set with
+/// [`StreamService::attach`] / [`StreamService::detach`], observe with
+/// [`StreamService::stats`] and [`StreamService::subscribe`], and shut
+/// down with [`StreamService::finish`] / [`StreamService::finish_at`]
+/// (graceful drain: buffered events are flushed through the final horizon
+/// before worker threads exit). Dropping a service without finishing also
+/// joins the workers, discarding their output.
+///
+/// **Sharing.** Ingestion, hash-partitioning, reorder buffering, and
+/// watermark tracking happen once per shard regardless of how many queries
+/// are registered; queries with identical settings and join frontier
+/// additionally share structurally identical kernel prefixes
+/// ([`QueryGroup`]). Each query's output is observationally identical to
+/// running it alone — the differential property suites pin this guarantee.
+///
+/// **Watermarks are per cell.** Emission for a query is driven by the
+/// minimum watermark over the sources *its cell* reads, under *its*
+/// allowed lateness. Queries of different input arity registered with the
+/// same settings still gate each other (they share a cell); give the
+/// narrow query its own [`QuerySettings`] to decouple it.
+///
+/// **Attach semantics.** A query attached mid-stream joins at a negotiated
+/// frontier ≥ every current watermark ([`QueryHandle::frontier`]). Events
+/// ingested after `attach` returns whose start is at or after the frontier
+/// are guaranteed visible to it; its output is identical, per key, to a
+/// standalone service (with `config.start` = the frontier) fed only those
+/// suffix events. Events concurrently in flight during the call may or may
+/// not be seen.
 #[derive(Debug)]
-pub struct Runtime {
+pub struct StreamService {
     core: Core,
 }
 
-impl Runtime {
-    /// Spawns `config.shards` worker threads serving `cq` and returns the
-    /// ingestion handle.
-    pub fn start(cq: Arc<CompiledQuery>, config: RuntimeConfig) -> Runtime {
-        Runtime { core: Core::start(cq, config, vec![None]) }
+impl StreamService {
+    /// Starts registering queries for a new service.
+    pub fn builder(config: RuntimeConfig) -> StreamServiceBuilder {
+        StreamServiceBuilder { config, regs: Vec::new() }
     }
 
-    /// Like [`Runtime::start`], with a sink receiving each key's events as
-    /// they are finalized instead of accumulating them for `finish`.
-    pub fn start_with_sink(
+    /// Starts an empty service (attach queries before ingesting events).
+    pub fn start(config: RuntimeConfig) -> StreamService {
+        StreamService::builder(config).start().expect("empty registration cannot conflict")
+    }
+
+    /// Attaches `cq` to the running service as a new query with its own
+    /// settings. Returns a handle recording the negotiated join frontier;
+    /// see the [type-level docs](StreamService) for the exact visibility
+    /// guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the query's source payload types conflict with a
+    /// registered query's.
+    pub fn attach(
+        &self,
         cq: Arc<CompiledQuery>,
-        config: RuntimeConfig,
-        sink: OutputSink,
-    ) -> Runtime {
-        Runtime { core: Core::start(cq, config, vec![Some(sink)]) }
+        settings: QuerySettings,
+    ) -> Result<QueryHandle, ServiceError> {
+        let mut registry = self.core.registry.lock().expect("registry lock");
+        registry.admit(&cq)?;
+        let group = Arc::new(QueryGroup::new(vec![cq])?);
+        let frontier = self.core.negotiate_frontier();
+        let qid = self.core.stats.register_query(frontier, true);
+        debug_assert_eq!(qid, registry.live.len());
+        registry.live.push(true);
+        self.core.sinks.push(settings.sink);
+        let spec = Arc::new(CellSpec {
+            group,
+            qids: vec![qid],
+            root: frontier,
+            lateness: settings.allowed_lateness.unwrap_or(self.core.config.allowed_lateness),
+            emit_interval: settings.emit_interval.unwrap_or(self.core.config.emit_interval),
+        });
+        for tx in &self.core.senders {
+            let _ = tx.send(ShardMsg::Attach(Arc::clone(&spec)));
+        }
+        Ok(QueryHandle { id: qid, frontier })
+    }
+
+    /// Detaches a query from the running service. Surviving queries are
+    /// unaffected (their outputs stay byte-identical); the detached
+    /// query's per-key sessions and tombstone output slots are reclaimed
+    /// ([`RuntimeStats::sessions_reclaimed`]), and its slot in
+    /// [`ServiceOutput::per_query`] comes back empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is unknown or already detached.
+    pub fn detach(&self, handle: QueryHandle) -> Result<(), ServiceError> {
+        let mut registry = self.core.registry.lock().expect("registry lock");
+        match registry.live.get_mut(handle.id) {
+            None => return Err(ServiceError::UnknownQuery(handle.id)),
+            Some(live) if !*live => return Err(ServiceError::Detached(handle.id)),
+            Some(live) => *live = false,
+        }
+        self.core.stats.note_detach();
+        self.core.sinks.set(handle.id, None);
+        for tx in &self.core.senders {
+            let _ = tx.send(ShardMsg::Detach { qid: handle.id });
+        }
+        Ok(())
+    }
+
+    /// Installs (or replaces) a live query's output sink: finalized events
+    /// stream to it from now on, without waiting for
+    /// [`StreamService::finish`]. Events finalized *before* the
+    /// subscription keep accumulating for the shutdown output.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is unknown or detached.
+    pub fn subscribe(&self, handle: QueryHandle, sink: OutputSink) -> Result<(), ServiceError> {
+        let registry = self.core.registry.lock().expect("registry lock");
+        match registry.live.get(handle.id) {
+            None => return Err(ServiceError::UnknownQuery(handle.id)),
+            Some(false) => return Err(ServiceError::Detached(handle.id)),
+            Some(true) => {}
+        }
+        self.core.sinks.set(handle.id, Some(sink));
+        Ok(())
+    }
+
+    /// Number of queries currently being served.
+    pub fn num_queries(&self) -> usize {
+        let registry = self.core.registry.lock().expect("registry lock");
+        registry.live.iter().filter(|l| **l).count()
     }
 
     /// Which shard serves `key`.
@@ -438,15 +792,17 @@ impl Runtime {
         shard_index(key, self.core.shards)
     }
 
-    /// Routes and enqueues events, blocking when a destination shard's
-    /// queue is full (backpressure). Events for different keys may be
-    /// interleaved arbitrarily; within a key and source, arrival order may
-    /// deviate from time order by up to the configured allowed lateness.
+    /// Routes and enqueues events once for all registered queries,
+    /// blocking when a destination shard's queue is full (backpressure).
+    /// Events for different keys may be interleaved arbitrarily; within a
+    /// key and source, arrival order may deviate from time order by up to
+    /// the configured allowed lateness.
     pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
         self.core.ingest(events);
     }
 
-    /// Ingests a single event ([`Runtime::ingest`] amortizes better).
+    /// Ingests a single event ([`StreamService::ingest`] amortizes
+    /// better).
     pub fn send(&self, event: KeyedEvent) {
         self.core.send(event);
     }
@@ -459,154 +815,28 @@ impl Runtime {
         self.core.watermark(source, time);
     }
 
-    /// Snapshots runtime health counters.
+    /// Snapshots service health counters.
     pub fn stats(&self) -> RuntimeStats {
         self.core.stats.snapshot()
     }
 
     /// Gracefully drains and shuts down: every buffered event is flushed,
     /// every session is run through the horizon of its shard's newest
-    /// event, and per-key outputs are returned.
-    pub fn finish(self) -> RuntimeOutput {
+    /// event, and per-query, per-key outputs are returned.
+    pub fn finish(self) -> ServiceOutput {
         self.shutdown(None)
     }
 
-    /// Like [`Runtime::finish`], but flushes every key's session through
-    /// the same explicit horizon `end`, making outputs independent of how
-    /// events were interleaved across shards.
-    pub fn finish_at(self, end: Time) -> RuntimeOutput {
+    /// Like [`StreamService::finish`], but flushes every key's sessions
+    /// through the same explicit horizon `end`, making outputs independent
+    /// of how events were interleaved across shards.
+    pub fn finish_at(self, end: Time) -> ServiceOutput {
         self.shutdown(Some(end))
     }
 
-    fn shutdown(mut self, end: Option<Time>) -> RuntimeOutput {
-        let (mut per_query, stats) = self.core.shutdown(end);
-        RuntimeOutput { per_key: per_query.pop().expect("single query"), stats }
-    }
-}
-
-/// Registers queries (and optional per-query sinks) for a
-/// [`MultiRuntime`]; create with [`MultiRuntime::builder`].
-pub struct MultiRuntimeBuilder {
-    config: RuntimeConfig,
-    queries: Vec<Arc<CompiledQuery>>,
-    sinks: Vec<Option<OutputSink>>,
-}
-
-impl MultiRuntimeBuilder {
-    /// Registers a query whose outputs accumulate until
-    /// [`MultiRuntime::finish`].
-    pub fn register(&mut self, cq: Arc<CompiledQuery>) -> QueryId {
-        self.queries.push(cq);
-        self.sinks.push(None);
-        QueryId(self.queries.len() - 1)
-    }
-
-    /// Registers a query whose finalized events stream to `sink` as they
-    /// mature.
-    pub fn register_with_sink(&mut self, cq: Arc<CompiledQuery>, sink: OutputSink) -> QueryId {
-        self.queries.push(cq);
-        self.sinks.push(Some(sink));
-        QueryId(self.queries.len() - 1)
-    }
-
-    /// Builds the shared [`QueryGroup`] (deduplicating structurally
-    /// identical kernel prefixes) and spawns the shard workers.
-    ///
-    /// # Errors
-    ///
-    /// Fails when no query was registered or two queries declare different
-    /// payload types for the same source position (see [`QueryGroup::new`]).
-    pub fn start(self) -> tilt_core::Result<MultiRuntime> {
-        let group = Arc::new(QueryGroup::new(self.queries)?);
-        Ok(MultiRuntime { core: Core::start(Arc::clone(&group), self.config, self.sinks), group })
-    }
-}
-
-/// A running sharded streaming service over **N registered queries**
-/// sharing one ingested keyed stream.
-///
-/// Ingestion, hash-partitioning, reorder buffering, and watermark tracking
-/// happen once per shard and fan out to every query; structurally
-/// identical kernel prefixes across queries execute once per advance
-/// ([`QueryGroup`]). Each query's output is observationally identical to
-/// running it alone in a [`Runtime`] — the workspace's differential
-/// property tests (`tests/multi_query_properties.rs`) pin this guarantee.
-///
-/// **Watermarks are group-wide.** Emission is driven by the minimum
-/// watermark over *all* sources any member declares — the multi-query
-/// extension of "a slow source holds results back". When queries of
-/// different input arity are mixed, a source only the wider query reads
-/// gates streaming emission for every member: if it stays silent, no
-/// query streams until an explicit [`MultiRuntime::watermark`] promise
-/// (or shutdown flush) advances it. Results are never wrong, only held;
-/// per-query emission cadence is a ROADMAP follow-up.
-///
-/// See the [crate-level multi-query example](crate#multi-query-example).
-#[derive(Debug)]
-pub struct MultiRuntime {
-    core: Core,
-    group: Arc<QueryGroup>,
-}
-
-impl MultiRuntime {
-    /// Starts registering queries for a shared runtime.
-    pub fn builder(config: RuntimeConfig) -> MultiRuntimeBuilder {
-        MultiRuntimeBuilder { config, queries: Vec::new(), sinks: Vec::new() }
-    }
-
-    /// The shared execution plan (kernel dedup structure) being served.
-    pub fn group(&self) -> &QueryGroup {
-        &self.group
-    }
-
-    /// Number of registered queries.
-    pub fn num_queries(&self) -> usize {
-        self.core.queries
-    }
-
-    /// Which shard serves `key`.
-    pub fn shard_of(&self, key: u64) -> usize {
-        shard_index(key, self.core.shards)
-    }
-
-    /// Routes and enqueues events once for all registered queries; see
-    /// [`Runtime::ingest`].
-    pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
-        self.core.ingest(events);
-    }
-
-    /// Ingests a single event ([`MultiRuntime::ingest`] amortizes better).
-    pub fn send(&self, event: KeyedEvent) {
-        self.core.send(event);
-    }
-
-    /// Broadcasts an explicit watermark for one shared source; see
-    /// [`Runtime::watermark`].
-    pub fn watermark(&self, source: usize, time: Time) {
-        self.core.watermark(source, time);
-    }
-
-    /// Snapshots runtime health counters (shared ingestion counters plus
-    /// per-query output counts).
-    pub fn stats(&self) -> RuntimeStats {
-        self.core.stats.snapshot()
-    }
-
-    /// Gracefully drains and shuts down, returning every query's per-key
-    /// outputs.
-    pub fn finish(self) -> MultiRuntimeOutput {
-        self.shutdown(None)
-    }
-
-    /// Like [`MultiRuntime::finish`], but flushes every key's session
-    /// through the same explicit horizon `end`.
-    pub fn finish_at(self, end: Time) -> MultiRuntimeOutput {
-        self.shutdown(Some(end))
-    }
-
-    fn shutdown(mut self, end: Option<Time>) -> MultiRuntimeOutput {
+    fn shutdown(mut self, end: Option<Time>) -> ServiceOutput {
         let (per_query, stats) = self.core.shutdown(end);
-        MultiRuntimeOutput { per_query, stats }
+        ServiceOutput { per_query, stats }
     }
 }
 
@@ -618,6 +848,227 @@ fn shard_index(key: u64, shards: usize) -> usize {
     z ^= z >> 31;
     (z % shards as u64) as usize
 }
+
+#[allow(deprecated)]
+mod compat {
+    //! Deprecated pre-control-plane entry points, kept as thin shims over
+    //! [`StreamService`]. Migration:
+    //!
+    //! * `Runtime::start(cq, config)` → `StreamService::builder(config)` +
+    //!   `register(cq)` + `start()`;
+    //! * `MultiRuntime::builder(config)` + `register`/`register_with_sink`
+    //!   → `StreamServiceBuilder::register` / `register_with`;
+    //! * `QueryId` → [`QueryHandle`] (same `index()` contract);
+    //! * `finish().per_key` → `finish().per_query[handle.index()]`.
+
+    use super::*;
+
+    /// Identifies one registered query of a [`MultiRuntime`].
+    #[deprecated(since = "0.2.0", note = "use `QueryHandle` returned by `StreamService`")]
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    pub struct QueryId(pub(crate) usize);
+
+    impl QueryId {
+        /// The query's position in registration order.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Everything a single-query [`Runtime`] hands back when it drains and
+    /// shuts down.
+    #[deprecated(since = "0.2.0", note = "use `ServiceOutput` from `StreamService::finish`")]
+    #[derive(Debug)]
+    pub struct RuntimeOutput {
+        /// Finalized output events per key.
+        pub per_key: PerKeyOutput,
+        /// Final counter snapshot.
+        pub stats: RuntimeStats,
+    }
+
+    /// Everything a [`MultiRuntime`] hands back when it drains and shuts
+    /// down.
+    #[deprecated(since = "0.2.0", note = "use `ServiceOutput` from `StreamService::finish`")]
+    #[derive(Debug)]
+    pub struct MultiRuntimeOutput {
+        /// Per registered query (in [`QueryId`] order): finalized output
+        /// events per key.
+        pub per_query: Vec<PerKeyOutput>,
+        /// Final counter snapshot.
+        pub stats: RuntimeStats,
+    }
+
+    /// A running sharded streaming service over one compiled query.
+    #[deprecated(since = "0.2.0", note = "use `StreamService` (handle-based control plane)")]
+    #[derive(Debug)]
+    pub struct Runtime {
+        svc: StreamService,
+        q: QueryHandle,
+    }
+
+    impl Runtime {
+        /// Spawns `config.shards` worker threads serving `cq` and returns
+        /// the ingestion handle.
+        pub fn start(cq: Arc<CompiledQuery>, config: RuntimeConfig) -> Runtime {
+            let mut builder = StreamService::builder(config);
+            let q = builder.register(cq);
+            Runtime { svc: builder.start().expect("single registration cannot conflict"), q }
+        }
+
+        /// Like [`Runtime::start`], with a sink receiving each key's events
+        /// as they are finalized.
+        pub fn start_with_sink(
+            cq: Arc<CompiledQuery>,
+            config: RuntimeConfig,
+            sink: OutputSink,
+        ) -> Runtime {
+            let mut builder = StreamService::builder(config);
+            let q = builder.register_with(cq, QuerySettings::with_sink(sink));
+            Runtime { svc: builder.start().expect("single registration cannot conflict"), q }
+        }
+
+        /// Which shard serves `key`.
+        pub fn shard_of(&self, key: u64) -> usize {
+            self.svc.shard_of(key)
+        }
+
+        /// Routes and enqueues events; see [`StreamService::ingest`].
+        pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+            self.svc.ingest(events);
+        }
+
+        /// Ingests a single event.
+        pub fn send(&self, event: KeyedEvent) {
+            self.svc.send(event);
+        }
+
+        /// Broadcasts an explicit watermark; see
+        /// [`StreamService::watermark`].
+        pub fn watermark(&self, source: usize, time: Time) {
+            self.svc.watermark(source, time);
+        }
+
+        /// Snapshots runtime health counters.
+        pub fn stats(&self) -> RuntimeStats {
+            self.svc.stats()
+        }
+
+        /// Gracefully drains and shuts down.
+        pub fn finish(self) -> RuntimeOutput {
+            let mut out = self.svc.finish();
+            RuntimeOutput { per_key: out.per_query.swap_remove(self.q.index()), stats: out.stats }
+        }
+
+        /// Like [`Runtime::finish`], flushing through the explicit horizon
+        /// `end`.
+        pub fn finish_at(self, end: Time) -> RuntimeOutput {
+            let mut out = self.svc.finish_at(end);
+            RuntimeOutput { per_key: out.per_query.swap_remove(self.q.index()), stats: out.stats }
+        }
+    }
+
+    /// Registers queries for a [`MultiRuntime`].
+    #[deprecated(since = "0.2.0", note = "use `StreamServiceBuilder`")]
+    pub struct MultiRuntimeBuilder {
+        inner: StreamServiceBuilder,
+    }
+
+    impl MultiRuntimeBuilder {
+        /// Registers a query whose outputs accumulate until
+        /// [`MultiRuntime::finish`].
+        pub fn register(&mut self, cq: Arc<CompiledQuery>) -> QueryId {
+            QueryId(self.inner.register(cq).index())
+        }
+
+        /// Registers a query whose finalized events stream to `sink`.
+        pub fn register_with_sink(&mut self, cq: Arc<CompiledQuery>, sink: OutputSink) -> QueryId {
+            QueryId(self.inner.register_with(cq, QuerySettings::with_sink(sink)).index())
+        }
+
+        /// Spawns the shard workers.
+        ///
+        /// # Errors
+        ///
+        /// Fails when no query was registered or two queries declare
+        /// different payload types for the same source position.
+        pub fn start(self) -> tilt_core::Result<MultiRuntime> {
+            if self.inner.regs.is_empty() {
+                return Err(tilt_core::CompileError::Invalid(
+                    "a query group needs at least one query".into(),
+                ));
+            }
+            let n = self.inner.regs.len();
+            match self.inner.start() {
+                Ok(svc) => Ok(MultiRuntime { svc, n }),
+                Err(ServiceError::Compile(e)) => Err(e),
+                Err(other) => Err(tilt_core::CompileError::Invalid(other.to_string())),
+            }
+        }
+    }
+
+    /// A running sharded streaming service over N registered queries.
+    #[deprecated(since = "0.2.0", note = "use `StreamService` (handle-based control plane)")]
+    #[derive(Debug)]
+    pub struct MultiRuntime {
+        svc: StreamService,
+        n: usize,
+    }
+
+    impl MultiRuntime {
+        /// Starts registering queries for a shared runtime.
+        pub fn builder(config: RuntimeConfig) -> MultiRuntimeBuilder {
+            MultiRuntimeBuilder { inner: StreamService::builder(config) }
+        }
+
+        /// Number of registered queries.
+        pub fn num_queries(&self) -> usize {
+            self.n
+        }
+
+        /// Which shard serves `key`.
+        pub fn shard_of(&self, key: u64) -> usize {
+            self.svc.shard_of(key)
+        }
+
+        /// Routes and enqueues events once for all registered queries.
+        pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+            self.svc.ingest(events);
+        }
+
+        /// Ingests a single event.
+        pub fn send(&self, event: KeyedEvent) {
+            self.svc.send(event);
+        }
+
+        /// Broadcasts an explicit watermark for one shared source.
+        pub fn watermark(&self, source: usize, time: Time) {
+            self.svc.watermark(source, time);
+        }
+
+        /// Snapshots runtime health counters.
+        pub fn stats(&self) -> RuntimeStats {
+            self.svc.stats()
+        }
+
+        /// Gracefully drains and shuts down, returning every query's
+        /// per-key outputs.
+        pub fn finish(self) -> MultiRuntimeOutput {
+            let out = self.svc.finish();
+            MultiRuntimeOutput { per_query: out.per_query, stats: out.stats }
+        }
+
+        /// Like [`MultiRuntime::finish`], flushing through `end`.
+        pub fn finish_at(self, end: Time) -> MultiRuntimeOutput {
+            let out = self.svc.finish_at(end);
+            MultiRuntimeOutput { per_query: out.per_query, stats: out.stats }
+        }
+    }
+}
+
+#[allow(deprecated)]
+pub use compat::{
+    MultiRuntime, MultiRuntimeBuilder, MultiRuntimeOutput, QueryId, Runtime, RuntimeOutput,
+};
 
 #[cfg(test)]
 mod tests {
@@ -638,6 +1089,23 @@ mod tests {
         Arc::new(Compiler::new().compile(&q).unwrap())
     }
 
+    /// A single-query service: the migration shape for the old `Runtime`.
+    fn single(cq: &Arc<CompiledQuery>, config: RuntimeConfig) -> (StreamService, QueryHandle) {
+        let mut builder = StreamService::builder(config);
+        let q = builder.register(Arc::clone(cq));
+        (builder.start().unwrap(), q)
+    }
+
+    fn single_with_sink(
+        cq: &Arc<CompiledQuery>,
+        config: RuntimeConfig,
+        sink: OutputSink,
+    ) -> (StreamService, QueryHandle) {
+        let mut builder = StreamService::builder(config);
+        let q = builder.register_with(Arc::clone(cq), QuerySettings::with_sink(sink));
+        (builder.start().unwrap(), q)
+    }
+
     fn key_events(key: u64, n: i64) -> Vec<KeyedEvent> {
         (1..=n)
             .map(|t| {
@@ -651,7 +1119,7 @@ mod tests {
     }
 
     /// In-order replay of one key through a borrowed StreamSession — the
-    /// ground truth the runtime must reproduce.
+    /// ground truth the service must reproduce.
     fn replay(cq: &CompiledQuery, events: &[Event<Value>], end: Time) -> Vec<Event<Value>> {
         let mut session = cq.stream_session(Time::ZERO);
         session.push_events(0, events);
@@ -663,28 +1131,25 @@ mod tests {
         let cq = sliding_sum_query(10);
         let n = 300i64;
         let keys: Vec<u64> = (0..7).collect();
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
-            RuntimeConfig { shards: 3, ..RuntimeConfig::default() },
-        );
+        let (service, q) = single(&cq, RuntimeConfig { shards: 3, ..RuntimeConfig::default() });
         // Interleave keys round-robin, in time order within each key.
         for t in 1..=n {
-            runtime.ingest(keys.iter().map(|&k| {
+            service.ingest(keys.iter().map(|&k| {
                 KeyedEvent::new(k, 0, Event::point(Time::new(t), Value::Float(k as f64 + t as f64)))
             }));
         }
         let end = Time::new(n + 10);
-        let out = runtime.finish_at(end);
+        let out = service.finish_at(end);
         assert_eq!(out.stats.late_dropped, 0);
         assert_eq!(out.stats.events_in, (n as u64) * keys.len() as u64);
-        assert_eq!(out.per_key.len(), keys.len());
+        assert_eq!(out.per_query[q.index()].len(), keys.len());
         for &k in &keys {
             let expected = replay(
                 &cq,
                 &key_events(k, n).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
                 end,
             );
-            let got = &out.per_key[&k];
+            let got = &out.per_query[q.index()][&k];
             assert!(
                 streams_equivalent(&coalesce(&expected), &coalesce(got)),
                 "key {k}: {} vs {} events",
@@ -704,27 +1169,30 @@ mod tests {
         for w in events.chunks_mut(6) {
             w.reverse();
         }
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
+        let (service, q) = single(
+            &cq,
             RuntimeConfig { shards: 2, allowed_lateness: 8, ..RuntimeConfig::default() },
         );
-        runtime.ingest(events.clone());
+        service.ingest(events.clone());
         let end = Time::new(n + 8);
-        let out = runtime.finish_at(end);
+        let out = service.finish_at(end);
         assert_eq!(out.stats.late_dropped, 0, "lateness bound must absorb the shuffle");
         let expected = replay(
             &cq,
             &key_events(key, n).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
             end,
         );
-        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&key])));
+        assert!(streams_equivalent(
+            &coalesce(&expected),
+            &coalesce(&out.per_query[q.index()][&key])
+        ));
     }
 
     #[test]
     fn beyond_lateness_events_are_dropped_and_counted() {
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
+        let (service, q) = single(
+            &cq,
             RuntimeConfig {
                 shards: 1,
                 allowed_lateness: 2,
@@ -734,25 +1202,28 @@ mod tests {
         );
         let key = 5u64;
         // Advance far, then send a hopeless straggler.
-        runtime.ingest(
+        service.ingest(
             (1..=100)
                 .map(|t| KeyedEvent::new(key, 0, Event::point(Time::new(t), Value::Float(1.0)))),
         );
-        runtime.ingest([KeyedEvent::new(key, 0, Event::point(Time::new(3), Value::Float(9.0)))]);
-        let out = runtime.finish_at(Time::new(104));
+        service.ingest([KeyedEvent::new(key, 0, Event::point(Time::new(3), Value::Float(9.0)))]);
+        let out = service.finish_at(Time::new(104));
         assert_eq!(out.stats.late_dropped, 1);
         // Output equals a replay that never saw the straggler.
         let clean: Vec<Event<Value>> =
             (1..=100).map(|t| Event::point(Time::new(t), Value::Float(1.0))).collect();
         let expected = replay(&cq, &clean, Time::new(104));
-        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&key])));
+        assert!(streams_equivalent(
+            &coalesce(&expected),
+            &coalesce(&out.per_query[q.index()][&key])
+        ));
     }
 
     // ── Hardening: eviction, backstop ──────────────────────────────────
 
     /// One shard, one hot key driving the watermark, one key that goes
-    /// idle past the TTL and then revives. The evicting runtime's output
-    /// must equal both a never-evicting runtime's and an in-order replay.
+    /// idle past the TTL and then revives. The evicting service's output
+    /// must equal both a never-evicting service's and an in-order replay.
     #[test]
     fn idle_key_eviction_and_revival_are_transparent() {
         let cq = sliding_sum_query(4);
@@ -773,7 +1244,7 @@ mod tests {
             .collect();
         let end = Time::new(530);
 
-        let evicting = Runtime::start(Arc::clone(&cq), config(Some(32)));
+        let (evicting, q) = single(&cq, config(Some(32)));
         evicting.ingest(phase1.iter().cloned());
         // Key 7 idles while key 9 drives the watermark: wait for the sweep
         // to retire it before reviving it.
@@ -789,15 +1260,18 @@ mod tests {
         assert!(out.stats.revivals >= 1, "revival event must re-create the session");
         assert_eq!(out.stats.keys, 2, "keys counts distinct keys ever seen");
 
-        let plain = Runtime::start(Arc::clone(&cq), config(None));
+        let (plain, pq) = single(&cq, config(None));
         plain.ingest(phase1.iter().cloned());
         plain.ingest(phase2.iter().cloned());
         let base = plain.finish_at(end);
         assert_eq!(base.stats.evictions, 0);
         for k in [7u64, 9u64] {
             assert!(
-                streams_equivalent(&coalesce(&base.per_key[&k]), &coalesce(&out.per_key[&k])),
-                "key {k}: evicting runtime diverged from never-evicting"
+                streams_equivalent(
+                    &coalesce(&base.per_query[pq.index()][&k]),
+                    &coalesce(&out.per_query[q.index()][&k])
+                ),
+                "key {k}: evicting service diverged from never-evicting"
             );
             // And both equal the in-order replay of the key's own stream.
             let events: Vec<Event<Value>> = phase1
@@ -808,10 +1282,65 @@ mod tests {
                 .collect();
             let expected = replay(&cq, &events, end);
             assert!(
-                streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&k])),
-                "key {k}: evicting runtime diverged from replay"
+                streams_equivalent(&coalesce(&expected), &coalesce(&out.per_query[q.index()][&k])),
+                "key {k}: evicting service diverged from replay"
             );
         }
+    }
+
+    #[test]
+    fn wall_clock_ttl_evicts_without_event_time_progress() {
+        // No watermark movement at all after ingestion: the event-time
+        // sweep can never fire, but the wall-clock TTL still retires the
+        // idle sessions — and the final flush output is unchanged.
+        let cq = sliding_sum_query(4);
+        let (service, q) = single(
+            &cq,
+            RuntimeConfig {
+                shards: 1,
+                emit_interval: 1,
+                wall_clock_ttl: Some(Duration::from_millis(30)),
+                ..RuntimeConfig::default()
+            },
+        );
+        service.ingest(key_events(1, 40));
+        service.ingest(key_events(2, 40));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while service.stats().wall_evictions < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mid = service.stats();
+        assert!(mid.wall_evictions >= 2, "wall-clock TTL never fired: {mid}");
+        assert_eq!(mid.live_keys, 0, "both keys idle out");
+        // Revive key 1 with traffic past the eviction frontier (the dead
+        // stream's end + the query's state horizon).
+        let revive_from = 41 + cq.state_horizon();
+        service.ingest((revive_from..=revive_from + 20).map(|t| {
+            KeyedEvent::new(1, 0, Event::point(Time::new(t), Value::Float(1.0 + t as f64)))
+        }));
+        let end = Time::new(revive_from + 30);
+        let out = service.finish_at(end);
+        assert!(out.stats.revivals >= 1);
+        let mut full: Vec<Event<Value>> =
+            key_events(1, 40).iter().map(|ke| ke.event.clone()).collect();
+        full.extend(
+            (revive_from..=revive_from + 20)
+                .map(|t| Event::point(Time::new(t), Value::Float(1.0 + t as f64))),
+        );
+        let expected = replay(&cq, &full, end);
+        assert!(
+            streams_equivalent(&coalesce(&expected), &coalesce(&out.per_query[q.index()][&1])),
+            "wall-clock eviction + revival diverged from replay"
+        );
+        let expected2 = replay(
+            &cq,
+            &key_events(2, 40).iter().map(|ke| ke.event.clone()).collect::<Vec<_>>(),
+            end,
+        );
+        assert!(streams_equivalent(
+            &coalesce(&expected2),
+            &coalesce(&out.per_query[q.index()][&2])
+        ));
     }
 
     #[test]
@@ -820,8 +1349,8 @@ mod tests {
         // the reorder buffer is the only place events can live. The cap
         // holds and the overflow is counted.
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
+        let (service, q) = single(
+            &cq,
             RuntimeConfig {
                 shards: 1,
                 allowed_lateness: 1_000_000,
@@ -831,8 +1360,8 @@ mod tests {
                 ..RuntimeConfig::default()
             },
         );
-        runtime.ingest(key_events(1, 500));
-        let out = runtime.finish_at(Time::new(504));
+        service.ingest(key_events(1, 500));
+        let out = service.finish_at(Time::new(504));
         assert_eq!(out.stats.backstop_dropped, 500 - 64, "overflow is dropped and counted");
         assert_eq!(out.stats.backstop_forced, 0);
         // The survivors are the oldest 64 (the cap refuses newest), so the
@@ -840,7 +1369,7 @@ mod tests {
         let prefix: Vec<Event<Value>> =
             key_events(1, 64).iter().map(|ke| ke.event.clone()).collect();
         let expected = replay(&cq, &prefix, Time::new(504));
-        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&1])));
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_query[q.index()][&1])));
         assert!(out.stats.reorder_pending.iter().all(|&p| p == 0), "drained at shutdown");
     }
 
@@ -850,8 +1379,8 @@ mod tests {
         // oldest buffered events through the session instead of dropping
         // the newest: for in-order input nothing is lost at all.
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
+        let (service, q) = single(
+            &cq,
             RuntimeConfig {
                 shards: 1,
                 allowed_lateness: 1_000_000,
@@ -861,14 +1390,14 @@ mod tests {
                 ..RuntimeConfig::default()
             },
         );
-        runtime.ingest(key_events(1, 500));
-        let out = runtime.finish_at(Time::new(504));
+        service.ingest(key_events(1, 500));
+        let out = service.finish_at(Time::new(504));
         assert_eq!(out.stats.backstop_dropped, 0);
         assert_eq!(out.stats.late_dropped, 0, "in-order input loses nothing to force-drain");
         assert!(out.stats.backstop_forced > 0, "the cap must have fired");
         let all: Vec<Event<Value>> = key_events(1, 500).iter().map(|ke| ke.event.clone()).collect();
         let expected = replay(&cq, &all, Time::new(504));
-        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&1])));
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_query[q.index()][&1])));
     }
 
     #[test]
@@ -876,8 +1405,8 @@ mod tests {
         // Many keys share one shard: no single key exceeds the per-key cap,
         // but the shard-wide cap still bounds the backlog.
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
+        let (service, _q) = single(
+            &cq,
             RuntimeConfig {
                 shards: 1,
                 allowed_lateness: 1_000_000,
@@ -888,9 +1417,9 @@ mod tests {
             },
         );
         for k in 0..20u64 {
-            runtime.ingest(key_events(k, 10));
+            service.ingest(key_events(k, 10));
         }
-        let out = runtime.finish_at(Time::new(20));
+        let out = service.finish_at(Time::new(20));
         assert_eq!(out.stats.backstop_dropped, 100, "200 sent, 100 buffered, 100 refused");
         assert_eq!(out.stats.reorder_buffered, 100);
     }
@@ -900,23 +1429,23 @@ mod tests {
         let cq = sliding_sum_query(4);
         let emitted = Arc::new(std::sync::Mutex::new(Vec::<(u64, Event<Value>)>::new()));
         let sink_store = Arc::clone(&emitted);
-        let runtime = Runtime::start_with_sink(
-            Arc::clone(&cq),
+        let (service, q) = single_with_sink(
+            &cq,
             RuntimeConfig { shards: 2, emit_interval: 1, ..RuntimeConfig::default() },
             Arc::new(move |key, events| {
                 sink_store.lock().unwrap().extend(events.iter().map(|e| (key, e.clone())));
             }),
         );
-        runtime.ingest(key_events(1, 50));
-        runtime.watermark(0, Time::new(50));
+        service.ingest(key_events(1, 50));
+        service.watermark(0, Time::new(50));
         // The sink sees finalized prefixes before shutdown.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while emitted.lock().unwrap().is_empty() && std::time::Instant::now() < deadline {
             std::thread::yield_now();
         }
         assert!(!emitted.lock().unwrap().is_empty(), "sink never saw streamed output");
-        let out = runtime.finish_at(Time::new(54));
-        assert!(out.per_key[&1].is_empty(), "sink consumed the events");
+        let out = service.finish_at(Time::new(54));
+        assert!(out.per_query[q.index()][&1].is_empty(), "sink consumed the events");
         assert_eq!(out.stats.events_out as usize, emitted.lock().unwrap().len());
         // Streamed output equals replay.
         let expected = replay(
@@ -933,45 +1462,43 @@ mod tests {
     fn quiet_key_tail_reaches_sink_without_finish() {
         // Key 1 stops at t=20; key 2 keeps driving the shard watermark
         // forward. The sink must receive key 1's closing windows (the last
-        // non-φ output of a 4-tick sum ends at t=23) while the runtime is
+        // non-φ output of a 4-tick sum ends at t=23) while the service is
         // still running — not only at shutdown flush.
         let cq = sliding_sum_query(4);
         let emitted = Arc::new(std::sync::Mutex::new(Vec::<(u64, Event<Value>)>::new()));
         let sink_store = Arc::clone(&emitted);
-        let runtime = Runtime::start_with_sink(
-            Arc::clone(&cq),
+        let (service, _q) = single_with_sink(
+            &cq,
             RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() },
             Arc::new(move |key, events| {
                 sink_store.lock().unwrap().extend(events.iter().map(|e| (key, e.clone())));
             }),
         );
-        runtime.ingest(key_events(1, 20));
+        service.ingest(key_events(1, 20));
         let quiet_tail_seen = |emitted: &std::sync::Mutex<Vec<(u64, Event<Value>)>>| {
             emitted.lock().unwrap().iter().any(|(k, e)| *k == 1 && e.end >= Time::new(23))
         };
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         let mut t = 21i64;
         while !quiet_tail_seen(&emitted) && std::time::Instant::now() < deadline {
-            runtime.send(KeyedEvent::new(2, 0, Event::point(Time::new(t), Value::Float(1.0))));
+            service.send(KeyedEvent::new(2, 0, Event::point(Time::new(t), Value::Float(1.0))));
             t += 1;
         }
         assert!(
             quiet_tail_seen(&emitted),
             "quiet key's finalized tail never reached the sink while running (watermark pushed to t={t})"
         );
-        runtime.finish();
+        service.finish();
     }
 
     #[test]
     fn stats_track_queue_and_watermarks() {
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
-            RuntimeConfig { shards: 2, emit_interval: 1, ..RuntimeConfig::default() },
-        );
-        runtime.ingest(key_events(3, 100));
-        runtime.ingest(key_events(4, 100));
-        let out = runtime.finish();
+        let (service, _q) =
+            single(&cq, RuntimeConfig { shards: 2, emit_interval: 1, ..RuntimeConfig::default() });
+        service.ingest(key_events(3, 100));
+        service.ingest(key_events(4, 100));
+        let out = service.finish();
         assert_eq!(out.stats.events_in, 200);
         assert!(out.stats.events_out > 0);
         assert_eq!(out.stats.keys, 2);
@@ -982,6 +1509,9 @@ mod tests {
         assert_eq!(out.stats.reorder_buffered, 200);
         assert_eq!(out.stats.kernels_saved, 0);
         assert_eq!(out.stats.events_out_per_query, vec![out.stats.events_out]);
+        assert_eq!(out.stats.query_frontiers, vec![Time::ZERO]);
+        assert_eq!(out.stats.queries_live, 1);
+        assert_eq!(out.stats.attached, 0, "pre-start registrations are not live attaches");
     }
 
     #[test]
@@ -1002,21 +1532,19 @@ mod tests {
         let q = b.finish(sum).unwrap();
         let cq = Arc::new(Compiler::new().compile(&q).unwrap());
 
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
-            RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() },
-        );
+        let (service, qh) =
+            single(&cq, RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() });
         let key = 9u64;
         // Source 0 races ahead; source 1 lags at t=10.
-        runtime.ingest(
+        service.ingest(
             (1..=60)
                 .map(|t| KeyedEvent::new(key, 0, Event::point(Time::new(t), Value::Float(1.0)))),
         );
-        runtime.ingest(
+        service.ingest(
             (1..=10)
                 .map(|t| KeyedEvent::new(key, 1, Event::point(Time::new(t), Value::Float(10.0)))),
         );
-        let stats = runtime.stats();
+        let stats = service.stats();
         // Min-watermark propagation: the shard watermark tracks the slow
         // source, not the fast one.
         assert!(
@@ -1024,7 +1552,7 @@ mod tests {
             "watermarks {:?} ran ahead of the slow source",
             stats.shard_watermarks
         );
-        let out = runtime.finish_at(Time::new(64));
+        let out = service.finish_at(Time::new(64));
         // Ground truth: replay both sources in order.
         let mut session = cq.stream_session(Time::ZERO);
         session.push_events(
@@ -1036,7 +1564,10 @@ mod tests {
             &(1..=10).map(|t| Event::point(Time::new(t), Value::Float(10.0))).collect::<Vec<_>>(),
         );
         let expected = session.flush_to(Time::new(64)).to_events();
-        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&key])));
+        assert!(streams_equivalent(
+            &coalesce(&expected),
+            &coalesce(&out.per_query[qh.index()][&key])
+        ));
     }
 
     #[test]
@@ -1059,14 +1590,14 @@ mod tests {
     #[test]
     fn drop_without_finish_joins_workers() {
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(Arc::clone(&cq), RuntimeConfig::default());
-        runtime.ingest(key_events(1, 10));
-        drop(runtime); // must not hang or leak panics
+        let (service, _q) = single(&cq, RuntimeConfig::default());
+        service.ingest(key_events(1, 10));
+        drop(service); // must not hang or leak panics
     }
 
     #[test]
-    fn one_shot_run_agrees_with_runtime_for_single_key() {
-        // Closing the loop with the batch executor: runtime output ==
+    fn one_shot_run_agrees_with_service_for_single_key() {
+        // Closing the loop with the batch executor: service output ==
         // CompiledQuery::run over the same events.
         let cq = sliding_sum_query(6);
         let n = 120i64;
@@ -1076,10 +1607,10 @@ mod tests {
         let buf = tilt_data::SnapshotBuf::from_events(&events, range);
         let oneshot = cq.run(&[&buf], range).to_events();
 
-        let runtime = Runtime::start(Arc::clone(&cq), RuntimeConfig::default());
-        runtime.ingest(events.iter().map(|e| KeyedEvent::new(77, 0, e.clone())));
-        let out = runtime.finish_at(Time::new(n + 6));
-        assert!(streams_equivalent(&coalesce(&oneshot), &coalesce(&out.per_key[&77])));
+        let (service, q) = single(&cq, RuntimeConfig::default());
+        service.ingest(events.iter().map(|e| KeyedEvent::new(77, 0, e.clone())));
+        let out = service.finish_at(Time::new(n + 6));
+        assert!(streams_equivalent(&coalesce(&oneshot), &coalesce(&out.per_query[q.index()][&77])));
     }
 
     // ── Watermark / lateness edge cases ────────────────────────────────
@@ -1090,16 +1621,14 @@ mod tests {
         // at t=10 must not pull emission backwards, and a forward promise
         // must floor the watermark even with no further events.
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
-            RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() },
-        );
-        runtime.ingest(key_events(1, 50));
-        runtime.watermark(0, Time::new(10)); // stale: behind max_start
-        let wait_for_wm = |runtime: &Runtime, at_least: Time| {
+        let (service, q) =
+            single(&cq, RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() });
+        service.ingest(key_events(1, 50));
+        service.watermark(0, Time::new(10)); // stale: behind max_start
+        let wait_for_wm = |service: &StreamService, at_least: Time| {
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
             while std::time::Instant::now() < deadline {
-                if runtime.stats().min_watermark >= at_least {
+                if service.stats().min_watermark >= at_least {
                     return true;
                 }
                 std::thread::yield_now();
@@ -1108,21 +1637,21 @@ mod tests {
         };
         // Point events at t=1..=50 span (t−1, t]: the start-based watermark
         // rests at 49, and the stale promise at 10 must not move it.
-        assert!(wait_for_wm(&runtime, Time::new(49)), "event-driven watermark must hold at 49");
+        assert!(wait_for_wm(&service, Time::new(49)), "event-driven watermark must hold at 49");
         // Forward promise: emission advances past the last event with no
         // new input at all.
-        runtime.watermark(0, Time::new(90));
-        assert!(wait_for_wm(&runtime, Time::new(90)), "explicit watermark must floor to 90");
+        service.watermark(0, Time::new(90));
+        assert!(wait_for_wm(&service, Time::new(90)), "explicit watermark must floor to 90");
         // A second stale promise after the forward one is also a no-op.
-        runtime.watermark(0, Time::new(40));
-        let out = runtime.finish_at(Time::new(94));
+        service.watermark(0, Time::new(40));
+        let out = service.finish_at(Time::new(94));
         assert_eq!(out.stats.late_dropped, 0);
         let expected = replay(
             &cq,
             &key_events(1, 50).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
             Time::new(94),
         );
-        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&1])));
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_query[q.index()][&1])));
     }
 
     #[test]
@@ -1132,8 +1661,8 @@ mod tests {
         // buffered event through the horizon — a drained shutdown loses
         // nothing.
         let cq = sliding_sum_query(4);
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
+        let (service, q) = single(
+            &cq,
             RuntimeConfig {
                 shards: 2,
                 allowed_lateness: 1_000_000,
@@ -1141,17 +1670,17 @@ mod tests {
                 ..RuntimeConfig::default()
             },
         );
-        runtime.ingest(key_events(8, 60));
-        let mid = runtime.stats();
+        service.ingest(key_events(8, 60));
+        let mid = service.stats();
         assert_eq!(mid.events_out, 0, "nothing may emit while the watermark holds everything");
-        let out = runtime.finish_at(Time::new(64));
+        let out = service.finish_at(Time::new(64));
         assert_eq!(out.stats.late_dropped, 0);
         let expected = replay(
             &cq,
             &key_events(8, 60).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
             Time::new(64),
         );
-        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&8])));
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_query[q.index()][&8])));
     }
 
     #[test]
@@ -1173,29 +1702,27 @@ mod tests {
         let mut events: Vec<Event<Value>> =
             vec![Event::new(Time::new(10), Time::new(40), Value::Float(2.5))];
         events.extend((41..=80).map(|t| Event::point(Time::new(t), Value::Float(1.0))));
-        let runtime = Runtime::start(
-            Arc::clone(&cq),
-            RuntimeConfig { shards: 1, emit_interval: 8, ..RuntimeConfig::default() },
-        );
-        runtime.ingest(events.iter().map(|e| KeyedEvent::new(3, 0, e.clone())));
-        let out = runtime.finish_at(Time::new(85));
+        let (service, qh) =
+            single(&cq, RuntimeConfig { shards: 1, emit_interval: 8, ..RuntimeConfig::default() });
+        service.ingest(events.iter().map(|e| KeyedEvent::new(3, 0, e.clone())));
+        let out = service.finish_at(Time::new(85));
         assert_eq!(out.stats.late_dropped, 0);
         let expected = replay(&cq, &events, Time::new(85));
         assert!(
-            streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&3])),
+            streams_equivalent(&coalesce(&expected), &coalesce(&out.per_query[qh.index()][&3])),
             "straddling interval event corrupted emission: {:?} vs {:?}",
             expected,
-            out.per_key[&3]
+            out.per_query[qh.index()][&3]
         );
     }
 
-    // ── Multi-query runtime ────────────────────────────────────────────
+    // ── Multi-query service ────────────────────────────────────────────
 
     #[test]
-    fn multi_runtime_outputs_match_standalone_runtimes() {
+    fn shared_service_outputs_match_standalone_services() {
         let fast = sliding_sum_query(3);
         let slow = sliding_sum_query(9);
-        let mut builder = MultiRuntime::builder(RuntimeConfig {
+        let mut builder = StreamService::builder(RuntimeConfig {
             shards: 2,
             allowed_lateness: 8,
             ..RuntimeConfig::default()
@@ -1226,8 +1753,8 @@ mod tests {
         assert_eq!(out.stats.reorder_buffered, events.len() as u64, "buffered once, not per query");
 
         for (qid, cq) in [(q_fast, &fast), (q_slow, &slow)] {
-            let standalone = Runtime::start(
-                Arc::clone(cq),
+            let (standalone, sq) = single(
+                cq,
                 RuntimeConfig { shards: 2, allowed_lateness: 8, ..RuntimeConfig::default() },
             );
             standalone.ingest(events.iter().cloned());
@@ -1235,10 +1762,10 @@ mod tests {
             for k in 0..4u64 {
                 assert!(
                     streams_equivalent(
-                        &coalesce(&solo.per_key[&k]),
+                        &coalesce(&solo.per_query[sq.index()][&k]),
                         &coalesce(&out.per_query[qid.index()][&k])
                     ),
-                    "query {} key {k} diverged from standalone runtime",
+                    "query {} key {k} diverged from standalone service",
                     qid.index()
                 );
             }
@@ -1246,25 +1773,24 @@ mod tests {
     }
 
     #[test]
-    fn multi_runtime_per_query_sinks_and_stats() {
+    fn per_query_sinks_and_stats() {
         let cq = sliding_sum_query(4);
         let streamed = Arc::new(std::sync::Mutex::new(Vec::<Event<Value>>::new()));
         let sink_store = Arc::clone(&streamed);
-        let mut builder = MultiRuntime::builder(RuntimeConfig {
+        let mut builder = StreamService::builder(RuntimeConfig {
             shards: 1,
             emit_interval: 1,
             ..RuntimeConfig::default()
         });
-        let sunk = builder.register_with_sink(
+        let sunk = builder.register_with(
             Arc::clone(&cq),
-            Arc::new(move |_key, events| {
+            QuerySettings::with_sink(Arc::new(move |_key, events| {
                 sink_store.lock().unwrap().extend(events.iter().cloned());
-            }),
+            })),
         );
         let kept = builder.register(Arc::clone(&cq));
         let multi = builder.start().unwrap();
         assert_eq!(multi.num_queries(), 2);
-        assert_eq!(multi.group().shared_kernels(), 1, "identical queries share their kernel");
 
         multi.ingest(key_events(1, 50));
         let out = multi.finish_at(Time::new(54));
@@ -1286,11 +1812,11 @@ mod tests {
     }
 
     #[test]
-    fn multi_runtime_drops_late_events_once() {
+    fn shared_service_drops_late_events_once() {
         // A beyond-lateness straggler is one lost *ingest* event, however
         // many queries are registered.
         let cq = sliding_sum_query(4);
-        let mut builder = MultiRuntime::builder(RuntimeConfig {
+        let mut builder = StreamService::builder(RuntimeConfig {
             shards: 1,
             allowed_lateness: 2,
             emit_interval: 1,
@@ -1317,13 +1843,13 @@ mod tests {
     }
 
     #[test]
-    fn mixed_arity_group_waits_for_quiet_source_until_promised() {
-        // Group-wide watermark semantics (documented on MultiRuntime): a
-        // 1-input query co-registered with a 2-input query is gated by the
-        // 2-input query's second source. With source 1 silent nothing
-        // streams; an explicit watermark promise on source 1 releases
-        // emission for everyone; the flush output still matches replay.
-        let single = sliding_sum_query(4);
+    fn mixed_arity_cell_waits_for_quiet_source_until_promised() {
+        // Same-settings queries share a cell, so a 1-input query
+        // co-registered with a 2-input query is gated by the 2-input
+        // query's second source. With source 1 silent nothing streams; an
+        // explicit watermark promise on source 1 releases emission; the
+        // flush output still matches replay.
+        let single_q = sliding_sum_query(4);
         let dual = {
             let mut b = Query::builder();
             let a_in = b.input("a", DataType::Float);
@@ -1341,28 +1867,28 @@ mod tests {
         };
         let streamed = Arc::new(std::sync::Mutex::new(Vec::<Event<Value>>::new()));
         let sink_store = Arc::clone(&streamed);
-        let mut builder = MultiRuntime::builder(RuntimeConfig {
+        let mut builder = StreamService::builder(RuntimeConfig {
             shards: 1,
             emit_interval: 1,
             ..RuntimeConfig::default()
         });
-        let single_id = builder.register_with_sink(
-            Arc::clone(&single),
-            Arc::new(move |_key, events| {
+        let single_id = builder.register_with(
+            Arc::clone(&single_q),
+            QuerySettings::with_sink(Arc::new(move |_key, events| {
                 sink_store.lock().unwrap().extend(events.iter().cloned());
-            }),
+            })),
         );
         builder.register(dual);
         let multi = builder.start().unwrap();
 
         multi.ingest(key_events(1, 40)); // source 0 only; source 1 silent
-                                         // The quiet source holds the group watermark at -inf: nothing may
+                                         // The quiet source holds the cell watermark at -inf: nothing may
                                          // stream yet (bounded wait to let the shard process the batch).
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
         while std::time::Instant::now() < deadline {
             assert!(
                 streamed.lock().unwrap().is_empty(),
-                "1-input query streamed while the group watermark was held"
+                "1-input query streamed while the cell watermark was held"
             );
             std::thread::yield_now();
         }
@@ -1379,7 +1905,7 @@ mod tests {
         let out = multi.finish_at(Time::new(44));
         assert!(out.per_query[single_id.index()][&1].is_empty(), "sink consumed the events");
         let expected = replay(
-            &single,
+            &single_q,
             &key_events(1, 40).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
             Time::new(44),
         );
@@ -1388,7 +1914,68 @@ mod tests {
     }
 
     #[test]
-    fn multi_runtime_rejects_conflicting_source_types() {
+    fn narrow_query_with_own_settings_is_not_gated_by_wide_query() {
+        // The per-query-settings escape hatch for the mixed-arity gotcha:
+        // give the 1-input query its own emission cadence, so it lands in
+        // its own cell and streams even while the 2-input query's second
+        // source is silent.
+        let single_q = sliding_sum_query(4);
+        let dual = {
+            let mut b = Query::builder();
+            let a_in = b.input("a", DataType::Float);
+            let b_in = b.input("b", DataType::Float);
+            let sum = b.temporal(
+                "sum",
+                TDom::every_tick(),
+                Expr::reduce_window(ReduceOp::Sum, a_in, 4).add(Expr::reduce_window(
+                    ReduceOp::Sum,
+                    b_in,
+                    4,
+                )),
+            );
+            Arc::new(Compiler::new().compile(&b.finish(sum).unwrap()).unwrap())
+        };
+        let streamed = Arc::new(std::sync::Mutex::new(Vec::<Event<Value>>::new()));
+        let sink_store = Arc::clone(&streamed);
+        let mut builder = StreamService::builder(RuntimeConfig {
+            shards: 1,
+            emit_interval: 4,
+            ..RuntimeConfig::default()
+        });
+        builder.register_with(
+            Arc::clone(&single_q),
+            QuerySettings {
+                emit_interval: Some(1), // distinct settings: own cell
+                sink: Some(Arc::new(move |_key, events| {
+                    sink_store.lock().unwrap().extend(events.iter().cloned());
+                })),
+                ..QuerySettings::default()
+            },
+        );
+        builder.register(dual);
+        let multi = builder.start().unwrap();
+        multi.ingest(key_events(1, 40)); // source 1 stays silent
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while streamed.lock().unwrap().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(
+            !streamed.lock().unwrap().is_empty(),
+            "a decoupled 1-input query must stream despite the silent source"
+        );
+        let out = multi.finish_at(Time::new(44));
+        let expected = replay(
+            &single_q,
+            &key_events(1, 40).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+            Time::new(44),
+        );
+        let streamed: Vec<Event<Value>> = streamed.lock().unwrap().clone();
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&streamed)));
+        assert_eq!(out.stats.late_dropped, 0);
+    }
+
+    #[test]
+    fn conflicting_source_types_are_rejected() {
         let float_q = sliding_sum_query(4);
         let int_q = {
             let mut b = Query::builder();
@@ -1397,11 +1984,214 @@ mod tests {
                 b.temporal("s", TDom::every_tick(), Expr::reduce_window(ReduceOp::Count, input, 4));
             Arc::new(Compiler::new().compile(&b.finish(s).unwrap()).unwrap())
         };
-        let mut builder = MultiRuntime::builder(RuntimeConfig::default());
-        builder.register(float_q);
-        builder.register(int_q);
+        let mut builder = StreamService::builder(RuntimeConfig::default());
+        builder.register(Arc::clone(&float_q));
+        builder.register(Arc::clone(&int_q));
         assert!(builder.start().is_err());
-        let empty = MultiRuntime::builder(RuntimeConfig::default());
-        assert!(empty.start().is_err());
+        // An empty service is now legal (attach-first pattern)…
+        let empty = StreamService::start(RuntimeConfig::default());
+        // …and live attach enforces the same type discipline.
+        empty.attach(float_q, QuerySettings::default()).unwrap();
+        assert!(matches!(
+            empty.attach(int_q, QuerySettings::default()),
+            Err(ServiceError::Compile(_))
+        ));
+        empty.finish();
+    }
+
+    // ── Control plane: attach / detach / subscribe ─────────────────────
+
+    #[test]
+    fn attach_joins_at_frontier_and_matches_suffix_run() {
+        let cq = sliding_sum_query(4);
+        let (service, q0) =
+            single(&cq, RuntimeConfig { shards: 2, emit_interval: 1, ..RuntimeConfig::default() });
+        service.ingest(key_events(1, 50));
+        service.ingest(key_events(2, 50));
+        let tenant = service.attach(Arc::clone(&cq), QuerySettings::default()).unwrap();
+        assert!(tenant.frontier() >= Time::new(50), "frontier must clear every ingested event");
+        assert_eq!(service.num_queries(), 2);
+        let suffix: Vec<KeyedEvent> = (51..=120)
+            .flat_map(|t| {
+                [1u64, 2u64].map(|k| {
+                    KeyedEvent::new(
+                        k,
+                        0,
+                        Event::point(Time::new(t), Value::Float(k as f64 + t as f64)),
+                    )
+                })
+            })
+            .collect();
+        service.ingest(suffix.iter().cloned());
+        let end = Time::new(128);
+        let out = service.finish_at(end);
+        assert_eq!(out.stats.attached, 1);
+        assert_eq!(out.stats.query_frontiers[tenant.index()], tenant.frontier());
+
+        // The tenant sees exactly what a standalone service rooted at the
+        // frontier and fed only the suffix would see.
+        let (suffix_run, sq) = single(
+            &cq,
+            RuntimeConfig {
+                shards: 2,
+                emit_interval: 1,
+                start: tenant.frontier(),
+                ..RuntimeConfig::default()
+            },
+        );
+        suffix_run.ingest(suffix.iter().cloned());
+        let solo = suffix_run.finish_at(end);
+        for k in [1u64, 2u64] {
+            assert!(
+                streams_equivalent(
+                    &coalesce(&solo.per_query[sq.index()][&k]),
+                    &coalesce(&out.per_query[tenant.index()][&k])
+                ),
+                "tenant key {k} diverged from the standalone suffix run"
+            );
+        }
+        // And the original query saw everything.
+        let full: Vec<Event<Value>> = key_events(1, 50)
+            .iter()
+            .map(|ke| ke.event.clone())
+            .chain(suffix.iter().filter(|ke| ke.key == 1).map(|ke| ke.event.clone()))
+            .collect();
+        let expected = replay(&cq, &full, end);
+        assert!(streams_equivalent(
+            &coalesce(&expected),
+            &coalesce(&out.per_query[q0.index()][&1])
+        ));
+    }
+
+    #[test]
+    fn detach_reclaims_sessions_and_leaves_survivors_identical() {
+        let cq = sliding_sum_query(4);
+        let events_a = key_events(1, 60);
+        // The second phase postdates the attach frontier (≥ 60), so the
+        // attached cell actually opens sessions to reclaim.
+        let events_b: Vec<KeyedEvent> = (61..=120)
+            .map(|t| {
+                KeyedEvent::new(2, 0, Event::point(Time::new(t), Value::Float(2.0 + t as f64)))
+            })
+            .collect();
+
+        // Baseline: survivor alone over the whole stream.
+        let (baseline, bq) =
+            single(&cq, RuntimeConfig { shards: 2, emit_interval: 1, ..RuntimeConfig::default() });
+        baseline.ingest(events_a.iter().cloned());
+        baseline.ingest(events_b.iter().cloned());
+        let base = baseline.finish_at(Time::new(130));
+
+        // Churning service: a second query joins pre-start (shared cell)
+        // and a third attaches mid-stream (own cell); both detach.
+        let mut builder = StreamService::builder(RuntimeConfig {
+            shards: 2,
+            emit_interval: 1,
+            ..RuntimeConfig::default()
+        });
+        let survivor = builder.register(Arc::clone(&cq));
+        let doomed = builder.register(Arc::clone(&cq));
+        let service = builder.start().unwrap();
+        service.ingest(events_a.iter().cloned());
+        let attached = service.attach(Arc::clone(&cq), QuerySettings::default()).unwrap();
+        service.detach(doomed).unwrap(); // exercises in-cell member removal
+        service.ingest(events_b.iter().cloned());
+        service.detach(attached).unwrap(); // exercises whole-cell teardown
+        assert!(service.detach(attached).is_err(), "double detach must fail");
+        assert!(
+            service.detach(QueryHandle { id: 99, frontier: Time::ZERO }).is_err(),
+            "unknown handle must fail"
+        );
+        let out = service.finish_at(Time::new(130));
+        assert_eq!(out.stats.detached, 2);
+        assert_eq!(out.stats.queries_live, 1);
+        assert!(out.stats.sessions_reclaimed > 0, "cell teardown must reclaim sessions");
+        // Detached queries hand back nothing.
+        assert!(out.per_query[doomed.index()].values().all(|v| v.is_empty()));
+        assert!(out.per_query[attached.index()].values().all(|v| v.is_empty()));
+        // The survivor is byte-identical to its churn-free baseline.
+        for k in [1u64, 2u64] {
+            assert!(
+                streams_equivalent(
+                    &coalesce(&base.per_query[bq.index()][&k]),
+                    &coalesce(&out.per_query[survivor.index()][&k])
+                ),
+                "survivor key {k} changed under attach/detach churn"
+            );
+        }
+    }
+
+    #[test]
+    fn subscribe_streams_live_output_without_finish() {
+        let cq = sliding_sum_query(4);
+        let (service, q) =
+            single(&cq, RuntimeConfig { shards: 1, emit_interval: 1, ..RuntimeConfig::default() });
+        service.ingest(key_events(1, 30));
+        let streamed = Arc::new(std::sync::Mutex::new(Vec::<Event<Value>>::new()));
+        let sink_store = Arc::clone(&streamed);
+        service
+            .subscribe(
+                q,
+                Arc::new(move |_key, events| {
+                    sink_store.lock().unwrap().extend(events.iter().cloned());
+                }),
+            )
+            .unwrap();
+        // Later traffic reaches the sink while the service runs.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut t = 31i64;
+        while streamed.lock().unwrap().is_empty() && std::time::Instant::now() < deadline {
+            service.send(KeyedEvent::new(1, 0, Event::point(Time::new(t), Value::Float(1.0))));
+            t += 1;
+        }
+        assert!(!streamed.lock().unwrap().is_empty(), "subscription never streamed");
+        service.finish();
+    }
+
+    #[test]
+    fn ingest_before_first_attach_drops_and_counts() {
+        // An attach-first service fed before any query exists must refuse
+        // the events gracefully — not panic a shard thread.
+        let service = StreamService::start(RuntimeConfig { shards: 2, ..RuntimeConfig::default() });
+        service.ingest(key_events(1, 10));
+        let cq = sliding_sum_query(4);
+        let q = service.attach(Arc::clone(&cq), QuerySettings::default()).unwrap();
+        service.ingest(
+            (11..=30).map(|t| KeyedEvent::new(1, 0, Event::point(Time::new(t), Value::Float(1.0)))),
+        );
+        let out = service.finish_at(Time::new(34));
+        assert_eq!(out.stats.late_dropped, 10, "pre-attach events are refused and counted");
+        assert!(!out.per_query[q.index()][&1].is_empty());
+    }
+
+    // ── Deprecated shims ───────────────────────────────────────────────
+
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_runtime_shims_still_work() {
+        let cq = sliding_sum_query(4);
+        let runtime = Runtime::start(
+            Arc::clone(&cq),
+            RuntimeConfig { shards: 2, ..RuntimeConfig::default() },
+        );
+        runtime.ingest(key_events(1, 50));
+        let out = runtime.finish_at(Time::new(54));
+        let expected = replay(
+            &cq,
+            &key_events(1, 50).iter().map(|e| e.event.clone()).collect::<Vec<_>>(),
+            Time::new(54),
+        );
+        assert!(streams_equivalent(&coalesce(&expected), &coalesce(&out.per_key[&1])));
+
+        let mut builder = MultiRuntime::builder(RuntimeConfig::default());
+        let a = builder.register(Arc::clone(&cq));
+        let b = builder.register(Arc::clone(&cq));
+        let multi = builder.start().unwrap();
+        assert_eq!(multi.num_queries(), 2);
+        multi.ingest(key_events(1, 20));
+        let out = multi.finish_at(Time::new(24));
+        assert_eq!(out.per_query[a.index()][&1], out.per_query[b.index()][&1]);
+        // The old contract: an empty MultiRuntime registration errors.
+        assert!(MultiRuntime::builder(RuntimeConfig::default()).start().is_err());
     }
 }

@@ -1,58 +1,89 @@
 //! The shard worker: one thread owning a disjoint subset of keys.
 //!
 //! Each shard receives batches of keyed events over a bounded channel,
-//! buffers them per key and per source in a reorder buffer, tracks
-//! per-source watermarks (`max event start seen − allowed lateness`,
-//! floored by explicit watermark messages — see the `max_start` field for
-//! why starts, not ends), and — whenever the min-watermark crosses a new
-//! emission grid point — drains the matured prefix of every active key's
-//! buffer into that key's session and advances it. Keys never migrate
-//! between shards, so shards share nothing and run synchronization-free,
-//! the runtime analogue of the paper's §6.2 partition workers.
+//! buffers them per key and per source in a reorder buffer, and serves a
+//! dynamic set of **cells** — execution units pairing a
+//! [`tilt_core::sharing::QueryGroup`] with per-query settings (allowed
+//! lateness, emission cadence) and a *join frontier*. Queries registered
+//! before start with identical settings share one cell (and therefore
+//! kernel-prefix dedup); a query attached to the running service gets its
+//! own cell rooted at the negotiated frontier, so its output from that
+//! frontier onward is identical to a standalone run over the post-frontier
+//! suffix.
 //!
-//! The shard is generic over an [`Engine`]: stream management (this file)
-//! happens once per shard regardless of how many queries are registered;
-//! the engine decides whether a key's session serves one compiled query
-//! or a deduplicated [`tilt_core::sharing::QueryGroup`].
+//! Per cell, per source, the watermark is `max event start seen − the
+//! cell's allowed lateness`, floored by explicit watermark messages; the
+//! cell watermark is the minimum over the sources its group reads, and —
+//! whenever it crosses a new emission grid point — the matured prefix of
+//! every active key's buffer drains into that key's cell session and the
+//! session advances. Reorder buffers are **shared across cells**: each
+//! event is buffered once and released only once every cell has matured
+//! past it (a per-event `taken` flag tracks whether *any* cell consumed
+//! it, so fully unconsumed events are still dropped-and-counted exactly
+//! once).
 //!
-//! Three hardening mechanisms keep a shard viable under hostile traffic:
+//! Attach and detach arrive as in-band control messages, so their position
+//! in each shard's message stream is deterministic relative to event
+//! batches. Detach edits the cell's [`QueryGroup`] incrementally
+//! ([`QueryGroup::without_member`]) and migrates live sessions in place;
+//! removing a cell's last member tears the cell's per-key sessions and
+//! tombstone outputs down (the reclamation counted in
+//! `RuntimeStats::sessions_reclaimed`).
 //!
-//! * **Idle eviction** (`RuntimeConfig::key_ttl`): keys quiet past their
-//!   state horizon have their session retired to a tiny tombstone holding
-//!   the eviction frontier; a later arrival at or after the frontier
-//!   transparently re-creates the session. Keys touched once and never
-//!   again stop costing session memory.
-//! * **Reorder backstop** (`max_pending_per_key` / `max_pending_per_shard`
-//!   with a [`BackstopPolicy`]): a stalled source can hold the watermark
-//!   forever, so buffered out-of-order events are capped — overflow is
-//!   either dropped-and-counted or force-drained into the session ahead of
-//!   the watermark.
-//! * **Panic quarantine**: all kernel execution for a key runs under
-//!   `catch_unwind`; a poisoned key is retired (its later events dropped
-//!   and counted) instead of unwinding the shard thread and taking every
-//!   other key down with it.
+//! Keys never migrate between shards, so shards share nothing and run
+//! synchronization-free, the runtime analogue of the paper's §6.2
+//! partition workers. The hardening mechanisms of PR 3 — idle eviction
+//! (now also wall-clock driven via `RuntimeConfig::wall_clock_ttl`),
+//! reorder-buffer backstop caps, and per-key panic quarantine — all
+//! operate per key, across every cell the key touches.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
+use std::time::Instant;
 
-use tilt_data::{Event, Time, Value};
+use tilt_core::sharing::{QueryGroup, SharedGroupSession};
+use tilt_data::{BufPool, Event, Time, Value};
 
-use crate::engine::Engine;
-use crate::stats::SharedStats;
-use crate::{BackstopPolicy, KeyedEvent, OutputSink, RuntimeConfig};
+use crate::stats::{SharedStats, SinkTable};
+use crate::{BackstopPolicy, KeyedEvent, RuntimeConfig};
 
-/// Messages flowing from the runtime handle to a shard worker.
+/// Messages flowing from the service handle to a shard worker.
 pub(crate) enum ShardMsg {
     /// A batch of events, already routed to this shard.
     Batch(Vec<KeyedEvent>),
     /// An explicit promise that source `source` will deliver no further
     /// events *starting* at or before `time`.
     Watermark { source: usize, time: Time },
+    /// A query joins the running service as a new cell.
+    Attach(Arc<CellSpec>),
+    /// A query leaves the running service.
+    Detach {
+        /// The global query slot being detached.
+        qid: usize,
+    },
     /// Final horizon: flush every session through `time` when the channel
     /// closes.
     FinishAt(Time),
+}
+
+/// Everything a shard needs to instantiate one cell: built once by the
+/// control plane, shared read-only by every shard.
+pub(crate) struct CellSpec {
+    /// The (deduplicated) execution plan for the cell's member queries.
+    pub(crate) group: Arc<QueryGroup>,
+    /// Global query slot per group member, in member order.
+    pub(crate) qids: Vec<usize>,
+    /// The join frontier: per-key sessions root here, and events starting
+    /// before it never reach this cell.
+    pub(crate) root: Time,
+    /// The cell's allowed lateness (ticks).
+    pub(crate) lateness: i64,
+    /// The cell's emission cadence (minimum watermark advance between
+    /// kernel re-runs).
+    pub(crate) emit_interval: i64,
 }
 
 /// How many channel messages a shard folds into one watermark
@@ -61,44 +92,65 @@ pub(crate) enum ShardMsg {
 /// bounded) before `maybe_advance` runs once for the whole batch.
 const MAX_MSGS_PER_CYCLE: usize = 64;
 
+/// One buffered out-of-order event plus whether any cell consumed it.
+#[derive(Debug)]
+pub(crate) struct Buffered {
+    pub(crate) event: Event<Value>,
+    /// Set when some cell pushed the event into its session; events
+    /// released with this still unset were useful to nobody and are
+    /// counted as late-dropped (exactly once, however many cells exist).
+    pub(crate) taken: bool,
+}
+
 /// A per-key, per-source reorder buffer kept sorted by `(start, end)` at
-/// insertion time (monotone/binary insertion), so draining the matured
-/// prefix never re-sorts.
+/// insertion time (monotone/binary insertion), so maturity scans never
+/// re-sort.
 ///
 /// Streams are mostly in order in practice: the fast path is an O(1)
 /// append, and a displaced event pays a shift bounded by how far out of
-/// order it actually arrived — instead of the previous
-/// O(n log n)-sort-per-drain over the whole pending set.
+/// order it actually arrived.
 #[derive(Debug, Default)]
 pub(crate) struct ReorderBuf {
-    events: Vec<Event<Value>>,
+    events: Vec<Buffered>,
 }
 
 impl ReorderBuf {
     /// Inserts `ev` at its sorted position; ties keep arrival order
-    /// (stable, matching the previous stable sort).
+    /// (stable, matching a stable sort).
     pub(crate) fn insert(&mut self, ev: Event<Value>) {
         let key = (ev.start, ev.end);
-        if self.events.last().is_none_or(|last| (last.start, last.end) <= key) {
-            self.events.push(ev);
+        let item = Buffered { event: ev, taken: false };
+        if self.events.last().is_none_or(|last| (last.event.start, last.event.end) <= key) {
+            self.events.push(item);
             return;
         }
-        let i = self.events.partition_point(|e| (e.start, e.end) <= key);
-        self.events.insert(i, ev);
+        let i = self.events.partition_point(|e| (e.event.start, e.event.end) <= key);
+        self.events.insert(i, item);
     }
 
-    /// Removes and returns the matured prefix: every event starting before
-    /// `upto`, in time order. Events starting at or after the watermark
-    /// stay buffered — an earlier-starting straggler could still arrive
-    /// and must sort in front of them.
-    pub(crate) fn drain_matured(&mut self, upto: Time) -> Vec<Event<Value>> {
-        let n = self.events.partition_point(|e| e.start < upto);
-        self.events.drain(..n).collect()
+    /// The matured prefix for one cell: every buffered event starting
+    /// before `upto`, in time order, mutable so consumers can mark events
+    /// taken. Events starting at or after the watermark stay out of reach —
+    /// an earlier-starting straggler could still arrive and must sort in
+    /// front of them.
+    pub(crate) fn matured_mut(&mut self, upto: Time) -> &mut [Buffered] {
+        let n = self.events.partition_point(|e| e.event.start < upto);
+        &mut self.events[..n]
+    }
+
+    /// Removes every event starting before `upto` — callers pass the
+    /// minimum maturity over all consuming cells, so nothing a cell still
+    /// needs is released. Returns `(released, untaken)`.
+    pub(crate) fn release(&mut self, upto: Time) -> (usize, usize) {
+        let n = self.events.partition_point(|e| e.event.start < upto);
+        let untaken = self.events[..n].iter().filter(|e| !e.taken).count();
+        self.events.drain(..n);
+        (n, untaken)
     }
 
     /// Removes and returns the `n` oldest buffered events (the backstop's
     /// force-drain path), in time order.
-    pub(crate) fn drain_oldest(&mut self, n: usize) -> Vec<Event<Value>> {
+    pub(crate) fn drain_oldest(&mut self, n: usize) -> Vec<Buffered> {
         let n = n.min(self.events.len());
         self.events.drain(..n).collect()
     }
@@ -114,64 +166,152 @@ impl ReorderBuf {
     }
 }
 
-/// Per-key state: the engine session plus the per-source reorder buffers
-/// feeding it.
-struct KeyState<S> {
-    session: S,
-    /// Out-of-order arrivals per source, held until the watermark passes
-    /// them.
-    pending: Vec<ReorderBuf>,
+/// One cell as a shard serves it: the shared plan plus per-shard emission
+/// progress.
+struct Cell {
+    group: Arc<QueryGroup>,
+    /// Global query slot per group member, in member order.
+    qids: Vec<usize>,
+    root: Time,
+    lateness: i64,
+    emit_interval: i64,
+    // Cached from `group` (refreshed after incremental edits).
+    grid: i64,
+    lookahead: i64,
+    n_sources: usize,
+    kernel_counts: (u64, u64),
+    /// The last emission target this shard advanced the cell's keys to.
+    emitted: Time,
+    /// False once every member detached; dead cells hold no sessions.
+    alive: bool,
+}
+
+impl Cell {
+    fn new(spec: &CellSpec) -> Cell {
+        let mut cell = Cell {
+            group: Arc::clone(&spec.group),
+            qids: spec.qids.clone(),
+            root: spec.root,
+            lateness: spec.lateness,
+            emit_interval: spec.emit_interval,
+            grid: 1,
+            lookahead: 0,
+            n_sources: 0,
+            kernel_counts: (0, 0),
+            emitted: spec.root,
+            alive: true,
+        };
+        cell.refresh();
+        cell
+    }
+
+    /// Re-derives the cached plan facts after the group was edited.
+    fn refresh(&mut self) {
+        self.grid = self.group.grid();
+        self.lookahead = self.group.max_input_lookahead();
+        self.n_sources = self.group.n_sources();
+        let distinct = self.group.distinct_kernels() as u64;
+        self.kernel_counts = (distinct, self.group.kernel_instances() as u64 - distinct);
+    }
+
+    /// The cell's low-watermark: the min across its sources of
+    /// `max(max_start − allowed_lateness, explicit)`. No future event this
+    /// cell accepts may start before it.
+    fn watermark(&self, max_start: &[Time], explicit: &[Time]) -> Time {
+        (0..self.n_sources)
+            .map(|s| max_start[s].saturating_add(-self.lateness).max(explicit[s]))
+            .min()
+            .unwrap_or(Time::MIN)
+    }
+}
+
+/// One emission cycle's view of a cell.
+#[derive(Clone, Copy)]
+struct CellPlan {
+    alive: bool,
+    wm: Time,
+    target: Time,
+    due: bool,
+}
+
+/// One key's state within one cell: the group session plus per-source push
+/// frontiers.
+struct CellSession {
+    session: SharedGroupSession,
     /// End of the last event pushed into the session, per source: the
-    /// frontier behind which arrivals are unsalvageably late.
+    /// frontier behind which arrivals are unsalvageably late *for this
+    /// cell*.
     pushed_end: Vec<Time>,
-    /// Finalized output events per query (drained by `finish` unless that
-    /// query has a sink).
-    out: Vec<Vec<Event<Value>>>,
-    /// The newest event end accepted for this key (idleness clock for the
-    /// eviction sweep).
-    last_end: Time,
     /// Whether events were pushed since the session last advanced.
     dirty: bool,
+}
+
+impl CellSession {
+    fn open(cell: &Cell, root: Time) -> CellSession {
+        CellSession {
+            session: cell.group.shared_session(root),
+            pushed_end: vec![root; cell.n_sources],
+            dirty: false,
+        }
+    }
+}
+
+/// Per-key state: the shared reorder buffers plus one session per cell the
+/// key participates in.
+struct KeyState {
+    /// Out-of-order arrivals per source, held until every cell's watermark
+    /// passes them. Shared across cells: each event is buffered once.
+    pending: Vec<ReorderBuf>,
+    /// Parallel to the shard's cell roster; `None` until the cell sees an
+    /// event for this key at or after its root.
+    cells: Vec<Option<CellSession>>,
+    /// Finalized output events per global query slot (drained by `finish`
+    /// unless that query has a sink).
+    out: Vec<Vec<Event<Value>>>,
+    /// The newest event end accepted for this key (event-time idleness
+    /// clock for the eviction sweep).
+    last_end: Time,
+    /// When this key last received an event (wall-clock idleness clock).
+    last_touch: Instant,
     /// Whether the key is already on the shard's active-visit queue.
     queued: bool,
 }
 
-/// A retired key: evicted for idleness (revivable at `frontier`) or
-/// quarantined after a kernel panic (never revived). Holds only the
-/// accumulated non-sink output and a frontier — the session and its
-/// buffers are gone.
+/// A retired key: evicted for idleness (revivable per cell at its
+/// frontier) or quarantined after a kernel panic (never revived). Holds
+/// only the accumulated non-sink output and per-cell frontiers — the
+/// sessions and buffers are gone.
 struct Retired {
-    /// Arrivals starting before this are unsalvageably late; a revival
-    /// arrival at or after it re-creates the session here. `Time::MAX` for
-    /// quarantined keys, which refuse all further events.
-    frontier: Time,
+    /// Per cell index at eviction time: where a revival re-creates the
+    /// cell's session; arrivals starting before every frontier are
+    /// unsalvageably late. `None` for cells the key had no session in.
+    frontiers: Vec<Option<Time>>,
     /// Accumulated per-query output (returned at shutdown).
     out: Vec<Vec<Event<Value>>>,
-    /// Whether the key was quarantined by a kernel panic.
+    /// Whether the key was quarantined by a kernel panic (refuses all
+    /// further events).
     quarantined: bool,
 }
 
 /// Everything a shard returns when it drains and exits.
 pub(crate) struct ShardOutput {
-    /// Finalized output per key, one vector per registered query (empty
-    /// when a sink consumed them).
+    /// Finalized output per key, one vector per global query slot (empty
+    /// when a sink consumed them; inner vectors may be shorter than the
+    /// final slot count — the service pads).
     pub(crate) per_key: Vec<(u64, Vec<Vec<Event<Value>>>)>,
 }
 
-pub(crate) struct Shard<E: Engine> {
+pub(crate) struct Shard {
     id: usize,
-    engine: E,
     cfg: RuntimeConfig,
+    cells: Vec<Cell>,
+    /// Max sources over all cells ever attached (monotone).
     n_sources: usize,
-    grid: i64,
-    lookahead: i64,
-    /// The effective idle-eviction TTL: `cfg.key_ttl` clamped up to the
-    /// engine's state horizon, so a retired-then-revived session is
-    /// observationally identical to one that lived through the gap.
+    /// The effective event-time idle TTL: `cfg.key_ttl` clamped up to the
+    /// widest live cell's state horizon, so a retired-then-revived session
+    /// is observationally identical to one that lived through the gap.
     ttl: Option<i64>,
-    /// Cached `engine.kernel_counts()`: (executed, saved) per advance.
-    kernel_counts: (u64, u64),
-    keys: HashMap<u64, KeyState<E::Session>>,
+    keys: HashMap<u64, KeyState>,
     /// Evicted and quarantined keys (see [`Retired`]).
     retired: HashMap<u64, Retired>,
     /// Per source: the largest event *start* observed on this shard.
@@ -179,51 +319,47 @@ pub(crate) struct Shard<E: Engine> {
     /// Watermarks are defined over starts, not ends: an event contributes
     /// value all the way back to its start, so a not-yet-arrived event with
     /// `start ≥ wm` can never change any tick at or before `wm` — which is
-    /// exactly the finality emission needs. (An end-based watermark would
-    /// let a long straddling event arrive after its early ticks were
-    /// already emitted.)
+    /// exactly the finality emission needs.
     max_start: Vec<Time>,
     /// The largest event end observed (final flush horizon).
     max_end: Time,
     /// Per source: the largest explicit watermark received.
     explicit: Vec<Time>,
-    /// The last emission target the shard advanced its keys to.
+    /// The most conservative cell's emission progress (sweep cadence).
     emitted: Time,
     /// Where the last idle-eviction sweep ran (sweeps are amortized to at
     /// most one full key scan per `ttl / 2` ticks of emission progress).
     last_sweep: Time,
-    /// Keys needing a visit on the next emission cycle (have new input,
-    /// pushed-but-unemitted history, or — with a sink — an unexhausted
-    /// output tail). Emission cost scales with this set, not with the
-    /// total key population.
+    /// When the last wall-clock sweep ran.
+    last_wall_sweep: Instant,
+    /// Keys needing a visit on the next emission cycle. Emission cost
+    /// scales with this set, not with the total key population.
     active: Vec<u64>,
-    /// Per registered query: where finalized events stream to, if anywhere.
-    sinks: Arc<[Option<OutputSink>]>,
+    sinks: Arc<SinkTable>,
     stats: Arc<SharedStats>,
+    /// Recycles intermediate kernel buffers across every advance on this
+    /// shard (one pool per worker, not per key — no per-key memory).
+    pool: BufPool<Value>,
+    /// Scratch for batching drained events into `push_events` calls.
+    scratch: Vec<Event<Value>>,
 }
 
-impl<E: Engine> Shard<E> {
+impl Shard {
     pub(crate) fn new(
         id: usize,
-        engine: E,
+        cells: &[Arc<CellSpec>],
         cfg: RuntimeConfig,
-        sinks: Arc<[Option<OutputSink>]>,
+        sinks: Arc<SinkTable>,
         stats: Arc<SharedStats>,
     ) -> Self {
-        let n_sources = engine.n_sources();
-        let grid = engine.grid();
-        let lookahead = engine.lookahead();
-        let kernel_counts = engine.kernel_counts();
-        let ttl = cfg.key_ttl.map(|t| t.max(engine.state_horizon()).max(1));
-        Shard {
+        let cells: Vec<Cell> = cells.iter().map(|spec| Cell::new(spec)).collect();
+        let n_sources = cells.iter().map(|c| c.n_sources).max().unwrap_or(0);
+        let mut shard = Shard {
             id,
-            engine,
             cfg,
+            cells,
             n_sources,
-            grid,
-            lookahead,
-            ttl,
-            kernel_counts,
+            ttl: None,
             keys: HashMap::new(),
             retired: HashMap::new(),
             max_start: vec![Time::MIN; n_sources],
@@ -231,10 +367,28 @@ impl<E: Engine> Shard<E> {
             explicit: vec![Time::MIN; n_sources],
             emitted: cfg.start,
             last_sweep: cfg.start,
+            last_wall_sweep: Instant::now(),
             active: Vec::new(),
             sinks,
             stats,
-        }
+            pool: BufPool::new(),
+            scratch: Vec::new(),
+        };
+        shard.refresh_ttl();
+        shard
+    }
+
+    /// Re-derives the effective TTL after the cell roster changed: the
+    /// configured TTL clamped up to the widest live cell's state horizon.
+    fn refresh_ttl(&mut self) {
+        let horizon = self
+            .cells
+            .iter()
+            .filter(|c| c.alive)
+            .map(|c| c.group.state_horizon())
+            .max()
+            .unwrap_or(0);
+        self.ttl = self.cfg.key_ttl.map(|t| t.max(horizon).max(1));
     }
 
     /// The shard main loop: drain the channel, then flush and exit.
@@ -242,23 +396,42 @@ impl<E: Engine> Shard<E> {
     /// Watermark recomputation is batched: after each blocking `recv`,
     /// every message already sitting in the channel (bounded by
     /// [`MAX_MSGS_PER_CYCLE`]) is folded in before `maybe_advance`
-    /// recomputes the min-watermark and visits active keys once — under
-    /// load, one emission cycle serves many ingest batches instead of one.
+    /// recomputes cell watermarks and visits active keys once. With a
+    /// wall-clock TTL configured, the blocking receive times out so idle
+    /// shards still get to run their wall-clock sweeps.
     pub(crate) fn run(mut self, rx: std::sync::mpsc::Receiver<ShardMsg>) -> ShardOutput {
         let mut finish_at: Option<Time> = None;
-        while let Ok(msg) = rx.recv() {
-            self.apply(msg, &mut finish_at);
-            let mut folded = 1usize;
-            while folded < MAX_MSGS_PER_CYCLE {
-                match rx.try_recv() {
-                    Ok(msg) => {
-                        self.apply(msg, &mut finish_at);
-                        folded += 1;
-                    }
+        let wall_tick =
+            self.cfg.wall_clock_ttl.map(|t| (t / 2).max(std::time::Duration::from_millis(1)));
+        loop {
+            let first = match wall_tick {
+                Some(tick) => match rx.recv_timeout(tick) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+                None => match rx.recv() {
+                    Ok(msg) => Some(msg),
                     Err(_) => break,
+                },
+            };
+            match first {
+                Some(msg) => {
+                    self.apply(msg, &mut finish_at);
+                    let mut folded = 1usize;
+                    while folded < MAX_MSGS_PER_CYCLE {
+                        match rx.try_recv() {
+                            Ok(msg) => {
+                                self.apply(msg, &mut finish_at);
+                                folded += 1;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    self.maybe_advance();
                 }
+                None => self.wall_sweep(),
             }
-            self.maybe_advance();
         }
         self.flush(finish_at)
     }
@@ -278,74 +451,198 @@ impl<E: Engine> Shard<E> {
                     *w = (*w).max(time);
                 }
             }
+            ShardMsg::Attach(spec) => self.attach(&spec),
+            ShardMsg::Detach { qid } => self.detach(qid),
             ShardMsg::FinishAt(time) => *finish_at = Some(time),
         }
     }
 
-    /// Routes one event into its key's reorder buffer, creating the key's
-    /// session on first contact and reviving it after eviction.
+    /// Admits a new cell: later events at or after its root feed it.
+    fn attach(&mut self, spec: &CellSpec) {
+        let cell = Cell::new(spec);
+        if cell.n_sources > self.n_sources {
+            self.n_sources = cell.n_sources;
+            self.max_start.resize(self.n_sources, Time::MIN);
+            self.explicit.resize(self.n_sources, Time::MIN);
+        }
+        self.cells.push(cell);
+        self.refresh_ttl();
+    }
+
+    /// Removes one query. If its cell keeps other members, the cell's
+    /// group is edited incrementally and live sessions migrate in place;
+    /// otherwise the whole cell dies and its per-key sessions and tombstone
+    /// slots are reclaimed.
+    fn detach(&mut self, qid: usize) {
+        let Some(ci) = self.cells.iter().position(|c| c.alive && c.qids.contains(&qid)) else {
+            return;
+        };
+        let mi = self.cells[ci].qids.iter().position(|q| *q == qid).expect("member found");
+        if self.cells[ci].qids.len() == 1 {
+            self.cells[ci].alive = false;
+            for state in self.keys.values_mut() {
+                if state.cells.len() > ci && state.cells[ci].take().is_some() {
+                    self.stats.sessions_reclaimed.fetch_add(1, Ordering::Relaxed);
+                }
+                if state.out.len() > qid && !state.out[qid].is_empty() {
+                    state.out[qid] = Vec::new();
+                }
+            }
+            for r in self.retired.values_mut() {
+                if r.frontiers.len() > ci && r.frontiers[ci].take().is_some() {
+                    self.stats.sessions_reclaimed.fetch_add(1, Ordering::Relaxed);
+                }
+                if r.out.len() > qid && !r.out[qid].is_empty() {
+                    r.out[qid] = Vec::new();
+                }
+            }
+        } else {
+            let edited = Arc::new(
+                self.cells[ci].group.without_member(mi).expect("detach keeps the group non-empty"),
+            );
+            self.cells[ci].qids.remove(mi);
+            self.cells[ci].group = Arc::clone(&edited);
+            self.cells[ci].refresh();
+            for state in self.keys.values_mut() {
+                if let Some(Some(cs)) = state.cells.get_mut(ci).map(Option::as_mut) {
+                    cs.session.migrate_group(Arc::clone(&edited));
+                }
+                if state.out.len() > qid && !state.out[qid].is_empty() {
+                    state.out[qid] = Vec::new();
+                }
+            }
+            for r in self.retired.values_mut() {
+                if r.out.len() > qid && !r.out[qid].is_empty() {
+                    r.out[qid] = Vec::new();
+                }
+            }
+        }
+        self.refresh_ttl();
+    }
+
+    /// Grows a key's per-source and per-cell vectors to the current roster.
+    fn sync_key(state: &mut KeyState, n_cells: usize, n_sources: usize) {
+        if state.pending.len() < n_sources {
+            state.pending.resize_with(n_sources, ReorderBuf::default);
+        }
+        if state.cells.len() < n_cells {
+            state.cells.resize_with(n_cells, || None);
+        }
+    }
+
+    /// Routes one event into its key's reorder buffer, creating cell
+    /// sessions on first contact and reviving evicted keys.
     fn accept(&mut self, ev: KeyedEvent) {
-        assert!(
-            ev.source < self.n_sources,
-            "source index {} out of range: engine reads {} sources",
-            ev.source,
-            self.n_sources
-        );
+        if ev.source >= self.n_sources {
+            // No registered query reads this source — an attach-first
+            // service fed before its first attach, or an event racing an
+            // in-flight attach that widens the source set. Refuse and
+            // count it like any other event no cell can use; panicking
+            // the shard over a data-plane input would take every other
+            // key down with it.
+            self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.max_start[ev.source] = self.max_start[ev.source].max(ev.event.start);
         self.max_end = self.max_end.max(ev.event.end);
 
         // Retired keys: quarantined ones refuse all events; evicted ones
-        // revive at their frontier (arrivals behind it are unsalvageably
-        // late — the session that could have absorbed them is gone).
+        // revive if the event is usable by at least one cell (arrivals
+        // behind every frontier are unsalvageably late — the sessions that
+        // could have absorbed them are gone).
         if let Some(r) = self.retired.get(&ev.key) {
             if r.quarantined {
                 self.stats.quarantine_dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-            if ev.event.start < r.frontier {
+            let revivable = self.cells.iter().enumerate().any(|(ci, c)| {
+                c.alive
+                    && ev.source < c.n_sources
+                    && match r.frontiers.get(ci).copied().flatten() {
+                        Some(f) => ev.event.start >= f,
+                        None => ev.event.start >= c.root,
+                    }
+            });
+            if !revivable {
                 self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             let r = self.retired.remove(&ev.key).expect("checked above");
             self.stats.revivals.fetch_add(1, Ordering::Relaxed);
             self.stats.live_keys.fetch_add(1, Ordering::Relaxed);
+            let mut cells: Vec<Option<CellSession>> = Vec::with_capacity(self.cells.len());
+            let mut last_end = self.cfg.start;
+            for (ci, c) in self.cells.iter().enumerate() {
+                let frontier = if c.alive { r.frontiers.get(ci).copied().flatten() } else { None };
+                cells.push(frontier.map(|f| {
+                    last_end = last_end.max(f);
+                    CellSession::open(c, f)
+                }));
+            }
             self.keys.insert(
                 ev.key,
                 KeyState {
-                    session: self.engine.open(r.frontier),
                     pending: (0..self.n_sources).map(|_| ReorderBuf::default()).collect(),
-                    pushed_end: vec![r.frontier; self.n_sources],
+                    cells,
                     out: r.out,
-                    last_end: r.frontier,
-                    dirty: false,
+                    last_end,
+                    last_touch: Instant::now(),
                     queued: false,
                 },
             );
         }
 
+        let n_cells = self.cells.len();
+        let n_sources = self.n_sources;
+        let cells = &self.cells;
         let state = match self.keys.entry(ev.key) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 self.stats.keys.fetch_add(1, Ordering::Relaxed);
                 self.stats.live_keys.fetch_add(1, Ordering::Relaxed);
-                let session = self.engine.open(self.cfg.start);
                 e.insert(KeyState {
-                    session,
-                    pending: (0..self.n_sources).map(|_| ReorderBuf::default()).collect(),
-                    pushed_end: vec![self.cfg.start; self.n_sources],
-                    out: vec![Vec::new(); self.engine.n_queries()],
+                    pending: (0..n_sources).map(|_| ReorderBuf::default()).collect(),
+                    cells: (0..n_cells).map(|_| None).collect(),
+                    out: Vec::new(),
                     last_end: self.cfg.start,
-                    dirty: false,
+                    last_touch: Instant::now(),
                     queued: false,
                 })
             }
         };
+        Self::sync_key(state, n_cells, n_sources);
+        if self.cfg.wall_clock_ttl.is_some() {
+            // The idleness clock only matters when wall-clock eviction is
+            // on; skip the per-event clock read otherwise.
+            state.last_touch = Instant::now();
+        }
 
-        // Beyond-lateness arrivals cannot be spliced in front of history
-        // that already reached the session; count and drop them. (Counted
-        // once per event, however many queries the engine serves.)
-        let frontier = state.pushed_end[ev.source].max(E::watermark(&state.session));
-        if ev.event.start < frontier {
+        // The event is admitted if at least one cell can still use it:
+        // a cell with a session accepts anything at or after its pushed
+        // frontier; a cell without one opens a session when the event
+        // starts at or after its join root. Events behind every cell are
+        // dropped and counted once, however many cells are registered.
+        let mut admitted = false;
+        for (ci, c) in cells.iter().enumerate() {
+            if !c.alive || ev.source >= c.n_sources {
+                continue;
+            }
+            match &state.cells[ci] {
+                Some(cs) => {
+                    let frontier = cs.pushed_end[ev.source].max(cs.session.watermark());
+                    if ev.event.start >= frontier {
+                        admitted = true;
+                    }
+                }
+                None => {
+                    if ev.event.start >= c.root {
+                        state.cells[ci] = Some(CellSession::open(c, c.root));
+                        admitted = true;
+                    }
+                }
+            }
+        }
+        if !admitted {
             self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -378,91 +675,194 @@ impl<E: Engine> Shard<E> {
         }
     }
 
-    /// The shard low-watermark: the min across sources of
-    /// `max(max_start − allowed_lateness, explicit)`. No future event may
-    /// start before it (later arrivals are dropped as late).
-    fn watermark(&self) -> Time {
-        (0..self.n_sources)
-            .map(|s| {
-                self.max_start[s].saturating_add(-self.cfg.allowed_lateness).max(self.explicit[s])
+    /// One emission cycle's plan: each cell's watermark, emission target,
+    /// and whether that target is due (at least `emit_interval` past the
+    /// cell's previous target, snapped to its kernel grid).
+    fn cell_plans(&self) -> Vec<CellPlan> {
+        self.cells
+            .iter()
+            .map(|c| {
+                if !c.alive {
+                    return CellPlan { alive: false, wm: Time::MIN, target: Time::MIN, due: false };
+                }
+                let wm = c.watermark(&self.max_start, &self.explicit);
+                let target = Time::new(wm.ticks().saturating_sub(c.lookahead)).align_down(c.grid);
+                let due = target.ticks() >= c.emitted.ticks().saturating_add(c.emit_interval);
+                CellPlan { alive: true, wm, target, due }
             })
-            .min()
-            .unwrap_or(Time::MIN)
+            .collect()
     }
 
-    /// Advances keys when the watermark has crossed a new emission point
-    /// (at least `emit_interval` past the previous one, snapped to the
-    /// kernel grid).
+    /// Advances keys when at least one cell's watermark has crossed a new
+    /// emission point.
     ///
     /// Only keys on the active queue are visited, so a cycle costs
     /// O(active keys), not O(total keys). A visited key is re-queued while
     /// it still has buffered input or pushed-but-unemitted history; with a
     /// sink it is additionally re-queued while its eager advances keep
-    /// producing output, so a quiet key's already-final tail (the closing
-    /// windows after its last event) reaches the sink while the service
-    /// keeps running. Once an eager advance produces nothing the key is
-    /// parked until new input arrives — for window-style queries an empty
-    /// region stays empty without new events. (Queries that emit output on
-    /// an empty timeline only surface that output at the shutdown flush.)
-    ///
-    /// Kernel execution runs under `catch_unwind`: a panicking key is
-    /// quarantined instead of unwinding the shard thread.
+    /// producing output. Kernel execution runs under `catch_unwind`: a
+    /// panicking key is quarantined instead of unwinding the shard thread.
     fn maybe_advance(&mut self) {
-        let wm = self.watermark();
-        self.stats.shard_watermark[self.id].store(wm.ticks(), Ordering::Relaxed);
-        // The session emission horizon for watermark `wm`
-        // (cf. `StreamSessionIn::advance_to`).
-        let target = Time::new(wm.ticks().saturating_sub(self.lookahead)).align_down(self.grid);
-        if target.ticks() < self.emitted.ticks().saturating_add(self.cfg.emit_interval) {
+        let plans = self.cell_plans();
+        let shard_wm = plans.iter().filter(|p| p.alive).map(|p| p.wm).min().unwrap_or(Time::MIN);
+        self.stats.shard_watermark[self.id].store(shard_wm.ticks(), Ordering::Relaxed);
+        if let Some(ttl) = self.cfg.wall_clock_ttl {
+            if self.last_wall_sweep.elapsed() >= ttl / 2 {
+                self.wall_sweep();
+            }
+        }
+        if !plans.iter().any(|p| p.due) {
             return;
         }
-        self.emitted = target;
-        let eager = self.sinks.iter().any(|s| s.is_some());
-        let id = self.id;
-        let sinks = Arc::clone(&self.sinks);
-        let stats = Arc::clone(&self.stats);
-        let (k_run, k_saved) = self.kernel_counts;
+        for (cell, plan) in self.cells.iter_mut().zip(&plans) {
+            if plan.due {
+                cell.emitted = plan.target;
+            }
+        }
+        self.emitted =
+            self.cells.iter().filter(|c| c.alive).map(|c| c.emitted).min().unwrap_or(self.emitted);
+
+        let eager = self.sinks.any();
         let mut visit = std::mem::take(&mut self.active);
-        for key in visit.drain(..) {
-            let Some(state) = self.keys.get_mut(&key) else { continue };
-            state.queued = false;
-            let mut revisit = false;
-            let panicked = catch_unwind(AssertUnwindSafe(|| {
-                Self::drain_pending(id, state, wm, &stats);
-                let mut emitted_any = false;
-                if (state.dirty || eager) && target > E::watermark(&state.session) {
-                    let bufs = E::advance(&mut state.session, wm);
-                    state.dirty = false;
-                    stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
-                    stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
-                    for (qi, buf) in bufs.into_iter().enumerate() {
-                        let emitted = buf.to_events();
-                        emitted_any |= !emitted.is_empty();
-                        Self::deliver(key, qi, emitted, &mut state.out, &sinks, &stats);
+        let mut panicked_keys: Vec<u64> = Vec::new();
+        {
+            let id = self.id;
+            let keys = &mut self.keys;
+            let cells = &self.cells;
+            let pool = &mut self.pool;
+            let scratch = &mut self.scratch;
+            let sinks = &self.sinks;
+            let stats = &self.stats;
+            let n_cells = cells.len();
+            let n_sources = self.n_sources;
+            for key in visit.drain(..) {
+                let Some(state) = keys.get_mut(&key) else { continue };
+                state.queued = false;
+                Self::sync_key(state, n_cells, n_sources);
+                let mut revisit = false;
+                let panicked = catch_unwind(AssertUnwindSafe(|| {
+                    Self::drain_and_release(id, state, cells, &plans, scratch, stats);
+                    let mut emitted_any = false;
+                    for (ci, cell) in cells.iter().enumerate() {
+                        let plan = &plans[ci];
+                        if !plan.due {
+                            continue;
+                        }
+                        let Some(cs) = state.cells[ci].as_mut() else { continue };
+                        if (cs.dirty || eager) && plan.target > cs.session.watermark() {
+                            let bufs = cs.session.advance_to_with(plan.wm, pool);
+                            cs.dirty = false;
+                            stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
+                            stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                            for (mi, buf) in bufs.into_iter().enumerate() {
+                                let emitted = buf.to_events();
+                                pool.put(buf);
+                                emitted_any |= !emitted.is_empty();
+                                Self::deliver(
+                                    key,
+                                    cell.qids[mi],
+                                    emitted,
+                                    &mut state.out,
+                                    sinks,
+                                    stats,
+                                );
+                            }
+                        }
                     }
-                }
-                revisit = state.dirty
-                    || state.pending.iter().any(|p| !p.is_empty())
-                    || (eager && emitted_any);
-            }))
-            .is_err();
-            if panicked {
-                self.quarantine(key);
-            } else if revisit {
-                if let Some(state) = self.keys.get_mut(&key) {
-                    state.queued = true;
-                    self.active.push(key);
+                    revisit = state.cells.iter().flatten().any(|cs| cs.dirty)
+                        || state.pending.iter().any(|p| !p.is_empty())
+                        || (eager && emitted_any);
+                }))
+                .is_err();
+                if panicked {
+                    panicked_keys.push(key);
+                } else if revisit {
+                    if let Some(state) = keys.get_mut(&key) {
+                        state.queued = true;
+                        self.active.push(key);
+                    }
                 }
             }
         }
-        self.sweep_idle(wm);
+        for key in panicked_keys {
+            self.quarantine(key);
+        }
+        self.sweep_idle();
     }
 
-    /// Retires keys idle past the TTL: the session is advanced through the
-    /// current horizon (emitting its quiet tail), then torn down to a
-    /// tombstone carrying the eviction frontier. Amortized to one key scan
-    /// per `ttl / 2` ticks of emission progress.
-    fn sweep_idle(&mut self, wm: Time) {
+    /// Moves every matured pending event into the sessions of the cells it
+    /// is new to, then releases the prefix no cell still needs. Events
+    /// released without any cell having taken them are counted as
+    /// late-dropped, once.
+    fn drain_and_release(
+        shard_id: usize,
+        state: &mut KeyState,
+        cells: &[Cell],
+        plans: &[CellPlan],
+        scratch: &mut Vec<Event<Value>>,
+        stats: &SharedStats,
+    ) {
+        for (source, pending) in state.pending.iter_mut().enumerate() {
+            if pending.is_empty() {
+                continue;
+            }
+            for (ci, cell) in cells.iter().enumerate() {
+                if !plans[ci].alive || source >= cell.n_sources {
+                    continue;
+                }
+                let Some(cs) = state.cells[ci].as_mut() else { continue };
+                let mut frontier = cs.pushed_end[source].max(cs.session.watermark());
+                scratch.clear();
+                for b in pending.matured_mut(plans[ci].wm) {
+                    if b.event.start < frontier {
+                        continue;
+                    }
+                    b.taken = true;
+                    frontier = b.event.end;
+                    scratch.push(b.event.clone());
+                }
+                if !scratch.is_empty() {
+                    cs.session.push_events(source, scratch);
+                    cs.pushed_end[source] = frontier;
+                    cs.dirty = true;
+                    scratch.clear();
+                }
+            }
+            // Release below the slowest consumer of *this source*: cells
+            // without a session for this key can never use the buffered
+            // prefix (their join root postdates it), and cells whose
+            // group does not read this source never will either.
+            let release_to = state
+                .cells
+                .iter()
+                .enumerate()
+                .filter(|(ci, cs)| {
+                    plans.get(*ci).is_some_and(|p| p.alive)
+                        && cs.is_some()
+                        && source < cells[*ci].n_sources
+                })
+                .map(|(ci, _)| plans[ci].wm)
+                .min();
+            let (released, untaken) = pending.release(release_to.unwrap_or(Time::MAX));
+            if released > 0 {
+                stats.reorder_pending[shard_id].fetch_sub(released as i64, Ordering::Relaxed);
+            }
+            // Untaken events were useful to nobody: count them as late —
+            // unless the key has no consuming cells left at all (every
+            // interested query detached), in which case the events were
+            // in bound and their drop is detach reclamation, not
+            // lateness.
+            if untaken > 0 && release_to.is_some() {
+                stats.late_dropped.fetch_add(untaken as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Retires keys idle past the event-time TTL: each cell session is
+    /// advanced through its current horizon (emitting its quiet tail),
+    /// then torn down to a tombstone carrying per-cell eviction frontiers.
+    /// Amortized to one key scan per `ttl / 2` ticks of emission progress.
+    fn sweep_idle(&mut self) {
         let Some(ttl) = self.ttl else { return };
         if self.emitted - self.last_sweep < (ttl / 2).max(1) {
             return;
@@ -477,28 +877,89 @@ impl<E: Engine> Shard<E> {
             })
             .map(|(k, _)| *k)
             .collect();
+        if victims.is_empty() {
+            return;
+        }
+        // Watermarks cannot move mid-sweep: one plan serves every victim.
+        let plans = self.cell_plans();
         for key in victims {
-            self.evict(key, wm);
+            self.evict(key, &plans);
         }
     }
 
-    /// Evicts one idle key: advance its session through the current
-    /// horizon (the output it would eventually have emitted anyway), then
-    /// replace it with a [`Retired`] tombstone at the session's final
-    /// watermark.
-    fn evict(&mut self, key: u64, wm: Time) {
+    /// Retires keys with no traffic for longer than the *wall-clock* TTL,
+    /// regardless of event-time progress — the escape hatch for shards
+    /// whose sources went silent entirely (the event-time sweep needs the
+    /// watermark to move, and a dead stream's final events sit in the
+    /// reorder buffer forever).
+    fn wall_sweep(&mut self) {
+        let Some(ttl) = self.cfg.wall_clock_ttl else { return };
+        self.last_wall_sweep = Instant::now();
+        let victims: Vec<u64> = self
+            .keys
+            .iter()
+            .filter(|(_, s)| s.last_touch.elapsed() >= ttl)
+            .map(|(k, _)| *k)
+            .collect();
+        if victims.is_empty() {
+            return;
+        }
+        // At wall eviction every cell is treated as fully matured: one
+        // shared plan serves every victim's final drain.
+        let final_plans: Vec<CellPlan> = self
+            .cells
+            .iter()
+            .map(|c| CellPlan { alive: c.alive, wm: Time::MAX, target: Time::MAX, due: c.alive })
+            .collect();
+        for key in victims {
+            self.evict_wall(key, &final_plans);
+        }
+    }
+
+    /// Wall-clock eviction of one key: everything still buffered is pushed
+    /// through the sessions (the wall TTL, not the watermark, declares the
+    /// stream over), each session is flushed through its full remaining
+    /// output tail (pushed frontier + state horizon — everything the real
+    /// events can ever influence), and the key is tombstoned there. For
+    /// traffic that simply stopped this is output-identical to a surviving
+    /// session; in-bound stragglers arriving after the eviction are
+    /// late-dropped (they land behind the frontier) — the trade wall-clock
+    /// reclamation makes that event-time eviction never has to.
+    fn evict_wall(&mut self, key: u64, final_plans: &[CellPlan]) {
         let Some(mut state) = self.keys.remove(&key) else { return };
+        let id = self.id;
         let sinks = Arc::clone(&self.sinks);
         let stats = Arc::clone(&self.stats);
-        let (k_run, k_saved) = self.kernel_counts;
-        let target = Time::new(wm.ticks().saturating_sub(self.lookahead)).align_down(self.grid);
+        let cells = &self.cells;
+        let pool = &mut self.pool;
+        let scratch = &mut self.scratch;
+        let n_cells = cells.len();
+        let n_sources = self.n_sources;
         let panicked = catch_unwind(AssertUnwindSafe(|| {
-            if target > E::watermark(&state.session) {
-                let bufs = E::advance(&mut state.session, wm);
-                stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
-                stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
-                for (qi, buf) in bufs.into_iter().enumerate() {
-                    Self::deliver(key, qi, buf.to_events(), &mut state.out, &sinks, &stats);
+            Self::sync_key(&mut state, n_cells, n_sources);
+            Self::drain_and_release(id, &mut state, cells, final_plans, scratch, &stats);
+            for (ci, cell) in cells.iter().enumerate() {
+                if !cell.alive {
+                    continue;
+                }
+                let Some(cs) = state.cells[ci].as_mut() else { continue };
+                let tail = cs
+                    .pushed_end
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(cs.session.watermark())
+                    .saturating_add(cell.group.state_horizon());
+                if tail > cs.session.watermark() {
+                    let bufs = cs.session.flush_to_with(tail, pool);
+                    cs.dirty = false;
+                    stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
+                    stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                    for (mi, buf) in bufs.into_iter().enumerate() {
+                        let emitted = buf.to_events();
+                        pool.put(buf);
+                        Self::deliver(key, cell.qids[mi], emitted, &mut state.out, &sinks, &stats);
+                    }
                 }
             }
         }))
@@ -507,15 +968,59 @@ impl<E: Engine> Shard<E> {
         if panicked {
             self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
             self.retired
-                .insert(key, Retired { frontier: Time::MAX, out: state.out, quarantined: true });
+                .insert(key, Retired { frontiers: Vec::new(), out: state.out, quarantined: true });
             return;
         }
         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-        let frontier = E::watermark(&state.session);
-        self.retired.insert(key, Retired { frontier, out: state.out, quarantined: false });
+        self.stats.wall_evictions.fetch_add(1, Ordering::Relaxed);
+        let frontiers =
+            state.cells.iter().map(|cs| cs.as_ref().map(|cs| cs.session.watermark())).collect();
+        self.retired.insert(key, Retired { frontiers, out: state.out, quarantined: false });
     }
 
-    /// Retires a key whose kernel execution panicked: its session (in an
+    /// Evicts one idle key: advance each cell session through its current
+    /// horizon (the output it would eventually have emitted anyway), then
+    /// replace the key with a [`Retired`] tombstone holding per-cell
+    /// frontiers (each session's final watermark).
+    fn evict(&mut self, key: u64, plans: &[CellPlan]) {
+        let Some(mut state) = self.keys.remove(&key) else { return };
+        let sinks = Arc::clone(&self.sinks);
+        let stats = Arc::clone(&self.stats);
+        let cells = &self.cells;
+        let pool = &mut self.pool;
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            for (ci, cell) in cells.iter().enumerate() {
+                if !plans[ci].alive {
+                    continue;
+                }
+                let Some(cs) = state.cells.get_mut(ci).and_then(Option::as_mut) else { continue };
+                if plans[ci].target > cs.session.watermark() {
+                    let bufs = cs.session.advance_to_with(plans[ci].wm, pool);
+                    stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
+                    stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                    for (mi, buf) in bufs.into_iter().enumerate() {
+                        let emitted = buf.to_events();
+                        pool.put(buf);
+                        Self::deliver(key, cell.qids[mi], emitted, &mut state.out, &sinks, &stats);
+                    }
+                }
+            }
+        }))
+        .is_err();
+        self.stats.live_keys.fetch_sub(1, Ordering::Relaxed);
+        if panicked {
+            self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+            self.retired
+                .insert(key, Retired { frontiers: Vec::new(), out: state.out, quarantined: true });
+            return;
+        }
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        let frontiers =
+            state.cells.iter().map(|cs| cs.as_ref().map(|cs| cs.session.watermark())).collect();
+        self.retired.insert(key, Retired { frontiers, out: state.out, quarantined: false });
+    }
+
+    /// Retires a key whose kernel execution panicked: its sessions (in an
     /// unknown state) and buffers are dropped, its accumulated output is
     /// kept for shutdown, and all further events for it are refused.
     fn quarantine(&mut self, key: u64) {
@@ -525,13 +1030,14 @@ impl<E: Engine> Shard<E> {
         self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
         self.stats.live_keys.fetch_sub(1, Ordering::Relaxed);
         self.retired
-            .insert(key, Retired { frontier: Time::MAX, out: state.out, quarantined: true });
+            .insert(key, Retired { frontiers: Vec::new(), out: state.out, quarantined: true });
     }
 
     /// Force-drains the `excess` oldest buffered events of one key/source
-    /// into its session ahead of the watermark ([`BackstopPolicy::ForceDrain`]),
-    /// emitting what matures. The key keeps its output stream but loses
-    /// lateness tolerance behind the drained frontier.
+    /// into every accepting cell session ahead of the watermark
+    /// ([`BackstopPolicy::ForceDrain`]), emitting what matures. The key
+    /// keeps its output streams but loses lateness tolerance behind the
+    /// drained frontier.
     fn force_drain_buf(&mut self, key: u64, source: usize, excess: usize) {
         if excess == 0 {
             return;
@@ -540,32 +1046,55 @@ impl<E: Engine> Shard<E> {
         let id = self.id;
         let sinks = Arc::clone(&self.sinks);
         let stats = Arc::clone(&self.stats);
-        let (k_run, k_saved) = self.kernel_counts;
+        let cells = &self.cells;
+        let pool = &mut self.pool;
+        let scratch = &mut self.scratch;
         let panicked = catch_unwind(AssertUnwindSafe(|| {
             let mut drained = state.pending[source].drain_oldest(excess);
             stats.reorder_pending[id].fetch_sub(drained.len() as i64, Ordering::Relaxed);
             stats.backstop_forced.fetch_add(drained.len() as u64, Ordering::Relaxed);
-            drained.retain(|e| {
-                if e.start < state.pushed_end[source] {
-                    stats.late_dropped.fetch_add(1, Ordering::Relaxed);
-                    false
-                } else {
-                    state.pushed_end[source] = e.end;
-                    true
+            // The force-drain pushes ahead of the watermark by design, so
+            // no per-cycle watermark plan is needed — liveness and arity
+            // on the cell itself decide who receives the events. (This
+            // runs once per overflowing arrival; keep it allocation-free.)
+            for (ci, cell) in cells.iter().enumerate() {
+                if !cell.alive || source >= cell.n_sources {
+                    continue;
                 }
-            });
-            let Some(last) = drained.last() else { return };
-            let upto = last.end;
-            E::push(&mut state.session, source, &drained);
-            state.dirty = true;
-            if upto > E::watermark(&state.session) {
-                let bufs = E::advance(&mut state.session, upto);
-                state.dirty = false;
-                stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
-                stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
-                for (qi, buf) in bufs.into_iter().enumerate() {
-                    Self::deliver(key, qi, buf.to_events(), &mut state.out, &sinks, &stats);
+                let Some(cs) = state.cells[ci].as_mut() else { continue };
+                let mut frontier = cs.pushed_end[source].max(cs.session.watermark());
+                scratch.clear();
+                for b in drained.iter_mut() {
+                    if b.event.start < frontier {
+                        continue;
+                    }
+                    b.taken = true;
+                    frontier = b.event.end;
+                    scratch.push(b.event.clone());
                 }
+                if scratch.is_empty() {
+                    continue;
+                }
+                let upto = frontier;
+                cs.session.push_events(source, scratch);
+                cs.pushed_end[source] = frontier;
+                cs.dirty = true;
+                scratch.clear();
+                if upto > cs.session.watermark() {
+                    let bufs = cs.session.advance_to_with(upto, pool);
+                    cs.dirty = false;
+                    stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
+                    stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                    for (mi, buf) in bufs.into_iter().enumerate() {
+                        let emitted = buf.to_events();
+                        pool.put(buf);
+                        Self::deliver(key, cell.qids[mi], emitted, &mut state.out, &sinks, &stats);
+                    }
+                }
+            }
+            let untaken = drained.iter().filter(|b| !b.taken).count();
+            if untaken > 0 {
+                stats.late_dropped.fetch_add(untaken as u64, Ordering::Relaxed);
             }
         }))
         .is_err();
@@ -594,86 +1123,80 @@ impl<E: Engine> Shard<E> {
         }
     }
 
-    /// Moves every matured pending event (start < `upto`) into the
-    /// session, in time order (the buffers are kept sorted at insertion).
-    fn drain_pending(
-        shard_id: usize,
-        state: &mut KeyState<E::Session>,
-        upto: Time,
-        stats: &SharedStats,
-    ) {
-        for (source, pending) in state.pending.iter_mut().enumerate() {
-            if pending.is_empty() {
-                continue;
-            }
-            let mut matured = pending.drain_matured(upto);
-            if matured.is_empty() {
-                continue;
-            }
-            stats.reorder_pending[shard_id].fetch_sub(matured.len() as i64, Ordering::Relaxed);
-            // Duplicate or overlapping arrivals (malformed per-key streams)
-            // cannot be appended disjointly; count them as drops rather
-            // than corrupting the session history.
-            matured.retain(|e| {
-                if e.start < state.pushed_end[source] {
-                    stats.late_dropped.fetch_add(1, Ordering::Relaxed);
-                    false
-                } else {
-                    state.pushed_end[source] = e.end;
-                    true
-                }
-            });
-            if !matured.is_empty() {
-                E::push(&mut state.session, source, &matured);
-                state.dirty = true;
-            }
-        }
-    }
-
     fn deliver(
         key: u64,
         query: usize,
         events: Vec<Event<Value>>,
-        out: &mut [Vec<Event<Value>>],
-        sinks: &[Option<OutputSink>],
+        out: &mut Vec<Vec<Event<Value>>>,
+        sinks: &SinkTable,
         stats: &SharedStats,
     ) {
         if events.is_empty() {
             return;
         }
-        stats.events_out.fetch_add(events.len() as u64, Ordering::Relaxed);
-        stats.events_out_query[query].fetch_add(events.len() as u64, Ordering::Relaxed);
-        match &sinks[query] {
+        stats.add_events_out(query, events.len() as u64);
+        match sinks.get(query) {
             Some(sink) => sink(key, &events),
-            None => out[query].extend(events),
+            None => {
+                if out.len() <= query {
+                    out.resize_with(query + 1, Vec::new);
+                }
+                out[query].extend(events);
+            }
         }
     }
 
-    /// End-of-stream: push everything still pending (the watermark can no
-    /// longer refute it), flush every session through the final horizon,
-    /// and hand the per-key outputs back. Evicted keys are resurrected for
-    /// the final flush so queries that emit output on an empty timeline
-    /// still surface their tail; quarantined keys return what they had.
+    /// End-of-stream: push everything still pending (the watermarks can no
+    /// longer refute it), flush every cell session through the final
+    /// horizon, and hand the per-key outputs back. Evicted keys are
+    /// resurrected for the final flush so queries that emit output on an
+    /// empty timeline still surface their tail; quarantined keys return
+    /// what they had.
     fn flush(mut self, finish_at: Option<Time>) -> ShardOutput {
-        let horizon =
-            finish_at.unwrap_or_else(|| self.max_end.max(self.cfg.start).align_up(self.grid));
+        let grid = self.cells.iter().filter(|c| c.alive).map(|c| c.grid).max().unwrap_or(1);
+        let horizon = finish_at.unwrap_or_else(|| self.max_end.max(self.cfg.start).align_up(grid));
         self.stats.shard_watermark[self.id].store(horizon.ticks(), Ordering::Relaxed);
         let id = self.id;
         let sinks = Arc::clone(&self.sinks);
         let stats = Arc::clone(&self.stats);
-        let (k_run, k_saved) = self.kernel_counts;
+        let cells = std::mem::take(&mut self.cells);
+        let pool = &mut self.pool;
+        let scratch = &mut self.scratch;
+        let n_cells = cells.len();
+        let n_sources = self.n_sources;
+        // At the final horizon every cell is fully matured: one shared
+        // plan drains and flushes everything.
+        let final_plans: Vec<CellPlan> = cells
+            .iter()
+            .map(|c| CellPlan { alive: c.alive, wm: Time::MAX, target: horizon, due: c.alive })
+            .collect();
         let mut per_key: Vec<(u64, Vec<Vec<Event<Value>>>)> =
             Vec::with_capacity(self.keys.len() + self.retired.len());
         for (key, mut state) in self.keys.drain() {
+            Self::sync_key(&mut state, n_cells, n_sources);
             let panicked = catch_unwind(AssertUnwindSafe(|| {
-                Self::drain_pending(id, &mut state, Time::MAX, &stats);
-                if horizon > E::watermark(&state.session) {
-                    let bufs = E::flush(&mut state.session, horizon);
-                    stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
-                    stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
-                    for (qi, buf) in bufs.into_iter().enumerate() {
-                        let emitted = buf.to_events();
-                        Self::deliver(key, qi, emitted, &mut state.out, &sinks, &stats);
+                Self::drain_and_release(id, &mut state, &cells, &final_plans, scratch, &stats);
+                for (ci, cell) in cells.iter().enumerate() {
+                    if !cell.alive {
+                        continue;
+                    }
+                    let Some(cs) = state.cells[ci].as_mut() else { continue };
+                    if horizon > cs.session.watermark() {
+                        let bufs = cs.session.flush_to_with(horizon, pool);
+                        stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
+                        stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                        for (mi, buf) in bufs.into_iter().enumerate() {
+                            let emitted = buf.to_events();
+                            pool.put(buf);
+                            Self::deliver(
+                                key,
+                                cell.qids[mi],
+                                emitted,
+                                &mut state.out,
+                                &sinks,
+                                &stats,
+                            );
+                        }
                     }
                 }
             }))
@@ -685,18 +1208,36 @@ impl<E: Engine> Shard<E> {
         }
         for (key, r) in self.retired.drain() {
             let mut out = r.out;
-            if !r.quarantined && horizon > r.frontier {
-                let mut session = self.engine.open(r.frontier);
-                match catch_unwind(AssertUnwindSafe(|| E::flush(&mut session, horizon))) {
-                    Ok(bufs) => {
-                        stats.kernels_run.fetch_add(k_run, Ordering::Relaxed);
-                        stats.kernels_saved.fetch_add(k_saved, Ordering::Relaxed);
-                        for (qi, buf) in bufs.into_iter().enumerate() {
-                            Self::deliver(key, qi, buf.to_events(), &mut out, &sinks, &stats);
-                        }
+            if !r.quarantined {
+                for (ci, cell) in cells.iter().enumerate() {
+                    if !cell.alive {
+                        continue;
                     }
-                    Err(_) => {
-                        stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+                    let Some(frontier) = r.frontiers.get(ci).copied().flatten() else { continue };
+                    if horizon <= frontier {
+                        continue;
+                    }
+                    let mut session = cell.group.shared_session(frontier);
+                    match catch_unwind(AssertUnwindSafe(|| session.flush_to_with(horizon, pool))) {
+                        Ok(bufs) => {
+                            stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
+                            stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                            for (mi, buf) in bufs.into_iter().enumerate() {
+                                let emitted = buf.to_events();
+                                pool.put(buf);
+                                Self::deliver(
+                                    key,
+                                    cell.qids[mi],
+                                    emitted,
+                                    &mut out,
+                                    &sinks,
+                                    &stats,
+                                );
+                            }
+                        }
+                        Err(_) => {
+                            stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -716,35 +1257,36 @@ mod tests {
     }
 
     #[test]
-    fn monotone_insertion_preserves_drain_order() {
-        // Bounded-out-of-order arrivals; drain must be (start, end)-sorted —
-        // exactly what the previous sort-per-drain produced.
+    fn monotone_insertion_preserves_order() {
+        // Bounded-out-of-order arrivals; the matured prefix must be
+        // (start, end)-sorted.
         let mut buf = ReorderBuf::default();
         for (s, e, v) in [(3, 4, 0.0), (1, 2, 1.0), (5, 6, 2.0), (2, 3, 3.0), (4, 5, 4.0)] {
             buf.insert(ev(s, e, v));
         }
-        let drained = buf.drain_matured(Time::new(5));
-        let starts: Vec<i64> = drained.iter().map(|e| e.start.ticks()).collect();
+        let matured = buf.matured_mut(Time::new(5));
+        let starts: Vec<i64> = matured.iter().map(|b| b.event.start.ticks()).collect();
         assert_eq!(starts, vec![1, 2, 3, 4]);
+        let (released, untaken) = buf.release(Time::new(5));
+        assert_eq!((released, untaken), (4, 4), "nothing was marked taken");
         assert_eq!(buf.len(), 1, "event starting at 5 is not yet matured");
-        let rest = buf.drain_matured(Time::MAX);
-        assert_eq!(rest.len(), 1);
+        buf.matured_mut(Time::MAX).iter_mut().for_each(|b| b.taken = true);
+        assert_eq!(buf.release(Time::MAX), (1, 0));
         assert!(buf.is_empty());
     }
 
     #[test]
     fn equal_timestamps_keep_arrival_order() {
-        // Stability: ties on (start, end) must drain in arrival order, as
-        // the previous stable sort guaranteed.
+        // Stability: ties on (start, end) must drain in arrival order.
         let mut buf = ReorderBuf::default();
         buf.insert(ev(1, 2, 10.0));
         buf.insert(ev(1, 2, 20.0));
         buf.insert(ev(0, 1, 5.0));
         buf.insert(ev(1, 2, 30.0));
-        let drained = buf.drain_matured(Time::MAX);
-        let vals: Vec<f64> = drained
+        let vals: Vec<f64> = buf
+            .matured_mut(Time::MAX)
             .iter()
-            .map(|e| match e.payload {
+            .map(|b| match b.event.payload {
                 Value::Float(f) => f,
                 _ => unreachable!(),
             })
@@ -760,9 +1302,9 @@ mod tests {
             buf.insert(ev(t, t + 1, t as f64));
         }
         assert_eq!(buf.len(), 1000);
-        let drained = buf.drain_matured(Time::new(500));
-        assert_eq!(drained.len(), 499);
-        assert!(drained.windows(2).all(|w| w[0].start <= w[1].start));
+        let matured = buf.matured_mut(Time::new(500));
+        assert_eq!(matured.len(), 499);
+        assert!(matured.windows(2).all(|w| w[0].event.start <= w[1].event.start));
     }
 
     #[test]
@@ -772,12 +1314,30 @@ mod tests {
             buf.insert(ev(s, e, 0.0));
         }
         let oldest = buf.drain_oldest(2);
-        let starts: Vec<i64> = oldest.iter().map(|e| e.start.ticks()).collect();
+        let starts: Vec<i64> = oldest.iter().map(|b| b.event.start.ticks()).collect();
         assert_eq!(starts, vec![1, 2]);
         assert_eq!(buf.len(), 2);
         // Asking for more than is buffered drains what exists.
         assert_eq!(buf.drain_oldest(10).len(), 2);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn release_respects_taken_flags() {
+        let mut buf = ReorderBuf::default();
+        for t in 1..=6 {
+            buf.insert(ev(t, t + 1, 0.0));
+        }
+        // A consumer takes the first three; a duplicate-looking straggler
+        // stays untaken.
+        for b in buf.matured_mut(Time::new(4)) {
+            b.taken = true;
+        }
+        buf.insert(ev(2, 3, 9.9)); // behind the consumer's frontier: nobody takes it
+        let (released, untaken) = buf.release(Time::new(4));
+        assert_eq!(released, 4);
+        assert_eq!(untaken, 1, "the unconsumed straggler is counted exactly once");
+        assert_eq!(buf.len(), 3);
     }
 
     #[test]
@@ -801,8 +1361,8 @@ mod tests {
         for e in events {
             buf.insert(e);
         }
-        let drained = buf.drain_matured(Time::MAX);
-        let got: Vec<(Time, Time)> = drained.iter().map(|e| (e.start, e.end)).collect();
+        let got: Vec<(Time, Time)> =
+            buf.matured_mut(Time::MAX).iter().map(|b| (b.event.start, b.event.end)).collect();
         let want: Vec<(Time, Time)> = reference.iter().map(|e| (e.start, e.end)).collect();
         assert_eq!(got, want);
     }

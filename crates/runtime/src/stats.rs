@@ -1,27 +1,42 @@
 //! Runtime observability: lock-free counters updated by producers and
 //! shard workers, snapshotted on demand as [`RuntimeStats`].
+//!
+//! Per-query tables (output counts, join frontiers, sinks) are growable
+//! behind `RwLock`s because the control plane can attach queries to a
+//! *running* service; the hot paths only ever take the read lock.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::RwLock;
 use std::time::{Duration, Instant};
 
 use tilt_data::Time;
 
-/// Shared atomic counters; one instance per runtime, updated by every
+use crate::OutputSink;
+
+/// Shared atomic counters; one instance per service, updated by every
 /// producer and shard thread.
 #[derive(Debug)]
 pub(crate) struct SharedStats {
     pub(crate) started: Instant,
     pub(crate) events_in: AtomicU64,
     pub(crate) events_out: AtomicU64,
-    /// Per registered query: output events emitted for that query.
-    pub(crate) events_out_query: Vec<AtomicU64>,
+    /// Per registered query (by [`crate::QueryHandle`] index): output
+    /// events emitted for that query. Grows on live attach.
+    pub(crate) events_out_query: RwLock<Vec<AtomicU64>>,
+    /// Per registered query: the join frontier it was admitted at
+    /// (`config.start` for queries registered before the service started).
+    pub(crate) query_frontier: RwLock<Vec<i64>>,
     pub(crate) late_dropped: AtomicU64,
     pub(crate) keys: AtomicU64,
     /// Gauge: keys with a live session right now (created − evicted −
     /// quarantined + revived).
     pub(crate) live_keys: AtomicI64,
-    /// Idle sessions retired by the TTL policy.
+    /// Idle sessions retired by the TTL policies (event-time and
+    /// wall-clock).
     pub(crate) evictions: AtomicU64,
+    /// The subset of `evictions` triggered by the wall-clock TTL
+    /// ([`crate::RuntimeConfig::wall_clock_ttl`]).
+    pub(crate) wall_evictions: AtomicU64,
     /// Evicted keys transparently re-created by a later arrival.
     pub(crate) revivals: AtomicU64,
     /// Events rejected by the reorder-buffer backstop (drop-and-count
@@ -35,9 +50,9 @@ pub(crate) struct SharedStats {
     pub(crate) keys_quarantined: AtomicU64,
     /// Events dropped because their key is quarantined.
     pub(crate) quarantine_dropped: AtomicU64,
-    /// Events accepted into a reorder buffer. Ingestion is shared across
-    /// registered queries, so this counts each event once — N independent
-    /// runtimes would count it N times between them.
+    /// Events accepted into a reorder buffer. Ingestion and reorder
+    /// buffering are shared across registered queries, so this counts each
+    /// event once — N independent services would count it N times.
     pub(crate) reorder_buffered: AtomicU64,
     /// Kernel executions performed by session advances/flushes.
     pub(crate) kernels_run: AtomicU64,
@@ -45,27 +60,44 @@ pub(crate) struct SharedStats {
     /// same advances would have cost without sharing, minus what they
     /// actually cost).
     pub(crate) kernels_saved: AtomicU64,
+    /// Queries attached to the *running* service (registrations before
+    /// `start` are not counted here).
+    pub(crate) attached: AtomicU64,
+    /// Queries detached from the running service.
+    pub(crate) detached: AtomicU64,
+    /// Gauge: queries currently being served.
+    pub(crate) queries_live: AtomicI64,
+    /// Per-key execution sessions torn down by detach (the reclamation a
+    /// detach buys back; tombstone output reclamation is counted here too,
+    /// one per cleared tombstone slot).
+    pub(crate) sessions_reclaimed: AtomicU64,
     pub(crate) max_event_end: AtomicI64,
+    /// The largest explicit watermark promise made on any source (feeds
+    /// attach-frontier negotiation).
+    pub(crate) max_promise: AtomicI64,
     /// Per shard: events currently queued (sent, not yet received).
     pub(crate) queue_depth: Vec<AtomicI64>,
     /// Per shard: events currently held in reorder buffers (gauge; the
     /// backstop caps this).
     pub(crate) reorder_pending: Vec<AtomicI64>,
-    /// Per shard: the low-watermark the shard last propagated.
+    /// Per shard: the low-watermark the shard last propagated (minimum
+    /// over its live cells' watermarks).
     pub(crate) shard_watermark: Vec<AtomicI64>,
 }
 
 impl SharedStats {
-    pub(crate) fn new(shards: usize, queries: usize) -> Self {
+    pub(crate) fn new(shards: usize) -> Self {
         SharedStats {
             started: Instant::now(),
             events_in: AtomicU64::new(0),
             events_out: AtomicU64::new(0),
-            events_out_query: (0..queries).map(|_| AtomicU64::new(0)).collect(),
+            events_out_query: RwLock::new(Vec::new()),
+            query_frontier: RwLock::new(Vec::new()),
             late_dropped: AtomicU64::new(0),
             keys: AtomicU64::new(0),
             live_keys: AtomicI64::new(0),
             evictions: AtomicU64::new(0),
+            wall_evictions: AtomicU64::new(0),
             revivals: AtomicU64::new(0),
             backstop_dropped: AtomicU64::new(0),
             backstop_forced: AtomicU64::new(0),
@@ -74,15 +106,53 @@ impl SharedStats {
             reorder_buffered: AtomicU64::new(0),
             kernels_run: AtomicU64::new(0),
             kernels_saved: AtomicU64::new(0),
+            attached: AtomicU64::new(0),
+            detached: AtomicU64::new(0),
+            queries_live: AtomicI64::new(0),
+            sessions_reclaimed: AtomicU64::new(0),
             max_event_end: AtomicI64::new(Time::MIN.ticks()),
+            max_promise: AtomicI64::new(Time::MIN.ticks()),
             queue_depth: (0..shards).map(|_| AtomicI64::new(0)).collect(),
             reorder_pending: (0..shards).map(|_| AtomicI64::new(0)).collect(),
             shard_watermark: (0..shards).map(|_| AtomicI64::new(Time::MIN.ticks())).collect(),
         }
     }
 
+    /// Allocates the next query slot (output counter + frontier record) and
+    /// returns its index. Callers serialize registrations (the service's
+    /// registry lock), so slot indices agree with registry order.
+    pub(crate) fn register_query(&self, frontier: Time, live_attach: bool) -> usize {
+        let mut counters = self.events_out_query.write().expect("stats lock");
+        counters.push(AtomicU64::new(0));
+        let id = counters.len() - 1;
+        drop(counters);
+        self.query_frontier.write().expect("stats lock").push(frontier.ticks());
+        self.queries_live.fetch_add(1, Ordering::Relaxed);
+        if live_attach {
+            self.attached.fetch_add(1, Ordering::Relaxed);
+        }
+        id
+    }
+
+    pub(crate) fn note_detach(&self) {
+        self.detached.fetch_add(1, Ordering::Relaxed);
+        self.queries_live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_events_out(&self, query: usize, n: u64) {
+        self.events_out.fetch_add(n, Ordering::Relaxed);
+        let counters = self.events_out_query.read().expect("stats lock");
+        if let Some(c) = counters.get(query) {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn note_event_end(&self, end: Time) {
         self.max_event_end.fetch_max(end.ticks(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_promise(&self, time: Time) {
+        self.max_promise.fetch_max(time.ticks(), Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> RuntimeStats {
@@ -99,13 +169,23 @@ impl SharedStats {
             events_out: self.events_out.load(Ordering::Relaxed),
             events_out_per_query: self
                 .events_out_query
+                .read()
+                .expect("stats lock")
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            query_frontiers: self
+                .query_frontier
+                .read()
+                .expect("stats lock")
+                .iter()
+                .map(|t| Time::new(*t))
                 .collect(),
             late_dropped: self.late_dropped.load(Ordering::Relaxed),
             keys: self.keys.load(Ordering::Relaxed),
             live_keys: self.live_keys.load(Ordering::Relaxed).max(0) as u64,
             evictions: self.evictions.load(Ordering::Relaxed),
+            wall_evictions: self.wall_evictions.load(Ordering::Relaxed),
             revivals: self.revivals.load(Ordering::Relaxed),
             backstop_dropped: self.backstop_dropped.load(Ordering::Relaxed),
             backstop_forced: self.backstop_forced.load(Ordering::Relaxed),
@@ -119,6 +199,10 @@ impl SharedStats {
             reorder_buffered: self.reorder_buffered.load(Ordering::Relaxed),
             kernels_run: self.kernels_run.load(Ordering::Relaxed),
             kernels_saved: self.kernels_saved.load(Ordering::Relaxed),
+            attached: self.attached.load(Ordering::Relaxed),
+            detached: self.detached.load(Ordering::Relaxed),
+            queries_live: self.queries_live.load(Ordering::Relaxed).max(0) as u64,
+            sessions_reclaimed: self.sessions_reclaimed.load(Ordering::Relaxed),
             queue_depths,
             shard_watermarks,
             min_watermark,
@@ -137,30 +221,87 @@ impl SharedStats {
     }
 }
 
-/// A point-in-time snapshot of runtime health, returned by
-/// [`crate::Runtime::stats`] and [`crate::MultiRuntime::stats`].
+/// The per-query sink registry: where each query's finalized events stream,
+/// if anywhere. Growable and editable at runtime — that is what lets a
+/// caller subscribe to a live query's output without waiting for `finish`.
+pub(crate) struct SinkTable {
+    sinks: RwLock<Vec<Option<OutputSink>>>,
+}
+
+impl std::fmt::Debug for SinkTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sinks = self.sinks.read().expect("sink lock");
+        write!(f, "SinkTable({}/{} set)", sinks.iter().filter(|s| s.is_some()).count(), sinks.len())
+    }
+}
+
+impl SinkTable {
+    pub(crate) fn new() -> Self {
+        SinkTable { sinks: RwLock::new(Vec::new()) }
+    }
+
+    /// Appends the slot for a newly registered query.
+    pub(crate) fn push(&self, sink: Option<OutputSink>) {
+        self.sinks.write().expect("sink lock").push(sink);
+    }
+
+    /// Installs (or replaces) a live query's sink.
+    pub(crate) fn set(&self, query: usize, sink: Option<OutputSink>) {
+        let mut sinks = self.sinks.write().expect("sink lock");
+        if query >= sinks.len() {
+            sinks.resize_with(query + 1, || None);
+        }
+        sinks[query] = sink;
+    }
+
+    /// The sink for `query`, if one is installed.
+    pub(crate) fn get(&self, query: usize) -> Option<OutputSink> {
+        self.sinks.read().expect("sink lock").get(query).and_then(Clone::clone)
+    }
+
+    /// Whether any query has a sink (drives eager emission).
+    pub(crate) fn any(&self) -> bool {
+        self.sinks.read().expect("sink lock").iter().any(Option::is_some)
+    }
+}
+
+/// A point-in-time snapshot of service health, returned by
+/// [`crate::StreamService::stats`].
 #[derive(Clone, Debug)]
 pub struct RuntimeStats {
     /// Events accepted by ingestion so far.
     pub events_in: u64,
     /// Output events emitted across all keys and queries so far.
     pub events_out: u64,
-    /// Output events emitted per registered query (one entry for a
-    /// single-query [`crate::Runtime`]).
+    /// Output events emitted per registered query, indexed by
+    /// [`crate::QueryHandle::index`]. Detached queries keep their final
+    /// counts.
     pub events_out_per_query: Vec<u64>,
-    /// Events dropped for arriving later than the configured
-    /// allowed lateness.
+    /// Per registered query: the join frontier it was admitted at —
+    /// `config.start` for queries registered before the service started,
+    /// the negotiated attach frontier for live attaches. Monotone
+    /// non-decreasing in registration order.
+    pub query_frontiers: Vec<Time>,
+    /// Events no registered query could use: later than every interested
+    /// query's allowed lateness, or addressed to a source position no
+    /// query reads (e.g. ingesting into an attach-first service before
+    /// its first attach). Counted once per event, however many queries
+    /// are registered.
     pub late_dropped: u64,
     /// Distinct keys ever seen (live, evicted, and quarantined).
     pub keys: u64,
     /// Keys with a live session right now. With idle eviction enabled
-    /// ([`crate::RuntimeConfig::key_ttl`]) this is the steady-state memory
-    /// gauge: it tracks the *active* key population, not every key ever
-    /// seen.
+    /// ([`crate::RuntimeConfig::key_ttl`] /
+    /// [`crate::RuntimeConfig::wall_clock_ttl`]) this is the steady-state
+    /// memory gauge: it tracks the *active* key population, not every key
+    /// ever seen.
     pub live_keys: u64,
-    /// Idle sessions retired by the TTL policy
-    /// ([`crate::RuntimeConfig::key_ttl`]).
+    /// Idle sessions retired by the TTL policies.
     pub evictions: u64,
+    /// The subset of `evictions` triggered by the wall-clock TTL
+    /// ([`crate::RuntimeConfig::wall_clock_ttl`]) rather than event-time
+    /// idleness.
+    pub wall_evictions: u64,
     /// Evicted keys whose session was transparently re-created by a later
     /// arrival.
     pub revivals: u64,
@@ -182,14 +323,24 @@ pub struct RuntimeStats {
     pub reorder_pending: Vec<usize>,
     /// Events accepted into per-key reorder buffers. Reorder/watermark work
     /// is shared: this counts each ingested event once no matter how many
-    /// queries are registered, whereas N independent runtimes would buffer
+    /// queries are registered, whereas N independent services would buffer
     /// and sort every event N times.
     pub reorder_buffered: u64,
     /// Kernel executions performed by session advances.
     pub kernels_run: u64,
     /// Kernel executions avoided by the structural prefix dedup across
-    /// registered queries (0 for a single-query runtime).
+    /// registered queries (0 for a single-query service).
     pub kernels_saved: u64,
+    /// Queries attached to the running service (pre-start registrations
+    /// are not counted).
+    pub attached: u64,
+    /// Queries detached from the running service.
+    pub detached: u64,
+    /// Queries currently being served.
+    pub queries_live: u64,
+    /// Per-key execution sessions (and tombstone output slots) reclaimed
+    /// by detach.
+    pub sessions_reclaimed: u64,
     /// Events sitting in each shard's ingest queue (backpressure signal).
     pub queue_depths: Vec<usize>,
     /// Each shard's current low-watermark.
@@ -200,7 +351,7 @@ pub struct RuntimeStats {
     /// Ticks between the newest event seen and the minimum watermark — how
     /// far finalization trails ingestion.
     pub watermark_lag: i64,
-    /// Wall-clock time since the runtime started.
+    /// Wall-clock time since the service started.
     pub elapsed: Duration,
     /// Ingest throughput since start (events per wall-clock second).
     pub events_per_sec: f64,
@@ -222,11 +373,18 @@ impl std::fmt::Display for RuntimeStats {
         if self.kernels_saved > 0 {
             write!(f, ", kernels {} run / {} deduped", self.kernels_run, self.kernels_saved)?;
         }
+        if self.attached + self.detached > 0 {
+            write!(
+                f,
+                ", queries {} live ({} attached, {} detached, {} sessions reclaimed)",
+                self.queries_live, self.attached, self.detached, self.sessions_reclaimed
+            )?;
+        }
         if self.evictions > 0 {
             write!(
                 f,
-                ", sessions {} live ({} evicted, {} revived)",
-                self.live_keys, self.evictions, self.revivals
+                ", sessions {} live ({} evicted ({} wall-clock), {} revived)",
+                self.live_keys, self.evictions, self.wall_evictions, self.revivals
             )?;
         }
         if self.backstop_dropped + self.backstop_forced > 0 {

@@ -16,7 +16,7 @@ use tilt_core::Compiler;
 use tilt_data::{Event, Time, TimeRange, Value};
 use tilt_query::{elem, Agg, LogicalPlan, NodeId};
 use tilt_runtime::{
-    KeyedEvent, MultiRuntime, MultiRuntimeOutput, Runtime, RuntimeConfig, RuntimeStats,
+    KeyedEvent, QueryHandle, RuntimeConfig, RuntimeStats, ServiceOutput, StreamService,
 };
 
 /// The YSB window length in "seconds".
@@ -72,8 +72,8 @@ pub const FACTOR: i64 = 6;
 ///
 /// Its first two operators (Where → Window-Count over the same ad stream)
 /// are structurally identical to [`plan`]'s, so when both queries are
-/// registered in one [`MultiRuntime`] the pane-count kernel is detected by
-/// the kernel-prefix dedup and executed once per advance, serving both.
+/// registered in one [`StreamService`] the pane-count kernel is detected
+/// by the kernel-prefix dedup and executed once per advance, serving both.
 pub fn factor_plan(window: i64, factor: i64) -> (LogicalPlan, NodeId) {
     let mut plan = LogicalPlan::new();
     let src = plan.source("ad_events", DataType::Int);
@@ -173,13 +173,13 @@ pub fn run_tilt(
     total.load(std::sync::atomic::Ordering::Relaxed)
 }
 
-/// Runs keyed YSB through `tilt-runtime`: the flat (optionally
-/// out-of-order) ad stream is ingested as keyed events, the runtime
-/// hash-partitions campaigns across `shards` worker threads, and each
-/// campaign's windows are counted by its own streaming session over one
-/// shared compiled query. Returns the total counted views and the final
-/// runtime stats.
-pub fn run_tilt_runtime(
+/// Runs keyed YSB through a single-query [`StreamService`]: the flat
+/// (optionally out-of-order) ad stream is ingested as keyed events, the
+/// service hash-partitions campaigns across `shards` worker threads, and
+/// each campaign's windows are counted by its own streaming session over
+/// one shared compiled query. Returns the total counted views and the
+/// final service stats.
+pub fn run_tilt_service(
     events: &[YsbEvent],
     shards: usize,
     window: i64,
@@ -188,19 +188,18 @@ pub fn run_tilt_runtime(
     let (plan, out) = plan(window);
     let q = tilt_query::lower(&plan, out).expect("YSB lowers");
     let cq = Arc::new(Compiler::new().compile(&q).expect("YSB compiles"));
-    let runtime = Runtime::start(
-        cq,
-        RuntimeConfig {
-            shards,
-            allowed_lateness,
-            emit_interval: window,
-            ..RuntimeConfig::default()
-        },
-    );
-    runtime.ingest(keyed(events));
+    let mut builder = StreamService::builder(RuntimeConfig {
+        shards,
+        allowed_lateness,
+        emit_interval: window,
+        ..RuntimeConfig::default()
+    });
+    let ysb = builder.register(cq);
+    let service = builder.start().expect("single registration cannot conflict");
+    service.ingest(keyed(events));
     let end = extent(events, window).end;
-    let output = runtime.finish_at(end);
-    (count_views(output.per_key.values(), end, window), output.stats)
+    let output = service.finish_at(end);
+    (count_views(output.per_query[ysb.index()].values(), end, window), output.stats)
 }
 
 /// Totals the views in per-campaign YSB window outputs, counting windows
@@ -224,17 +223,17 @@ where
 }
 
 /// Runs YSB *and* the correlated factor query through one shared
-/// [`MultiRuntime`]: the flat (optionally out-of-order) ad stream is
+/// [`StreamService`]: the flat (optionally out-of-order) ad stream is
 /// ingested, reorder-buffered, and watermarked **once** per shard, feeding
 /// both queries; the pane-count kernel they structurally share executes
-/// once per advance. Returns the YSB view count (query 0) and the full
-/// per-query output (query 1 is the factor query's per-campaign peaks).
-pub fn run_tilt_multi_runtime(
+/// once per advance. Returns the YSB view count, the full per-query
+/// output, and the two query handles (YSB first, factor second).
+pub fn run_tilt_shared_service(
     events: &[YsbEvent],
     shards: usize,
     window: i64,
     allowed_lateness: i64,
-) -> (ViewCount, MultiRuntimeOutput) {
+) -> (ViewCount, ServiceOutput, [QueryHandle; 2]) {
     let (p1, out1) = plan(window);
     let (p2, out2) = factor_plan(window, FACTOR);
     let q1 = tilt_query::lower(&p1, out1).expect("YSB lowers");
@@ -242,20 +241,20 @@ pub fn run_tilt_multi_runtime(
     let cq1 = Arc::new(Compiler::new().compile(&q1).expect("YSB compiles"));
     let cq2 = Arc::new(Compiler::new().compile(&q2).expect("factor query compiles"));
 
-    let mut builder = MultiRuntime::builder(RuntimeConfig {
+    let mut builder = StreamService::builder(RuntimeConfig {
         shards,
         allowed_lateness,
         emit_interval: window,
         ..RuntimeConfig::default()
     });
     let ysb_id = builder.register(cq1);
-    let _factor_id = builder.register(cq2);
-    let runtime = builder.start().expect("queries share the ad stream source");
-    runtime.ingest(keyed(events));
+    let factor_id = builder.register(cq2);
+    let service = builder.start().expect("queries share the ad stream source");
+    service.ingest(keyed(events));
     let end = extent(events, FACTOR * window).end;
-    let output = runtime.finish_at(end);
+    let output = service.finish_at(end);
     let views = count_views(output.per_query[ysb_id.index()].values(), end, window);
-    (views, output)
+    (views, output, [ysb_id, factor_id])
 }
 
 /// Runs YSB on the Trill baseline: one operator graph per campaign
@@ -352,7 +351,7 @@ mod tests {
         let events = generate(4000, campaigns, 99);
         let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
         for shards in [1usize, 3] {
-            let (views, stats) = run_tilt_runtime(&events, shards, window, 0);
+            let (views, stats) = run_tilt_service(&events, shards, window, 0);
             assert_eq!(views, expected, "shards={shards}");
             assert_eq!(stats.late_dropped, 0);
             assert_eq!(stats.events_in, events.len() as u64);
@@ -372,7 +371,7 @@ mod tests {
             events.iter().map(|e| e.time).collect::<Vec<_>>(),
             "shuffle must actually reorder"
         );
-        let (views, stats) = run_tilt_runtime(&shuffled, 2, window, 2 * displacement as i64 + 2);
+        let (views, stats) = run_tilt_service(&shuffled, 2, window, 2 * displacement as i64 + 2);
         assert_eq!(stats.late_dropped, 0, "lateness bound must absorb the shuffle");
         assert_eq!(views, expected);
     }
@@ -393,15 +392,14 @@ mod tests {
         let (plan, out) = plan(window);
         let q = tilt_query::lower(&plan, out).expect("YSB lowers");
         let cq = Arc::new(Compiler::new().compile(&q).expect("YSB compiles"));
-        let runtime = Runtime::start(
-            cq,
-            RuntimeConfig {
-                shards: 2,
-                allowed_lateness: 0,
-                emit_interval: window,
-                ..RuntimeConfig::default()
-            },
-        );
+        let mut builder = StreamService::builder(RuntimeConfig {
+            shards: 2,
+            allowed_lateness: 0,
+            emit_interval: window,
+            ..RuntimeConfig::default()
+        });
+        let qh = builder.register(cq);
+        let runtime = builder.start().unwrap();
         runtime.ingest(keyed(&events));
         // Wait until every shard's watermark has crossed the last emission
         // grid point: by then each key's pushed frontier is within one
@@ -422,18 +420,18 @@ mod tests {
         let end = extent(&events, window).end;
         let output = runtime.finish_at(end);
         assert_eq!(output.stats.late_dropped, 500, "every straggler is counted");
-        let views = count_views(output.per_key.values(), end, window);
+        let views = count_views(output.per_query[qh.index()].values(), end, window);
         assert_eq!(views, expected, "the in-order prefix is untouched");
     }
 
     #[test]
-    fn multi_runtime_shares_ingestion_and_counts_views() {
+    fn shared_service_shares_ingestion_and_counts_views() {
         let campaigns = 8;
         let window = window_ticks(40);
         let events = generate(4000, campaigns, 99);
         let expected: i64 = events.iter().filter(|e| e.event_type == 0).count() as i64;
         for shards in [1usize, 2] {
-            let (views, out) = run_tilt_multi_runtime(&events, shards, window, 0);
+            let (views, out, _) = run_tilt_shared_service(&events, shards, window, 0);
             assert_eq!(views, expected, "shards={shards}");
             assert_eq!(out.stats.late_dropped, 0);
             // One shared ingestion pass: each event reorder-buffered once,
@@ -446,9 +444,9 @@ mod tests {
     }
 
     #[test]
-    fn multi_runtime_factor_query_matches_standalone() {
+    fn shared_factor_query_matches_standalone() {
         // Differential check at the workload level: the factor query served
-        // from the shared runtime (with its pane prefix deduped into YSB's
+        // from the shared service (with its pane prefix deduped into YSB's
         // kernel) produces exactly what it produces alone, in-order and
         // under bounded disorder.
         let campaigns = 6;
@@ -457,29 +455,29 @@ mod tests {
         let shuffled = shuffle_bounded(&events, 32, 3);
         let end = extent(&events, FACTOR * window).end;
         for (input, lateness) in [(&events, 0i64), (&shuffled, 66i64)] {
-            let (_, multi) = run_tilt_multi_runtime(input, 2, window, lateness);
+            let (_, multi, [_, factor_id]) = run_tilt_shared_service(input, 2, window, lateness);
             assert_eq!(multi.stats.late_dropped, 0);
 
             let (fp, fout) = factor_plan(window, FACTOR);
             let q = tilt_query::lower(&fp, fout).unwrap();
             let cq = Arc::new(Compiler::new().compile(&q).unwrap());
-            let solo = Runtime::start(
-                cq,
-                RuntimeConfig {
-                    shards: 2,
-                    allowed_lateness: lateness,
-                    emit_interval: window,
-                    ..RuntimeConfig::default()
-                },
-            );
+            let mut builder = StreamService::builder(RuntimeConfig {
+                shards: 2,
+                allowed_lateness: lateness,
+                emit_interval: window,
+                ..RuntimeConfig::default()
+            });
+            let solo_q = builder.register(cq);
+            let solo = builder.start().unwrap();
             solo.ingest(keyed(input));
             let solo_out = solo.finish_at(end);
-            assert_eq!(solo_out.per_key.len(), multi.per_query[1].len());
-            for (key, events) in &solo_out.per_key {
+            let solo_map = &solo_out.per_query[solo_q.index()];
+            assert_eq!(solo_map.len(), multi.per_query[factor_id.index()].len());
+            for (key, events) in solo_map {
                 assert!(
                     tilt_data::streams_equivalent(
                         &tilt_data::coalesce(events),
-                        &tilt_data::coalesce(&multi.per_query[1][key])
+                        &tilt_data::coalesce(&multi.per_query[factor_id.index()][key])
                     ),
                     "campaign {key}: shared factor output diverged from standalone"
                 );

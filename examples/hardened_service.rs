@@ -17,7 +17,7 @@ use std::sync::Arc;
 use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
 use tilt_core::Compiler;
 use tilt_data::{Event, Time, Value};
-use tilt_runtime::{BackstopPolicy, KeyedEvent, Runtime, RuntimeConfig};
+use tilt_runtime::{BackstopPolicy, KeyedEvent, QuerySettings, RuntimeConfig, StreamService};
 use tilt_workloads::gen;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,28 +37,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let emitted = Arc::new(AtomicU64::new(0));
     let sink_count = Arc::clone(&emitted);
-    let runtime = Runtime::start_with_sink(
+    let mut builder = StreamService::builder(RuntimeConfig {
+        shards: 4,
+        allowed_lateness: 64,
+        emit_interval: 128,
+        // Idle users cost nothing: sessions retire after ~8k quiet
+        // ticks and come back transparently on the next event.
+        key_ttl: Some(8_192),
+        // One misbehaving producer cannot pin unbounded reorder state:
+        // overflow force-drains through the session, which is lossless
+        // for in-order traffic (a Zipf hot key can out-pace emission
+        // cycles, so drop-and-count would shed real events here).
+        max_pending_per_key: Some(4_096),
+        max_pending_per_shard: Some(262_144),
+        backstop: BackstopPolicy::ForceDrain,
+        ..RuntimeConfig::default()
+    });
+    builder.register_with(
         compiled,
-        RuntimeConfig {
-            shards: 4,
-            allowed_lateness: 64,
-            emit_interval: 128,
-            // Idle users cost nothing: sessions retire after ~8k quiet
-            // ticks and come back transparently on the next event.
-            key_ttl: Some(8_192),
-            // One misbehaving producer cannot pin unbounded reorder state:
-            // overflow force-drains through the session, which is lossless
-            // for in-order traffic (a Zipf hot key can out-pace emission
-            // cycles, so drop-and-count would shed real events here).
-            max_pending_per_key: Some(4_096),
-            max_pending_per_shard: Some(262_144),
-            backstop: BackstopPolicy::ForceDrain,
-            ..RuntimeConfig::default()
-        },
-        Arc::new(move |_user, events| {
+        QuerySettings::with_sink(Arc::new(move |_user, events| {
             sink_count.fetch_add(events.len() as u64, Ordering::Relaxed);
-        }),
+        })),
     );
+    let runtime = builder.start()?;
 
     println!("{users} users, Zipf(1.2) popularity, {n_events} events, TTL 8192 ticks\n");
     let traffic = gen::zipf_keyed_floats(n_events, users, 1.2, 2024);

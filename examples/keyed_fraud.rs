@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tilt_core::Compiler;
 use tilt_data::{Event, Time, Value};
-use tilt_runtime::{KeyedEvent, Runtime, RuntimeConfig};
+use tilt_runtime::{KeyedEvent, QuerySettings, RuntimeConfig, StreamService};
 use tilt_workloads::apps;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,10 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let flagged = Arc::new(AtomicU64::new(0));
     let sink_count = Arc::clone(&flagged);
-    let runtime = Runtime::start_with_sink(
+    let mut builder = StreamService::builder(RuntimeConfig {
+        allowed_lateness: 2 * displacement as i64 + 2,
+        ..RuntimeConfig::default()
+    });
+    builder.register_with(
         Arc::clone(&compiled),
-        RuntimeConfig { allowed_lateness: 2 * displacement as i64 + 2, ..RuntimeConfig::default() },
-        Arc::new(move |card, events| {
+        QuerySettings::with_sink(Arc::new(move |card, events| {
             let n = sink_count.fetch_add(events.len() as u64, Ordering::Relaxed);
             for (i, e) in events.iter().enumerate() {
                 if n + (i as u64) < 8 {
@@ -70,8 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     );
                 }
             }
-        }),
+        })),
     );
+    let runtime = builder.start()?;
 
     for chunk in feed.chunks(10_000) {
         runtime.ingest(chunk.iter().cloned());

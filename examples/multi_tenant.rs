@@ -1,14 +1,20 @@
-//! Multi-tenant query serving: several queries over one ingested ad
-//! stream through a shared `MultiRuntime`.
+//! Multi-tenant query serving on the live control plane: tenants come and
+//! go while one `StreamService` keeps ingesting the shared ad stream.
 //!
-//! Three registrations — an ops dashboard counting per-campaign views in
-//! 10s windows (YSB), a second tenant registering the *same* dashboard
-//! query, and an alerting query watching the peak 10s burst per minute —
-//! are served from one ingestion pass: hash-partitioning, reorder
-//! buffering, and watermark tracking happen once per shard, and the
-//! pane-count kernel all three structurally share executes once per
-//! advance. Each tenant still gets its own sink, output stream, and
-//! counters.
+//! The run has three phases:
+//!
+//! 1. Two dashboard tenants (the YSB per-campaign 10s view count — one
+//!    streaming to a sink, one accumulating) are registered before start;
+//!    they share an execution cell, so the pane-count kernel they are
+//!    structurally identical on executes once per advance.
+//! 2. An alerting tenant (peak 10s burst per minute) **attaches to the
+//!    running service** and joins at a negotiated frontier — no restart,
+//!    no replay; from the frontier onward it sees exactly what a fresh
+//!    standalone service would.
+//! 3. Tenant A **detaches**: its accumulated output is reclaimed and the
+//!    shared cell is incrementally re-planned around tenant B (whose
+//!    output is untouched). A cell's per-key sessions are torn down once
+//!    its last member leaves.
 //!
 //! ```sh
 //! cargo run --release --example multi_tenant
@@ -18,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tilt_core::Compiler;
-use tilt_runtime::{MultiRuntime, RuntimeConfig};
+use tilt_runtime::{QuerySettings, RuntimeConfig, StreamService};
 use tilt_workloads::ysb;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,10 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One shared ad stream, arriving out of order within bounded windows.
     let events = ysb::generate(n_events, campaigns, 7);
     let arrivals = ysb::shuffle_bounded(&events, displacement, 11);
+    let keyed = ysb::keyed(&arrivals);
     let expected_views = events.iter().filter(|e| e.event_type == 0).count() as i64;
+    let third = keyed.len() / 3;
 
-    // Compile the tenants' queries (tenant B registers the same dashboard
-    // query as tenant A — the registry dedups it to zero extra kernels).
     let (p_dash, o_dash) = ysb::plan(window);
     let (p_alert, o_alert) = ysb::factor_plan(window, ysb::FACTOR);
     let dashboard = Arc::new(Compiler::new().compile(&tilt_query::lower(&p_dash, o_dash)?)?);
@@ -43,7 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dash_windows = Arc::new(AtomicU64::new(0));
     let alerts = Arc::new(AtomicU64::new(0));
 
-    let mut builder = MultiRuntime::builder(RuntimeConfig {
+    // Phase 1: two dashboard tenants registered before start.
+    let mut builder = StreamService::builder(RuntimeConfig {
         shards: 4,
         allowed_lateness: 2 * displacement as i64 + 2,
         emit_interval: window,
@@ -51,60 +58,74 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let tenant_a = {
         let counter = Arc::clone(&dash_windows);
-        builder.register_with_sink(
+        builder.register_with(
             Arc::clone(&dashboard),
-            Arc::new(move |_campaign, events| {
+            QuerySettings::with_sink(Arc::new(move |_campaign, events| {
                 counter.fetch_add(events.len() as u64, Ordering::Relaxed);
-            }),
+            })),
         )
     };
-    let tenant_b = builder.register(dashboard); // identical query, kept outputs
+    let tenant_b = builder.register(dashboard); // identical query, deduped in-cell
+    let service = builder.start()?;
+    println!("phase 1: tenants A+B live ({} queries)", service.num_queries());
+    service.ingest(keyed[..third].iter().cloned());
+
+    // Phase 2: the alerting tenant joins the *running* service.
     let alert_q = {
         let counter = Arc::clone(&alerts);
-        builder.register_with_sink(
+        service.attach(
             alerting,
-            Arc::new(move |_campaign, events| {
+            QuerySettings::with_sink(Arc::new(move |_campaign, events| {
                 counter.fetch_add(events.len() as u64, Ordering::Relaxed);
-            }),
-        )
+            })),
+        )?
     };
-
-    let runtime = builder.start()?;
     println!(
-        "registered {} queries: {} kernel instances -> {} distinct ({} shared across tenants)",
-        runtime.num_queries(),
-        runtime.group().kernel_instances(),
-        runtime.group().distinct_kernels(),
-        runtime.group().shared_kernels(),
+        "phase 2: alerting attached at frontier t={} ({} queries live)",
+        alert_q.frontier().ticks(),
+        service.num_queries()
     );
+    service.ingest(keyed[third..2 * third].iter().cloned());
 
-    runtime.ingest(ysb::keyed(&arrivals));
+    // Phase 3: tenant A churns out; B and the alerting tenant survive.
+    service.detach(tenant_a)?;
+    println!("phase 3: tenant A detached ({} queries live)", service.num_queries());
+    service.ingest(keyed[2 * third..].iter().cloned());
+
     let end = ysb::extent(&events, ysb::FACTOR * window).end;
-    let out = runtime.finish_at(end);
+    let out = service.finish_at(end);
 
-    // Tenant B accumulated its outputs: recount the views from them.
+    // Tenant B was live throughout and accumulated its outputs: recount
+    // the views from them.
     let views = ysb::count_views(out.per_query[tenant_b.index()].values(), end, window);
-    assert_eq!(views, expected_views, "tenant B must count every view");
+    assert_eq!(views, expected_views, "tenant B must count every view despite the churn");
+    assert!(
+        out.per_query[tenant_a.index()].values().all(|v| v.is_empty()),
+        "tenant A's output was reclaimed at detach"
+    );
 
     println!(
-        "ingested {} events once for {} queries ({} reorder-buffered, {} late-dropped)",
-        out.stats.events_in,
-        out.stats.events_out_per_query.len(),
-        out.stats.reorder_buffered,
-        out.stats.late_dropped,
+        "\ningested {} events once for all tenants ({} reorder-buffered, {} late-dropped)",
+        out.stats.events_in, out.stats.reorder_buffered, out.stats.late_dropped,
     );
     println!(
-        "kernel executions: {} run, {} saved by prefix dedup",
+        "kernel executions: {} run, {} saved by prefix dedup between the dashboard tenants",
         out.stats.kernels_run, out.stats.kernels_saved
     );
     println!(
-        "tenant A streamed {} dashboard windows (query {}), tenant B kept {} views, \
-         alerting streamed {} peaks (query {})",
+        "control plane: {} attached, {} detached, {} per-key sessions reclaimed; \
+         join frontiers {:?}",
+        out.stats.attached,
+        out.stats.detached,
+        out.stats.sessions_reclaimed,
+        out.stats.query_frontiers.iter().map(|t| t.ticks()).collect::<Vec<_>>(),
+    );
+    println!(
+        "tenant A streamed {} dashboard windows before detaching, tenant B kept {} views, \
+         alerting streamed {} peaks from its frontier onward",
         dash_windows.load(Ordering::Relaxed),
-        tenant_a.index(),
         views,
         alerts.load(Ordering::Relaxed),
-        alert_q.index(),
     );
     println!("final stats: {}", out.stats);
     Ok(())

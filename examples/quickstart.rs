@@ -7,10 +7,13 @@
 //! The query is the paper's running example (Fig. 2): detect upward trends
 //! in a stock price by comparing a short and a long moving average.
 
+use std::sync::Arc;
+
 use tilt_core::ir::{print_query, DataType, Expr};
 use tilt_core::Compiler;
 use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
 use tilt_query::{elem, lhs, rhs, Agg, LogicalPlan};
+use tilt_runtime::{KeyedEvent, RuntimeConfig, StreamService};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Write the query against the event-centric frontend (§2).
@@ -52,5 +55,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in output.to_events() {
         println!("  {:?}: short-long average gap {:.2}", e.interval(), e.payload.as_f64().unwrap());
     }
+
+    // 5. Serve it: the same compiled query behind the runtime's control
+    //    plane, one session per stock symbol, out-of-order tolerant. A
+    //    `StreamService` keeps running after this — attach more queries,
+    //    subscribe sinks, detach tenants — but here we just feed two keys
+    //    and drain.
+    let mut builder = StreamService::builder(RuntimeConfig {
+        shards: 2,
+        allowed_lateness: 4,
+        ..RuntimeConfig::default()
+    });
+    let uptrend_q = builder.register(Arc::new(compiled));
+    let service = builder.start()?;
+    for (symbol, drift) in [(1u64, 1.0f64), (2u64, -1.0f64)] {
+        service.ingest(prices.iter().enumerate().map(|(i, p)| {
+            KeyedEvent::new(
+                symbol,
+                0,
+                Event::point(Time::new(i as i64 + 1), Value::Float(p + drift * i as f64)),
+            )
+        }));
+    }
+    let out = service.finish_at(Time::new(30));
+    println!("\n--- served per-symbol through StreamService ---");
+    for (symbol, events) in &out.per_query[uptrend_q.index()] {
+        println!("  symbol {symbol}: {} uptrend interval(s)", events.len());
+    }
+    println!("service stats: {}", out.stats);
     Ok(())
 }

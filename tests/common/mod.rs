@@ -1,0 +1,49 @@
+//! Shared test support: a single-query [`StreamService`] adapter with the
+//! pre-control-plane `Runtime` shape, so the differential suites keep
+//! their per-key form while exercising the new API surface.
+
+use std::sync::Arc;
+
+use tilt_core::CompiledQuery;
+use tilt_data::{Event, Time, Value};
+use tilt_runtime::{KeyedEvent, QueryHandle, RuntimeConfig, RuntimeStats, StreamService};
+
+pub struct Single {
+    svc: StreamService,
+    q: QueryHandle,
+}
+
+pub struct SingleOutput {
+    pub per_key: std::collections::HashMap<u64, Vec<Event<Value>>>,
+    pub stats: RuntimeStats,
+}
+
+#[allow(dead_code)]
+impl Single {
+    pub fn start(cq: Arc<CompiledQuery>, config: RuntimeConfig) -> Single {
+        let mut builder = StreamService::builder(config);
+        let q = builder.register(cq);
+        Single { svc: builder.start().expect("single registration"), q }
+    }
+
+    pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+        self.svc.ingest(events);
+    }
+
+    pub fn send(&self, event: KeyedEvent) {
+        self.svc.send(event);
+    }
+
+    pub fn watermark(&self, source: usize, time: Time) {
+        self.svc.watermark(source, time);
+    }
+
+    pub fn stats(&self) -> RuntimeStats {
+        self.svc.stats()
+    }
+
+    pub fn finish_at(self, end: Time) -> SingleOutput {
+        let mut out = self.svc.finish_at(end);
+        SingleOutput { per_key: out.per_query.swap_remove(self.q.index()), stats: out.stats }
+    }
+}

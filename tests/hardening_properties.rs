@@ -10,7 +10,10 @@ use proptest::prelude::*;
 use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
 use tilt_core::{CompiledQuery, Compiler};
 use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
-use tilt_runtime::{KeyedEvent, MultiRuntime, Runtime, RuntimeConfig};
+use tilt_runtime::{KeyedEvent, RuntimeConfig, StreamService};
+
+mod common;
+use common::Single;
 use tilt_workloads::gen::{poisonable_sum, silence_poison_panics};
 
 fn window_query(window: i64, agg: u8) -> Arc<CompiledQuery> {
@@ -140,7 +143,7 @@ fn eviction_and_revival_match_never_evicting_runtime() {
                 ..RuntimeConfig::default()
             };
 
-            let evicting = Runtime::start(Arc::clone(&cq), config(Some(32)));
+            let evicting = Single::start(Arc::clone(&cq), config(Some(32)));
             evicting.ingest(phase1.iter().cloned());
             // The promise advances every shard's watermark — including
             // shards whose keys all went quiet — so the idle sweep retires
@@ -157,7 +160,7 @@ fn eviction_and_revival_match_never_evicting_runtime() {
             assert_eq!(out.stats.late_dropped, 0, "no revival may land behind a frontier");
             assert_eq!(out.stats.revivals, keys, "every key revives");
 
-            let plain = Runtime::start(Arc::clone(&cq), config(None));
+            let plain = Single::start(Arc::clone(&cq), config(None));
             plain.ingest(phase1.iter().cloned());
             plain.watermark(0, promise);
             plain.ingest(phase3.iter().cloned());
@@ -194,7 +197,7 @@ fn eviction_and_revival_match_never_evicting_runtime() {
 #[test]
 fn stragglers_behind_the_eviction_frontier_are_dropped() {
     let cq = window_query(4, 0);
-    let runtime = Runtime::start(
+    let runtime = Single::start(
         Arc::clone(&cq),
         RuntimeConfig {
             shards: 1,
@@ -237,10 +240,10 @@ fn stragglers_behind_the_eviction_frontier_are_dropped() {
 }
 
 /// The multi-query engine evicts and revives group sessions identically:
-/// an evicting `MultiRuntime` matches standalone never-evicting `Runtime`s
+/// an evicting shared service matches standalone never-evicting services
 /// for every registered query.
 #[test]
-fn multi_runtime_eviction_matches_standalone_runtimes() {
+fn shared_service_eviction_matches_standalone_services() {
     let fast = window_query(3, 0);
     let slow = window_query(9, 2);
     let keys = 5u64;
@@ -261,7 +264,7 @@ fn multi_runtime_eviction_matches_standalone_runtimes() {
         })
         .collect();
 
-    let mut builder = MultiRuntime::builder(RuntimeConfig {
+    let mut builder = StreamService::builder(RuntimeConfig {
         shards: 2,
         emit_interval: 8,
         key_ttl: Some(48),
@@ -283,7 +286,7 @@ fn multi_runtime_eviction_matches_standalone_runtimes() {
     assert_eq!(out.stats.revivals, keys);
 
     for (qid, cq) in [(q_fast, &fast), (q_slow, &slow)] {
-        let solo = Runtime::start(
+        let solo = Single::start(
             Arc::clone(cq),
             RuntimeConfig { shards: 2, emit_interval: 8, ..RuntimeConfig::default() },
         );
@@ -297,7 +300,7 @@ fn multi_runtime_eviction_matches_standalone_runtimes() {
                     &coalesce(&base.per_key[&k]),
                     &coalesce(&out.per_query[qid.index()][&k])
                 ),
-                "query {} key {k}: evicting MultiRuntime diverged from standalone",
+                "query {} key {k}: evicting shared service diverged from standalone",
                 qid.index()
             );
         }
@@ -317,7 +320,7 @@ fn poisoned_key_is_quarantined_and_others_are_unaffected() {
     let n = 100i64;
     for shards in [1usize, 2, 4] {
         let cq = poisonable_sum(6);
-        let runtime = Runtime::start(
+        let runtime = Single::start(
             Arc::clone(&cq),
             RuntimeConfig { shards, emit_interval: 8, ..RuntimeConfig::default() },
         );
@@ -351,11 +354,11 @@ fn poisoned_key_is_quarantined_and_others_are_unaffected() {
 /// quarantines the key across the group, every other key still serves all
 /// registered queries.
 #[test]
-fn poisoned_key_in_multi_runtime_leaves_other_keys_serving() {
+fn poisoned_key_in_shared_service_leaves_other_keys_serving() {
     silence_poison_panics();
     let poison = poisonable_sum(6);
     let benign = window_query(4, 0);
-    let mut builder = MultiRuntime::builder(RuntimeConfig {
+    let mut builder = StreamService::builder(RuntimeConfig {
         shards: 2,
         emit_interval: 8,
         ..RuntimeConfig::default()
@@ -423,10 +426,10 @@ proptest! {
             ..RuntimeConfig::default()
         };
 
-        let evicting = Runtime::start(Arc::clone(&cq), config(Some(ttl)));
+        let evicting = Single::start(Arc::clone(&cq), config(Some(ttl)));
         evicting.ingest(arrivals.iter().cloned());
         let out = evicting.finish_at(end);
-        let plain = Runtime::start(Arc::clone(&cq), config(None));
+        let plain = Single::start(Arc::clone(&cq), config(None));
         plain.ingest(arrivals.iter().cloned());
         let base = plain.finish_at(end);
 

@@ -1,7 +1,7 @@
 //! Differential property tests for the multi-query shared runtime: for
 //! random query pairs, key counts, shard counts, and bounded disorder,
-//! every registered query's output under the shared `MultiRuntime` must
-//! equal its output under a standalone `Runtime` — per key, in-order and
+//! every registered query's output under the shared `StreamService` must
+//! equal its output under a standalone single-query service — per key, in-order and
 //! out-of-order, at 1, 2, and 4 shards. This is the observational-identity
 //! guarantee that makes kernel-prefix dedup and shared reorder/watermark
 //! tracking safe to enable for every workload.
@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
 use tilt_core::{CompiledQuery, Compiler};
 use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
-use tilt_runtime::{KeyedEvent, MultiRuntime, Runtime, RuntimeConfig};
+use tilt_runtime::{KeyedEvent, RuntimeConfig, StreamService};
 
 /// Per-key random event stream: (gap, len, value) segments. Values are
 /// quantized to multiples of 0.25 so float aggregation is exact and the
@@ -90,17 +90,16 @@ fn standalone(
     lateness: i64,
     end: Time,
 ) -> std::collections::HashMap<u64, Vec<Event<Value>>> {
-    let runtime = Runtime::start(
-        Arc::clone(cq),
-        RuntimeConfig {
-            shards,
-            allowed_lateness: lateness,
-            emit_interval: 4,
-            ..RuntimeConfig::default()
-        },
-    );
-    runtime.ingest(arrivals.iter().cloned());
-    runtime.finish_at(end).per_key
+    let mut builder = StreamService::builder(RuntimeConfig {
+        shards,
+        allowed_lateness: lateness,
+        emit_interval: 4,
+        ..RuntimeConfig::default()
+    });
+    let q = builder.register(Arc::clone(cq));
+    let service = builder.start().expect("single registration");
+    service.ingest(arrivals.iter().cloned());
+    service.finish_at(end).per_query.swap_remove(q.index())
 }
 
 /// The core differential check at one shard count.
@@ -112,7 +111,7 @@ fn check_shared_vs_standalone(
     lateness: i64,
     end: Time,
 ) -> Result<(), String> {
-    let mut builder = MultiRuntime::builder(RuntimeConfig {
+    let mut builder = StreamService::builder(RuntimeConfig {
         shards,
         allowed_lateness: lateness,
         emit_interval: 4,
@@ -221,7 +220,7 @@ proptest! {
             }
             // Queries 0 and 2 are the same Arc: dedup must make their
             // outputs literally interchangeable.
-            let mut builder = MultiRuntime::builder(RuntimeConfig {
+            let mut builder = StreamService::builder(RuntimeConfig {
                 shards,
                 allowed_lateness: 0,
                 emit_interval: 4,

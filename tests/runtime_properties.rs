@@ -9,7 +9,10 @@ use proptest::prelude::*;
 use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
 use tilt_core::{CompiledQuery, Compiler};
 use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
-use tilt_runtime::{KeyedEvent, Runtime, RuntimeConfig};
+use tilt_runtime::{KeyedEvent, RuntimeConfig};
+
+mod common;
+use common::Single;
 
 /// Per-key random event stream: (gap, len, value) segments, as in the core
 /// property tests.
@@ -107,7 +110,7 @@ proptest! {
         let end = Time::new(hi.ticks() + window);
 
         let cq = window_query(window, agg);
-        let runtime = Runtime::start(
+        let runtime = Single::start(
             Arc::clone(&cq),
             RuntimeConfig {
                 shards,
@@ -148,7 +151,7 @@ proptest! {
         let arrivals = arrival_sequence(&streams, 1);
         let hi = arrivals.iter().map(|ke| ke.event.end).max().unwrap();
         let cq = window_query(5, 0);
-        let runtime = Runtime::start(
+        let runtime = Single::start(
             Arc::clone(&cq),
             RuntimeConfig { shards, allowed_lateness: 0, ..RuntimeConfig::default() },
         );
