@@ -18,7 +18,11 @@
 //!   section — monotone attach frontiers that clear the watermark, every
 //!   detach reclaiming sessions, and the surviving query's output
 //!   unchanged (identical streams, equal coalesced event counts) under
-//!   attach/detach churn.
+//!   attach/detach churn;
+//! * `kernel_hot`: compiled-tier and interpreter outputs byte-identical on
+//!   every plan, fallback counters exactly zero (and `fully_typed`) for
+//!   the fully numeric plans, and visibly nonzero for the `Str` fallback
+//!   plan.
 //!
 //! ```sh
 //! cargo run --release --bin guardrail -- bench-artifacts/
@@ -160,6 +164,21 @@ fn check_file(file: &Path) -> Outcome {
             check.eq_i64("churn.late_dropped", 0);
             check.eq_i64("churn.baseline_late_dropped", 0);
         }
+        "kernel_hot" => {
+            // Throughput is machine-dependent; what must hold anywhere is
+            // that the tiers agree byte-for-byte and the fallback
+            // accounting is honest: zero for fully numeric plans, visible
+            // (with `fully_typed == false`) when a plan leans on the
+            // dynamic tier.
+            for plan in ["pointwise", "window_sum"] {
+                check.is_true(&format!("plans.{plan}.outputs_identical"));
+                check.eq_i64(&format!("plans.{plan}.fallback_ops"), 0);
+                check.is_true(&format!("plans.{plan}.fully_typed"));
+            }
+            check.is_true("plans.str_fallback.outputs_identical");
+            check.gt_i64("plans.str_fallback.fallback_ops", 0);
+            check.is_false("plans.str_fallback.fully_typed");
+        }
         other => {
             check
                 .outcome
@@ -225,6 +244,15 @@ impl Checker<'_> {
         if let Some(v) = self.lookup(path) {
             if v.as_bool() != Some(true) {
                 self.outcome.violations.push(format!("{path} = {v}, expected true"));
+            }
+        }
+    }
+
+    fn is_false(&mut self, path: &str) {
+        self.outcome.checked += 1;
+        if let Some(v) = self.lookup(path) {
+            if v.as_bool() != Some(false) {
+                self.outcome.violations.push(format!("{path} = {v}, expected false"));
             }
         }
     }

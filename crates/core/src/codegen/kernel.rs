@@ -8,11 +8,16 @@
 //! the compiled expression once, and appends one snapshot to the output
 //! buffer. Ticks at which no input changes are never visited.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use tilt_data::{SnapshotBuf, SsCursor, Time, TimeRange, Value};
 
+use super::compiled::{compile_typed, type_lookup, Class, TypedProgram};
 use super::program::{compile, EvalCtx, PointSpec, Program};
 use super::reduce::ReduceRunner;
 use crate::error::Result;
+use crate::ir::typeck::TypeInfo;
 use crate::ir::{TObjId, TempExpr};
 
 /// A compiled temporal expression: the unit of execution.
@@ -30,12 +35,22 @@ pub struct Kernel {
     /// such kernels can change value at every grid tick and therefore also
     /// step densely.
     pub uses_time: bool,
-    /// The compiled expression body.
+    /// The interpreted expression body (always present: the reference tier
+    /// and the slot-layout authority).
     pub program: Program,
+    /// The typed register-bytecode body, when the compiled tier lowered
+    /// this kernel (see [`super::lower_typed`]).
+    pub(crate) typed: Option<TypedProgram>,
+    /// True when the compiled tier was requested but this body could not
+    /// be lowered: every interpreted run then counts as one fallback op.
+    interp_fallback: bool,
+    /// Enum-touching (fallback) operations executed by the typed tier,
+    /// accumulated across runs.
+    pub(crate) fallback: AtomicU64,
 }
 
 impl Kernel {
-    /// Compiles a temporal expression into a kernel.
+    /// Compiles a temporal expression into an interpreter-tier kernel.
     pub fn new(te: &TempExpr, name: &str) -> Result<Kernel> {
         let mut uses_time = false;
         te.body.walk(&mut |e| {
@@ -50,7 +65,51 @@ impl Kernel {
             sample: te.sample,
             uses_time,
             program: compile(&te.body)?,
+            typed: None,
+            interp_fallback: false,
+            fallback: AtomicU64::new(0),
         })
+    }
+
+    /// Compiles a temporal expression with both tiers: the interpreter
+    /// body plus the typed register bytecode, using `types` for static
+    /// types and `classes` for upstream objects' register classes. A body
+    /// the typed compiler cannot lower stays interpreter-only — callers
+    /// observe that through [`Kernel::is_compiled`].
+    pub(crate) fn with_types(
+        te: &TempExpr,
+        name: &str,
+        types: &TypeInfo,
+        classes: &HashMap<TObjId, Class>,
+    ) -> Result<Kernel> {
+        let mut kernel = Kernel::new(te, name)?;
+        let objs = type_lookup(types);
+        kernel.typed = compile_typed(&te.body, &kernel.program, &objs, classes).ok();
+        kernel.interp_fallback = kernel.typed.is_none();
+        Ok(kernel)
+    }
+
+    /// Whether the typed (compiled) tier is present.
+    pub fn is_compiled(&self) -> bool {
+        self.typed.is_some()
+    }
+
+    /// Whether the typed tier exists and never touches the dynamic enum.
+    pub fn is_fully_typed(&self) -> bool {
+        self.typed.as_ref().is_some_and(TypedProgram::is_fully_typed)
+    }
+
+    /// Enum-touching operations the typed tier executed so far (0 for a
+    /// fully typed kernel; every run counts for interpreter-only kernels
+    /// living in a compiled query, since their whole body is a fallback).
+    pub fn fallback_ops(&self) -> u64 {
+        self.fallback.load(Ordering::Relaxed)
+    }
+
+    /// The register class of this kernel's output values (what downstream
+    /// kernels assume when reading its buffer).
+    pub(crate) fn output_class(&self) -> Class {
+        self.typed.as_ref().map_or(Class::V, TypedProgram::output_class)
     }
 
     /// The objects this kernel reads, in slot order (points then reduces).
@@ -90,11 +149,124 @@ impl Kernel {
     /// first), reusing its span allocation. Hot emission paths recycle
     /// output buffers through a [`tilt_data::BufPool`] this way instead of
     /// reallocating one per kernel per advance.
+    ///
+    /// Dispatches to the typed (compiled) tier when it was lowered, the
+    /// interpreter otherwise; both tiers share one loop skeleton, so
+    /// stepping and output shape are identical.
     pub fn run_into(
         &self,
         bufs: &[Option<&SnapshotBuf<Value>>],
         range: TimeRange,
         out: &mut SnapshotBuf<Value>,
+    ) {
+        match &self.typed {
+            Some(tp) => self.run_typed(tp, bufs, range, out),
+            None => self.run_interp(bufs, range, out),
+        }
+    }
+
+    /// The interpreted tier: per-tick closure-tree evaluation over
+    /// [`Value`] slots.
+    fn run_interp(
+        &self,
+        bufs: &[Option<&SnapshotBuf<Value>>],
+        range: TimeRange,
+        out: &mut SnapshotBuf<Value>,
+    ) {
+        if self.interp_fallback {
+            self.fallback.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut ctx = self.program.new_ctx();
+        let program = &self.program;
+        self.drive(bufs, range, out, &[], &mut |points, reduces, g| {
+            eval_at(program, &mut ctx, points, reduces, g)
+        });
+    }
+
+    /// The compiled tier: per-tick register-bytecode evaluation. Point
+    /// accesses load through the typed [`SsCursor`] fast paths (no enum
+    /// clones for `F`/`I`/`B` slots), reduce results unbox straight into
+    /// their registers, and fused maps run as typed bytecode.
+    fn run_typed(
+        &self,
+        tp: &TypedProgram,
+        bufs: &[Option<&SnapshotBuf<Value>>],
+        range: TimeRange,
+        out: &mut SnapshotBuf<Value>,
+    ) {
+        let mut ctx = tp.new_ctx();
+        self.drive(bufs, range, out, &tp.reduce_elem, &mut |points, reduces, g| {
+            ctx.t = g.ticks();
+            for (i, runner) in reduces.iter_mut().enumerate() {
+                let v = match &tp.typed_maps[i] {
+                    None => runner.eval_at_with(g, &mut |elem: &Value| elem.clone()),
+                    Some(map) => {
+                        let mut apply = |elem: &Value| map.run(&mut ctx, elem);
+                        runner.eval_at_with(g, &mut apply)
+                    }
+                };
+                if let Some(reg) = tp.reduce_regs[i] {
+                    if reg.class == Class::V {
+                        // Boxed reduce results (custom reducers, dynamic
+                        // elements) are fallback traffic.
+                        ctx.fallback_ops += 1;
+                    }
+                    ctx.store_value(reg, v);
+                }
+            }
+            for (i, runner) in points.iter_mut().enumerate() {
+                let t = g + runner.spec.offset;
+                match tp.point_regs[i] {
+                    Some(reg) => match reg.class {
+                        Class::F => {
+                            let (v, b) = runner.cursor.value_f64_and_boundary(t);
+                            ctx.store_f64(reg, v);
+                            runner.boundary = b;
+                        }
+                        Class::I => {
+                            let (v, b) = runner.cursor.value_i64_and_boundary(t);
+                            ctx.store_i64(reg, v);
+                            runner.boundary = b;
+                        }
+                        Class::B => {
+                            let (v, b) = runner.cursor.value_bool_and_boundary(t);
+                            ctx.store_bool(reg, v);
+                            runner.boundary = b;
+                        }
+                        Class::V => {
+                            let (v, b) = runner.cursor.value_ref_and_boundary(t);
+                            match v {
+                                Some(v) => ctx.load_value(reg, v),
+                                None => ctx.store_value(reg, Value::Null),
+                            }
+                            runner.boundary = b;
+                        }
+                    },
+                    // The value is never read, but the cursor must still
+                    // advance: `next_tick` steps on span boundaries.
+                    None => {
+                        let (_, b) = runner.cursor.value_ref_and_boundary(t);
+                        runner.boundary = b;
+                    }
+                }
+            }
+            tp.run(&mut ctx)
+        });
+        if ctx.fallback_ops > 0 {
+            self.fallback.fetch_add(ctx.fallback_ops, Ordering::Relaxed);
+        }
+    }
+
+    /// The shared loop skeleton of both tiers: change-point-driven stepping
+    /// over the grid, one `eval_tick` call per visited tick.
+    #[allow(clippy::type_complexity)]
+    fn drive(
+        &self,
+        bufs: &[Option<&SnapshotBuf<Value>>],
+        range: TimeRange,
+        out: &mut SnapshotBuf<Value>,
+        reduce_classes: &[Option<Class>],
+        eval_tick: &mut dyn FnMut(&mut [PointRunner<'_>], &mut [ReduceRunner<'_>], Time) -> Value,
     ) {
         let p = self.precision;
         out.reset(range.start);
@@ -113,7 +285,6 @@ impl Kernel {
                 .and_then(|b| *b)
                 .unwrap_or_else(|| panic!("kernel {}: missing buffer for {obj}", self.name))
         };
-        let mut ctx = self.program.new_ctx();
         let mut points: Vec<PointRunner<'_>> = self
             .program
             .points
@@ -124,12 +295,20 @@ impl Kernel {
                 boundary: None,
             })
             .collect();
-        let mut reduces: Vec<ReduceRunner<'_>> =
-            self.program.reduces.iter().map(|rs| ReduceRunner::new(rs, buf_for(rs.obj))).collect();
+        let mut reduces: Vec<ReduceRunner<'_>> = self
+            .program
+            .reduces
+            .iter()
+            .enumerate()
+            .map(|(i, rs)| {
+                let class = reduce_classes.get(i).copied().flatten();
+                ReduceRunner::with_elem_class(rs, buf_for(rs.obj), class)
+            })
+            .collect();
 
         let mut g = g_first;
         loop {
-            let v = eval_at(&self.program, &mut ctx, &mut points, &mut reduces, g);
+            let v = eval_tick(&mut points, &mut reduces, g);
             match self.next_tick(g, g_last, &points, &reduces) {
                 Some(ng) => {
                     // `v` holds for every tick in [g, ng − p].

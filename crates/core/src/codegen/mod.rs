@@ -1,11 +1,26 @@
 //! Code generation: lowering temporal expressions to executable kernels
 //! (paper §6.1).
 //!
-//! The pipeline is `TempExpr` → [`Program`] (closure-compiled expression
-//! body, with point-access and reduce slots) → [`Kernel`] (the synthesized
-//! change-point-driven loop). See DESIGN.md substitution 1 for how this
-//! stands in for the paper's LLVM JIT.
+//! The pipeline is `TempExpr` → executable body → [`Kernel`] (the
+//! synthesized change-point-driven loop). Kernel bodies exist in **two
+//! tiers**:
+//!
+//! * the *interpreted* tier ([`Program`]) — a tree of composed closures
+//!   matching on the dynamic [`tilt_data::Value`] enum at every node;
+//! * the *compiled* tier (the `compiled` module, built by [`lower_typed`]) — the
+//!   type checker assigns every sub-expression a static type and the body
+//!   is monomorphized into register bytecode over unboxed
+//!   `f64`/`i64`/`bool` files with an explicit null mask for φ, falling
+//!   back to boxed `Value` registers only for `Str`/`Tuple` subtrees,
+//!   custom reductions, and genuinely dynamic values.
+//!
+//! Both tiers share one loop skeleton, one slot layout, and one set of
+//! incremental reduce runners, so their outputs are byte-identical; the
+//! compiled tier simply replaces per-tick enum interpretation with typed
+//! register traffic. See DESIGN.md substitution 1 for how this stands in
+//! for the paper's LLVM JIT.
 
+pub(crate) mod compiled;
 mod kernel;
 mod program;
 mod reduce;
@@ -14,13 +29,39 @@ pub use kernel::Kernel;
 pub use program::{compile, EvalCtx, EvalFn, MapFn, PointSpec, Program, ReduceSpec};
 pub use reduce::ReduceRunner;
 
+use std::collections::HashMap;
+
 use crate::error::Result;
+use crate::ir::typeck::TypeInfo;
 use crate::ir::Query;
 
-/// Lowers every temporal expression of `query` into a kernel, in execution
-/// (topological) order.
+/// Lowers every temporal expression of `query` into an interpreter-tier
+/// kernel, in execution (topological) order.
 pub fn lower(query: &Query) -> Result<Vec<Kernel>> {
     query.exprs().iter().map(|te| Kernel::new(te, query.name(te.output))).collect()
+}
+
+/// Lowers every temporal expression of `query` into a kernel carrying both
+/// tiers, in execution (topological) order. `types` must come from
+/// [`crate::ir::typecheck`] over this exact query.
+///
+/// Object register classes thread through the kernel chain: a kernel whose
+/// body stayed dynamic (or whose output type is genuinely runtime-varying)
+/// produces a `V`-classed object, and downstream kernels read it through
+/// boxed registers — so fallback is per-subtree, never whole-query.
+pub fn lower_typed(query: &Query, types: &TypeInfo) -> Result<Vec<Kernel>> {
+    let mut classes: HashMap<crate::ir::TObjId, compiled::Class> = HashMap::new();
+    for &input in query.inputs() {
+        let class = types.object_type(input).map_or(compiled::Class::V, compiled::Class::of_type);
+        classes.insert(input, class);
+    }
+    let mut kernels = Vec::with_capacity(query.exprs().len());
+    for te in query.exprs() {
+        let kernel = Kernel::with_types(te, query.name(te.output), types, &classes)?;
+        classes.insert(te.output, kernel.output_class());
+        kernels.push(kernel);
+    }
+    Ok(kernels)
 }
 
 #[cfg(test)]

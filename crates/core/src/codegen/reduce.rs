@@ -20,32 +20,66 @@ use std::sync::Arc;
 
 use tilt_data::{Payload, SnapshotBuf, Time, Value};
 
+use super::compiled::Class;
 use super::program::{EvalCtx, MapFn, ReduceSpec};
 use crate::ir::{CustomReduce, ReduceOp};
 
 /// The accumulator of one reduction.
+///
+/// The dynamic variants fold boxed [`Value`]s; the `*F`/`*I` variants are
+/// the typed tier's unboxed counterparts, selected when the window's
+/// element class is statically `f64`/`i64` ([`ReduceRunner::with_elem_class`]).
+/// Each typed variant replays the exact operation sequence of its dynamic
+/// twin (including int-wrapping and promotion order), so results are
+/// bit-identical.
 #[derive(Clone, Debug)]
 enum State {
     Sum { acc: Value },
+    SumF { acc: f64 },
+    SumI { acc: i64 },
     Product { acc: Value, zeros: i64 },
+    ProductF { acc: f64, zeros: i64 },
+    ProductI { acc: i64, zeros: i64 },
     Count,
     Mean { sum: Value },
+    MeanF { sum: f64 },
+    MeanI { sum: i64 },
     StdDev { sum: f64, sumsq: f64 },
     MinMax { deque: VecDeque<(Value, Time)>, is_max: bool },
+    MinMaxF { deque: VecDeque<(f64, Time)>, is_max: bool },
+    MinMaxI { deque: VecDeque<(i64, Time)>, is_max: bool },
     Custom { state: Value, spec: Arc<CustomReduce> },
 }
 
 impl State {
-    fn new(op: &ReduceOp) -> State {
-        match op {
-            ReduceOp::Sum => State::Sum { acc: Value::Int(0) },
-            ReduceOp::Product => State::Product { acc: Value::Int(1), zeros: 0 },
-            ReduceOp::Count => State::Count,
-            ReduceOp::Mean => State::Mean { sum: Value::Int(0) },
-            ReduceOp::StdDev => State::StdDev { sum: 0.0, sumsq: 0.0 },
-            ReduceOp::Min => State::MinMax { deque: VecDeque::new(), is_max: false },
-            ReduceOp::Max => State::MinMax { deque: VecDeque::new(), is_max: true },
-            ReduceOp::Custom(c) => State::Custom { state: c.init.clone(), spec: c.clone() },
+    fn with_class(op: &ReduceOp, class: Option<Class>) -> State {
+        match (op, class) {
+            (ReduceOp::Sum, Some(Class::F)) => State::SumF { acc: 0.0 },
+            (ReduceOp::Sum, Some(Class::I)) => State::SumI { acc: 0 },
+            (ReduceOp::Sum, _) => State::Sum { acc: Value::Int(0) },
+            (ReduceOp::Product, Some(Class::F)) => State::ProductF { acc: 1.0, zeros: 0 },
+            (ReduceOp::Product, Some(Class::I)) => State::ProductI { acc: 1, zeros: 0 },
+            (ReduceOp::Product, _) => State::Product { acc: Value::Int(1), zeros: 0 },
+            (ReduceOp::Count, _) => State::Count,
+            (ReduceOp::Mean, Some(Class::F)) => State::MeanF { sum: 0.0 },
+            (ReduceOp::Mean, Some(Class::I)) => State::MeanI { sum: 0 },
+            (ReduceOp::Mean, _) => State::Mean { sum: Value::Int(0) },
+            (ReduceOp::StdDev, _) => State::StdDev { sum: 0.0, sumsq: 0.0 },
+            (ReduceOp::Min, Some(Class::F)) => {
+                State::MinMaxF { deque: VecDeque::new(), is_max: false }
+            }
+            (ReduceOp::Max, Some(Class::F)) => {
+                State::MinMaxF { deque: VecDeque::new(), is_max: true }
+            }
+            (ReduceOp::Min, Some(Class::I)) => {
+                State::MinMaxI { deque: VecDeque::new(), is_max: false }
+            }
+            (ReduceOp::Max, Some(Class::I)) => {
+                State::MinMaxI { deque: VecDeque::new(), is_max: true }
+            }
+            (ReduceOp::Min, _) => State::MinMax { deque: VecDeque::new(), is_max: false },
+            (ReduceOp::Max, _) => State::MinMax { deque: VecDeque::new(), is_max: true },
+            (ReduceOp::Custom(c), _) => State::Custom { state: c.init.clone(), spec: c.clone() },
         }
     }
 
@@ -63,11 +97,41 @@ impl State {
     fn add(&mut self, v: &Value, expire: Time) {
         match self {
             State::Sum { acc } | State::Mean { sum: acc } => *acc = acc.add(v),
+            // Typed accumulators replay the dynamic promotion exactly: the
+            // first `Int(0) + Float(x)` already computed in f64.
+            State::SumF { acc } | State::MeanF { sum: acc } => {
+                if let Some(x) = v.as_f64() {
+                    *acc += x;
+                }
+            }
+            State::SumI { acc } | State::MeanI { sum: acc } => {
+                if let Some(x) = v.as_i64() {
+                    *acc = acc.wrapping_add(x);
+                }
+            }
             State::Product { acc, zeros } => {
                 if v.as_f64() == Some(0.0) || v.as_i64() == Some(0) {
                     *zeros += 1;
                 } else {
                     *acc = acc.mul(v);
+                }
+            }
+            State::ProductF { acc, zeros } => {
+                if let Some(x) = v.as_f64() {
+                    if x == 0.0 {
+                        *zeros += 1;
+                    } else {
+                        *acc *= x;
+                    }
+                }
+            }
+            State::ProductI { acc, zeros } => {
+                if let Some(x) = v.as_i64() {
+                    if x == 0 {
+                        *zeros += 1;
+                    } else {
+                        *acc = acc.wrapping_mul(x);
+                    }
                 }
             }
             State::Count => {}
@@ -91,6 +155,30 @@ impl State {
                 }
                 deque.push_back((v.clone(), expire));
             }
+            State::MinMaxF { deque, is_max } => {
+                if let Some(x) = v.as_f64() {
+                    while let Some((cand, _)) = deque.back() {
+                        if if *is_max { *cand <= x } else { *cand >= x } {
+                            deque.pop_back();
+                        } else {
+                            break;
+                        }
+                    }
+                    deque.push_back((x, expire));
+                }
+            }
+            State::MinMaxI { deque, is_max } => {
+                if let Some(x) = v.as_i64() {
+                    while let Some((cand, _)) = deque.back() {
+                        if if *is_max { *cand <= x } else { *cand >= x } {
+                            deque.pop_back();
+                        } else {
+                            break;
+                        }
+                    }
+                    deque.push_back((x, expire));
+                }
+            }
             State::Custom { state, spec } => *state = (spec.acc)(state, v, 1),
         }
     }
@@ -99,11 +187,39 @@ impl State {
     fn remove(&mut self, v: &Value) {
         match self {
             State::Sum { acc } | State::Mean { sum: acc } => *acc = acc.sub(v),
+            State::SumF { acc } | State::MeanF { sum: acc } => {
+                if let Some(x) = v.as_f64() {
+                    *acc -= x;
+                }
+            }
+            State::SumI { acc } | State::MeanI { sum: acc } => {
+                if let Some(x) = v.as_i64() {
+                    *acc = acc.wrapping_sub(x);
+                }
+            }
             State::Product { acc, zeros } => {
                 if v.as_f64() == Some(0.0) || v.as_i64() == Some(0) {
                     *zeros -= 1;
                 } else {
                     *acc = acc.div(v);
+                }
+            }
+            State::ProductF { acc, zeros } => {
+                if let Some(x) = v.as_f64() {
+                    if x == 0.0 {
+                        *zeros -= 1;
+                    } else {
+                        *acc /= x;
+                    }
+                }
+            }
+            State::ProductI { acc, zeros } => {
+                if let Some(x) = v.as_i64() {
+                    if x == 0 {
+                        *zeros -= 1;
+                    } else {
+                        *acc /= x;
+                    }
                 }
             }
             State::Count => {}
@@ -112,7 +228,9 @@ impl State {
                 *sum -= x;
                 *sumsq -= x * x;
             }
-            State::MinMax { .. } => unreachable!("deque states evict by expiry"),
+            State::MinMax { .. } | State::MinMaxF { .. } | State::MinMaxI { .. } => {
+                unreachable!("deque states evict by expiry")
+            }
             State::Custom { state, spec } => {
                 let deacc = spec.deacc.as_ref().expect("checked by invertible()");
                 *state = (deacc)(state, v, 1);
@@ -120,10 +238,16 @@ impl State {
         }
     }
 
+    /// Whether this accumulator evicts by expiry (monotonic deques) rather
+    /// than subtraction.
+    fn is_deque(&self) -> bool {
+        matches!(self, State::MinMax { .. } | State::MinMaxF { .. } | State::MinMaxI { .. })
+    }
+
     /// Expiry-based eviction for deque states: drops entries whose snapshot
     /// no longer overlaps a window starting (exclusively) at `new_lo`.
     fn evict_expired(&mut self, new_lo: Time) {
-        if let State::MinMax { deque, .. } = self {
+        fn drop_expired<T>(deque: &mut VecDeque<(T, Time)>, new_lo: Time) {
             while let Some((_, expire)) = deque.front() {
                 if *expire <= new_lo {
                     deque.pop_front();
@@ -131,6 +255,12 @@ impl State {
                     break;
                 }
             }
+        }
+        match self {
+            State::MinMax { deque, .. } => drop_expired(deque, new_lo),
+            State::MinMaxF { deque, .. } => drop_expired(deque, new_lo),
+            State::MinMaxI { deque, .. } => drop_expired(deque, new_lo),
+            _ => {}
         }
     }
 
@@ -141,6 +271,8 @@ impl State {
         }
         match self {
             State::Sum { acc } => acc.clone(),
+            State::SumF { acc } => Value::Float(*acc),
+            State::SumI { acc } => Value::Int(*acc),
             State::Product { acc, zeros } => {
                 if *zeros > 0 {
                     Value::Int(0).mul(acc).add(&Value::Int(0)) // zero of acc's type
@@ -148,8 +280,25 @@ impl State {
                     acc.clone()
                 }
             }
+            State::ProductF { acc, zeros } => {
+                if *zeros > 0 {
+                    // The dynamic zero-of-type dance, replayed in f64.
+                    Value::Float(0.0 * *acc + 0.0)
+                } else {
+                    Value::Float(*acc)
+                }
+            }
+            State::ProductI { acc, zeros } => {
+                if *zeros > 0 {
+                    Value::Int(0)
+                } else {
+                    Value::Int(*acc)
+                }
+            }
             State::Count => Value::Int(count),
             State::Mean { sum } => sum.to_float().div(&Value::Int(count)),
+            State::MeanF { sum } => Value::Float(sum / count as f64),
+            State::MeanI { sum } => Value::Float(*sum as f64 / count as f64),
             State::StdDev { sum, sumsq } => {
                 let n = count as f64;
                 let mean = sum / n;
@@ -159,12 +308,18 @@ impl State {
             State::MinMax { deque, .. } => {
                 deque.front().map(|(v, _)| v.clone()).unwrap_or(Value::Null)
             }
+            State::MinMaxF { deque, .. } => {
+                deque.front().map(|(v, _)| Value::Float(*v)).unwrap_or(Value::Null)
+            }
+            State::MinMaxI { deque, .. } => {
+                deque.front().map(|(v, _)| Value::Int(*v)).unwrap_or(Value::Null)
+            }
             State::Custom { state, spec } => (spec.result)(state, count),
         }
     }
 
-    fn reset(&mut self, op: &ReduceOp) {
-        *self = State::new(op);
+    fn reset(&mut self, op: &ReduceOp, class: Option<Class>) {
+        *self = State::with_class(op, class);
     }
 }
 
@@ -177,6 +332,9 @@ pub struct ReduceRunner<'a> {
     spec: &'a ReduceSpec,
     src: &'a SnapshotBuf<Value>,
     state: State,
+    /// The statically known element class, when the typed kernel tier
+    /// picked an unboxed accumulator.
+    class: Option<Class>,
     /// Number of snapshots currently folded in (non-φ, post-map non-φ).
     count: i64,
     /// Index of the next span to *enter* (first span with `start ≥ cur_hi`).
@@ -189,12 +347,26 @@ pub struct ReduceRunner<'a> {
 }
 
 impl<'a> ReduceRunner<'a> {
-    /// Creates a runner for `spec` over `src`.
+    /// Creates a runner for `spec` over `src` with dynamic accumulators.
     pub fn new(spec: &'a ReduceSpec, src: &'a SnapshotBuf<Value>) -> Self {
+        Self::with_elem_class(spec, src, None)
+    }
+
+    /// Creates a runner whose accumulator is monomorphized to the window's
+    /// element class when that class is unboxed (`F`/`I`) — the typed
+    /// tier's reduce fast path. Typed accumulators replay the dynamic
+    /// operation sequence exactly, so either constructor produces
+    /// bit-identical results on well-typed data.
+    pub(crate) fn with_elem_class(
+        spec: &'a ReduceSpec,
+        src: &'a SnapshotBuf<Value>,
+        class: Option<Class>,
+    ) -> Self {
         ReduceRunner {
             spec,
             src,
-            state: State::new(&spec.op),
+            state: State::with_class(&spec.op, class),
+            class,
             count: 0,
             enter_idx: 0,
             evict_idx: 0,
@@ -246,8 +418,31 @@ impl<'a> ReduceRunner<'a> {
         None
     }
 
-    /// Slides the window to `(t+lo, t+hi]` and returns the reduction result.
+    /// Slides the window to `(t+lo, t+hi]` and returns the reduction
+    /// result, applying the spec's interpreted [`MapFn`] (if any) through
+    /// `ctx`.
     pub fn eval_at(&mut self, t: Time, ctx: &mut EvalCtx) -> Value {
+        // Copy the `&'a` spec reference out of `self` so the map closure
+        // can borrow `ctx` while `eval_at_with` holds `&mut self`.
+        let spec = self.spec;
+        match &spec.map {
+            None => self.eval_at_with(t, &mut |v| v.clone()),
+            Some(MapFn { var_slot, eval }) => {
+                let slot = *var_slot;
+                self.eval_at_with(t, &mut |v| {
+                    ctx.vars[slot] = v.clone();
+                    eval(ctx)
+                })
+            }
+        }
+    }
+
+    /// Slides the window to `(t+lo, t+hi]` and returns the reduction
+    /// result, with the fused element transform supplied as a closure —
+    /// identity for unmapped windows, the interpreted [`MapFn`] via
+    /// [`ReduceRunner::eval_at`], or the typed tier's compiled map. A φ
+    /// result from `map` drops the element, exactly like a φ source span.
+    pub fn eval_at_with(&mut self, t: Time, map: &mut dyn FnMut(&Value) -> Value) -> Value {
         let new_lo = t + self.spec.lo;
         let new_hi = t + self.spec.hi;
         if !self.initialized {
@@ -261,18 +456,17 @@ impl<'a> ReduceRunner<'a> {
         debug_assert!(new_hi >= self.cur_hi, "reduce window must advance monotonically");
 
         if self.state.invertible() {
-            self.enter_until(new_hi, ctx);
-            self.evict_until(new_lo, ctx);
+            self.enter_until(new_hi, map);
+            self.evict_until(new_lo, map);
         } else {
             // Recompute the window from scratch.
-            self.state.reset(&self.spec.op);
+            self.state.reset(&self.spec.op, self.class);
             self.count = 0;
             let spans = self.src.spans();
             let first = spans.partition_point(|s| s.t_end <= new_lo);
             let mut i = first;
             while i < spans.len() && self.src.span_start(i) < new_hi {
-                let value = spans[i].value.clone();
-                self.fold(&value, spans[i].t_end, ctx);
+                self.fold(&spans[i].value, spans[i].t_end, map);
                 i += 1;
             }
             // Keep indices roughly in sync for next_enter/evict queries.
@@ -283,24 +477,23 @@ impl<'a> ReduceRunner<'a> {
         self.state.result(self.count)
     }
 
-    fn enter_until(&mut self, new_hi: Time, ctx: &mut EvalCtx) {
+    fn enter_until(&mut self, new_hi: Time, map: &mut dyn FnMut(&Value) -> Value) {
         let spans = self.src.spans();
         while self.enter_idx < spans.len() && self.src.span_start(self.enter_idx) < new_hi {
             let span = &spans[self.enter_idx];
-            let value = span.value.clone();
-            self.fold(&value, span.t_end, ctx);
+            self.fold(&span.value, span.t_end, map);
             self.enter_idx += 1;
         }
     }
 
-    fn evict_until(&mut self, new_lo: Time, ctx: &mut EvalCtx) {
-        if matches!(self.state, State::MinMax { .. }) {
+    fn evict_until(&mut self, new_lo: Time, map: &mut dyn FnMut(&Value) -> Value) {
+        if self.state.is_deque() {
             self.state.evict_expired(new_lo);
             // Recount: expired entries were counted on entry; maintain count
             // by advancing evict_idx over fully expired spans.
             let spans = self.src.spans();
             while self.evict_idx < spans.len() && spans[self.evict_idx].t_end <= new_lo {
-                if self.mapped(&spans[self.evict_idx].value.clone(), ctx).is_some() {
+                if apply_map(map, &spans[self.evict_idx].value).is_some() {
                     self.count -= 1;
                 }
                 self.evict_idx += 1;
@@ -311,7 +504,7 @@ impl<'a> ReduceRunner<'a> {
         while self.evict_idx < spans.len() && spans[self.evict_idx].t_end <= new_lo {
             // Only spans that actually entered can be evicted.
             if self.evict_idx < self.enter_idx {
-                if let Some(mv) = self.mapped(&spans[self.evict_idx].value.clone(), ctx) {
+                if let Some(mv) = apply_map(map, &spans[self.evict_idx].value) {
                     self.state.remove(&mv);
                     self.count -= 1;
                 }
@@ -320,30 +513,24 @@ impl<'a> ReduceRunner<'a> {
         }
     }
 
-    fn fold(&mut self, value: &Value, expire: Time, ctx: &mut EvalCtx) {
-        if let Some(mv) = self.mapped(value, ctx) {
+    fn fold(&mut self, value: &Value, expire: Time, map: &mut dyn FnMut(&Value) -> Value) {
+        if let Some(mv) = apply_map(map, value) {
             self.state.add(&mv, expire);
             self.count += 1;
         }
     }
+}
 
-    /// Applies the fused map; returns `None` for φ inputs/outputs (skipped).
-    fn mapped(&self, value: &Value, ctx: &mut EvalCtx) -> Option<Value> {
-        if value.is_null() {
-            return None;
-        }
-        match &self.spec.map {
-            None => Some(value.clone()),
-            Some(MapFn { var_slot, eval }) => {
-                ctx.vars[*var_slot] = value.clone();
-                let mv = eval(ctx);
-                if mv.is_null() {
-                    None
-                } else {
-                    Some(mv)
-                }
-            }
-        }
+/// Applies the fused map; returns `None` for φ inputs/outputs (skipped).
+fn apply_map(map: &mut dyn FnMut(&Value) -> Value, value: &Value) -> Option<Value> {
+    if value.is_null() {
+        return None;
+    }
+    let mv = map(value);
+    if mv.is_null() {
+        None
+    } else {
+        Some(mv)
     }
 }
 

@@ -14,13 +14,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+use tilt_data::{BufPool, Event, SnapshotBuf, Time, TimeRange, Value};
 
 use crate::analysis::{resolve_boundaries, Boundary};
-use crate::codegen::{lower, Kernel};
+use crate::codegen::{lower, lower_typed, Kernel};
 use crate::error::Result;
 use crate::ir::{typecheck, Query};
 use crate::opt::Optimizer;
+
+/// Which kernel-body execution tier the compiler emits (see
+/// [`crate::codegen`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecTier {
+    /// Typed register bytecode over unboxed values, with per-subtree
+    /// fallback to boxed `Value` operations (the default).
+    #[default]
+    Compiled,
+    /// The closure-tree interpreter over dynamic `Value`s only — the
+    /// reference tier, kept selectable for differential testing and the
+    /// `kernel_hot` tier-vs-tier bench.
+    Interpreted,
+}
 
 /// Compiles TiLT IR queries into executable form.
 ///
@@ -32,28 +46,45 @@ use crate::opt::Optimizer;
 /// let query = b.finish(out).unwrap();
 /// let compiled = Compiler::new().compile(&query).unwrap();
 /// assert_eq!(compiled.num_kernels(), 1);
+/// assert!(compiled.fully_typed()); // numeric plan: no fallback surface
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Compiler {
     optimizer: Optimizer,
+    tier: ExecTier,
 }
 
 impl Compiler {
-    /// A compiler with the full optimization pipeline (the default).
+    /// A compiler with the full optimization pipeline and the typed
+    /// (compiled) execution tier — the default configuration.
     pub fn new() -> Self {
-        Compiler { optimizer: Optimizer::full() }
+        Compiler { optimizer: Optimizer::full(), tier: ExecTier::Compiled }
     }
 
     /// A compiler with all optimizations disabled: one kernel per operator,
     /// intermediates materialized — the "TiLT UnOpt" configuration of the
-    /// Fig. 10 ablation.
+    /// Fig. 10 ablation. (The execution tier is orthogonal and stays
+    /// [`ExecTier::Compiled`].)
     pub fn unoptimized() -> Self {
-        Compiler { optimizer: Optimizer::none() }
+        Compiler { optimizer: Optimizer::none(), tier: ExecTier::Compiled }
+    }
+
+    /// A fully optimized compiler pinned to the interpreter tier — the
+    /// reference executor the differential suites compare the typed tier
+    /// against.
+    pub fn interpreted() -> Self {
+        Compiler { optimizer: Optimizer::full(), tier: ExecTier::Interpreted }
     }
 
     /// A compiler with a custom pass configuration.
     pub fn with_optimizer(optimizer: Optimizer) -> Self {
-        Compiler { optimizer }
+        Compiler { optimizer, tier: ExecTier::Compiled }
+    }
+
+    /// Selects the kernel-body execution tier.
+    pub fn with_tier(mut self, tier: ExecTier) -> Self {
+        self.tier = tier;
+        self
     }
 
     /// Compiles `query` through the whole pipeline.
@@ -64,11 +95,14 @@ impl Compiler {
     pub fn compile(&self, query: &Query) -> Result<CompiledQuery> {
         typecheck(query)?;
         let optimized = self.optimizer.optimize(query)?;
-        typecheck(&optimized)?;
+        let types = typecheck(&optimized)?;
         let boundary = resolve_boundaries(&optimized);
-        let kernels = lower(&optimized)?;
+        let kernels = match self.tier {
+            ExecTier::Compiled => lower_typed(&optimized, &types)?,
+            ExecTier::Interpreted => lower(&optimized)?,
+        };
         let n_slots = slot_count(&optimized);
-        Ok(CompiledQuery { query: optimized, kernels, boundary, n_slots })
+        Ok(CompiledQuery { query: optimized, kernels, boundary, n_slots, tier: self.tier })
     }
 }
 
@@ -93,6 +127,7 @@ pub struct CompiledQuery {
     kernels: Vec<Kernel>,
     boundary: Boundary,
     n_slots: usize,
+    tier: ExecTier,
 }
 
 impl std::fmt::Debug for CompiledQuery {
@@ -129,6 +164,32 @@ impl CompiledQuery {
         self.kernels.len()
     }
 
+    /// The execution tier this query was compiled for.
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Number of kernels carrying a typed (compiled-tier) body.
+    pub fn compiled_kernels(&self) -> usize {
+        self.kernels.iter().filter(|k| k.is_compiled()).count()
+    }
+
+    /// Whether every kernel lowered to the typed tier with *zero* fallback
+    /// surface — no boxed registers, no dynamic operations, no custom
+    /// reductions. Fully numeric plans satisfy this; the `kernel_hot`
+    /// bench guardrail pins it.
+    pub fn fully_typed(&self) -> bool {
+        self.tier == ExecTier::Compiled && self.kernels.iter().all(Kernel::is_fully_typed)
+    }
+
+    /// Total enum-touching (fallback) operations executed by the typed
+    /// tier across every run of this query so far. Stays 0 for
+    /// [`CompiledQuery::fully_typed`] plans; interpreter-only kernels
+    /// inside a compiled query count one per run.
+    pub fn fallback_ops(&self) -> u64 {
+        self.kernels.iter().map(Kernel::fallback_ops).sum()
+    }
+
     /// The coarsest grid all kernels agree on: partition boundaries must be
     /// multiples of this to make parallel execution seam-free.
     pub fn grid(&self) -> i64 {
@@ -145,6 +206,21 @@ impl CompiledQuery {
     ///
     /// Panics if `inputs.len()` differs from the declared input count.
     pub fn run(&self, inputs: &[&SnapshotBuf<Value>], range: TimeRange) -> SnapshotBuf<Value> {
+        let mut pool = BufPool::new();
+        self.run_pooled(inputs, range, &mut pool)
+    }
+
+    /// Like [`CompiledQuery::run`], drawing every intermediate kernel
+    /// buffer (and the returned output buffer) from `pool` — intermediates
+    /// go back before the call returns, and callers can
+    /// [`BufPool::put`] the output back once consumed. Streaming sessions
+    /// route every advance through one long-lived pool this way.
+    pub fn run_pooled(
+        &self,
+        inputs: &[&SnapshotBuf<Value>],
+        range: TimeRange,
+        pool: &mut BufPool<Value>,
+    ) -> SnapshotBuf<Value> {
         assert_eq!(
             inputs.len(),
             self.query.inputs().len(),
@@ -159,7 +235,9 @@ impl CompiledQuery {
                 .iter()
                 .position(|o| *o == self.query.output())
                 .expect("output is an input");
-            return inputs[idx].slice(range);
+            let mut out = pool.take(range.start);
+            inputs[idx].slice_into(range, &mut out);
+            return out;
         }
 
         let mut store: Vec<Option<SnapshotBuf<Value>>> = (0..self.n_slots).map(|_| None).collect();
@@ -167,6 +245,7 @@ impl CompiledQuery {
         for (i, obj) in self.query.inputs().iter().enumerate() {
             slots[obj.index()] = Some(inputs[i]);
         }
+        let mut result = None;
         for kernel in &self.kernels {
             let ext = self.boundary.extent(kernel.out);
             // Intermediates must cover every grid tick a consumer may read
@@ -178,21 +257,27 @@ impl CompiledQuery {
                 range.end.saturating_add(ext.lookahead()).align_up(kernel.precision)
             };
             let krange = TimeRange::new(range.start.saturating_add(-ext.lookback()), kend);
-            let out = {
+            let mut out = pool.take(krange.start);
+            {
                 let mut view = slots.clone();
                 for (slot, owned) in view.iter_mut().zip(store.iter()) {
                     if slot.is_none() {
                         *slot = owned.as_ref();
                     }
                 }
-                kernel.run(&view, krange)
-            };
+                kernel.run_into(&view, krange, &mut out);
+            }
             if kernel.out == self.query.output() {
-                return out;
+                result = Some(out);
+                break;
             }
             store[kernel.out.index()] = Some(out);
         }
-        unreachable!("toposort guarantees the output kernel runs last")
+        // Intermediates are dead once the output kernel ran: recycle them.
+        for buf in store.into_iter().flatten() {
+            pool.put(buf);
+        }
+        result.expect("toposort guarantees the output kernel runs last")
     }
 
     /// Executes with `threads` synchronization-free workers over partitions
@@ -316,6 +401,10 @@ pub struct StreamSessionIn<C: Borrow<CompiledQuery>> {
     histories: Vec<SnapshotBuf<Value>>,
     watermark: Time,
     keep: i64,
+    /// Recycles intermediate kernel buffers across advances (the
+    /// single-query analogue of the pool group sessions thread through
+    /// `advance_to_with`).
+    pool: BufPool<Value>,
 }
 
 /// A streaming session borrowing its compiled query.
@@ -329,7 +418,7 @@ impl<C: Borrow<CompiledQuery>> StreamSessionIn<C> {
         let q = cq.borrow();
         let keep = q.boundary.max_input_lookback(&q.query) + q.grid();
         let histories = q.query.inputs().iter().map(|_| SnapshotBuf::new(start)).collect();
-        StreamSessionIn { cq, histories, watermark: start, keep }
+        StreamSessionIn { cq, histories, watermark: start, keep, pool: BufPool::new() }
     }
 
     /// The current watermark (everything up to it has been emitted).
@@ -377,6 +466,12 @@ impl<C: Borrow<CompiledQuery>> StreamSessionIn<C> {
         self.emit_range(end)
     }
 
+    /// Hands a consumed output buffer's allocation back for the next
+    /// advance to reuse.
+    pub fn recycle(&mut self, buf: SnapshotBuf<Value>) {
+        self.pool.put(buf);
+    }
+
     fn emit_range(&mut self, target: Time) -> SnapshotBuf<Value> {
         for hist in &mut self.histories {
             if hist.end() < target {
@@ -384,7 +479,11 @@ impl<C: Borrow<CompiledQuery>> StreamSessionIn<C> {
             }
         }
         let refs: Vec<&SnapshotBuf<Value>> = self.histories.iter().collect();
-        let out = self.cq.borrow().run(&refs, TimeRange::new(self.watermark, target));
+        let out = self.cq.borrow().run_pooled(
+            &refs,
+            TimeRange::new(self.watermark, target),
+            &mut self.pool,
+        );
         self.watermark = target;
         for hist in &mut self.histories {
             trim_history(hist, self.watermark, self.keep);

@@ -11,7 +11,7 @@ mod expr;
 mod printer;
 mod query;
 mod texpr;
-mod typeck;
+pub(crate) mod typeck;
 mod types;
 
 pub use expr::{BinOp, CustomReduce, Expr, ReduceOp, TObjId, UnOp, VarId, WindowRef};

@@ -38,7 +38,8 @@ pub fn typecheck(query: &Query) -> Result<TypeInfo> {
     }
     for te in query.exprs() {
         let mut env: HashMap<VarId, DataType> = HashMap::new();
-        let ty = infer(&te.body, &info, &mut env, query)?;
+        let objs = |obj: TObjId| obj_type(obj, &info, query);
+        let ty = infer_expr(&te.body, &objs, &mut env)?;
         info.object_types.insert(te.output, ty);
     }
     Ok(info)
@@ -51,40 +52,43 @@ fn obj_type(obj: TObjId, info: &TypeInfo, query: &Query) -> Result<DataType> {
         .ok_or_else(|| CompileError::UnboundObject(query.name(obj).to_string()))
 }
 
-fn infer(
+/// Infers the type of one expression, resolving temporal-object types
+/// through `objs`. Shared by whole-query [`typecheck`] and the typed kernel
+/// compiler (`codegen::compiled`), which re-derives sub-expression types
+/// while lowering to typed registers.
+pub(crate) fn infer_expr(
     e: &Expr,
-    info: &TypeInfo,
+    objs: &dyn Fn(TObjId) -> Result<DataType>,
     env: &mut HashMap<VarId, DataType>,
-    query: &Query,
 ) -> Result<DataType> {
     match e {
         Expr::Const(v) => Ok(DataType::of_value(v)),
         Expr::Time => Ok(DataType::Int),
         Expr::Var(v) => env.get(v).cloned().ok_or_else(|| CompileError::UnboundVar(v.to_string())),
         Expr::Unary(op, a) => {
-            let ta = infer(a, info, env, query)?;
+            let ta = infer_expr(a, objs, env)?;
             unary_type(*op, &ta)
         }
         Expr::Binary(op, a, b) => {
-            let ta = infer(a, info, env, query)?;
-            let tb = infer(b, info, env, query)?;
+            let ta = infer_expr(a, objs, env)?;
+            let tb = infer_expr(b, objs, env)?;
             binary_type(*op, &ta, &tb)
         }
         Expr::If(c, t, f) => {
-            let tc = infer(c, info, env, query)?;
+            let tc = infer_expr(c, objs, env)?;
             if tc.unify(&DataType::Bool).is_none() {
                 return Err(CompileError::Type(format!("if condition has type {tc}, not bool")));
             }
-            let tt = infer(t, info, env, query)?;
-            let tf = infer(f, info, env, query)?;
+            let tt = infer_expr(t, objs, env)?;
+            let tf = infer_expr(f, objs, env)?;
             tt.unify(&tf)
                 .or_else(|| tt.promote(&tf))
                 .ok_or_else(|| CompileError::Type(format!("if branches disagree: {tt} vs {tf}")))
         }
         Expr::Let { var, value, body } => {
-            let tv = infer(value, info, env, query)?;
+            let tv = infer_expr(value, objs, env)?;
             let shadowed = env.insert(*var, tv);
-            let tb = infer(body, info, env, query)?;
+            let tb = infer_expr(body, objs, env)?;
             match shadowed {
                 Some(t) => {
                     env.insert(*var, t);
@@ -96,7 +100,7 @@ fn infer(
             Ok(tb)
         }
         Expr::Field(a, i) => {
-            let ta = infer(a, info, env, query)?;
+            let ta = infer_expr(a, objs, env)?;
             match ta {
                 DataType::Tuple(fields) => fields.get(*i).cloned().ok_or_else(|| {
                     CompileError::Type(format!(
@@ -110,10 +114,10 @@ fn infer(
         }
         Expr::Tuple(items) => {
             let fields: Result<Vec<DataType>> =
-                items.iter().map(|it| infer(it, info, env, query)).collect();
+                items.iter().map(|it| infer_expr(it, objs, env)).collect();
             Ok(DataType::Tuple(fields?))
         }
-        Expr::At { obj, .. } => obj_type(*obj, info, query),
+        Expr::At { obj, .. } => objs(*obj),
         Expr::Reduce { op, window } => {
             if window.lo >= window.hi {
                 return Err(CompileError::Invalid(format!(
@@ -121,11 +125,11 @@ fn infer(
                     window.lo, window.hi
                 )));
             }
-            let src = obj_type(window.obj, info, query)?;
+            let src = objs(window.obj)?;
             let elem = match &window.map {
                 Some((var, mapped)) => {
                     let shadowed = env.insert(*var, src);
-                    let t = infer(mapped, info, env, query)?;
+                    let t = infer_expr(mapped, objs, env)?;
                     match shadowed {
                         Some(prev) => {
                             env.insert(*var, prev);
@@ -143,7 +147,7 @@ fn infer(
     }
 }
 
-fn unary_type(op: UnOp, a: &DataType) -> Result<DataType> {
+pub(crate) fn unary_type(op: UnOp, a: &DataType) -> Result<DataType> {
     let err = |msg: String| Err(CompileError::Type(msg));
     match op {
         UnOp::Neg | UnOp::Abs => {
@@ -182,7 +186,7 @@ fn unary_type(op: UnOp, a: &DataType) -> Result<DataType> {
     }
 }
 
-fn binary_type(op: BinOp, a: &DataType, b: &DataType) -> Result<DataType> {
+pub(crate) fn binary_type(op: BinOp, a: &DataType, b: &DataType) -> Result<DataType> {
     let err = || Err(CompileError::Type(format!("operator {op} applied to {a} and {b}")));
     if op.is_comparison() {
         // Comparisons accept comparable pairs; result is bool.

@@ -10,7 +10,13 @@
 //! 3. [`opt`] — IR-to-IR optimization, chiefly operator fusion across
 //!    pipeline breakers (paper §5.2);
 //! 4. [`codegen`] — temporal expressions are lowered to loop kernels over
-//!    snapshot buffers with incremental reduction state (paper §6.1);
+//!    snapshot buffers with incremental reduction state (paper §6.1).
+//!    Kernel bodies carry two execution tiers: typed register bytecode
+//!    over unboxed `f64`/`i64`/`bool` files (the default, with per-subtree
+//!    fallback to boxed `Value` operations for `Str`/`Tuple` and custom
+//!    reductions) and the closure-tree `Value` interpreter
+//!    ([`ExecTier::Interpreted`]), kept byte-identical for differential
+//!    testing;
 //! 5. [`exec`] — kernels run serially, data-parallel over boundary-resolved
 //!    partitions, or in batched streaming mode (paper §6.2).
 //!
@@ -49,6 +55,7 @@ pub mod sharing;
 
 pub use error::{CompileError, Result};
 pub use exec::{
-    CompiledQuery, Compiler, ExecStats, SharedStreamSession, StreamSession, StreamSessionIn,
+    CompiledQuery, Compiler, ExecStats, ExecTier, SharedStreamSession, StreamSession,
+    StreamSessionIn,
 };
 pub use sharing::{GroupSession, GroupSessionIn, QueryGroup, SharedGroupSession};

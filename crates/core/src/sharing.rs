@@ -660,16 +660,28 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
         // Pass 2: per-query outputs, sliced from the shared buffers with
         // the same tail semantics as a standalone run (grid ticks past the
         // last one inside the range read φ, not extrapolated values).
+        // Output slices draw from the pool too: the shard worker puts them
+        // back once their events are delivered, so steady-state emission
+        // allocates nothing.
         let outs = g
             .outputs
             .iter()
-            .map(|out| match *out {
-                OutputRef::Source(i) => self.histories[i].slice(range),
-                OutputRef::Node(ni) => {
-                    let node = &g.nodes[ni];
-                    let p = g.queries[node.query].kernels()[node.kernel].precision;
-                    output_slice(node_bufs[ni].as_ref().expect("node computed"), range, p)
+            .map(|out| {
+                let mut sliced = pool.take(range.start);
+                match *out {
+                    OutputRef::Source(i) => self.histories[i].slice_into(range, &mut sliced),
+                    OutputRef::Node(ni) => {
+                        let node = &g.nodes[ni];
+                        let p = g.queries[node.query].kernels()[node.kernel].precision;
+                        output_slice_into(
+                            node_bufs[ni].as_ref().expect("node computed"),
+                            range,
+                            p,
+                            &mut sliced,
+                        );
+                    }
                 }
+                sliced
             })
             .collect();
         for buf in node_bufs.into_iter().flatten() {
@@ -686,20 +698,25 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
 
 /// Restricts a shared node buffer to a query's exact output range,
 /// reproducing the tail a standalone output kernel would emit: values only
-/// through the last grid tick inside the range, φ beyond it.
-fn output_slice(buf: &SnapshotBuf<Value>, range: TimeRange, precision: i64) -> SnapshotBuf<Value> {
+/// through the last grid tick inside the range, φ beyond it. Writes into
+/// `out` (reset first) so callers can recycle the allocation.
+fn output_slice_into(
+    buf: &SnapshotBuf<Value>,
+    range: TimeRange,
+    precision: i64,
+    out: &mut SnapshotBuf<Value>,
+) {
     let g_last = range.end.align_down(precision);
     if g_last <= range.start {
         // No grid tick inside the range: all φ (cf. `Kernel::run`).
-        let mut out = SnapshotBuf::new(range.start);
+        out.reset(range.start);
         out.push_raw(range.end, Value::Null);
-        return out;
+        return;
     }
-    let mut out = buf.slice(TimeRange::new(range.start, g_last));
+    buf.slice_into(TimeRange::new(range.start, g_last), out);
     if g_last < range.end {
         out.push_raw(range.end, Value::Null);
     }
-    out
 }
 
 #[cfg(test)]

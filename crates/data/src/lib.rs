@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod mask;
 mod ssbuf;
 mod time;
 mod value;
@@ -36,6 +37,7 @@ pub use event::{
     coalesce, count_in_range, sort_stream, stream_extent, streams_close, streams_equivalent,
     validate_stream, values_close, Event,
 };
+pub use mask::NullMask;
 pub use ssbuf::{BufPool, SnapshotBuf, Span, SsCursor};
 pub use time::{Time, TimeRange};
 pub use value::Value;

@@ -1,0 +1,111 @@
+//! Null masks for typed register files.
+//!
+//! The typed kernel tier in `tilt-core` executes numeric expressions over
+//! unboxed `f64`/`i64`/`bool` registers; φ ("no value") then lives out of
+//! band in a [`NullMask`] — one flag per register — instead of inside a
+//! tagged [`crate::Value`], so the hot loop never touches the payload enum
+//! to test for φ.
+//!
+//! Flags are stored one byte per slot rather than bit-packed: every typed
+//! instruction clears or sets its destination's flag, and independent byte
+//! stores avoid the read-modify-write dependency chain that packed words
+//! would thread through the whole instruction stream.
+
+/// A fixed-capacity null mask with one flag per slot (`true` = φ).
+///
+/// # Examples
+///
+/// ```
+/// use tilt_data::NullMask;
+/// let mut m = NullMask::new(3);
+/// assert!(m.get(0), "slots start as φ");
+/// m.set(0, false);
+/// assert!(!m.get(0));
+/// m.set(0, true);
+/// assert!(m.get(0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NullMask {
+    flags: Vec<bool>,
+}
+
+impl NullMask {
+    /// A mask of `len` slots, all initially null.
+    pub fn new(len: usize) -> NullMask {
+        NullMask { flags: vec![true; len] }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the mask has zero slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Whether slot `i` is null.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.flags[i]
+    }
+
+    /// Sets slot `i` to null (`true`) or non-null (`false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, null: bool) {
+        self.flags[i] = null;
+    }
+
+    /// Resets every slot to null.
+    pub fn set_all(&mut self) {
+        self.flags.fill(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_null_and_toggles() {
+        let mut m = NullMask::new(130);
+        assert_eq!(m.len(), 130);
+        assert!(!m.is_empty());
+        assert!((0..130).all(|i| m.get(i)));
+        m.set(0, false);
+        m.set(63, false);
+        m.set(64, false);
+        m.set(129, false);
+        assert!(!m.get(0) && !m.get(63) && !m.get(64) && !m.get(129));
+        assert!(m.get(1) && m.get(65) && m.get(128));
+        m.set(64, true);
+        assert!(m.get(64));
+        m.set_all();
+        assert!((0..130).all(|i| m.get(i)));
+    }
+
+    #[test]
+    fn empty_mask() {
+        let m = NullMask::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let m = NullMask::new(4);
+        let _ = m.get(4);
+    }
+}

@@ -211,10 +211,20 @@ impl<P: Payload> SnapshotBuf<P> {
     /// (used by the batched/latency execution mode; the parallel executor
     /// reads the shared buffer in place instead).
     pub fn slice(&self, range: TimeRange) -> SnapshotBuf<P> {
-        let range = range.intersect(&self.range().intersect(&TimeRange::ALL));
         let mut out = SnapshotBuf::new(range.start);
+        self.slice_into(range, &mut out);
+        out
+    }
+
+    /// Like [`SnapshotBuf::slice`], but writes into `out` (reset first),
+    /// reusing its span allocation. Hot emission paths recycle per-advance
+    /// output slices through a [`BufPool`] this way instead of allocating a
+    /// fresh buffer per advance.
+    pub fn slice_into(&self, range: TimeRange, out: &mut SnapshotBuf<P>) {
+        let range = range.intersect(&self.range().intersect(&TimeRange::ALL));
+        out.reset(range.start);
         if range.is_empty() {
-            return out;
+            return;
         }
         let first = self.spans.partition_point(|s| s.t_end <= range.start);
         for s in &self.spans[first..] {
@@ -224,7 +234,6 @@ impl<P: Payload> SnapshotBuf<P> {
                 break;
             }
         }
-        out
     }
 
     /// The first time strictly after `t` at which the object value (or span
@@ -384,16 +393,8 @@ impl<'a, P: Payload> SsCursor<'a, P> {
     /// "what is the value" and "when can it next change", which is what the
     /// generated kernel loop asks every iteration.
     pub fn value_and_boundary(&mut self, t: Time) -> (P, Option<Time>) {
-        if t <= self.buf.start {
-            let b = if self.buf.is_empty() { None } else { Some(self.buf.start) };
-            return (P::null(), b);
-        }
-        if t > self.buf.end() {
-            return (P::null(), None);
-        }
-        self.seek(t);
-        let span = &self.buf.spans[self.idx];
-        (span.value.clone(), Some(span.t_end))
+        let (v, b) = self.value_ref_and_boundary(t);
+        (v.cloned().unwrap_or_else(P::null), b)
     }
 
     /// Returns a reference to the value at `t`, or `None` when φ-outside.
@@ -403,6 +404,24 @@ impl<'a, P: Payload> SsCursor<'a, P> {
         }
         self.seek(t);
         Some(&self.buf.spans[self.idx].value)
+    }
+
+    /// Like [`SsCursor::value_and_boundary`], but hands back a *reference*
+    /// to the span value instead of cloning it (`None` when `t` is outside
+    /// coverage). This is the typed fast path: callers that unbox the
+    /// payload in place (see the `tilt-core` compiled kernel tier) read the
+    /// span without ever cloning the enum.
+    pub fn value_ref_and_boundary(&mut self, t: Time) -> (Option<&'a P>, Option<Time>) {
+        if t <= self.buf.start {
+            let b = if self.buf.is_empty() { None } else { Some(self.buf.start) };
+            return (None, b);
+        }
+        if t > self.buf.end() {
+            return (None, None);
+        }
+        self.seek(t);
+        let span = &self.buf.spans[self.idx];
+        (Some(&span.value), Some(span.t_end))
     }
 
     /// The next time strictly after `t` at which the object value changes,
@@ -444,6 +463,35 @@ impl<'a, P: Payload> SsCursor<'a, P> {
         while self.buf.spans[self.idx].t_end <= t {
             self.idx += 1;
         }
+    }
+}
+
+impl<'a> SsCursor<'a, crate::Value> {
+    /// Float fast path of [`SsCursor::value_and_boundary`]: the value at `t`
+    /// unboxed to `f64` (`None` for φ or non-numeric payloads; integers
+    /// coerce) together with the providing span's end. The compiled kernel
+    /// tier loads `Float`-typed point accesses through this, so the hot
+    /// loop reads one discriminant instead of cloning a [`crate::Value`].
+    #[inline]
+    pub fn value_f64_and_boundary(&mut self, t: Time) -> (Option<f64>, Option<Time>) {
+        let (v, b) = self.value_ref_and_boundary(t);
+        (v.and_then(crate::Value::as_f64), b)
+    }
+
+    /// Integer fast path: the value at `t` unboxed to `i64` (`None` for φ
+    /// or non-integer payloads) together with the providing span's end.
+    #[inline]
+    pub fn value_i64_and_boundary(&mut self, t: Time) -> (Option<i64>, Option<Time>) {
+        let (v, b) = self.value_ref_and_boundary(t);
+        (v.and_then(crate::Value::as_i64), b)
+    }
+
+    /// Boolean fast path: the value at `t` unboxed to `bool` (`None` for φ
+    /// or non-boolean payloads) together with the providing span's end.
+    #[inline]
+    pub fn value_bool_and_boundary(&mut self, t: Time) -> (Option<bool>, Option<Time>) {
+        let (v, b) = self.value_ref_and_boundary(t);
+        (v.and_then(crate::Value::as_bool), b)
     }
 }
 
@@ -545,6 +593,46 @@ mod tests {
         let mut cur = SsCursor::new(&buf);
         assert_eq!(cur.value_at(Time::new(20)), Value::Float(2.0));
         assert_eq!(cur.value_at(Time::new(6)), Value::Float(1.0));
+    }
+
+    #[test]
+    fn slice_into_recycles_and_matches_slice() {
+        let buf = fbuf(&[(5, 10, 1.0), (16, 23, 2.0)], 0, 30);
+        let mut out: SnapshotBuf<Value> = SnapshotBuf::new(Time::new(99));
+        out.push_raw(Time::new(200), Value::Float(9.0)); // stale content to overwrite
+        for (lo, hi) in [(7i64, 20i64), (0, 30), (25, 28), (40, 50)] {
+            let range = TimeRange::new(Time::new(lo), Time::new(hi));
+            buf.slice_into(range, &mut out);
+            assert_eq!(out, buf.slice(range), "range ({lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn typed_cursor_accessors_match_dynamic_reads() {
+        let buf = fbuf(&[(5, 10, 1.5), (16, 23, 2.5)], 0, 30);
+        let mut dynamic = SsCursor::new(&buf);
+        let mut fast = SsCursor::new(&buf);
+        for t in 0..=31 {
+            let t = Time::new(t);
+            let (v, b) = dynamic.value_and_boundary(t);
+            let (x, bf) = fast.value_f64_and_boundary(t);
+            assert_eq!(x, v.as_f64(), "value at {t:?}");
+            assert_eq!(bf, b, "boundary at {t:?}");
+        }
+        // Wrong-class unboxing reads as φ without disturbing the boundary.
+        let mut ints = SsCursor::new(&buf);
+        assert_eq!(ints.value_i64_and_boundary(Time::new(7)), (None, Some(Time::new(10))));
+        let bools = SsCursor::new(&buf).value_bool_and_boundary(Time::new(7));
+        assert_eq!(bools, (None, Some(Time::new(10))));
+        // Int payloads coerce on the float path, exactly like `Value::as_f64`.
+        let ibuf = SnapshotBuf::from_events(
+            &[Event::point(Time::new(2), Value::Int(7))],
+            TimeRange::new(Time::new(0), Time::new(4)),
+        );
+        assert_eq!(
+            SsCursor::new(&ibuf).value_f64_and_boundary(Time::new(2)),
+            (Some(7.0), Some(Time::new(2)))
+        );
     }
 
     #[test]

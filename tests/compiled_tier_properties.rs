@@ -1,0 +1,422 @@
+//! Differential property tests for the typed (compiled) kernel tier:
+//! randomly generated *well-typed* expression DAGs over random event
+//! streams must produce **byte-identical** output on the compiled and
+//! interpreted tiers — identical span boundaries, identical payload bits
+//! (`SnapshotBuf` equality uses `Value::same`, which compares floats
+//! bitwise) — one-shot, fused and unfused, and through the sharded
+//! `StreamService` at 1/2/4 shards.
+//!
+//! The generator deliberately covers the tier boundary: φ-heavy bodies
+//! (null literals, filters, sparse streams), `Str` equality, `Tuple`
+//! construction/projection, custom reductions, and mixed `int`/`float`
+//! `if` branches whose unpromoted taken value must survive boxing.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tilt_core::ir::{CustomReduce, DataType, Expr, Query, QueryBuilder, ReduceOp, TDom, TObjId};
+use tilt_core::{Compiler, ExecTier};
+use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
+use tilt_runtime::{KeyedEvent, RuntimeConfig};
+
+mod common;
+use common::Single;
+
+/// Deterministic expression/DAG generator driven by one seed.
+struct Gen {
+    rng: TestRng,
+}
+
+impl Gen {
+    fn pick(&mut self, n: usize) -> usize {
+        self.rng.below(n)
+    }
+
+    fn small_float(&mut self) -> f64 {
+        // Quarter-steps so equal values (and coalescing) happen often.
+        (self.rng.below(41) as f64 - 20.0) * 0.25
+    }
+
+    fn small_int(&mut self) -> i64 {
+        self.rng.below(21) as i64 - 10
+    }
+
+    fn a_str(&mut self) -> &'static str {
+        ["hot", "cold", "a", "b"][self.pick(4)]
+    }
+
+    /// Objects of a given type available as leaves.
+    fn pick_obj(objs: &[(TObjId, DataType)], ty: &DataType, g: &mut Gen) -> Option<TObjId> {
+        let candidates: Vec<TObjId> =
+            objs.iter().filter(|(_, t)| t == ty).map(|(o, _)| *o).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[g.pick(candidates.len())])
+        }
+    }
+
+    /// A leaf expression of the target type.
+    fn leaf(&mut self, ty: &DataType, objs: &[(TObjId, DataType)]) -> Expr {
+        if self.pick(6) == 0 {
+            return Expr::null(); // φ inhabits every type
+        }
+        if self.pick(2) == 0 {
+            if let Some(obj) = Self::pick_obj(objs, ty, self) {
+                let offset = self.small_int().clamp(-4, 4);
+                return Expr::at_off(obj, offset);
+            }
+        }
+        match ty {
+            DataType::Float => {
+                // Occasionally project a tuple field (fallback boundary).
+                if self.pick(4) == 0 {
+                    if let Some(tp) = Self::pick_obj(objs, &tuple_ty(), self) {
+                        return Expr::at(tp).get(0);
+                    }
+                }
+                Expr::c(self.small_float())
+            }
+            DataType::Int => {
+                if self.pick(4) == 0 {
+                    if let Some(tp) = Self::pick_obj(objs, &tuple_ty(), self) {
+                        return Expr::at(tp).get(1);
+                    }
+                }
+                Expr::c(self.small_int())
+            }
+            DataType::Bool => Expr::c(self.pick(2) == 0),
+            DataType::Str => Expr::c(self.a_str()),
+            _ => Expr::null(),
+        }
+    }
+
+    /// A well-typed expression of the target type, depth-bounded.
+    fn expr(&mut self, ty: &DataType, depth: u32, objs: &[(TObjId, DataType)]) -> Expr {
+        if depth == 0 {
+            return self.leaf(ty, objs);
+        }
+        let d = depth - 1;
+        match ty {
+            DataType::Float => match self.pick(8) {
+                0 | 1 => {
+                    // Arithmetic; mixed operands exercise promotion.
+                    let ops = [Expr::add, Expr::sub, Expr::mul, Expr::div];
+                    let op = ops[self.pick(4)];
+                    let rhs_ty = if self.pick(3) == 0 { DataType::Int } else { DataType::Float };
+                    op(self.expr(&DataType::Float, d, objs), self.expr(&rhs_ty, d, objs))
+                }
+                2 => Expr::if_else(
+                    self.expr(&DataType::Bool, d, objs),
+                    self.expr(&DataType::Float, d, objs),
+                    self.expr(&DataType::Float, d, objs),
+                ),
+                // Mixed-branch if: static type Float, runtime int/float.
+                3 => Expr::if_else(
+                    self.expr(&DataType::Bool, d, objs),
+                    self.expr(&DataType::Int, d, objs),
+                    self.expr(&DataType::Float, d, objs),
+                ),
+                4 => self.expr(&DataType::Float, d, objs).neg(),
+                5 => self.expr(&DataType::Float, d, objs).abs(),
+                6 => self.expr(&DataType::Float, d, objs).sqrt(),
+                _ => Expr::Unary(
+                    tilt_core::ir::UnOp::ToFloat,
+                    Box::new(self.expr(&DataType::Int, d, objs)),
+                ),
+            },
+            DataType::Int => match self.pick(6) {
+                0 | 1 => {
+                    let ops = [Expr::add, Expr::sub, Expr::mul, Expr::div, Expr::rem];
+                    let op = ops[self.pick(5)];
+                    op(self.expr(&DataType::Int, d, objs), self.expr(&DataType::Int, d, objs))
+                }
+                2 => Expr::if_else(
+                    self.expr(&DataType::Bool, d, objs),
+                    self.expr(&DataType::Int, d, objs),
+                    self.expr(&DataType::Int, d, objs),
+                ),
+                3 => self.expr(&DataType::Int, d, objs).abs(),
+                4 => Expr::Unary(
+                    tilt_core::ir::UnOp::ToInt,
+                    Box::new(self.expr(&DataType::Float, d, objs)),
+                ),
+                _ => self.leaf(&DataType::Int, objs),
+            },
+            DataType::Bool => match self.pick(8) {
+                0 => self.expr(&DataType::Float, d, objs).lt(self.expr(&DataType::Float, d, objs)),
+                1 => self.expr(&DataType::Int, d, objs).ge(self.expr(&DataType::Int, d, objs)),
+                // Mixed-class comparison (int vs float promotes).
+                2 => self.expr(&DataType::Float, d, objs).gt(self.expr(&DataType::Int, d, objs)),
+                // Equality across every class, including the quirky mixed
+                // int/float case and Str (fallback boundary).
+                3 => {
+                    let eq_ty = [DataType::Float, DataType::Int, DataType::Bool, DataType::Str]
+                        [self.pick(4)]
+                    .clone();
+                    let lhs = self.expr(&eq_ty, d, objs);
+                    let rhs = self.expr(&eq_ty, d, objs);
+                    if self.pick(2) == 0 {
+                        lhs.eq(rhs)
+                    } else {
+                        lhs.ne(rhs)
+                    }
+                }
+                4 => self.expr(&DataType::Bool, d, objs).and(self.expr(&DataType::Bool, d, objs)),
+                5 => self.expr(&DataType::Bool, d, objs).or(self.expr(&DataType::Bool, d, objs)),
+                6 => {
+                    let any_ty =
+                        [DataType::Float, DataType::Int, DataType::Str][self.pick(3)].clone();
+                    self.expr(&any_ty, d, objs).is_null()
+                }
+                _ => Expr::Unary(
+                    tilt_core::ir::UnOp::Not,
+                    Box::new(self.expr(&DataType::Bool, d, objs)),
+                ),
+            },
+            DataType::Str => {
+                if self.pick(2) == 0 {
+                    Expr::if_else(
+                        self.expr(&DataType::Bool, d, objs),
+                        self.leaf(&DataType::Str, objs),
+                        self.leaf(&DataType::Str, objs),
+                    )
+                } else {
+                    self.leaf(&DataType::Str, objs)
+                }
+            }
+            _ => self.leaf(ty, objs),
+        }
+    }
+
+    /// Appends 1..=4 temporal stages over `objs`, returning the output.
+    fn stages(
+        &mut self,
+        b: &mut QueryBuilder,
+        objs: &mut Vec<(TObjId, DataType)>,
+        numeric_only: bool,
+    ) -> TObjId {
+        let n = 1 + self.pick(3);
+        let mut last = objs[0].0;
+        for si in 0..=n {
+            let name = format!("s{si}");
+            let (obj, ty) = match self.pick(5) {
+                // Window reduction over a numeric upstream object.
+                0 | 1 => {
+                    let srcs: Vec<TObjId> = objs
+                        .iter()
+                        .filter(|(_, t)| matches!(t, DataType::Float | DataType::Int))
+                        .map(|(o, _)| *o)
+                        .collect();
+                    let src = srcs[self.pick(srcs.len())];
+                    let size = 1 + self.pick(10) as i64;
+                    let prec = 1 + self.pick(3) as i64;
+                    let op = match self.pick(7) {
+                        0 => ReduceOp::Sum,
+                        1 => ReduceOp::Count,
+                        2 => ReduceOp::Mean,
+                        3 => ReduceOp::Min,
+                        4 => ReduceOp::Max,
+                        5 => ReduceOp::StdDev,
+                        _ => ReduceOp::Custom(last_value_reduce()),
+                    };
+                    let src_ty = objs
+                        .iter()
+                        .find(|(o, _)| *o == src)
+                        .map(|(_, t)| t.clone())
+                        .expect("source tracked");
+                    let ty = op.result_type(&src_ty);
+                    let body = Expr::reduce_window(op, src, size);
+                    (b.temporal(&name, TDom::unbounded(prec), body), ty)
+                }
+                // Sampled (chop) stage: re-emits a numeric object.
+                2 => {
+                    let srcs: Vec<(TObjId, DataType)> = objs
+                        .iter()
+                        .filter(|(_, t)| matches!(t, DataType::Float | DataType::Int))
+                        .cloned()
+                        .collect();
+                    let (src, ty) = srcs[self.pick(srcs.len())].clone();
+                    let prec = 1 + self.pick(3) as i64;
+                    (b.temporal_sampled(&name, TDom::unbounded(prec), Expr::at(src)), ty)
+                }
+                // Pointwise stage.
+                _ => {
+                    let ty = if numeric_only {
+                        [DataType::Float, DataType::Int][self.pick(2)].clone()
+                    } else {
+                        [DataType::Float, DataType::Int, DataType::Bool][self.pick(3)].clone()
+                    };
+                    let depth = 1 + self.pick(3) as u32;
+                    let body = self.expr(&ty, depth, objs);
+                    (b.temporal(&name, TDom::every_tick(), body), ty)
+                }
+            };
+            objs.push((obj, ty));
+            last = obj;
+        }
+        last
+    }
+}
+
+fn tuple_ty() -> DataType {
+    DataType::Tuple(vec![DataType::Float, DataType::Int])
+}
+
+/// A non-invertible custom reduction ("last value"): exercises the
+/// full-window recompute path and the typed tier's boxed reduce results.
+fn last_value_reduce() -> Arc<CustomReduce> {
+    Arc::new(CustomReduce {
+        name: "last".into(),
+        result_type: DataType::Float,
+        init: Value::Null,
+        acc: Arc::new(|_, v, _| v.to_float()),
+        deacc: None,
+        result: Arc::new(|s, _| s.clone()),
+    })
+}
+
+/// Random sorted, disjoint event stream over roughly (0, 200].
+fn stream(g: &mut Gen, mk: &mut dyn FnMut(&mut Gen) -> Value) -> Vec<Event<Value>> {
+    let n = g.pick(40);
+    let mut t = 0i64;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let gap = 1 + g.pick(5) as i64; // φ-heavy: every stream has gaps
+        let len = 1 + g.pick(4) as i64;
+        let start = t + gap;
+        let end = start + len;
+        out.push(Event::new(Time::new(start), Time::new(end), mk(g)));
+        t = end;
+    }
+    out
+}
+
+/// Builds the 4-input query plus matching random input buffers.
+fn full_case(seed: u64) -> (Query, Vec<Vec<Event<Value>>>) {
+    let mut g = Gen { rng: TestRng::new(seed) };
+    let mut b = Query::builder();
+    let f = b.input("f", DataType::Float);
+    let i = b.input("i", DataType::Int);
+    let s = b.input("s", DataType::Str);
+    let tp = b.input("tp", tuple_ty());
+    let mut objs =
+        vec![(f, DataType::Float), (i, DataType::Int), (s, DataType::Str), (tp, tuple_ty())];
+    let out = g.stages(&mut b, &mut objs, false);
+    let q = b.finish(out).expect("generated query is well-formed");
+    let events = vec![
+        stream(&mut g, &mut |g| Value::Float(g.small_float())),
+        stream(&mut g, &mut |g| Value::Int(g.small_int())),
+        stream(&mut g, &mut |g| Value::str(g.a_str())),
+        stream(&mut g, &mut |g| {
+            Value::tuple([Value::Float(g.small_float()), Value::Int(g.small_int())])
+        }),
+    ];
+    (q, events)
+}
+
+fn run_pair(q: &Query, events: &[Vec<Event<Value>>], optimized: bool) {
+    let (compiled, interp) = if optimized {
+        (Compiler::new(), Compiler::interpreted())
+    } else {
+        (Compiler::unoptimized(), Compiler::unoptimized().with_tier(ExecTier::Interpreted))
+    };
+    let compiled = compiled.compile(q).expect("compiles (typed tier)");
+    let interp = interp.compile(q).expect("compiles (interpreter)");
+    assert_eq!(compiled.tier(), ExecTier::Compiled);
+    assert_eq!(interp.tier(), ExecTier::Interpreted);
+    assert_eq!(interp.compiled_kernels(), 0);
+
+    let hi = events.iter().flat_map(|evs| evs.last()).map(|e| e.end).max().unwrap_or(Time::new(8));
+    let range = TimeRange::new(Time::ZERO, (hi + 16).align_up(compiled.grid()));
+    let bufs: Vec<SnapshotBuf<Value>> =
+        events.iter().map(|evs| SnapshotBuf::from_events(evs, range)).collect();
+    let refs: Vec<&SnapshotBuf<Value>> = bufs.iter().collect();
+    let a = compiled.run(&refs, range);
+    let b = interp.run(&refs, range);
+    // Byte-identical: same span boundaries, same payload bits.
+    assert_eq!(a, b, "compiled vs interpreted diverged (optimized={optimized})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One-shot differential: random well-typed DAGs over Float/Int/Str/
+    /// Tuple inputs (φ-heavy streams, fallback boundaries, custom reduces)
+    /// are byte-identical across tiers, fused and unfused.
+    #[test]
+    fn compiled_tier_matches_interpreter_oneshot(seed in any::<u64>()) {
+        let (q, events) = full_case(seed);
+        run_pair(&q, &events, true);
+        run_pair(&q, &events, false);
+    }
+}
+
+/// Builds a single-input numeric DAG (the shape the keyed service runs).
+fn keyed_case(seed: u64) -> (Query, Vec<Vec<Event<Value>>>) {
+    let mut g = Gen { rng: TestRng::new(seed) };
+    let mut b = Query::builder();
+    let f = b.input("x", DataType::Float);
+    let mut objs = vec![(f, DataType::Float)];
+    let out = g.stages(&mut b, &mut objs, true);
+    let q = b.finish(out).expect("generated query is well-formed");
+    let keys = 1 + g.pick(4);
+    let streams =
+        (0..keys).map(|_| stream(&mut g, &mut |g| Value::Float(g.small_float()))).collect();
+    (q, streams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Service differential: the same keyed workload through a sharded
+    /// `StreamService` produces identical per-key output whether the query
+    /// was compiled to the typed tier or pinned to the interpreter — at 1,
+    /// 2, and 4 shards.
+    #[test]
+    fn compiled_tier_matches_interpreter_through_service(
+        seed in any::<u64>(),
+        shard_pick in 0usize..3,
+    ) {
+        let shards = [1, 2, 4][shard_pick];
+        let (q, streams) = keyed_case(seed);
+        let compiled = Arc::new(Compiler::new().compile(&q).expect("compiles"));
+        let interp = Arc::new(
+            Compiler::interpreted().compile(&q).expect("compiles"),
+        );
+
+        let mut arrivals: Vec<KeyedEvent> = streams
+            .iter()
+            .enumerate()
+            .flat_map(|(k, evs)| {
+                evs.iter().map(move |e| KeyedEvent::new(k as u64, 0, e.clone()))
+            })
+            .collect();
+        arrivals.sort_by_key(|ke| (ke.event.end, ke.key));
+        let hi = arrivals.iter().map(|ke| ke.event.end).max().unwrap_or(Time::new(4));
+        let end = (hi + 32).align_up(compiled.grid());
+
+        let config = RuntimeConfig {
+            shards,
+            allowed_lateness: 0,
+            emit_interval: 4,
+            ..RuntimeConfig::default()
+        };
+        let svc_a = Single::start(Arc::clone(&compiled), config);
+        svc_a.ingest(arrivals.iter().cloned());
+        let out_a = svc_a.finish_at(end);
+        let svc_b = Single::start(Arc::clone(&interp), config);
+        svc_b.ingest(arrivals.iter().cloned());
+        let out_b = svc_b.finish_at(end);
+
+        prop_assert_eq!(out_a.stats.late_dropped, 0);
+        prop_assert_eq!(out_a.per_key.len(), out_b.per_key.len());
+        for (key, got) in &out_a.per_key {
+            let want = &out_b.per_key[key];
+            prop_assert_eq!(
+                got, want,
+                "key {} diverged across tiers at {} shards", key, shards
+            );
+        }
+    }
+}
