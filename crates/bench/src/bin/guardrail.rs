@@ -18,7 +18,13 @@
 //!   section — monotone attach frontiers that clear the watermark, every
 //!   detach reclaiming sessions, and the surviving query's output
 //!   unchanged (identical streams, equal coalesced event counts) under
-//!   attach/detach churn;
+//!   attach/detach churn — plus, for the observability section, exact
+//!   event-accounting conservation, non-degenerate (multi-bucket)
+//!   lag/latency histograms, and internally consistent histogram
+//!   exports (count == Σ buckets, p50 ≤ p99 ≤ max);
+//! * `obs_overhead`: the full metrics layer and the kernel profiler each
+//!   cost < 5% throughput against their disabled twins (interleaved
+//!   best-of ratios ≥ 0.95);
 //! * `kernel_hot`: compiled-tier and interpreter outputs byte-identical on
 //!   every plan, fallback counters exactly zero (and `fully_typed`) for
 //!   the fully numeric plans, and visibly nonzero for the `Str` fallback
@@ -163,6 +169,23 @@ fn check_file(file: &Path) -> Outcome {
             check.fields_equal("churn.survivor_events", "churn.survivor_events_baseline");
             check.eq_i64("churn.late_dropped", 0);
             check.eq_i64("churn.baseline_late_dropped", 0);
+            check.eq_i64("observability.conservation.balance", 0);
+            check.eq_i64("observability.conservation.reorder_underflow", 0);
+            check.eq_i64("observability.conservation.late_dropped", 0);
+            // The lag/latency distributions must be genuinely
+            // distributional — a single-occupied-bucket histogram means
+            // the instrumentation clamped or never ran.
+            check.gt_i64("observability.ingest_lag_buckets", 1);
+            check.gt_i64("observability.watermark_lag_buckets", 1);
+            check.gt_i64("observability.advance_ns_buckets", 1);
+            check.histograms_sane("observability.metrics.histograms");
+        }
+        "obs_overhead" => {
+            // The < 5% observability-overhead acceptance bar. Raw Mev/s
+            // are machine-dependent; the ratios transfer because each
+            // pair ran interleaved in one process on one machine.
+            check.ratio_at_least("runtime.metrics_on_meps", "runtime.metrics_off_meps", 0.95);
+            check.ratio_at_least("kernel.profiled_meps", "kernel.unprofiled_meps", 0.95);
         }
         "kernel_hot" => {
             // Throughput is machine-dependent; what must hold anywhere is
@@ -291,6 +314,49 @@ impl Checker<'_> {
                 self.outcome
                     .violations
                     .push(format!("{num} / {den} = {x}/{y}, expected ratio >= {floor}"));
+            }
+        }
+    }
+
+    /// Internal consistency of every exported histogram under `path` (a
+    /// name → histogram object map, as `MetricsSnapshot::to_json` emits):
+    /// the sample count must equal the sum of the bucket counts, and the
+    /// quantile readout must be ordered (`p50 <= p99 <= max`).
+    fn histograms_sane(&mut self, path: &str) {
+        let Some(v) = self.lookup(path) else {
+            self.outcome.checked += 1;
+            return;
+        };
+        let Json::Obj(map) = v else {
+            self.outcome.checked += 1;
+            self.outcome.violations.push(format!("{path} is not an object"));
+            return;
+        };
+        for (name, h) in &map {
+            self.outcome.checked += 1;
+            let field = |k: &str| h.get(k).and_then(Json::as_f64);
+            let (Some(count), Some(p50), Some(p99), Some(max)) =
+                (field("count"), field("p50"), field("p99"), field("max"))
+            else {
+                self.outcome.violations.push(format!("{path}.{name} is missing summary fields"));
+                continue;
+            };
+            let bucket_sum: f64 = h
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .map(|buckets| {
+                    buckets.iter().filter_map(|pair| pair.as_arr()?.get(1)?.as_f64()).sum()
+                })
+                .unwrap_or(f64::NAN);
+            if bucket_sum != count {
+                self.outcome.violations.push(format!(
+                    "{path}.{name}: count = {count} but buckets sum to {bucket_sum}"
+                ));
+            }
+            if !(p50 <= p99 && p99 <= max) {
+                self.outcome.violations.push(format!(
+                    "{path}.{name}: quantiles out of order (p50 {p50}, p99 {p99}, max {max})"
+                ));
             }
         }
     }

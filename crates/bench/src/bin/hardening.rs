@@ -4,7 +4,7 @@
 //! **poisoned key** (panic quarantine), and **query churn** (live
 //! attach/detach under steady load).
 //!
-//! Four sections, each exercising one hardening mechanism end to end:
+//! Five sections, each exercising one hardening mechanism end to end:
 //!
 //! 1. *Eviction*: a Zipf(1.2) keyed stream over many keys with
 //!    `key_ttl` set — the hot set stays resident while the long tail is
@@ -20,6 +20,13 @@
 //!    steady Zipf load — attach frontiers are monotone and clear the
 //!    watermark, detaches reclaim sessions, and the surviving query's
 //!    coalesced output is identical to a churn-free run.
+//! 5. *Observability*: Zipf traffic with bounded arrival disorder runs
+//!    with the full metrics layer on — event accounting conserves at
+//!    quiescence, the ingest-lag / watermark-lag / advance-time
+//!    histograms come out genuinely distributional (multiple occupied
+//!    buckets), and the registry ships in both exposition formats (the
+//!    full snapshot is embedded in the `--json` report; the Prometheus
+//!    text lands in a `.prom` artifact beside it).
 //!
 //! ```sh
 //! cargo run --release --bin hardening -- --events 2000000 --json out.json
@@ -494,6 +501,159 @@ fn churn_section(cfg: &RunCfg) -> Json {
     ])
 }
 
+/// Section 5: the observability layer itself. Disorder-bearing Zipf load
+/// with the full metrics layer on: conservation must balance exactly at
+/// quiescence, the latency/lag histograms must be genuinely
+/// distributional (no single-bucket degenerates), and the snapshot must
+/// ship in both exposition formats.
+fn observability_section(cfg: &RunCfg, shards: usize) -> Json {
+    let n = (cfg.events / 10).clamp(50_000, 400_000);
+    let num_keys = 1_024usize;
+    let window = 16i64;
+    let displacement = 128usize;
+
+    // In-order Zipf traffic (one event per tick) scrambled by reversing
+    // consecutive blocks: an event arrives up to `displacement - 1` ticks
+    // behind the newest start its shard has seen — far inside the
+    // lateness bound, so nothing is ever late no matter how shard advance
+    // cycles interleave with acceptance, but the per-event ingest lag
+    // spreads across many powers of two.
+    let mut stream = gen::zipf_keyed_floats(n, num_keys, 1.2, 23);
+    for block in stream.chunks_mut(displacement) {
+        block.reverse();
+    }
+
+    let mut builder = StreamService::builder(RuntimeConfig {
+        shards,
+        allowed_lateness: 2 * displacement as i64,
+        emit_interval: 64,
+        journal_capacity: 128,
+        ..RuntimeConfig::default()
+    });
+    builder.register(sliding_sum(window));
+    let service = builder.start().expect("single registration");
+    // Geometrically growing bursts (n/128 up to n/4, cycling), each
+    // drained before the next: finalization staleness at catch-up and
+    // advance-cycle wall time both track the burst size, so the
+    // watermark-lag and advance-time distributions spread across several
+    // powers of two instead of collapsing into one giant catch-up cycle
+    // per shard.
+    let bursts: Vec<usize> = (0..6).map(|i| (stream.len() >> (7 - i)).max(1)).collect();
+    let (_, ingest_time) = time_it(|| {
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < stream.len() {
+            let len = bursts[i % bursts.len()].min(stream.len() - offset);
+            let part = &stream[offset..offset + len];
+            service.ingest(part.iter().map(|(k, e)| KeyedEvent::new(*k, 0, e.clone())));
+            let _ = wait_for(Duration::from_secs(10), || {
+                service.stats().queue_depths.iter().sum::<usize>() == 0
+            });
+            offset += len;
+            i += 1;
+        }
+    });
+    let out = service.finish_at(Time::new(n as i64 + window));
+    let throughput = meps(n, ingest_time);
+
+    // Conservation: every ingested event must sit in exactly one terminal
+    // counter once the service has quiesced.
+    let balance = out.stats.conservation_balance();
+    assert_eq!(
+        balance,
+        0,
+        "event accounting must conserve: in={} consumed={} late={} backstop={} quarantine={} \
+         detach={} pending={:?} queued={:?}",
+        out.stats.events_in,
+        out.stats.events_consumed,
+        out.stats.late_dropped,
+        out.stats.backstop_dropped,
+        out.stats.quarantine_dropped,
+        out.stats.detach_dropped,
+        out.stats.reorder_pending,
+        out.stats.queue_depths,
+    );
+    assert_eq!(out.stats.late_dropped, 0, "disorder stays inside the lateness bound");
+    assert_eq!(out.stats.reorder_underflow, 0, "the pending gauge never went negative");
+
+    // Histogram non-degeneracy, merged across shards: a lag distribution
+    // that lands in one log2 bucket is a sign the instrumentation clamped
+    // or never ran.
+    let nonzero_buckets = |name: &str| -> usize {
+        let mut merged: Vec<u64> = Vec::new();
+        for s in out.metrics.samples.iter().filter(|s| s.name == name) {
+            if let tilt_obs::SampleValue::Histogram(h) = &s.value {
+                if merged.len() < h.buckets.len() {
+                    merged.resize(h.buckets.len(), 0);
+                }
+                for (a, b) in merged.iter_mut().zip(&h.buckets) {
+                    *a += b;
+                }
+            }
+        }
+        merged.iter().filter(|&&c| c > 0).count()
+    };
+    let ingest_lag_buckets = nonzero_buckets("tilt_ingest_lag_ticks");
+    let watermark_lag_buckets = nonzero_buckets("tilt_watermark_lag_ticks");
+    let advance_ns_buckets = nonzero_buckets("tilt_advance_ns");
+    assert!(ingest_lag_buckets >= 2, "ingest lag degenerate: {ingest_lag_buckets} buckets");
+    assert!(
+        watermark_lag_buckets >= 2,
+        "watermark lag degenerate: {watermark_lag_buckets} buckets"
+    );
+    assert!(advance_ns_buckets >= 2, "advance time degenerate: {advance_ns_buckets} buckets");
+    assert!(!out.journal.events.is_empty(), "registration must be journaled");
+
+    // Second exposition format: the Prometheus text artifact rides beside
+    // the JSON report so CI uploads both.
+    if let Some(path) = &cfg.json {
+        let prom = path.with_extension("prom");
+        if let Some(dir) = prom.parent() {
+            std::fs::create_dir_all(dir).expect("create artifact directory");
+        }
+        std::fs::write(&prom, out.metrics.to_prometheus())
+            .unwrap_or_else(|e| panic!("write {}: {e}", prom.display()));
+        println!("observability: wrote Prometheus exposition to {}", prom.display());
+    }
+
+    println!(
+        "observability: balance 0 over {} events; lag histograms occupy {}/{}/{} buckets \
+         (ingest/watermark/advance), {} Mev/s ingest",
+        out.stats.events_in,
+        ingest_lag_buckets,
+        watermark_lag_buckets,
+        advance_ns_buckets,
+        fmt_meps(throughput)
+    );
+    Json::obj([
+        ("events", n.into()),
+        ("keys", num_keys.into()),
+        ("shards", shards.into()),
+        ("displacement", displacement.into()),
+        ("throughput_meps", throughput.into()),
+        (
+            "conservation",
+            Json::obj([
+                ("balance", balance.into()),
+                ("events_in", out.stats.events_in.into()),
+                ("events_consumed", out.stats.events_consumed.into()),
+                ("late_dropped", out.stats.late_dropped.into()),
+                ("backstop_dropped", out.stats.backstop_dropped.into()),
+                ("quarantine_dropped", out.stats.quarantine_dropped.into()),
+                ("detach_dropped", out.stats.detach_dropped.into()),
+                ("reorder_pending", out.stats.reorder_pending.iter().sum::<usize>().into()),
+                ("queued", out.stats.queue_depths.iter().sum::<usize>().into()),
+                ("reorder_underflow", out.stats.reorder_underflow.into()),
+            ]),
+        ),
+        ("ingest_lag_buckets", ingest_lag_buckets.into()),
+        ("watermark_lag_buckets", watermark_lag_buckets.into()),
+        ("advance_ns_buckets", advance_ns_buckets.into()),
+        ("journal_entries", out.journal.events.len().into()),
+        ("metrics", out.metrics.to_json()),
+    ])
+}
+
 fn main() {
     let cfg = RunCfg::from_args(2_000_000);
     let shards = cfg.threads.clamp(1, 4);
@@ -508,6 +668,7 @@ fn main() {
     let backstop = backstop_section(&cfg);
     let quarantine = quarantine_section(&cfg);
     let churn = churn_section(&cfg);
+    let observability = observability_section(&cfg, shards);
 
     write_json_report(
         &cfg,
@@ -517,6 +678,7 @@ fn main() {
             ("backstop", backstop),
             ("quarantine", quarantine),
             ("churn", churn),
+            ("observability", observability),
         ]),
     );
 }

@@ -217,6 +217,11 @@ struct PlanResult {
     outputs_identical: bool,
     fallback_ops: u64,
     fully_typed: bool,
+    /// Per-kernel profiles from one *timed* pass on a fresh compile (the
+    /// throughput rounds above run untimed, so the bench numbers never
+    /// carry clock-read overhead), plus that pass's event count.
+    profile: Vec<tilt_core::KernelProfile>,
+    profiled_events: usize,
 }
 
 fn run_plan(name: &'static str, q: &Query, events: &[Event<Value>], runs: usize) -> PlanResult {
@@ -241,6 +246,13 @@ fn run_plan(name: &'static str, q: &Query, events: &[Event<Value>], runs: usize)
         compiled_meps = compiled_meps.max(one(&compiled));
     }
 
+    // One profiled pass on a fresh compile: counters start at zero, so
+    // invocations/nanos/fallback_ops describe exactly this pass.
+    let profiled = Compiler::new().compile(q).expect("plan compiles (profiled)");
+    profiled.set_profiling(true);
+    profiled.run(&[&input], range);
+    let profile = profiled.kernel_profiles();
+
     PlanResult {
         name,
         kernels: compiled.num_kernels(),
@@ -249,6 +261,8 @@ fn run_plan(name: &'static str, q: &Query, events: &[Event<Value>], runs: usize)
         outputs_identical,
         fallback_ops: compiled.fallback_ops(),
         fully_typed: compiled.fully_typed(),
+        profile,
+        profiled_events: events.len(),
     }
 }
 
@@ -311,6 +325,31 @@ fn main() {
                         ("outputs_identical", r.outputs_identical.into()),
                         ("fallback_ops", r.fallback_ops.into()),
                         ("fully_typed", r.fully_typed.into()),
+                        (
+                            "profile",
+                            Json::Arr(
+                                r.profile
+                                    .iter()
+                                    .map(|k| {
+                                        let per_ev = (k.invocations * r.profiled_events as u64)
+                                            .max(1)
+                                            as f64;
+                                        Json::obj([
+                                            ("kernel", k.name.as_str().into()),
+                                            ("compiled", k.compiled.into()),
+                                            ("fully_typed", k.fully_typed.into()),
+                                            ("invocations", k.invocations.into()),
+                                            ("nanos", k.nanos.into()),
+                                            ("ns_per_op", (k.nanos as f64 / per_ev).into()),
+                                            (
+                                                "fallback_op_rate",
+                                                (k.fallback_ops as f64 / per_ev).into(),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
                     ]),
                 )
             })

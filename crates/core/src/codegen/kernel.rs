@@ -9,9 +9,10 @@
 //! buffer. Ticks at which no input changes are never visited.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use tilt_data::{SnapshotBuf, SsCursor, Time, TimeRange, Value};
+use tilt_obs::Profiler;
 
 use super::compiled::{compile_typed, type_lookup, Class, TypedProgram};
 use super::program::{compile, EvalCtx, PointSpec, Program};
@@ -47,6 +48,13 @@ pub struct Kernel {
     /// Enum-touching (fallback) operations executed by the typed tier,
     /// accumulated across runs.
     pub(crate) fallback: AtomicU64,
+    /// Whether [`Kernel::run_into`] reads the clock around each call.
+    /// Off by default: the disabled cost is this one relaxed load.
+    timed: AtomicBool,
+    /// Timed invocations of this kernel (counted only while profiling).
+    invocations: AtomicU64,
+    /// Wall nanoseconds spent inside timed invocations.
+    nanos: AtomicU64,
 }
 
 impl Kernel {
@@ -68,6 +76,9 @@ impl Kernel {
             typed: None,
             interp_fallback: false,
             fallback: AtomicU64::new(0),
+            timed: AtomicBool::new(false),
+            invocations: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
         })
     }
 
@@ -159,9 +170,44 @@ impl Kernel {
         range: TimeRange,
         out: &mut SnapshotBuf<Value>,
     ) {
+        if Profiler::enabled(self) {
+            let start = std::time::Instant::now();
+            self.dispatch(bufs, range, out);
+            Profiler::record(self, start.elapsed().as_nanos() as u64);
+        } else {
+            self.dispatch(bufs, range, out);
+        }
+    }
+
+    fn dispatch(
+        &self,
+        bufs: &[Option<&SnapshotBuf<Value>>],
+        range: TimeRange,
+        out: &mut SnapshotBuf<Value>,
+    ) {
         match &self.typed {
             Some(tp) => self.run_typed(tp, bufs, range, out),
             None => self.run_interp(bufs, range, out),
+        }
+    }
+
+    /// Turns per-invocation wall timing on (or off). Profiling is
+    /// per-kernel state shared by every clone of the owning
+    /// `CompiledQuery`'s `Arc`, so enabling it on a live service takes
+    /// effect on the next invocation.
+    pub fn set_profiling(&self, on: bool) {
+        self.timed.store(on, Ordering::Relaxed);
+    }
+
+    /// A frozen view of this kernel's profile counters.
+    pub fn profile(&self) -> KernelProfile {
+        KernelProfile {
+            name: self.name.clone(),
+            compiled: self.is_compiled(),
+            fully_typed: self.is_fully_typed(),
+            invocations: self.invocations.load(Ordering::Relaxed),
+            nanos: self.nanos.load(Ordering::Relaxed),
+            fallback_ops: self.fallback_ops(),
         }
     }
 
@@ -373,6 +419,56 @@ impl Kernel {
             Some(ng)
         } else {
             None
+        }
+    }
+}
+
+impl Profiler for Kernel {
+    fn enabled(&self) -> bool {
+        self.timed.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, nanos: u64) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// A frozen per-kernel profile: what `kernel_hot --json` and the service
+/// exposition report per kernel instead of the old aggregate-only
+/// fallback count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// The kernel's human-readable name (its object's query name).
+    pub name: String,
+    /// Whether the typed (compiled) tier was lowered.
+    pub compiled: bool,
+    /// Whether the typed tier never touches the dynamic enum.
+    pub fully_typed: bool,
+    /// Timed invocations (0 unless profiling was enabled).
+    pub invocations: u64,
+    /// Total wall nanoseconds across timed invocations.
+    pub nanos: u64,
+    /// Enum-touching fallback operations (counted even when untimed).
+    pub fallback_ops: u64,
+}
+
+impl KernelProfile {
+    /// Mean wall nanoseconds per timed invocation (0.0 when untimed).
+    pub fn ns_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.invocations as f64
+        }
+    }
+
+    /// Fallback operations per timed invocation (0.0 when untimed).
+    pub fn fallback_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.fallback_ops as f64 / self.invocations as f64
         }
     }
 }

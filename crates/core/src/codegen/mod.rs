@@ -25,7 +25,7 @@ mod kernel;
 mod program;
 mod reduce;
 
-pub use kernel::Kernel;
+pub use kernel::{Kernel, KernelProfile};
 pub use program::{compile, EvalCtx, EvalFn, MapFn, PointSpec, Program, ReduceSpec};
 pub use reduce::ReduceRunner;
 

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use tilt_data::{BufPool, Event, SnapshotBuf, Time, TimeRange, Value};
 
 use crate::analysis::{resolve_boundaries, Boundary};
-use crate::codegen::{lower, lower_typed, Kernel};
+use crate::codegen::{lower, lower_typed, Kernel, KernelProfile};
 use crate::error::Result;
 use crate::ir::{typecheck, Query};
 use crate::opt::Optimizer;
@@ -188,6 +188,25 @@ impl CompiledQuery {
     /// inside a compiled query count one per run.
     pub fn fallback_ops(&self) -> u64 {
         self.kernels.iter().map(Kernel::fallback_ops).sum()
+    }
+
+    /// Turns per-invocation wall timing on (or off) for every kernel.
+    /// Disabled profiling costs one relaxed bool load per kernel
+    /// invocation; enabled, each invocation also pays two clock reads
+    /// and two relaxed adds. The counters live in the kernels
+    /// themselves, so shared-group execution and clones of this query's
+    /// `Arc` all feed the same profile.
+    pub fn set_profiling(&self, on: bool) {
+        for k in &self.kernels {
+            k.set_profiling(on);
+        }
+    }
+
+    /// Frozen per-kernel profiles (invocations, nanos, fallback ops) in
+    /// execution order. Invocation counts stay 0 until
+    /// [`CompiledQuery::set_profiling`] turns timing on.
+    pub fn kernel_profiles(&self) -> Vec<KernelProfile> {
+        self.kernels.iter().map(Kernel::profile).collect()
     }
 
     /// The coarsest grid all kernels agree on: partition boundaries must be

@@ -53,6 +53,7 @@ pub mod ir;
 pub mod opt;
 pub mod sharing;
 
+pub use codegen::KernelProfile;
 pub use error::{CompileError, Result};
 pub use exec::{
     CompiledQuery, Compiler, ExecStats, ExecTier, SharedStreamSession, StreamSession,

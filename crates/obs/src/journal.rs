@@ -1,0 +1,156 @@
+//! A bounded, sequence-numbered event journal for control-plane
+//! transitions.
+//!
+//! The runtime's control plane (attach/detach/evict/revive/quarantine/
+//! backstop) is low-rate but high-value: when a service misbehaves, the
+//! *order* of transitions is the diagnosis. The journal keeps the most
+//! recent `capacity` events in a ring under one mutex (contention-free
+//! in practice — pushes are rare next to the data path), stamps each
+//! with a monotone sequence number and a milliseconds-since-start
+//! timestamp, and counts what the ring evicted so a reader always knows
+//! whether its view has gaps.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One journaled event with its stamps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stamped<T> {
+    /// Monotone sequence number, starting at 0 for the first push.
+    pub seq: u64,
+    /// Milliseconds since the journal was created.
+    pub at_ms: u64,
+    /// The event itself.
+    pub event: T,
+}
+
+struct Inner<T> {
+    ring: VecDeque<Stamped<T>>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`Stamped`] events with drop accounting.
+pub struct Journal<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl<T> Journal<T> {
+    /// A journal holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Journal<T> {
+        Journal {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity.max(1)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Appends one event, evicting (and counting) the oldest if full.
+    /// Returns the event's sequence number.
+    pub fn push(&self, event: T) -> u64 {
+        let at_ms = self.epoch.elapsed().as_millis() as u64;
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(Stamped { seq, at_ms, event });
+        seq
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal lock poisoned").ring.len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events the ring has evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("journal lock poisoned").dropped
+    }
+}
+
+impl<T: Clone> Journal<T> {
+    /// Copies out the retained events (oldest first) with the drop and
+    /// sequence bookkeeping a reader needs to detect gaps.
+    pub fn snapshot(&self) -> JournalSnapshot<T> {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        JournalSnapshot {
+            events: inner.ring.iter().cloned().collect(),
+            dropped: inner.dropped,
+            next_seq: inner.next_seq,
+        }
+    }
+}
+
+/// A frozen view of a [`Journal`].
+#[derive(Clone, Debug)]
+pub struct JournalSnapshot<T> {
+    /// Retained events, oldest first; `seq` values are contiguous.
+    pub events: Vec<Stamped<T>>,
+    /// How many older events the ring evicted before this view.
+    pub dropped: u64,
+    /// The sequence number the next push will receive (== total pushes).
+    pub next_seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_monotone_and_contiguous() {
+        let j: Journal<&str> = Journal::new(8);
+        assert!(j.is_empty());
+        for name in ["attach", "evict", "revive"] {
+            j.push(name);
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.next_seq, 3);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(snap.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert_eq!(snap.events[1].event, "evict");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let j: Journal<u32> = Journal::new(3);
+        for i in 0..10u32 {
+            j.push(i);
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        let snap = j.snapshot();
+        assert_eq!(snap.events.iter().map(|e| e.event).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(snap.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(snap.next_seq, 10);
+        // A reader reconstructs the gap: every push is either retained
+        // or counted as dropped.
+        assert_eq!(snap.next_seq, snap.dropped + snap.events.len() as u64);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let j: Journal<u8> = Journal::new(0);
+        j.push(1);
+        j.push(2);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.snapshot().events[0].event, 2);
+        assert_eq!(j.dropped(), 1);
+    }
+}

@@ -50,7 +50,15 @@
 //!   watermark lag, late drops, per-query output counts and join
 //!   frontiers, attach/detach/reclamation counters, eviction and
 //!   quarantine gauges, queue depths, and kernel executions saved by
-//!   dedup.
+//!   dedup. Underneath, every counter lives in a `tilt_obs` metrics
+//!   registry: [`StreamService::metrics`] exposes the full structured
+//!   snapshot (including ingest-lag / watermark-lag / advance-time
+//!   histograms and per-query attribution when
+//!   [`RuntimeConfig::metrics`] is on), [`StreamService::metrics_text`]
+//!   renders Prometheus text exposition, and [`StreamService::journal`]
+//!   replays recent control-plane transitions
+//!   (attach/detach/evict/revive/quarantine/backstop) from a bounded
+//!   ring journal.
 //!
 //! Events later than every interested query's allowed lateness are
 //! *dropped and counted* ([`RuntimeStats::late_dropped`]), the classic
@@ -140,7 +148,6 @@ mod shard;
 mod stats;
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -152,7 +159,7 @@ use tilt_core::CompiledQuery;
 use tilt_data::{Event, Time, Value};
 
 use shard::{CellSpec, Shard, ShardMsg, ShardOutput};
-pub use stats::RuntimeStats;
+pub use stats::{ControlEvent, RuntimeStats};
 use stats::{SharedStats, SinkTable};
 
 /// One event addressed to one key's stream.
@@ -260,6 +267,18 @@ pub struct RuntimeConfig {
     pub max_pending_per_shard: Option<usize>,
     /// What to do when a reorder-buffer cap is hit.
     pub backstop: BackstopPolicy,
+    /// Enables detailed metrics: latency/lag histograms, per-query late
+    /// and shared-kernel attribution, and the control-plane event journal.
+    /// The base counters behind [`StreamService::stats`] are always
+    /// maintained; disabling this only turns off the parts that cost extra
+    /// work on the hot path (clock reads, histogram records, journal
+    /// pushes). Output events are byte-identical either way.
+    pub metrics: bool,
+    /// Capacity (events) of the bounded control-plane journal ring; when
+    /// full, the oldest entries are overwritten and counted
+    /// ([`tilt_obs::JournalSnapshot::dropped`]). Ignored when
+    /// [`RuntimeConfig::metrics`] is off.
+    pub journal_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -276,6 +295,8 @@ impl Default for RuntimeConfig {
             max_pending_per_key: None,
             max_pending_per_shard: None,
             backstop: BackstopPolicy::DropNewest,
+            metrics: true,
+            journal_capacity: 1024,
         }
     }
 }
@@ -388,6 +409,13 @@ pub struct ServiceOutput {
     pub per_query: Vec<PerKeyOutput>,
     /// Final counter snapshot.
     pub stats: RuntimeStats,
+    /// Final metrics-registry snapshot (counters, gauges, histograms),
+    /// exportable via [`tilt_obs::MetricsSnapshot::to_prometheus`] /
+    /// [`tilt_obs::MetricsSnapshot::to_json`].
+    pub metrics: tilt_obs::MetricsSnapshot,
+    /// Final control-plane journal snapshot (empty when
+    /// [`RuntimeConfig::metrics`] is off).
+    pub journal: tilt_obs::JournalSnapshot<ControlEvent>,
 }
 
 /// Service-side registry of query slots (shard-side state lives in the
@@ -491,14 +519,14 @@ impl Core {
                 self.send_batch(s, batch);
             }
         }
-        self.stats.events_in.fetch_add(n, Ordering::Relaxed);
+        self.stats.events_in.add(n);
     }
 
     fn send(&self, event: KeyedEvent) {
         self.stats.note_event_end(event.event.end);
         let s = shard_index(event.key, self.shards);
         self.send_batch(s, vec![event]);
-        self.stats.events_in.fetch_add(1, Ordering::Relaxed);
+        self.stats.events_in.inc();
     }
 
     fn watermark(&self, source: usize, time: Time) {
@@ -514,8 +542,8 @@ impl Core {
     /// current and future-given-no-new-input watermark. Monotone
     /// non-decreasing across attaches.
     fn negotiate_frontier(&self) -> Time {
-        let seen = Time::new(self.stats.max_event_end.load(Ordering::Relaxed));
-        let promised = Time::new(self.stats.max_promise.load(Ordering::Relaxed));
+        let seen = Time::new(self.stats.max_event_end.get());
+        let promised = Time::new(self.stats.max_promise.get());
         self.config.start.max(seen).max(promised)
     }
 
@@ -544,7 +572,7 @@ impl Core {
     }
 
     fn send_batch(&self, shard: usize, batch: Vec<KeyedEvent>) {
-        self.stats.queue_depth[shard].fetch_add(batch.len() as i64, Ordering::Relaxed);
+        self.stats.queue_depth[shard].add(batch.len() as i64);
         // A send can only fail if the shard thread died; surface that on
         // join rather than panicking mid-ingest.
         let _ = self.senders[shard].send(ShardMsg::Batch(batch));
@@ -605,7 +633,11 @@ impl StreamServiceBuilder {
     /// source position, or a query group cannot be built.
     pub fn start(self) -> Result<StreamService, ServiceError> {
         let config = self.config;
-        let stats = Arc::new(SharedStats::new(config.shards.max(1)));
+        let stats = Arc::new(SharedStats::new(
+            config.shards.max(1),
+            config.metrics,
+            config.journal_capacity,
+        ));
         let sinks = Arc::new(SinkTable::new());
         let mut registry = Registry::default();
         // One cell per distinct (lateness, cadence) pair, preserving
@@ -754,7 +786,7 @@ impl StreamService {
             Some(live) if !*live => return Err(ServiceError::Detached(handle.id)),
             Some(live) => *live = false,
         }
-        self.core.stats.note_detach();
+        self.core.stats.note_detach(handle.id);
         self.core.sinks.set(handle.id, None);
         for tx in &self.core.senders {
             let _ = tx.send(ShardMsg::Detach { qid: handle.id });
@@ -820,6 +852,28 @@ impl StreamService {
         self.core.stats.snapshot()
     }
 
+    /// Snapshots the full metrics registry: every counter, gauge, and
+    /// histogram, with labels — the structured superset of
+    /// [`StreamService::stats`]. Export with
+    /// [`tilt_obs::MetricsSnapshot::to_prometheus`] or
+    /// [`tilt_obs::MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> tilt_obs::MetricsSnapshot {
+        self.core.stats.metrics()
+    }
+
+    /// The metrics registry in Prometheus text exposition format —
+    /// shorthand for `self.metrics().to_prometheus()`.
+    pub fn metrics_text(&self) -> String {
+        self.core.stats.metrics().to_prometheus()
+    }
+
+    /// Snapshots the control-plane event journal: attach/detach,
+    /// eviction, revival, quarantine, and backstop-drain transitions in
+    /// sequence order. Empty when [`RuntimeConfig::metrics`] is off.
+    pub fn journal(&self) -> tilt_obs::JournalSnapshot<ControlEvent> {
+        self.core.stats.journal_snapshot()
+    }
+
     /// Gracefully drains and shuts down: every buffered event is flushed,
     /// every session is run through the horizon of its shard's newest
     /// event, and per-query, per-key outputs are returned.
@@ -836,7 +890,9 @@ impl StreamService {
 
     fn shutdown(mut self, end: Option<Time>) -> ServiceOutput {
         let (per_query, stats) = self.core.shutdown(end);
-        ServiceOutput { per_query, stats }
+        let metrics = self.core.stats.metrics();
+        let journal = self.core.stats.journal_snapshot();
+        ServiceOutput { per_query, stats, metrics, journal }
     }
 }
 

@@ -39,7 +39,6 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,7 +46,7 @@ use std::time::Instant;
 use tilt_core::sharing::{QueryGroup, SharedGroupSession};
 use tilt_data::{BufPool, Event, Time, Value};
 
-use crate::stats::{SharedStats, SinkTable};
+use crate::stats::{ControlEvent, QueryCounters, SharedStats, SinkTable};
 use crate::{BackstopPolicy, KeyedEvent, RuntimeConfig};
 
 /// Messages flowing from the service handle to a shard worker.
@@ -142,8 +141,25 @@ impl ReorderBuf {
     /// minimum maturity over all consuming cells, so nothing a cell still
     /// needs is released. Returns `(released, untaken)`.
     pub(crate) fn release(&mut self, upto: Time) -> (usize, usize) {
+        self.release_with(upto, |_| {})
+    }
+
+    /// Like [`ReorderBuf::release`], calling `observe` on each released
+    /// event first (the residency-histogram hook; the observation pass
+    /// rides the drop scan the release pays anyway).
+    pub(crate) fn release_with(
+        &mut self,
+        upto: Time,
+        mut observe: impl FnMut(&Buffered),
+    ) -> (usize, usize) {
         let n = self.events.partition_point(|e| e.event.start < upto);
-        let untaken = self.events[..n].iter().filter(|e| !e.taken).count();
+        let mut untaken = 0;
+        for e in &self.events[..n] {
+            if !e.taken {
+                untaken += 1;
+            }
+            observe(e);
+        }
         self.events.drain(..n);
         (n, untaken)
     }
@@ -180,6 +196,12 @@ struct Cell {
     lookahead: i64,
     n_sources: usize,
     kernel_counts: (u64, u64),
+    /// Per member (parallel to `qids`): the cached attribution counters,
+    /// so emit/advance paths never touch the per-query table lock.
+    counters: Vec<QueryCounters>,
+    /// Kernel work charged to each member per advance, in millikernels
+    /// (`distinct × 1000 / members` — shared-kernel work splits evenly).
+    millis_per_member: u64,
     /// The last emission target this shard advanced the cell's keys to.
     emitted: Time,
     /// False once every member detached; dead cells hold no sessions.
@@ -187,7 +209,7 @@ struct Cell {
 }
 
 impl Cell {
-    fn new(spec: &CellSpec) -> Cell {
+    fn new(spec: &CellSpec, stats: &SharedStats) -> Cell {
         let mut cell = Cell {
             group: Arc::clone(&spec.group),
             qids: spec.qids.clone(),
@@ -198,20 +220,38 @@ impl Cell {
             lookahead: 0,
             n_sources: 0,
             kernel_counts: (0, 0),
+            counters: Vec::new(),
+            millis_per_member: 0,
             emitted: spec.root,
             alive: true,
         };
-        cell.refresh();
+        cell.refresh(stats);
         cell
     }
 
     /// Re-derives the cached plan facts after the group was edited.
-    fn refresh(&mut self) {
+    fn refresh(&mut self, stats: &SharedStats) {
         self.grid = self.group.grid();
         self.lookahead = self.group.max_input_lookahead();
         self.n_sources = self.group.n_sources();
         let distinct = self.group.distinct_kernels() as u64;
         self.kernel_counts = (distinct, self.group.kernel_instances() as u64 - distinct);
+        self.counters = stats.query_counters(&self.qids);
+        self.millis_per_member =
+            if self.qids.is_empty() { 0 } else { distinct * 1000 / self.qids.len() as u64 };
+    }
+
+    /// Accounts one advance/flush of this cell's kernels: the shard-wide
+    /// run/saved counters, plus (with detailed instrumentation) the
+    /// per-member millikernel attribution.
+    fn note_kernels(&self, stats: &SharedStats) {
+        stats.kernels_run.add(self.kernel_counts.0);
+        stats.kernels_saved.add(self.kernel_counts.1);
+        if stats.detailed {
+            for qc in &self.counters {
+                qc.kernel_millis.add(self.millis_per_member);
+            }
+        }
     }
 
     /// The cell's low-watermark: the min across its sources of
@@ -342,6 +382,12 @@ pub(crate) struct Shard {
     pool: BufPool<Value>,
     /// Scratch for batching drained events into `push_events` calls.
     scratch: Vec<Event<Value>>,
+    /// Thread-local buffer for the per-event ingest-lag samples; drained
+    /// into the shared registry once per emission cycle so the accept hot
+    /// path pays one array increment instead of three atomic RMWs.
+    ingest_lag_scratch: tilt_obs::LocalHistogram,
+    /// Same batching for per-event reorder-residency samples.
+    residency_scratch: tilt_obs::LocalHistogram,
 }
 
 impl Shard {
@@ -352,7 +398,7 @@ impl Shard {
         sinks: Arc<SinkTable>,
         stats: Arc<SharedStats>,
     ) -> Self {
-        let cells: Vec<Cell> = cells.iter().map(|spec| Cell::new(spec)).collect();
+        let cells: Vec<Cell> = cells.iter().map(|spec| Cell::new(spec, &stats)).collect();
         let n_sources = cells.iter().map(|c| c.n_sources).max().unwrap_or(0);
         let mut shard = Shard {
             id,
@@ -373,6 +419,8 @@ impl Shard {
             stats,
             pool: BufPool::new(),
             scratch: Vec::new(),
+            ingest_lag_scratch: tilt_obs::LocalHistogram::new(),
+            residency_scratch: tilt_obs::LocalHistogram::new(),
         };
         shard.refresh_ttl();
         shard
@@ -440,7 +488,7 @@ impl Shard {
     fn apply(&mut self, msg: ShardMsg, finish_at: &mut Option<Time>) {
         match msg {
             ShardMsg::Batch(events) => {
-                self.stats.queue_depth[self.id].fetch_sub(events.len() as i64, Ordering::Relaxed);
+                self.stats.queue_depth[self.id].sub(events.len() as i64);
                 for ev in events {
                     self.accept(ev);
                 }
@@ -459,7 +507,7 @@ impl Shard {
 
     /// Admits a new cell: later events at or after its root feed it.
     fn attach(&mut self, spec: &CellSpec) {
-        let cell = Cell::new(spec);
+        let cell = Cell::new(spec, &self.stats);
         if cell.n_sources > self.n_sources {
             self.n_sources = cell.n_sources;
             self.max_start.resize(self.n_sources, Time::MIN);
@@ -482,7 +530,7 @@ impl Shard {
             self.cells[ci].alive = false;
             for state in self.keys.values_mut() {
                 if state.cells.len() > ci && state.cells[ci].take().is_some() {
-                    self.stats.sessions_reclaimed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.sessions_reclaimed.inc();
                 }
                 if state.out.len() > qid && !state.out[qid].is_empty() {
                     state.out[qid] = Vec::new();
@@ -490,7 +538,7 @@ impl Shard {
             }
             for r in self.retired.values_mut() {
                 if r.frontiers.len() > ci && r.frontiers[ci].take().is_some() {
-                    self.stats.sessions_reclaimed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.sessions_reclaimed.inc();
                 }
                 if r.out.len() > qid && !r.out[qid].is_empty() {
                     r.out[qid] = Vec::new();
@@ -502,7 +550,8 @@ impl Shard {
             );
             self.cells[ci].qids.remove(mi);
             self.cells[ci].group = Arc::clone(&edited);
-            self.cells[ci].refresh();
+            let stats = Arc::clone(&self.stats);
+            self.cells[ci].refresh(&stats);
             for state in self.keys.values_mut() {
                 if let Some(Some(cs)) = state.cells.get_mut(ci).map(Option::as_mut) {
                     cs.session.migrate_group(Arc::clone(&edited));
@@ -540,11 +589,19 @@ impl Shard {
             // count it like any other event no cell can use; panicking
             // the shard over a data-plane input would take every other
             // key down with it.
-            self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+            self.stats.late_dropped.inc();
             return;
         }
         self.max_start[ev.source] = self.max_start[ev.source].max(ev.event.start);
         self.max_end = self.max_end.max(ev.event.end);
+        if self.stats.detailed {
+            // Event-time lag at ingest: how far this arrival trails the
+            // newest start seen on its source (0 = in order). `max_start`
+            // was just raised to at least this event's start, so the
+            // difference is never negative.
+            let lag = self.max_start[ev.source] - ev.event.start;
+            self.ingest_lag_scratch.record(lag as u64);
+        }
 
         // Retired keys: quarantined ones refuse all events; evicted ones
         // revive if the event is usable by at least one cell (arrivals
@@ -552,7 +609,7 @@ impl Shard {
         // could have absorbed them are gone).
         if let Some(r) = self.retired.get(&ev.key) {
             if r.quarantined {
-                self.stats.quarantine_dropped.fetch_add(1, Ordering::Relaxed);
+                self.stats.quarantine_dropped.inc();
                 return;
             }
             let revivable = self.cells.iter().enumerate().any(|(ci, c)| {
@@ -564,12 +621,13 @@ impl Shard {
                     }
             });
             if !revivable {
-                self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+                self.stats.late_dropped.inc();
                 return;
             }
             let r = self.retired.remove(&ev.key).expect("checked above");
-            self.stats.revivals.fetch_add(1, Ordering::Relaxed);
-            self.stats.live_keys.fetch_add(1, Ordering::Relaxed);
+            self.stats.revivals.inc();
+            self.stats.live_keys.add(1);
+            self.stats.note_control(ControlEvent::Revive { shard: self.id, key: ev.key });
             let mut cells: Vec<Option<CellSession>> = Vec::with_capacity(self.cells.len());
             let mut last_end = self.cfg.start;
             for (ci, c) in self.cells.iter().enumerate() {
@@ -598,8 +656,8 @@ impl Shard {
         let state = match self.keys.entry(ev.key) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
-                self.stats.keys.fetch_add(1, Ordering::Relaxed);
-                self.stats.live_keys.fetch_add(1, Ordering::Relaxed);
+                self.stats.keys.inc();
+                self.stats.live_keys.add(1);
                 e.insert(KeyState {
                     pending: (0..n_sources).map(|_| ReorderBuf::default()).collect(),
                     cells: (0..n_cells).map(|_| None).collect(),
@@ -623,27 +681,39 @@ impl Shard {
         // starts at or after its join root. Events behind every cell are
         // dropped and counted once, however many cells are registered.
         let mut admitted = false;
+        let detailed = self.stats.detailed;
         for (ci, c) in cells.iter().enumerate() {
             if !c.alive || ev.source >= c.n_sources {
                 continue;
             }
-            match &state.cells[ci] {
+            let cell_admits = match &state.cells[ci] {
                 Some(cs) => {
                     let frontier = cs.pushed_end[ev.source].max(cs.session.watermark());
-                    if ev.event.start >= frontier {
-                        admitted = true;
-                    }
+                    ev.event.start >= frontier
                 }
                 None => {
                     if ev.event.start >= c.root {
                         state.cells[ci] = Some(CellSession::open(c, c.root));
-                        admitted = true;
+                        true
+                    } else {
+                        false
                     }
+                }
+            };
+            if cell_admits {
+                admitted = true;
+            } else if detailed {
+                // Per-query late attribution: this cell's members each
+                // lost the event to their lateness bound, whether or not
+                // another cell still admits it. The service-wide
+                // `late_dropped` counts it only when nobody does.
+                for qc in &c.counters {
+                    qc.late.inc();
                 }
             }
         }
         if !admitted {
-            self.stats.late_dropped.fetch_add(1, Ordering::Relaxed);
+            self.stats.late_dropped.inc();
             return;
         }
         state.last_end = state.last_end.max(ev.event.end);
@@ -651,18 +721,19 @@ impl Shard {
         // Reorder-buffer backstop: bound what a stalled watermark can pin.
         let key_full =
             self.cfg.max_pending_per_key.is_some_and(|cap| state.pending[ev.source].len() >= cap);
-        let shard_full = self.cfg.max_pending_per_shard.is_some_and(|cap| {
-            self.stats.reorder_pending[self.id].load(Ordering::Relaxed) >= cap as i64
-        });
+        let shard_full = self
+            .cfg
+            .max_pending_per_shard
+            .is_some_and(|cap| self.stats.reorder_pending[self.id].get() >= cap as i64);
         if (key_full || shard_full) && self.cfg.backstop == BackstopPolicy::DropNewest {
-            self.stats.backstop_dropped.fetch_add(1, Ordering::Relaxed);
+            self.stats.backstop_dropped.inc();
             return;
         }
 
         state.pending[ev.source].insert(ev.event);
         let buffered = state.pending[ev.source].len();
-        self.stats.reorder_buffered.fetch_add(1, Ordering::Relaxed);
-        self.stats.reorder_pending[self.id].fetch_add(1, Ordering::Relaxed);
+        self.stats.reorder_buffered.inc();
+        self.stats.reorder_pending[self.id].add(1);
         if !state.queued {
             state.queued = true;
             self.active.push(ev.key);
@@ -705,7 +776,12 @@ impl Shard {
     fn maybe_advance(&mut self) {
         let plans = self.cell_plans();
         let shard_wm = plans.iter().filter(|p| p.alive).map(|p| p.wm).min().unwrap_or(Time::MIN);
-        self.stats.shard_watermark[self.id].store(shard_wm.ticks(), Ordering::Relaxed);
+        self.stats.shard_watermark[self.id].set(shard_wm.ticks());
+        // Publish the per-event samples batched since the last cycle (a
+        // no-op when nothing buffered): live snapshot readers see them at
+        // cycle granularity instead of paying atomics per event.
+        self.ingest_lag_scratch.flush_into(&self.stats.ingest_lag[self.id]);
+        self.residency_scratch.flush_into(&self.stats.reorder_residency[self.id]);
         if let Some(ttl) = self.cfg.wall_clock_ttl {
             if self.last_wall_sweep.elapsed() >= ttl / 2 {
                 self.wall_sweep();
@@ -714,6 +790,27 @@ impl Shard {
         if !plans.iter().any(|p| p.due) {
             return;
         }
+        let cycle_start = if self.stats.detailed {
+            // Per-cell watermark lag: ticks between the newest start the
+            // shard has seen and the emission point each advancing cell
+            // had finalized *before* this cycle — how stale finalization
+            // was at the moment it caught up. Measured against the
+            // previous target (not the fresh watermark, which is derived
+            // from the same `newest` and would be the lateness constant),
+            // it spreads with emission cadence and ingest burstiness.
+            let newest = self.max_start.iter().copied().max().unwrap_or(Time::MIN);
+            if newest > Time::MIN {
+                for (c, p) in self.cells.iter().zip(&plans) {
+                    if p.alive && p.due && c.emitted > Time::MIN {
+                        let lag = (newest - c.emitted).max(0);
+                        self.stats.watermark_lag_hist[self.id].record(lag as u64);
+                    }
+                }
+            }
+            Some(Instant::now())
+        } else {
+            None
+        };
         for (cell, plan) in self.cells.iter_mut().zip(&plans) {
             if plan.due {
                 cell.emitted = plan.target;
@@ -731,6 +828,7 @@ impl Shard {
             let cells = &self.cells;
             let pool = &mut self.pool;
             let scratch = &mut self.scratch;
+            let residency = &mut self.residency_scratch;
             let sinks = &self.sinks;
             let stats = &self.stats;
             let n_cells = cells.len();
@@ -741,7 +839,7 @@ impl Shard {
                 Self::sync_key(state, n_cells, n_sources);
                 let mut revisit = false;
                 let panicked = catch_unwind(AssertUnwindSafe(|| {
-                    Self::drain_and_release(id, state, cells, &plans, scratch, stats);
+                    Self::drain_and_release(id, state, cells, &plans, scratch, residency, stats);
                     let mut emitted_any = false;
                     for (ci, cell) in cells.iter().enumerate() {
                         let plan = &plans[ci];
@@ -752,8 +850,7 @@ impl Shard {
                         if (cs.dirty || eager) && plan.target > cs.session.watermark() {
                             let bufs = cs.session.advance_to_with(plan.wm, pool);
                             cs.dirty = false;
-                            stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
-                            stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                            cell.note_kernels(stats);
                             for (mi, buf) in bufs.into_iter().enumerate() {
                                 let emitted = buf.to_events();
                                 pool.put(buf);
@@ -787,6 +884,9 @@ impl Shard {
         for key in panicked_keys {
             self.quarantine(key);
         }
+        if let Some(start) = cycle_start {
+            self.stats.advance_ns[self.id].record(start.elapsed().as_nanos() as u64);
+        }
         self.sweep_idle();
     }
 
@@ -800,6 +900,7 @@ impl Shard {
         cells: &[Cell],
         plans: &[CellPlan],
         scratch: &mut Vec<Event<Value>>,
+        residency: &mut tilt_obs::LocalHistogram,
         stats: &SharedStats,
     ) {
         for (source, pending) in state.pending.iter_mut().enumerate() {
@@ -843,17 +944,33 @@ impl Shard {
                 })
                 .map(|(ci, _)| plans[ci].wm)
                 .min();
-            let (released, untaken) = pending.release(release_to.unwrap_or(Time::MAX));
+            let upto = release_to.unwrap_or(Time::MAX);
+            let (released, untaken) = if stats.detailed && upto < Time::MAX {
+                // Reorder-buffer residency: ticks each event waited past
+                // its start before the watermark released it. The final
+                // flush (upto == MAX) is excluded — its "residency" would
+                // measure the shutdown horizon, not buffering.
+                pending
+                    .release_with(upto, |b| residency.record((upto - b.event.start).max(0) as u64))
+            } else {
+                pending.release(upto)
+            };
             if released > 0 {
-                stats.reorder_pending[shard_id].fetch_sub(released as i64, Ordering::Relaxed);
+                stats.sub_reorder_pending(shard_id, released);
             }
-            // Untaken events were useful to nobody: count them as late —
-            // unless the key has no consuming cells left at all (every
-            // interested query detached), in which case the events were
-            // in bound and their drop is detach reclamation, not
+            // Conservation: every released event was either consumed by at
+            // least one cell (`taken`) or useful to nobody. Untaken events
+            // are late — unless the key has no consuming cells left at all
+            // (every interested query detached), in which case the events
+            // were in bound and their drop is detach reclamation, not
             // lateness.
-            if untaken > 0 && release_to.is_some() {
-                stats.late_dropped.fetch_add(untaken as u64, Ordering::Relaxed);
+            stats.events_consumed.add((released - untaken) as u64);
+            if untaken > 0 {
+                if release_to.is_some() {
+                    stats.late_dropped.add(untaken as u64);
+                } else {
+                    stats.detach_dropped.add(untaken as u64);
+                }
             }
         }
     }
@@ -933,11 +1050,12 @@ impl Shard {
         let cells = &self.cells;
         let pool = &mut self.pool;
         let scratch = &mut self.scratch;
+        let residency = &mut self.residency_scratch;
         let n_cells = cells.len();
         let n_sources = self.n_sources;
         let panicked = catch_unwind(AssertUnwindSafe(|| {
             Self::sync_key(&mut state, n_cells, n_sources);
-            Self::drain_and_release(id, &mut state, cells, final_plans, scratch, &stats);
+            Self::drain_and_release(id, &mut state, cells, final_plans, scratch, residency, &stats);
             for (ci, cell) in cells.iter().enumerate() {
                 if !cell.alive {
                     continue;
@@ -953,8 +1071,7 @@ impl Shard {
                 if tail > cs.session.watermark() {
                     let bufs = cs.session.flush_to_with(tail, pool);
                     cs.dirty = false;
-                    stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
-                    stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                    cell.note_kernels(&stats);
                     for (mi, buf) in bufs.into_iter().enumerate() {
                         let emitted = buf.to_events();
                         pool.put(buf);
@@ -964,18 +1081,37 @@ impl Shard {
             }
         }))
         .is_err();
-        self.stats.live_keys.fetch_sub(1, Ordering::Relaxed);
+        self.stats.live_keys.sub(1);
         if panicked {
-            self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+            self.note_flush_panic(key, &state);
             self.retired
                 .insert(key, Retired { frontiers: Vec::new(), out: state.out, quarantined: true });
             return;
         }
-        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-        self.stats.wall_evictions.fetch_add(1, Ordering::Relaxed);
+        self.stats.evictions.inc();
+        self.stats.wall_evictions.inc();
+        self.stats.note_control(ControlEvent::Evict { shard: self.id, key, wall: true });
         let frontiers =
             state.cells.iter().map(|cs| cs.as_ref().map(|cs| cs.session.watermark())).collect();
         self.retired.insert(key, Retired { frontiers, out: state.out, quarantined: false });
+    }
+
+    /// Accounts a key whose drain/flush panicked mid-eviction: it is
+    /// quarantined, and whatever its reorder buffers still hold is
+    /// discarded — subtracted from the pending gauge and counted as
+    /// quarantine drops so event conservation survives the panic.
+    fn note_flush_panic(&self, key: u64, state: &KeyState) {
+        let remaining: usize = state.pending.iter().map(ReorderBuf::len).sum();
+        if remaining > 0 {
+            self.stats.sub_reorder_pending(self.id, remaining);
+            self.stats.quarantine_dropped.add(remaining as u64);
+        }
+        self.stats.keys_quarantined.inc();
+        self.stats.note_control(ControlEvent::Quarantine {
+            shard: self.id,
+            key,
+            dropped: remaining as u64,
+        });
     }
 
     /// Evicts one idle key: advance each cell session through its current
@@ -996,8 +1132,7 @@ impl Shard {
                 let Some(cs) = state.cells.get_mut(ci).and_then(Option::as_mut) else { continue };
                 if plans[ci].target > cs.session.watermark() {
                     let bufs = cs.session.advance_to_with(plans[ci].wm, pool);
-                    stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
-                    stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                    cell.note_kernels(&stats);
                     for (mi, buf) in bufs.into_iter().enumerate() {
                         let emitted = buf.to_events();
                         pool.put(buf);
@@ -1007,14 +1142,15 @@ impl Shard {
             }
         }))
         .is_err();
-        self.stats.live_keys.fetch_sub(1, Ordering::Relaxed);
+        self.stats.live_keys.sub(1);
         if panicked {
-            self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+            self.note_flush_panic(key, &state);
             self.retired
                 .insert(key, Retired { frontiers: Vec::new(), out: state.out, quarantined: true });
             return;
         }
-        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        self.stats.evictions.inc();
+        self.stats.note_control(ControlEvent::Evict { shard: self.id, key, wall: false });
         let frontiers =
             state.cells.iter().map(|cs| cs.as_ref().map(|cs| cs.session.watermark())).collect();
         self.retired.insert(key, Retired { frontiers, out: state.out, quarantined: false });
@@ -1025,10 +1161,20 @@ impl Shard {
     /// kept for shutdown, and all further events for it are refused.
     fn quarantine(&mut self, key: u64) {
         let Some(state) = self.keys.remove(&key) else { return };
-        let pending: i64 = state.pending.iter().map(|p| p.len() as i64).sum();
-        self.stats.reorder_pending[self.id].fetch_sub(pending, Ordering::Relaxed);
-        self.stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
-        self.stats.live_keys.fetch_sub(1, Ordering::Relaxed);
+        let pending: usize = state.pending.iter().map(ReorderBuf::len).sum();
+        if pending > 0 {
+            self.stats.sub_reorder_pending(self.id, pending);
+            // The discarded buffer contents are quarantine drops, not
+            // lateness: conservation still partitions `events_in`.
+            self.stats.quarantine_dropped.add(pending as u64);
+        }
+        self.stats.keys_quarantined.inc();
+        self.stats.live_keys.sub(1);
+        self.stats.note_control(ControlEvent::Quarantine {
+            shard: self.id,
+            key,
+            dropped: pending as u64,
+        });
         self.retired
             .insert(key, Retired { frontiers: Vec::new(), out: state.out, quarantined: true });
     }
@@ -1051,8 +1197,13 @@ impl Shard {
         let scratch = &mut self.scratch;
         let panicked = catch_unwind(AssertUnwindSafe(|| {
             let mut drained = state.pending[source].drain_oldest(excess);
-            stats.reorder_pending[id].fetch_sub(drained.len() as i64, Ordering::Relaxed);
-            stats.backstop_forced.fetch_add(drained.len() as u64, Ordering::Relaxed);
+            stats.sub_reorder_pending(id, drained.len());
+            stats.backstop_forced.add(drained.len() as u64);
+            stats.note_control(ControlEvent::BackstopDrain {
+                shard: id,
+                key,
+                drained: drained.len() as u64,
+            });
             // The force-drain pushes ahead of the watermark by design, so
             // no per-cycle watermark plan is needed — liveness and arity
             // on the cell itself decide who receives the events. (This
@@ -1083,8 +1234,7 @@ impl Shard {
                 if upto > cs.session.watermark() {
                     let bufs = cs.session.advance_to_with(upto, pool);
                     cs.dirty = false;
-                    stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
-                    stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                    cell.note_kernels(&stats);
                     for (mi, buf) in bufs.into_iter().enumerate() {
                         let emitted = buf.to_events();
                         pool.put(buf);
@@ -1093,8 +1243,9 @@ impl Shard {
                 }
             }
             let untaken = drained.iter().filter(|b| !b.taken).count();
+            stats.events_consumed.add((drained.len() - untaken) as u64);
             if untaken > 0 {
-                stats.late_dropped.fetch_add(untaken as u64, Ordering::Relaxed);
+                stats.late_dropped.add(untaken as u64);
             }
         }))
         .is_err();
@@ -1109,7 +1260,7 @@ impl Shard {
     fn force_drain_shard(&mut self) {
         let Some(cap) = self.cfg.max_pending_per_shard else { return };
         let floor = (cap / 2).max(1) as i64;
-        while self.stats.reorder_pending[self.id].load(Ordering::Relaxed) > floor {
+        while self.stats.reorder_pending[self.id].get() > floor {
             let victim = self
                 .keys
                 .iter()
@@ -1155,13 +1306,15 @@ impl Shard {
     fn flush(mut self, finish_at: Option<Time>) -> ShardOutput {
         let grid = self.cells.iter().filter(|c| c.alive).map(|c| c.grid).max().unwrap_or(1);
         let horizon = finish_at.unwrap_or_else(|| self.max_end.max(self.cfg.start).align_up(grid));
-        self.stats.shard_watermark[self.id].store(horizon.ticks(), Ordering::Relaxed);
+        self.stats.shard_watermark[self.id].set(horizon.ticks());
+        let flush_start = self.stats.detailed.then(Instant::now);
         let id = self.id;
         let sinks = Arc::clone(&self.sinks);
         let stats = Arc::clone(&self.stats);
         let cells = std::mem::take(&mut self.cells);
         let pool = &mut self.pool;
         let scratch = &mut self.scratch;
+        let residency = &mut self.residency_scratch;
         let n_cells = cells.len();
         let n_sources = self.n_sources;
         // At the final horizon every cell is fully matured: one shared
@@ -1175,7 +1328,15 @@ impl Shard {
         for (key, mut state) in self.keys.drain() {
             Self::sync_key(&mut state, n_cells, n_sources);
             let panicked = catch_unwind(AssertUnwindSafe(|| {
-                Self::drain_and_release(id, &mut state, &cells, &final_plans, scratch, &stats);
+                Self::drain_and_release(
+                    id,
+                    &mut state,
+                    &cells,
+                    &final_plans,
+                    scratch,
+                    residency,
+                    &stats,
+                );
                 for (ci, cell) in cells.iter().enumerate() {
                     if !cell.alive {
                         continue;
@@ -1183,8 +1344,7 @@ impl Shard {
                     let Some(cs) = state.cells[ci].as_mut() else { continue };
                     if horizon > cs.session.watermark() {
                         let bufs = cs.session.flush_to_with(horizon, pool);
-                        stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
-                        stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                        cell.note_kernels(&stats);
                         for (mi, buf) in bufs.into_iter().enumerate() {
                             let emitted = buf.to_events();
                             pool.put(buf);
@@ -1202,7 +1362,17 @@ impl Shard {
             }))
             .is_err();
             if panicked {
-                stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+                let remaining: usize = state.pending.iter().map(ReorderBuf::len).sum();
+                if remaining > 0 {
+                    stats.sub_reorder_pending(id, remaining);
+                    stats.quarantine_dropped.add(remaining as u64);
+                }
+                stats.keys_quarantined.inc();
+                stats.note_control(ControlEvent::Quarantine {
+                    shard: id,
+                    key,
+                    dropped: remaining as u64,
+                });
             }
             per_key.push((key, state.out));
         }
@@ -1220,8 +1390,7 @@ impl Shard {
                     let mut session = cell.group.shared_session(frontier);
                     match catch_unwind(AssertUnwindSafe(|| session.flush_to_with(horizon, pool))) {
                         Ok(bufs) => {
-                            stats.kernels_run.fetch_add(cell.kernel_counts.0, Ordering::Relaxed);
-                            stats.kernels_saved.fetch_add(cell.kernel_counts.1, Ordering::Relaxed);
+                            cell.note_kernels(&stats);
                             for (mi, buf) in bufs.into_iter().enumerate() {
                                 let emitted = buf.to_events();
                                 pool.put(buf);
@@ -1236,7 +1405,12 @@ impl Shard {
                             }
                         }
                         Err(_) => {
-                            stats.keys_quarantined.fetch_add(1, Ordering::Relaxed);
+                            stats.keys_quarantined.inc();
+                            stats.note_control(ControlEvent::Quarantine {
+                                shard: id,
+                                key,
+                                dropped: 0,
+                            });
                         }
                     }
                 }
@@ -1244,6 +1418,13 @@ impl Shard {
             per_key.push((key, out));
         }
         per_key.sort_by_key(|(k, _)| *k);
+        // Last chance to publish batched per-event samples: the shard
+        // thread exits after this, and the final snapshot must see them.
+        self.ingest_lag_scratch.flush_into(&self.stats.ingest_lag[self.id]);
+        self.residency_scratch.flush_into(&self.stats.reorder_residency[self.id]);
+        if let Some(start) = flush_start {
+            self.stats.flush_ns[self.id].record(start.elapsed().as_nanos() as u64);
+        }
         ShardOutput { per_key }
     }
 }

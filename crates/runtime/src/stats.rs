@@ -1,179 +1,425 @@
 //! Runtime observability: lock-free counters updated by producers and
 //! shard workers, snapshotted on demand as [`RuntimeStats`].
 //!
+//! Since the `tilt-obs` rework, every scalar counter and gauge here is an
+//! instrument registered in a [`tilt_obs::Registry`], so the same numbers
+//! that drive [`RuntimeStats`] are exportable as Prometheus text
+//! exposition or JSON ([`crate::StreamService::metrics`]) without a second
+//! bookkeeping path. The registry hands out `Arc`'d atomics at
+//! registration; hot paths never touch the registry lock.
+//!
+//! Three layers of detail:
+//!
+//! * **Base counters** — always on (they are the seed-era service health
+//!   numbers: throughput, drops, keys, control-plane counts). One relaxed
+//!   atomic op each, same cost as before the rework.
+//! * **Detailed instrumentation** — gated by
+//!   [`crate::RuntimeConfig::metrics`]: per-shard histograms (ingest lag,
+//!   watermark lag, reorder residency, advance/flush wall time), per-query
+//!   late/kernel attribution, and the control-plane [`Journal`]. Disabled,
+//!   none of these paths read a clock or touch a histogram.
+//! * **Conservation counters** — `events_consumed` and `detach_dropped`
+//!   complete the event-accounting partition so that
+//!   [`RuntimeStats::conservation_balance`] can audit that every ingested
+//!   event is accounted for exactly once.
+//!
 //! Per-query tables (output counts, join frontiers, sinks) are growable
 //! behind `RwLock`s because the control plane can attach queries to a
 //! *running* service; the hot paths only ever take the read lock.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use tilt_data::Time;
+use tilt_obs::{Counter, Gauge, Histogram, Journal, JournalSnapshot, MetricsSnapshot};
 
 use crate::OutputSink;
 
-/// Shared atomic counters; one instance per service, updated by every
-/// producer and shard thread.
-#[derive(Debug)]
+/// One control-plane transition, as recorded in the service journal
+/// ([`crate::StreamService::journal`]).
+///
+/// The journal records *transitions* — state changes of the service's
+/// key/query population — not per-event outcomes: a `DropNewest` backstop
+/// refusal only moves a counter ([`RuntimeStats::backstop_dropped`]),
+/// while a force-drain *trigger* changes a key's effective frontier and is
+/// journaled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// A query joined: at service start (`live: false`) or via
+    /// [`crate::StreamService::attach`] (`live: true`).
+    Attach {
+        /// The query's slot ([`crate::QueryHandle::index`]).
+        query: usize,
+        /// The join frontier it was admitted at.
+        frontier: Time,
+        /// Whether this was a live attach to the running service.
+        live: bool,
+    },
+    /// A query was detached ([`crate::StreamService::detach`]).
+    Detach {
+        /// The query's slot.
+        query: usize,
+    },
+    /// An idle key's sessions were retired by a TTL policy.
+    Evict {
+        /// The shard that owned the key.
+        shard: usize,
+        /// The retired key.
+        key: u64,
+        /// `true` for the wall-clock TTL, `false` for event-time idleness.
+        wall: bool,
+    },
+    /// An evicted key was transparently re-created by a later arrival.
+    Revive {
+        /// The shard that owns the key.
+        shard: usize,
+        /// The revived key.
+        key: u64,
+    },
+    /// A key's kernel execution panicked; the key is quarantined and its
+    /// pending events were discarded.
+    Quarantine {
+        /// The shard that owned the key.
+        shard: usize,
+        /// The quarantined key.
+        key: u64,
+        /// Buffered events discarded at quarantine time (subsequent
+        /// arrivals are counted in [`RuntimeStats::quarantine_dropped`]
+        /// as they are refused).
+        dropped: u64,
+    },
+    /// The [`crate::BackstopPolicy::ForceDrain`] backstop fired: a cap was
+    /// hit and the key's oldest buffered events were drained into its
+    /// sessions ahead of the watermark.
+    BackstopDrain {
+        /// The shard that owns the key.
+        shard: usize,
+        /// The drained key.
+        key: u64,
+        /// Events force-drained by this trigger.
+        drained: u64,
+    },
+}
+
+impl std::fmt::Display for ControlEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlEvent::Attach { query, frontier, live } => {
+                let how = if *live { "live-attach" } else { "register" };
+                write!(f, "{how} query={query} frontier={}", frontier.ticks())
+            }
+            ControlEvent::Detach { query } => write!(f, "detach query={query}"),
+            ControlEvent::Evict { shard, key, wall } => {
+                let how = if *wall { "wall-evict" } else { "evict" };
+                write!(f, "{how} shard={shard} key={key}")
+            }
+            ControlEvent::Revive { shard, key } => write!(f, "revive shard={shard} key={key}"),
+            ControlEvent::Quarantine { shard, key, dropped } => {
+                write!(f, "quarantine shard={shard} key={key} dropped={dropped}")
+            }
+            ControlEvent::BackstopDrain { shard, key, drained } => {
+                write!(f, "backstop-drain shard={shard} key={key} drained={drained}")
+            }
+        }
+    }
+}
+
+/// The per-query attribution counters, cached by execution cells so the
+/// emit/advance hot paths touch plain `Arc`'d atomics instead of the
+/// per-query table lock.
+#[derive(Clone, Debug)]
+pub(crate) struct QueryCounters {
+    /// Output events emitted for this query.
+    pub(crate) emitted: Arc<Counter>,
+    /// Events this query lost to its lateness bound (admission refusals
+    /// and released-but-never-admitted stragglers, attributed per query —
+    /// the service-wide [`RuntimeStats::late_dropped`] counts an event
+    /// only when *no* query could use it).
+    pub(crate) late: Arc<Counter>,
+    /// Kernel work attributed to this query, in *millikernels*: each cell
+    /// advance that runs `d` distinct kernels for `m` member queries
+    /// charges each member `d·1000/m`, so shared-kernel work splits
+    /// evenly and the totals still sum to `kernels_run × 1000` per cell.
+    pub(crate) kernel_millis: Arc<Counter>,
+}
+
+/// Shared counters and instruments; one instance per service, updated by
+/// every producer and shard thread.
 pub(crate) struct SharedStats {
+    /// The metric registry every instrument below is registered in; the
+    /// source for [`crate::StreamService::metrics`].
+    pub(crate) registry: Arc<tilt_obs::Registry>,
     pub(crate) started: Instant,
-    pub(crate) events_in: AtomicU64,
-    pub(crate) events_out: AtomicU64,
-    /// Per registered query (by [`crate::QueryHandle`] index): output
-    /// events emitted for that query. Grows on live attach.
-    pub(crate) events_out_query: RwLock<Vec<AtomicU64>>,
+    /// Whether detailed instrumentation (histograms, per-query
+    /// attribution, kernel timing, the journal) is collected.
+    /// Base counters are always on.
+    pub(crate) detailed: bool,
+    journal: Journal<ControlEvent>,
+    pub(crate) events_in: Arc<Counter>,
+    pub(crate) events_out: Arc<Counter>,
+    /// Events released from reorder buffers into at least one query's
+    /// session (the "usefully processed" leg of the conservation
+    /// partition). An event consumed by several cells counts once.
+    pub(crate) events_consumed: Arc<Counter>,
+    /// Events released from reorder buffers after every cell that could
+    /// have consumed them was detached (the uncounted leak the obs rework
+    /// closed: they are neither consumed nor late).
+    pub(crate) detach_dropped: Arc<Counter>,
+    /// Per registered query (by [`crate::QueryHandle`] index):
+    /// attribution counters. Grows on live attach.
+    per_query: RwLock<Vec<QueryCounters>>,
     /// Per registered query: the join frontier it was admitted at
     /// (`config.start` for queries registered before the service started).
     pub(crate) query_frontier: RwLock<Vec<i64>>,
-    pub(crate) late_dropped: AtomicU64,
-    pub(crate) keys: AtomicU64,
+    pub(crate) late_dropped: Arc<Counter>,
+    pub(crate) keys: Arc<Counter>,
     /// Gauge: keys with a live session right now (created − evicted −
     /// quarantined + revived).
-    pub(crate) live_keys: AtomicI64,
+    pub(crate) live_keys: Arc<Gauge>,
     /// Idle sessions retired by the TTL policies (event-time and
     /// wall-clock).
-    pub(crate) evictions: AtomicU64,
+    pub(crate) evictions: Arc<Counter>,
     /// The subset of `evictions` triggered by the wall-clock TTL
     /// ([`crate::RuntimeConfig::wall_clock_ttl`]).
-    pub(crate) wall_evictions: AtomicU64,
+    pub(crate) wall_evictions: Arc<Counter>,
     /// Evicted keys transparently re-created by a later arrival.
-    pub(crate) revivals: AtomicU64,
+    pub(crate) revivals: Arc<Counter>,
     /// Events rejected by the reorder-buffer backstop (drop-and-count
-    /// policy, or arrivals behind a force-drained frontier are counted as
+    /// policy; arrivals behind a force-drained frontier are counted as
     /// `late_dropped` instead).
-    pub(crate) backstop_dropped: AtomicU64,
+    pub(crate) backstop_dropped: Arc<Counter>,
     /// Events force-drained into their session ahead of the watermark by
     /// the backstop.
-    pub(crate) backstop_forced: AtomicU64,
+    pub(crate) backstop_forced: Arc<Counter>,
     /// Keys whose kernel execution panicked and were quarantined.
-    pub(crate) keys_quarantined: AtomicU64,
-    /// Events dropped because their key is quarantined.
-    pub(crate) quarantine_dropped: AtomicU64,
+    pub(crate) keys_quarantined: Arc<Counter>,
+    /// Events dropped because their key is quarantined, plus buffered
+    /// events discarded at quarantine time.
+    pub(crate) quarantine_dropped: Arc<Counter>,
     /// Events accepted into a reorder buffer. Ingestion and reorder
     /// buffering are shared across registered queries, so this counts each
     /// event once — N independent services would count it N times.
-    pub(crate) reorder_buffered: AtomicU64,
+    pub(crate) reorder_buffered: Arc<Counter>,
     /// Kernel executions performed by session advances/flushes.
-    pub(crate) kernels_run: AtomicU64,
+    pub(crate) kernels_run: Arc<Counter>,
     /// Kernel executions *avoided* by structural prefix dedup (what the
     /// same advances would have cost without sharing, minus what they
     /// actually cost).
-    pub(crate) kernels_saved: AtomicU64,
+    pub(crate) kernels_saved: Arc<Counter>,
     /// Queries attached to the *running* service (registrations before
     /// `start` are not counted here).
-    pub(crate) attached: AtomicU64,
+    pub(crate) attached: Arc<Counter>,
     /// Queries detached from the running service.
-    pub(crate) detached: AtomicU64,
+    pub(crate) detached: Arc<Counter>,
     /// Gauge: queries currently being served.
-    pub(crate) queries_live: AtomicI64,
+    pub(crate) queries_live: Arc<Gauge>,
     /// Per-key execution sessions torn down by detach (the reclamation a
     /// detach buys back; tombstone output reclamation is counted here too,
     /// one per cleared tombstone slot).
-    pub(crate) sessions_reclaimed: AtomicU64,
-    pub(crate) max_event_end: AtomicI64,
+    pub(crate) sessions_reclaimed: Arc<Counter>,
+    /// `reorder_pending` decrements that would have pushed a shard's gauge
+    /// negative (clamped instead). Always 0 unless accounting is broken;
+    /// the guardrail asserts on it.
+    pub(crate) reorder_underflow: Arc<Counter>,
+    pub(crate) max_event_end: Arc<Gauge>,
     /// The largest explicit watermark promise made on any source (feeds
     /// attach-frontier negotiation).
-    pub(crate) max_promise: AtomicI64,
+    pub(crate) max_promise: Arc<Gauge>,
     /// Per shard: events currently queued (sent, not yet received).
-    pub(crate) queue_depth: Vec<AtomicI64>,
+    pub(crate) queue_depth: Vec<Arc<Gauge>>,
     /// Per shard: events currently held in reorder buffers (gauge; the
     /// backstop caps this).
-    pub(crate) reorder_pending: Vec<AtomicI64>,
+    pub(crate) reorder_pending: Vec<Arc<Gauge>>,
     /// Per shard: the low-watermark the shard last propagated (minimum
     /// over its live cells' watermarks).
-    pub(crate) shard_watermark: Vec<AtomicI64>,
+    pub(crate) shard_watermark: Vec<Arc<Gauge>>,
+    /// Per shard: how many ticks each accepted event trails the newest
+    /// event start seen on its source (0 = in order).
+    pub(crate) ingest_lag: Vec<Arc<Histogram>>,
+    /// Per shard: ticks between the newest event start the shard has seen
+    /// and each cell's previously finalized emission point, sampled as a
+    /// new cycle becomes due (finalization staleness at catch-up).
+    pub(crate) watermark_lag_hist: Vec<Arc<Histogram>>,
+    /// Per shard: ticks each event sat in a reorder buffer past its start
+    /// before release.
+    pub(crate) reorder_residency: Vec<Arc<Histogram>>,
+    /// Per shard: wall nanoseconds per watermark-advance cycle.
+    pub(crate) advance_ns: Vec<Arc<Histogram>>,
+    /// Per shard: wall nanoseconds per shutdown-flush drain.
+    pub(crate) flush_ns: Vec<Arc<Histogram>>,
+}
+
+impl std::fmt::Debug for SharedStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SharedStats(in={}, out={}, shards={}, detailed={})",
+            self.events_in.get(),
+            self.events_out.get(),
+            self.queue_depth.len(),
+            self.detailed,
+        )
+    }
 }
 
 impl SharedStats {
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, detailed: bool, journal_capacity: usize) -> Self {
+        let r = Arc::new(tilt_obs::Registry::new());
+        let per_shard_gauge = |name: &str| -> Vec<Arc<Gauge>> {
+            (0..shards).map(|i| r.gauge_with(name, &[("shard", &i.to_string())])).collect()
+        };
+        let per_shard_hist = |name: &str| -> Vec<Arc<Histogram>> {
+            (0..shards).map(|i| r.histogram_with(name, &[("shard", &i.to_string())])).collect()
+        };
+        let max_event_end = r.gauge("tilt_max_event_end_ticks");
+        max_event_end.set(Time::MIN.ticks());
+        let max_promise = r.gauge("tilt_max_promise_ticks");
+        max_promise.set(Time::MIN.ticks());
+        let shard_watermark = per_shard_gauge("tilt_shard_watermark_ticks");
+        for w in &shard_watermark {
+            w.set(Time::MIN.ticks());
+        }
         SharedStats {
             started: Instant::now(),
-            events_in: AtomicU64::new(0),
-            events_out: AtomicU64::new(0),
-            events_out_query: RwLock::new(Vec::new()),
+            detailed,
+            journal: Journal::new(journal_capacity),
+            events_in: r.counter("tilt_events_in_total"),
+            events_out: r.counter("tilt_events_out_total"),
+            events_consumed: r.counter("tilt_events_consumed_total"),
+            detach_dropped: r.counter("tilt_detach_dropped_total"),
+            per_query: RwLock::new(Vec::new()),
             query_frontier: RwLock::new(Vec::new()),
-            late_dropped: AtomicU64::new(0),
-            keys: AtomicU64::new(0),
-            live_keys: AtomicI64::new(0),
-            evictions: AtomicU64::new(0),
-            wall_evictions: AtomicU64::new(0),
-            revivals: AtomicU64::new(0),
-            backstop_dropped: AtomicU64::new(0),
-            backstop_forced: AtomicU64::new(0),
-            keys_quarantined: AtomicU64::new(0),
-            quarantine_dropped: AtomicU64::new(0),
-            reorder_buffered: AtomicU64::new(0),
-            kernels_run: AtomicU64::new(0),
-            kernels_saved: AtomicU64::new(0),
-            attached: AtomicU64::new(0),
-            detached: AtomicU64::new(0),
-            queries_live: AtomicI64::new(0),
-            sessions_reclaimed: AtomicU64::new(0),
-            max_event_end: AtomicI64::new(Time::MIN.ticks()),
-            max_promise: AtomicI64::new(Time::MIN.ticks()),
-            queue_depth: (0..shards).map(|_| AtomicI64::new(0)).collect(),
-            reorder_pending: (0..shards).map(|_| AtomicI64::new(0)).collect(),
-            shard_watermark: (0..shards).map(|_| AtomicI64::new(Time::MIN.ticks())).collect(),
+            late_dropped: r.counter("tilt_late_dropped_total"),
+            keys: r.counter("tilt_keys_total"),
+            live_keys: r.gauge("tilt_live_keys"),
+            evictions: r.counter("tilt_evictions_total"),
+            wall_evictions: r.counter("tilt_wall_evictions_total"),
+            revivals: r.counter("tilt_revivals_total"),
+            backstop_dropped: r.counter("tilt_backstop_dropped_total"),
+            backstop_forced: r.counter("tilt_backstop_forced_total"),
+            keys_quarantined: r.counter("tilt_keys_quarantined_total"),
+            quarantine_dropped: r.counter("tilt_quarantine_dropped_total"),
+            reorder_buffered: r.counter("tilt_reorder_buffered_total"),
+            kernels_run: r.counter("tilt_kernels_run_total"),
+            kernels_saved: r.counter("tilt_kernels_saved_total"),
+            attached: r.counter("tilt_attached_total"),
+            detached: r.counter("tilt_detached_total"),
+            queries_live: r.gauge("tilt_queries_live"),
+            sessions_reclaimed: r.counter("tilt_sessions_reclaimed_total"),
+            reorder_underflow: r.counter("tilt_reorder_underflow_total"),
+            max_event_end,
+            max_promise,
+            queue_depth: per_shard_gauge("tilt_queue_depth"),
+            reorder_pending: per_shard_gauge("tilt_reorder_pending"),
+            shard_watermark,
+            ingest_lag: per_shard_hist("tilt_ingest_lag_ticks"),
+            watermark_lag_hist: per_shard_hist("tilt_watermark_lag_ticks"),
+            reorder_residency: per_shard_hist("tilt_reorder_residency_ticks"),
+            advance_ns: per_shard_hist("tilt_advance_ns"),
+            flush_ns: per_shard_hist("tilt_flush_ns"),
+            registry: r,
         }
     }
 
-    /// Allocates the next query slot (output counter + frontier record) and
-    /// returns its index. Callers serialize registrations (the service's
-    /// registry lock), so slot indices agree with registry order.
+    /// Records a control-plane transition in the journal (a no-op when
+    /// detailed instrumentation is off).
+    pub(crate) fn note_control(&self, event: ControlEvent) {
+        if self.detailed {
+            self.journal.push(event);
+        }
+    }
+
+    /// Copies out the retained journal events.
+    pub(crate) fn journal_snapshot(&self) -> JournalSnapshot<ControlEvent> {
+        self.journal.snapshot()
+    }
+
+    /// Freezes every registered metric.
+    pub(crate) fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Allocates the next query slot (attribution counters + frontier
+    /// record) and returns its index. Callers serialize registrations (the
+    /// service's registry lock), so slot indices agree with registry order.
     pub(crate) fn register_query(&self, frontier: Time, live_attach: bool) -> usize {
-        let mut counters = self.events_out_query.write().expect("stats lock");
-        counters.push(AtomicU64::new(0));
-        let id = counters.len() - 1;
+        let mut counters = self.per_query.write().expect("stats lock");
+        let id = counters.len();
+        let q = id.to_string();
+        let labels: &[(&str, &str)] = &[("query", &q)];
+        counters.push(QueryCounters {
+            emitted: self.registry.counter_with("tilt_query_emitted_total", labels),
+            late: self.registry.counter_with("tilt_query_late_total", labels),
+            kernel_millis: self.registry.counter_with("tilt_query_kernel_millis_total", labels),
+        });
         drop(counters);
         self.query_frontier.write().expect("stats lock").push(frontier.ticks());
-        self.queries_live.fetch_add(1, Ordering::Relaxed);
+        self.queries_live.add(1);
         if live_attach {
-            self.attached.fetch_add(1, Ordering::Relaxed);
+            self.attached.inc();
         }
+        self.note_control(ControlEvent::Attach { query: id, frontier, live: live_attach });
         id
     }
 
-    pub(crate) fn note_detach(&self) {
-        self.detached.fetch_add(1, Ordering::Relaxed);
-        self.queries_live.fetch_sub(1, Ordering::Relaxed);
+    pub(crate) fn note_detach(&self, query: usize) {
+        self.detached.inc();
+        self.queries_live.sub(1);
+        self.note_control(ControlEvent::Detach { query });
+    }
+
+    /// The attribution counters for a set of query slots, for cells to
+    /// cache (missing slots are skipped — they cannot occur for live
+    /// cells).
+    pub(crate) fn query_counters(&self, qids: &[usize]) -> Vec<QueryCounters> {
+        let table = self.per_query.read().expect("stats lock");
+        qids.iter().filter_map(|&q| table.get(q).cloned()).collect()
     }
 
     pub(crate) fn add_events_out(&self, query: usize, n: u64) {
-        self.events_out.fetch_add(n, Ordering::Relaxed);
-        let counters = self.events_out_query.read().expect("stats lock");
+        self.events_out.add(n);
+        let counters = self.per_query.read().expect("stats lock");
         if let Some(c) = counters.get(query) {
-            c.fetch_add(n, Ordering::Relaxed);
+            c.emitted.add(n);
         }
     }
 
     pub(crate) fn note_event_end(&self, end: Time) {
-        self.max_event_end.fetch_max(end.ticks(), Ordering::Relaxed);
+        self.max_event_end.set_max(end.ticks());
     }
 
     pub(crate) fn note_promise(&self, time: Time) {
-        self.max_promise.fetch_max(time.ticks(), Ordering::Relaxed);
+        self.max_promise.set_max(time.ticks());
+    }
+
+    /// Decrements a shard's `reorder_pending` gauge, clamping at zero: a
+    /// deficit means the accounting double-subtracted (a bug), so it is
+    /// surfaced on the `reorder_underflow` counter (and trips debug
+    /// builds) instead of corrupting the gauge.
+    pub(crate) fn sub_reorder_pending(&self, shard: usize, n: usize) {
+        let deficit = self.reorder_pending[shard].sub_clamped(n as i64);
+        debug_assert_eq!(deficit, 0, "reorder_pending[{shard}] underflow by {deficit}");
+        self.reorder_underflow.add(deficit as u64);
     }
 
     pub(crate) fn snapshot(&self) -> RuntimeStats {
         let queue_depths: Vec<usize> =
-            self.queue_depth.iter().map(|d| d.load(Ordering::Relaxed).max(0) as usize).collect();
+            self.queue_depth.iter().map(|d| d.get().max(0) as usize).collect();
         let shard_watermarks: Vec<Time> =
-            self.shard_watermark.iter().map(|w| Time::new(w.load(Ordering::Relaxed))).collect();
+            self.shard_watermark.iter().map(|w| Time::new(w.get())).collect();
         let min_watermark = shard_watermarks.iter().copied().min().unwrap_or(Time::MIN);
-        let max_event_end = Time::new(self.max_event_end.load(Ordering::Relaxed));
+        let max_event_end = Time::new(self.max_event_end.get());
         let elapsed = self.started.elapsed();
-        let events_in = self.events_in.load(Ordering::Relaxed);
+        let events_in = self.events_in.get();
+        let per_query = self.per_query.read().expect("stats lock");
         RuntimeStats {
             events_in,
-            events_out: self.events_out.load(Ordering::Relaxed),
-            events_out_per_query: self
-                .events_out_query
-                .read()
-                .expect("stats lock")
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            events_out: self.events_out.get(),
+            events_consumed: self.events_consumed.get(),
+            detach_dropped: self.detach_dropped.get(),
+            events_out_per_query: per_query.iter().map(|c| c.emitted.get()).collect(),
+            late_per_query: per_query.iter().map(|c| c.late.get()).collect(),
+            kernel_millis_per_query: per_query.iter().map(|c| c.kernel_millis.get()).collect(),
             query_frontiers: self
                 .query_frontier
                 .read()
@@ -181,28 +427,25 @@ impl SharedStats {
                 .iter()
                 .map(|t| Time::new(*t))
                 .collect(),
-            late_dropped: self.late_dropped.load(Ordering::Relaxed),
-            keys: self.keys.load(Ordering::Relaxed),
-            live_keys: self.live_keys.load(Ordering::Relaxed).max(0) as u64,
-            evictions: self.evictions.load(Ordering::Relaxed),
-            wall_evictions: self.wall_evictions.load(Ordering::Relaxed),
-            revivals: self.revivals.load(Ordering::Relaxed),
-            backstop_dropped: self.backstop_dropped.load(Ordering::Relaxed),
-            backstop_forced: self.backstop_forced.load(Ordering::Relaxed),
-            keys_quarantined: self.keys_quarantined.load(Ordering::Relaxed),
-            quarantine_dropped: self.quarantine_dropped.load(Ordering::Relaxed),
-            reorder_pending: self
-                .reorder_pending
-                .iter()
-                .map(|d| d.load(Ordering::Relaxed).max(0) as usize)
-                .collect(),
-            reorder_buffered: self.reorder_buffered.load(Ordering::Relaxed),
-            kernels_run: self.kernels_run.load(Ordering::Relaxed),
-            kernels_saved: self.kernels_saved.load(Ordering::Relaxed),
-            attached: self.attached.load(Ordering::Relaxed),
-            detached: self.detached.load(Ordering::Relaxed),
-            queries_live: self.queries_live.load(Ordering::Relaxed).max(0) as u64,
-            sessions_reclaimed: self.sessions_reclaimed.load(Ordering::Relaxed),
+            late_dropped: self.late_dropped.get(),
+            keys: self.keys.get(),
+            live_keys: self.live_keys.get().max(0) as u64,
+            evictions: self.evictions.get(),
+            wall_evictions: self.wall_evictions.get(),
+            revivals: self.revivals.get(),
+            backstop_dropped: self.backstop_dropped.get(),
+            backstop_forced: self.backstop_forced.get(),
+            keys_quarantined: self.keys_quarantined.get(),
+            quarantine_dropped: self.quarantine_dropped.get(),
+            reorder_pending: self.reorder_pending.iter().map(|d| d.get().max(0) as usize).collect(),
+            reorder_buffered: self.reorder_buffered.get(),
+            reorder_underflow: self.reorder_underflow.get(),
+            kernels_run: self.kernels_run.get(),
+            kernels_saved: self.kernels_saved.get(),
+            attached: self.attached.get(),
+            detached: self.detached.get(),
+            queries_live: self.queries_live.get().max(0) as u64,
+            sessions_reclaimed: self.sessions_reclaimed.get(),
             queue_depths,
             shard_watermarks,
             min_watermark,
@@ -273,10 +516,28 @@ pub struct RuntimeStats {
     pub events_in: u64,
     /// Output events emitted across all keys and queries so far.
     pub events_out: u64,
+    /// Events released from reorder buffers into at least one query's
+    /// session. With `late_dropped`, the drop counters, and the pending
+    /// gauges this partitions `events_in` — see
+    /// [`RuntimeStats::conservation_balance`].
+    pub events_consumed: u64,
+    /// Events released from reorder buffers after every query that could
+    /// have consumed them detached (neither consumed nor late).
+    pub detach_dropped: u64,
     /// Output events emitted per registered query, indexed by
     /// [`crate::QueryHandle::index`]. Detached queries keep their final
     /// counts.
     pub events_out_per_query: Vec<u64>,
+    /// Per registered query: events that query lost to its own lateness
+    /// bound (admission refusals attributed per query; an event several
+    /// queries refuse is attributed to each). Collected only with
+    /// [`crate::RuntimeConfig::metrics`] on; zeros otherwise.
+    pub late_per_query: Vec<u64>,
+    /// Per registered query: kernel work attributed to it, in
+    /// *millikernels* (an advance running `d` distinct kernels for `m`
+    /// member queries charges each member `d·1000/m`). Collected only with
+    /// [`crate::RuntimeConfig::metrics`] on; zeros otherwise.
+    pub kernel_millis_per_query: Vec<u64>,
     /// Per registered query: the join frontier it was admitted at —
     /// `config.start` for queries registered before the service started,
     /// the negotiated attach frontier for live attaches. Monotone
@@ -315,7 +576,8 @@ pub struct RuntimeStats {
     /// subsequent events are dropped (`quarantine_dropped`) instead of
     /// taking the shard down.
     pub keys_quarantined: u64,
-    /// Events dropped because their key is quarantined.
+    /// Events dropped because their key is quarantined, plus buffered
+    /// events discarded at quarantine time.
     pub quarantine_dropped: u64,
     /// Events currently held in each shard's reorder buffers (gauge; the
     /// backstop caps on this are [`crate::RuntimeConfig::max_pending_per_key`]
@@ -326,6 +588,9 @@ pub struct RuntimeStats {
     /// queries are registered, whereas N independent services would buffer
     /// and sort every event N times.
     pub reorder_buffered: u64,
+    /// Reorder-pending decrements that had to be clamped at zero (always 0
+    /// unless accounting is broken; the bench guardrail asserts on it).
+    pub reorder_underflow: u64,
     /// Kernel executions performed by session advances.
     pub kernels_run: u64,
     /// Kernel executions avoided by the structural prefix dedup across
@@ -357,8 +622,34 @@ pub struct RuntimeStats {
     pub events_per_sec: f64,
 }
 
+impl RuntimeStats {
+    /// The event-conservation imbalance: `events_in` minus every account
+    /// an ingested event can end up in —
+    ///
+    /// `consumed + late_dropped + backstop_dropped + quarantine_dropped +
+    ///  detach_dropped + Σ reorder_pending + Σ queue_depths`
+    ///
+    /// Zero at any quiescent point (in particular on the final snapshot a
+    /// `finish` returns, where the pending and queue terms are zero). A
+    /// positive balance means events vanished unaccounted; negative means
+    /// something was double-counted. The bench guardrail asserts 0.
+    pub fn conservation_balance(&self) -> i64 {
+        let accounted = self.events_consumed
+            + self.late_dropped
+            + self.backstop_dropped
+            + self.quarantine_dropped
+            + self.detach_dropped
+            + self.reorder_pending.iter().sum::<usize>() as u64
+            + self.queue_depths.iter().sum::<usize>() as u64;
+        self.events_in as i64 - accounted as i64
+    }
+}
+
 impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if f.alternate() {
+            return self.fmt_multiline(f);
+        }
         write!(
             f,
             "in={} out={} late={} keys={} lag={} ticks, {:.0} ev/s, queues {:?}",
@@ -402,5 +693,57 @@ impl std::fmt::Display for RuntimeStats {
             )?;
         }
         Ok(())
+    }
+}
+
+impl RuntimeStats {
+    /// The `{:#}` pretty form: one labelled line per concern, for
+    /// human-facing reports (the examples print this).
+    fn fmt_multiline(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "throughput   {} in / {} out in {:.2?} ({:.0} ev/s)",
+            self.events_in, self.events_out, self.elapsed, self.events_per_sec
+        )?;
+        writeln!(
+            f,
+            "accounting   {} consumed, {} late, {} backstop, {} quarantine, {} detach (balance {})",
+            self.events_consumed,
+            self.late_dropped,
+            self.backstop_dropped,
+            self.quarantine_dropped,
+            self.detach_dropped,
+            self.conservation_balance(),
+        )?;
+        writeln!(
+            f,
+            "keys         {} seen, {} live, {} evicted ({} wall-clock), {} revived, {} quarantined",
+            self.keys,
+            self.live_keys,
+            self.evictions,
+            self.wall_evictions,
+            self.revivals,
+            self.keys_quarantined
+        )?;
+        writeln!(
+            f,
+            "queries      {} live ({} attached, {} detached, {} sessions reclaimed)",
+            self.queries_live, self.attached, self.detached, self.sessions_reclaimed
+        )?;
+        writeln!(f, "  out        {:?}", self.events_out_per_query)?;
+        if self.late_per_query.iter().any(|&n| n > 0) {
+            writeln!(f, "  late       {:?}", self.late_per_query)?;
+        }
+        if self.kernel_millis_per_query.iter().any(|&n| n > 0) {
+            writeln!(f, "  kernel(m)  {:?}", self.kernel_millis_per_query)?;
+        }
+        writeln!(f, "kernels      {} run, {} deduped", self.kernels_run, self.kernels_saved)?;
+        writeln!(
+            f,
+            "watermark    min {} (lag {} ticks)",
+            self.min_watermark.ticks(),
+            self.watermark_lag
+        )?;
+        write!(f, "shards       queues {:?}, pending {:?}", self.queue_depths, self.reorder_pending)
     }
 }

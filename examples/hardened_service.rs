@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     let out = runtime.finish_at(Time::new(base + users as i64 / 8 + window));
 
-    println!("\nfinal: {}", out.stats);
+    println!("\nfinal:\n{:#}", out.stats);
     println!(
         "sessions retired {} times, revived {} times; {} outputs streamed to the sink",
         out.stats.evictions,

@@ -127,6 +127,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         views,
         alerts.load(Ordering::Relaxed),
     );
-    println!("final stats: {}", out.stats);
+    println!("final stats:\n{:#}", out.stats);
     Ok(())
 }

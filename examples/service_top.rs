@@ -1,0 +1,139 @@
+//! `top` for a running [`StreamService`]: a self-terminating live view of
+//! the metrics registry and the control-plane journal.
+//!
+//! ```sh
+//! cargo run --release --example service_top
+//! ```
+//!
+//! An ingest thread feeds Zipf-skewed keyed traffic while the main thread
+//! repeatedly snapshots [`StreamService::metrics`] — throughput, live
+//! sessions, queue depths, ingest-lag and advance-time histograms — and a
+//! tenant attaches and detaches mid-run so the journal has transitions to
+//! show. The final frame prints the journal tail and a Prometheus
+//! exposition excerpt ([`StreamService::metrics_text`]).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+use tilt_core::Compiler;
+use tilt_obs::SampleValue;
+use tilt_runtime::{KeyedEvent, QuerySettings, RuntimeConfig, StreamService};
+use tilt_workloads::gen;
+
+fn rolling(window: i64) -> Arc<tilt_core::CompiledQuery> {
+    let mut b = Query::builder();
+    let input = b.input("activity", DataType::Float);
+    let out = b.temporal(
+        "rolling",
+        TDom::every_tick(),
+        Expr::reduce_window(ReduceOp::Sum, input, window),
+    );
+    Arc::new(Compiler::new().compile(&b.finish(out).unwrap()).unwrap())
+}
+
+/// One histogram's (p50, p95) across shards, or `-` when empty.
+fn lag(m: &tilt_obs::MetricsSnapshot, name: &str) -> String {
+    let mut merged: Option<tilt_obs::HistogramSnapshot> = None;
+    for s in m.samples.iter().filter(|s| s.name == name) {
+        if let SampleValue::Histogram(h) = &s.value {
+            match &mut merged {
+                None => merged = Some(h.clone()),
+                Some(acc) => {
+                    acc.sum += h.sum;
+                    acc.max = acc.max.max(h.max);
+                    for (a, b) in acc.buckets.iter_mut().zip(&h.buckets) {
+                        *a += b;
+                    }
+                }
+            }
+        }
+    }
+    match merged {
+        Some(h) if h.count() > 0 => format!("p50={} p95={} max={}", h.p50(), h.p95(), h.max),
+        _ => "-".into(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let users = 10_000usize;
+    let n_events = 400_000usize;
+
+    let mut builder = StreamService::builder(RuntimeConfig {
+        shards: 4,
+        allowed_lateness: 64,
+        emit_interval: 128,
+        key_ttl: Some(4_096), // cold-tail eviction feeds the journal
+        journal_capacity: 64,
+        ..RuntimeConfig::default()
+    });
+    builder.register(rolling(32));
+    let service = Arc::new(builder.start()?);
+
+    // Feed in chunks with a breather so several top frames see motion.
+    let feeder = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let traffic = gen::zipf_keyed_floats(n_events, users, 1.2, 7);
+            for part in traffic.chunks(n_events / 8) {
+                service.ingest(part.iter().map(|(k, e)| KeyedEvent::new(*k, 0, e.clone())));
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        })
+    };
+
+    let mut tenant = None;
+    for frame in 0..6 {
+        std::thread::sleep(Duration::from_millis(80));
+        // Control-plane churn mid-run so the journal has transitions.
+        if frame == 2 {
+            tenant = Some(service.attach(rolling(8), QuerySettings::default())?);
+        }
+        if frame == 4 {
+            service.detach(tenant.take().expect("attached at frame 2"))?;
+        }
+        let m = service.metrics();
+        println!(
+            "[{frame}] in={:>7} out={:>7} live_keys={:>5} evicted={:>4} queued={:>5} \
+             queries={} | ingest_lag {} | advance_ns {}",
+            m.counter_total("tilt_events_in_total"),
+            m.counter_total("tilt_events_out_total"),
+            m.gauge_total("tilt_live_keys"),
+            m.counter_total("tilt_evictions_total"),
+            m.gauge_total("tilt_queue_depth"),
+            m.gauge_total("tilt_queries_live"),
+            lag(&m, "tilt_ingest_lag_ticks"),
+            lag(&m, "tilt_advance_ns"),
+        );
+    }
+    feeder.join().expect("ingest thread");
+
+    let service = Arc::into_inner(service).expect("sole owner after join");
+    let out = service.finish_at(tilt_data::Time::new(n_events as i64 + 64));
+
+    println!(
+        "\ncontrol-plane journal ({} entries, {} dropped):",
+        out.journal.events.len(),
+        out.journal.dropped
+    );
+    for e in out.journal.events.iter().rev().take(8).rev() {
+        println!("  #{:<4} +{:>5}ms  {}", e.seq, e.at_ms, e.event);
+    }
+
+    let text = out.metrics.to_prometheus();
+    println!("\nprometheus exposition excerpt:");
+    for line in text
+        .lines()
+        .filter(|l| {
+            l.starts_with("tilt_events")
+                || l.contains("tilt_ingest_lag_ticks{shard=\"0\",le=\"+Inf\"")
+                || l.starts_with("tilt_query_emitted_total")
+        })
+        .take(10)
+    {
+        println!("  {line}");
+    }
+    println!("\n{:#}", out.stats);
+    assert_eq!(out.stats.conservation_balance(), 0, "every ingested event is accounted for");
+    Ok(())
+}
