@@ -25,10 +25,14 @@
 //! * `obs_overhead`: the full metrics layer and the kernel profiler each
 //!   cost < 5% throughput against their disabled twins (interleaved
 //!   best-of ratios ≥ 0.95);
-//! * `kernel_hot`: compiled-tier and interpreter outputs byte-identical on
-//!   every plan, fallback counters exactly zero (and `fully_typed`) for
-//!   the fully numeric plans, and visibly nonzero for the `Str` fallback
-//!   plan.
+//! * `kernel_hot`: per-tick, batched, and interpreter outputs
+//!   byte-identical on every plan; fallback counters exactly zero (and
+//!   `fully_typed`) for the fully numeric plans, visibly nonzero for the
+//!   `Str` fallback plan; every fully numeric kernel admitted to the
+//!   batched tier (and the `Str` plan kept off it); and the
+//!   map-once-per-element invariant — Subtract-on-Evict must re-use
+//!   cached mapped values, never re-run the fused map, so `map_run_rate`
+//!   (map executions / events) stays ≤ 1 up to warmup slack.
 //!
 //! ```sh
 //! cargo run --release --bin guardrail -- bench-artifacts/
@@ -189,18 +193,36 @@ fn check_file(file: &Path) -> Outcome {
         }
         "kernel_hot" => {
             // Throughput is machine-dependent; what must hold anywhere is
-            // that the tiers agree byte-for-byte and the fallback
-            // accounting is honest: zero for fully numeric plans, visible
-            // (with `fully_typed == false`) when a plan leans on the
-            // dynamic tier.
+            // that all three tiers agree byte-for-byte, the fallback
+            // accounting is honest (zero for fully numeric plans, visible
+            // with `fully_typed == false` when a plan leans on the
+            // dynamic tier), the batch gate admits exactly the numeric
+            // kernels, and fused maps run at most once per element.
             for plan in ["pointwise", "window_sum"] {
                 check.is_true(&format!("plans.{plan}.outputs_identical"));
+                check.is_true(&format!("plans.{plan}.batched_outputs_identical"));
                 check.eq_i64(&format!("plans.{plan}.fallback_ops"), 0);
                 check.is_true(&format!("plans.{plan}.fully_typed"));
+                // Every kernel of a fully numeric plan must clear the
+                // batch gate — a partial admit means the gate regressed.
+                check.fields_equal(
+                    &format!("plans.{plan}.batched_kernels"),
+                    &format!("plans.{plan}.kernels"),
+                );
             }
             check.is_true("plans.str_fallback.outputs_identical");
+            check.is_true("plans.str_fallback.batched_outputs_identical");
             check.gt_i64("plans.str_fallback.fallback_ops", 0);
             check.is_false("plans.str_fallback.fully_typed");
+            // String-carrying bodies must stay off the batched tier.
+            check.eq_i64("plans.str_fallback.batched_kernels", 0);
+            // Map-once-per-element (the Subtract-on-Evict fix): eviction
+            // re-uses cached mapped values, so the fused map runs at most
+            // once per ingested event. A re-mapping evictor would show
+            // rate ≈ 2. Slack covers window warmup edge effects only.
+            check.gt_i64("plans.window_sum.map_runs", 0);
+            check.le_f64("plans.window_sum.map_run_rate", 1.05);
+            check.le_f64("plans.str_fallback.map_run_rate", 1.05);
         }
         other => {
             check
@@ -303,6 +325,15 @@ impl Checker<'_> {
         if let (Some(x), Some(y)) = (self.num(a), self.num(b)) {
             if x >= y {
                 self.outcome.violations.push(format!("{a} = {x}, expected < {b} = {y}"));
+            }
+        }
+    }
+
+    fn le_f64(&mut self, path: &str, ceil: f64) {
+        self.outcome.checked += 1;
+        if let Some(x) = self.num(path) {
+            if x > ceil {
+                self.outcome.violations.push(format!("{path} = {x}, expected <= {ceil}"));
             }
         }
     }

@@ -1,28 +1,32 @@
-//! Per-kernel hot-loop throughput: interpreted vs typed-compiled tier.
+//! Per-kernel hot-loop throughput: interpreted vs per-tick typed vs
+//! batched typed tier.
 //!
-//! Three plans probe the two-tier execution model:
+//! Three plans probe the three-tier execution model:
 //!
 //! * `pointwise` — a fully fused numeric map/filter scoring chain (pure
-//!   per-tick scalar evaluation, where enum interpretation hurts most);
+//!   per-tick scalar evaluation, where enum interpretation hurts most and
+//!   batching amortizes the remaining dispatch);
 //! * `window_sum` — the map/filter/window-sum shape: the scoring chain
 //!   fused into a strided trailing window sum (4-tick panes, the YSB
 //!   shape) plus a dense per-event combine over the aggregate — typed
 //!   bytecode, typed window maps, and unboxed accumulators together;
 //! * `str_fallback` — a `Str`-driven filter, pinning that fallback
-//!   subtrees stay correct *and visible* in the fallback counters.
+//!   subtrees stay correct *and visible* in the fallback counters (and
+//!   are rejected by the batch gate).
 //!
 //! Tier measurements interleave round by round so shared-runner frequency
-//! drift cannot bias the ratio. Throughput is machine-dependent and only
-//! reported; the **machine-independent invariants** — compiled and
-//! interpreted outputs byte-identical, fallback counters zero for the
-//! fully numeric plans, nonzero (with `fully_typed == false`) for the
-//! `Str` plan — go into the `--json` report and are re-checked by the
-//! `guardrail` binary in CI.
+//! drift cannot bias the ratios. Throughput is machine-dependent and only
+//! reported; the **machine-independent invariants** — all three tiers
+//! byte-identical, fallback counters zero for the fully numeric plans,
+//! nonzero (with `fully_typed == false`) for the `Str` plan, and window
+//! maps executed at most once per accumulated element (`map_run_rate`) —
+//! go into the `--json` report and are re-checked by the `guardrail`
+//! binary in CI.
 
 use tilt_bench::json::Json;
 use tilt_bench::{best_throughput, fmt_meps, fmt_ratio, print_table, write_json_report, RunCfg};
 use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
-use tilt_core::{CompiledQuery, Compiler};
+use tilt_core::{CompiledQuery, Compiler, ExecTier};
 use tilt_data::{Event, SnapshotBuf, Time, TimeRange, Value};
 
 /// A fused numeric map/filter scoring chain (the normalization/clamping
@@ -212,11 +216,20 @@ fn str_events(n: usize) -> Vec<Event<Value>> {
 struct PlanResult {
     name: &'static str,
     kernels: usize,
+    batched_kernels: usize,
     interp_meps: f64,
     compiled_meps: f64,
+    batched_meps: f64,
+    /// Per-tick typed output == interpreted output, byte for byte.
     outputs_identical: bool,
+    /// Batched output == per-tick typed output, byte for byte.
+    batched_identical: bool,
     fallback_ops: u64,
     fully_typed: bool,
+    /// Fused window-map executions in one pass over `profiled_events`
+    /// events, on the batched tier. The map-once-per-element invariant
+    /// keeps `map_runs / events` at most ~1 regardless of window size.
+    map_runs: u64,
     /// Per-kernel profiles from one *timed* pass on a fresh compile (the
     /// throughput rounds above run untimed, so the bench numbers never
     /// carry clock-read overhead), plus that pass's event count.
@@ -225,15 +238,19 @@ struct PlanResult {
 }
 
 fn run_plan(name: &'static str, q: &Query, events: &[Event<Value>], runs: usize) -> PlanResult {
-    let compiled = Compiler::new().compile(q).expect("plan compiles (typed)");
+    let batched = Compiler::new().compile(q).expect("plan compiles (batched)");
+    let compiled =
+        Compiler::new().with_tier(ExecTier::Compiled).compile(q).expect("plan compiles (typed)");
     let interp = Compiler::interpreted().compile(q).expect("plan compiles (interp)");
     let hi = events.last().expect("non-empty dataset").end;
-    let range = TimeRange::new(Time::ZERO, (hi + 8).align_up(compiled.grid()));
+    let range = TimeRange::new(Time::ZERO, (hi + 8).align_up(batched.grid()));
     let input = SnapshotBuf::from_events(events, range);
 
+    let out_b = batched.run(&[&input], range);
     let out_c = compiled.run(&[&input], range);
     let out_i = interp.run(&[&input], range);
     let outputs_identical = out_c == out_i;
+    let batched_identical = out_b == out_c;
 
     // Interleave the tiers round by round so frequency drift on a shared
     // runner cannot systematically favor whichever tier ran later.
@@ -241,13 +258,15 @@ fn run_plan(name: &'static str, q: &Query, events: &[Event<Value>], runs: usize)
         |cq: &CompiledQuery| best_throughput(events.len(), 1, || cq.run(&[&input], range).len());
     let mut interp_meps = 0f64;
     let mut compiled_meps = 0f64;
+    let mut batched_meps = 0f64;
     for _ in 0..runs.max(1) {
         interp_meps = interp_meps.max(one(&interp));
         compiled_meps = compiled_meps.max(one(&compiled));
+        batched_meps = batched_meps.max(one(&batched));
     }
 
     // One profiled pass on a fresh compile: counters start at zero, so
-    // invocations/nanos/fallback_ops describe exactly this pass.
+    // invocations/nanos/fallback_ops/map_runs describe exactly this pass.
     let profiled = Compiler::new().compile(q).expect("plan compiles (profiled)");
     profiled.set_profiling(true);
     profiled.run(&[&input], range);
@@ -255,12 +274,16 @@ fn run_plan(name: &'static str, q: &Query, events: &[Event<Value>], runs: usize)
 
     PlanResult {
         name,
-        kernels: compiled.num_kernels(),
+        kernels: batched.num_kernels(),
+        batched_kernels: batched.batched_kernels(),
         interp_meps,
         compiled_meps,
+        batched_meps,
         outputs_identical,
-        fallback_ops: compiled.fallback_ops(),
-        fully_typed: compiled.fully_typed(),
+        batched_identical,
+        fallback_ops: compiled.fallback_ops() + batched.fallback_ops(),
+        fully_typed: batched.fully_typed(),
+        map_runs: profiled.map_runs(),
         profile,
         profiled_events: events.len(),
     }
@@ -282,28 +305,32 @@ fn main() {
         .map(|r| {
             vec![
                 r.name.to_string(),
-                r.kernels.to_string(),
+                format!("{}/{}", r.batched_kernels, r.kernels),
                 fmt_meps(r.interp_meps),
                 fmt_meps(r.compiled_meps),
+                fmt_meps(r.batched_meps),
                 fmt_ratio(r.compiled_meps / r.interp_meps),
-                r.outputs_identical.to_string(),
+                fmt_ratio(r.batched_meps / r.compiled_meps),
+                (r.outputs_identical && r.batched_identical).to_string(),
                 r.fallback_ops.to_string(),
                 r.fully_typed.to_string(),
             ]
         })
         .collect();
     print_table(
-        "kernel_hot — typed compiled tier vs Value interpreter (million events/sec)",
+        "kernel_hot — interpreter vs per-tick typed vs batched typed (million events/sec)",
         &format!(
-            "{} events/plan, single worker; outputs must be byte-identical across tiers",
+            "{} events/plan, single worker; outputs must be byte-identical across all tiers",
             cfg.events
         ),
         &[
             "plan",
-            "kernels",
+            "batched/kernels",
             "interp",
-            "compiled",
-            "speedup",
+            "per_tick",
+            "batched",
+            "typed_speedup",
+            "batch_speedup",
             "identical",
             "fallback_ops",
             "fully_typed",
@@ -319,12 +346,18 @@ fn main() {
                     r.name.to_string(),
                     Json::obj([
                         ("kernels", r.kernels.into()),
+                        ("batched_kernels", r.batched_kernels.into()),
                         ("interp_meps", r.interp_meps.into()),
                         ("compiled_meps", r.compiled_meps.into()),
+                        ("batched_meps", r.batched_meps.into()),
                         ("speedup", (r.compiled_meps / r.interp_meps).into()),
+                        ("batched_speedup", (r.batched_meps / r.compiled_meps).into()),
                         ("outputs_identical", r.outputs_identical.into()),
+                        ("batched_outputs_identical", r.batched_identical.into()),
                         ("fallback_ops", r.fallback_ops.into()),
                         ("fully_typed", r.fully_typed.into()),
+                        ("map_runs", r.map_runs.into()),
+                        ("map_run_rate", (r.map_runs as f64 / r.profiled_events as f64).into()),
                         (
                             "profile",
                             Json::Arr(
@@ -337,6 +370,7 @@ fn main() {
                                         Json::obj([
                                             ("kernel", k.name.as_str().into()),
                                             ("compiled", k.compiled.into()),
+                                            ("batched", k.batched.into()),
                                             ("fully_typed", k.fully_typed.into()),
                                             ("invocations", k.invocations.into()),
                                             ("nanos", k.nanos.into()),

@@ -1,0 +1,918 @@
+//! Batched (third-tier) kernel bodies: each bytecode op runs over a *run*
+//! of grid ticks at once.
+//!
+//! The per-tick typed tier already killed boxing, but it still pays one
+//! dispatch (one `match` on [`Instr`]) per instruction per tick. Dense
+//! stretches — sampled kernels, `every_tick` domains under steady input —
+//! execute the same short straight-line body thousands of times in a row,
+//! so the dispatch dominates. This module amortizes it: the kernel driver
+//! collects up to [`MAX_BATCH`] consecutive ticks whose stepping is dense,
+//! and [`BatchCtx::exec`] runs each instruction once over all lanes as a
+//! plain `f64`/`i64` slice loop the compiler auto-vectorizes.
+//!
+//! φ handling is where the batch shape pays twice: per-register lane masks
+//! are word-level [`NullMask`]s, so propagating φ through a binary op is a
+//! couple of `u64` ORs ([`NullMask::set_or`]) and the "any φ in this run?"
+//! test that guards the slow per-lane arms is one branch per 64 lanes
+//! ([`NullMask::none_null`]).
+//!
+//! Lane-wise semantics are *identical* to the scalar [`exec`] loop — same
+//! IEEE ops, same wrapping integer ops, same Kleene logic, same bitwise
+//! float equality — so batched output is byte-identical to the per-tick
+//! tier. Value slots of φ lanes may hold garbage (float ops compute on
+//! them unconditionally, exactly like the scalar tier's branch-free float
+//! arms); the mask makes that unobservable. Integer ops that can trap
+//! (`Div`/`Rem`/`Pow`, `NegI`/`AbsI` overflow) skip φ lanes so garbage
+//! never reaches an operation the scalar tier would not have executed.
+//!
+//! Not every typed body can batch: [`batchable`] admits only fully typed,
+//! branch-free, def-before-use straight-line bodies whose reduce slots
+//! take the unboxed accumulate path. Everything else transparently runs
+//! the per-tick tier — the gate is a static property of the plan, checked
+//! once at compile time.
+
+use tilt_data::NullMask;
+
+use super::compiled::{ArithOp, Class, CmpOp, Instr, Reg, TypedCtx, TypedProgram};
+
+/// Maximum lanes per batch. 256 keeps all columns of a typical body
+/// (tens of registers) inside L1 while amortizing dispatch ~256×.
+pub(crate) const MAX_BATCH: usize = 256;
+
+/// Whether the typed body can execute on the batched tier: fully typed
+/// (no `V` registers), straight-line (no jumps or branches), every
+/// register defined before use within a tick, every operand distinct from
+/// its instruction's destination, and every live reduce slot on the
+/// unboxed fold/result path described by `modes` (see
+/// [`super::reduce::typed_fold_class`]).
+pub(crate) fn batchable(tp: &TypedProgram, modes: &[Option<(Class, Class)>]) -> bool {
+    if !tp.is_fully_typed() {
+        return false;
+    }
+    for (i, reg) in tp.reduce_regs.iter().enumerate() {
+        let Some(reg) = reg else { continue };
+        let Some((fold, res)) = modes.get(i).copied().flatten() else {
+            return false;
+        };
+        if reg.class != res {
+            return false;
+        }
+        match tp.typed_maps.get(i).and_then(|m| m.as_ref()) {
+            Some(map) => {
+                if map.fold_class() != Some(fold) {
+                    return false;
+                }
+            }
+            None => {
+                if tp.reduce_elem.get(i).copied().flatten() != Some(fold) {
+                    return false;
+                }
+            }
+        }
+    }
+    body_ok(tp)
+}
+
+/// Registers proven initialized at the current body position.
+struct Init {
+    f: Vec<bool>,
+    i: Vec<bool>,
+    b: Vec<bool>,
+}
+
+impl Init {
+    fn slots(&mut self, c: Class) -> &mut Vec<bool> {
+        match c {
+            Class::F => &mut self.f,
+            Class::I => &mut self.i,
+            Class::B => &mut self.b,
+            Class::V => unreachable!("V registers rejected before def tracking"),
+        }
+    }
+
+    fn def(&mut self, c: Class, r: u16) {
+        self.slots(c)[r as usize] = true;
+    }
+
+    fn live(&mut self, c: Class, r: u16) -> bool {
+        self.slots(c)[r as usize]
+    }
+}
+
+/// Walks the body in order, proving it straight-line, whitelisted, and
+/// def-before-use with operands distinct from destinations.
+fn body_ok(tp: &TypedProgram) -> bool {
+    let mut init = Init {
+        f: vec![false; tp.n_f as usize],
+        i: vec![false; tp.n_i as usize],
+        b: vec![false; tp.n_b as usize],
+    };
+    // The prelude (constants, φ seeds) and the driver-filled point/reduce
+    // slots are the only registers live at body entry.
+    for ins in &tp.prelude {
+        match ins {
+            Instr::ConstF { dst, .. } => init.def(Class::F, *dst),
+            Instr::ConstI { dst, .. } => init.def(Class::I, *dst),
+            Instr::ConstB { dst, .. } => init.def(Class::B, *dst),
+            Instr::Null { dst } if dst.class != Class::V => init.def(dst.class, dst.idx),
+            _ => return false,
+        }
+    }
+    for r in tp.point_regs.iter().chain(&tp.reduce_regs).flatten() {
+        if r.class == Class::V {
+            return false;
+        }
+        init.def(r.class, r.idx);
+    }
+    for ins in &tp.instrs {
+        if !step(ins, &mut init) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Admits one instruction: reads must be initialized and distinct from the
+/// destination (batch columns update in place, so an aliased destination
+/// would clobber an operand mid-run).
+fn step(ins: &Instr, init: &mut Init) -> bool {
+    let mut chk = |reads: &[(Class, u16)], dst: (Class, u16)| -> bool {
+        let ok = reads.iter().all(|&(c, r)| init.live(c, r) && (c, r) != dst);
+        if ok {
+            init.def(dst.0, dst.1);
+        }
+        ok
+    };
+    use Class::{B, F, I};
+    match ins {
+        Instr::ConstF { dst, .. } => chk(&[], (F, *dst)),
+        Instr::ConstI { dst, .. } => chk(&[], (I, *dst)),
+        Instr::ConstB { dst, .. } => chk(&[], (B, *dst)),
+        Instr::Null { dst } => dst.class != Class::V && chk(&[], (dst.class, dst.idx)),
+        Instr::Time { dst } => chk(&[], (I, *dst)),
+        Instr::Mov { src, dst } => {
+            src.class == dst.class
+                && src.class != Class::V
+                && chk(&[(src.class, src.idx)], (dst.class, dst.idx))
+        }
+        Instr::ArithF { a, b, dst, .. } => chk(&[(F, *a), (F, *b)], (F, *dst)),
+        Instr::ArithI { a, b, dst, .. } => chk(&[(I, *a), (I, *b)], (I, *dst)),
+        Instr::ArithFC { a, dst, .. } => chk(&[(F, *a)], (F, *dst)),
+        Instr::ArithIC { a, dst, .. } => chk(&[(I, *a)], (I, *dst)),
+        Instr::MulAddF { x, y, z, dst } => chk(&[(F, *x), (F, *y), (F, *z)], (F, *dst)),
+        Instr::MulAddFC { x, y, dst, .. } => chk(&[(F, *x), (F, *y)], (F, *dst)),
+        Instr::CmpF { a, b, dst, .. } => chk(&[(F, *a), (F, *b)], (B, *dst)),
+        Instr::CmpI { a, b, dst, .. } => chk(&[(I, *a), (I, *b)], (B, *dst)),
+        Instr::CmpB { a, b, dst, .. } => chk(&[(B, *a), (B, *b)], (B, *dst)),
+        Instr::CmpFC { a, dst, .. } => chk(&[(F, *a)], (B, *dst)),
+        Instr::CmpIC { a, dst, .. } => chk(&[(I, *a)], (B, *dst)),
+        Instr::EqF { a, b, dst, .. } => chk(&[(F, *a), (F, *b)], (B, *dst)),
+        Instr::EqI { a, b, dst, .. } => chk(&[(I, *a), (I, *b)], (B, *dst)),
+        Instr::EqB { a, b, dst, .. } => chk(&[(B, *a), (B, *b)], (B, *dst)),
+        Instr::AndB { a, b, dst } | Instr::OrB { a, b, dst } => chk(&[(B, *a), (B, *b)], (B, *dst)),
+        Instr::NotB { a, dst } => chk(&[(B, *a)], (B, *dst)),
+        Instr::NegF { a, dst } | Instr::AbsF { a, dst } | Instr::SqrtF { a, dst } => {
+            chk(&[(F, *a)], (F, *dst))
+        }
+        Instr::NegI { a, dst } | Instr::AbsI { a, dst } => chk(&[(I, *a)], (I, *dst)),
+        Instr::I2F { a, dst } => chk(&[(I, *a)], (F, *dst)),
+        Instr::F2I { a, dst } => chk(&[(F, *a)], (I, *dst)),
+        Instr::IsNull { a, dst } => a.class != Class::V && chk(&[(a.class, a.idx)], (B, *dst)),
+        Instr::Select { cond, t, f, dst } => {
+            if dst.class == Class::V {
+                return false;
+            }
+            let mut reads = vec![(B, *cond)];
+            for src in [t, f].into_iter().flatten() {
+                if src.class != dst.class {
+                    return false;
+                }
+                reads.push((src.class, src.idx));
+            }
+            chk(&reads, (dst.class, dst.idx))
+        }
+        // Boxed traffic and control flow stay per-tick.
+        Instr::ConstV { .. }
+        | Instr::Box { .. }
+        | Instr::BinV { .. }
+        | Instr::UnV { .. }
+        | Instr::Field { .. }
+        | Instr::MakeTuple { .. }
+        | Instr::Jump { .. }
+        | Instr::Branch { .. }
+        | Instr::BranchV { .. } => false,
+    }
+}
+
+/// Columnar register files: one `cap`-lane column per scalar register,
+/// with a word-level [`NullMask`] per column. Lanes past the current
+/// batch length hold garbage; every consumer bounds itself by `k`.
+pub(crate) struct BatchCtx {
+    cap: usize,
+    f: Vec<f64>,
+    i: Vec<i64>,
+    b: Vec<bool>,
+    nf: Vec<NullMask>,
+    ni: Vec<NullMask>,
+    nb: Vec<NullMask>,
+    /// Staging mask for same-file mask writes (computed here, then swapped
+    /// into the destination so operand masks are never aliased mutably).
+    scratch: NullMask,
+}
+
+/// Splits `file` into the mutable destination column and the shared
+/// remainder (`head` = columns before `dst`, `tail` = columns after).
+#[inline]
+fn split_dst<T>(file: &mut [T], cap: usize, dst: u16) -> (&mut [T], &[T], &[T]) {
+    let (head, rest) = file.split_at_mut(dst as usize * cap);
+    let (dcol, tail) = rest.split_at_mut(cap);
+    (dcol, head, tail)
+}
+
+/// Resolves operand column `r` against a [`split_dst`] remainder.
+#[inline]
+fn pick<'t, T>(head: &'t [T], tail: &'t [T], cap: usize, dst: u16, r: u16) -> &'t [T] {
+    debug_assert_ne!(r, dst, "operand aliases destination: rejected by the batch gate");
+    if r < dst {
+        &head[r as usize * cap..][..cap]
+    } else {
+        &tail[(r - dst - 1) as usize * cap..][..cap]
+    }
+}
+
+/// `d[j] = f(a[j], b[j])` over pre-sliced lanes — the auto-vectorization
+/// target shape (no bounds checks, closure monomorphized per op).
+#[inline]
+fn lanes2<T: Copy, U, F: Fn(T, T) -> U>(d: &mut [U], a: &[T], b: &[T], f: F) {
+    for ((d, &x), &y) in d.iter_mut().zip(a).zip(b) {
+        *d = f(x, y);
+    }
+}
+
+/// `d[j] = f(a[j])` over pre-sliced lanes.
+#[inline]
+fn lanes1<T: Copy, U, F: Fn(T) -> U>(d: &mut [U], a: &[T], f: F) {
+    for (d, &x) in d.iter_mut().zip(a) {
+        *d = f(x);
+    }
+}
+
+/// Binary float arithmetic with the op `match` hoisted out of the lane
+/// loop so each arm vectorizes independently.
+fn arith_f_lanes(op: ArithOp, d: &mut [f64], a: &[f64], b: &[f64]) {
+    match op {
+        ArithOp::Add => lanes2(d, a, b, |x, y| x + y),
+        ArithOp::Sub => lanes2(d, a, b, |x, y| x - y),
+        ArithOp::Mul => lanes2(d, a, b, |x, y| x * y),
+        ArithOp::Div => lanes2(d, a, b, |x, y| x / y),
+        ArithOp::Rem => lanes2(d, a, b, |x, y| x % y),
+        ArithOp::Pow => lanes2(d, a, b, f64::powf),
+        ArithOp::Min => lanes2(d, a, b, f64::min),
+        ArithOp::Max => lanes2(d, a, b, f64::max),
+    }
+}
+
+/// Comparison lanes with the op hoisted (shared by the `F`, `I`, and `B`
+/// arms and their embedded-constant variants through slice reuse).
+fn cmp_lanes<T: Copy + PartialOrd>(op: CmpOp, d: &mut [bool], a: &[T], b: &[T]) {
+    match op {
+        CmpOp::Lt => lanes2(d, a, b, |x, y| x < y),
+        CmpOp::Le => lanes2(d, a, b, |x, y| x <= y),
+        CmpOp::Gt => lanes2(d, a, b, |x, y| x > y),
+        CmpOp::Ge => lanes2(d, a, b, |x, y| x >= y),
+    }
+}
+
+fn cmp_lanes_c<T: Copy + PartialOrd>(op: CmpOp, d: &mut [bool], a: &[T], c: T) {
+    match op {
+        CmpOp::Lt => lanes1(d, a, |x| x < c),
+        CmpOp::Le => lanes1(d, a, |x| x <= c),
+        CmpOp::Gt => lanes1(d, a, |x| x > c),
+        CmpOp::Ge => lanes1(d, a, |x| x >= c),
+    }
+}
+
+/// The three-way conditional move, lane-wise: φ condition → φ, else copy
+/// the selected branch's value and flag (`None` branch = φ), exactly like
+/// the scalar `Select` arm.
+fn select_lanes<T: Copy>(
+    k: usize,
+    cond: &[bool],
+    cmask: &NullMask,
+    t: Option<(&[T], &NullMask)>,
+    f: Option<(&[T], &NullMask)>,
+    d: &mut [T],
+    dmask: &mut NullMask,
+) {
+    for j in 0..k {
+        let src = if cmask.get(j) {
+            None
+        } else if cond[j] {
+            t
+        } else {
+            f
+        };
+        match src {
+            None => dmask.set(j, true),
+            Some((scol, smask)) => {
+                d[j] = scol[j];
+                dmask.set(j, smask.get(j));
+            }
+        }
+    }
+}
+
+impl BatchCtx {
+    /// Columns sized for `tp`, all lanes φ, capacity [`MAX_BATCH`].
+    pub(crate) fn new(tp: &TypedProgram) -> BatchCtx {
+        let cap = MAX_BATCH;
+        BatchCtx {
+            cap,
+            f: vec![0.0; tp.n_f as usize * cap],
+            i: vec![0; tp.n_i as usize * cap],
+            b: vec![false; tp.n_b as usize * cap],
+            nf: (0..tp.n_f).map(|_| NullMask::new(cap)).collect(),
+            ni: (0..tp.n_i).map(|_| NullMask::new(cap)).collect(),
+            nb: (0..tp.n_b).map(|_| NullMask::new(cap)).collect(),
+            scratch: NullMask::new(cap),
+        }
+    }
+
+    /// Replicates a prepared scalar register file (prelude already run)
+    /// across every lane: constants and φ seeds become whole columns.
+    /// Called once per drive; per-lane slots are overwritten each batch.
+    pub(crate) fn broadcast(&mut self, ctx: &TypedCtx, tp: &TypedProgram) {
+        for r in 0..tp.n_f {
+            let (x, n) = ctx.get_f(r);
+            self.f[r as usize * self.cap..][..self.cap].fill(x);
+            set_whole(&mut self.nf[r as usize], n);
+        }
+        for r in 0..tp.n_i {
+            let (x, n) = ctx.get_i(r);
+            self.i[r as usize * self.cap..][..self.cap].fill(x);
+            set_whole(&mut self.ni[r as usize], n);
+        }
+        for r in 0..tp.n_b {
+            let (x, n) = ctx.get_b(r);
+            self.b[r as usize * self.cap..][..self.cap].fill(x);
+            set_whole(&mut self.nb[r as usize], n);
+        }
+    }
+
+    /// Writes one lane of a driver-filled slot (point access or reduce
+    /// result), `None` = φ.
+    pub(crate) fn store_f_lane(&mut self, reg: Reg, lane: usize, v: Option<f64>) {
+        debug_assert_eq!(reg.class, Class::F);
+        match v {
+            Some(x) => {
+                self.f[reg.idx as usize * self.cap + lane] = x;
+                self.nf[reg.idx as usize].set(lane, false);
+            }
+            None => self.nf[reg.idx as usize].set(lane, true),
+        }
+    }
+
+    pub(crate) fn store_i_lane(&mut self, reg: Reg, lane: usize, v: Option<i64>) {
+        debug_assert_eq!(reg.class, Class::I);
+        match v {
+            Some(x) => {
+                self.i[reg.idx as usize * self.cap + lane] = x;
+                self.ni[reg.idx as usize].set(lane, false);
+            }
+            None => self.ni[reg.idx as usize].set(lane, true),
+        }
+    }
+
+    pub(crate) fn store_b_lane(&mut self, reg: Reg, lane: usize, v: Option<bool>) {
+        debug_assert_eq!(reg.class, Class::B);
+        match v {
+            Some(x) => {
+                self.b[reg.idx as usize * self.cap + lane] = x;
+                self.nb[reg.idx as usize].set(lane, false);
+            }
+            None => self.nb[reg.idx as usize].set(lane, true),
+        }
+    }
+
+    /// Reads one lane of a typed register as a boxed [`tilt_data::Value`]
+    /// (the root column, boxed once per visited tick at push time).
+    pub(crate) fn read_lane(&self, reg: Reg, lane: usize) -> tilt_data::Value {
+        use tilt_data::Value;
+        match reg.class {
+            Class::F if !self.nf[reg.idx as usize].get(lane) => {
+                Value::Float(self.f[reg.idx as usize * self.cap + lane])
+            }
+            Class::I if !self.ni[reg.idx as usize].get(lane) => {
+                Value::Int(self.i[reg.idx as usize * self.cap + lane])
+            }
+            Class::B if !self.nb[reg.idx as usize].get(lane) => {
+                Value::Bool(self.b[reg.idx as usize * self.cap + lane])
+            }
+            _ => Value::Null,
+        }
+    }
+
+    /// Executes a gated body over lanes `0..k`, where lane `j` is grid
+    /// tick `t0 + j·p`. Semantics match the scalar [`exec`] loop lane for
+    /// lane; see the module docs for the φ-lane garbage discipline.
+    pub(crate) fn exec(&mut self, instrs: &[Instr], t0: i64, p: i64, k: usize) {
+        let cap = self.cap;
+        debug_assert!(k <= cap);
+        for ins in instrs {
+            match ins {
+                Instr::ConstF { dst, v } => {
+                    self.f[*dst as usize * cap..][..k].fill(*v);
+                    self.nf[*dst as usize].set_range(0, k, false);
+                }
+                Instr::ConstI { dst, v } => {
+                    self.i[*dst as usize * cap..][..k].fill(*v);
+                    self.ni[*dst as usize].set_range(0, k, false);
+                }
+                Instr::ConstB { dst, v } => {
+                    self.b[*dst as usize * cap..][..k].fill(*v);
+                    self.nb[*dst as usize].set_range(0, k, false);
+                }
+                Instr::Null { dst } => match dst.class {
+                    Class::F => self.nf[dst.idx as usize].set_range(0, k, true),
+                    Class::I => self.ni[dst.idx as usize].set_range(0, k, true),
+                    Class::B => self.nb[dst.idx as usize].set_range(0, k, true),
+                    Class::V => unreachable!("V register in batched body"),
+                },
+                Instr::Time { dst } => {
+                    let dcol = &mut self.i[*dst as usize * cap..][..k];
+                    for (j, d) in dcol.iter_mut().enumerate() {
+                        *d = t0 + j as i64 * p;
+                    }
+                    self.ni[*dst as usize].set_range(0, k, false);
+                }
+                Instr::Mov { src, dst } => match (src.class, dst.class) {
+                    (Class::F, Class::F) => {
+                        let (d, h, t_) = split_dst(&mut self.f, cap, dst.idx);
+                        d[..k].copy_from_slice(&pick(h, t_, cap, dst.idx, src.idx)[..k]);
+                        self.scratch.copy_from(&self.nf[src.idx as usize], k);
+                        std::mem::swap(&mut self.nf[dst.idx as usize], &mut self.scratch);
+                    }
+                    (Class::I, Class::I) => {
+                        let (d, h, t_) = split_dst(&mut self.i, cap, dst.idx);
+                        d[..k].copy_from_slice(&pick(h, t_, cap, dst.idx, src.idx)[..k]);
+                        self.scratch.copy_from(&self.ni[src.idx as usize], k);
+                        std::mem::swap(&mut self.ni[dst.idx as usize], &mut self.scratch);
+                    }
+                    (Class::B, Class::B) => {
+                        let (d, h, t_) = split_dst(&mut self.b, cap, dst.idx);
+                        d[..k].copy_from_slice(&pick(h, t_, cap, dst.idx, src.idx)[..k]);
+                        self.scratch.copy_from(&self.nb[src.idx as usize], k);
+                        std::mem::swap(&mut self.nb[dst.idx as usize], &mut self.scratch);
+                    }
+                    _ => unreachable!("mixed-class Mov in batched body"),
+                },
+                Instr::ArithF { op, a, b, dst } => {
+                    // Branch-free like the scalar float arm: compute on
+                    // every lane (garbage included), φ rides the mask.
+                    let (d, h, t_) = split_dst(&mut self.f, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    let y = pick(h, t_, cap, *dst, *b);
+                    arith_f_lanes(*op, &mut d[..k], &x[..k], &y[..k]);
+                    self.scratch.set_or(&self.nf[*a as usize], &self.nf[*b as usize], k);
+                    std::mem::swap(&mut self.nf[*dst as usize], &mut self.scratch);
+                }
+                Instr::ArithFC { op, a, c, dst, rev } => {
+                    let (d, h, t_) = split_dst(&mut self.f, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    let (d, x, c) = (&mut d[..k], &x[..k], *c);
+                    match (op, rev) {
+                        (ArithOp::Add, _) => lanes1(d, x, |v| v + c),
+                        (ArithOp::Sub, false) => lanes1(d, x, |v| v - c),
+                        (ArithOp::Sub, true) => lanes1(d, x, |v| c - v),
+                        (ArithOp::Mul, _) => lanes1(d, x, |v| v * c),
+                        (ArithOp::Div, false) => lanes1(d, x, |v| v / c),
+                        (ArithOp::Div, true) => lanes1(d, x, |v| c / v),
+                        (ArithOp::Rem, false) => lanes1(d, x, |v| v % c),
+                        (ArithOp::Rem, true) => lanes1(d, x, |v| c % v),
+                        (ArithOp::Pow, false) => lanes1(d, x, |v| v.powf(c)),
+                        (ArithOp::Pow, true) => lanes1(d, x, |v| c.powf(v)),
+                        (ArithOp::Min, _) => lanes1(d, x, |v| v.min(c)),
+                        (ArithOp::Max, _) => lanes1(d, x, |v| v.max(c)),
+                    }
+                    self.scratch.copy_from(&self.nf[*a as usize], k);
+                    std::mem::swap(&mut self.nf[*dst as usize], &mut self.scratch);
+                }
+                Instr::MulAddF { x, y, z, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.f, cap, *dst);
+                    let (a, b, c) = (
+                        pick(h, t_, cap, *dst, *x),
+                        pick(h, t_, cap, *dst, *y),
+                        pick(h, t_, cap, *dst, *z),
+                    );
+                    // Separate multiply-then-add, not FMA — rounding must
+                    // match the scalar tier bit for bit.
+                    for j in 0..k {
+                        d[j] = a[j] * b[j] + c[j];
+                    }
+                    self.scratch.set_or(&self.nf[*x as usize], &self.nf[*y as usize], k);
+                    self.scratch.or_with(&self.nf[*z as usize], k);
+                    std::mem::swap(&mut self.nf[*dst as usize], &mut self.scratch);
+                }
+                Instr::MulAddFC { x, y, c, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.f, cap, *dst);
+                    let (a, b) = (pick(h, t_, cap, *dst, *x), pick(h, t_, cap, *dst, *y));
+                    let c = *c;
+                    for j in 0..k {
+                        d[j] = a[j] * b[j] + c;
+                    }
+                    self.scratch.set_or(&self.nf[*x as usize], &self.nf[*y as usize], k);
+                    std::mem::swap(&mut self.nf[*dst as usize], &mut self.scratch);
+                }
+                Instr::ArithI { op, a, b, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.i, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    let y = pick(h, t_, cap, *dst, *b);
+                    self.scratch.set_or(&self.ni[*a as usize], &self.ni[*b as usize], k);
+                    match op {
+                        // Wrapping ops cannot trap: compute on garbage
+                        // lanes branch-free, mask rides.
+                        ArithOp::Add => lanes2(&mut d[..k], &x[..k], &y[..k], i64::wrapping_add),
+                        ArithOp::Sub => lanes2(&mut d[..k], &x[..k], &y[..k], i64::wrapping_sub),
+                        ArithOp::Mul => lanes2(&mut d[..k], &x[..k], &y[..k], i64::wrapping_mul),
+                        ArithOp::Min => lanes2(&mut d[..k], &x[..k], &y[..k], i64::min),
+                        ArithOp::Max => lanes2(&mut d[..k], &x[..k], &y[..k], i64::max),
+                        // Trapping ops run only on lanes the scalar tier
+                        // would run them on (φ lanes hold garbage that
+                        // could divide by zero or overflow).
+                        ArithOp::Div | ArithOp::Rem | ArithOp::Pow => {
+                            for j in 0..k {
+                                if !self.scratch.get(j) {
+                                    match op.apply_i(x[j], y[j]) {
+                                        Some(r) => d[j] = r,
+                                        None => self.scratch.set(j, true),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut self.ni[*dst as usize], &mut self.scratch);
+                }
+                Instr::ArithIC { op, a, c, dst, rev } => {
+                    let (d, h, t_) = split_dst(&mut self.i, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    self.scratch.copy_from(&self.ni[*a as usize], k);
+                    let c = *c;
+                    match (op, rev) {
+                        (ArithOp::Add, _) => lanes1(&mut d[..k], &x[..k], |v| v.wrapping_add(c)),
+                        (ArithOp::Sub, false) => {
+                            lanes1(&mut d[..k], &x[..k], |v| v.wrapping_sub(c));
+                        }
+                        (ArithOp::Sub, true) => lanes1(&mut d[..k], &x[..k], |v| c.wrapping_sub(v)),
+                        (ArithOp::Mul, _) => lanes1(&mut d[..k], &x[..k], |v| v.wrapping_mul(c)),
+                        (ArithOp::Min, _) => lanes1(&mut d[..k], &x[..k], |v| v.min(c)),
+                        (ArithOp::Max, _) => lanes1(&mut d[..k], &x[..k], |v| v.max(c)),
+                        (ArithOp::Div | ArithOp::Rem | ArithOp::Pow, rev) => {
+                            for j in 0..k {
+                                if !self.scratch.get(j) {
+                                    let r = if *rev {
+                                        op.apply_i(c, x[j])
+                                    } else {
+                                        op.apply_i(x[j], c)
+                                    };
+                                    match r {
+                                        Some(r) => d[j] = r,
+                                        None => self.scratch.set(j, true),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut self.ni[*dst as usize], &mut self.scratch);
+                }
+                Instr::CmpF { op, a, b, dst } => {
+                    let d = &mut self.b[*dst as usize * cap..][..k];
+                    let x = &self.f[*a as usize * cap..][..k];
+                    let y = &self.f[*b as usize * cap..][..k];
+                    cmp_lanes(*op, d, x, y);
+                    self.nb[*dst as usize].set_or(&self.nf[*a as usize], &self.nf[*b as usize], k);
+                }
+                Instr::CmpI { op, a, b, dst } => {
+                    let d = &mut self.b[*dst as usize * cap..][..k];
+                    let x = &self.i[*a as usize * cap..][..k];
+                    let y = &self.i[*b as usize * cap..][..k];
+                    cmp_lanes(*op, d, x, y);
+                    self.nb[*dst as usize].set_or(&self.ni[*a as usize], &self.ni[*b as usize], k);
+                }
+                Instr::CmpB { op, a, b, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.b, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    let y = pick(h, t_, cap, *dst, *b);
+                    cmp_lanes(*op, &mut d[..k], &x[..k], &y[..k]);
+                    self.scratch.set_or(&self.nb[*a as usize], &self.nb[*b as usize], k);
+                    std::mem::swap(&mut self.nb[*dst as usize], &mut self.scratch);
+                }
+                Instr::CmpFC { op, a, c, dst } => {
+                    let d = &mut self.b[*dst as usize * cap..][..k];
+                    let x = &self.f[*a as usize * cap..][..k];
+                    cmp_lanes_c(*op, d, x, *c);
+                    self.nb[*dst as usize].copy_from(&self.nf[*a as usize], k);
+                }
+                Instr::CmpIC { op, a, c, dst } => {
+                    let d = &mut self.b[*dst as usize * cap..][..k];
+                    let x = &self.i[*a as usize * cap..][..k];
+                    cmp_lanes_c(*op, d, x, *c);
+                    self.nb[*dst as usize].copy_from(&self.ni[*a as usize], k);
+                }
+                Instr::EqF { neg, a, b, dst } => {
+                    let d = &mut self.b[*dst as usize * cap..][..k];
+                    let x = &self.f[*a as usize * cap..][..k];
+                    let y = &self.f[*b as usize * cap..][..k];
+                    let neg = *neg;
+                    // Bitwise equality, like the scalar EqF / Value::same.
+                    lanes2(d, x, y, |p: f64, q: f64| (p.to_bits() == q.to_bits()) != neg);
+                    self.nb[*dst as usize].set_or(&self.nf[*a as usize], &self.nf[*b as usize], k);
+                }
+                Instr::EqI { neg, a, b, dst } => {
+                    let d = &mut self.b[*dst as usize * cap..][..k];
+                    let x = &self.i[*a as usize * cap..][..k];
+                    let y = &self.i[*b as usize * cap..][..k];
+                    let neg = *neg;
+                    lanes2(d, x, y, |p: i64, q: i64| (p == q) != neg);
+                    self.nb[*dst as usize].set_or(&self.ni[*a as usize], &self.ni[*b as usize], k);
+                }
+                Instr::EqB { neg, a, b, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.b, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    let y = pick(h, t_, cap, *dst, *b);
+                    let neg = *neg;
+                    lanes2(&mut d[..k], &x[..k], &y[..k], |p: bool, q: bool| (p == q) != neg);
+                    self.scratch.set_or(&self.nb[*a as usize], &self.nb[*b as usize], k);
+                    std::mem::swap(&mut self.nb[*dst as usize], &mut self.scratch);
+                }
+                Instr::AndB { a, b, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.b, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    let y = pick(h, t_, cap, *dst, *b);
+                    let (ma, mb) = (&self.nb[*a as usize], &self.nb[*b as usize]);
+                    if ma.none_null(k) && mb.none_null(k) {
+                        // One branch per 64 lanes bought the branch-free arm.
+                        lanes2(&mut d[..k], &x[..k], &y[..k], |p, q| p && q);
+                        self.scratch.set_range(0, k, false);
+                    } else {
+                        for j in 0..k {
+                            let (xn, yn) = (ma.get(j), mb.get(j));
+                            // Kleene: false ∧ φ = false.
+                            if (!xn && !x[j]) || (!yn && !y[j]) {
+                                d[j] = false;
+                                self.scratch.set(j, false);
+                            } else if !xn && !yn {
+                                d[j] = true;
+                                self.scratch.set(j, false);
+                            } else {
+                                self.scratch.set(j, true);
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut self.nb[*dst as usize], &mut self.scratch);
+                }
+                Instr::OrB { a, b, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.b, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    let y = pick(h, t_, cap, *dst, *b);
+                    let (ma, mb) = (&self.nb[*a as usize], &self.nb[*b as usize]);
+                    if ma.none_null(k) && mb.none_null(k) {
+                        lanes2(&mut d[..k], &x[..k], &y[..k], |p, q| p || q);
+                        self.scratch.set_range(0, k, false);
+                    } else {
+                        for j in 0..k {
+                            let (xn, yn) = (ma.get(j), mb.get(j));
+                            // Kleene: true ∨ φ = true.
+                            if (!xn && x[j]) || (!yn && y[j]) {
+                                d[j] = true;
+                                self.scratch.set(j, false);
+                            } else if !xn && !yn {
+                                d[j] = false;
+                                self.scratch.set(j, false);
+                            } else {
+                                self.scratch.set(j, true);
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut self.nb[*dst as usize], &mut self.scratch);
+                }
+                Instr::NotB { a, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.b, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    lanes1(&mut d[..k], &x[..k], |p: bool| !p);
+                    self.scratch.copy_from(&self.nb[*a as usize], k);
+                    std::mem::swap(&mut self.nb[*dst as usize], &mut self.scratch);
+                }
+                Instr::NegF { a, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.f, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    lanes1(&mut d[..k], &x[..k], |v: f64| -v);
+                    self.scratch.copy_from(&self.nf[*a as usize], k);
+                    std::mem::swap(&mut self.nf[*dst as usize], &mut self.scratch);
+                }
+                Instr::AbsF { a, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.f, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    lanes1(&mut d[..k], &x[..k], f64::abs);
+                    self.scratch.copy_from(&self.nf[*a as usize], k);
+                    std::mem::swap(&mut self.nf[*dst as usize], &mut self.scratch);
+                }
+                Instr::SqrtF { a, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.f, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    lanes1(&mut d[..k], &x[..k], f64::sqrt);
+                    self.scratch.copy_from(&self.nf[*a as usize], k);
+                    std::mem::swap(&mut self.nf[*dst as usize], &mut self.scratch);
+                }
+                Instr::NegI { a, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.i, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    self.scratch.copy_from(&self.ni[*a as usize], k);
+                    // `-i64::MIN` traps in debug: φ-lane garbage must not
+                    // reach it, so negate only live lanes.
+                    if self.scratch.none_null(k) {
+                        lanes1(&mut d[..k], &x[..k], |v: i64| -v);
+                    } else {
+                        for j in 0..k {
+                            if !self.scratch.get(j) {
+                                d[j] = -x[j];
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut self.ni[*dst as usize], &mut self.scratch);
+                }
+                Instr::AbsI { a, dst } => {
+                    let (d, h, t_) = split_dst(&mut self.i, cap, *dst);
+                    let x = pick(h, t_, cap, *dst, *a);
+                    self.scratch.copy_from(&self.ni[*a as usize], k);
+                    if self.scratch.none_null(k) {
+                        lanes1(&mut d[..k], &x[..k], i64::abs);
+                    } else {
+                        for j in 0..k {
+                            if !self.scratch.get(j) {
+                                d[j] = x[j].abs();
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut self.ni[*dst as usize], &mut self.scratch);
+                }
+                Instr::I2F { a, dst } => {
+                    let d = &mut self.f[*dst as usize * cap..][..k];
+                    let x = &self.i[*a as usize * cap..][..k];
+                    lanes1(d, x, |v: i64| v as f64);
+                    self.nf[*dst as usize].copy_from(&self.ni[*a as usize], k);
+                }
+                Instr::F2I { a, dst } => {
+                    let d = &mut self.i[*dst as usize * cap..][..k];
+                    let x = &self.f[*a as usize * cap..][..k];
+                    // Saturating cast: safe on φ-lane garbage, mask rides.
+                    lanes1(d, x, |v: f64| v as i64);
+                    self.ni[*dst as usize].copy_from(&self.nf[*a as usize], k);
+                }
+                Instr::IsNull { a, dst } => {
+                    let mask = match a.class {
+                        Class::F => &self.nf[a.idx as usize],
+                        Class::I => &self.ni[a.idx as usize],
+                        Class::B => &self.nb[a.idx as usize],
+                        Class::V => unreachable!("V register in batched body"),
+                    };
+                    let d = &mut self.b[*dst as usize * cap..][..k];
+                    if mask.none_null(k) {
+                        d.fill(false);
+                    } else if mask.all_null(k) {
+                        d.fill(true);
+                    } else {
+                        for (j, d) in d.iter_mut().enumerate() {
+                            *d = mask.get(j);
+                        }
+                    }
+                    self.nb[*dst as usize].set_range(0, k, false);
+                }
+                Instr::Select { cond, t, f, dst } => {
+                    let ccol = &self.b[*cond as usize * cap..];
+                    let cmask = &self.nb[*cond as usize];
+                    match dst.class {
+                        Class::F => {
+                            let (d, h, t_) = split_dst(&mut self.f, cap, dst.idx);
+                            let src = |r: Option<Reg>| {
+                                r.map(|r| {
+                                    (pick(h, t_, cap, dst.idx, r.idx), &self.nf[r.idx as usize])
+                                })
+                            };
+                            select_lanes(k, ccol, cmask, src(*t), src(*f), d, &mut self.scratch);
+                            std::mem::swap(&mut self.nf[dst.idx as usize], &mut self.scratch);
+                        }
+                        Class::I => {
+                            let (d, h, t_) = split_dst(&mut self.i, cap, dst.idx);
+                            let src = |r: Option<Reg>| {
+                                r.map(|r| {
+                                    (pick(h, t_, cap, dst.idx, r.idx), &self.ni[r.idx as usize])
+                                })
+                            };
+                            select_lanes(k, ccol, cmask, src(*t), src(*f), d, &mut self.scratch);
+                            std::mem::swap(&mut self.ni[dst.idx as usize], &mut self.scratch);
+                        }
+                        Class::B => {
+                            let (d, h, t_) = split_dst(&mut self.b, cap, dst.idx);
+                            let src = |r: Option<Reg>| {
+                                r.map(|r| {
+                                    (pick(h, t_, cap, dst.idx, r.idx), &self.nb[r.idx as usize])
+                                })
+                            };
+                            // `cond` lives in the same file as the `B`
+                            // destination; the gate proved them distinct.
+                            let ccol = pick(h, t_, cap, dst.idx, *cond);
+                            select_lanes(k, ccol, cmask, src(*t), src(*f), d, &mut self.scratch);
+                            std::mem::swap(&mut self.nb[dst.idx as usize], &mut self.scratch);
+                        }
+                        Class::V => unreachable!("V register in batched body"),
+                    }
+                }
+                Instr::ConstV { .. }
+                | Instr::Box { .. }
+                | Instr::BinV { .. }
+                | Instr::UnV { .. }
+                | Instr::Field { .. }
+                | Instr::MakeTuple { .. }
+                | Instr::Jump { .. }
+                | Instr::Branch { .. }
+                | Instr::BranchV { .. } => {
+                    unreachable!("instruction rejected by the batch gate")
+                }
+            }
+        }
+    }
+}
+
+/// Sets a whole mask to one flag value.
+fn set_whole(m: &mut NullMask, null: bool) {
+    if null {
+        m.set_all();
+    } else {
+        m.clear_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_lanes_three_way() {
+        let cond = [true, false, true, false];
+        let mut cmask = NullMask::new(4);
+        cmask.clear_all();
+        cmask.set(3, true); // φ condition → φ result
+        let tcol = [1.0, 2.0, 3.0, 4.0];
+        let mut tmask = NullMask::new(4);
+        tmask.clear_all();
+        tmask.set(2, true); // branch value itself φ
+        let mut d = [0.0f64; 4];
+        let mut dmask = NullMask::new(4);
+        select_lanes(
+            4,
+            &cond,
+            &cmask,
+            Some((&tcol[..], &tmask)),
+            None, // else-branch is φ
+            &mut d,
+            &mut dmask,
+        );
+        assert_eq!(d[0], 1.0);
+        assert!(!dmask.get(0));
+        assert!(dmask.get(1), "false cond with None else-branch is φ");
+        assert!(dmask.get(2), "selected branch was φ");
+        assert!(dmask.get(3), "φ cond is φ");
+    }
+
+    #[test]
+    fn split_dst_resolves_columns() {
+        let mut file: Vec<i64> = (0..12).collect(); // 3 columns × cap 4
+        let (d, h, t) = split_dst(&mut file, 4, 1);
+        assert_eq!(d, &[4, 5, 6, 7]);
+        assert_eq!(pick(h, t, 4, 1, 0), &[0, 1, 2, 3]);
+        assert_eq!(pick(h, t, 4, 1, 2), &[8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn arith_lanes_match_scalar_ops() {
+        let a = [1.0, -2.0, 3.5, f64::NAN];
+        let b = [0.5, 4.0, -1.0, 2.0];
+        for op in [
+            ArithOp::Add,
+            ArithOp::Sub,
+            ArithOp::Mul,
+            ArithOp::Div,
+            ArithOp::Rem,
+            ArithOp::Pow,
+            ArithOp::Min,
+            ArithOp::Max,
+        ] {
+            let mut d = [0.0; 4];
+            arith_f_lanes(op, &mut d, &a, &b);
+            for j in 0..4 {
+                let want = op.apply_f(a[j], b[j]);
+                assert!(d[j].to_bits() == want.to_bits(), "{op:?} lane {j}: {} vs {want}", d[j]);
+            }
+        }
+    }
+}

@@ -24,6 +24,14 @@
 //! the `kernel_hot` bench guardrail pins this. Compiled and interpreted
 //! tiers are *byte-identical* on well-typed data: the differential property
 //! suite (`tests/compiled_tier_properties.rs`) compares them span by span.
+//!
+//! When lowering for the batched tier (`speculate` in [`compile_typed`]),
+//! `if`/`else` bodies whose instructions are side-effect-free and
+//! non-trapping are **if-converted**: both branches execute
+//! unconditionally and a single [`Instr::Select`] picks the taken value,
+//! yielding straight-line bytecode the batch gate (`super::batch`) can
+//! admit. The per-tick tier lowers with speculation off, so its bytecode
+//! keeps the branchy reference shape.
 //! Payloads that violate their declared input type follow [`Value`]'s
 //! unboxing semantics on the typed path — `Int` on a `Float` input coerces
 //! ([`Value::as_f64`]), anything else reads as φ — instead of reproducing
@@ -74,7 +82,7 @@ pub(crate) struct Reg {
 
 /// Arithmetic operations shared by the `F` and `I` instruction arms.
 #[derive(Clone, Copy, Debug)]
-enum ArithOp {
+pub(super) enum ArithOp {
     Add,
     Sub,
     Mul,
@@ -102,7 +110,7 @@ impl ArithOp {
 
     /// Float semantics, identical to `Value`'s float arms.
     #[inline]
-    fn apply_f(self, a: f64, b: f64) -> f64 {
+    pub(super) fn apply_f(self, a: f64, b: f64) -> f64 {
         match self {
             ArithOp::Add => a + b,
             ArithOp::Sub => a - b,
@@ -117,7 +125,7 @@ impl ArithOp {
 
     /// Integer semantics, identical to `Value`'s int arms (`None` = φ).
     #[inline]
-    fn apply_i(self, a: i64, b: i64) -> Option<i64> {
+    pub(super) fn apply_i(self, a: i64, b: i64) -> Option<i64> {
         Some(match self {
             ArithOp::Add => a.wrapping_add(b),
             ArithOp::Sub => a.wrapping_sub(b),
@@ -135,7 +143,7 @@ impl ArithOp {
 
 /// Ordering comparisons shared by the typed comparison arms.
 #[derive(Clone, Copy, Debug)]
-enum CmpOp {
+pub(super) enum CmpOp {
     Lt,
     Le,
     Gt,
@@ -165,7 +173,7 @@ impl CmpOp {
     }
 
     #[inline]
-    fn apply<T: PartialOrd>(self, a: T, b: T) -> bool {
+    pub(super) fn apply<T: PartialOrd>(self, a: T, b: T) -> bool {
         match self {
             CmpOp::Lt => a < b,
             CmpOp::Le => a <= b,
@@ -178,7 +186,7 @@ impl CmpOp {
 /// One typed instruction. Register operands are indices into the class
 /// files of [`TypedCtx`]; control flow uses absolute instruction indices.
 #[derive(Clone, Debug)]
-enum Instr {
+pub(super) enum Instr {
     ConstF {
         dst: u16,
         v: f64,
@@ -429,6 +437,10 @@ pub(crate) struct TypedCtx {
     nb: NullMask,
     /// Executions of enum-touching (fallback) operations since creation.
     pub(crate) fallback_ops: u64,
+    /// Executions of fused window maps since creation — the observable for
+    /// the map-once-per-element invariant (Subtract-on-Evict must *not*
+    /// re-run maps; see `super::reduce`).
+    pub(crate) map_runs: u64,
 }
 
 impl TypedCtx {
@@ -451,17 +463,17 @@ impl TypedCtx {
     }
 
     #[inline]
-    fn get_f(&self, i: u16) -> (f64, bool) {
+    pub(super) fn get_f(&self, i: u16) -> (f64, bool) {
         (self.f[i as usize], self.nf.get(i as usize))
     }
 
     #[inline]
-    fn get_i(&self, i: u16) -> (i64, bool) {
+    pub(super) fn get_i(&self, i: u16) -> (i64, bool) {
         (self.i[i as usize], self.ni.get(i as usize))
     }
 
     #[inline]
-    fn get_b(&self, i: u16) -> (bool, bool) {
+    pub(super) fn get_b(&self, i: u16) -> (bool, bool) {
         (self.b[i as usize], self.nb.get(i as usize))
     }
 
@@ -600,13 +612,54 @@ pub(crate) struct TypedMap {
 }
 
 impl TypedMap {
+    /// The class of the mapped element, or `None` when the map is provably
+    /// φ for every element.
+    pub(crate) fn fold_class(&self) -> Option<Class> {
+        self.root.map(|r| r.class)
+    }
+}
+
+impl TypedMap {
     /// Applies the map to one window element (`Value::Null` = skip).
     pub(crate) fn run(&self, ctx: &mut TypedCtx, elem: &Value) -> Value {
+        ctx.map_runs += 1;
         ctx.load_value(self.var, elem);
         exec(&self.instrs, ctx);
         match self.root {
             Some(r) => ctx.read_value(r),
             None => Value::Null,
+        }
+    }
+
+    /// Applies the map and reads the root as an unboxed `f64` (`None` = φ)
+    /// — the typed reduce fold path when [`TypedMap::fold_class`] is
+    /// `Some(Class::F)`. No boxed `Value` is built on either side.
+    pub(crate) fn run_f64(&self, ctx: &mut TypedCtx, elem: &Value) -> Option<f64> {
+        ctx.map_runs += 1;
+        ctx.load_value(self.var, elem);
+        exec(&self.instrs, ctx);
+        let r = self.root?;
+        debug_assert_eq!(r.class, Class::F);
+        let (x, n) = ctx.get_f(r.idx);
+        if n {
+            None
+        } else {
+            Some(x)
+        }
+    }
+
+    /// Applies the map and reads the root as an unboxed `i64` (`None` = φ).
+    pub(crate) fn run_i64(&self, ctx: &mut TypedCtx, elem: &Value) -> Option<i64> {
+        ctx.map_runs += 1;
+        ctx.load_value(self.var, elem);
+        exec(&self.instrs, ctx);
+        let r = self.root?;
+        debug_assert_eq!(r.class, Class::I);
+        let (x, n) = ctx.get_i(r.idx);
+        if n {
+            None
+        } else {
+            Some(x)
         }
     }
 }
@@ -617,12 +670,12 @@ pub(crate) struct TypedProgram {
     /// Constant materialization, executed **once** per register file
     /// ([`TypedProgram::new_ctx`]) — constants never burn a dispatch in the
     /// per-tick loop.
-    prelude: Vec<Instr>,
-    instrs: Vec<Instr>,
-    root: Option<Reg>,
-    n_f: u16,
-    n_i: u16,
-    n_b: u16,
+    pub(super) prelude: Vec<Instr>,
+    pub(super) instrs: Vec<Instr>,
+    pub(super) root: Option<Reg>,
+    pub(super) n_f: u16,
+    pub(super) n_i: u16,
+    pub(super) n_b: u16,
     n_v: u16,
     /// Destination register per point slot of the paired [`Program`]
     /// (`None` when the body never reads the slot's value — the kernel
@@ -650,6 +703,7 @@ impl TypedProgram {
             ni: NullMask::new(self.n_i as usize),
             nb: NullMask::new(self.n_b as usize),
             fallback_ops: 0,
+            map_runs: 0,
         };
         exec(&self.prelude, &mut ctx);
         ctx
@@ -692,7 +746,7 @@ impl std::fmt::Debug for TypedProgram {
 ///
 /// Straight-line stretches run through a slice iterator (no per-instruction
 /// bounds check); taken jumps restart the iterator at their target.
-fn exec(instrs: &[Instr], ctx: &mut TypedCtx) {
+pub(super) fn exec(instrs: &[Instr], ctx: &mut TypedCtx) {
     let mut pc = 0usize;
     'dispatch: while pc < instrs.len() {
         for ins in &instrs[pc..] {
@@ -1123,11 +1177,13 @@ pub(crate) fn compile_typed(
     program: &Program,
     objs: &dyn Fn(TObjId) -> Result<DataType>,
     classes: &HashMap<TObjId, Class>,
+    speculate: bool,
 ) -> Result<TypedProgram> {
     let mut cc = TypedCompiler {
         program,
         objs,
         classes,
+        speculate,
         env: HashMap::new(),
         prelude: Vec::new(),
         instrs: Vec::new(),
@@ -1164,6 +1220,59 @@ pub(crate) fn compile_typed(
         reduce_regs: cc.reduce_regs,
         typed_maps: cc.typed_maps,
         reduce_elem: cc.reduce_elem,
+    })
+}
+
+/// Whether `code` is safe to execute on a path the source program did not
+/// take: straight-line typed instructions whose only effect is writing
+/// their destination register, and which cannot trap on operands the taken
+/// path never constrained. Integer `Div`/`Rem`/`Pow` (zero divisors,
+/// `i64::MIN` edge cases) and `NegI`/`AbsI` (overflow) are excluded, as is
+/// all control flow and boxed traffic.
+fn speculatable(code: &[Instr]) -> bool {
+    code.iter().all(|ins| match ins {
+        Instr::ConstF { .. }
+        | Instr::ConstI { .. }
+        | Instr::ConstB { .. }
+        | Instr::Time { .. }
+        | Instr::ArithF { .. }
+        | Instr::ArithFC { .. }
+        | Instr::MulAddF { .. }
+        | Instr::MulAddFC { .. }
+        | Instr::CmpF { .. }
+        | Instr::CmpI { .. }
+        | Instr::CmpB { .. }
+        | Instr::CmpFC { .. }
+        | Instr::CmpIC { .. }
+        | Instr::EqF { .. }
+        | Instr::EqI { .. }
+        | Instr::EqB { .. }
+        | Instr::AndB { .. }
+        | Instr::OrB { .. }
+        | Instr::NotB { .. }
+        | Instr::NegF { .. }
+        | Instr::AbsF { .. }
+        | Instr::SqrtF { .. }
+        | Instr::I2F { .. }
+        | Instr::F2I { .. } => true,
+        Instr::ArithI { op, .. } | Instr::ArithIC { op, .. } => {
+            !matches!(op, ArithOp::Div | ArithOp::Rem | ArithOp::Pow)
+        }
+        Instr::Null { dst } => dst.class != Class::V,
+        Instr::Mov { src, dst } => src.class != Class::V && dst.class != Class::V,
+        Instr::IsNull { a, .. } => a.class != Class::V,
+        Instr::Select { dst, .. } => dst.class != Class::V,
+        Instr::NegI { .. }
+        | Instr::AbsI { .. }
+        | Instr::ConstV { .. }
+        | Instr::Box { .. }
+        | Instr::BinV { .. }
+        | Instr::UnV { .. }
+        | Instr::Field { .. }
+        | Instr::MakeTuple { .. }
+        | Instr::Jump { .. }
+        | Instr::Branch { .. }
+        | Instr::BranchV { .. } => false,
     })
 }
 
@@ -1212,6 +1321,10 @@ struct TypedCompiler<'a> {
     program: &'a Program,
     objs: &'a dyn Fn(TObjId) -> Result<DataType>,
     classes: &'a HashMap<TObjId, Class>,
+    /// If-conversion for the batched tier: `if` branches whose code is
+    /// [`speculatable`] are evaluated unconditionally and merged with one
+    /// `Select`, keeping the body straight-line (see `super::batch`).
+    speculate: bool,
     env: HashMap<VarId, (Option<Reg>, DataType)>,
     /// Run-once constant materialization (see [`TypedProgram::new_ctx`]).
     prelude: Vec<Instr>,
@@ -1858,11 +1971,25 @@ impl TypedCompiler<'_> {
             }
         };
 
-        if t_code.is_empty() && f_code.is_empty() && cr.class == Class::B {
+        // Empty branch bodies always collapse to one `Select`. Under
+        // `speculate` (the batched tier), branches of safe code — no
+        // trapping integer ops, no control flow, no boxed traffic — are
+        // evaluated on *both* paths and merged the same way: semantically
+        // invisible (a typed non-trapping op has no effect beyond its own
+        // destination register), but the body stays straight-line, which
+        // the batch gate requires.
+        let empty = t_code.is_empty() && f_code.is_empty();
+        let spec = self.speculate
+            && dst.class != Class::V
+            && speculatable(&t_code)
+            && speculatable(&f_code);
+        if cr.class == Class::B && (empty || spec) {
             let as_src = |o: &Out| match o {
                 Out::Reg(r, _) => Some(*r),
                 Out::Null => None,
             };
+            self.splice(t_code);
+            self.splice(f_code);
             self.instrs.push(Instr::Select { cond: cr.idx, t: as_src(&to), f: as_src(&fo), dst });
             return Ok(result);
         }
@@ -1921,7 +2048,7 @@ mod tests {
         let program = compile(body).unwrap();
         let objs = move |_: TObjId| Ok(obj_ty.clone());
         let classes = HashMap::new();
-        let tp = compile_typed(body, &program, &objs, &classes).unwrap();
+        let tp = compile_typed(body, &program, &objs, &classes, false).unwrap();
         (program, tp)
     }
 
@@ -1973,7 +2100,7 @@ mod tests {
             .or(Expr::at(obj(0)).is_null());
         let program = compile(&e).unwrap();
         let objs = |o: TObjId| Ok(if o == obj(0) { DataType::Float } else { DataType::Int });
-        let tp = compile_typed(&e, &program, &objs, &HashMap::new()).unwrap();
+        let tp = compile_typed(&e, &program, &objs, &HashMap::new(), false).unwrap();
         assert!(tp.is_fully_typed());
         let cases = [
             [Value::Float(1.0), Value::Int(1)],
@@ -2114,7 +2241,7 @@ mod bench_probe {
         eprintln!("body size: {}", body.size());
         let program = compile(&body).unwrap();
         let objs = |_: TObjId| Ok(DataType::Float);
-        let tp = compile_typed(&body, &program, &objs, &HashMap::new()).unwrap();
+        let tp = compile_typed(&body, &program, &objs, &HashMap::new(), false).unwrap();
         let n = 3_000_000u64;
 
         let mut ictx = program.new_ctx();

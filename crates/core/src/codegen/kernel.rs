@@ -14,9 +14,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use tilt_data::{SnapshotBuf, SsCursor, Time, TimeRange, Value};
 use tilt_obs::Profiler;
 
-use super::compiled::{compile_typed, type_lookup, Class, TypedProgram};
+use super::batch::{batchable, BatchCtx, MAX_BATCH};
+use super::compiled::{compile_typed, type_lookup, Class, TypedCtx, TypedMap, TypedProgram};
 use super::program::{compile, EvalCtx, PointSpec, Program};
-use super::reduce::ReduceRunner;
+use super::reduce::{typed_fold_class, typed_result_class, ReduceRunner};
 use crate::error::Result;
 use crate::ir::typeck::TypeInfo;
 use crate::ir::{TObjId, TempExpr};
@@ -42,12 +43,24 @@ pub struct Kernel {
     /// The typed register-bytecode body, when the compiled tier lowered
     /// this kernel (see [`super::lower_typed`]).
     pub(crate) typed: Option<TypedProgram>,
+    /// Per reduce slot: `(fold class, result class)` when the unboxed
+    /// map→accumulator path applies — the typed map's output feeds the
+    /// monomorphized accumulator directly, no `Value` round trip. Empty
+    /// until typed lowering.
+    reduce_modes: Vec<Option<(Class, Class)>>,
+    /// Whether this kernel drives the batched tier: requested by the
+    /// compiler *and* admitted by the batch gate (see `super::batch`).
+    batched: bool,
     /// True when the compiled tier was requested but this body could not
     /// be lowered: every interpreted run then counts as one fallback op.
     interp_fallback: bool,
     /// Enum-touching (fallback) operations executed by the typed tier,
     /// accumulated across runs.
     pub(crate) fallback: AtomicU64,
+    /// Fused window-map executions, accumulated across runs — the
+    /// observable for the map-once-per-element invariant (Subtract-on-
+    /// Evict must not re-run maps; see `super::reduce`).
+    map_runs: AtomicU64,
     /// Whether [`Kernel::run_into`] reads the clock around each call.
     /// Off by default: the disabled cost is this one relaxed load.
     timed: AtomicBool,
@@ -74,30 +87,52 @@ impl Kernel {
             uses_time,
             program: compile(&te.body)?,
             typed: None,
+            reduce_modes: Vec::new(),
+            batched: false,
             interp_fallback: false,
             fallback: AtomicU64::new(0),
+            map_runs: AtomicU64::new(0),
             timed: AtomicBool::new(false),
             invocations: AtomicU64::new(0),
             nanos: AtomicU64::new(0),
         })
     }
 
-    /// Compiles a temporal expression with both tiers: the interpreter
-    /// body plus the typed register bytecode, using `types` for static
-    /// types and `classes` for upstream objects' register classes. A body
-    /// the typed compiler cannot lower stays interpreter-only — callers
-    /// observe that through [`Kernel::is_compiled`].
+    /// Compiles a temporal expression with the interpreter body plus the
+    /// typed register bytecode, using `types` for static types and
+    /// `classes` for upstream objects' register classes. A body the typed
+    /// compiler cannot lower stays interpreter-only — callers observe
+    /// that through [`Kernel::is_compiled`]. With `batched` set, bodies
+    /// admitted by the batch gate execute over runs of ticks.
     pub(crate) fn with_types(
         te: &TempExpr,
         name: &str,
         types: &TypeInfo,
         classes: &HashMap<TObjId, Class>,
+        batched: bool,
     ) -> Result<Kernel> {
         let mut kernel = Kernel::new(te, name)?;
         let objs = type_lookup(types);
-        kernel.typed = compile_typed(&te.body, &kernel.program, &objs, classes).ok();
+        kernel.typed = compile_typed(&te.body, &kernel.program, &objs, classes, batched).ok();
         kernel.interp_fallback = kernel.typed.is_none();
+        if let Some(tp) = &kernel.typed {
+            kernel.reduce_modes = kernel
+                .program
+                .reduces
+                .iter()
+                .zip(&tp.reduce_elem)
+                .map(|(rs, elem)| {
+                    typed_fold_class(&rs.op, *elem).zip(typed_result_class(&rs.op, *elem))
+                })
+                .collect();
+            kernel.batched = batched && batchable(tp, &kernel.reduce_modes);
+        }
         Ok(kernel)
+    }
+
+    /// Whether this kernel executes its typed body on the batched tier.
+    pub fn is_batched(&self) -> bool {
+        self.batched
     }
 
     /// Whether the typed (compiled) tier is present.
@@ -115,6 +150,14 @@ impl Kernel {
     /// living in a compiled query, since their whole body is a fallback).
     pub fn fallback_ops(&self) -> u64 {
         self.fallback.load(Ordering::Relaxed)
+    }
+
+    /// Fused window-map executions by the typed tiers so far. The map-once
+    /// invariant bounds this by the number of elements ever *accumulated*
+    /// into this kernel's windows — eviction must re-use cached mapped
+    /// values, never re-run the map.
+    pub fn map_runs(&self) -> u64 {
+        self.map_runs.load(Ordering::Relaxed)
     }
 
     /// The register class of this kernel's output values (what downstream
@@ -186,6 +229,7 @@ impl Kernel {
         out: &mut SnapshotBuf<Value>,
     ) {
         match &self.typed {
+            Some(tp) if self.batched => self.run_batched(tp, bufs, range, out),
             Some(tp) => self.run_typed(tp, bufs, range, out),
             None => self.run_interp(bufs, range, out),
         }
@@ -204,10 +248,12 @@ impl Kernel {
         KernelProfile {
             name: self.name.clone(),
             compiled: self.is_compiled(),
+            batched: self.is_batched(),
             fully_typed: self.is_fully_typed(),
             invocations: self.invocations.load(Ordering::Relaxed),
             nanos: self.nanos.load(Ordering::Relaxed),
             fallback_ops: self.fallback_ops(),
+            map_runs: self.map_runs(),
         }
     }
 
@@ -241,9 +287,28 @@ impl Kernel {
         out: &mut SnapshotBuf<Value>,
     ) {
         let mut ctx = tp.new_ctx();
+        let modes = &self.reduce_modes;
         self.drive(bufs, range, out, &tp.reduce_elem, &mut |points, reduces, g| {
             ctx.t = g.ticks();
             for (i, runner) in reduces.iter_mut().enumerate() {
+                let reg = tp.reduce_regs[i];
+                // Unboxed fold path: the typed map's `f64`/`i64` output
+                // feeds the monomorphized accumulator directly and the
+                // result lands in its register without a `Value` round
+                // trip — `fallback_ops` stays 0 for numeric plans.
+                if let Some((fold, res)) = modes[i] {
+                    if reg.is_none_or(|r| r.class == res) {
+                        slide_typed(runner, &mut ctx, &tp.typed_maps[i], fold, g);
+                        if let Some(reg) = reg {
+                            match res {
+                                Class::F => ctx.store_f64(reg, runner.result_f()),
+                                Class::I => ctx.store_i64(reg, runner.result_i()),
+                                _ => unreachable!("typed result class is F or I"),
+                            }
+                        }
+                        continue;
+                    }
+                }
                 let v = match &tp.typed_maps[i] {
                     None => runner.eval_at_with(g, &mut |elem: &Value| elem.clone()),
                     Some(map) => {
@@ -251,7 +316,7 @@ impl Kernel {
                         runner.eval_at_with(g, &mut apply)
                     }
                 };
-                if let Some(reg) = tp.reduce_regs[i] {
+                if let Some(reg) = reg {
                     if reg.class == Class::V {
                         // Boxed reduce results (custom reducers, dynamic
                         // elements) are fallback traffic.
@@ -300,6 +365,188 @@ impl Kernel {
         });
         if ctx.fallback_ops > 0 {
             self.fallback.fetch_add(ctx.fallback_ops, Ordering::Relaxed);
+        }
+        if ctx.map_runs > 0 {
+            self.map_runs.fetch_add(ctx.map_runs, Ordering::Relaxed);
+        }
+    }
+
+    /// The batched tier: the same change-point stepping as [`Kernel::drive`],
+    /// but lanes accumulate while stepping stays dense (`next == g + p`) and
+    /// the typed body then executes **once per run** over columnar registers
+    /// (see [`super::batch`]) — one instruction dispatch per run instead of
+    /// per tick, φ checks one branch per 64 lanes. Reduce slides and point
+    /// cursor reads stay per-lane: they are already O(1) per tick through
+    /// [`SsCursor`] (constant-span stretches never re-search the buffer) and
+    /// they carry the per-lane change-point state `next_tick` steps on, so
+    /// stepping — and therefore output — is byte-identical to the scalar
+    /// tiers.
+    fn run_batched(
+        &self,
+        tp: &TypedProgram,
+        bufs: &[Option<&SnapshotBuf<Value>>],
+        range: TimeRange,
+        out: &mut SnapshotBuf<Value>,
+    ) {
+        let p = self.precision;
+        out.reset(range.start);
+        if range.is_empty() {
+            return;
+        }
+        let g_first = Time::new(range.start.ticks() + 1).align_up(p);
+        let g_last = range.end.align_down(p);
+        if g_first > g_last {
+            out.push_raw(range.end, Value::Null);
+            return;
+        }
+
+        let buf_for = |obj: TObjId| -> &SnapshotBuf<Value> {
+            bufs.get(obj.index())
+                .and_then(|b| *b)
+                .unwrap_or_else(|| panic!("kernel {}: missing buffer for {obj}", self.name))
+        };
+        let mut points: Vec<PointRunner<'_>> = self
+            .program
+            .points
+            .iter()
+            .map(|ps| PointRunner {
+                cursor: SsCursor::new(buf_for(ps.obj)),
+                spec: *ps,
+                boundary: None,
+            })
+            .collect();
+        let mut reduces: Vec<ReduceRunner<'_>> = self
+            .program
+            .reduces
+            .iter()
+            .enumerate()
+            .map(|(i, rs)| {
+                let class = tp.reduce_elem.get(i).copied().flatten();
+                ReduceRunner::with_elem_class(rs, buf_for(rs.obj), class)
+            })
+            .collect();
+
+        // The scalar file holds prelude constants and hosts typed map
+        // execution; columns are broadcast from it once per drive.
+        let mut ctx = tp.new_ctx();
+        let mut bc = BatchCtx::new(tp);
+        bc.broadcast(&ctx, tp);
+
+        let mut g = g_first;
+        loop {
+            let span_cap = (((g_last.ticks() - g.ticks()) / p) as usize + 1).min(MAX_BATCH);
+            let mut k = 0usize;
+            // The grid tick after this run; `None` once stepping passed
+            // `g_last` (the drive is over after this batch).
+            let mut succ: Option<Time> = None;
+            let mut stop = false;
+            while k < span_cap {
+                let gk = g + (k as i64) * p;
+                ctx.t = gk.ticks();
+                for (i, runner) in reduces.iter_mut().enumerate() {
+                    match self.reduce_modes[i] {
+                        Some((fold, _)) => {
+                            slide_typed(runner, &mut ctx, &tp.typed_maps[i], fold, gk)
+                        }
+                        // Result provably φ (no register): the window still
+                        // slides dynamically so `next_tick` sees its state.
+                        None => {
+                            let _ = match &tp.typed_maps[i] {
+                                None => runner.eval_at_with(gk, &mut |e: &Value| e.clone()),
+                                Some(map) => {
+                                    let mut apply = |e: &Value| map.run(&mut ctx, e);
+                                    runner.eval_at_with(gk, &mut apply)
+                                }
+                            };
+                        }
+                    }
+                    if let Some(reg) = tp.reduce_regs[i] {
+                        match reg.class {
+                            Class::F => bc.store_f_lane(reg, k, runner.result_f()),
+                            Class::I => bc.store_i_lane(reg, k, runner.result_i()),
+                            _ => unreachable!("batch gate admits only typed reduce registers"),
+                        }
+                    }
+                }
+                for (i, runner) in points.iter_mut().enumerate() {
+                    let t = gk + runner.spec.offset;
+                    match tp.point_regs[i] {
+                        Some(reg) => match reg.class {
+                            Class::F => {
+                                let (v, b) = runner.cursor.value_f64_and_boundary(t);
+                                bc.store_f_lane(reg, k, v);
+                                runner.boundary = b;
+                            }
+                            Class::I => {
+                                let (v, b) = runner.cursor.value_i64_and_boundary(t);
+                                bc.store_i_lane(reg, k, v);
+                                runner.boundary = b;
+                            }
+                            Class::B => {
+                                let (v, b) = runner.cursor.value_bool_and_boundary(t);
+                                bc.store_b_lane(reg, k, v);
+                                runner.boundary = b;
+                            }
+                            Class::V => {
+                                unreachable!("batch gate admits only typed point registers")
+                            }
+                        },
+                        None => {
+                            let (_, b) = runner.cursor.value_ref_and_boundary(t);
+                            runner.boundary = b;
+                        }
+                    }
+                }
+                k += 1;
+                match self.next_tick(gk, g_last, &points, &reduces) {
+                    Some(ng) if ng.ticks() == gk.ticks() + p => {
+                        // Dense: extend the run (or hand the successor to
+                        // the next batch when this one is full).
+                        if k == span_cap {
+                            succ = Some(ng);
+                        }
+                    }
+                    Some(ng) => {
+                        succ = Some(ng);
+                        break;
+                    }
+                    None => {
+                        stop = true;
+                        break;
+                    }
+                }
+            }
+            bc.exec(&tp.instrs, g.ticks(), p, k);
+            for j in 0..k {
+                let v = match tp.root {
+                    Some(r) => bc.read_lane(r, j),
+                    None => Value::Null,
+                };
+                // Interior lanes are dense, so each value holds exactly at
+                // its own tick; the last lane holds until the successor
+                // (or `g_last`), same spans the scalar skeleton pushes.
+                let end = if j + 1 < k {
+                    g + (j as i64) * p
+                } else if stop {
+                    g_last
+                } else {
+                    succ.expect("a non-final batch has a successor tick") - p
+                };
+                out.push_raw(end, v);
+            }
+            if stop {
+                break;
+            }
+            g = succ.expect("a non-final batch has a successor tick");
+        }
+        if g_last < range.end {
+            out.push_raw(range.end, Value::Null);
+        }
+        if ctx.fallback_ops > 0 {
+            self.fallback.fetch_add(ctx.fallback_ops, Ordering::Relaxed);
+        }
+        if ctx.map_runs > 0 {
+            self.map_runs.fetch_add(ctx.map_runs, Ordering::Relaxed);
         }
     }
 
@@ -443,6 +690,9 @@ pub struct KernelProfile {
     pub name: String,
     /// Whether the typed (compiled) tier was lowered.
     pub compiled: bool,
+    /// Whether the typed body executes batched (runs of ticks per
+    /// dispatch).
+    pub batched: bool,
     /// Whether the typed tier never touches the dynamic enum.
     pub fully_typed: bool,
     /// Timed invocations (0 unless profiling was enabled).
@@ -451,6 +701,9 @@ pub struct KernelProfile {
     pub nanos: u64,
     /// Enum-touching fallback operations (counted even when untimed).
     pub fallback_ops: u64,
+    /// Fused window-map executions (counted even when untimed); bounded by
+    /// elements accumulated — the map-once-per-element invariant.
+    pub map_runs: u64,
 }
 
 impl KernelProfile {
@@ -479,6 +732,27 @@ struct PointRunner<'a> {
     cursor: SsCursor<'a, Value>,
     spec: PointSpec,
     boundary: Option<Time>,
+}
+
+/// Slides a reduce runner through the unboxed fold path: the fused window
+/// map (or a typed identity read) feeds `f64`/`i64` straight into the
+/// monomorphized accumulator — no `Value` boxing per element. `fold` is the
+/// statically proven fold class; callers only reach here when
+/// [`typed_fold_class`] returned it.
+fn slide_typed(
+    runner: &mut ReduceRunner<'_>,
+    ctx: &mut TypedCtx,
+    map: &Option<TypedMap>,
+    fold: Class,
+    g: Time,
+) {
+    match (fold, map) {
+        (Class::F, Some(map)) => runner.slide_f(g, &mut |e: &Value| map.run_f64(ctx, e)),
+        (Class::F, None) => runner.slide_f(g, &mut |e: &Value| e.as_f64()),
+        (Class::I, Some(map)) => runner.slide_i(g, &mut |e: &Value| map.run_i64(ctx, e)),
+        (Class::I, None) => runner.slide_i(g, &mut |e: &Value| e.as_i64()),
+        _ => unreachable!("typed fold classes are F and I"),
+    }
 }
 
 /// Evaluates the program at grid tick `g`: reduces first (their fused maps

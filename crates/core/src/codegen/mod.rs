@@ -2,24 +2,34 @@
 //! (paper §6.1).
 //!
 //! The pipeline is `TempExpr` → executable body → [`Kernel`] (the
-//! synthesized change-point-driven loop). Kernel bodies exist in **two
+//! synthesized change-point-driven loop). Kernel bodies exist in **three
 //! tiers**:
 //!
 //! * the *interpreted* tier ([`Program`]) — a tree of composed closures
-//!   matching on the dynamic [`tilt_data::Value`] enum at every node;
-//! * the *compiled* tier (the `compiled` module, built by [`lower_typed`]) — the
-//!   type checker assigns every sub-expression a static type and the body
-//!   is monomorphized into register bytecode over unboxed
-//!   `f64`/`i64`/`bool` files with an explicit null mask for φ, falling
-//!   back to boxed `Value` registers only for `Str`/`Tuple` subtrees,
-//!   custom reductions, and genuinely dynamic values.
+//!   matching on the dynamic [`tilt_data::Value`] enum at every node; the
+//!   reference semantics;
+//! * the *per-tick typed* tier (the `compiled` module, built by
+//!   [`lower_typed`]) — the type checker assigns every sub-expression a
+//!   static type and the body is monomorphized into register bytecode
+//!   over unboxed `f64`/`i64`/`bool` files with an explicit null mask for
+//!   φ, falling back to boxed `Value` registers only for `Str`/`Tuple`
+//!   subtrees, custom reductions, and genuinely dynamic values;
+//! * the *batched* tier (the `batch` module) — the same bytecode executed
+//!   over a **run** of grid ticks at once: columnar registers, one
+//!   dispatch per instruction per run instead of per tick, word-level
+//!   φ masks (one branch per 64 lanes), and plain slice loops the
+//!   compiler auto-vectorizes. Only fully typed straight-line bodies
+//!   qualify (see `batch::batchable`); everything else transparently
+//!   executes per-tick.
 //!
-//! Both tiers share one loop skeleton, one slot layout, and one set of
+//! All tiers share one loop skeleton, one slot layout, and one set of
 //! incremental reduce runners, so their outputs are byte-identical; the
-//! compiled tier simply replaces per-tick enum interpretation with typed
-//! register traffic. See DESIGN.md substitution 1 for how this stands in
-//! for the paper's LLVM JIT.
+//! typed tiers simply replace per-tick enum interpretation with typed
+//! register traffic, and the batched tier amortizes the remaining
+//! dispatch. See DESIGN.md substitution 1 for how this stands in for the
+//! paper's LLVM JIT.
 
+mod batch;
 pub(crate) mod compiled;
 mod kernel;
 mod program;
@@ -41,15 +51,18 @@ pub fn lower(query: &Query) -> Result<Vec<Kernel>> {
     query.exprs().iter().map(|te| Kernel::new(te, query.name(te.output))).collect()
 }
 
-/// Lowers every temporal expression of `query` into a kernel carrying both
-/// tiers, in execution (topological) order. `types` must come from
-/// [`crate::ir::typecheck`] over this exact query.
+/// Lowers every temporal expression of `query` into a kernel carrying the
+/// interpreter body plus the typed register bytecode, in execution
+/// (topological) order. `types` must come from [`crate::ir::typecheck`]
+/// over this exact query. When `batched` is set, kernels whose bodies pass
+/// the batch gate drive the bytecode over runs of ticks; the rest execute
+/// per-tick.
 ///
 /// Object register classes thread through the kernel chain: a kernel whose
 /// body stayed dynamic (or whose output type is genuinely runtime-varying)
 /// produces a `V`-classed object, and downstream kernels read it through
 /// boxed registers — so fallback is per-subtree, never whole-query.
-pub fn lower_typed(query: &Query, types: &TypeInfo) -> Result<Vec<Kernel>> {
+pub fn lower_typed(query: &Query, types: &TypeInfo, batched: bool) -> Result<Vec<Kernel>> {
     let mut classes: HashMap<crate::ir::TObjId, compiled::Class> = HashMap::new();
     for &input in query.inputs() {
         let class = types.object_type(input).map_or(compiled::Class::V, compiled::Class::of_type);
@@ -57,7 +70,7 @@ pub fn lower_typed(query: &Query, types: &TypeInfo) -> Result<Vec<Kernel>> {
     }
     let mut kernels = Vec::with_capacity(query.exprs().len());
     for te in query.exprs() {
-        let kernel = Kernel::with_types(te, query.name(te.output), types, &classes)?;
+        let kernel = Kernel::with_types(te, query.name(te.output), types, &classes, batched)?;
         classes.insert(te.output, kernel.output_class());
         kernels.push(kernel);
     }

@@ -14,6 +14,12 @@
 //!   no inverse needed);
 //! * Custom with `deacc` — Subtract-on-Evict through the user's template;
 //! * Custom without `deacc` — full window recomputation per evaluation.
+//!
+//! Mapped windows fold the *mapped* value, and eviction must subtract the
+//! same value that entered. The runner caches each span's fold outcome
+//! ([`Folded`]) at accumulate time, so Subtract-on-Evict pops the cache
+//! instead of re-executing the fused map — each element is mapped exactly
+//! once over its lifetime in the window.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -183,6 +189,72 @@ impl State {
         }
     }
 
+    /// Unboxed `f64` fold — the typed tier's counterpart of [`State::add`]
+    /// for element class `F`. Only reachable for states
+    /// [`typed_fold_class`] maps to `Some(Class::F)`.
+    #[inline]
+    fn add_f(&mut self, x: f64, expire: Time) {
+        match self {
+            State::SumF { acc } | State::MeanF { sum: acc } => *acc += x,
+            State::ProductF { acc, zeros } => {
+                if x == 0.0 {
+                    *zeros += 1;
+                } else {
+                    *acc *= x;
+                }
+            }
+            State::StdDev { sum, sumsq } => {
+                *sum += x;
+                *sumsq += x * x;
+            }
+            State::MinMaxF { deque, is_max } => {
+                while let Some((cand, _)) = deque.back() {
+                    if if *is_max { *cand <= x } else { *cand >= x } {
+                        deque.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                deque.push_back((x, expire));
+            }
+            State::Count => {}
+            _ => unreachable!("add_f on a non-f64 accumulator"),
+        }
+    }
+
+    /// Unboxed `i64` fold for element class `I`. `StdDev` accumulates in
+    /// `f64` exactly like the dynamic path's `as_f64` coercion.
+    #[inline]
+    fn add_i(&mut self, x: i64, expire: Time) {
+        match self {
+            State::SumI { acc } | State::MeanI { sum: acc } => *acc = acc.wrapping_add(x),
+            State::ProductI { acc, zeros } => {
+                if x == 0 {
+                    *zeros += 1;
+                } else {
+                    *acc = acc.wrapping_mul(x);
+                }
+            }
+            State::StdDev { sum, sumsq } => {
+                let x = x as f64;
+                *sum += x;
+                *sumsq += x * x;
+            }
+            State::MinMaxI { deque, is_max } => {
+                while let Some((cand, _)) = deque.back() {
+                    if if *is_max { *cand <= x } else { *cand >= x } {
+                        deque.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                deque.push_back((x, expire));
+            }
+            State::Count => {}
+            _ => unreachable!("add_i on a non-i64 accumulator"),
+        }
+    }
+
     /// Removes one snapshot value (Subtract-on-Evict path).
     fn remove(&mut self, v: &Value) {
         match self {
@@ -235,6 +307,49 @@ impl State {
                 let deacc = spec.deacc.as_ref().expect("checked by invertible()");
                 *state = (deacc)(state, v, 1);
             }
+        }
+    }
+
+    /// Unboxed inverse of [`State::add_f`].
+    #[inline]
+    fn remove_f(&mut self, x: f64) {
+        match self {
+            State::SumF { acc } | State::MeanF { sum: acc } => *acc -= x,
+            State::ProductF { acc, zeros } => {
+                if x == 0.0 {
+                    *zeros -= 1;
+                } else {
+                    *acc /= x;
+                }
+            }
+            State::StdDev { sum, sumsq } => {
+                *sum -= x;
+                *sumsq -= x * x;
+            }
+            State::Count => {}
+            _ => unreachable!("remove_f on a non-f64 accumulator"),
+        }
+    }
+
+    /// Unboxed inverse of [`State::add_i`].
+    #[inline]
+    fn remove_i(&mut self, x: i64) {
+        match self {
+            State::SumI { acc } | State::MeanI { sum: acc } => *acc = acc.wrapping_sub(x),
+            State::ProductI { acc, zeros } => {
+                if x == 0 {
+                    *zeros -= 1;
+                } else {
+                    *acc /= x;
+                }
+            }
+            State::StdDev { sum, sumsq } => {
+                let x = x as f64;
+                *sum -= x;
+                *sumsq -= x * x;
+            }
+            State::Count => {}
+            _ => unreachable!("remove_i on a non-i64 accumulator"),
         }
     }
 
@@ -318,9 +433,110 @@ impl State {
         }
     }
 
+    /// Unboxed `f64` result (`None` = φ) for states whose
+    /// [`typed_result_class`] is `Some(Class::F)`. Replays the arithmetic
+    /// of [`State::result`] exactly so `Some(x)` boxes to the same bits.
+    #[inline]
+    fn result_f(&self, count: i64) -> Option<f64> {
+        if count == 0 {
+            return None;
+        }
+        match self {
+            State::SumF { acc } => Some(*acc),
+            State::ProductF { acc, zeros } => {
+                if *zeros > 0 {
+                    // The dynamic zero-of-type dance, replayed in f64.
+                    Some(0.0 * *acc + 0.0)
+                } else {
+                    Some(*acc)
+                }
+            }
+            State::MeanF { sum } => Some(sum / count as f64),
+            State::MeanI { sum } => Some(*sum as f64 / count as f64),
+            State::StdDev { sum, sumsq } => {
+                let n = count as f64;
+                let mean = sum / n;
+                let var = (sumsq / n - mean * mean).max(0.0);
+                Some(var.sqrt())
+            }
+            State::MinMaxF { deque, .. } => deque.front().map(|(v, _)| *v),
+            _ => unreachable!("result_f on a non-f64-result accumulator"),
+        }
+    }
+
+    /// Unboxed `i64` result (`None` = φ) for states whose
+    /// [`typed_result_class`] is `Some(Class::I)`.
+    #[inline]
+    fn result_i(&self, count: i64) -> Option<i64> {
+        if count == 0 {
+            return None;
+        }
+        match self {
+            State::SumI { acc } => Some(*acc),
+            State::ProductI { acc, zeros } => {
+                if *zeros > 0 {
+                    Some(0)
+                } else {
+                    Some(*acc)
+                }
+            }
+            State::Count => Some(count),
+            State::MinMaxI { deque, .. } => deque.front().map(|(v, _)| *v),
+            _ => unreachable!("result_i on a non-i64-result accumulator"),
+        }
+    }
+
     fn reset(&mut self, op: &ReduceOp, class: Option<Class>) {
         *self = State::with_class(op, class);
     }
+}
+
+/// The unboxed class a typed runner folds elements as, or `None` when the
+/// fold must stay dynamic (boxed `Value`). This is the static twin of the
+/// accumulator variant [`State::with_class`] picks: `Some` exactly when
+/// that variant has an `add_f`/`add_i` arm for the element class.
+pub(crate) fn typed_fold_class(op: &ReduceOp, class: Option<Class>) -> Option<Class> {
+    match (op, class) {
+        (ReduceOp::Custom(_), _) => None,
+        (_, Some(Class::F)) => Some(Class::F),
+        (_, Some(Class::I)) => Some(Class::I),
+        _ => None,
+    }
+}
+
+/// The unboxed class a typed runner's *result* reads back as, or `None`
+/// when the result must stay boxed. Mirrors [`State::result`]'s output
+/// type per operation.
+pub(crate) fn typed_result_class(op: &ReduceOp, class: Option<Class>) -> Option<Class> {
+    match (op, typed_fold_class(op, class)?) {
+        (ReduceOp::Count, _) => Some(Class::I),
+        (ReduceOp::Mean | ReduceOp::StdDev, _) => Some(Class::F),
+        (ReduceOp::Sum | ReduceOp::Product | ReduceOp::Min | ReduceOp::Max, c) => Some(c),
+        (ReduceOp::Custom(_), _) => None,
+    }
+}
+
+/// One span's fold outcome, cached at accumulate time so eviction can
+/// subtract exactly what entered without re-executing the fused map.
+#[derive(Clone, Debug)]
+enum Folded {
+    /// φ source span or φ map output — never folded, count untouched.
+    Skip,
+    /// Dynamic fold: the mapped boxed value.
+    Boxed(Value),
+    /// Typed `f64` fold.
+    F(f64),
+    /// Typed `i64` fold.
+    I(i64),
+}
+
+/// The element transform of one slide, in the representation the
+/// accumulator folds: boxed for dynamic runners, unboxed for typed ones.
+/// `None`/φ outputs drop the element.
+pub(crate) enum FoldKind<'m> {
+    Dyn(&'m mut dyn FnMut(&Value) -> Value),
+    F(&'m mut dyn FnMut(&Value) -> Option<f64>),
+    I(&'m mut dyn FnMut(&Value) -> Option<i64>),
 }
 
 /// Incremental evaluation of one window reduction over one source buffer.
@@ -341,6 +557,10 @@ pub struct ReduceRunner<'a> {
     enter_idx: usize,
     /// Index of the next span to *evict* (first span with `end > cur_lo`).
     evict_idx: usize,
+    /// Fold outcomes of the spans in `[evict_idx, enter_idx)`, front =
+    /// oldest. Pushed once per span at entry, popped at eviction — the
+    /// fused map runs exactly once per element.
+    cache: VecDeque<Folded>,
     /// Current window end edge.
     cur_hi: Time,
     initialized: bool,
@@ -370,9 +590,18 @@ impl<'a> ReduceRunner<'a> {
             count: 0,
             enter_idx: 0,
             evict_idx: 0,
+            cache: VecDeque::new(),
             cur_hi: Time::MIN,
             initialized: false,
         }
+    }
+
+    /// The unboxed class this runner's typed slide folds elements as
+    /// ([`ReduceRunner::slide_f`]/[`ReduceRunner::slide_i`]), or `None`
+    /// when only the dynamic path applies.
+    #[cfg(test)]
+    pub(crate) fn fold_class(&self) -> Option<Class> {
+        typed_fold_class(&self.spec.op, self.class)
     }
 
     /// Whether any snapshot is currently folded in.
@@ -443,6 +672,38 @@ impl<'a> ReduceRunner<'a> {
     /// [`ReduceRunner::eval_at`], or the typed tier's compiled map. A φ
     /// result from `map` drops the element, exactly like a φ source span.
     pub fn eval_at_with(&mut self, t: Time, map: &mut dyn FnMut(&Value) -> Value) -> Value {
+        self.slide(t, &mut FoldKind::Dyn(map));
+        self.state.result(self.count)
+    }
+
+    /// Typed slide with an unboxed `f64` element transform — the batched
+    /// and per-tick typed tiers' path when [`ReduceRunner::fold_class`] is
+    /// `Some(Class::F)`. Read the result afterwards with
+    /// [`ReduceRunner::result_f`] or [`ReduceRunner::result_i`] per the
+    /// operation's result class.
+    pub(crate) fn slide_f(&mut self, t: Time, map: &mut dyn FnMut(&Value) -> Option<f64>) {
+        self.slide(t, &mut FoldKind::F(map));
+    }
+
+    /// Typed slide with an unboxed `i64` element transform
+    /// ([`ReduceRunner::fold_class`] `== Some(Class::I)`).
+    pub(crate) fn slide_i(&mut self, t: Time, map: &mut dyn FnMut(&Value) -> Option<i64>) {
+        self.slide(t, &mut FoldKind::I(map));
+    }
+
+    /// The unboxed `f64` result after a typed slide (`None` = φ).
+    #[inline]
+    pub(crate) fn result_f(&self) -> Option<f64> {
+        self.state.result_f(self.count)
+    }
+
+    /// The unboxed `i64` result after a typed slide (`None` = φ).
+    #[inline]
+    pub(crate) fn result_i(&self) -> Option<i64> {
+        self.state.result_i(self.count)
+    }
+
+    fn slide(&mut self, t: Time, fold: &mut FoldKind) {
         let new_lo = t + self.spec.lo;
         let new_hi = t + self.spec.hi;
         if !self.initialized {
@@ -456,17 +717,23 @@ impl<'a> ReduceRunner<'a> {
         debug_assert!(new_hi >= self.cur_hi, "reduce window must advance monotonically");
 
         if self.state.invertible() {
-            self.enter_until(new_hi, map);
-            self.evict_until(new_lo, map);
+            debug_assert_eq!(
+                self.cache.len(),
+                self.enter_idx - self.evict_idx,
+                "fold cache must mirror the in-window span range"
+            );
+            self.enter_until(new_hi, fold);
+            self.evict_until(new_lo);
         } else {
-            // Recompute the window from scratch.
+            // Recompute the window from scratch. (The cache is unused on
+            // this path: map re-execution is inherent to recomputation.)
             self.state.reset(&self.spec.op, self.class);
             self.count = 0;
             let spans = self.src.spans();
             let first = spans.partition_point(|s| s.t_end <= new_lo);
             let mut i = first;
             while i < spans.len() && self.src.span_start(i) < new_hi {
-                self.fold(&spans[i].value, spans[i].t_end, map);
+                self.fold(&spans[i].value, spans[i].t_end, fold);
                 i += 1;
             }
             // Keep indices roughly in sync for next_enter/evict queries.
@@ -474,26 +741,28 @@ impl<'a> ReduceRunner<'a> {
             self.enter_idx = i;
         }
         self.cur_hi = new_hi;
-        self.state.result(self.count)
     }
 
-    fn enter_until(&mut self, new_hi: Time, map: &mut dyn FnMut(&Value) -> Value) {
+    fn enter_until(&mut self, new_hi: Time, fold: &mut FoldKind) {
         let spans = self.src.spans();
         while self.enter_idx < spans.len() && self.src.span_start(self.enter_idx) < new_hi {
             let span = &spans[self.enter_idx];
-            self.fold(&span.value, span.t_end, map);
+            let folded = self.fold(&span.value, span.t_end, fold);
+            self.cache.push_back(folded);
             self.enter_idx += 1;
         }
     }
 
-    fn evict_until(&mut self, new_lo: Time, map: &mut dyn FnMut(&Value) -> Value) {
+    /// Eviction never consults the map: each span's fold outcome was
+    /// cached when it entered.
+    fn evict_until(&mut self, new_lo: Time) {
         if self.state.is_deque() {
             self.state.evict_expired(new_lo);
             // Recount: expired entries were counted on entry; maintain count
             // by advancing evict_idx over fully expired spans.
             let spans = self.src.spans();
             while self.evict_idx < spans.len() && spans[self.evict_idx].t_end <= new_lo {
-                if apply_map(map, &spans[self.evict_idx].value).is_some() {
+                if self.pop_folded() {
                     self.count -= 1;
                 }
                 self.evict_idx += 1;
@@ -502,35 +771,76 @@ impl<'a> ReduceRunner<'a> {
         }
         let spans = self.src.spans();
         while self.evict_idx < spans.len() && spans[self.evict_idx].t_end <= new_lo {
-            // Only spans that actually entered can be evicted.
-            if self.evict_idx < self.enter_idx {
-                if let Some(mv) = apply_map(map, &spans[self.evict_idx].value) {
-                    self.state.remove(&mv);
-                    self.count -= 1;
-                }
+            if self.pop_folded() {
+                self.count -= 1;
             }
             self.evict_idx += 1;
         }
     }
 
-    fn fold(&mut self, value: &Value, expire: Time, map: &mut dyn FnMut(&Value) -> Value) {
-        if let Some(mv) = apply_map(map, value) {
-            self.state.add(&mv, expire);
-            self.count += 1;
+    /// Pops the oldest cached fold outcome, subtracting it from
+    /// non-deque accumulators. Returns whether the span had been counted.
+    fn pop_folded(&mut self) -> bool {
+        // Only spans that actually entered have cache entries; spans the
+        // initial partition_point skipped never did.
+        if self.evict_idx >= self.enter_idx {
+            return false;
+        }
+        match self.cache.pop_front().expect("cache aligned with [evict_idx, enter_idx)") {
+            Folded::Skip => false,
+            Folded::Boxed(v) => {
+                if !self.state.is_deque() {
+                    self.state.remove(&v);
+                }
+                true
+            }
+            Folded::F(x) => {
+                if !self.state.is_deque() {
+                    self.state.remove_f(x);
+                }
+                true
+            }
+            Folded::I(x) => {
+                if !self.state.is_deque() {
+                    self.state.remove_i(x);
+                }
+                true
+            }
         }
     }
-}
 
-/// Applies the fused map; returns `None` for φ inputs/outputs (skipped).
-fn apply_map(map: &mut dyn FnMut(&Value) -> Value, value: &Value) -> Option<Value> {
-    if value.is_null() {
-        return None;
-    }
-    let mv = map(value);
-    if mv.is_null() {
-        None
-    } else {
-        Some(mv)
+    fn fold(&mut self, value: &Value, expire: Time, fold: &mut FoldKind) -> Folded {
+        if value.is_null() {
+            return Folded::Skip;
+        }
+        match fold {
+            FoldKind::Dyn(map) => {
+                let mv = map(value);
+                if mv.is_null() {
+                    Folded::Skip
+                } else {
+                    self.state.add(&mv, expire);
+                    self.count += 1;
+                    Folded::Boxed(mv)
+                }
+            }
+            FoldKind::F(map) => match map(value) {
+                None => Folded::Skip,
+                Some(x) => {
+                    self.state.add_f(x, expire);
+                    self.count += 1;
+                    Folded::F(x)
+                }
+            },
+            FoldKind::I(map) => match map(value) {
+                None => Folded::Skip,
+                Some(x) => {
+                    self.state.add_i(x, expire);
+                    self.count += 1;
+                    Folded::I(x)
+                }
+            },
+        }
     }
 }
 
@@ -683,6 +993,110 @@ mod tests {
         let s = spec(ReduceOp::Custom(custom), 2);
         let out = eval_series(&s, &src, &[2, 3, 6]);
         assert_eq!(out, vec![Value::Float(2.0), Value::Float(3.0), Value::Null]);
+    }
+
+    #[test]
+    fn evict_subtracts_cached_value_without_rerunning_map() {
+        // Ten points sliding through a width-3 window: each element must be
+        // mapped exactly once (at entry), never again at eviction.
+        let pts: Vec<(i64, f64)> = (1..=10).map(|t| (t, t as f64)).collect();
+        let src = buf(&pts);
+        let s = spec(ReduceOp::Sum, 3);
+        let mut runner = ReduceRunner::new(&s, &src);
+        let mut runs = 0u64;
+        let mut out = Vec::new();
+        for t in 1..=13 {
+            out.push(runner.eval_at_with(Time::new(t), &mut |v| {
+                runs += 1;
+                v.clone()
+            }));
+        }
+        assert_eq!(runs, 10, "fused map must run once per element, not once per evict too");
+        // And the results are still the correct sliding sums.
+        assert_eq!(out[4], Value::Float(3.0 + 4.0 + 5.0));
+        assert_eq!(out[12], Value::Null);
+    }
+
+    #[test]
+    fn deque_recount_uses_cached_fold_outcome() {
+        // The Max deque's evict-recount path historically re-applied the map
+        // to decide whether an expired span had been counted.
+        let pts: Vec<(i64, f64)> = (1..=10).map(|t| (t, (t % 4) as f64)).collect();
+        let src = buf(&pts);
+        let s = spec(ReduceOp::Max, 2);
+        let mut runner = ReduceRunner::new(&s, &src);
+        let mut runs = 0u64;
+        for t in 1..=12 {
+            runner.eval_at_with(Time::new(t), &mut |v| {
+                runs += 1;
+                v.clone()
+            });
+        }
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn typed_slide_matches_dynamic_results() {
+        let pts: Vec<(i64, f64)> = (1..=20).map(|t| (t, (t as f64) * 1.5 - 7.0)).collect();
+        let src = buf(&pts);
+        for op in [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Product, ReduceOp::StdDev] {
+            let s = spec(op.clone(), 5);
+            let mut dynr = ReduceRunner::new(&s, &src);
+            let mut typr = ReduceRunner::with_elem_class(&s, &src, Some(Class::F));
+            assert_eq!(typr.fold_class(), Some(Class::F));
+            for t in 1..=25 {
+                let d = dynr.eval_at_with(Time::new(t), &mut |v| v.clone());
+                typr.slide_f(Time::new(t), &mut |v| v.as_f64());
+                let ty = typr.result_f().map(Value::Float).unwrap_or(Value::Null);
+                assert_eq!(d, ty, "op {} t={t}", s.op.name());
+            }
+        }
+        // Count folds either class and results in i64.
+        let s = spec(ReduceOp::Count, 5);
+        let mut dynr = ReduceRunner::new(&s, &src);
+        let mut typr = ReduceRunner::with_elem_class(&s, &src, Some(Class::F));
+        for t in 1..=25 {
+            let d = dynr.eval_at_with(Time::new(t), &mut |v| v.clone());
+            typr.slide_f(Time::new(t), &mut |v| v.as_f64());
+            let ty = typr.result_i().map(Value::Int).unwrap_or(Value::Null);
+            assert_eq!(d, ty, "count t={t}");
+        }
+        // Min/Max through the typed deque.
+        for op in [ReduceOp::Min, ReduceOp::Max] {
+            let s = spec(op, 3);
+            let mut dynr = ReduceRunner::new(&s, &src);
+            let mut typr = ReduceRunner::with_elem_class(&s, &src, Some(Class::F));
+            for t in 1..=25 {
+                let d = dynr.eval_at_with(Time::new(t), &mut |v| v.clone());
+                typr.slide_f(Time::new(t), &mut |v| v.as_f64());
+                let ty = typr.result_f().map(Value::Float).unwrap_or(Value::Null);
+                assert_eq!(d, ty, "op {} t={t}", s.op.name());
+            }
+        }
+    }
+
+    #[test]
+    fn typed_i64_slide_matches_dynamic() {
+        let events: Vec<Event<Value>> =
+            (1..=15).map(|t| Event::point(Time::new(t), Value::Int(t * 3 - 20))).collect();
+        let src = SnapshotBuf::from_events(&events, TimeRange::new(Time::new(0), Time::new(15)));
+        for op in [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::Min, ReduceOp::Max] {
+            let s = spec(op.clone(), 4);
+            let mut dynr = ReduceRunner::new(&s, &src);
+            let mut typr = ReduceRunner::with_elem_class(&s, &src, Some(Class::I));
+            assert_eq!(typr.fold_class(), Some(Class::I));
+            let res_class = typed_result_class(&s.op, Some(Class::I)).unwrap();
+            for t in 1..=20 {
+                let d = dynr.eval_at_with(Time::new(t), &mut |v| v.clone());
+                typr.slide_i(Time::new(t), &mut |v| v.as_i64());
+                let ty = match res_class {
+                    Class::F => typr.result_f().map(Value::Float).unwrap_or(Value::Null),
+                    Class::I => typr.result_i().map(Value::Int).unwrap_or(Value::Null),
+                    _ => unreachable!(),
+                };
+                assert_eq!(d, ty, "op {} t={t}", s.op.name());
+            }
+        }
     }
 
     #[test]

@@ -26,9 +26,16 @@ use crate::opt::Optimizer;
 /// [`crate::codegen`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecTier {
-    /// Typed register bytecode over unboxed values, with per-subtree
-    /// fallback to boxed `Value` operations (the default).
+    /// Typed register bytecode executed over *runs* of grid ticks at once:
+    /// columnar registers, word-level φ masks, one dispatch per instruction
+    /// per run (the default). Kernels whose bodies don't pass the batch
+    /// gate transparently execute per-tick, so this tier is always safe to
+    /// select.
     #[default]
+    Batched,
+    /// Typed register bytecode over unboxed values, dispatched once per
+    /// grid tick, with per-subtree fallback to boxed `Value` operations —
+    /// the scalar reference for the batched tier.
     Compiled,
     /// The closure-tree interpreter over dynamic `Value`s only — the
     /// reference tier, kept selectable for differential testing and the
@@ -55,18 +62,18 @@ pub struct Compiler {
 }
 
 impl Compiler {
-    /// A compiler with the full optimization pipeline and the typed
-    /// (compiled) execution tier — the default configuration.
+    /// A compiler with the full optimization pipeline and the batched
+    /// typed execution tier — the default configuration.
     pub fn new() -> Self {
-        Compiler { optimizer: Optimizer::full(), tier: ExecTier::Compiled }
+        Compiler { optimizer: Optimizer::full(), tier: ExecTier::Batched }
     }
 
     /// A compiler with all optimizations disabled: one kernel per operator,
     /// intermediates materialized — the "TiLT UnOpt" configuration of the
     /// Fig. 10 ablation. (The execution tier is orthogonal and stays
-    /// [`ExecTier::Compiled`].)
+    /// [`ExecTier::Batched`].)
     pub fn unoptimized() -> Self {
-        Compiler { optimizer: Optimizer::none(), tier: ExecTier::Compiled }
+        Compiler { optimizer: Optimizer::none(), tier: ExecTier::Batched }
     }
 
     /// A fully optimized compiler pinned to the interpreter tier — the
@@ -78,7 +85,7 @@ impl Compiler {
 
     /// A compiler with a custom pass configuration.
     pub fn with_optimizer(optimizer: Optimizer) -> Self {
-        Compiler { optimizer, tier: ExecTier::Compiled }
+        Compiler { optimizer, tier: ExecTier::Batched }
     }
 
     /// Selects the kernel-body execution tier.
@@ -98,7 +105,8 @@ impl Compiler {
         let types = typecheck(&optimized)?;
         let boundary = resolve_boundaries(&optimized);
         let kernels = match self.tier {
-            ExecTier::Compiled => lower_typed(&optimized, &types)?,
+            ExecTier::Batched => lower_typed(&optimized, &types, true)?,
+            ExecTier::Compiled => lower_typed(&optimized, &types, false)?,
             ExecTier::Interpreted => lower(&optimized)?,
         };
         let n_slots = slot_count(&optimized);
@@ -179,7 +187,15 @@ impl CompiledQuery {
     /// reductions. Fully numeric plans satisfy this; the `kernel_hot`
     /// bench guardrail pins it.
     pub fn fully_typed(&self) -> bool {
-        self.tier == ExecTier::Compiled && self.kernels.iter().all(Kernel::is_fully_typed)
+        self.tier != ExecTier::Interpreted && self.kernels.iter().all(Kernel::is_fully_typed)
+    }
+
+    /// Number of kernels whose typed body executes batched (runs of ticks
+    /// per dispatch). Zero unless compiled at [`ExecTier::Batched`]; on
+    /// that tier, kernels rejected by the batch gate execute per-tick and
+    /// don't count.
+    pub fn batched_kernels(&self) -> usize {
+        self.kernels.iter().filter(|k| k.is_batched()).count()
     }
 
     /// Total enum-touching (fallback) operations executed by the typed
@@ -188,6 +204,16 @@ impl CompiledQuery {
     /// inside a compiled query count one per run.
     pub fn fallback_ops(&self) -> u64 {
         self.kernels.iter().map(Kernel::fallback_ops).sum()
+    }
+
+    /// Total fused window-map executions across every run of this query so
+    /// far. The map-once-per-element invariant bounds this by the number
+    /// of elements accumulated into windows — Subtract-on-Evict re-uses
+    /// cached mapped values instead of re-running maps, so this grows
+    /// linearly with input, never with input × window size. The
+    /// `kernel_hot` bench guardrail pins the ratio.
+    pub fn map_runs(&self) -> u64 {
+        self.kernels.iter().map(Kernel::map_runs).sum()
     }
 
     /// Turns per-invocation wall timing on (or off) for every kernel.

@@ -1,15 +1,20 @@
-//! Null masks for typed register files.
+//! Null masks for typed register files and batched lane columns.
 //!
 //! The typed kernel tier in `tilt-core` executes numeric expressions over
 //! unboxed `f64`/`i64`/`bool` registers; φ ("no value") then lives out of
-//! band in a [`NullMask`] — one flag per register — instead of inside a
+//! band in a [`NullMask`] — one flag per slot — instead of inside a
 //! tagged [`crate::Value`], so the hot loop never touches the payload enum
 //! to test for φ.
 //!
-//! Flags are stored one byte per slot rather than bit-packed: every typed
-//! instruction clears or sets its destination's flag, and independent byte
-//! stores avoid the read-modify-write dependency chain that packed words
-//! would thread through the whole instruction stream.
+//! Flags are bit-packed into `u64` words. The per-tick tier pays one
+//! read-modify-write per flag store (measured in the noise next to the
+//! dispatch loop around it), and in exchange the *batched* tier gets what
+//! byte-backed flags cannot give: word-level φ algebra. A mask over a run
+//! of ticks answers [`NullMask::none_null`] / [`NullMask::all_null`] with
+//! one branch per 64 slots, combines operand masks with
+//! [`NullMask::set_or`] a word at a time, and fills span-shaped runs with
+//! [`NullMask::set_range`] — so φ propagation over a batch of lanes costs
+//! O(lanes / 64) instead of one flag per lane per operation.
 
 /// A fixed-capacity null mask with one flag per slot (`true` = φ).
 ///
@@ -26,25 +31,36 @@
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NullMask {
-    flags: Vec<bool>,
+    words: Vec<u64>,
+    len: usize,
 }
+
+/// Bits per storage word.
+const W: usize = 64;
 
 impl NullMask {
     /// A mask of `len` slots, all initially null.
     pub fn new(len: usize) -> NullMask {
-        NullMask { flags: vec![true; len] }
+        let mut m = NullMask { words: vec![0; len.div_ceil(W)], len };
+        m.set_all();
+        m
     }
 
     /// Number of slots.
     #[inline]
     pub fn len(&self) -> usize {
-        self.flags.len()
+        self.len
     }
 
     /// Whether the mask has zero slots.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.flags.is_empty()
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, i: usize) {
+        assert!(i < self.len, "index out of bounds: the len is {} but the index is {i}", self.len);
     }
 
     /// Whether slot `i` is null.
@@ -54,7 +70,8 @@ impl NullMask {
     /// Panics if `i` is out of bounds.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        self.flags[i]
+        self.check(i);
+        self.words[i / W] >> (i % W) & 1 != 0
     }
 
     /// Sets slot `i` to null (`true`) or non-null (`false`).
@@ -64,12 +81,131 @@ impl NullMask {
     /// Panics if `i` is out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, null: bool) {
-        self.flags[i] = null;
+        self.check(i);
+        let bit = 1u64 << (i % W);
+        let w = &mut self.words[i / W];
+        if null {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
     }
 
     /// Resets every slot to null.
     pub fn set_all(&mut self) {
-        self.flags.fill(true);
+        self.words.fill(!0);
+        self.trim_tail();
+    }
+
+    /// Resets every slot to non-null.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Zeroes the unused high bits of the last word so whole-word scans
+    /// never see ghost nulls past `len`.
+    #[inline]
+    fn trim_tail(&mut self) {
+        let tail = self.len % W;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Whether the first `n` slots are all non-null — the batch fast path
+    /// that lets a φ check over a run of lanes cost one branch per 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the mask length.
+    #[inline]
+    pub fn none_null(&self, n: usize) -> bool {
+        assert!(n <= self.len, "index out of bounds: the len is {} but the index is {n}", self.len);
+        let full = n / W;
+        if self.words[..full].iter().any(|&w| w != 0) {
+            return false;
+        }
+        let tail = n % W;
+        tail == 0 || self.words[full] & ((1u64 << tail) - 1) == 0
+    }
+
+    /// Whether the first `n` slots are all null.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the mask length.
+    #[inline]
+    pub fn all_null(&self, n: usize) -> bool {
+        assert!(n <= self.len, "index out of bounds: the len is {} but the index is {n}", self.len);
+        let full = n / W;
+        if self.words[..full].iter().any(|&w| w != !0) {
+            return false;
+        }
+        let tail = n % W;
+        tail == 0 || !self.words[full] & ((1u64 << tail) - 1) == 0
+    }
+
+    /// Sets slots `lo..hi` to `null` word-wise (span-shaped run fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi` exceeds the mask length or `lo > hi`.
+    pub fn set_range(&mut self, lo: usize, hi: usize, null: bool) {
+        assert!(lo <= hi && hi <= self.len, "range {lo}..{hi} out of bounds (len {})", self.len);
+        let mut i = lo;
+        while i < hi {
+            let w = i / W;
+            let bit_lo = i % W;
+            let bit_hi = if hi / W == w { hi % W } else { W };
+            let span = if bit_hi - bit_lo == W {
+                !0u64
+            } else {
+                ((1u64 << (bit_hi - bit_lo)) - 1) << bit_lo
+            };
+            if null {
+                self.words[w] |= span;
+            } else {
+                self.words[w] &= !span;
+            }
+            i += bit_hi - bit_lo;
+        }
+    }
+
+    /// Overwrites the first `n` slots with `a[i] | b[i]` — the φ
+    /// propagation rule of binary typed operations, one word at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds any of the three masks.
+    pub fn set_or(&mut self, a: &NullMask, b: &NullMask, n: usize) {
+        assert!(n <= self.len && n <= a.len && n <= b.len, "set_or: {n} out of bounds");
+        for w in 0..n.div_ceil(W) {
+            self.words[w] = a.words[w] | b.words[w];
+        }
+    }
+
+    /// Overwrites the first `n` slots with a copy of `src`'s first `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds either mask.
+    pub fn copy_from(&mut self, src: &NullMask, n: usize) {
+        assert!(n <= self.len && n <= src.len, "copy_from: {n} out of bounds");
+        self.words[..n.div_ceil(W)].copy_from_slice(&src.words[..n.div_ceil(W)]);
+    }
+
+    /// Merges `src`'s first `n` nulls into this mask (`self |= src`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds either mask.
+    pub fn or_with(&mut self, src: &NullMask, n: usize) {
+        assert!(n <= self.len && n <= src.len, "or_with: {n} out of bounds");
+        for w in 0..n.div_ceil(W) {
+            self.words[w] |= src.words[w];
+        }
     }
 }
 
@@ -107,5 +243,77 @@ mod tests {
     fn out_of_bounds_get_panics() {
         let m = NullMask::new(4);
         let _ = m.get(4);
+    }
+
+    #[test]
+    fn word_level_summaries_cross_boundaries() {
+        for len in [63usize, 64, 65, 128, 130] {
+            let mut m = NullMask::new(len);
+            assert!(m.all_null(len), "len {len}");
+            assert!(!m.none_null(len), "len {len}");
+            m.clear_all();
+            assert!(m.none_null(len), "len {len}");
+            assert!(!m.all_null(len), "len {len}");
+            // A single φ at the last slot must defeat none_null for any
+            // prefix that covers it and no shorter prefix.
+            m.set(len - 1, true);
+            assert!(!m.none_null(len), "len {len}");
+            assert!(m.none_null(len - 1), "len {len}");
+        }
+    }
+
+    #[test]
+    fn set_range_straddles_word_edges() {
+        let mut m = NullMask::new(200);
+        m.clear_all();
+        m.set_range(60, 70, true);
+        for i in 0..200 {
+            assert_eq!(m.get(i), (60..70).contains(&i), "slot {i}");
+        }
+        m.set_range(0, 200, true);
+        assert!(m.all_null(200));
+        m.set_range(64, 128, false);
+        assert!((64..128).all(|i| !m.get(i)));
+        assert!(m.get(63) && m.get(128));
+        m.set_range(5, 5, true); // empty range is a no-op
+        assert!(!m.get(5) || m.get(5) == m.get(5));
+    }
+
+    #[test]
+    fn set_or_and_copy() {
+        let mut a = NullMask::new(100);
+        let mut b = NullMask::new(100);
+        a.clear_all();
+        b.clear_all();
+        a.set(3, true);
+        a.set(64, true);
+        b.set(65, true);
+        let mut dst = NullMask::new(100);
+        dst.set_or(&a, &b, 100);
+        assert!(dst.get(3) && dst.get(64) && dst.get(65));
+        assert!(!dst.get(4) && !dst.get(63) && !dst.get(66));
+
+        let mut c = NullMask::new(100);
+        c.copy_from(&dst, 100);
+        assert_eq!(c, dst);
+        let mut d = NullMask::new(100);
+        d.clear_all();
+        d.set(99, true);
+        d.or_with(&a, 100);
+        assert!(d.get(3) && d.get(64) && d.get(99) && !d.get(65));
+    }
+
+    #[test]
+    fn tail_bits_never_ghost() {
+        // set_all on a non-word-multiple length must not set ghost bits
+        // that would break none_null/all_null word scans.
+        let mut m = NullMask::new(65);
+        m.set_all();
+        assert!(m.all_null(65));
+        m.set_range(0, 65, false);
+        assert!(m.none_null(65));
+        m.set(64, true);
+        assert!(!m.none_null(65));
+        assert!(m.none_null(64));
     }
 }

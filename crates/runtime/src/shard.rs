@@ -1189,6 +1189,13 @@ impl Shard {
             return;
         }
         let Some(state) = self.keys.get_mut(&key) else { return };
+        // The victim may be any key on the shard, and its roster vectors
+        // are only re-synced on its own accept/visit paths — an attach that
+        // grew the cell roster since this key last saw traffic would leave
+        // `state.cells` short and the drain loop below indexing past it
+        // (a caught panic that spuriously quarantined a healthy key,
+        // discarding its share of the reorder buffer).
+        Self::sync_key(state, self.cells.len(), self.n_sources);
         let id = self.id;
         let sinks = Arc::clone(&self.sinks);
         let stats = Arc::clone(&self.stats);

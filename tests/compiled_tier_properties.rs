@@ -1,15 +1,18 @@
-//! Differential property tests for the typed (compiled) kernel tier:
-//! randomly generated *well-typed* expression DAGs over random event
-//! streams must produce **byte-identical** output on the compiled and
-//! interpreted tiers — identical span boundaries, identical payload bits
-//! (`SnapshotBuf` equality uses `Value::same`, which compares floats
-//! bitwise) — one-shot, fused and unfused, and through the sharded
-//! `StreamService` at 1/2/4 shards.
+//! Differential property tests for the typed kernel tiers: randomly
+//! generated *well-typed* expression DAGs over random event streams must
+//! produce **byte-identical** output on all three tiers — batched,
+//! per-tick compiled, and interpreted; identical span boundaries,
+//! identical payload bits (`SnapshotBuf` equality uses `Value::same`,
+//! which compares floats bitwise) — one-shot, fused and unfused, and
+//! through the sharded `StreamService` at 1/2/4 shards.
 //!
-//! The generator deliberately covers the tier boundary: φ-heavy bodies
+//! The generator deliberately covers the tier boundaries: φ-heavy bodies
 //! (null literals, filters, sparse streams), `Str` equality, `Tuple`
 //! construction/projection, custom reductions, and mixed `int`/`float`
-//! `if` branches whose unpromoted taken value must survive boxing.
+//! `if` branches whose unpromoted taken value must survive boxing. A
+//! deterministic suite at the bottom pins the batched tier's word-edge
+//! behavior: runs of 63/64/65 ticks and φ gaps straddling 64-lane mask
+//! word boundaries.
 
 use std::sync::Arc;
 
@@ -315,27 +318,28 @@ fn full_case(seed: u64) -> (Query, Vec<Vec<Event<Value>>>) {
     (q, events)
 }
 
-fn run_pair(q: &Query, events: &[Vec<Event<Value>>], optimized: bool) {
-    let (compiled, interp) = if optimized {
-        (Compiler::new(), Compiler::interpreted())
-    } else {
-        (Compiler::unoptimized(), Compiler::unoptimized().with_tier(ExecTier::Interpreted))
-    };
-    let compiled = compiled.compile(q).expect("compiles (typed tier)");
-    let interp = interp.compile(q).expect("compiles (interpreter)");
-    assert_eq!(compiled.tier(), ExecTier::Compiled);
+fn run_tiers(q: &Query, events: &[Vec<Event<Value>>], optimized: bool) {
+    let base = if optimized { Compiler::new() } else { Compiler::unoptimized() };
+    let batched = base.compile(q).expect("compiles (batched tier)");
+    let per_tick = base.with_tier(ExecTier::Compiled).compile(q).expect("compiles (per-tick tier)");
+    let interp = base.with_tier(ExecTier::Interpreted).compile(q).expect("compiles (interpreter)");
+    assert_eq!(batched.tier(), ExecTier::Batched);
+    assert_eq!(per_tick.tier(), ExecTier::Compiled);
+    assert_eq!(per_tick.batched_kernels(), 0);
     assert_eq!(interp.tier(), ExecTier::Interpreted);
     assert_eq!(interp.compiled_kernels(), 0);
 
     let hi = events.iter().flat_map(|evs| evs.last()).map(|e| e.end).max().unwrap_or(Time::new(8));
-    let range = TimeRange::new(Time::ZERO, (hi + 16).align_up(compiled.grid()));
+    let range = TimeRange::new(Time::ZERO, (hi + 16).align_up(batched.grid()));
     let bufs: Vec<SnapshotBuf<Value>> =
         events.iter().map(|evs| SnapshotBuf::from_events(evs, range)).collect();
     let refs: Vec<&SnapshotBuf<Value>> = bufs.iter().collect();
-    let a = compiled.run(&refs, range);
-    let b = interp.run(&refs, range);
+    let a = batched.run(&refs, range);
+    let b = per_tick.run(&refs, range);
+    let c = interp.run(&refs, range);
     // Byte-identical: same span boundaries, same payload bits.
-    assert_eq!(a, b, "compiled vs interpreted diverged (optimized={optimized})");
+    assert_eq!(a, b, "batched vs per-tick diverged (optimized={optimized})");
+    assert_eq!(b, c, "per-tick vs interpreted diverged (optimized={optimized})");
 }
 
 proptest! {
@@ -343,12 +347,12 @@ proptest! {
 
     /// One-shot differential: random well-typed DAGs over Float/Int/Str/
     /// Tuple inputs (φ-heavy streams, fallback boundaries, custom reduces)
-    /// are byte-identical across tiers, fused and unfused.
+    /// are byte-identical across all three tiers, fused and unfused.
     #[test]
     fn compiled_tier_matches_interpreter_oneshot(seed in any::<u64>()) {
         let (q, events) = full_case(seed);
-        run_pair(&q, &events, true);
-        run_pair(&q, &events, false);
+        run_tiers(&q, &events, true);
+        run_tiers(&q, &events, false);
     }
 }
 
@@ -371,8 +375,8 @@ proptest! {
 
     /// Service differential: the same keyed workload through a sharded
     /// `StreamService` produces identical per-key output whether the query
-    /// was compiled to the typed tier or pinned to the interpreter — at 1,
-    /// 2, and 4 shards.
+    /// was compiled to the batched tier, the per-tick tier, or pinned to
+    /// the interpreter — at 1, 2, and 4 shards.
     #[test]
     fn compiled_tier_matches_interpreter_through_service(
         seed in any::<u64>(),
@@ -380,10 +384,11 @@ proptest! {
     ) {
         let shards = [1, 2, 4][shard_pick];
         let (q, streams) = keyed_case(seed);
-        let compiled = Arc::new(Compiler::new().compile(&q).expect("compiles"));
-        let interp = Arc::new(
-            Compiler::interpreted().compile(&q).expect("compiles"),
-        );
+        let tiers = [
+            Arc::new(Compiler::new().compile(&q).expect("compiles")),
+            Arc::new(Compiler::new().with_tier(ExecTier::Compiled).compile(&q).expect("compiles")),
+            Arc::new(Compiler::interpreted().compile(&q).expect("compiles")),
+        ];
 
         let mut arrivals: Vec<KeyedEvent> = streams
             .iter()
@@ -394,7 +399,7 @@ proptest! {
             .collect();
         arrivals.sort_by_key(|ke| (ke.event.end, ke.key));
         let hi = arrivals.iter().map(|ke| ke.event.end).max().unwrap_or(Time::new(4));
-        let end = (hi + 32).align_up(compiled.grid());
+        let end = (hi + 32).align_up(tiers[0].grid());
 
         let config = RuntimeConfig {
             shards,
@@ -402,20 +407,87 @@ proptest! {
             emit_interval: 4,
             ..RuntimeConfig::default()
         };
-        let svc_a = Single::start(Arc::clone(&compiled), config);
-        svc_a.ingest(arrivals.iter().cloned());
-        let out_a = svc_a.finish_at(end);
-        let svc_b = Single::start(Arc::clone(&interp), config);
-        svc_b.ingest(arrivals.iter().cloned());
-        let out_b = svc_b.finish_at(end);
+        let outs: Vec<_> = tiers
+            .iter()
+            .map(|cq| {
+                let svc = Single::start(Arc::clone(cq), config);
+                svc.ingest(arrivals.iter().cloned());
+                svc.finish_at(end)
+            })
+            .collect();
 
-        prop_assert_eq!(out_a.stats.late_dropped, 0);
-        prop_assert_eq!(out_a.per_key.len(), out_b.per_key.len());
-        for (key, got) in &out_a.per_key {
-            let want = &out_b.per_key[key];
-            prop_assert_eq!(
-                got, want,
-                "key {} diverged across tiers at {} shards", key, shards
+        prop_assert_eq!(outs[0].stats.late_dropped, 0);
+        for (pair, name) in
+            [((0usize, 1usize), "batched vs per-tick"), ((1, 2), "per-tick vs interpreted")]
+        {
+            let (a, b) = (&outs[pair.0], &outs[pair.1]);
+            prop_assert_eq!(a.per_key.len(), b.per_key.len());
+            for (key, got) in &a.per_key {
+                let want = &b.per_key[key];
+                prop_assert_eq!(
+                    got, want,
+                    "key {} diverged ({}) at {} shards", key, name, shards
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic word-edge coverage for the batched tier: a fused numeric
+/// plan driven over dense runs of exactly 63/64/65/128/130 ticks (the
+/// `NullMask` word size is 64, the batch cap 256), with φ gaps positioned
+/// to straddle lane-word boundaries. All three tiers must agree
+/// byte-for-byte, and the plan must actually take the batched path.
+#[test]
+fn batched_tier_word_boundary_runs() {
+    for total_ticks in [63i64, 64, 65, 128, 130, 257] {
+        for gap_at in [None, Some(62i64), Some(63), Some(64), Some(65), Some(127)] {
+            let mut b = Query::builder();
+            let x = b.input("x", DataType::Float);
+            let sum =
+                b.temporal("sum", TDom::unbounded(1), Expr::reduce_window(ReduceOp::Sum, x, 16));
+            let out = b.temporal(
+                "out",
+                TDom::every_tick(),
+                Expr::at(sum).mul(Expr::c(2.0)).add(Expr::at(x)),
+            );
+            let q = b.finish(out).expect("well-formed");
+
+            // One long span, optionally interrupted by a φ gap whose edges
+            // land on/next to a 64-lane word boundary.
+            let mut events = Vec::new();
+            match gap_at {
+                None => {
+                    events.push(Event::new(Time::ZERO, Time::new(total_ticks), Value::Float(1.5)))
+                }
+                Some(g) if g + 2 < total_ticks => {
+                    events.push(Event::new(Time::ZERO, Time::new(g), Value::Float(1.5)));
+                    events.push(Event::new(
+                        Time::new(g + 2),
+                        Time::new(total_ticks),
+                        Value::Float(-0.25),
+                    ));
+                }
+                Some(_) => continue,
+            }
+
+            let batched = Compiler::new().compile(&q).expect("compiles");
+            assert_eq!(batched.batched_kernels(), batched.num_kernels());
+            assert!(batched.fully_typed());
+            let per_tick =
+                Compiler::new().with_tier(ExecTier::Compiled).compile(&q).expect("compiles");
+            let interp = Compiler::interpreted().compile(&q).expect("compiles");
+
+            let range = TimeRange::new(Time::ZERO, Time::new(total_ticks));
+            let bufs = [SnapshotBuf::from_events(&events, range)];
+            let refs: Vec<&SnapshotBuf<Value>> = bufs.iter().collect();
+            let a = batched.run(&refs, range);
+            let bt = per_tick.run(&refs, range);
+            let c = interp.run(&refs, range);
+            assert_eq!(a, bt, "batched vs per-tick diverged (ticks={total_ticks}, gap={gap_at:?})");
+            assert_eq!(
+                bt, c,
+                "per-tick vs interpreted diverged (ticks={total_ticks}, gap={gap_at:?})"
             );
         }
     }

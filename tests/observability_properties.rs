@@ -1,7 +1,10 @@
 //! Observability properties for `tilt-runtime`'s metrics layer: event
 //! accounting must conserve (every ingested event ends in exactly one
-//! terminal counter), the `metrics` toggle must never change output, and
-//! the control-plane journal must keep its ring/sequence invariants.
+//! terminal counter), the `metrics` toggle must never change output, the
+//! control-plane journal must keep its ring/sequence invariants, and
+//! `ForceDrain` backstops must never quarantine healthy keys or drive the
+//! reorder-pending gauge negative — even when the per-key cell roster grew
+//! via `attach` after the key last ran.
 
 use std::sync::Arc;
 
@@ -151,10 +154,104 @@ fn metrics_toggle_never_changes_output() {
     assert!(on.journal.next_seq > 0, "attach/detach churn must be journaled");
     assert_eq!(off.journal.next_seq, 0, "metrics off ⇒ journal never written");
     assert!(off.journal.events.is_empty());
-    // Base counters agree on everything the toggle does not gate.
+    // Base counters agree on everything the toggle does not gate *and*
+    // the FIFO shard channels make deterministic. `events_out` is not in
+    // that set: shards drain ingest in bursts and run one emission cycle
+    // per burst, so burst boundaries (scheduling) decide how many cycles
+    // run — and whether the short-lived tenant emits at all before its
+    // detach. Raw emitted-span counts therefore vary run to run even with
+    // identical inputs; the coalesced per-query content compared above is
+    // the real toggle invariant.
     assert_eq!(on.stats.events_in, off.stats.events_in);
-    assert_eq!(on.stats.events_out, off.stats.events_out);
     assert_eq!(on.stats.late_dropped, off.stats.late_dropped);
+}
+
+/// `ForceDrain` backstop under attach/detach churn: forced drains must
+/// never quarantine a healthy key, drive the reorder-pending gauge
+/// negative, or leak events from the conservation identity — at 1 and 2
+/// shards, with both per-key and per-shard caps tripping.
+#[test]
+fn force_drain_churn_conserves() {
+    for shards in [1usize, 2] {
+        let mut builder = StreamService::builder(RuntimeConfig {
+            shards,
+            allowed_lateness: 4,
+            emit_interval: 1,
+            max_pending_per_key: Some(3),
+            max_pending_per_shard: Some(24),
+            backstop: BackstopPolicy::ForceDrain,
+            metrics: true,
+            ..RuntimeConfig::default()
+        });
+        builder.register(window_query(8));
+        let service = builder.start().unwrap();
+        let tr = scrambled_traffic(6, 400, 48);
+        let chunk = tr.len() / 10;
+        let mut handles = Vec::new();
+        for (i, part) in tr.chunks(chunk).enumerate() {
+            service.ingest(part.iter().cloned());
+            if i % 2 == 0 {
+                let settings = QuerySettings {
+                    allowed_lateness: Some(30 + i as i64 * 7),
+                    emit_interval: Some(1 + (i as i64 % 3)),
+                    ..QuerySettings::default()
+                };
+                handles.push(service.attach(window_query(2 + (i as i64 % 3)), settings).unwrap());
+            } else if let Some(h) = handles.pop() {
+                service.detach(h).unwrap();
+            }
+        }
+        for h in handles {
+            service.detach(h).unwrap();
+        }
+        let out = service.finish_at(Time::new(410));
+        let s = &out.stats;
+        assert_eq!(s.reorder_underflow, 0, "shards={shards}: gauge went negative");
+        assert_eq!(s.keys_quarantined, 0, "shards={shards}: force-drain quarantined a key");
+        assert_eq!(s.conservation_balance(), 0, "shards={shards}: events leaked");
+    }
+}
+
+/// Regression: `attach` grows the per-key cell roster, and a later
+/// shard-cap force-drain picks a victim key that no emission cycle has
+/// visited (and re-synced) since — the watermark is pinned, so no cycle
+/// ever runs. Draining through the stale roster used to index past the
+/// key's cell list, panic, and quarantine a perfectly healthy key; the
+/// drain must sync the roster first.
+#[test]
+fn force_drain_after_attach_keeps_keys_healthy() {
+    let mut builder = StreamService::builder(RuntimeConfig {
+        shards: 1,
+        // Watermark pinned far behind: no emission cycle is ever due, so
+        // no visit re-syncs old keys after the attach.
+        allowed_lateness: 100_000,
+        emit_interval: 1,
+        max_pending_per_shard: Some(32),
+        backstop: BackstopPolicy::ForceDrain,
+        metrics: true,
+        ..RuntimeConfig::default()
+    });
+    builder.register(window_query(4));
+    let service = builder.start().unwrap();
+    // Key 0 buffers 20 events under the pinned watermark.
+    service.ingest(
+        (1..=20).map(|t| KeyedEvent::new(0, 0, Event::point(Time::new(t), Value::Float(t as f64)))),
+    );
+    // The roster grows.
+    let _tenant = service.attach(window_query(2), QuerySettings::default()).unwrap();
+    // A different key floods past the shard cap: the force-drain victim is
+    // key 0 (fullest buffer), whose cell roster was never resynced.
+    service.ingest(
+        (1..=14).map(|t| KeyedEvent::new(9, 0, Event::point(Time::new(t), Value::Float(t as f64)))),
+    );
+    let out = service.finish_at(Time::new(40));
+    assert_eq!(
+        out.stats.keys_quarantined, 0,
+        "healthy key quarantined by a force-drain (quarantine_dropped={})",
+        out.stats.quarantine_dropped
+    );
+    assert_eq!(out.stats.reorder_underflow, 0);
+    assert_eq!(out.stats.conservation_balance(), 0);
 }
 
 #[test]
