@@ -32,7 +32,13 @@
 //!   batched tier (and the `Str` plan kept off it); and the
 //!   map-once-per-element invariant — Subtract-on-Evict must re-use
 //!   cached mapped values, never re-run the fused map, so `map_run_rate`
-//!   (map executions / events) stays ≤ 1 up to warmup slack.
+//!   (map executions / events) stays ≤ 1 up to warmup slack;
+//! * `server_loopback`: remote subscribers' per-key output identical to
+//!   the in-process run (the wire adds no reordering, loss, or
+//!   duplication), exact event conservation and zero decode errors over
+//!   TCP, and — for the starved section — shard backpressure visibly
+//!   propagated to the remote producer (`Busy` replies and
+//!   `credit_stalls` both nonzero).
 //!
 //! ```sh
 //! cargo run --release --bin guardrail -- bench-artifacts/
@@ -40,11 +46,21 @@
 //! ```
 //!
 //! Exits non-zero (after printing every violation) if any invariant fails,
-//! if a file does not parse, or if no report was checked at all.
+//! if a file does not parse, or if no report was checked at all. In
+//! directory mode every bench in `EXPECTED_BENCHES` must contribute a
+//! recognized report — a missing or unreadable expected artifact is a
+//! named failing check, not a silent skip.
 
 use std::path::{Path, PathBuf};
 
 use tilt_bench::json::{parse, Json};
+
+/// Every bench whose artifact the CI lane is expected to produce. In
+/// directory mode a missing or unparseable expected artifact is a named
+/// failing check — a bench that silently stopped emitting its report
+/// must fail the lane, not shrink it.
+const EXPECTED_BENCHES: [&str; 6] =
+    ["runtime_shards", "multi_query", "hardening", "obs_overhead", "kernel_hot", "server_loopback"];
 
 /// One report's check results.
 struct Outcome {
@@ -61,9 +77,11 @@ fn main() {
         std::process::exit(2);
     }
     let mut files: Vec<PathBuf> = Vec::new();
+    let mut directory_mode = false;
     for arg in &args {
         let path = Path::new(arg);
         if path.is_dir() {
+            directory_mode = true;
             let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
                 .unwrap_or_else(|e| panic!("read directory {arg}: {e}"))
                 .filter_map(|e| e.ok().map(|e| e.path()))
@@ -82,9 +100,11 @@ fn main() {
 
     let mut failed = false;
     let mut total_checks = 0usize;
+    let mut seen_benches: Vec<String> = Vec::new();
     for file in files {
         let outcome = check_file(&file);
         total_checks += outcome.checked;
+        seen_benches.push(outcome.bench.clone());
         if outcome.violations.is_empty() {
             println!(
                 "ok   {} [{}]: {} invariants hold",
@@ -97,6 +117,21 @@ fn main() {
             println!("FAIL {} [{}]:", outcome.file.display(), outcome.bench);
             for v in &outcome.violations {
                 println!("     - {v}");
+            }
+        }
+    }
+    // Coverage check: when pointed at a directory, every expected bench
+    // must have contributed a (parsed, recognized) report. A bench whose
+    // artifact went missing or unreadable is a named failure, never a
+    // silent skip.
+    if directory_mode {
+        for expected in EXPECTED_BENCHES {
+            let hits = seen_benches.iter().filter(|b| b.as_str() == expected).count();
+            if hits == 0 {
+                failed = true;
+                total_checks += 1;
+                println!("FAIL <coverage> [{expected}]:");
+                println!("     - expected bench artifact missing from the directory scan");
             }
         }
     }
@@ -183,6 +218,24 @@ fn check_file(file: &Path) -> Outcome {
             check.gt_i64("observability.watermark_lag_buckets", 1);
             check.gt_i64("observability.advance_ns_buckets", 1);
             check.histograms_sane("observability.metrics.histograms");
+        }
+        "server_loopback" => {
+            // The wire adds no reordering, loss, or duplication: remote
+            // subscribers' streams equal the in-process run exactly, and
+            // event accounting conserves over TCP.
+            check.is_true("invariants.wire_identical");
+            check.fields_equal("invariants.events_in", "invariants.events_sent");
+            check.eq_i64("invariants.conservation_balance", 0);
+            check.eq_i64("invariants.decode_errors", 0);
+            check.gt_i64("invariants.bytes_in", 0);
+            check.gt_i64("invariants.bytes_out", 0);
+            // Shard backpressure must reach the remote producer: the
+            // starved section has to see Busy replies client-side and
+            // credit stalls server-side, with conservation still exact.
+            check.gt_i64("backpressure.busy_replies", 0);
+            check.gt_i64("backpressure.credit_stalls", 0);
+            check.eq_i64("backpressure.decode_errors", 0);
+            check.eq_i64("backpressure.conservation_balance", 0);
         }
         "obs_overhead" => {
             // The < 5% observability-overhead acceptance bar. Raw Mev/s

@@ -1,0 +1,286 @@
+//! Client/server integration bench over loopback TCP: the network front
+//! door (`tilt-server`) must deliver **byte-identical output** to an
+//! in-process run, conserve every event, and surface shard backpressure
+//! to remote producers as explicit `Busy` credit grants.
+//!
+//! Two sections:
+//!
+//! 1. *Identity*: four producer connections with disjoint key ranges
+//!    push one keyed workload into a 2-shard service while two
+//!    independent subscriber connections stream the query's per-key
+//!    output. Both subscribers' collected streams must be identical to
+//!    each other **and** to an in-process `StreamService` run over the
+//!    same events drained through the same horizon — the wire adds no
+//!    reordering, loss, or duplication. Conservation must balance to
+//!    exactly 0 over the wire and the decode-error counter must be 0.
+//! 2. *Backpressure*: a deliberately starved service (1 shard, tiny
+//!    ingest queue, output-heavy query) feeds a subscriber that naps
+//!    before draining. Shard output blocks on the subscriber's socket,
+//!    the two-slot ingest queue fills, and the producer must observe
+//!    `Busy` replies while the server counts `credit_stalls` — the
+//!    wire-level proof that backpressure propagates producer-ward
+//!    instead of ballooning memory.
+//!
+//! ```sh
+//! cargo run --release --bin server_loopback -- --quick --json out.json
+//! ```
+//!
+//! Throughput numbers are informational; the `--json` invariants are
+//! re-checked by the CI `guardrail` binary.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tilt_bench::json::Json;
+use tilt_bench::{fmt_meps, meps, print_table, time_it, write_json_report, RunCfg};
+use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+use tilt_core::{CompiledQuery, Compiler};
+use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
+use tilt_runtime::{KeyedEvent, RuntimeConfig, StreamService};
+use tilt_server::{Client, Server};
+
+fn sliding_sum(window: i64) -> Arc<CompiledQuery> {
+    let mut b = Query::builder();
+    let input = b.input("x", DataType::Float);
+    let out =
+        b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, window));
+    Arc::new(Compiler::new().compile(&b.finish(out).unwrap()).unwrap())
+}
+
+/// The identity workload: `keys` back-to-back unit-length events per
+/// key, values quantized to multiples of 0.25 so float aggregation is
+/// exact across any grouping of the arithmetic.
+fn workload(events: usize, keys: u64) -> Vec<KeyedEvent> {
+    let per_key = (events as u64 / keys).max(1);
+    let mut out = Vec::with_capacity((per_key * keys) as usize);
+    for key in 0..keys {
+        for i in 0..per_key {
+            let t = i as i64 + 1;
+            let v = ((key.wrapping_mul(31).wrapping_add(i * 7)) % 64) as f64 * 0.25;
+            out.push(KeyedEvent::new(key, 0, Event::point(Time::new(t), Value::Float(v))));
+        }
+    }
+    out
+}
+
+fn span_of(events: &[KeyedEvent]) -> i64 {
+    events.iter().map(|ke| ke.event.end.ticks()).max().unwrap_or(0)
+}
+
+/// In-process reference: one registered query, drained through `end`.
+fn in_process(
+    cq: &Arc<CompiledQuery>,
+    events: &[KeyedEvent],
+    cfg: RuntimeConfig,
+    end: Time,
+) -> HashMap<u64, Vec<Event<Value>>> {
+    let mut builder = StreamService::builder(cfg);
+    let q = builder.register(Arc::clone(cq));
+    let service = builder.start().expect("single registration");
+    service.ingest(events.iter().cloned());
+    service.finish_at(end).per_query.swap_remove(q.index())
+}
+
+fn streams_identical(
+    a: &HashMap<u64, Vec<Event<Value>>>,
+    b: &HashMap<u64, Vec<Event<Value>>>,
+) -> bool {
+    let mut keys: Vec<u64> = a.keys().chain(b.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.iter().all(|k| {
+        let x = a.get(k).cloned().unwrap_or_default();
+        let y = b.get(k).cloned().unwrap_or_default();
+        streams_equivalent(&coalesce(&x), &coalesce(&y))
+    })
+}
+
+/// Section 1: M producers + K subscribers over the wire vs one
+/// in-process run.
+fn identity_section(cfg: &RunCfg) -> (Vec<Vec<String>>, Json) {
+    const PRODUCERS: usize = 4;
+    const KEYS: u64 = 64;
+    let events = workload(cfg.events, KEYS);
+    let total = events.len();
+    let span = span_of(&events);
+    let end = Time::new(span + 16);
+    // Lateness covering the whole span: producer connections interleave
+    // keys arbitrarily, and nothing may be dropped for it.
+    let service_cfg = RuntimeConfig {
+        shards: 2,
+        allowed_lateness: span,
+        start: Time::ZERO,
+        ..RuntimeConfig::default()
+    };
+    let cq = sliding_sum(8);
+
+    let local = in_process(&cq, &events, service_cfg, end);
+
+    let server =
+        Server::start(service_cfg, vec![("sliding_sum".into(), Arc::clone(&cq))]).expect("server");
+    let control = Client::connect(server.addr()).expect("control client");
+    let q = control.attach("sliding_sum", None, None).expect("attach");
+    let consumer_a = Client::connect(server.addr()).expect("consumer a");
+    let consumer_b = Client::connect(server.addr()).expect("consumer b");
+    let sub_a = consumer_a.subscribe(q).expect("subscribe a");
+    let sub_b = consumer_b.subscribe(q).expect("subscribe b");
+
+    // Disjoint key ranges per producer connection.
+    let mut chunks: Vec<Vec<KeyedEvent>> = (0..PRODUCERS).map(|_| Vec::new()).collect();
+    for ke in &events {
+        chunks[(ke.key % PRODUCERS as u64) as usize].push(ke.clone());
+    }
+    let addr = server.addr();
+    let (busy_total, ingest_dur) = time_it(|| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                std::thread::spawn(move || {
+                    let producer = Client::connect(addr).expect("producer");
+                    producer.ingest(chunk).expect("producer ingest").busy
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("producer thread")).sum::<usize>()
+    });
+
+    let live = control.stats().expect("stats");
+    control.shutdown(Some(end)).expect("shutdown");
+    let wire_a = sub_a.collect_per_key();
+    let wire_b = sub_b.collect_per_key();
+    let after = control.stats().expect("final stats");
+    server.stop();
+
+    let identical = streams_identical(&wire_a, &local) && streams_identical(&wire_a, &wire_b);
+    let stat = |name: &str| after.get(name).unwrap_or(-1);
+    let rows = vec![vec![
+        total.to_string(),
+        fmt_meps(meps(total, ingest_dur)),
+        identical.to_string(),
+        stat("conservation_balance").to_string(),
+        stat("bytes_in").to_string(),
+        stat("bytes_out").to_string(),
+        busy_total.to_string(),
+    ]];
+    let json = Json::obj([
+        ("wire_identical", identical.into()),
+        ("events_sent", (total as i64).into()),
+        ("events_in", live.get("events_in").unwrap_or(-1).into()),
+        ("conservation_balance", stat("conservation_balance").into()),
+        ("decode_errors", stat("decode_errors").into()),
+        ("bytes_in", stat("bytes_in").into()),
+        ("bytes_out", stat("bytes_out").into()),
+        ("producers", (PRODUCERS as i64).into()),
+        ("subscribers", 2i64.into()),
+        ("ingest_meps", meps(total, ingest_dur).into()),
+    ]);
+    (rows, json)
+}
+
+/// Section 2: a starved service and a napping subscriber must produce
+/// `Busy` replies client-side and `credit_stalls` server-side.
+fn backpressure_section(cfg: &RunCfg) -> (Vec<Vec<String>>, Json) {
+    let events_n = (cfg.events / 4).max(4_000);
+    // Long events make the every-tick output stream much larger than the
+    // input, so the subscriber's socket is guaranteed to fill while it
+    // naps — that is what blocks the shard and backs the queue up.
+    const LEN: i64 = 64;
+    let mut events = Vec::with_capacity(events_n);
+    let mut t = 0i64;
+    for i in 0..events_n {
+        events.push(KeyedEvent::new(
+            (i % 4) as u64,
+            0,
+            Event::new(Time::new(t), Time::new(t + LEN), Value::Float((i % 16) as f64 * 0.25)),
+        ));
+        t += LEN;
+    }
+    let service_cfg = RuntimeConfig {
+        shards: 1,
+        allowed_lateness: 0,
+        emit_interval: 1,
+        // Two ingest-queue slots (capacity / ingest_batch): the smallest
+        // legal queue, so a stalled shard is visible almost immediately.
+        channel_capacity: 512,
+        ingest_batch: 256,
+        start: Time::ZERO,
+        ..RuntimeConfig::default()
+    };
+    let server =
+        Server::start(service_cfg, vec![("sliding_sum".into(), sliding_sum(128))]).expect("server");
+    let control = Client::connect(server.addr()).expect("control client");
+    let q = control.attach("sliding_sum", None, None).expect("attach");
+
+    let addr = server.addr();
+    let consumer = std::thread::spawn(move || {
+        let consumer = Client::connect(addr).expect("consumer");
+        let sub = consumer.subscribe(q).expect("subscribe");
+        // Nap first: let the socket fill and the shard block on it.
+        std::thread::sleep(Duration::from_millis(300));
+        let mut frames = 0usize;
+        while sub.next().is_some() {
+            frames += 1;
+        }
+        frames
+    });
+    // Give the consumer time to subscribe before producing.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let total = events.len();
+    let (report, dur) = time_it(|| control.ingest(events).expect("ingest"));
+    let live = control.stats().expect("stats");
+    control.shutdown(None).expect("shutdown");
+    let frames = consumer.join().expect("consumer thread");
+    let after = control.stats().expect("final stats");
+    server.stop();
+
+    let stat = |name: &str| after.get(name).unwrap_or(-1);
+    let rows = vec![vec![
+        total.to_string(),
+        fmt_meps(meps(total, dur)),
+        report.busy.to_string(),
+        stat("credit_stalls").to_string(),
+        frames.to_string(),
+    ]];
+    let json = Json::obj([
+        ("events", (total as i64).into()),
+        ("busy_replies", (report.busy as i64).into()),
+        ("ingest_frames", (report.frames as i64).into()),
+        ("credit_stalls", stat("credit_stalls").into()),
+        ("decode_errors", stat("decode_errors").into()),
+        ("conservation_balance", stat("conservation_balance").into()),
+        ("output_frames", (frames as i64).into()),
+        ("events_in", live.get("events_in").unwrap_or(-1).into()),
+    ]);
+    (rows, json)
+}
+
+fn main() {
+    let cfg = RunCfg::from_args(200_000);
+
+    let (identity_rows, invariants) = identity_section(&cfg);
+    print_table(
+        "Server loopback — wire vs in-process identity (4 producers, 2 subscribers)",
+        "remote per-key output must equal the in-process run exactly",
+        &["events", "Mev/s", "identical", "balance", "bytes_in", "bytes_out", "busy"],
+        &identity_rows,
+    );
+
+    let (bp_rows, backpressure) = backpressure_section(&cfg);
+    print_table(
+        "Server loopback — backpressure under a napping subscriber",
+        "a starved 1-shard service must answer Busy and count credit stalls",
+        &["events", "Mev/s", "busy_replies", "credit_stalls", "output_frames"],
+        &bp_rows,
+    );
+
+    write_json_report(
+        &cfg,
+        &Json::obj([
+            ("bench", "server_loopback".into()),
+            ("invariants", invariants),
+            ("backpressure", backpressure),
+        ]),
+    );
+}

@@ -107,6 +107,32 @@ pub struct JournalSnapshot<T> {
     pub next_seq: u64,
 }
 
+impl<T: std::fmt::Display> JournalSnapshot<T> {
+    /// Renders the snapshot as plain text, one `seq +ms event` line per
+    /// retained entry, preceded by a gap marker when the ring evicted
+    /// older entries — the format network front ends serve on their
+    /// journal-scrape endpoint.
+    ///
+    /// ```
+    /// use tilt_obs::Journal;
+    /// let j: Journal<&str> = Journal::new(4);
+    /// j.push("attach query=0");
+    /// let text = j.snapshot().to_text();
+    /// assert!(text.contains("attach query=0"));
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "# {} earlier entries evicted from the ring", self.dropped);
+        }
+        for entry in &self.events {
+            let _ = writeln!(out, "{} +{}ms {}", entry.seq, entry.at_ms, entry.event);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -503,23 +503,32 @@ impl Core {
     }
 
     fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
+        self.ingest_with_pressure(events);
+    }
+
+    /// Like [`Core::ingest`], but reports whether any destination shard's
+    /// queue was full at enqueue time (the events are still delivered —
+    /// the full queue is waited out with a blocking send).
+    fn ingest_with_pressure<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) -> bool {
         let mut routed: Vec<Vec<KeyedEvent>> = (0..self.shards).map(|_| Vec::new()).collect();
         let mut n: u64 = 0;
+        let mut stalled = false;
         for ev in events {
             n += 1;
             self.stats.note_event_end(ev.event.end);
             let s = shard_index(ev.key, self.shards);
             routed[s].push(ev);
             if routed[s].len() >= self.ingest_batch {
-                self.send_batch(s, std::mem::take(&mut routed[s]));
+                stalled |= self.send_batch(s, std::mem::take(&mut routed[s]));
             }
         }
         for (s, batch) in routed.into_iter().enumerate() {
             if !batch.is_empty() {
-                self.send_batch(s, batch);
+                stalled |= self.send_batch(s, batch);
             }
         }
         self.stats.events_in.add(n);
+        stalled
     }
 
     fn send(&self, event: KeyedEvent) {
@@ -571,11 +580,21 @@ impl Core {
         (per_query, self.stats.snapshot())
     }
 
-    fn send_batch(&self, shard: usize, batch: Vec<KeyedEvent>) {
+    /// Enqueues one routed batch, returning `true` if the shard's queue
+    /// was full and the send had to block (the backpressure signal remote
+    /// front ends surface to their producers as `Busy`).
+    fn send_batch(&self, shard: usize, batch: Vec<KeyedEvent>) -> bool {
         self.stats.queue_depth[shard].add(batch.len() as i64);
         // A send can only fail if the shard thread died; surface that on
         // join rather than panicking mid-ingest.
-        let _ = self.senders[shard].send(ShardMsg::Batch(batch));
+        match self.senders[shard].try_send(ShardMsg::Batch(batch)) {
+            Ok(()) => false,
+            Err(std::sync::mpsc::TrySendError::Full(msg)) => {
+                let _ = self.senders[shard].send(msg);
+                true
+            }
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
+        }
     }
 }
 
@@ -833,6 +852,18 @@ impl StreamService {
         self.core.ingest(events);
     }
 
+    /// Like [`StreamService::ingest`], but additionally reports whether
+    /// backpressure engaged: `true` means at least one destination shard's
+    /// queue was full when a batch arrived and the enqueue had to block
+    /// until the shard caught up. The events are delivered either way.
+    ///
+    /// This is the entry point for network front ends (`tilt-server`) that
+    /// surface backpressure to remote producers as explicit `Busy` replies
+    /// instead of silently blocking their connection threads.
+    pub fn ingest_with_pressure<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) -> bool {
+        self.core.ingest_with_pressure(events)
+    }
+
     /// Ingests a single event ([`StreamService::ingest`] amortizes
     /// better).
     pub fn send(&self, event: KeyedEvent) {
@@ -872,6 +903,25 @@ impl StreamService {
     /// sequence order. Empty when [`RuntimeConfig::metrics`] is off.
     pub fn journal(&self) -> tilt_obs::JournalSnapshot<ControlEvent> {
         self.core.stats.journal_snapshot()
+    }
+
+    /// The metrics registry every service instrument lives in. Front ends
+    /// layered over the service (e.g. the `tilt-server` wire protocol)
+    /// register their own instruments here so one
+    /// [`StreamService::metrics_text`] scrape covers the whole process.
+    pub fn registry(&self) -> Arc<tilt_obs::Registry> {
+        Arc::clone(&self.core.stats.registry)
+    }
+
+    /// Appends a control-plane transition to the service journal on behalf
+    /// of a front end layered over the service — the hook `tilt-server`
+    /// uses to journal [`ControlEvent::Connect`] /
+    /// [`ControlEvent::Disconnect`] / [`ControlEvent::Subscribe`]
+    /// alongside the transitions the shards record themselves. A no-op
+    /// when [`RuntimeConfig::metrics`] is off, like every other journal
+    /// write.
+    pub fn record_control(&self, event: ControlEvent) {
+        self.core.stats.note_control(event);
     }
 
     /// Gracefully drains and shuts down: every buffered event is flushed,

@@ -99,6 +99,24 @@ pub enum ControlEvent {
         /// Events force-drained by this trigger.
         drained: u64,
     },
+    /// A remote client connected to a network front end serving this
+    /// service (recorded via [`crate::StreamService::record_control`]).
+    Connect {
+        /// The front end's connection id.
+        conn: u64,
+    },
+    /// A remote client's connection closed (cleanly or on error).
+    Disconnect {
+        /// The front end's connection id.
+        conn: u64,
+    },
+    /// A remote client subscribed to a query's per-key output stream.
+    Subscribe {
+        /// The front end's connection id.
+        conn: u64,
+        /// The subscribed query's slot.
+        query: usize,
+    },
 }
 
 impl std::fmt::Display for ControlEvent {
@@ -119,6 +137,11 @@ impl std::fmt::Display for ControlEvent {
             }
             ControlEvent::BackstopDrain { shard, key, drained } => {
                 write!(f, "backstop-drain shard={shard} key={key} drained={drained}")
+            }
+            ControlEvent::Connect { conn } => write!(f, "connect conn={conn}"),
+            ControlEvent::Disconnect { conn } => write!(f, "disconnect conn={conn}"),
+            ControlEvent::Subscribe { conn, query } => {
+                write!(f, "subscribe conn={conn} query={query}")
             }
         }
     }

@@ -1,0 +1,432 @@
+//! The client half: a blocking library client for the wire protocol,
+//! used by tests, benches, and examples (and as the reference for
+//! third-party implementations).
+//!
+//! A [`Client`] owns one TCP connection. A background reader thread
+//! splits the incoming frame stream in two: request replies go to the
+//! (single) in-flight request, while [`Message::Output`] /
+//! [`Message::Eos`] frames are routed to their [`Subscription`]
+//! channels — so a subscriber can keep draining output while another
+//! thread of the same client is blocked waiting for an ingest credit.
+//! Requests are serialized behind a mutex: one outstanding request per
+//! connection, matching the server's in-order replies.
+//!
+//! Ingest is credit-driven: the client chunks batches to the server's
+//! current grant and waits for each chunk's [`Message::Credit`] /
+//! [`Message::Busy`] before sending the next, so a slow service
+//! backpressures the producer instead of ballooning socket buffers.
+
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tilt_data::{Event, Time, Value};
+use tilt_runtime::KeyedEvent;
+
+use crate::protocol::{
+    read_message, write_message, ErrorCode, Message, RecvError, TextKind, WireEvent,
+    PROTOCOL_VERSION,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The connection closed while a reply was pending.
+    Closed,
+    /// The server sent something the protocol does not allow here.
+    Protocol(String),
+    /// The server answered with [`Message::Error`].
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Closed => write!(f, "connection closed"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A query attached over the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteQuery {
+    id: u32,
+    frontier: Time,
+}
+
+impl RemoteQuery {
+    /// The wire query id (stable for the life of the service).
+    pub fn id(self) -> u32 {
+        self.id
+    }
+
+    /// The join frontier the server admitted the query at: its output
+    /// covers only ticks at or after this.
+    pub fn frontier(self) -> Time {
+        self.frontier
+    }
+}
+
+/// What one ingest call experienced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Events delivered.
+    pub events: usize,
+    /// Wire frames the batch was split into (credit-sized chunks).
+    pub frames: usize,
+    /// How many chunks were answered with [`Message::Busy`] — the
+    /// service was backpressured while applying them.
+    pub busy: usize,
+}
+
+enum SubItem {
+    Output(u64, Vec<Event<Value>>),
+    Eos,
+}
+
+/// A live output stream for one subscribed query.
+///
+/// Frames arrive in per-key time order. The stream ends (every method
+/// reports exhaustion) when the server sends [`Message::Eos`] — on
+/// service shutdown or query detach — or the connection drops.
+pub struct Subscription {
+    rx: Receiver<SubItem>,
+}
+
+impl Subscription {
+    /// Blocks for the next output frame: one key's newly finalized
+    /// events. `None` when the stream has ended.
+    pub fn next(&self) -> Option<(u64, Vec<Event<Value>>)> {
+        match self.rx.recv() {
+            Ok(SubItem::Output(key, events)) => Some((key, events)),
+            Ok(SubItem::Eos) | Err(_) => None,
+        }
+    }
+
+    /// Drains the stream to its end, grouping events per key in arrival
+    /// order — the shape [`tilt_runtime::ServiceOutput`] uses, so remote
+    /// output can be compared directly against an in-process run.
+    pub fn collect_per_key(self) -> HashMap<u64, Vec<Event<Value>>> {
+        let mut out: HashMap<u64, Vec<Event<Value>>> = HashMap::new();
+        while let Some((key, events)) = self.next() {
+            out.entry(key).or_default().extend(events);
+        }
+        out
+    }
+}
+
+/// A counter snapshot scraped from the server.
+#[derive(Clone, Debug, Default)]
+pub struct RemoteStats {
+    /// `(name, value)` pairs in server order.
+    pub fields: Vec<(String, i64)>,
+}
+
+impl RemoteStats {
+    /// Looks a counter up by name.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+struct Shared {
+    /// Per-query routing for Output/Eos frames.
+    subs: Mutex<HashMap<u32, Sender<SubItem>>>,
+}
+
+/// Serializes requests: exactly one in flight per connection.
+struct ReqLane {
+    writer: TcpStream,
+    replies: Receiver<Message>,
+    credit: u32,
+}
+
+/// A blocking connection to a `tilt-server`.
+///
+/// ```no_run
+/// use tilt_data::{Event, Time, Value};
+/// use tilt_runtime::KeyedEvent;
+/// use tilt_server::Client;
+///
+/// let client = Client::connect("127.0.0.1:4815").unwrap();
+/// let q = client.attach("sliding_sum", None, None).unwrap();
+/// let sub = client.subscribe(q).unwrap();
+/// client
+///     .ingest(vec![KeyedEvent::new(7, 0, Event::point(Time::new(1), Value::Float(1.0)))])
+///     .unwrap();
+/// client.shutdown(None).unwrap();
+/// let per_key = sub.collect_per_key();
+/// assert!(per_key.contains_key(&7));
+/// ```
+pub struct Client {
+    lane: Mutex<ReqLane>,
+    shared: Arc<Shared>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Client::handshake(stream)
+    }
+
+    /// [`Client::connect`] for an already resolved address.
+    pub fn connect_addr(addr: SocketAddr) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Client::handshake(stream)
+    }
+
+    fn handshake(stream: TcpStream) -> Result<Client, ClientError> {
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream.try_clone()?;
+        write_message(&mut writer, &Message::Hello { version: PROTOCOL_VERSION })?;
+        writer.flush()?;
+        // Read the HelloAck inline, before the reader thread exists.
+        let mut read_half = stream;
+        let credit = match read_message(&mut read_half) {
+            Ok((Message::HelloAck { version, credit }, _)) => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server acked unsupported version {version}"
+                    )));
+                }
+                credit
+            }
+            Ok((Message::Error { code, message }, _)) => {
+                return Err(ClientError::Server { code, message });
+            }
+            Ok((other, _)) => {
+                return Err(ClientError::Protocol(format!("expected HelloAck, got {other:?}")));
+            }
+            Err(RecvError::Closed) => return Err(ClientError::Closed),
+            Err(RecvError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(RecvError::Decode(e)) => return Err(ClientError::Protocol(e.to_string())),
+        };
+        let shared = Arc::new(Shared { subs: Mutex::new(HashMap::new()) });
+        let (reply_tx, reply_rx) = channel();
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tilt-client-reader".into())
+                .spawn(move || reader_loop(read_half, shared, reply_tx))
+                .map_err(ClientError::Io)?
+        };
+        Ok(Client {
+            lane: Mutex::new(ReqLane { writer, replies: reply_rx, credit: credit.max(1) }),
+            shared,
+            reader: Some(reader),
+        })
+    }
+
+    /// Sends one request frame and waits for its reply. `Error` replies
+    /// become [`ClientError::Server`].
+    fn request(&self, msg: &Message) -> Result<Message, ClientError> {
+        let mut lane = self.lane.lock().expect("request lane lock");
+        Client::request_on(&mut lane, msg)
+    }
+
+    fn request_on(lane: &mut ReqLane, msg: &Message) -> Result<Message, ClientError> {
+        write_message(&mut lane.writer, msg)?;
+        lane.writer.flush()?;
+        match lane.replies.recv() {
+            Ok(Message::Error { code, message }) => Err(ClientError::Server { code, message }),
+            Ok(reply) => Ok(reply),
+            Err(_) => Err(ClientError::Closed),
+        }
+    }
+
+    /// Attaches a catalog query by name, optionally overriding allowed
+    /// lateness / emission cadence (in ticks).
+    pub fn attach(
+        &self,
+        name: &str,
+        lateness: Option<i64>,
+        emit_interval: Option<i64>,
+    ) -> Result<RemoteQuery, ClientError> {
+        match self.request(&Message::Attach { name: name.to_owned(), lateness, emit_interval })? {
+            Message::Attached { query, frontier } => {
+                Ok(RemoteQuery { id: query, frontier: Time::new(frontier) })
+            }
+            other => Err(ClientError::Protocol(format!("expected Attached, got {other:?}"))),
+        }
+    }
+
+    /// Detaches a query attached over this or any other connection.
+    pub fn detach(&self, query: RemoteQuery) -> Result<(), ClientError> {
+        match self.request(&Message::Detach { query: query.id })? {
+            Message::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Subscribes this connection to a query's per-key output stream.
+    pub fn subscribe(&self, query: RemoteQuery) -> Result<Subscription, ClientError> {
+        // Register the route first: output may start the instant the
+        // server processes the request, before the reply arrives here.
+        let (tx, rx) = channel();
+        self.shared.subs.lock().expect("subs lock").insert(query.id, tx);
+        match self.request(&Message::Subscribe { query: query.id }) {
+            Ok(Message::Ok) => Ok(Subscription { rx }),
+            Ok(other) => {
+                self.shared.subs.lock().expect("subs lock").remove(&query.id);
+                Err(ClientError::Protocol(format!("expected Ok, got {other:?}")))
+            }
+            Err(e) => {
+                self.shared.subs.lock().expect("subs lock").remove(&query.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Delivers a batch of events, chunked to the server's credit grants
+    /// and waiting for each chunk's acknowledgement — the producer-side
+    /// half of the backpressure loop.
+    pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(
+        &self,
+        events: I,
+    ) -> Result<IngestReport, ClientError> {
+        let wire: Vec<WireEvent> = events
+            .into_iter()
+            .map(|ke| WireEvent { key: ke.key, source: ke.source as u32, event: ke.event })
+            .collect();
+        let mut report = IngestReport { events: wire.len(), frames: 0, busy: 0 };
+        let mut lane = self.lane.lock().expect("request lane lock");
+        let mut rest = wire.as_slice();
+        while !rest.is_empty() {
+            let take = rest.len().min(lane.credit.max(1) as usize);
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            report.frames += 1;
+            match Client::request_on(&mut lane, &Message::Ingest { events: chunk.to_vec() })? {
+                Message::Credit { grant } => lane.credit = grant.max(1),
+                Message::Busy { grant } => {
+                    report.busy += 1;
+                    lane.credit = grant.max(1);
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Credit or Busy, got {other:?}"
+                    )));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Broadcasts an explicit watermark promise for one source
+    /// (fire-and-forget: no reply).
+    pub fn watermark(&self, source: usize, time: Time) -> Result<(), ClientError> {
+        let mut lane = self.lane.lock().expect("request lane lock");
+        write_message(
+            &mut lane.writer,
+            &Message::Watermark { source: source as u32, time: time.ticks() },
+        )?;
+        lane.writer.flush()?;
+        Ok(())
+    }
+
+    /// Scrapes the server's counter snapshot.
+    pub fn stats(&self) -> Result<RemoteStats, ClientError> {
+        match self.request(&Message::Stats)? {
+            Message::StatsReply { fields } => Ok(RemoteStats { fields }),
+            other => Err(ClientError::Protocol(format!("expected StatsReply, got {other:?}"))),
+        }
+    }
+
+    fn text(&self, req: &Message, want: TextKind) -> Result<String, ClientError> {
+        match self.request(req)? {
+            Message::Text { kind, text } if kind == want => Ok(text),
+            other => Err(ClientError::Protocol(format!("expected {want:?} text, got {other:?}"))),
+        }
+    }
+
+    /// Scrapes the Prometheus metrics exposition (service + server).
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        self.text(&Message::MetricsText, TextKind::Metrics)
+    }
+
+    /// Scrapes the control-plane journal as text.
+    pub fn journal_text(&self) -> Result<String, ClientError> {
+        self.text(&Message::Journal, TextKind::Journal)
+    }
+
+    /// Lists the attachable catalog query names, one per line.
+    pub fn catalog_text(&self) -> Result<String, ClientError> {
+        self.text(&Message::Catalog, TextKind::Catalog)
+    }
+
+    /// Drains and shuts the service down, flushing every key's sessions
+    /// through `end` when given (matching
+    /// [`tilt_runtime::StreamService::finish_at`]). Subscriptions end
+    /// after receiving their flush tails. Idempotent across clients.
+    pub fn shutdown(&self, end: Option<Time>) -> Result<(), ClientError> {
+        match self.request(&Message::Shutdown { end: end.map(|t| t.ticks()) })? {
+            Message::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        if let Ok(lane) = self.lane.lock() {
+            let _ = lane.writer.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Routes incoming frames: Output/Eos to their subscription channels,
+/// everything else to the in-flight request.
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>, replies: Sender<Message>) {
+    let mut stream = std::io::BufReader::new(stream);
+    loop {
+        match read_message(&mut stream) {
+            Ok((Message::Output { query, key, events }, _)) => {
+                let tx = shared.subs.lock().expect("subs lock").get(&query).cloned();
+                if let Some(tx) = tx {
+                    let _ = tx.send(SubItem::Output(key, events));
+                }
+            }
+            Ok((Message::Eos { query }, _)) => {
+                if let Some(tx) = shared.subs.lock().expect("subs lock").remove(&query) {
+                    let _ = tx.send(SubItem::Eos);
+                }
+            }
+            Ok((reply, _)) => {
+                if replies.send(reply).is_err() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Connection gone: end every live subscription so collectors return.
+    shared.subs.lock().expect("subs lock").clear();
+}

@@ -1,0 +1,651 @@
+//! The server half: a thread-per-connection TCP front end exposing a
+//! [`StreamService`] over the wire protocol in [`crate::protocol`].
+//!
+//! The server owns an *attach-first* service (started empty) and a
+//! catalog of prepared, compiled queries; remote clients attach catalog
+//! entries by name, subscribe to their per-key output streams, push
+//! event batches with credit-based backpressure, and scrape stats /
+//! metrics / the control-plane journal. One accept-loop thread hands
+//! each connection to its own handler thread; per-connection writes are
+//! serialized behind a mutex so shard threads (fanning output out to
+//! subscribers) and the handler (sending replies) never interleave
+//! frames.
+//!
+//! # Backpressure
+//!
+//! Every [`Message::Ingest`] is answered with exactly one
+//! [`Message::Credit`] (no shard queue was full) or [`Message::Busy`]
+//! (at least one enqueue had to block until a shard caught up — the
+//! batch *was* applied, but the producer should slow down; the server
+//! also shrinks the replenished grant). `tilt_server_credit_stalls_total`
+//! counts Busy replies.
+//!
+//! # Hostile clients
+//!
+//! A malformed frame (unknown tag, truncation, oversize header, bad
+//! UTF-8, empty event interval, …) is counted in
+//! `tilt_server_decode_errors_total`, answered with a best-effort
+//! [`Message::Error`], and the connection is closed. Decoding is total —
+//! see [`crate::protocol`] — so no byte sequence a client sends can
+//! panic a shard or the handler.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tilt_core::CompiledQuery;
+use tilt_data::Time;
+use tilt_obs::{Counter, Gauge};
+use tilt_runtime::{
+    ControlEvent, KeyedEvent, QueryHandle, QuerySettings, RuntimeConfig, RuntimeStats,
+    ServiceError, StreamService,
+};
+
+use crate::protocol::{
+    read_message, write_message, ErrorCode, Message, RecvError, TextKind, PROTOCOL_VERSION,
+};
+
+/// Events a client may put in one [`Message::Ingest`] frame on the happy
+/// path.
+pub const INITIAL_CREDIT: u32 = 4096;
+
+/// The reduced grant replenished by a [`Message::Busy`] reply — the
+/// wire-level analogue of a congestion window shrinking.
+pub const BUSY_CREDIT: u32 = 256;
+
+/// How long a subscriber's socket may stall an output write before the
+/// server declares the connection dead and drops it. Bounds how long a
+/// slow consumer can block a shard thread.
+const WRITE_STALL_LIMIT: Duration = Duration::from_secs(5);
+
+/// Server-side connection/byte/credit accounting, registered in the
+/// *service's* metrics registry so one scrape covers both layers.
+struct NetStats {
+    conns_open: Arc<Gauge>,
+    conns_total: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    credit_stalls: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+}
+
+impl NetStats {
+    fn new(registry: &tilt_obs::Registry) -> NetStats {
+        NetStats {
+            conns_open: registry.gauge("tilt_server_conns_open"),
+            conns_total: registry.counter("tilt_server_conns_total"),
+            bytes_in: registry.counter("tilt_server_bytes_in_total"),
+            bytes_out: registry.counter("tilt_server_bytes_out_total"),
+            frames_in: registry.counter("tilt_server_frames_in_total"),
+            frames_out: registry.counter("tilt_server_frames_out_total"),
+            credit_stalls: registry.counter("tilt_server_credit_stalls_total"),
+            decode_errors: registry.counter("tilt_server_decode_errors_total"),
+        }
+    }
+}
+
+/// One connection's write half, shared between its handler thread and
+/// the shard threads fanning subscribed output to it.
+struct ConnShared {
+    id: u64,
+    writer: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ConnShared {
+    /// Sends one frame atomically (whole frames never interleave).
+    /// Returns `false` — and marks the connection dead — if the write
+    /// fails or stalls past [`WRITE_STALL_LIMIT`].
+    fn send(&self, msg: &Message, net: &NetStats) -> bool {
+        if !self.alive.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut w = self.writer.lock().expect("conn writer lock");
+        match write_message(&mut *w, msg).and_then(|n| w.flush().map(|_| n)) {
+            Ok(n) => {
+                net.bytes_out.add(n as u64);
+                net.frames_out.inc();
+                true
+            }
+            Err(_) => {
+                self.alive.store(false, Ordering::Release);
+                let _ = w.shutdown(Shutdown::Both);
+                false
+            }
+        }
+    }
+}
+
+/// The service slot: running until the first successful
+/// [`Message::Shutdown`], then a frozen snapshot so scrapes keep
+/// answering.
+// One instance per server, so the variant size asymmetry is harmless.
+#[allow(clippy::large_enum_variant)]
+enum Slot {
+    Running(StreamService),
+    Finished(Box<FinalState>),
+    // Transient state while a shutdown drains the service.
+    Draining,
+}
+
+/// What scrapes serve after the service has been drained.
+struct FinalState {
+    stats: RuntimeStats,
+    metrics_text: String,
+    journal_text: String,
+}
+
+struct Inner {
+    slot: RwLock<Slot>,
+    catalog: Vec<(String, Arc<CompiledQuery>)>,
+    /// Wire query id (== [`QueryHandle::index`]) → handle.
+    handles: Mutex<HashMap<u32, QueryHandle>>,
+    /// Wire query id → connections subscribed to its output.
+    subs: Mutex<HashMap<u32, Vec<Arc<ConnShared>>>>,
+    net: NetStats,
+    running: AtomicBool,
+}
+
+impl Inner {
+    /// The fan-out sink for `query`: reads the subscriber list at call
+    /// time, so connections can come and go while shards keep streaming.
+    fn fanout_sink(self: &Arc<Self>, query: u32) -> tilt_runtime::OutputSink {
+        let inner = Arc::clone(self);
+        Arc::new(move |key, events| {
+            let conns = {
+                let subs = inner.subs.lock().expect("subs lock");
+                match subs.get(&query) {
+                    Some(v) if !v.is_empty() => v.clone(),
+                    _ => return,
+                }
+            };
+            let msg = Message::Output { query, key, events: events.to_vec() };
+            for conn in conns {
+                conn.send(&msg, &inner.net);
+            }
+        })
+    }
+
+    /// Sends `Eos` to every subscriber of `query` and clears the list.
+    fn finish_subscribers(&self, query: u32) {
+        let conns = self.subs.lock().expect("subs lock").remove(&query).unwrap_or_default();
+        for conn in conns {
+            conn.send(&Message::Eos { query }, &self.net);
+        }
+    }
+
+    /// Stats counters as wire fields: service health plus the server's
+    /// own accounting.
+    fn stats_fields(&self, stats: &RuntimeStats) -> Vec<(String, i64)> {
+        let mut fields: Vec<(String, i64)> = vec![
+            ("events_in".into(), stats.events_in as i64),
+            ("events_out".into(), stats.events_out as i64),
+            ("events_consumed".into(), stats.events_consumed as i64),
+            ("late_dropped".into(), stats.late_dropped as i64),
+            ("backstop_dropped".into(), stats.backstop_dropped as i64),
+            ("quarantine_dropped".into(), stats.quarantine_dropped as i64),
+            ("detach_dropped".into(), stats.detach_dropped as i64),
+            ("conservation_balance".into(), stats.conservation_balance()),
+            ("queries_live".into(), stats.queries_live as i64),
+            ("keys".into(), stats.keys as i64),
+            ("live_keys".into(), stats.live_keys as i64),
+            ("evictions".into(), stats.evictions as i64),
+            ("revivals".into(), stats.revivals as i64),
+        ];
+        let net = &self.net;
+        fields.push(("conns_open".into(), net.conns_open.get()));
+        fields.push(("conns_total".into(), net.conns_total.get() as i64));
+        fields.push(("bytes_in".into(), net.bytes_in.get() as i64));
+        fields.push(("bytes_out".into(), net.bytes_out.get() as i64));
+        fields.push(("frames_in".into(), net.frames_in.get() as i64));
+        fields.push(("frames_out".into(), net.frames_out.get() as i64));
+        fields.push(("credit_stalls".into(), net.credit_stalls.get() as i64));
+        fields.push(("decode_errors".into(), net.decode_errors.get() as i64));
+        fields
+    }
+}
+
+fn service_error(e: ServiceError) -> Message {
+    let code = match &e {
+        ServiceError::Compile(_) => ErrorCode::Conflict,
+        ServiceError::UnknownQuery(_) => ErrorCode::UnknownQuery,
+        ServiceError::Detached(_) => ErrorCode::Detached,
+    };
+    Message::Error { code, message: e.to_string() }
+}
+
+/// A running TCP front end over one [`StreamService`].
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use tilt_runtime::RuntimeConfig;
+/// use tilt_server::Server;
+///
+/// # fn catalog() -> Vec<(String, Arc<tilt_core::CompiledQuery>)> { vec![] }
+/// let server = Server::start(RuntimeConfig::default(), catalog()).unwrap();
+/// println!("serving on {}", server.addr());
+/// // … clients connect, attach, subscribe, ingest, shut down …
+/// server.stop();
+/// ```
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<Vec<Arc<ConnShared>>>>,
+}
+
+impl Server {
+    /// Starts an empty attach-first service and serves it on an
+    /// ephemeral loopback port. `catalog` maps attachable names to
+    /// prepared queries.
+    pub fn start(
+        config: RuntimeConfig,
+        catalog: Vec<(String, Arc<CompiledQuery>)>,
+    ) -> std::io::Result<Server> {
+        Server::bind("127.0.0.1:0", config, catalog)
+    }
+
+    /// Like [`Server::start`], on an explicit bind address.
+    pub fn bind(
+        addr: &str,
+        config: RuntimeConfig,
+        catalog: Vec<(String, Arc<CompiledQuery>)>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let service = StreamService::start(config);
+        let net = NetStats::new(&service.registry());
+        let inner = Arc::new(Inner {
+            slot: RwLock::new(Slot::Running(service)),
+            catalog,
+            handles: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
+            net,
+            running: AtomicBool::new(true),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let conns = Arc::new(Mutex::new(Vec::<Arc<ConnShared>>::new()));
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let conn_threads = Arc::clone(&conn_threads);
+            let conns = Arc::clone(&conns);
+            let next_id = AtomicU64::new(0);
+            std::thread::Builder::new().name("tilt-server-accept".into()).spawn(move || {
+                while inner.running.load(Ordering::Acquire) {
+                    let stream = match listener.accept() {
+                        Ok((s, _)) => s,
+                        Err(_) => continue,
+                    };
+                    if !inner.running.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_write_timeout(Some(WRITE_STALL_LIMIT));
+                    let writer = match stream.try_clone() {
+                        Ok(w) => w,
+                        Err(_) => continue,
+                    };
+                    let conn = Arc::new(ConnShared {
+                        id,
+                        writer: Mutex::new(writer),
+                        alive: AtomicBool::new(true),
+                    });
+                    conns.lock().expect("conns lock").push(Arc::clone(&conn));
+                    inner.net.conns_total.inc();
+                    inner.net.conns_open.add(1);
+                    if let Slot::Running(svc) = &*inner.slot.read().expect("slot lock") {
+                        svc.record_control(ControlEvent::Connect { conn: id });
+                    }
+                    let inner2 = Arc::clone(&inner);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("tilt-server-conn-{id}"))
+                        .spawn(move || handle_conn(inner2, conn, stream))
+                        .expect("spawn connection handler");
+                    conn_threads.lock().expect("threads lock").push(handle);
+                }
+            })?
+        };
+        Ok(Server { inner, addr, accept: Some(accept), conn_threads, conns })
+    }
+
+    /// The address the server is listening on (ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every connection, joins every thread, and
+    /// — if no client issued [`Message::Shutdown`] — drains the service.
+    pub fn stop(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if !self.inner.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for conn in self.conns.lock().expect("conns lock").drain(..) {
+            conn.alive.store(false, Ordering::Release);
+            let _ = conn.writer.lock().expect("conn writer lock").shutdown(Shutdown::Both);
+        }
+        let threads: Vec<_> = self.conn_threads.lock().expect("threads lock").drain(..).collect();
+        for h in threads {
+            let _ = h.join();
+        }
+        // Drain the service if it is still running so shard threads join.
+        let mut slot = self.inner.slot.write().expect("slot lock");
+        if matches!(&*slot, Slot::Running(_)) {
+            if let Slot::Running(svc) = std::mem::replace(&mut *slot, Slot::Draining) {
+                let out = svc.finish();
+                *slot = Slot::Finished(Box::new(FinalState {
+                    stats: out.stats,
+                    metrics_text: out.metrics.to_prometheus(),
+                    journal_text: out.journal.to_text(),
+                }));
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Runs one connection: handshake, then request/reply until the peer
+/// closes, errs, or sends garbage.
+fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut greeted = false;
+    loop {
+        let msg = match read_message(&mut reader) {
+            Ok((msg, n)) => {
+                inner.net.bytes_in.add(n as u64);
+                inner.net.frames_in.inc();
+                msg
+            }
+            Err(RecvError::Closed) => break,
+            Err(RecvError::Io(_)) => break,
+            Err(RecvError::Decode(e)) => {
+                inner.net.decode_errors.inc();
+                conn.send(
+                    &Message::Error { code: ErrorCode::Protocol, message: e.to_string() },
+                    &inner.net,
+                );
+                break;
+            }
+        };
+        if !greeted {
+            match msg {
+                Message::Hello { version } if version == PROTOCOL_VERSION => {
+                    greeted = true;
+                    conn.send(
+                        &Message::HelloAck { version: PROTOCOL_VERSION, credit: INITIAL_CREDIT },
+                        &inner.net,
+                    );
+                    continue;
+                }
+                Message::Hello { version } => {
+                    conn.send(
+                        &Message::Error {
+                            code: ErrorCode::Version,
+                            message: format!(
+                                "server speaks version {PROTOCOL_VERSION}, client sent {version}"
+                            ),
+                        },
+                        &inner.net,
+                    );
+                    break;
+                }
+                _ => {
+                    conn.send(
+                        &Message::Error {
+                            code: ErrorCode::Protocol,
+                            message: "first frame must be Hello".into(),
+                        },
+                        &inner.net,
+                    );
+                    break;
+                }
+            }
+        }
+        if !handle_request(&inner, &conn, msg) {
+            break;
+        }
+    }
+    // Cleanup: leave every subscription and close the books.
+    {
+        let mut subs = inner.subs.lock().expect("subs lock");
+        for list in subs.values_mut() {
+            list.retain(|c| c.id != conn.id);
+        }
+    }
+    conn.alive.store(false, Ordering::Release);
+    let _ = conn.writer.lock().expect("conn writer lock").shutdown(Shutdown::Both);
+    inner.net.conns_open.sub(1);
+    if let Slot::Running(svc) = &*inner.slot.read().expect("slot lock") {
+        svc.record_control(ControlEvent::Disconnect { conn: conn.id });
+    }
+}
+
+/// Handles one post-handshake request. Returns `false` to close the
+/// connection.
+fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> bool {
+    match msg {
+        Message::Hello { .. } => {
+            conn.send(
+                &Message::Error { code: ErrorCode::Protocol, message: "duplicate Hello".into() },
+                &inner.net,
+            );
+            false
+        }
+        Message::Ingest { events } => {
+            let slot = inner.slot.read().expect("slot lock");
+            let reply = match &*slot {
+                Slot::Running(svc) => {
+                    let stalled = svc.ingest_with_pressure(
+                        events
+                            .into_iter()
+                            .map(|we| KeyedEvent::new(we.key, we.source as usize, we.event)),
+                    );
+                    if stalled {
+                        inner.net.credit_stalls.inc();
+                        Message::Busy { grant: BUSY_CREDIT }
+                    } else {
+                        Message::Credit { grant: INITIAL_CREDIT }
+                    }
+                }
+                _ => Message::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "service has shut down".into(),
+                },
+            };
+            conn.send(&reply, &inner.net)
+        }
+        Message::Watermark { source, time } => {
+            if let Slot::Running(svc) = &*inner.slot.read().expect("slot lock") {
+                svc.watermark(source as usize, Time::new(time));
+            }
+            true
+        }
+        Message::Attach { name, lateness, emit_interval } => {
+            let cq = inner.catalog.iter().find(|(n, _)| *n == name).map(|(_, cq)| Arc::clone(cq));
+            let reply = match (cq, &*inner.slot.read().expect("slot lock")) {
+                (None, _) => Message::Error {
+                    code: ErrorCode::UnknownName,
+                    message: format!("no catalog query named {name:?}"),
+                },
+                (Some(cq), Slot::Running(svc)) => {
+                    let settings =
+                        QuerySettings { allowed_lateness: lateness, emit_interval, sink: None };
+                    match svc.attach(cq, settings) {
+                        Ok(handle) => {
+                            let query = handle.index() as u32;
+                            inner.handles.lock().expect("handles lock").insert(query, handle);
+                            Message::Attached { query, frontier: handle.frontier().ticks() }
+                        }
+                        Err(e) => service_error(e),
+                    }
+                }
+                (Some(_), _) => Message::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "service has shut down".into(),
+                },
+            };
+            conn.send(&reply, &inner.net)
+        }
+        Message::Detach { query } => {
+            let handle = inner.handles.lock().expect("handles lock").get(&query).copied();
+            let reply = match (handle, &*inner.slot.read().expect("slot lock")) {
+                (None, _) => Message::Error {
+                    code: ErrorCode::UnknownQuery,
+                    message: format!("no attached query {query}"),
+                },
+                (Some(handle), Slot::Running(svc)) => match svc.detach(handle) {
+                    Ok(()) => {
+                        inner.finish_subscribers(query);
+                        Message::Ok
+                    }
+                    Err(e) => service_error(e),
+                },
+                (Some(_), _) => Message::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "service has shut down".into(),
+                },
+            };
+            conn.send(&reply, &inner.net)
+        }
+        Message::Subscribe { query } => {
+            let handle = inner.handles.lock().expect("handles lock").get(&query).copied();
+            let reply = match (handle, &*inner.slot.read().expect("slot lock")) {
+                (None, _) => Message::Error {
+                    code: ErrorCode::UnknownQuery,
+                    message: format!("no attached query {query}"),
+                },
+                (Some(handle), Slot::Running(svc)) => {
+                    match svc.subscribe(handle, inner.fanout_sink(query)) {
+                        Ok(()) => {
+                            let mut subs = inner.subs.lock().expect("subs lock");
+                            let list = subs.entry(query).or_default();
+                            if !list.iter().any(|c| c.id == conn.id) {
+                                list.push(Arc::clone(conn));
+                            }
+                            svc.record_control(ControlEvent::Subscribe {
+                                conn: conn.id,
+                                query: query as usize,
+                            });
+                            Message::Ok
+                        }
+                        Err(e) => service_error(e),
+                    }
+                }
+                (Some(_), _) => Message::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "service has shut down".into(),
+                },
+            };
+            conn.send(&reply, &inner.net)
+        }
+        Message::Stats => {
+            let reply = {
+                let slot = inner.slot.read().expect("slot lock");
+                let fields = match &*slot {
+                    Slot::Running(svc) => inner.stats_fields(&svc.stats()),
+                    Slot::Finished(fs) => inner.stats_fields(&fs.stats),
+                    Slot::Draining => Vec::new(),
+                };
+                Message::StatsReply { fields }
+            };
+            conn.send(&reply, &inner.net)
+        }
+        Message::MetricsText => {
+            let text = match &*inner.slot.read().expect("slot lock") {
+                Slot::Running(svc) => svc.metrics_text(),
+                Slot::Finished(fs) => fs.metrics_text.clone(),
+                Slot::Draining => String::new(),
+            };
+            conn.send(&Message::Text { kind: TextKind::Metrics, text }, &inner.net)
+        }
+        Message::Journal => {
+            let text = match &*inner.slot.read().expect("slot lock") {
+                Slot::Running(svc) => svc.journal().to_text(),
+                Slot::Finished(fs) => fs.journal_text.clone(),
+                Slot::Draining => String::new(),
+            };
+            conn.send(&Message::Text { kind: TextKind::Journal, text }, &inner.net)
+        }
+        Message::Catalog => {
+            let mut text = String::new();
+            for (name, _) in &inner.catalog {
+                text.push_str(name);
+                text.push('\n');
+            }
+            conn.send(&Message::Text { kind: TextKind::Catalog, text }, &inner.net)
+        }
+        Message::Shutdown { end } => {
+            // Take the write lock: exactly one shutdown drains; the rest
+            // see Finished and reply Ok idempotently.
+            let reply = {
+                let mut slot = inner.slot.write().expect("slot lock");
+                if matches!(&*slot, Slot::Running(_)) {
+                    if let Slot::Running(svc) = std::mem::replace(&mut *slot, Slot::Draining) {
+                        // finish() joins the shard threads, so every
+                        // subscriber has its full output (flush tail
+                        // included) before any Eos below.
+                        let out = match end {
+                            Some(t) => svc.finish_at(Time::new(t)),
+                            None => svc.finish(),
+                        };
+                        *slot = Slot::Finished(Box::new(FinalState {
+                            stats: out.stats,
+                            metrics_text: out.metrics.to_prometheus(),
+                            journal_text: out.journal.to_text(),
+                        }));
+                    }
+                    drop(slot);
+                    let queries: Vec<u32> =
+                        inner.subs.lock().expect("subs lock").keys().copied().collect();
+                    for query in queries {
+                        inner.finish_subscribers(query);
+                    }
+                }
+                Message::Ok
+            };
+            conn.send(&reply, &inner.net)
+        }
+        // Server-to-client tags arriving at the server are a protocol
+        // violation; close on them.
+        Message::HelloAck { .. }
+        | Message::Credit { .. }
+        | Message::Busy { .. }
+        | Message::Attached { .. }
+        | Message::Ok
+        | Message::Error { .. }
+        | Message::Output { .. }
+        | Message::Eos { .. }
+        | Message::StatsReply { .. }
+        | Message::Text { .. } => {
+            conn.send(
+                &Message::Error {
+                    code: ErrorCode::Protocol,
+                    message: "server-to-client message sent by client".into(),
+                },
+                &inner.net,
+            );
+            false
+        }
+    }
+}
