@@ -1,0 +1,415 @@
+//! The durable state layer end to end: **checkpoint/restore** (kill a
+//! service mid-stream, rebuild it from the snapshot, finish the stream),
+//! **cold spill** (TTL-evicted keys park on disk and revive
+//! transparently), and **live rebalancing** (keys migrate off a loaded
+//! shard under traffic). Timings are informational; what the guardrail
+//! re-checks is the identity story: none of the three mechanisms may
+//! change a single output event.
+//!
+//! Three sections:
+//!
+//! 1. *Checkpoint/restore*: ingest half a keyed stream, snapshot, drop
+//!    the service (no drain — a simulated crash), restore from the file,
+//!    ingest the rest. The books resume (`events_in` continues from the
+//!    dead process's count, lineage counts the checkpoint) and per-key
+//!    output is identical to a run that never stopped.
+//! 2. *Spill*: Zipf-skewed traffic with `key_ttl` and a spill directory —
+//!    the long tail parks on disk (bounded resident set) and every spill
+//!    is matched by exactly one revival (`spills == spill_revivals`,
+//!    the final flush revives stragglers); output is identical to a run
+//!    that kept every key resident.
+//! 3. *Rebalance*: a key population deliberately skewed onto one shard is
+//!    migrated off it by repeated `rebalance()` calls under load; the
+//!    moves are counted and the output is identical to never moving.
+//!
+//! ```sh
+//! cargo run --release --bin durability -- --events 1000000 --json out.json
+//! ```
+//!
+//! The `--json` report carries machine-independent invariants that the CI
+//! `guardrail` binary re-checks; wall-clock numbers are informational.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tilt_bench::json::Json;
+use tilt_bench::{fmt_meps, meps, print_table, time_it, write_json_report, RunCfg};
+use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+use tilt_core::{CompiledQuery, Compiler};
+use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
+use tilt_runtime::{KeyedEvent, PerKeyOutput, RuntimeConfig, RuntimeStats, StreamService};
+use tilt_workloads::gen;
+
+fn sliding_sum(window: i64) -> Arc<CompiledQuery> {
+    let mut b = Query::builder();
+    let input = b.input("x", DataType::Float);
+    let out =
+        b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, window));
+    Arc::new(Compiler::new().compile(&b.finish(out).unwrap()).unwrap())
+}
+
+fn wait_for(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        if done() {
+            return true;
+        }
+        std::thread::yield_now();
+    }
+    done()
+}
+
+/// Per-key output identity after coalescing: the one contract all three
+/// durability mechanisms share.
+fn identical(a: &PerKeyOutput, b: &PerKeyOutput) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|(k, evs)| {
+            b.get(k).is_some_and(|other| streams_equivalent(&coalesce(evs), &coalesce(other)))
+        })
+}
+
+/// Deterministic round-robin keyed traffic with payloads quantized to
+/// multiples of 1/4, so float window sums are exact regardless of how
+/// emission chunks the evaluation.
+fn round_robin(keys: u64, ticks: i64) -> Vec<KeyedEvent> {
+    let mut out = Vec::new();
+    for t in 1..=ticks {
+        for k in 0..keys {
+            if !(t as u64 + k).is_multiple_of(5) {
+                let v = ((t as u64 * 7 + k * 13) % 64) as f64 * 0.25;
+                out.push(KeyedEvent::new(k, 0, Event::point(Time::new(t), Value::Float(v))));
+            }
+        }
+    }
+    out
+}
+
+/// Section 1: kill-and-restart. Snapshot at the halfway point, lose the
+/// process, restore, finish — then diff against an uninterrupted run.
+fn checkpoint_section(cfg: &RunCfg, shards: usize) -> Json {
+    let keys = 64u64;
+    let ticks = ((cfg.events / keys as usize).max(1) as i64).clamp(500, 50_000);
+    let window = 16i64;
+    let config = RuntimeConfig {
+        shards,
+        allowed_lateness: 8,
+        emit_interval: 64,
+        ..RuntimeConfig::default()
+    };
+    let query = sliding_sum(window);
+    let arrivals = round_robin(keys, ticks);
+    let split = arrivals.len() / 2;
+    let horizon = Time::new(ticks + 2 * window);
+    let snapshot =
+        std::env::temp_dir().join(format!("tilt-bench-durability-{}.tiltsnp", std::process::id()));
+
+    // Epoch 1: half the stream, one snapshot, then a crash (drop without
+    // drain — nothing is flushed, the file is all that survives).
+    let mut builder = StreamService::builder(config);
+    let q = builder.register(Arc::clone(&query));
+    let service = builder.start().expect("single registration");
+    service.ingest(arrivals[..split].iter().cloned());
+    let (bytes, checkpoint_time) =
+        time_it(|| service.checkpoint(&snapshot).expect("checkpoint writes"));
+    drop(service);
+
+    // Epoch 2: rebuild from the file, finish the stream.
+    let (service, restore_time) = time_it(|| {
+        StreamService::restore(&snapshot, &[Arc::clone(&query)]).expect("snapshot restores")
+    });
+    let resumed_stats = service.stats();
+    service.ingest(arrivals[split..].iter().cloned());
+    let resumed = service.finish_at(horizon);
+
+    // The uninterrupted reference.
+    let mut builder = StreamService::builder(config);
+    let q2 = builder.register(Arc::clone(&query));
+    let reference = builder.start().expect("single registration");
+    reference.ingest(arrivals.iter().cloned());
+    let straight = reference.finish_at(horizon);
+
+    // No sink was installed, so epoch 1's finalized output accumulated
+    // inside the service and rode the snapshot: the restored run's
+    // collected output is the complete stream.
+    let restore_identical =
+        identical(&resumed.per_query[q.index()], &straight.per_query[q2.index()]);
+    assert!(restore_identical, "restored run diverged from the uninterrupted run");
+    assert_eq!(resumed_stats.events_in as usize, split, "the books must resume, not reset");
+    assert_eq!(resumed.stats.events_in, arrivals.len() as u64);
+    assert_eq!(resumed.stats.checkpoints, 1, "the snapshot remembers its lineage");
+    assert_eq!(resumed.stats.conservation_balance(), 0, "books balance across the restore");
+    std::fs::remove_file(&snapshot).ok();
+
+    println!(
+        "checkpoint: {} events snapshotted into {} bytes in {:.1} ms, restored in {:.1} ms; \
+         output identical across the crash",
+        split,
+        bytes,
+        checkpoint_time.as_secs_f64() * 1e3,
+        restore_time.as_secs_f64() * 1e3,
+    );
+    Json::obj([
+        ("events", arrivals.len().into()),
+        ("shards", shards.into()),
+        ("snapshot_bytes", bytes.into()),
+        ("checkpoint_ms", (checkpoint_time.as_secs_f64() * 1e3).into()),
+        ("restore_ms", (restore_time.as_secs_f64() * 1e3).into()),
+        ("events_before_crash", split.into()),
+        ("events_in_resumed", resumed_stats.events_in.into()),
+        ("events_in_final", resumed.stats.events_in.into()),
+        ("events_total", arrivals.len().into()),
+        ("checkpoints", resumed.stats.checkpoints.into()),
+        ("restore_identical", restore_identical.into()),
+        ("conservation_balance", resumed.stats.conservation_balance().into()),
+        ("state_bytes_read", resumed.stats.state_bytes_read.into()),
+    ])
+}
+
+/// Section 2: cold spill under Zipf skew. The long tail parks on disk,
+/// the resident set stays bounded, and nothing changes in the output.
+fn spill_section(cfg: &RunCfg, shards: usize) -> (Vec<Vec<String>>, Json) {
+    let num_keys = (cfg.events / 100).clamp(1_000, 20_000);
+    let ttl = 4_096i64;
+    let window = 16i64;
+    // Quantize payloads to multiples of 1/64 so float window sums are
+    // exact: the spill run's advance cadence differs from the baseline's
+    // (TTL sweeps add cycles) and raw f64 sums would differ by ULPs.
+    let stream: Vec<(u64, Event<Value>)> = gen::zipf_keyed_floats(cfg.events, num_keys, 1.2, 42)
+        .into_iter()
+        .map(|(k, mut e)| {
+            if let Value::Float(f) = e.payload {
+                e.payload = Value::Float((f * 64.0).round() / 64.0);
+            }
+            (k, e)
+        })
+        .collect();
+    let stream_end = Time::new(cfg.events as i64);
+    let horizon = Time::new(stream_end.ticks() + window);
+    let config = RuntimeConfig {
+        shards,
+        allowed_lateness: 0,
+        emit_interval: 256,
+        ..RuntimeConfig::default()
+    };
+    let dir = std::env::temp_dir().join(format!("tilt-bench-spill-{}", std::process::id()));
+
+    // The spill run: TTL eviction with a cold store behind it. Ingest in
+    // chunks, sampling the resident-set gauges — the bounded-memory story
+    // is the row series, not one number.
+    let mut builder =
+        StreamService::builder(RuntimeConfig { key_ttl: Some(ttl), ..config }).spill_to(&dir);
+    let q = builder.register(sliding_sum(window));
+    let service = builder.start().expect("single registration");
+    let mut samples: Vec<RuntimeStats> = Vec::new();
+    let chunk = (stream.len() / 8).max(1);
+    let (_, ingest_time) = time_it(|| {
+        for part in stream.chunks(chunk) {
+            service.ingest(part.iter().map(|(k, e)| KeyedEvent::new(*k, 0, e.clone())));
+            samples.push(service.stats());
+        }
+    });
+    // Let the watermark reach the stream head so the TTL sweeps have
+    // observed the idle tail before we sample the steady state.
+    let settled = wait_for(Duration::from_secs(60), || {
+        let s = service.stats();
+        s.min_watermark >= Time::new(stream_end.ticks() - 8 * 256) && s.spills > 0
+    });
+    assert!(settled, "watermark never reached the stream head (or nothing spilled)");
+    let steady = service.stats();
+    // The final flush revives every still-spilled key so their tails
+    // emit: spills == revivals holds at quiescence by construction.
+    let out = service.finish_at(horizon);
+
+    // The baseline keeps every key resident forever.
+    let mut builder = StreamService::builder(config);
+    let bq = builder.register(sliding_sum(window));
+    let baseline = builder.start().expect("single registration");
+    baseline.ingest(stream.iter().map(|(k, e)| KeyedEvent::new(*k, 0, e.clone())));
+    let base = baseline.finish_at(horizon);
+
+    let spill_identical = identical(&out.per_query[q.index()], &base.per_query[bq.index()]);
+    assert!(spill_identical, "spill/revival changed the output");
+    assert!(out.stats.spills > 0, "the idle tail must spill under skew");
+    assert_eq!(out.stats.spills, out.stats.spill_revivals, "every spill revives exactly once");
+    assert_eq!(out.stats.spilled_pending, 0, "no events left on disk at quiescence");
+    assert_eq!(out.stats.keys_quarantined, 0, "spill must not quarantine");
+    assert_eq!(out.stats.late_dropped, 0, "in-order skewed stream must lose nothing");
+    assert_eq!(out.stats.conservation_balance(), 0, "conservation holds through the cold store");
+    assert!(steady.live_keys < steady.keys, "the resident set must stay below keys seen");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let throughput = meps(cfg.events, ingest_time);
+    let mut rows = Vec::new();
+    for s in &samples {
+        rows.push(vec![
+            s.events_in.to_string(),
+            s.keys.to_string(),
+            s.live_keys.to_string(),
+            s.spills.to_string(),
+            s.spill_revivals.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        format!("{} (final)", out.stats.events_in),
+        out.stats.keys.to_string(),
+        out.stats.live_keys.to_string(),
+        out.stats.spills.to_string(),
+        out.stats.spill_revivals.to_string(),
+    ]);
+    println!(
+        "spill: {} keys, steady-state {} resident ({} spills / {} revivals at quiescence), \
+         {} Mev/s ingest; output identical to the always-resident run",
+        steady.keys,
+        steady.live_keys,
+        out.stats.spills,
+        out.stats.spill_revivals,
+        fmt_meps(throughput)
+    );
+    let json = Json::obj([
+        ("events", cfg.events.into()),
+        ("keys", num_keys.into()),
+        ("zipf_exponent", 1.2.into()),
+        ("ttl", ttl.into()),
+        ("shards", shards.into()),
+        ("throughput_meps", throughput.into()),
+        (
+            "steady_state",
+            Json::obj([
+                ("keys_seen", steady.keys.into()),
+                ("live_keys", steady.live_keys.into()),
+                ("spills", steady.spills.into()),
+            ]),
+        ),
+        (
+            "final",
+            Json::obj([
+                ("spills", out.stats.spills.into()),
+                ("revivals", out.stats.spill_revivals.into()),
+                ("spilled_pending", out.stats.spilled_pending.into()),
+                ("keys_quarantined", out.stats.keys_quarantined.into()),
+                ("late_dropped", out.stats.late_dropped.into()),
+                ("conservation_balance", out.stats.conservation_balance().into()),
+                ("state_bytes_written", out.stats.state_bytes_written.into()),
+                ("state_bytes_read", out.stats.state_bytes_read.into()),
+            ]),
+        ),
+        ("spill_identical", spill_identical.into()),
+    ]);
+    (rows, json)
+}
+
+/// Replicates the runtime's SplitMix64 key router so the bench can build
+/// a population that lands on one shard (the runtime's hash is stable
+/// across runs by design — see `shard_index`).
+fn routes_to(key: u64, shard: usize, shards: usize) -> bool {
+    let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize == shard
+}
+
+/// Section 3: live rebalancing. A key population deliberately hashed
+/// onto shard 0 is migrated off it under load; output never changes.
+fn rebalance_section(cfg: &RunCfg) -> Json {
+    let shards = 4usize;
+    let window = 16i64;
+    // 60 keys on shard 0, one on each other shard: a census gap the
+    // rebalancer cannot ignore.
+    let mut keys: Vec<u64> = (0u64..).filter(|k| routes_to(*k, 0, shards)).take(60).collect();
+    for s in 1..shards {
+        keys.push((0u64..).find(|k| routes_to(*k, s, shards)).expect("every shard is reachable"));
+    }
+    let ticks = ((cfg.events / keys.len()).max(1) as i64).clamp(500, 20_000);
+    let mut arrivals = Vec::new();
+    for t in 1..=ticks {
+        for (i, k) in keys.iter().enumerate() {
+            if !(t as usize + i).is_multiple_of(4) {
+                let v = ((t as u64 * 11 + *k * 3) % 64) as f64 * 0.25;
+                arrivals.push(KeyedEvent::new(*k, 0, Event::point(Time::new(t), Value::Float(v))));
+            }
+        }
+    }
+    let horizon = Time::new(ticks + 2 * window);
+    let config = RuntimeConfig {
+        shards,
+        allowed_lateness: 8,
+        emit_interval: 64,
+        ..RuntimeConfig::default()
+    };
+
+    // Rebalanced run: migrate between ingest chunks (the driver is
+    // single-threaded, as the migration contract requires).
+    let mut builder = StreamService::builder(config);
+    let q = builder.register(sliding_sum(window));
+    let service = builder.start().expect("single registration");
+    let chunk = (arrivals.len() / 6).max(1);
+    let mut moved = 0usize;
+    let mut calls = 0usize;
+    for part in arrivals.chunks(chunk) {
+        service.ingest(part.iter().cloned());
+        let drained = wait_for(Duration::from_secs(60), || {
+            service.stats().queue_depths.iter().sum::<usize>() == 0
+        });
+        assert!(drained, "shard never drained its ingest queue");
+        moved += service.rebalance();
+        calls += 1;
+    }
+    let out = service.finish_at(horizon);
+
+    // The never-moving baseline.
+    let mut builder = StreamService::builder(config);
+    let bq = builder.register(sliding_sum(window));
+    let baseline = builder.start().expect("single registration");
+    baseline.ingest(arrivals.iter().cloned());
+    let base = baseline.finish_at(horizon);
+
+    let rebalance_identical = identical(&out.per_query[q.index()], &base.per_query[bq.index()]);
+    assert!(rebalance_identical, "rebalancing changed the output");
+    assert!(moved > 0, "the skewed population must trigger migrations");
+    assert_eq!(out.stats.migrations as usize, moved, "every move is counted exactly once");
+    assert_eq!(out.stats.late_dropped, 0, "in-order rebalanced run must lose nothing");
+    assert_eq!(out.stats.conservation_balance(), 0, "conservation holds through migration");
+
+    println!(
+        "rebalance: {} keys moved off the loaded shard across {} calls; \
+         output identical to never moving",
+        moved, calls
+    );
+    Json::obj([
+        ("events", arrivals.len().into()),
+        ("shards", shards.into()),
+        ("keys", keys.len().into()),
+        ("moved", moved.into()),
+        ("calls", calls.into()),
+        ("migrations", out.stats.migrations.into()),
+        ("rebalance_identical", rebalance_identical.into()),
+        ("late_dropped", out.stats.late_dropped.into()),
+        ("conservation_balance", out.stats.conservation_balance().into()),
+    ])
+}
+
+fn main() {
+    let cfg = RunCfg::from_args(1_000_000);
+    let shards = cfg.threads.clamp(1, 4);
+
+    let checkpoint = checkpoint_section(&cfg, shards);
+    let (rows, spill) = spill_section(&cfg, shards);
+    print_table(
+        "Durability — resident keys under Zipf skew (TTL spill to cold store)",
+        "sampled during ingest; the final row is the post-flush state (every spill revived)",
+        &["events_in", "keys_seen", "live_keys", "spills", "revivals"],
+        &rows,
+    );
+    let rebalance = rebalance_section(&cfg);
+
+    write_json_report(
+        &cfg,
+        &Json::obj([
+            ("bench", "durability".into()),
+            ("checkpoint", checkpoint),
+            ("spill", spill),
+            ("rebalance", rebalance),
+        ]),
+    );
+}

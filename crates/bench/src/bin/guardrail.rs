@@ -33,6 +33,13 @@
 //!   map-once-per-element invariant — Subtract-on-Evict must re-use
 //!   cached mapped values, never re-run the fused map, so `map_run_rate`
 //!   (map executions / events) stays ≤ 1 up to warmup slack;
+//! * `durability`: the state layer never changes an output event —
+//!   restore-after-crash, cold spill, and live rebalancing each produce
+//!   per-key streams identical to an undisturbed run; the books resume
+//!   across a restore (`events_in` continues, lineage counted), every
+//!   spill is matched by exactly one revival with nothing left on disk,
+//!   the resident key set stays below the keys seen, and every migration
+//!   is counted — all with conservation exact;
 //! * `server_loopback`: remote subscribers' per-key output identical to
 //!   the in-process run (the wire adds no reordering, loss, or
 //!   duplication), exact event conservation and zero decode errors over
@@ -59,8 +66,15 @@ use tilt_bench::json::{parse, Json};
 /// directory mode a missing or unparseable expected artifact is a named
 /// failing check — a bench that silently stopped emitting its report
 /// must fail the lane, not shrink it.
-const EXPECTED_BENCHES: [&str; 6] =
-    ["runtime_shards", "multi_query", "hardening", "obs_overhead", "kernel_hot", "server_loopback"];
+const EXPECTED_BENCHES: [&str; 7] = [
+    "runtime_shards",
+    "multi_query",
+    "hardening",
+    "obs_overhead",
+    "kernel_hot",
+    "server_loopback",
+    "durability",
+];
 
 /// One report's check results.
 struct Outcome {
@@ -236,6 +250,38 @@ fn check_file(file: &Path) -> Outcome {
             check.gt_i64("backpressure.credit_stalls", 0);
             check.eq_i64("backpressure.decode_errors", 0);
             check.eq_i64("backpressure.conservation_balance", 0);
+        }
+        "durability" => {
+            // Wall-clock timings are machine-dependent; what must hold
+            // anywhere is the identity story — none of the three durable
+            // mechanisms may change a single output event — plus exact
+            // accounting across each of them.
+            check.is_true("checkpoint.restore_identical");
+            check.fields_equal("checkpoint.events_in_resumed", "checkpoint.events_before_crash");
+            check.fields_equal("checkpoint.events_in_final", "checkpoint.events_total");
+            check.eq_i64("checkpoint.checkpoints", 1);
+            check.gt_i64("checkpoint.snapshot_bytes", 0);
+            check.eq_i64("checkpoint.conservation_balance", 0);
+            // The snapshot round-trips through the state layer: restore
+            // reads at least the snapshot's bytes back off disk. (The
+            // write side is counted *after* serialization, so the
+            // restored books legitimately record it as 0.)
+            check.le_fields("checkpoint.snapshot_bytes", "checkpoint.state_bytes_read");
+            check.is_true("spill.spill_identical");
+            check.gt_i64("spill.final.spills", 0);
+            check.fields_equal("spill.final.spills", "spill.final.revivals");
+            check.eq_i64("spill.final.spilled_pending", 0);
+            check.eq_i64("spill.final.keys_quarantined", 0);
+            check.eq_i64("spill.final.late_dropped", 0);
+            check.eq_i64("spill.final.conservation_balance", 0);
+            // The resident-set bound: the cold store must actually shrink
+            // the in-memory key population under skew.
+            check.lt_fields("spill.steady_state.live_keys", "spill.steady_state.keys_seen");
+            check.is_true("rebalance.rebalance_identical");
+            check.gt_i64("rebalance.moved", 0);
+            check.fields_equal("rebalance.moved", "rebalance.migrations");
+            check.eq_i64("rebalance.late_dropped", 0);
+            check.eq_i64("rebalance.conservation_balance", 0);
         }
         "obs_overhead" => {
             // The < 5% observability-overhead acceptance bar. Raw Mev/s

@@ -537,6 +537,40 @@ impl<G: Borrow<QueryGroup>> GroupSessionIn<G> {
         self.watermark
     }
 
+    /// The per-source input histories, in source order. Together with the
+    /// watermark these are a session's *entire* streaming state (state
+    /// depends only on absorbed input, never on the member set — see
+    /// [`GroupSessionIn::migrate_group`]), which is what makes sessions
+    /// serializable: a durability layer persists `(histories, watermark)`
+    /// and rebuilds with [`GroupSessionIn::from_parts`].
+    pub fn histories(&self) -> &[SnapshotBuf<Value>] {
+        &self.histories
+    }
+
+    /// Rebuilds a session from previously captured state: the inverse of
+    /// reading [`GroupSessionIn::histories`] and
+    /// [`GroupSessionIn::watermark`]. Histories short of the group's
+    /// source count are padded rooted at the watermark (exactly as
+    /// [`GroupSessionIn::migrate_group`] would), so state captured under
+    /// an older group edit restores against the current one.
+    ///
+    /// Fails (rather than panicking later) if a history violates the
+    /// snapshot-buffer invariants.
+    pub fn from_parts(
+        group: G,
+        mut histories: Vec<SnapshotBuf<Value>>,
+        watermark: Time,
+    ) -> std::result::Result<Self, String> {
+        for (i, h) in histories.iter().enumerate() {
+            h.check_invariants().map_err(|e| format!("history {i}: {e}"))?;
+        }
+        let n = group.borrow().n_sources;
+        while histories.len() < n {
+            histories.push(SnapshotBuf::new(watermark));
+        }
+        Ok(GroupSessionIn { group, histories, watermark })
+    }
+
     /// Moves this session onto a different (typically edited) group without
     /// disturbing its streaming state: input histories and the watermark
     /// carry over unchanged. This is what makes live attach/detach cheap —

@@ -144,12 +144,15 @@
 
 #![warn(missing_docs)]
 
+mod durability;
 mod shard;
 mod stats;
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -157,7 +160,9 @@ use tilt_core::ir::DataType;
 use tilt_core::sharing::QueryGroup;
 use tilt_core::CompiledQuery;
 use tilt_data::{Event, Time, Value};
+use tilt_state::{SnapshotFile, SnapshotWriter, StateError};
 
+use durability::{CellRecord, ServiceRecord, SpillStore, KIND_SERVICE, KIND_SHARD};
 use shard::{CellSpec, Shard, ShardMsg, ShardOutput};
 pub use stats::{ControlEvent, RuntimeStats};
 use stats::{SharedStats, SinkTable};
@@ -279,6 +284,17 @@ pub struct RuntimeConfig {
     /// ([`tilt_obs::JournalSnapshot::dropped`]). Ignored when
     /// [`RuntimeConfig::metrics`] is off.
     pub journal_capacity: usize,
+    /// Cap on the sink-less output events a *retired* key's tombstone may
+    /// hold per query (`None` = unbounded, the default). Without a cap, a
+    /// churning key population under eviction accumulates output in
+    /// tombstones forever when nobody installed a sink; with one, each
+    /// retiring key keeps only its newest `cap` events per query and the
+    /// trimmed events are counted ([`RuntimeStats::tombstone_dropped`]).
+    /// Live keys are never capped — [`StreamService::finish`] returns
+    /// their output in full. Spilling
+    /// ([`StreamServiceBuilder::spill_to`]) supersedes this: spilled keys
+    /// hold no in-memory tombstone at all.
+    pub tombstone_output_cap: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -297,6 +313,7 @@ impl Default for RuntimeConfig {
             backstop: BackstopPolicy::DropNewest,
             metrics: true,
             journal_capacity: 1024,
+            tombstone_output_cap: None,
         }
     }
 }
@@ -374,6 +391,9 @@ pub enum ServiceError {
     UnknownQuery(usize),
     /// The query was already detached.
     Detached(usize),
+    /// A durable-state operation failed (spill-store creation, checkpoint
+    /// I/O, or a rejected snapshot).
+    Durability(StateError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -382,6 +402,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Compile(e) => write!(f, "cannot admit query: {e}"),
             ServiceError::UnknownQuery(id) => write!(f, "unknown query handle {id}"),
             ServiceError::Detached(id) => write!(f, "query {id} was already detached"),
+            ServiceError::Durability(e) => write!(f, "durable state error: {e}"),
         }
     }
 }
@@ -391,6 +412,12 @@ impl std::error::Error for ServiceError {}
 impl From<tilt_core::CompileError> for ServiceError {
     fn from(e: tilt_core::CompileError) -> Self {
         ServiceError::Compile(e)
+    }
+}
+
+impl From<StateError> for ServiceError {
+    fn from(e: StateError) -> Self {
+        ServiceError::Durability(e)
     }
 }
 
@@ -428,6 +455,11 @@ struct Registry {
     /// Source payload types any live-or-past query has declared, by source
     /// position (conservative: never shrinks on detach).
     source_types: Vec<Option<DataType>>,
+    /// Service-side mirror of the shard cell roster (every shard applies
+    /// the same attach/detach edits in the same order, so one mirror
+    /// describes them all). This is what a checkpoint records so restore
+    /// can rebuild the roster, dead cells included, with stable indices.
+    cells: Vec<CellRecord>,
 }
 
 impl Registry {
@@ -465,6 +497,12 @@ struct Core {
     registry: Mutex<Registry>,
     shards: usize,
     ingest_batch: usize,
+    /// Key-route overrides installed by migrations: keys not present here
+    /// route by [`shard_index`] as always.
+    routes: RwLock<HashMap<u64, usize>>,
+    /// Fast-path flag: `false` until the first migration, so services that
+    /// never rebalance pay one relaxed load (no lock) per routed event.
+    routed: AtomicBool,
 }
 
 impl Core {
@@ -474,6 +512,8 @@ impl Core {
         sinks: Arc<SinkTable>,
         stats: Arc<SharedStats>,
         registry: Registry,
+        spill: Option<Arc<SpillStore>>,
+        routes: HashMap<u64, usize>,
     ) -> Core {
         let shards = config.shards.max(1);
         let ingest_batch = config.ingest_batch.max(1);
@@ -482,7 +522,14 @@ impl Core {
         let cap_msgs = (config.channel_capacity / ingest_batch).max(1);
         for id in 0..shards {
             let (tx, rx) = std::sync::mpsc::sync_channel(cap_msgs);
-            let shard = Shard::new(id, &cells, config, Arc::clone(&sinks), Arc::clone(&stats));
+            let shard = Shard::new(
+                id,
+                &cells,
+                config,
+                Arc::clone(&sinks),
+                Arc::clone(&stats),
+                spill.clone(),
+            );
             let handle = std::thread::Builder::new()
                 .name(format!("tilt-shard-{id}"))
                 .spawn(move || shard.run(rx))
@@ -490,6 +537,7 @@ impl Core {
             senders.push(tx);
             handles.push(handle);
         }
+        let routed = AtomicBool::new(!routes.is_empty());
         Core {
             config,
             senders,
@@ -499,7 +547,25 @@ impl Core {
             registry: Mutex::new(registry),
             shards,
             ingest_batch,
+            routes: RwLock::new(routes),
+            routed,
         }
+    }
+
+    /// The shard serving `key` right now: the migration route override if
+    /// one exists, the stable hash partition otherwise.
+    fn route_of(&self, key: u64) -> usize {
+        if self.routed.load(Ordering::Relaxed) {
+            if let Some(&s) = self.routes.read().expect("route lock").get(&key) {
+                return s;
+            }
+        }
+        shard_index(key, self.shards)
+    }
+
+    fn set_route(&self, key: u64, shard: usize) {
+        self.routes.write().expect("route lock").insert(key, shard);
+        self.routed.store(true, Ordering::Relaxed);
     }
 
     fn ingest<I: IntoIterator<Item = KeyedEvent>>(&self, events: I) {
@@ -516,7 +582,7 @@ impl Core {
         for ev in events {
             n += 1;
             self.stats.note_event_end(ev.event.end);
-            let s = shard_index(ev.key, self.shards);
+            let s = self.route_of(ev.key);
             routed[s].push(ev);
             if routed[s].len() >= self.ingest_batch {
                 stalled |= self.send_batch(s, std::mem::take(&mut routed[s]));
@@ -533,7 +599,7 @@ impl Core {
 
     fn send(&self, event: KeyedEvent) {
         self.stats.note_event_end(event.event.end);
-        let s = shard_index(event.key, self.shards);
+        let s = self.route_of(event.key);
         self.send_batch(s, vec![event]);
         self.stats.events_in.inc();
     }
@@ -623,9 +689,21 @@ impl Drop for Core {
 pub struct StreamServiceBuilder {
     config: RuntimeConfig,
     regs: Vec<(Arc<CompiledQuery>, QuerySettings)>,
+    spill_dir: Option<PathBuf>,
 }
 
 impl StreamServiceBuilder {
+    /// Enables cold spill: idle-evicted keys serialize their state
+    /// verbatim into single-record bundle files under `dir` instead of
+    /// being flushed and tombstoned, and revive transparently — byte-for-
+    /// byte identically — when the key next receives an event (or at the
+    /// final flush). Bounds resident memory by the *hot* key population
+    /// under churn while keeping every key's output exact. The directory
+    /// is created if needed.
+    pub fn spill_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
     /// Registers a query with default settings; its outputs accumulate
     /// until [`StreamService::finish`].
     pub fn register(&mut self, cq: Arc<CompiledQuery>) -> QueryHandle {
@@ -702,7 +780,23 @@ impl StreamServiceBuilder {
                 emit_interval: p.emit_interval,
             }));
         }
-        Ok(StreamService { core: Core::start(cells, config, sinks, stats, registry) })
+        registry.cells = cells
+            .iter()
+            .map(|s| CellRecord {
+                alive: true,
+                qids: s.qids.clone(),
+                root: s.root,
+                lateness: s.lateness,
+                emit_interval: s.emit_interval,
+            })
+            .collect();
+        let spill = match &self.spill_dir {
+            Some(dir) => Some(Arc::new(SpillStore::open(dir)?)),
+            None => None,
+        };
+        Ok(StreamService {
+            core: Core::start(cells, config, sinks, stats, registry, spill, HashMap::new()),
+        })
     }
 }
 
@@ -746,7 +840,7 @@ pub struct StreamService {
 impl StreamService {
     /// Starts registering queries for a new service.
     pub fn builder(config: RuntimeConfig) -> StreamServiceBuilder {
-        StreamServiceBuilder { config, regs: Vec::new() }
+        StreamServiceBuilder { config, regs: Vec::new(), spill_dir: None }
     }
 
     /// Starts an empty service (attach queries before ingesting events).
@@ -783,6 +877,13 @@ impl StreamService {
             lateness: settings.allowed_lateness.unwrap_or(self.core.config.allowed_lateness),
             emit_interval: settings.emit_interval.unwrap_or(self.core.config.emit_interval),
         });
+        registry.cells.push(CellRecord {
+            alive: true,
+            qids: spec.qids.clone(),
+            root: spec.root,
+            lateness: spec.lateness,
+            emit_interval: spec.emit_interval,
+        });
         for tx in &self.core.senders {
             let _ = tx.send(ShardMsg::Attach(Arc::clone(&spec)));
         }
@@ -804,6 +905,17 @@ impl StreamService {
             None => return Err(ServiceError::UnknownQuery(handle.id)),
             Some(live) if !*live => return Err(ServiceError::Detached(handle.id)),
             Some(live) => *live = false,
+        }
+        // Mirror the edit every shard will apply to its roster: a
+        // single-member cell dies in place (its slot is never reused), a
+        // multi-member cell sheds the leaving query.
+        if let Some(ci) = registry.cells.iter().position(|c| c.alive && c.qids.contains(&handle.id))
+        {
+            if registry.cells[ci].qids.len() == 1 {
+                registry.cells[ci].alive = false;
+            } else {
+                registry.cells[ci].qids.retain(|q| *q != handle.id);
+            }
         }
         self.core.stats.note_detach(handle.id);
         self.core.sinks.set(handle.id, None);
@@ -838,9 +950,11 @@ impl StreamService {
         registry.live.iter().filter(|l| **l).count()
     }
 
-    /// Which shard serves `key`.
+    /// Which shard serves `key`: the stable hash partition, unless a
+    /// migration ([`StreamService::migrate_key`] /
+    /// [`StreamService::rebalance`]) installed a route override.
     pub fn shard_of(&self, key: u64) -> usize {
-        shard_index(key, self.core.shards)
+        self.core.route_of(key)
     }
 
     /// Routes and enqueues events once for all registered queries,
@@ -922,6 +1036,310 @@ impl StreamService {
     /// write.
     pub fn record_control(&self, event: ControlEvent) {
         self.core.stats.note_control(event);
+    }
+
+    /// Checkpoints the whole service into one snapshot file at `path`,
+    /// returning the bytes written.
+    ///
+    /// Each shard is quiesced with an in-band message: the channel is
+    /// FIFO, so the shard's reply reflects every batch enqueued before
+    /// this call, and the snapshot is a consistent frontier for any
+    /// driver that ingests and checkpoints from one thread. The file
+    /// holds the service header (config, query and cell rosters, route
+    /// overrides, counters) plus one record per shard (sessions, reorder
+    /// buffers, tombstones, watermarks, emission progress), each
+    /// CRC-guarded; a service rebuilt by [`StreamService::restore`]
+    /// produces byte-identical subsequent output.
+    ///
+    /// Keys currently spilled to a cold store are *not* captured — their
+    /// bundles live in the spill directory, not the snapshot. Checkpoint
+    /// a spilling service only when spill and snapshot directories are
+    /// preserved together (the property suites exercise them
+    /// separately).
+    pub fn checkpoint(&self, path: &Path) -> Result<u64, StateError> {
+        let mut pending = Vec::with_capacity(self.core.senders.len());
+        let mut resumes = Vec::with_capacity(self.core.senders.len());
+        for tx in &self.core.senders {
+            let (reply, rx) = std::sync::mpsc::sync_channel(1);
+            let (resume_tx, resume) = std::sync::mpsc::sync_channel(1);
+            if tx.send(ShardMsg::Checkpoint { reply, resume }).is_err() {
+                return Err(StateError::Corrupt("shard exited before checkpoint"));
+            }
+            pending.push(rx);
+            resumes.push(resume_tx);
+        }
+        let mut shard_payloads = Vec::with_capacity(pending.len());
+        for rx in pending {
+            match rx.recv() {
+                Ok(p) => shard_payloads.push(p),
+                Err(_) => return Err(StateError::Corrupt("shard exited during checkpoint")),
+            }
+        }
+        // Every shard is now parked at the barrier: the counters read
+        // below describe exactly the state the payloads carry. Counted
+        // before the record is built so the snapshot itself remembers
+        // this checkpoint: a restored service reports the checkpoint
+        // lineage it came from.
+        self.core.stats.checkpoints.inc();
+        let record = self.service_record();
+        drop(resumes);
+        let mut w = SnapshotWriter::create(path)?;
+        w.record(KIND_SERVICE, &record.encode())?;
+        for p in &shard_payloads {
+            w.record(KIND_SHARD, p)?;
+        }
+        let bytes = w.finish()?;
+        self.core.stats.state_bytes_written.add(bytes);
+        self.core
+            .stats
+            .note_control(ControlEvent::Checkpoint { shards: shard_payloads.len(), bytes });
+        Ok(bytes)
+    }
+
+    /// Assembles the service-wide checkpoint header from the registry
+    /// mirror, route table, and counter registry.
+    fn service_record(&self) -> ServiceRecord {
+        let registry = self.core.registry.lock().expect("registry lock");
+        let mut routes: Vec<(u64, u32)> = self
+            .core
+            .routes
+            .read()
+            .expect("route lock")
+            .iter()
+            .map(|(k, s)| (*k, *s as u32))
+            .collect();
+        routes.sort_unstable();
+        ServiceRecord {
+            config: self.core.config,
+            live: registry.live.clone(),
+            frontiers: self
+                .core
+                .stats
+                .query_frontier
+                .read()
+                .expect("stats lock")
+                .iter()
+                .map(|t| Time::new(*t))
+                .collect(),
+            cells: registry.cells.clone(),
+            routes,
+            counters: self.core.stats.durable_counters(),
+            max_event_end: self.core.stats.max_event_end.get(),
+            max_promise: self.core.stats.max_promise.get(),
+        }
+    }
+
+    /// Rebuilds a service from a [`StreamService::checkpoint`] snapshot.
+    ///
+    /// `queries` must provide the compiled query for every recorded slot,
+    /// in registration order — queries are code, not data, so the
+    /// snapshot records only their roster and the caller re-supplies the
+    /// compiled artifacts (detached slots still need theirs; their cells
+    /// are rebuilt dead to keep roster indices stable). The restored
+    /// service's subsequent output is byte-identical to one that never
+    /// stopped: sessions, reorder buffers (with per-cell consumption
+    /// flags), tombstones, watermarks, emission progress, route
+    /// overrides, and counters all resume exactly.
+    ///
+    /// Sinks are *not* restored (closures don't serialize) — re-install
+    /// them with [`StreamService::subscribe`]. A torn, truncated, or
+    /// bit-flipped snapshot is rejected with a typed [`StateError`]; it
+    /// never panics and never half-starts a service.
+    pub fn restore(
+        path: &Path,
+        queries: &[Arc<CompiledQuery>],
+    ) -> Result<StreamService, StateError> {
+        let file = SnapshotFile::read(path)?;
+        let bytes = file.bytes();
+        let records = file.records();
+        let Some((kind, service_payload)) = records.first() else {
+            return Err(StateError::Corrupt("snapshot holds no records"));
+        };
+        if *kind != KIND_SERVICE {
+            return Err(StateError::Corrupt("snapshot does not start with a service record"));
+        }
+        let record = ServiceRecord::decode(service_payload)?;
+        let shards = record.config.shards.max(1);
+        let shard_records = &records[1..];
+        if shard_records.len() != shards {
+            return Err(StateError::Corrupt("shard record count does not match the config"));
+        }
+        if shard_records.iter().any(|(k, _)| *k != KIND_SHARD) {
+            return Err(StateError::Corrupt("unexpected record kind after the service record"));
+        }
+        if queries.len() != record.live.len() {
+            return Err(StateError::Corrupt("restore needs one compiled query per recorded slot"));
+        }
+        let stats = Arc::new(SharedStats::new(
+            shards,
+            record.config.metrics,
+            record.config.journal_capacity,
+        ));
+        let sinks = Arc::new(SinkTable::new());
+        let mut registry = Registry::default();
+        for (qid, cq) in queries.iter().enumerate() {
+            registry
+                .admit(cq)
+                .map_err(|_| StateError::Corrupt("query conflicts with recorded source types"))?;
+            registry.live.push(record.live[qid]);
+            let id = stats.register_query(record.frontiers[qid], false);
+            debug_assert_eq!(id, qid);
+            sinks.push(None);
+            if !record.live[qid] {
+                stats.queries_live.sub(1);
+            }
+        }
+        registry.cells = record.cells.clone();
+        let mut cells = Vec::with_capacity(record.cells.len());
+        for c in &record.cells {
+            let members: Vec<Arc<CompiledQuery>> = c
+                .qids
+                .iter()
+                .map(|&q| {
+                    queries
+                        .get(q)
+                        .cloned()
+                        .ok_or(StateError::Corrupt("cell names an unknown query slot"))
+                })
+                .collect::<Result<_, _>>()?;
+            let group = Arc::new(
+                QueryGroup::new(members)
+                    .map_err(|_| StateError::Corrupt("recorded cell failed to recompile"))?,
+            );
+            cells.push(Arc::new(CellSpec {
+                group,
+                qids: c.qids.clone(),
+                root: c.root,
+                lateness: c.lateness,
+                emit_interval: c.emit_interval,
+            }));
+        }
+        stats.restore_counters(&record.counters);
+        stats.max_event_end.set_max(record.max_event_end);
+        stats.max_promise.set_max(record.max_promise);
+        let routes: HashMap<u64, usize> =
+            record.routes.iter().map(|&(k, s)| (k, s as usize)).collect();
+        let core =
+            Core::start(cells, record.config, sinks, Arc::clone(&stats), registry, None, routes);
+        // Install each shard's recorded state as that shard's first
+        // message; a rejected record aborts the whole restore (dropping
+        // the half-built core joins its workers).
+        for ((_, payload), tx) in shard_records.iter().zip(&core.senders) {
+            let (reply, rx) = std::sync::mpsc::sync_channel(1);
+            if tx.send(ShardMsg::Restore { payload: payload.clone(), reply }).is_err() {
+                return Err(StateError::Corrupt("shard exited before restore"));
+            }
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(StateError::Corrupt("shard exited during restore")),
+            }
+        }
+        stats.state_bytes_read.add(bytes);
+        stats.note_control(ControlEvent::Restored { shards, bytes });
+        Ok(StreamService { core })
+    }
+
+    /// Handles for every *live* query slot, with their current
+    /// frontiers. [`StreamService::restore`] does not return handles
+    /// (the roster is data, not a return value), so this is how a
+    /// restore consumer re-installs sinks: enumerate the live slots and
+    /// [`StreamService::subscribe`] each. Detached slots are omitted —
+    /// their indices stay reserved but accept no sinks.
+    pub fn query_handles(&self) -> Vec<QueryHandle> {
+        let live = self.core.registry.lock().expect("registry lock").live.clone();
+        let frontiers = self.core.stats.query_frontier.read().expect("stats lock");
+        live.iter()
+            .enumerate()
+            .filter(|&(_, alive)| *alive)
+            .map(|(id, _)| QueryHandle { id, frontier: Time::new(frontiers[id]) })
+            .collect()
+    }
+
+    /// Migrates one key's complete state (sessions, reorder buffers,
+    /// accumulated output) from its current shard to shard `to`, and
+    /// installs a route override so subsequent arrivals follow it. The
+    /// serialized hop uses the same encoding as checkpoints and spills,
+    /// so the key's subsequent output is byte-identical to never moving.
+    /// Returns `false` (and changes nothing) when `to` is out of range,
+    /// already serves the key, or the key holds no live state on its
+    /// shard. Like checkpointing, the consistency story assumes a
+    /// single-threaded driver: don't ingest the key concurrently with
+    /// migrating it.
+    pub fn migrate_key(&self, key: u64, to: usize) -> bool {
+        if to >= self.core.shards {
+            return false;
+        }
+        let from = self.core.route_of(key);
+        if from == to {
+            return false;
+        }
+        let (reply, rx) = std::sync::mpsc::sync_channel(1);
+        if self.core.senders[from].send(ShardMsg::MigrateOut { key, reply }).is_err() {
+            return false;
+        }
+        let Ok(Some(bundle)) = rx.recv() else { return false };
+        self.core.set_route(key, to);
+        self.core.stats.state_bytes_written.add(bundle.len() as u64);
+        self.core.stats.state_bytes_read.add(bundle.len() as u64);
+        let _ = self.core.senders[to].send(ShardMsg::MigrateIn { key, bundle });
+        self.core.stats.migrations.inc();
+        self.core.stats.note_control(ControlEvent::Migrate { key, from, to });
+        true
+    }
+
+    /// Rebalances load by migrating the heaviest keys off the most loaded
+    /// shard onto the least loaded one, driven by a per-shard census of
+    /// per-key load scores (sessions + buffered events). Moves at most 16
+    /// keys per call and never more than half the load gap (so repeated
+    /// calls converge instead of oscillating); returns how many keys
+    /// moved. No-op on single-shard services or when the population is
+    /// already balanced.
+    pub fn rebalance(&self) -> usize {
+        if self.core.shards < 2 {
+            return 0;
+        }
+        let mut pending = Vec::with_capacity(self.core.senders.len());
+        for tx in &self.core.senders {
+            let (reply, rx) = std::sync::mpsc::sync_channel(1);
+            if tx.send(ShardMsg::Census { reply }).is_err() {
+                return 0;
+            }
+            pending.push(rx);
+        }
+        let mut per_shard: Vec<Vec<(u64, u64)>> = Vec::with_capacity(pending.len());
+        for rx in pending {
+            match rx.recv() {
+                Ok(c) => per_shard.push(c),
+                Err(_) => return 0,
+            }
+        }
+        let loads: Vec<u64> = per_shard.iter().map(|c| c.iter().map(|(_, s)| *s).sum()).collect();
+        let busiest = (0..loads.len()).max_by_key(|&i| loads[i]).expect("shards >= 2");
+        let idlest = (0..loads.len()).min_by_key(|&i| loads[i]).expect("shards >= 2");
+        let gap = loads[busiest] - loads[idlest];
+        if busiest == idlest || gap < 2 {
+            return 0;
+        }
+        let mut candidates = per_shard[busiest].clone();
+        candidates.sort_unstable_by_key(|&(key, score)| (std::cmp::Reverse(score), key));
+        let mut moved = 0usize;
+        let mut moved_score = 0u64;
+        for (key, score) in candidates {
+            if moved >= 16 {
+                break;
+            }
+            // Never move more than half the gap: overshooting would just
+            // invert the imbalance and make the next call undo this one.
+            if (moved_score + score) * 2 > gap {
+                continue;
+            }
+            if self.migrate_key(key, idlest) {
+                moved += 1;
+                moved_score += score;
+            }
+        }
+        moved
     }
 
     /// Gracefully drains and shuts down: every buffered event is flushed,

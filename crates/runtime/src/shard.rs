@@ -37,15 +37,17 @@
 //! reorder-buffer backstop caps, and per-key panic quarantine — all
 //! operate per key, across every cell the key touches.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::RecvTimeoutError;
+use std::sync::mpsc::{RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
 
-use tilt_core::sharing::{QueryGroup, SharedGroupSession};
-use tilt_data::{BufPool, Event, Time, Value};
+use tilt_core::sharing::{GroupSessionIn, QueryGroup, SharedGroupSession};
+use tilt_data::{BufPool, Event, SnapshotBuf, Time, Value};
+use tilt_state::{Dec, Enc, StateError};
 
+use crate::durability::SpillStore;
 use crate::stats::{ControlEvent, QueryCounters, SharedStats, SinkTable};
 use crate::{BackstopPolicy, KeyedEvent, RuntimeConfig};
 
@@ -62,6 +64,50 @@ pub(crate) enum ShardMsg {
     Detach {
         /// The global query slot being detached.
         qid: usize,
+    },
+    /// Serialize the shard's full state (keys, tombstones, watermarks,
+    /// emission progress) and reply with the record payload. In-band, so
+    /// the snapshot reflects exactly the messages enqueued before it.
+    /// After replying the shard parks on `resume` until the coordinator
+    /// has read the service-wide counters — otherwise a shard could keep
+    /// advancing (consuming events its payload still carries as pending)
+    /// while the counters are being recorded, tearing the snapshot's
+    /// conservation ledger.
+    Checkpoint {
+        /// Where the serialized shard record goes.
+        reply: SyncSender<Vec<u8>>,
+        /// Barrier: dropped or signalled by the coordinator once the
+        /// counter snapshot is taken.
+        resume: std::sync::mpsc::Receiver<()>,
+    },
+    /// Install a previously checkpointed shard record; sent as a shard's
+    /// first message after a restore spawn.
+    Restore {
+        /// The shard record written by [`ShardMsg::Checkpoint`].
+        payload: Vec<u8>,
+        /// Install outcome (decode/roster errors travel back typed).
+        reply: SyncSender<Result<(), StateError>>,
+    },
+    /// Serialize one key out of this shard for migration and forget it;
+    /// replies `None` when the key holds no live state here.
+    MigrateOut {
+        /// The key leaving this shard.
+        key: u64,
+        /// Where the serialized key bundle goes.
+        reply: SyncSender<Option<Vec<u8>>>,
+    },
+    /// Splice a migrated key's state into this shard.
+    MigrateIn {
+        /// The key arriving on this shard.
+        key: u64,
+        /// The bundle produced by [`ShardMsg::MigrateOut`].
+        bundle: Vec<u8>,
+    },
+    /// Report per-key load scores (the input to
+    /// [`crate::StreamService::rebalance`]).
+    Census {
+        /// Where the `(key, score)` list goes.
+        reply: SyncSender<Vec<(u64, u64)>>,
     },
     /// Final horizon: flush every session through `time` when the channel
     /// closes.
@@ -333,6 +379,26 @@ struct Retired {
     quarantined: bool,
 }
 
+/// A key's durable state, decoded from a checkpoint, spill, or migration
+/// bundle but not yet attached to a shard roster (cell indices are slots
+/// in the roster the bundle was written against).
+struct DecodedKey {
+    last_end: Time,
+    queued: bool,
+    pending: Vec<ReorderBuf>,
+    cells: Vec<Option<DecodedSession>>,
+    out: Vec<Vec<Event<Value>>>,
+}
+
+/// One cell session's durable state: everything `GroupSessionIn` needs to
+/// rebuild, plus the shard-side push frontiers and dirty flag.
+struct DecodedSession {
+    watermark: Time,
+    histories: Vec<SnapshotBuf<Value>>,
+    pushed_end: Vec<Time>,
+    dirty: bool,
+}
+
 /// Everything a shard returns when it drains and exits.
 pub(crate) struct ShardOutput {
     /// Finalized output per key, one vector per global query slot (empty
@@ -375,6 +441,12 @@ pub(crate) struct Shard {
     /// Keys needing a visit on the next emission cycle. Emission cost
     /// scales with this set, not with the total key population.
     active: Vec<u64>,
+    /// The cold store evictions spill to instead of flushing, when the
+    /// service was built with one.
+    spill: Option<Arc<SpillStore>>,
+    /// Keys currently living in the spill store: no in-memory state at
+    /// all, revived verbatim from disk on their next arrival.
+    spilled: HashSet<u64>,
     sinks: Arc<SinkTable>,
     stats: Arc<SharedStats>,
     /// Recycles intermediate kernel buffers across every advance on this
@@ -397,6 +469,7 @@ impl Shard {
         cfg: RuntimeConfig,
         sinks: Arc<SinkTable>,
         stats: Arc<SharedStats>,
+        spill: Option<Arc<SpillStore>>,
     ) -> Self {
         let cells: Vec<Cell> = cells.iter().map(|spec| Cell::new(spec, &stats)).collect();
         let n_sources = cells.iter().map(|c| c.n_sources).max().unwrap_or(0);
@@ -415,6 +488,8 @@ impl Shard {
             last_sweep: cfg.start,
             last_wall_sweep: Instant::now(),
             active: Vec::new(),
+            spill,
+            spilled: HashSet::new(),
             sinks,
             stats,
             pool: BufPool::new(),
@@ -501,6 +576,20 @@ impl Shard {
             }
             ShardMsg::Attach(spec) => self.attach(&spec),
             ShardMsg::Detach { qid } => self.detach(qid),
+            ShardMsg::Checkpoint { reply, resume } => {
+                let _ = reply.send(self.checkpoint_payload());
+                let _ = resume.recv();
+            }
+            ShardMsg::Restore { payload, reply } => {
+                let _ = reply.send(self.install(&payload));
+            }
+            ShardMsg::MigrateOut { key, reply } => {
+                let _ = reply.send(self.migrate_out(key));
+            }
+            ShardMsg::MigrateIn { key, bundle } => self.migrate_in(key, bundle),
+            ShardMsg::Census { reply } => {
+                let _ = reply.send(self.census());
+            }
             ShardMsg::FinishAt(time) => *finish_at = Some(time),
         }
     }
@@ -601,6 +690,14 @@ impl Shard {
             // difference is never negative.
             let lag = self.max_start[ev.source] - ev.event.start;
             self.ingest_lag_scratch.record(lag as u64);
+        }
+
+        // Spilled keys revive from disk on first contact, *before* any
+        // admission checks: the bundle holds the key's exact pre-eviction
+        // state (sessions, reorder buffers, accumulated output), so a
+        // revived key is byte-identical to one that was never spilled.
+        if !self.spilled.is_empty() && self.spilled.remove(&ev.key) {
+            self.revive_from_spill(ev.key);
         }
 
         // Retired keys: quarantined ones refuse all events; evicted ones
@@ -1043,6 +1140,9 @@ impl Shard {
     /// late-dropped (they land behind the frontier) — the trade wall-clock
     /// reclamation makes that event-time eviction never has to.
     fn evict_wall(&mut self, key: u64, final_plans: &[CellPlan]) {
+        if self.try_spill(key) {
+            return;
+        }
         let Some(mut state) = self.keys.remove(&key) else { return };
         let id = self.id;
         let sinks = Arc::clone(&self.sinks);
@@ -1082,6 +1182,7 @@ impl Shard {
         }))
         .is_err();
         self.stats.live_keys.sub(1);
+        self.cap_tombstone_out(&mut state.out);
         if panicked {
             self.note_flush_panic(key, &state);
             self.retired
@@ -1119,6 +1220,9 @@ impl Shard {
     /// replace the key with a [`Retired`] tombstone holding per-cell
     /// frontiers (each session's final watermark).
     fn evict(&mut self, key: u64, plans: &[CellPlan]) {
+        if self.try_spill(key) {
+            return;
+        }
         let Some(mut state) = self.keys.remove(&key) else { return };
         let sinks = Arc::clone(&self.sinks);
         let stats = Arc::clone(&self.stats);
@@ -1143,6 +1247,7 @@ impl Shard {
         }))
         .is_err();
         self.stats.live_keys.sub(1);
+        self.cap_tombstone_out(&mut state.out);
         if panicked {
             self.note_flush_panic(key, &state);
             self.retired
@@ -1160,7 +1265,7 @@ impl Shard {
     /// unknown state) and buffers are dropped, its accumulated output is
     /// kept for shutdown, and all further events for it are refused.
     fn quarantine(&mut self, key: u64) {
-        let Some(state) = self.keys.remove(&key) else { return };
+        let Some(mut state) = self.keys.remove(&key) else { return };
         let pending: usize = state.pending.iter().map(ReorderBuf::len).sum();
         if pending > 0 {
             self.stats.sub_reorder_pending(self.id, pending);
@@ -1175,6 +1280,7 @@ impl Shard {
             key,
             dropped: pending as u64,
         });
+        self.cap_tombstone_out(&mut state.out);
         self.retired
             .insert(key, Retired { frontiers: Vec::new(), out: state.out, quarantined: true });
     }
@@ -1281,6 +1387,414 @@ impl Shard {
         }
     }
 
+    /// Serializes one key's complete state: the single encoding shared by
+    /// checkpoint records, spill bundles, and migration bundles. Cell
+    /// slots are indices into the full roster; dead or absent cells
+    /// encode as an absence flag.
+    fn encode_key_state(state: &KeyState) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.time(state.last_end);
+        e.u8(state.queued as u8);
+        e.u32(state.pending.len() as u32);
+        for buf in &state.pending {
+            e.u32(buf.events.len() as u32);
+            for b in &buf.events {
+                e.event(&b.event);
+                e.u8(b.taken as u8);
+            }
+        }
+        e.u32(state.cells.len() as u32);
+        for slot in &state.cells {
+            match slot {
+                None => e.u8(0),
+                Some(cs) => {
+                    e.u8(1);
+                    e.time(cs.session.watermark());
+                    let hists = cs.session.histories();
+                    e.u32(hists.len() as u32);
+                    for h in hists {
+                        e.ssbuf(h);
+                    }
+                    e.u32(cs.pushed_end.len() as u32);
+                    for t in &cs.pushed_end {
+                        e.time(*t);
+                    }
+                    e.u8(cs.dirty as u8);
+                }
+            }
+        }
+        Self::encode_out(&mut e, &state.out);
+        e.into_bytes()
+    }
+
+    /// Appends a per-query output table (shared by live key states and
+    /// retired tombstones).
+    fn encode_out(e: &mut Enc, out: &[Vec<Event<Value>>]) {
+        e.u32(out.len() as u32);
+        for evs in out {
+            e.u32(evs.len() as u32);
+            for ev in evs {
+                e.event(ev);
+            }
+        }
+    }
+
+    fn decode_out(d: &mut Dec<'_>) -> Result<Vec<Vec<Event<Value>>>, StateError> {
+        let n_slots = d.count(4)?;
+        let mut out = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let n = d.count(17)?;
+            let mut evs = Vec::with_capacity(n);
+            for _ in 0..n {
+                evs.push(d.event()?);
+            }
+            out.push(evs);
+        }
+        Ok(out)
+    }
+
+    /// Decodes the payload written by [`Shard::encode_key_state`]. Every
+    /// structural invariant a checksum cannot vouch for is re-validated:
+    /// reorder buffers must arrive in sorted order, histories must pass
+    /// the snapshot-buffer invariants (checked later by `from_parts`).
+    fn decode_key_state(payload: &[u8]) -> Result<DecodedKey, StateError> {
+        let mut d = Dec::new(payload);
+        let last_end = d.time()?;
+        let queued = d.flag()?;
+        let n_src = d.count(4)?;
+        let mut pending = Vec::with_capacity(n_src);
+        for _ in 0..n_src {
+            let n = d.count(18)?;
+            let mut events: Vec<Buffered> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let event = d.event()?;
+                let taken = d.flag()?;
+                if let Some(prev) = events.last() {
+                    if (event.start, event.end) < (prev.event.start, prev.event.end) {
+                        return Err(StateError::Corrupt("reorder buffer events out of order"));
+                    }
+                }
+                events.push(Buffered { event, taken });
+            }
+            pending.push(ReorderBuf { events });
+        }
+        let n_cells = d.count(1)?;
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            if !d.flag()? {
+                cells.push(None);
+                continue;
+            }
+            let watermark = d.time()?;
+            let nh = d.count(12)?;
+            let mut histories = Vec::with_capacity(nh);
+            for _ in 0..nh {
+                histories.push(d.ssbuf()?);
+            }
+            let np = d.count(8)?;
+            let mut pushed_end = Vec::with_capacity(np);
+            for _ in 0..np {
+                pushed_end.push(d.time()?);
+            }
+            let dirty = d.flag()?;
+            cells.push(Some(DecodedSession { watermark, histories, pushed_end, dirty }));
+        }
+        let out = Self::decode_out(&mut d)?;
+        d.finish()?;
+        Ok(DecodedKey { last_end, queued, pending, cells, out })
+    }
+
+    /// Rebuilds a key from decoded durable state against the *current*
+    /// roster: recorded cells past the roster are an error, sessions for
+    /// since-detached cells are dropped (counted as reclaimed), and
+    /// output slots whose query left every live cell are cleared —
+    /// mirroring what `detach` would have done to a resident key.
+    fn install_key_state(
+        &mut self,
+        key: u64,
+        dk: DecodedKey,
+        from_spill: bool,
+    ) -> Result<(), StateError> {
+        if self.keys.contains_key(&key) {
+            return Err(StateError::Corrupt("key bundle duplicates a live key"));
+        }
+        if dk.pending.len() > self.n_sources {
+            return Err(StateError::Corrupt("key bundle names more sources than the roster"));
+        }
+        if dk.cells.len() > self.cells.len() {
+            return Err(StateError::Corrupt("key bundle names a cell past the roster"));
+        }
+        let n_pending: usize = dk.pending.iter().map(ReorderBuf::len).sum();
+        let mut cells: Vec<Option<CellSession>> = Vec::with_capacity(self.cells.len());
+        for (ci, slot) in dk.cells.into_iter().enumerate() {
+            let cell = &self.cells[ci];
+            let Some(ds) = slot else {
+                cells.push(None);
+                continue;
+            };
+            if !cell.alive {
+                self.stats.sessions_reclaimed.inc();
+                cells.push(None);
+                continue;
+            }
+            let session =
+                GroupSessionIn::from_parts(Arc::clone(&cell.group), ds.histories, ds.watermark)
+                    .map_err(|_| StateError::Corrupt("session state violates group invariants"))?;
+            let mut pushed_end = ds.pushed_end;
+            pushed_end.resize(cell.n_sources, ds.watermark);
+            cells.push(Some(CellSession { session, pushed_end, dirty: ds.dirty }));
+        }
+        let mut out = dk.out;
+        for (qid, evs) in out.iter_mut().enumerate() {
+            if !evs.is_empty() && !self.cells.iter().any(|c| c.alive && c.qids.contains(&qid)) {
+                *evs = Vec::new();
+            }
+        }
+        let mut state = KeyState {
+            pending: dk.pending,
+            cells,
+            out,
+            last_end: dk.last_end,
+            last_touch: Instant::now(),
+            queued: false,
+        };
+        Self::sync_key(&mut state, self.cells.len(), self.n_sources);
+        if dk.queued {
+            state.queued = true;
+            self.active.push(key);
+        }
+        self.keys.insert(key, state);
+        self.stats.live_keys.add(1);
+        if n_pending > 0 {
+            self.stats.reorder_pending[self.id].add(n_pending as i64);
+            if from_spill {
+                self.stats.spilled_pending.sub(n_pending as i64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes this shard's complete state as one checkpoint record.
+    /// Keys and tombstones are written in sorted order so identical state
+    /// produces identical bytes. Spilled keys are *not* included — their
+    /// bundles live in the spill directory, not the snapshot.
+    fn checkpoint_payload(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.id as u32);
+        e.u32(self.max_start.len() as u32);
+        for t in &self.max_start {
+            e.time(*t);
+        }
+        for t in &self.explicit {
+            e.time(*t);
+        }
+        e.time(self.max_end);
+        e.time(self.emitted);
+        e.time(self.last_sweep);
+        e.u32(self.cells.len() as u32);
+        for c in &self.cells {
+            e.u8(c.alive as u8);
+            e.time(c.emitted);
+        }
+        let mut keys: Vec<u64> = self.keys.keys().copied().collect();
+        keys.sort_unstable();
+        e.u32(keys.len() as u32);
+        for k in keys {
+            e.u64(k);
+            e.bytes(&Self::encode_key_state(&self.keys[&k]));
+        }
+        let mut retired: Vec<u64> = self.retired.keys().copied().collect();
+        retired.sort_unstable();
+        e.u32(retired.len() as u32);
+        for k in retired {
+            let r = &self.retired[&k];
+            e.u64(k);
+            e.u8(r.quarantined as u8);
+            e.u32(r.frontiers.len() as u32);
+            for f in &r.frontiers {
+                e.opt_i64(f.map(|t| t.ticks()));
+            }
+            Self::encode_out(&mut e, &r.out);
+        }
+        e.into_bytes()
+    }
+
+    /// Installs a checkpointed shard record. Sent as the first message
+    /// after a restore spawn, so it replaces pristine state; the roster
+    /// (rebuilt by the service from the same snapshot) must match.
+    fn install(&mut self, payload: &[u8]) -> Result<(), StateError> {
+        let mut d = Dec::new(payload);
+        let id = d.u32()? as usize;
+        if id != self.id {
+            return Err(StateError::Corrupt("shard record routed to the wrong shard"));
+        }
+        let n_src = d.count(8)?;
+        if n_src != self.n_sources {
+            return Err(StateError::Corrupt("shard record source count does not match the roster"));
+        }
+        for i in 0..n_src {
+            self.max_start[i] = d.time()?;
+        }
+        for i in 0..n_src {
+            self.explicit[i] = d.time()?;
+        }
+        self.max_end = d.time()?;
+        self.emitted = d.time()?;
+        self.last_sweep = d.time()?;
+        let n_cells = d.count(9)?;
+        if n_cells != self.cells.len() {
+            return Err(StateError::Corrupt("shard record cell count does not match the roster"));
+        }
+        for ci in 0..n_cells {
+            self.cells[ci].alive = d.flag()?;
+            self.cells[ci].emitted = d.time()?;
+        }
+        self.refresh_ttl();
+        let n_keys = d.count(12)?;
+        for _ in 0..n_keys {
+            let key = d.u64()?;
+            let dk = Self::decode_key_state(d.bytes()?)?;
+            self.install_key_state(key, dk, false)?;
+        }
+        let n_retired = d.count(9)?;
+        for _ in 0..n_retired {
+            let key = d.u64()?;
+            let quarantined = d.flag()?;
+            let nf = d.count(1)?;
+            let mut frontiers = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                frontiers.push(d.opt_i64()?.map(Time::new));
+            }
+            let out = Self::decode_out(&mut d)?;
+            if self.retired.insert(key, Retired { frontiers, out, quarantined }).is_some() {
+                return Err(StateError::Corrupt("duplicate retired key in shard record"));
+            }
+        }
+        d.finish()
+    }
+
+    /// Serializes one key out of this shard for migration and forgets it.
+    /// Pending events leave the reorder gauge and ride the bundle, held
+    /// by the `spilled_pending` gauge until the target installs them.
+    fn migrate_out(&mut self, key: u64) -> Option<Vec<u8>> {
+        let state = self.keys.remove(&key)?;
+        let payload = Self::encode_key_state(&state);
+        let n_pending: usize = state.pending.iter().map(ReorderBuf::len).sum();
+        if n_pending > 0 {
+            self.stats.sub_reorder_pending(self.id, n_pending);
+            self.stats.spilled_pending.add(n_pending as i64);
+        }
+        self.stats.live_keys.sub(1);
+        Some(payload)
+    }
+
+    /// Splices a migrated key into this shard. An undecodable bundle
+    /// quarantines the key (fail closed) rather than silently restarting
+    /// it from an empty session.
+    fn migrate_in(&mut self, key: u64, bundle: Vec<u8>) {
+        let installed =
+            Self::decode_key_state(&bundle).and_then(|dk| self.install_key_state(key, dk, true));
+        if installed.is_err() {
+            self.stats.keys_quarantined.inc();
+            self.stats.note_control(ControlEvent::Quarantine { shard: self.id, key, dropped: 0 });
+            self.retired
+                .insert(key, Retired { frontiers: Vec::new(), out: Vec::new(), quarantined: true });
+        }
+    }
+
+    /// Per-key load scores — one point per key plus one per live session
+    /// and buffered event — the shard-local input to
+    /// [`crate::StreamService::rebalance`].
+    fn census(&self) -> Vec<(u64, u64)> {
+        self.keys
+            .iter()
+            .map(|(k, s)| {
+                let pending: usize = s.pending.iter().map(ReorderBuf::len).sum();
+                let sessions = s.cells.iter().flatten().count();
+                (*k, 1 + pending as u64 + sessions as u64)
+            })
+            .collect()
+    }
+
+    /// Spills a key to the cold store instead of evicting it, when one is
+    /// configured. The state is serialized verbatim — no flush, no
+    /// session advance — so revival is byte-identical to never evicting:
+    /// idle keys advance lazily on their next visit either way. Returns
+    /// true when the eviction was fully handled here.
+    fn try_spill(&mut self, key: u64) -> bool {
+        let Some(spill) = self.spill.clone() else { return false };
+        let Some(state) = self.keys.remove(&key) else { return true };
+        let payload = Self::encode_key_state(&state);
+        match spill.save(key, &payload) {
+            Ok(bytes) => {
+                let n_pending: usize = state.pending.iter().map(ReorderBuf::len).sum();
+                if n_pending > 0 {
+                    self.stats.sub_reorder_pending(self.id, n_pending);
+                    self.stats.spilled_pending.add(n_pending as i64);
+                }
+                self.stats.live_keys.sub(1);
+                self.stats.spills.inc();
+                self.stats.state_bytes_written.add(bytes);
+                self.stats.note_control(ControlEvent::Spill { shard: self.id, key });
+                self.spilled.insert(key);
+                true
+            }
+            Err(_) => {
+                // The disk refused the bundle: fall back to the in-memory
+                // eviction path, which needs no I/O to stay correct.
+                self.keys.insert(key, state);
+                false
+            }
+        }
+    }
+
+    /// Loads a spilled key back into memory. The caller has already
+    /// removed the key from the spilled set; an unreadable or corrupt
+    /// bundle quarantines the key so its events are refused and counted
+    /// instead of silently recomputed from an empty session.
+    fn revive_from_spill(&mut self, key: u64) {
+        let spill = self.spill.clone().expect("spilled set implies a store");
+        let revived = spill.load(key).and_then(|(payload, bytes)| {
+            self.stats.state_bytes_read.add(bytes);
+            let dk = Self::decode_key_state(&payload)?;
+            self.install_key_state(key, dk, true)
+        });
+        match revived {
+            Ok(()) => {
+                self.stats.spill_revivals.inc();
+                self.stats.note_control(ControlEvent::Revive { shard: self.id, key });
+            }
+            Err(_) => {
+                self.stats.keys_quarantined.inc();
+                self.stats.note_control(ControlEvent::Quarantine {
+                    shard: self.id,
+                    key,
+                    dropped: 0,
+                });
+                self.retired.insert(
+                    key,
+                    Retired { frontiers: Vec::new(), out: Vec::new(), quarantined: true },
+                );
+            }
+        }
+    }
+
+    /// Applies `tombstone_output_cap`: a retiring key's accumulated
+    /// sink-less output is trimmed to the newest `cap` events per query
+    /// so a churning key population cannot pin unbounded memory in
+    /// tombstones. Live keys are never capped — `finish` returns their
+    /// output in full.
+    fn cap_tombstone_out(&self, out: &mut [Vec<Event<Value>>]) {
+        let Some(cap) = self.cfg.tombstone_output_cap else { return };
+        for evs in out.iter_mut() {
+            if evs.len() > cap {
+                let dropped = evs.len() - cap;
+                evs.drain(..dropped);
+                self.stats.tombstone_dropped.add(dropped as u64);
+            }
+        }
+    }
+
     fn deliver(
         key: u64,
         query: usize,
@@ -1311,6 +1825,13 @@ impl Shard {
     /// empty timeline still surface their tail; quarantined keys return
     /// what they had.
     fn flush(mut self, finish_at: Option<Time>) -> ShardOutput {
+        // Spilled keys rejoin for the final flush: their revival here is
+        // what keeps spills == revivals and lets queries that emit on an
+        // empty timeline surface the spilled keys' tails too.
+        let spilled: Vec<u64> = std::mem::take(&mut self.spilled).into_iter().collect();
+        for key in spilled {
+            self.revive_from_spill(key);
+        }
         let grid = self.cells.iter().filter(|c| c.alive).map(|c| c.grid).max().unwrap_or(1);
         let horizon = finish_at.unwrap_or_else(|| self.max_end.max(self.cfg.start).align_up(grid));
         self.stats.shard_watermark[self.id].set(horizon.ticks());

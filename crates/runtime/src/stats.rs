@@ -99,6 +99,41 @@ pub enum ControlEvent {
         /// Events force-drained by this trigger.
         drained: u64,
     },
+    /// A whole-service checkpoint was written
+    /// ([`crate::StreamService::checkpoint`]).
+    Checkpoint {
+        /// Shards quiesced into the snapshot.
+        shards: usize,
+        /// Snapshot file size in bytes.
+        bytes: u64,
+    },
+    /// A service was rebuilt from a checkpoint
+    /// ([`crate::StreamService::restore`]).
+    Restored {
+        /// Shards rebuilt from the snapshot.
+        shards: usize,
+        /// Snapshot file size in bytes.
+        bytes: u64,
+    },
+    /// An idle key's state was serialized verbatim to the spill store
+    /// instead of being flushed to a tombstone.
+    Spill {
+        /// The shard that owned the key.
+        shard: usize,
+        /// The spilled key.
+        key: u64,
+    },
+    /// A key's sessions moved between shards
+    /// ([`crate::StreamService::migrate_key`] /
+    /// [`crate::StreamService::rebalance`]).
+    Migrate {
+        /// The migrated key.
+        key: u64,
+        /// The shard the key left.
+        from: usize,
+        /// The shard the key now lives on.
+        to: usize,
+    },
     /// A remote client connected to a network front end serving this
     /// service (recorded via [`crate::StreamService::record_control`]).
     Connect {
@@ -137,6 +172,16 @@ impl std::fmt::Display for ControlEvent {
             }
             ControlEvent::BackstopDrain { shard, key, drained } => {
                 write!(f, "backstop-drain shard={shard} key={key} drained={drained}")
+            }
+            ControlEvent::Checkpoint { shards, bytes } => {
+                write!(f, "checkpoint shards={shards} bytes={bytes}")
+            }
+            ControlEvent::Restored { shards, bytes } => {
+                write!(f, "restored shards={shards} bytes={bytes}")
+            }
+            ControlEvent::Spill { shard, key } => write!(f, "spill shard={shard} key={key}"),
+            ControlEvent::Migrate { key, from, to } => {
+                write!(f, "migrate key={key} from={from} to={to}")
             }
             ControlEvent::Connect { conn } => write!(f, "connect conn={conn}"),
             ControlEvent::Disconnect { conn } => write!(f, "disconnect conn={conn}"),
@@ -244,6 +289,29 @@ pub(crate) struct SharedStats {
     /// negative (clamped instead). Always 0 unless accounting is broken;
     /// the guardrail asserts on it.
     pub(crate) reorder_underflow: Arc<Counter>,
+    /// Whole-service checkpoints written.
+    pub(crate) checkpoints: Arc<Counter>,
+    /// Bytes written through the durable state layer (checkpoints + spill
+    /// + migration bundles).
+    pub(crate) state_bytes_written: Arc<Counter>,
+    /// Bytes read back through the durable state layer.
+    pub(crate) state_bytes_read: Arc<Counter>,
+    /// Keys spilled to the cold store instead of being flushed to a
+    /// tombstone.
+    pub(crate) spills: Arc<Counter>,
+    /// Spilled keys revived from disk by a later arrival (or the final
+    /// flush).
+    pub(crate) spill_revivals: Arc<Counter>,
+    /// Keys migrated between shards.
+    pub(crate) migrations: Arc<Counter>,
+    /// Gauge: buffered events currently serialized inside spill or
+    /// migration bundles rather than resident in a reorder buffer. Part of
+    /// the conservation partition — events on disk are still accounted
+    /// for.
+    pub(crate) spilled_pending: Arc<Gauge>,
+    /// Tombstone output events discarded by
+    /// [`crate::RuntimeConfig::tombstone_output_cap`].
+    pub(crate) tombstone_dropped: Arc<Counter>,
     pub(crate) max_event_end: Arc<Gauge>,
     /// The largest explicit watermark promise made on any source (feeds
     /// attach-frontier negotiation).
@@ -330,6 +398,14 @@ impl SharedStats {
             queries_live: r.gauge("tilt_queries_live"),
             sessions_reclaimed: r.counter("tilt_sessions_reclaimed_total"),
             reorder_underflow: r.counter("tilt_reorder_underflow_total"),
+            checkpoints: r.counter("tilt_state_checkpoints_total"),
+            state_bytes_written: r.counter("tilt_state_bytes_written_total"),
+            state_bytes_read: r.counter("tilt_state_bytes_read_total"),
+            spills: r.counter("tilt_state_spills_total"),
+            spill_revivals: r.counter("tilt_state_revivals_total"),
+            migrations: r.counter("tilt_state_migrations_total"),
+            spilled_pending: r.gauge("tilt_state_spilled_pending"),
+            tombstone_dropped: r.counter("tilt_tombstone_output_dropped_total"),
             max_event_end,
             max_promise,
             queue_depth: per_shard_gauge("tilt_queue_depth"),
@@ -415,6 +491,77 @@ impl SharedStats {
         self.max_promise.set_max(time.ticks());
     }
 
+    /// The monotone service counters a checkpoint carries, in the fixed
+    /// order [`SharedStats::restore_counters`] reads them back. Gauges
+    /// (queue depths, pending, live keys) are deliberately absent: restore
+    /// recomputes them from the reinstalled state.
+    pub(crate) fn durable_counters(&self) -> Vec<u64> {
+        vec![
+            self.events_in.get(),
+            self.events_out.get(),
+            self.events_consumed.get(),
+            self.detach_dropped.get(),
+            self.late_dropped.get(),
+            self.keys.get(),
+            self.evictions.get(),
+            self.wall_evictions.get(),
+            self.revivals.get(),
+            self.backstop_dropped.get(),
+            self.backstop_forced.get(),
+            self.keys_quarantined.get(),
+            self.quarantine_dropped.get(),
+            self.reorder_buffered.get(),
+            self.kernels_run.get(),
+            self.kernels_saved.get(),
+            self.attached.get(),
+            self.detached.get(),
+            self.sessions_reclaimed.get(),
+            self.tombstone_dropped.get(),
+            self.spills.get(),
+            self.spill_revivals.get(),
+            self.migrations.get(),
+            self.checkpoints.get(),
+            self.state_bytes_written.get(),
+            self.state_bytes_read.get(),
+        ]
+    }
+
+    /// Adds checkpointed counter values onto this (fresh) instance; the
+    /// slice must come from [`SharedStats::durable_counters`].
+    pub(crate) fn restore_counters(&self, vals: &[u64]) {
+        let targets = [
+            &self.events_in,
+            &self.events_out,
+            &self.events_consumed,
+            &self.detach_dropped,
+            &self.late_dropped,
+            &self.keys,
+            &self.evictions,
+            &self.wall_evictions,
+            &self.revivals,
+            &self.backstop_dropped,
+            &self.backstop_forced,
+            &self.keys_quarantined,
+            &self.quarantine_dropped,
+            &self.reorder_buffered,
+            &self.kernels_run,
+            &self.kernels_saved,
+            &self.attached,
+            &self.detached,
+            &self.sessions_reclaimed,
+            &self.tombstone_dropped,
+            &self.spills,
+            &self.spill_revivals,
+            &self.migrations,
+            &self.checkpoints,
+            &self.state_bytes_written,
+            &self.state_bytes_read,
+        ];
+        for (target, v) in targets.iter().zip(vals) {
+            target.add(*v);
+        }
+    }
+
     /// Decrements a shard's `reorder_pending` gauge, clamping at zero: a
     /// deficit means the accounting double-subtracted (a bug), so it is
     /// surfaced on the `reorder_underflow` counter (and trips debug
@@ -469,6 +616,14 @@ impl SharedStats {
             detached: self.detached.get(),
             queries_live: self.queries_live.get().max(0) as u64,
             sessions_reclaimed: self.sessions_reclaimed.get(),
+            checkpoints: self.checkpoints.get(),
+            state_bytes_written: self.state_bytes_written.get(),
+            state_bytes_read: self.state_bytes_read.get(),
+            spills: self.spills.get(),
+            spill_revivals: self.spill_revivals.get(),
+            migrations: self.migrations.get(),
+            spilled_pending: self.spilled_pending.get().max(0) as usize,
+            tombstone_dropped: self.tombstone_dropped.get(),
             queue_depths,
             shard_watermarks,
             min_watermark,
@@ -629,6 +784,34 @@ pub struct RuntimeStats {
     /// Per-key execution sessions (and tombstone output slots) reclaimed
     /// by detach.
     pub sessions_reclaimed: u64,
+    /// Whole-service checkpoints written
+    /// ([`crate::StreamService::checkpoint`]).
+    pub checkpoints: u64,
+    /// Bytes written through the durable state layer: checkpoints, spill
+    /// bundles, and migration payloads.
+    pub state_bytes_written: u64,
+    /// Bytes read back through the durable state layer.
+    pub state_bytes_read: u64,
+    /// Keys whose state was spilled verbatim to the cold store instead of
+    /// being flushed to an in-memory tombstone (requires
+    /// [`crate::StreamServiceBuilder::spill_to`]).
+    pub spills: u64,
+    /// Spilled keys revived from disk — by a later arrival or by the final
+    /// flush. Every spilled key is eventually revived exactly once (the
+    /// `durability` bench guardrail asserts `spills == spill_revivals` at
+    /// shutdown).
+    pub spill_revivals: u64,
+    /// Keys migrated between shards ([`crate::StreamService::migrate_key`]
+    /// / [`crate::StreamService::rebalance`]).
+    pub migrations: u64,
+    /// Buffered events currently serialized inside spill or migration
+    /// bundles (gauge). These are neither consumed nor resident in a
+    /// reorder buffer, so [`RuntimeStats::conservation_balance`] counts
+    /// them as their own account.
+    pub spilled_pending: usize,
+    /// Tombstone output events discarded by
+    /// [`crate::RuntimeConfig::tombstone_output_cap`].
+    pub tombstone_dropped: u64,
     /// Events sitting in each shard's ingest queue (backpressure signal).
     pub queue_depths: Vec<usize>,
     /// Each shard's current low-watermark.
@@ -650,18 +833,21 @@ impl RuntimeStats {
     /// an ingested event can end up in —
     ///
     /// `consumed + late_dropped + backstop_dropped + quarantine_dropped +
-    ///  detach_dropped + Σ reorder_pending + Σ queue_depths`
+    ///  detach_dropped + spilled_pending + Σ reorder_pending + Σ queue_depths`
     ///
     /// Zero at any quiescent point (in particular on the final snapshot a
-    /// `finish` returns, where the pending and queue terms are zero). A
-    /// positive balance means events vanished unaccounted; negative means
-    /// something was double-counted. The bench guardrail asserts 0.
+    /// `finish` returns, where the pending, spilled, and queue terms are
+    /// zero). A positive balance means events vanished unaccounted;
+    /// negative means something was double-counted. The bench guardrail
+    /// asserts 0. (`tombstone_dropped` counts *output* events, which are
+    /// not part of this partition.)
     pub fn conservation_balance(&self) -> i64 {
         let accounted = self.events_consumed
             + self.late_dropped
             + self.backstop_dropped
             + self.quarantine_dropped
             + self.detach_dropped
+            + self.spilled_pending as u64
             + self.reorder_pending.iter().sum::<usize>() as u64
             + self.queue_depths.iter().sum::<usize>() as u64;
         self.events_in as i64 - accounted as i64
@@ -715,6 +901,13 @@ impl std::fmt::Display for RuntimeStats {
                 self.keys_quarantined, self.quarantine_dropped
             )?;
         }
+        if self.checkpoints + self.spills + self.migrations > 0 {
+            write!(
+                f,
+                ", durability {} checkpoints / {} spills ({} revived) / {} migrations",
+                self.checkpoints, self.spills, self.spill_revivals, self.migrations
+            )?;
+        }
         Ok(())
     }
 }
@@ -761,6 +954,19 @@ impl RuntimeStats {
             writeln!(f, "  kernel(m)  {:?}", self.kernel_millis_per_query)?;
         }
         writeln!(f, "kernels      {} run, {} deduped", self.kernels_run, self.kernels_saved)?;
+        if self.checkpoints + self.spills + self.migrations > 0 {
+            writeln!(
+                f,
+                "durability   {} checkpoints, {} spills ({} revived), {} migrations, \
+                 {}B written / {}B read",
+                self.checkpoints,
+                self.spills,
+                self.spill_revivals,
+                self.migrations,
+                self.state_bytes_written,
+                self.state_bytes_read
+            )?;
+        }
         writeln!(
             f,
             "watermark    min {} (lag {} ticks)",

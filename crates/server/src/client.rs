@@ -379,6 +379,35 @@ impl Client {
         self.text(&Message::Catalog, TextKind::Catalog)
     }
 
+    /// Checkpoints the service into one snapshot file at `path` on the
+    /// **server's** filesystem (the snapshot bytes never cross the
+    /// wire). Requires protocol version 2 on both ends.
+    pub fn checkpoint(&self, path: &str) -> Result<(), ClientError> {
+        match self.request(&Message::Checkpoint { path: path.to_owned() })? {
+            Message::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Rebuilds the service from a snapshot at `path` on the server's
+    /// filesystem. `queries` names the catalog entry for every recorded
+    /// query slot, in registration order. Only a fresh service (no
+    /// attached queries, no ingested events) can be replaced. Returns
+    /// the live restored queries, ready to [`Client::subscribe`].
+    pub fn restore(&self, path: &str, queries: &[&str]) -> Result<Vec<RemoteQuery>, ClientError> {
+        let msg = Message::Restore {
+            path: path.to_owned(),
+            queries: queries.iter().map(|&n| n.to_owned()).collect(),
+        };
+        match self.request(&msg)? {
+            Message::Restored { queries } => Ok(queries
+                .into_iter()
+                .map(|(id, frontier)| RemoteQuery { id, frontier: Time::new(frontier) })
+                .collect()),
+            other => Err(ClientError::Protocol(format!("expected Restored, got {other:?}"))),
+        }
+    }
+
     /// Drains and shuts the service down, flushing every key's sessions
     /// through `end` when given (matching
     /// [`tilt_runtime::StreamService::finish_at`]). Subscriptions end

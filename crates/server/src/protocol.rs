@@ -23,11 +23,17 @@
 //! # Versioning
 //!
 //! The first frame on a connection must be [`Message::Hello`] carrying
-//! [`PROTOCOL_VERSION`]; the server answers [`Message::HelloAck`] (echoing
-//! the version it speaks) or [`Message::Error`] with
-//! [`ErrorCode::Version`] and closes. Unknown message tags and malformed
-//! bodies are [`WireError`]s, never panics — a hostile peer can at worst
-//! get its own connection closed.
+//! the version the client speaks. The server accepts any version in
+//! `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` and answers
+//! [`Message::HelloAck`] echoing the *negotiated* version (the client's,
+//! capped at the server's) — so a version-1 client keeps working against
+//! a version-2 server, it just cannot use the durability messages
+//! ([`Message::Checkpoint`] / [`Message::Restore`], added in version 2;
+//! sending them on a version-1 connection earns [`ErrorCode::Version`]).
+//! An unsupported version is refused with [`ErrorCode::Version`] and the
+//! connection closes. Unknown message tags and malformed bodies are
+//! [`WireError`]s, never panics — a hostile peer can at worst get its
+//! own connection closed.
 //!
 //! # Safety against hostile input
 //!
@@ -43,8 +49,14 @@ use std::sync::Arc;
 
 use tilt_data::{Event, Time, Value};
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The newest protocol version this build speaks. Version 2 added the
+/// durability control plane ([`Message::Checkpoint`] /
+/// [`Message::Restore`] / [`Message::Restored`]).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest client version the server still accepts. A version-1
+/// connection speaks the full pre-durability surface unchanged.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on a frame's payload length. A `len` header above this is
 /// rejected without allocating.
@@ -217,6 +229,28 @@ pub enum Message {
         /// shard's newest event.
         end: Option<i64>,
     },
+    /// Checkpoint the running service into one snapshot file at `path`
+    /// on the **server's** filesystem (the bytes never cross the wire).
+    /// Answered with [`Message::Ok`] or [`Message::Error`]. Requires
+    /// protocol version 2.
+    Checkpoint {
+        /// Server-side snapshot path.
+        path: String,
+    },
+    /// Rebuild the service from a snapshot at `path` on the server's
+    /// filesystem. `queries` names the catalog entry for every recorded
+    /// query slot, in registration order — queries are code, not data,
+    /// so the server re-resolves them by name. Only a *fresh* service
+    /// (no attached queries, no ingested events) may be replaced;
+    /// otherwise the server answers [`ErrorCode::Conflict`]. Answered
+    /// with [`Message::Restored`] or [`Message::Error`]. Requires
+    /// protocol version 2.
+    Restore {
+        /// Server-side snapshot path.
+        path: String,
+        /// Catalog names filling the recorded roster slots, in order.
+        queries: Vec<String>,
+    },
 
     // ── server → client ────────────────────────────────────────────────
     /// Handshake accept: the version the server speaks and the initial
@@ -284,6 +318,14 @@ pub enum Message {
         kind: TextKind,
         /// The document body.
         text: String,
+    },
+    /// Restore succeeded: the live queries of the rebuilt service, as
+    /// `(query id, current frontier)` pairs usable exactly like
+    /// [`Message::Attached`] replies (detached roster slots are omitted
+    /// — their ids stay reserved but cannot be subscribed).
+    Restored {
+        /// `(id, frontier ticks)` per live restored query, in slot order.
+        queries: Vec<(u32, i64)>,
     },
 }
 
@@ -475,6 +517,18 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             e.u8(0x0B);
             e.opt_i64(*end);
         }
+        Message::Checkpoint { path } => {
+            e.u8(0x0C);
+            e.str(path);
+        }
+        Message::Restore { path, queries } => {
+            e.u8(0x0D);
+            e.str(path);
+            e.u32(queries.len() as u32);
+            for name in queries {
+                e.str(name);
+            }
+        }
         Message::HelloAck { version, credit } => {
             e.u8(0x81);
             e.u16(*version);
@@ -524,6 +578,14 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             e.u8(0x8A);
             e.u8(kind.to_u8());
             e.str(text);
+        }
+        Message::Restored { queries } => {
+            e.u8(0x8B);
+            e.u32(queries.len() as u32);
+            for (id, frontier) in queries {
+                e.u32(*id);
+                e.i64(*frontier);
+            }
         }
     }
     e.buf
@@ -664,6 +726,17 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
         0x09 => Message::Journal,
         0x0A => Message::Catalog,
         0x0B => Message::Shutdown { end: d.opt_i64()? },
+        0x0C => Message::Checkpoint { path: d.str()? },
+        0x0D => {
+            let path = d.str()?;
+            // Each name carries at least its 4-byte length header.
+            let n = d.count(4)?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(d.str()?);
+            }
+            Message::Restore { path, queries }
+        }
         0x81 => Message::HelloAck { version: d.u16()?, credit: d.u32()? },
         0x82 => Message::Credit { grant: d.u32()? },
         0x83 => Message::Busy { grant: d.u32()? },
@@ -700,6 +773,16 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             let kind = TextKind::from_u8(d.u8()?)
                 .ok_or(WireError::BadTag { what: "text kind", tag: 0 })?;
             Message::Text { kind, text: d.str()? }
+        }
+        0x8B => {
+            // id(4) + frontier(8)
+            let n = d.count(12)?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = d.u32()?;
+                queries.push((id, d.i64()?));
+            }
+            Message::Restored { queries }
         }
         tag => return Err(WireError::BadTag { what: "message", tag }),
     };
@@ -795,6 +878,14 @@ mod tests {
             fields: vec![("events_in".into(), 100), ("conservation_balance".into(), 0)],
         });
         roundtrip(Message::Text { kind: TextKind::Journal, text: "0 +1ms connect conn=1".into() });
+        roundtrip(Message::Checkpoint { path: "/tmp/snap.tiltsnp".into() });
+        roundtrip(Message::Restore { path: "snap".into(), queries: vec![] });
+        roundtrip(Message::Restore {
+            path: "/var/lib/tilt/epoch-7.tiltsnp".into(),
+            queries: vec!["sliding_sum".into(), "naïve".into(), String::new()],
+        });
+        roundtrip(Message::Restored { queries: vec![] });
+        roundtrip(Message::Restored { queries: vec![(0, 0), (2, -5), (u32::MAX, i64::MAX)] });
     }
 
     #[test]

@@ -46,7 +46,8 @@ use tilt_runtime::{
 };
 
 use crate::protocol::{
-    read_message, write_message, ErrorCode, Message, RecvError, TextKind, PROTOCOL_VERSION,
+    read_message, write_message, ErrorCode, Message, RecvError, TextKind, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 
 /// Events a client may put in one [`Message::Ingest`] frame on the happy
@@ -64,6 +65,8 @@ const WRITE_STALL_LIMIT: Duration = Duration::from_secs(5);
 
 /// Server-side connection/byte/credit accounting, registered in the
 /// *service's* metrics registry so one scrape covers both layers.
+/// Cloning shares the underlying counters (the fields are `Arc`s).
+#[derive(Clone)]
 struct NetStats {
     conns_open: Arc<Gauge>,
     conns_total: Arc<Counter>,
@@ -87,6 +90,21 @@ impl NetStats {
             credit_stalls: registry.counter("tilt_server_credit_stalls_total"),
             decode_errors: registry.counter("tilt_server_decode_errors_total"),
         }
+    }
+
+    /// Re-homes the accounting into `registry` (a restored service's),
+    /// carrying the current values over so the scrape stays continuous.
+    fn rehome(&self, registry: &tilt_obs::Registry) -> NetStats {
+        let next = NetStats::new(registry);
+        next.conns_open.add(self.conns_open.get());
+        next.conns_total.add(self.conns_total.get());
+        next.bytes_in.add(self.bytes_in.get());
+        next.bytes_out.add(self.bytes_out.get());
+        next.frames_in.add(self.frames_in.get());
+        next.frames_out.add(self.frames_out.get());
+        next.credit_stalls.add(self.credit_stalls.get());
+        next.decode_errors.add(self.decode_errors.get());
+        next
     }
 }
 
@@ -148,11 +166,19 @@ struct Inner {
     handles: Mutex<HashMap<u32, QueryHandle>>,
     /// Wire query id → connections subscribed to its output.
     subs: Mutex<HashMap<u32, Vec<Arc<ConnShared>>>>,
-    net: NetStats,
+    /// Behind a lock so a restore can re-home the counters into the
+    /// replacement service's registry ([`NetStats::rehome`]).
+    net: RwLock<NetStats>,
     running: AtomicBool,
 }
 
 impl Inner {
+    /// A shared view of the current accounting (cheap: the fields are
+    /// `Arc`s).
+    fn net(&self) -> NetStats {
+        self.net.read().expect("net lock").clone()
+    }
+
     /// The fan-out sink for `query`: reads the subscriber list at call
     /// time, so connections can come and go while shards keep streaming.
     fn fanout_sink(self: &Arc<Self>, query: u32) -> tilt_runtime::OutputSink {
@@ -167,7 +193,7 @@ impl Inner {
             };
             let msg = Message::Output { query, key, events: events.to_vec() };
             for conn in conns {
-                conn.send(&msg, &inner.net);
+                conn.send(&msg, &inner.net());
             }
         })
     }
@@ -176,7 +202,7 @@ impl Inner {
     fn finish_subscribers(&self, query: u32) {
         let conns = self.subs.lock().expect("subs lock").remove(&query).unwrap_or_default();
         for conn in conns {
-            conn.send(&Message::Eos { query }, &self.net);
+            conn.send(&Message::Eos { query }, &self.net());
         }
     }
 
@@ -198,7 +224,7 @@ impl Inner {
             ("evictions".into(), stats.evictions as i64),
             ("revivals".into(), stats.revivals as i64),
         ];
-        let net = &self.net;
+        let net = self.net();
         fields.push(("conns_open".into(), net.conns_open.get()));
         fields.push(("conns_total".into(), net.conns_total.get() as i64));
         fields.push(("bytes_in".into(), net.bytes_in.get() as i64));
@@ -216,6 +242,7 @@ fn service_error(e: ServiceError) -> Message {
         ServiceError::Compile(_) => ErrorCode::Conflict,
         ServiceError::UnknownQuery(_) => ErrorCode::UnknownQuery,
         ServiceError::Detached(_) => ErrorCode::Detached,
+        ServiceError::Durability(_) => ErrorCode::Internal,
     };
     Message::Error { code, message: e.to_string() }
 }
@@ -267,7 +294,7 @@ impl Server {
             catalog,
             handles: Mutex::new(HashMap::new()),
             subs: Mutex::new(HashMap::new()),
-            net,
+            net: RwLock::new(net),
             running: AtomicBool::new(true),
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
@@ -299,8 +326,8 @@ impl Server {
                         alive: AtomicBool::new(true),
                     });
                     conns.lock().expect("conns lock").push(Arc::clone(&conn));
-                    inner.net.conns_total.inc();
-                    inner.net.conns_open.add(1);
+                    inner.net().conns_total.inc();
+                    inner.net().conns_open.add(1);
                     if let Slot::Running(svc) = &*inner.slot.read().expect("slot lock") {
                         svc.record_control(ControlEvent::Connect { conn: id });
                     }
@@ -369,33 +396,35 @@ impl Drop for Server {
 /// closes, errs, or sends garbage.
 fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
-    let mut greeted = false;
+    // `Some(version)` once the handshake completed.
+    let mut greeted: Option<u16> = None;
     loop {
         let msg = match read_message(&mut reader) {
             Ok((msg, n)) => {
-                inner.net.bytes_in.add(n as u64);
-                inner.net.frames_in.inc();
+                inner.net().bytes_in.add(n as u64);
+                inner.net().frames_in.inc();
                 msg
             }
             Err(RecvError::Closed) => break,
             Err(RecvError::Io(_)) => break,
             Err(RecvError::Decode(e)) => {
-                inner.net.decode_errors.inc();
+                inner.net().decode_errors.inc();
                 conn.send(
                     &Message::Error { code: ErrorCode::Protocol, message: e.to_string() },
-                    &inner.net,
+                    &inner.net(),
                 );
                 break;
             }
         };
-        if !greeted {
+        if greeted.is_none() {
             match msg {
-                Message::Hello { version } if version == PROTOCOL_VERSION => {
-                    greeted = true;
-                    conn.send(
-                        &Message::HelloAck { version: PROTOCOL_VERSION, credit: INITIAL_CREDIT },
-                        &inner.net,
-                    );
+                Message::Hello { version }
+                    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+                {
+                    // Negotiate down to the client's version; v2-only
+                    // requests on the connection are then refused.
+                    greeted = Some(version);
+                    conn.send(&Message::HelloAck { version, credit: INITIAL_CREDIT }, &inner.net());
                     continue;
                 }
                 Message::Hello { version } => {
@@ -403,10 +432,11 @@ fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
                         &Message::Error {
                             code: ErrorCode::Version,
                             message: format!(
-                                "server speaks version {PROTOCOL_VERSION}, client sent {version}"
+                                "server speaks versions \
+                                 {MIN_PROTOCOL_VERSION}-{PROTOCOL_VERSION}, client sent {version}"
                             ),
                         },
-                        &inner.net,
+                        &inner.net(),
                     );
                     break;
                 }
@@ -416,13 +446,14 @@ fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
                             code: ErrorCode::Protocol,
                             message: "first frame must be Hello".into(),
                         },
-                        &inner.net,
+                        &inner.net(),
                     );
                     break;
                 }
             }
         }
-        if !handle_request(&inner, &conn, msg) {
+        let version = greeted.unwrap_or(PROTOCOL_VERSION);
+        if !handle_request(&inner, &conn, msg, version) {
             break;
         }
     }
@@ -435,20 +466,94 @@ fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
     }
     conn.alive.store(false, Ordering::Release);
     let _ = conn.writer.lock().expect("conn writer lock").shutdown(Shutdown::Both);
-    inner.net.conns_open.sub(1);
+    inner.net().conns_open.sub(1);
     if let Slot::Running(svc) = &*inner.slot.read().expect("slot lock") {
         svc.record_control(ControlEvent::Disconnect { conn: conn.id });
     }
 }
 
-/// Handles one post-handshake request. Returns `false` to close the
-/// connection.
-fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> bool {
+/// The refusal for durability requests on a pre-v2 connection.
+fn durability_needs_v2(version: u16) -> Message {
+    Message::Error {
+        code: ErrorCode::Version,
+        message: format!(
+            "checkpoint/restore require protocol version 2, connection negotiated {version}"
+        ),
+    }
+}
+
+/// Replaces a *fresh* running service with one rebuilt from the snapshot
+/// at `path`, resolving `names` against the catalog for the recorded
+/// query roster. The server must be pristine — no attached queries, no
+/// ingested events — so a restore never destroys live state; a busy
+/// server answers [`ErrorCode::Conflict`].
+fn restore_service(inner: &Arc<Inner>, path: &str, names: &[String]) -> Message {
+    let mut roster = Vec::with_capacity(names.len());
+    for name in names {
+        match inner.catalog.iter().find(|(n, _)| n == name) {
+            Some((_, cq)) => roster.push(Arc::clone(cq)),
+            None => {
+                return Message::Error {
+                    code: ErrorCode::UnknownName,
+                    message: format!("no catalog query named {name:?}"),
+                };
+            }
+        }
+    }
+    let mut slot = inner.slot.write().expect("slot lock");
+    match &*slot {
+        Slot::Running(svc) => {
+            let stats = svc.stats();
+            let pristine =
+                stats.events_in == 0 && inner.handles.lock().expect("handles lock").is_empty();
+            if !pristine {
+                return Message::Error {
+                    code: ErrorCode::Conflict,
+                    message: "restore requires a fresh service \
+                              (no attached queries, no ingested events)"
+                        .into(),
+                };
+            }
+        }
+        _ => {
+            return Message::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "service has shut down".into(),
+            };
+        }
+    }
+    let restored = match StreamService::restore(std::path::Path::new(path), &roster) {
+        Ok(svc) => svc,
+        Err(e) => return Message::Error { code: ErrorCode::Internal, message: e.to_string() },
+    };
+    *inner.net.write().expect("net lock") = inner.net().rehome(&restored.registry());
+    let queries: Vec<(u32, i64)> = restored
+        .query_handles()
+        .into_iter()
+        .map(|h| (h.index() as u32, h.frontier().ticks()))
+        .collect();
+    {
+        let mut handles = inner.handles.lock().expect("handles lock");
+        for h in restored.query_handles() {
+            handles.insert(h.index() as u32, h);
+        }
+    }
+    // The replaced service is pristine: drain it so its shard threads
+    // join, and discard the (empty) output.
+    if let Slot::Running(old) = std::mem::replace(&mut *slot, Slot::Running(restored)) {
+        let _ = old.finish();
+    }
+    Message::Restored { queries }
+}
+
+/// Handles one post-handshake request on a connection negotiated at
+/// `version`. Returns `false` to close the connection.
+fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message, version: u16) -> bool {
     match msg {
         Message::Hello { .. } => {
             conn.send(
                 &Message::Error { code: ErrorCode::Protocol, message: "duplicate Hello".into() },
-                &inner.net,
+                &inner.net(),
             );
             false
         }
@@ -462,7 +567,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                             .map(|we| KeyedEvent::new(we.key, we.source as usize, we.event)),
                     );
                     if stalled {
-                        inner.net.credit_stalls.inc();
+                        inner.net().credit_stalls.inc();
                         Message::Busy { grant: BUSY_CREDIT }
                     } else {
                         Message::Credit { grant: INITIAL_CREDIT }
@@ -473,7 +578,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                     message: "service has shut down".into(),
                 },
             };
-            conn.send(&reply, &inner.net)
+            conn.send(&reply, &inner.net())
         }
         Message::Watermark { source, time } => {
             if let Slot::Running(svc) = &*inner.slot.read().expect("slot lock") {
@@ -505,7 +610,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                     message: "service has shut down".into(),
                 },
             };
-            conn.send(&reply, &inner.net)
+            conn.send(&reply, &inner.net())
         }
         Message::Detach { query } => {
             let handle = inner.handles.lock().expect("handles lock").get(&query).copied();
@@ -526,7 +631,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                     message: "service has shut down".into(),
                 },
             };
-            conn.send(&reply, &inner.net)
+            conn.send(&reply, &inner.net())
         }
         Message::Subscribe { query } => {
             let handle = inner.handles.lock().expect("handles lock").get(&query).copied();
@@ -557,7 +662,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                     message: "service has shut down".into(),
                 },
             };
-            conn.send(&reply, &inner.net)
+            conn.send(&reply, &inner.net())
         }
         Message::Stats => {
             let reply = {
@@ -569,7 +674,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                 };
                 Message::StatsReply { fields }
             };
-            conn.send(&reply, &inner.net)
+            conn.send(&reply, &inner.net())
         }
         Message::MetricsText => {
             let text = match &*inner.slot.read().expect("slot lock") {
@@ -577,7 +682,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                 Slot::Finished(fs) => fs.metrics_text.clone(),
                 Slot::Draining => String::new(),
             };
-            conn.send(&Message::Text { kind: TextKind::Metrics, text }, &inner.net)
+            conn.send(&Message::Text { kind: TextKind::Metrics, text }, &inner.net())
         }
         Message::Journal => {
             let text = match &*inner.slot.read().expect("slot lock") {
@@ -585,7 +690,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                 Slot::Finished(fs) => fs.journal_text.clone(),
                 Slot::Draining => String::new(),
             };
-            conn.send(&Message::Text { kind: TextKind::Journal, text }, &inner.net)
+            conn.send(&Message::Text { kind: TextKind::Journal, text }, &inner.net())
         }
         Message::Catalog => {
             let mut text = String::new();
@@ -593,7 +698,7 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                 text.push_str(name);
                 text.push('\n');
             }
-            conn.send(&Message::Text { kind: TextKind::Catalog, text }, &inner.net)
+            conn.send(&Message::Text { kind: TextKind::Catalog, text }, &inner.net())
         }
         Message::Shutdown { end } => {
             // Take the write lock: exactly one shutdown drains; the rest
@@ -624,7 +729,34 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
                 }
                 Message::Ok
             };
-            conn.send(&reply, &inner.net)
+            conn.send(&reply, &inner.net())
+        }
+        Message::Checkpoint { path } => {
+            let reply = if version < 2 {
+                durability_needs_v2(version)
+            } else {
+                match &*inner.slot.read().expect("slot lock") {
+                    Slot::Running(svc) => match svc.checkpoint(std::path::Path::new(&path)) {
+                        Ok(_) => Message::Ok,
+                        Err(e) => {
+                            Message::Error { code: ErrorCode::Internal, message: e.to_string() }
+                        }
+                    },
+                    _ => Message::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "service has shut down".into(),
+                    },
+                }
+            };
+            conn.send(&reply, &inner.net())
+        }
+        Message::Restore { path, queries } => {
+            let reply = if version < 2 {
+                durability_needs_v2(version)
+            } else {
+                restore_service(inner, &path, &queries)
+            };
+            conn.send(&reply, &inner.net())
         }
         // Server-to-client tags arriving at the server are a protocol
         // violation; close on them.
@@ -637,13 +769,14 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message) -> b
         | Message::Output { .. }
         | Message::Eos { .. }
         | Message::StatsReply { .. }
-        | Message::Text { .. } => {
+        | Message::Text { .. }
+        | Message::Restored { .. } => {
             conn.send(
                 &Message::Error {
                     code: ErrorCode::Protocol,
                     message: "server-to-client message sent by client".into(),
                 },
-                &inner.net,
+                &inner.net(),
             );
             false
         }

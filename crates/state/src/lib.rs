@@ -1,0 +1,877 @@
+//! Durable state layer: the on-disk format shared by checkpoint/restore,
+//! cold spill, and live key migration.
+//!
+//! Everything the runtime persists — whole-service checkpoints, per-key
+//! spill bundles, migration payloads — goes through this one crate, so
+//! there is exactly one serialization of a session to get right. The
+//! format is deliberately boring:
+//!
+//! * **Framed records.** A snapshot file is a header (magic + version)
+//!   followed by a sequence of records `[len u32][kind u8][payload][crc32]`
+//!   and a terminating end record that carries the record count. Torn and
+//!   truncated files fail with [`StateError::Truncated`]; bit flips fail
+//!   with [`StateError::Checksum`]; nothing panics on hostile bytes.
+//! * **Fixed-width little-endian primitives** with the same tagged
+//!   [`Value`] encoding the wire protocol uses (tags 0–5, depth-capped),
+//!   so a fuzzer finding against one codec reproduces against the other.
+//! * **Validated structure.** Span lists must advance strictly, events
+//!   must not end before they start, counts are checked against the bytes
+//!   actually present before any allocation.
+//!
+//! The crate knows nothing about shards or services: it moves bytes and
+//! [`tilt_data`] values. The runtime layers meaning on top (see
+//! `tilt_runtime`'s durability module and `crates/state/README.md` for
+//! the record-level schema).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use tilt_data::{Event, SnapshotBuf, Time, Value};
+
+/// First eight bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"TILTSNP\x01";
+
+/// Current format version; readers reject anything else.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Depth cap for nested [`Value::Tuple`]s, mirroring the wire protocol.
+pub const MAX_VALUE_DEPTH: usize = 16;
+
+/// Record kind terminating a snapshot file; its payload is the count of
+/// preceding records, so a file that merely *looks* complete (ends on a
+/// record boundary) but lost a tail still fails closed.
+pub const KIND_END: u8 = 0xFF;
+
+/// Typed failure of any durability operation. Decoding hostile bytes can
+/// produce every variant except `Io`; nothing in this crate panics on
+/// malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The OS error class.
+        kind: std::io::ErrorKind,
+        /// What the crate was doing when it failed.
+        context: &'static str,
+    },
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    BadVersion(u16),
+    /// The input ended before a declared length was satisfied (torn or
+    /// truncated file, or a count pointing past the end).
+    Truncated,
+    /// A record's checksum did not match its bytes (bit rot / bit flip).
+    Checksum {
+        /// Zero-based index of the damaged record.
+        record: u32,
+    },
+    /// An unknown tag where a known one was required.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An event interval ended before it started, or a span list failed
+    /// to advance strictly.
+    BadInterval,
+    /// A count field implies more elements than the remaining bytes can
+    /// possibly hold.
+    BadCount,
+    /// A nested value exceeded [`MAX_VALUE_DEPTH`].
+    TooDeep,
+    /// Bytes remained after the end record (or after a complete payload).
+    TrailingBytes,
+    /// The end record's count disagrees with the records actually read.
+    BadRecordCount {
+        /// Count the end record declared.
+        expected: u32,
+        /// Records actually present.
+        actual: u32,
+    },
+    /// The bytes decoded but their meaning is inconsistent (wrong section
+    /// count, roster mismatch, ...). The payload says what.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Io { kind, context } => write!(f, "io error ({kind:?}) while {context}"),
+            StateError::BadMagic => write!(f, "not a tilt snapshot (bad magic)"),
+            StateError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {FORMAT_VERSION})")
+            }
+            StateError::Truncated => write!(f, "snapshot truncated (torn write?)"),
+            StateError::Checksum { record } => write!(f, "checksum mismatch in record {record}"),
+            StateError::BadTag(t) => write!(f, "unknown tag 0x{t:02x}"),
+            StateError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            StateError::BadInterval => write!(f, "non-advancing interval or span"),
+            StateError::BadCount => write!(f, "count exceeds remaining bytes"),
+            StateError::TooDeep => write!(f, "value nesting exceeds depth cap"),
+            StateError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            StateError::BadRecordCount { expected, actual } => {
+                write!(f, "end record declares {expected} records but file holds {actual}")
+            }
+            StateError::Corrupt(what) => write!(f, "inconsistent snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl StateError {
+    fn io(context: &'static str) -> impl FnOnce(std::io::Error) -> StateError {
+        move |e| StateError::Io { kind: e.kind(), context }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected), table-driven. Hand-rolled because the
+// workspace builds offline; the polynomial matches zlib so external tools
+// can verify snapshots.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// The CRC-32 (IEEE, as in zlib/PNG) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoder / decoder
+// ---------------------------------------------------------------------------
+
+/// Append-only byte builder for snapshot payloads.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an f64 as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends `Some`/`None` as a presence byte plus the value.
+    pub fn opt_i64(&mut self, v: Option<i64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.i64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends `Some`/`None` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends a [`Time`] as its tick count.
+    pub fn time(&mut self, t: Time) {
+        self.i64(t.ticks());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed raw byte slice.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a tagged [`Value`] (tags 0–5, recursing into tuples).
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Float(x) => {
+                self.u8(3);
+                self.f64(*x);
+            }
+            Value::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+            Value::Tuple(items) => {
+                self.u8(5);
+                self.u32(items.len() as u32);
+                for item in items.iter() {
+                    self.value(item);
+                }
+            }
+        }
+    }
+
+    /// Appends an event as `start, end, payload`.
+    pub fn event(&mut self, e: &Event<Value>) {
+        self.time(e.start);
+        self.time(e.end);
+        self.value(&e.payload);
+    }
+
+    /// Appends a snapshot buffer as `start, span count, (t_end, value)*`.
+    pub fn ssbuf(&mut self, buf: &SnapshotBuf<Value>) {
+        self.time(buf.start());
+        self.u32(buf.len() as u32);
+        for span in buf.spans() {
+            self.time(span.t_end);
+            self.value(&span.value);
+        }
+    }
+}
+
+/// Bounds-checked reader over a payload slice. Every accessor returns
+/// [`StateError`] instead of panicking, and count fields are validated
+/// against the bytes actually remaining before any allocation.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A reader over `buf` positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`StateError::TrailingBytes`] unless fully consumed.
+    pub fn finish(&self) -> Result<(), StateError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StateError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StateError> {
+        if self.remaining() < n {
+            return Err(StateError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StateError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, StateError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, StateError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, StateError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, StateError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an f64 from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a presence byte plus value written by [`Enc::opt_i64`].
+    pub fn opt_i64(&mut self) -> Result<Option<i64>, StateError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.i64()?)),
+            t => Err(StateError::BadTag(t)),
+        }
+    }
+
+    /// Reads a presence byte plus value written by [`Enc::opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, StateError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(StateError::BadTag(t)),
+        }
+    }
+
+    /// Reads a [`Time`].
+    pub fn time(&mut self) -> Result<Time, StateError> {
+        Ok(Time::new(self.i64()?))
+    }
+
+    /// Reads a boolean stored as 0/1; any other byte is a bad tag.
+    pub fn flag(&mut self) -> Result<bool, StateError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(StateError::BadTag(t)),
+        }
+    }
+
+    /// Reads a count whose elements occupy at least `min_width` bytes
+    /// each, rejecting hostile counts that point past the end before any
+    /// allocation is sized from them.
+    pub fn count(&mut self, min_width: usize) -> Result<usize, StateError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_width.max(1)) > self.remaining() {
+            return Err(StateError::BadCount);
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StateError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| StateError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed raw byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], StateError> {
+        let n = self.count(1)?;
+        self.take(n)
+    }
+
+    /// Reads a tagged [`Value`] with nesting capped at
+    /// [`MAX_VALUE_DEPTH`].
+    pub fn value(&mut self) -> Result<Value, StateError> {
+        self.value_at(0)
+    }
+
+    fn value_at(&mut self, depth: usize) -> Result<Value, StateError> {
+        if depth > MAX_VALUE_DEPTH {
+            return Err(StateError::TooDeep);
+        }
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(self.flag()?)),
+            2 => Ok(Value::Int(self.i64()?)),
+            3 => Ok(Value::Float(self.f64()?)),
+            4 => Ok(Value::Str(Arc::from(self.str()?.as_str()))),
+            5 => {
+                let n = self.count(1)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value_at(depth + 1)?);
+                }
+                Ok(Value::Tuple(items.into()))
+            }
+            t => Err(StateError::BadTag(t)),
+        }
+    }
+
+    /// Reads an event, rejecting empty or reversed intervals (the
+    /// in-memory invariant `end > start` that `Event::new` asserts must
+    /// be re-established *before* construction on hostile bytes).
+    pub fn event(&mut self) -> Result<Event<Value>, StateError> {
+        let start = self.time()?;
+        let end = self.time()?;
+        if end <= start {
+            return Err(StateError::BadInterval);
+        }
+        let payload = self.value()?;
+        Ok(Event::new(start, end, payload))
+    }
+
+    /// Reads a snapshot buffer, validating that spans advance strictly
+    /// (so reconstruction cannot panic on hostile bytes).
+    pub fn ssbuf(&mut self) -> Result<SnapshotBuf<Value>, StateError> {
+        let start = self.time()?;
+        let n = self.count(9)?;
+        let mut buf = SnapshotBuf::with_capacity(start, n);
+        let mut prev = start;
+        for _ in 0..n {
+            let t_end = self.time()?;
+            if t_end <= prev {
+                return Err(StateError::BadInterval);
+            }
+            let value = self.value()?;
+            buf.push_raw(t_end, value);
+            prev = t_end;
+        }
+        Ok(buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot files: header + checksummed records + end marker
+// ---------------------------------------------------------------------------
+
+/// Streaming writer of a snapshot file. Records are appended with
+/// [`SnapshotWriter::record`]; [`SnapshotWriter::finish`] writes the end
+/// record, flushes, and syncs, so a crash mid-write always leaves a file
+/// that readers reject as truncated rather than silently short.
+pub struct SnapshotWriter {
+    out: BufWriter<File>,
+    records: u32,
+    bytes: u64,
+}
+
+impl SnapshotWriter {
+    /// Creates `path` (truncating any previous file) and writes the
+    /// header.
+    pub fn create(path: &Path) -> Result<Self, StateError> {
+        let file = File::create(path).map_err(StateError::io("creating snapshot file"))?;
+        let mut w = SnapshotWriter { out: BufWriter::new(file), records: 0, bytes: 0 };
+        w.raw(&MAGIC)?;
+        w.raw(&FORMAT_VERSION.to_le_bytes())?;
+        w.raw(&0u16.to_le_bytes())?; // reserved
+        Ok(w)
+    }
+
+    fn raw(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        self.out.write_all(bytes).map_err(StateError::io("writing snapshot"))?;
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one record of `kind` with `payload`.
+    pub fn record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StateError> {
+        self.raw(&(payload.len() as u32).to_le_bytes())?;
+        self.raw(&[kind])?;
+        self.raw(payload)?;
+        let mut crc = crc32(&[kind]);
+        // One-shot CRC over kind || payload without concatenating: feed the
+        // payload through with the kind byte's CRC as the running state.
+        crc = crc32_continue(crc, payload);
+        self.raw(&crc.to_le_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Writes the end record, flushes, and syncs to stable storage.
+    /// Returns the total bytes written (for `tilt_state_bytes_written`
+    /// accounting).
+    pub fn finish(mut self) -> Result<u64, StateError> {
+        let count = self.records;
+        let mut payload = Enc::new();
+        payload.u32(count);
+        self.record(KIND_END, &payload.into_bytes())?;
+        self.out.flush().map_err(StateError::io("flushing snapshot"))?;
+        self.out.get_ref().sync_all().map_err(StateError::io("syncing snapshot"))?;
+        Ok(self.bytes)
+    }
+}
+
+/// Resumes a CRC-32 computation: `crc32_continue(crc32(a), b)` equals
+/// `crc32(a ++ b)`.
+fn crc32_continue(prev: u32, bytes: &[u8]) -> u32 {
+    let mut c = !prev;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// A fully validated snapshot file held in memory: magic, version,
+/// per-record checksums, and the end record's count have all been
+/// checked.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    records: Vec<(u8, Vec<u8>)>,
+    bytes: u64,
+}
+
+impl SnapshotFile {
+    /// Reads and validates `path`.
+    pub fn read(path: &Path) -> Result<Self, StateError> {
+        let mut file = File::open(path).map_err(StateError::io("opening snapshot file"))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data).map_err(StateError::io("reading snapshot file"))?;
+        Self::parse(&data)
+    }
+
+    /// Validates an in-memory snapshot image (the file format, minus the
+    /// filesystem).
+    pub fn parse(data: &[u8]) -> Result<Self, StateError> {
+        if data.len() < MAGIC.len() {
+            return Err(StateError::Truncated);
+        }
+        if data[..MAGIC.len()] != MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let mut dec = Dec::new(&data[MAGIC.len()..]);
+        let version = dec.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(StateError::BadVersion(version));
+        }
+        if dec.u16()? != 0 {
+            return Err(StateError::Corrupt("reserved header bytes must be zero"));
+        }
+        let mut records: Vec<(u8, Vec<u8>)> = Vec::new();
+        loop {
+            let len = dec.u32()? as usize;
+            if len > dec.remaining() {
+                return Err(StateError::Truncated);
+            }
+            let kind = dec.u8()?;
+            let payload = dec.take(len)?;
+            let stored = dec.u32()?;
+            let computed = crc32_continue(crc32(&[kind]), payload);
+            if stored != computed {
+                return Err(StateError::Checksum { record: records.len() as u32 });
+            }
+            if kind == KIND_END {
+                let mut end = Dec::new(payload);
+                let expected = end.u32()?;
+                end.finish()?;
+                if expected != records.len() as u32 {
+                    return Err(StateError::BadRecordCount {
+                        expected,
+                        actual: records.len() as u32,
+                    });
+                }
+                dec.finish()?;
+                return Ok(SnapshotFile { records, bytes: data.len() as u64 });
+            }
+            records.push((kind, payload.to_vec()));
+        }
+    }
+
+    /// The validated records in file order (end record excluded).
+    pub fn records(&self) -> &[(u8, Vec<u8>)] {
+        &self.records
+    }
+
+    /// Total file size in bytes (for `tilt_state_bytes_read` accounting).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Convenience: writes a single-record file (used for spill bundles and
+/// migration payloads, which are one logical object per file). Returns
+/// bytes written.
+pub fn write_bundle(path: &Path, kind: u8, payload: &[u8]) -> Result<u64, StateError> {
+    let mut w = SnapshotWriter::create(path)?;
+    w.record(kind, payload)?;
+    w.finish()
+}
+
+/// Convenience: reads a file written by [`write_bundle`], checking the
+/// record kind. Returns the payload and total bytes read.
+pub fn read_bundle(path: &Path, kind: u8) -> Result<(Vec<u8>, u64), StateError> {
+    let file = SnapshotFile::read(path)?;
+    let bytes = file.bytes();
+    let mut records = file.records.into_iter();
+    match (records.next(), records.next()) {
+        (Some((k, payload)), None) if k == kind => Ok((payload, bytes)),
+        (Some(_), None) => Err(StateError::Corrupt("unexpected bundle record kind")),
+        _ => Err(StateError::Corrupt("bundle must hold exactly one record")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_data::TimeRange;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32_continue(crc32(b"1234"), b"56789"), crc32(b"123456789"));
+    }
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-7),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Str(Arc::from("héllo")),
+            Value::Tuple(vec![Value::Int(1), Value::Tuple(vec![Value::Null].into())].into()),
+        ]
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Enc::new();
+        enc.u8(7);
+        enc.u16(65535);
+        enc.u32(123456);
+        enc.u64(u64::MAX);
+        enc.i64(-42);
+        enc.f64(-0.5);
+        enc.opt_i64(None);
+        enc.opt_i64(Some(9));
+        enc.opt_u64(Some(11));
+        enc.str("abc");
+        enc.bytes(&[1, 2, 3]);
+        for v in sample_values() {
+            enc.value(&v);
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u16().unwrap(), 65535);
+        assert_eq!(dec.u32().unwrap(), 123456);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        assert_eq!(dec.i64().unwrap(), -42);
+        assert_eq!(dec.f64().unwrap(), -0.5);
+        assert_eq!(dec.opt_i64().unwrap(), None);
+        assert_eq!(dec.opt_i64().unwrap(), Some(9));
+        assert_eq!(dec.opt_u64().unwrap(), Some(11));
+        assert_eq!(dec.str().unwrap(), "abc");
+        assert_eq!(dec.bytes().unwrap(), &[1, 2, 3]);
+        for v in sample_values() {
+            assert_eq!(dec.value().unwrap(), v);
+        }
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn events_and_ssbufs_round_trip() {
+        let events = vec![
+            Event::new(Time::new(5), Time::new(10), Value::Float(1.0)),
+            Event::new(Time::new(16), Time::new(23), Value::Float(2.0)),
+        ];
+        let buf = SnapshotBuf::from_events(&events, TimeRange::new(Time::new(0), Time::new(30)));
+        let mut enc = Enc::new();
+        enc.event(&events[0]);
+        enc.ssbuf(&buf);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.event().unwrap(), events[0]);
+        let back = dec.ssbuf().unwrap();
+        assert_eq!(back, buf);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_and_reversed_intervals_are_rejected() {
+        for (start, end) in [(3i64, 3i64), (5, 4)] {
+            let mut enc = Enc::new();
+            enc.time(Time::new(start));
+            enc.time(Time::new(end));
+            enc.value(&Value::Null);
+            let bytes = enc.into_bytes();
+            assert_eq!(Dec::new(&bytes).event(), Err(StateError::BadInterval));
+        }
+    }
+
+    #[test]
+    fn non_advancing_spans_rejected() {
+        let mut enc = Enc::new();
+        enc.time(Time::new(0));
+        enc.u32(2);
+        enc.time(Time::new(5));
+        enc.value(&Value::Int(1));
+        enc.time(Time::new(5)); // does not advance
+        enc.value(&Value::Int(2));
+        let bytes = enc.into_bytes();
+        assert_eq!(Dec::new(&bytes).ssbuf(), Err(StateError::BadInterval));
+    }
+
+    #[test]
+    fn hostile_counts_and_depth_rejected() {
+        // A count far beyond the remaining bytes must fail before
+        // allocating.
+        let mut enc = Enc::new();
+        enc.u32(u32::MAX);
+        let bytes = enc.into_bytes();
+        assert_eq!(Dec::new(&bytes).str(), Err(StateError::BadCount));
+
+        // Deeply nested tuples are refused at the cap.
+        let mut bytes = Vec::new();
+        for _ in 0..(MAX_VALUE_DEPTH + 2) {
+            bytes.push(5u8); // Tuple
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bytes.push(0u8); // innermost Null
+        assert_eq!(Dec::new(&bytes).value(), Err(StateError::TooDeep));
+    }
+
+    #[test]
+    fn every_truncation_of_a_file_errors_cleanly() {
+        let dir = std::env::temp_dir().join("tilt-state-test-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.tilt");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        let mut payload = Enc::new();
+        payload.u64(0xDEAD_BEEF);
+        payload.str("section");
+        w.record(1, &payload.into_bytes()).unwrap();
+        w.record(2, b"tail").unwrap();
+        w.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // The intact file parses.
+        let file = SnapshotFile::parse(&full).unwrap();
+        assert_eq!(file.records().len(), 2);
+        assert_eq!(file.records()[1], (2u8, b"tail".to_vec()));
+        assert_eq!(file.bytes(), full.len() as u64);
+
+        // Every strict prefix is rejected without panicking.
+        for cut in 0..full.len() {
+            let err = SnapshotFile::parse(&full[..cut]).expect_err("prefix must fail");
+            assert!(
+                matches!(err, StateError::Truncated | StateError::Checksum { .. }),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let dir = std::env::temp_dir().join("tilt-state-test-flip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.tilt");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.record(1, b"payload-bytes-here").unwrap();
+        w.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Flip one bit in every byte position past the header; all must be
+        // caught (magic/version corruption has its own variants).
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x10;
+            assert!(SnapshotFile::parse(&bad).is_err(), "flip at {i} accepted");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trailing_bytes_and_wrong_versions_rejected() {
+        let dir = std::env::temp_dir().join("tilt-state-test-tail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.tilt");
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.record(1, b"x").unwrap();
+        w.finish().unwrap();
+        let mut full = std::fs::read(&path).unwrap();
+        full.push(0);
+        assert!(matches!(
+            SnapshotFile::parse(&full),
+            Err(StateError::Truncated | StateError::TrailingBytes)
+        ));
+
+        let mut wrong = std::fs::read(&path).unwrap();
+        wrong[8] = 99; // version field
+        assert!(matches!(SnapshotFile::parse(&wrong), Err(StateError::BadVersion(99))));
+        let mut not_magic = std::fs::read(&path).unwrap();
+        not_magic[0] = b'X';
+        assert!(matches!(SnapshotFile::parse(&not_magic), Err(StateError::BadMagic)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bundle_round_trip_and_kind_check() {
+        let dir = std::env::temp_dir().join("tilt-state-test-bundle");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.tilt");
+        let written = write_bundle(&path, 7, b"key-state").unwrap();
+        let (payload, read) = read_bundle(&path, 7).unwrap();
+        assert_eq!(payload, b"key-state");
+        assert_eq!(written, read);
+        assert_eq!(
+            read_bundle(&path, 8),
+            Err(StateError::Corrupt("unexpected bundle record kind"))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -282,3 +282,77 @@ fn journal_ring_keeps_sequence_invariants() {
     assert!(last.contains("detach"), "churn ends on a detach, got: {last}");
     service.finish_at(Time::new(8));
 }
+
+/// Spill/revive churn keeps the conservation ledger exact: events riding
+/// spill bundles move onto the `spilled_pending` gauge and come back off
+/// at revival, every spill has exactly one revival, and the journal
+/// records the durable transitions.
+#[test]
+fn spill_and_revive_churn_conserves() {
+    let dir = std::env::temp_dir().join(format!("tilt-obs-spill-{}", std::process::id()));
+    for shards in [1usize, 2, 4] {
+        let mut builder = StreamService::builder(RuntimeConfig {
+            shards,
+            allowed_lateness: 12,
+            emit_interval: 4,
+            key_ttl: Some(24),
+            metrics: true,
+            journal_capacity: 256,
+            ..RuntimeConfig::default()
+        })
+        .spill_to(&dir);
+        builder.register(window_query(8));
+        let service = builder.start().unwrap();
+        // Keys 0..4 run early then fall silent; keys 4..16 keep the
+        // watermark moving far enough for the TTL sweep to spill them;
+        // then everyone returns at the live edge and the spilled keys
+        // revive mid-stream (the rest revive at the final flush).
+        let early: Vec<KeyedEvent> = scrambled_traffic(16, 200, 32)
+            .into_iter()
+            .filter(|ke| ke.event.end.ticks() <= 100 || ke.key >= 4)
+            .collect();
+        service.ingest(early.iter().cloned());
+        // Let the shards drain and their watermarks reach the early
+        // horizon, so the TTL sweep observes the idle keys before fresh
+        // traffic arrives for them.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stats = service.stats();
+            let drained = stats.queue_depths.iter().sum::<usize>() == 0;
+            let caught_up = stats.shard_watermarks.iter().all(|w| w.ticks() >= 180);
+            if (drained && caught_up) || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let late_edge: Vec<KeyedEvent> = (201..=240)
+            .flat_map(|t| {
+                (0..16u64).map(move |k| {
+                    KeyedEvent::new(
+                        k,
+                        0,
+                        Event::point(Time::new(t), Value::Float((k + t as u64) as f64)),
+                    )
+                })
+            })
+            .collect();
+        service.ingest(late_edge.iter().cloned());
+        let out = service.finish_at(Time::new(260));
+        let s = &out.stats;
+        assert!(s.spills > 0, "shards={shards}: idle keys must spill");
+        assert_eq!(s.spills, s.spill_revivals, "shards={shards}: spill/revival symmetry");
+        assert_eq!(s.spilled_pending, 0, "shards={shards}: no events left on disk");
+        assert_eq!(s.keys_quarantined, 0, "shards={shards}: spill must not quarantine");
+        assert_eq!(s.conservation_balance(), 0, "shards={shards}: conservation through spill");
+        assert_eq!(s.reorder_underflow, 0, "shards={shards}: gauge handoff must not underflow");
+        let journal = format!("{:?}", service_journal_kinds(&out));
+        assert!(journal.contains("spill"), "journal must record spills: {journal}");
+        assert!(journal.contains("revive"), "journal must record revivals: {journal}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Renders the journal's event kinds for assertion messages.
+fn service_journal_kinds(out: &ServiceOutput) -> Vec<String> {
+    out.journal.events.iter().map(|e| format!("{}", e.event).to_lowercase()).collect()
+}

@@ -89,7 +89,7 @@ impl Tape {
         }
     }
     fn message(&mut self) -> Message {
-        match self.small(21) {
+        match self.small(24) {
             0 => Message::Hello { version: self.next() as u16 },
             1 => Message::Ingest {
                 events: (0..self.small(6))
@@ -144,13 +144,23 @@ impl Tape {
             19 => Message::StatsReply {
                 fields: (0..self.small(6)).map(|_| (self.string(), self.next() as i64)).collect(),
             },
-            _ => {
+            20 => {
                 let kinds = [TextKind::Metrics, TextKind::Journal, TextKind::Catalog];
                 Message::Text {
                     kind: kinds[self.small(kinds.len() as u64) as usize],
                     text: self.string(),
                 }
             }
+            21 => Message::Checkpoint { path: self.string() },
+            22 => Message::Restore {
+                path: self.string(),
+                queries: (0..self.small(4)).map(|_| self.string()).collect(),
+            },
+            _ => Message::Restored {
+                queries: (0..self.small(4))
+                    .map(|_| (self.next() as u32, self.next() as i64))
+                    .collect(),
+            },
         }
     }
 }
@@ -325,12 +335,29 @@ fn hostile_frames_cannot_panic_the_service() {
     attack_after_handshake(server.addr(), &framed);
     // 5. A server-to-client tag sent by the client.
     attack_after_handshake(server.addr(), &encode_frame(&Message::Credit { grant: 1 }));
+    // 6. A Restore claiming u32::MAX query names with a 1-byte body —
+    // the hostile count must be refused before allocation.
+    let mut hostile_restore = vec![0x0D];
+    hostile_restore.extend_from_slice(&4u32.to_le_bytes());
+    hostile_restore.extend_from_slice(b"snap");
+    hostile_restore.extend_from_slice(&u32::MAX.to_le_bytes());
+    hostile_restore.push(0);
+    let mut framed_restore = (hostile_restore.len() as u32).to_le_bytes().to_vec();
+    framed_restore.extend_from_slice(&hostile_restore);
+    attack_after_handshake(server.addr(), &framed_restore);
+    // 7. A Checkpoint whose path bytes are not UTF-8.
+    let mut bad_ckpt = vec![0x0C];
+    bad_ckpt.extend_from_slice(&2u32.to_le_bytes());
+    bad_ckpt.extend_from_slice(&[0xFF, 0xFE]);
+    let mut framed_ckpt = (bad_ckpt.len() as u32).to_le_bytes().to_vec();
+    framed_ckpt.extend_from_slice(&bad_ckpt);
+    attack_after_handshake(server.addr(), &framed_ckpt);
     // The service survived all of it, counted the malformed frames
-    // (attacks 1, 2, and 4 are decode errors; the torn frame surfaces
-    // as EOF and the smuggled Credit decodes but violates the protocol),
-    // and still serves a well-formed client end to end.
+    // (attacks 1, 2, 4, 6, and 7 are decode errors; the torn frame
+    // surfaces as EOF and the smuggled Credit decodes but violates the
+    // protocol), and still serves a well-formed client end to end.
     let decode_errors = assert_service_alive(&server);
-    assert!(decode_errors >= 3, "decode errors counted, got {decode_errors}");
+    assert!(decode_errors >= 5, "decode errors counted, got {decode_errors}");
     server.stop();
 }
 
@@ -385,6 +412,161 @@ fn control_plane_errors_are_reported_not_fatal() {
     assert!(client.catalog_text().expect("catalog").contains("w"));
     client.shutdown(None).expect("shutdown");
     server.stop();
+}
+
+// ───────────────────── durability over the wire ────────────────────────
+
+/// A version-1 client still negotiates and speaks the whole legacy
+/// surface, but durability tags earn a Version error (not a close, not
+/// a panic) on its connection.
+#[test]
+fn version_1_connections_work_but_cannot_use_durability() {
+    let server = test_server(1, 8);
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.write_all(&encode_frame(&Message::Hello { version: 1 })).unwrap();
+    match read_message(&mut s) {
+        Ok((Message::HelloAck { version, .. }, _)) => {
+            assert_eq!(version, 1, "server negotiates down to the client's version")
+        }
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    // Durability on a v1 connection: refused with Version, kept open.
+    s.write_all(&encode_frame(&Message::Checkpoint { path: "/tmp/x".into() })).unwrap();
+    match read_message(&mut s) {
+        Ok((Message::Error { code, .. }, _)) => {
+            assert_eq!(code, tilt_server::protocol::ErrorCode::Version)
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+    s.write_all(&encode_frame(&Message::Restore { path: "/tmp/x".into(), queries: vec![] }))
+        .unwrap();
+    match read_message(&mut s) {
+        Ok((Message::Error { code, .. }, _)) => {
+            assert_eq!(code, tilt_server::protocol::ErrorCode::Version)
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+    // The same connection still answers the legacy surface.
+    s.write_all(&encode_frame(&Message::Stats)).unwrap();
+    match read_message(&mut s) {
+        Ok((Message::StatsReply { .. }, _)) => {}
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    drop(s);
+    assert_service_alive(&server);
+    server.stop();
+}
+
+fn snapshot_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tilt-wire-{tag}-{}.tiltsnp", std::process::id()));
+    p
+}
+
+/// Durability control-plane errors are reported, never fatal: restores
+/// of missing snapshots, unknown roster names, and checkpoints into
+/// unwritable paths all leave the service healthy.
+#[test]
+fn durability_errors_are_reported_not_fatal() {
+    let server = test_server(1, 8);
+    let client = Client::connect(server.addr()).expect("connect");
+    // Restore from a snapshot that does not exist.
+    match client.restore("/nonexistent/dir/snap.tiltsnp", &[]) {
+        Err(tilt_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, tilt_server::protocol::ErrorCode::Internal)
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    // Restore naming a query the catalog does not have.
+    match client.restore("/tmp/snap.tiltsnp", &["no-such-query"]) {
+        Err(tilt_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, tilt_server::protocol::ErrorCode::UnknownName)
+        }
+        other => panic!("expected UnknownName, got {other:?}"),
+    }
+    // Checkpoint into a directory that does not exist.
+    match client.checkpoint("/nonexistent/dir/snap.tiltsnp") {
+        Err(tilt_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, tilt_server::protocol::ErrorCode::Internal)
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    // A busy service (attached query + ingested events) refuses restore.
+    let q = client.attach("w", None, None).expect("attach");
+    client
+        .ingest(vec![KeyedEvent::new(1, 0, Event::point(Time::new(3), Value::Float(1.0)))])
+        .expect("ingest");
+    let path = snapshot_path("busy");
+    client.checkpoint(path.to_str().unwrap()).expect("checkpoint of a busy service is fine");
+    match client.restore(path.to_str().unwrap(), &["w"]) {
+        Err(tilt_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, tilt_server::protocol::ErrorCode::Conflict)
+        }
+        other => panic!("expected Conflict, got {other:?}"),
+    }
+    // Everything above left the service healthy.
+    client.detach(q).expect("detach");
+    client.shutdown(None).expect("shutdown");
+    server.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The wire acceptance bar for durability: ingest a prefix into server
+/// A, checkpoint over the wire, kill A, restore into a fresh server B,
+/// ingest the suffix — the concatenated remote output equals one
+/// uninterrupted in-process run, per key.
+#[test]
+fn wire_checkpoint_restore_is_invisible_in_the_output() {
+    let cq = window_query(8, 0);
+    let streams = [
+        stream_from_segments(&[(1, 2, 8), (0, 3, -12), (2, 2, 20), (1, 4, 16), (0, 2, -8)]),
+        stream_from_segments(&[(0, 4, 40), (3, 1, -4), (1, 3, 28), (2, 2, -16), (1, 1, 12)]),
+        stream_from_segments(&[(2, 3, -20), (1, 2, 24), (0, 1, 36), (3, 3, -28), (0, 2, 44)]),
+    ];
+    let arrivals = arrival_sequence(&streams, 3);
+    let lateness = lateness_needed(&arrivals).max(1);
+    let end = Time::new(arrivals.iter().map(|ke| ke.event.end.ticks()).max().unwrap_or(0) + 8);
+    let split = arrivals.len() / 2;
+    let path = snapshot_path("invisible");
+    for shards in [1usize, 2] {
+        let cfg = test_config(shards, lateness);
+        let local = in_process_reference(&cq, &arrivals, cfg, end);
+        // Server A: prefix, then checkpoint, then die without draining.
+        let server_a = Server::start(cfg, vec![("w".into(), Arc::clone(&cq))]).expect("server a");
+        let client_a = Client::connect(server_a.addr()).expect("client a");
+        let qa = client_a.attach("w", None, None).expect("attach");
+        let sub_a = client_a.subscribe(qa).expect("subscribe a");
+        client_a.ingest(arrivals[..split].iter().cloned()).expect("prefix");
+        client_a.checkpoint(path.to_str().unwrap()).expect("checkpoint");
+        // stop() severs connections before draining, so sub_a holds
+        // exactly the output emitted up to the checkpoint.
+        server_a.stop();
+        drop(client_a);
+        let mut wire = sub_a.collect_per_key();
+        // Server B: restore, suffix, drain.
+        let server_b = Server::start(cfg, vec![("w".into(), Arc::clone(&cq))]).expect("server b");
+        let client_b = Client::connect(server_b.addr()).expect("client b");
+        let restored = client_b.restore(path.to_str().unwrap(), &["w"]).expect("restore");
+        assert_eq!(restored.len(), 1, "one live query restored");
+        assert_eq!(restored[0].id(), qa.id(), "roster slot survives the restart");
+        let sub_b = client_b.subscribe(restored[0]).expect("subscribe b");
+        client_b.ingest(arrivals[split..].iter().cloned()).expect("suffix");
+        let stats = client_b.stats().expect("stats");
+        assert_eq!(
+            stats.get("events_in"),
+            Some(arrivals.len() as i64),
+            "events_in resumes from the snapshot instead of restarting"
+        );
+        client_b.shutdown(Some(end)).expect("shutdown");
+        let after = client_b.stats().expect("stats after shutdown");
+        assert_eq!(after.get("conservation_balance"), Some(0), "conservation holds across restore");
+        for (key, events) in sub_b.collect_per_key() {
+            wire.entry(key).or_default().extend(events);
+        }
+        server_b.stop();
+        assert_identical(&wire, &local, &format!("wire checkpoint/restore shards={shards}"));
+        let _ = std::fs::remove_file(&path);
+    }
 }
 
 // ───────────────────── wire ↔ in-process identity ──────────────────────
