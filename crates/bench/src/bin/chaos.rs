@@ -1,0 +1,316 @@
+//! The self-healing story under seeded fault injection, end to end:
+//! **torn checkpoints** (a snapshot killed mid-write must roll recovery
+//! back to the last published lineage member), **killed connections**
+//! (a subscriber's socket dies mid-stream; the client redials and
+//! `Resume`s with zero gap), and **spill-write faults** (error-every-Nth
+//! cold-store writes degrade to in-memory eviction). Timings are
+//! incidental; what the `guardrail` binary re-checks is that recovery is
+//! *exact*: recovered output identical to the fault-free run,
+//! `reconnects > 0` with `resume_gap == 0`, and conservation balance
+//! `== 0` under every schedule.
+//!
+//! The schedules are seeded from `FAULT_SEED` (env, decimal or
+//! `0x`-hex); CI runs this binary under several seeds.
+//!
+//! ```sh
+//! FAULT_SEED=2 cargo run --release --bin chaos -- --json out.json
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tilt_bench::json::Json;
+use tilt_bench::{write_json_report, RunCfg};
+use tilt_core::ir::{DataType, Expr, Query, ReduceOp, TDom};
+use tilt_core::{CompiledQuery, Compiler};
+use tilt_data::{coalesce, streams_equivalent, Event, Time, Value};
+use tilt_fault as fault;
+use tilt_fault::Policy;
+use tilt_runtime::{KeyedEvent, Lineage, PerKeyOutput, RuntimeConfig, StreamService};
+use tilt_server::{Client, ClientConfig, RetryPolicy, Server, ServerConfig};
+
+fn sliding_sum(window: i64) -> Arc<CompiledQuery> {
+    let mut b = Query::builder();
+    let input = b.input("x", DataType::Float);
+    let out =
+        b.temporal("sum", TDom::every_tick(), Expr::reduce_window(ReduceOp::Sum, input, window));
+    Arc::new(Compiler::new().compile(&b.finish(out).unwrap()).unwrap())
+}
+
+/// Deterministic round-robin keyed traffic, payloads quantized to
+/// multiples of 1/4 so float window sums are exact.
+fn round_robin(keys: u64, ticks: i64) -> Vec<KeyedEvent> {
+    let mut out = Vec::new();
+    for t in 1..=ticks {
+        for k in 0..keys {
+            if !(t as u64 + k).is_multiple_of(5) {
+                let v = ((t as u64 * 7 + k * 13) % 64) as f64 * 0.25;
+                out.push(KeyedEvent::new(k, 0, Event::point(Time::new(t), Value::Float(v))));
+            }
+        }
+    }
+    out
+}
+
+fn identical(a: &PerKeyOutput, b: &PerKeyOutput) -> bool {
+    let keys: Vec<u64> = a.keys().chain(b.keys()).copied().collect();
+    keys.iter().all(|k| {
+        let x = a.get(k).map_or(&[][..], |v| v);
+        let y = b.get(k).map_or(&[][..], |v| v);
+        streams_equivalent(&coalesce(x), &coalesce(y))
+    })
+}
+
+fn reference_run(
+    cq: &Arc<CompiledQuery>,
+    arrivals: &[KeyedEvent],
+    cfg: RuntimeConfig,
+    end: Time,
+) -> PerKeyOutput {
+    let mut builder = StreamService::builder(cfg);
+    let q = builder.register(Arc::clone(cq));
+    let service = builder.start().expect("single registration");
+    service.ingest(arrivals.iter().cloned());
+    service.finish_at(end).per_query.swap_remove(q.index())
+}
+
+fn drain(service: &StreamService) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.stats().queue_depths.iter().sum::<usize>() > 0 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}
+
+/// Section 1: a checkpoint dies mid-write (torn record, then a failed
+/// rename on the retry) — recovery must fall back to the snapshot
+/// published before the fault and finish with identical output.
+fn torn_checkpoint_section(cfg: &RunCfg, seed: u64, shards: usize) -> Json {
+    let keys = 32u64;
+    let ticks = ((cfg.events / keys as usize).max(1) as i64).clamp(300, 20_000);
+    let window = 16i64;
+    let config = RuntimeConfig {
+        shards,
+        allowed_lateness: 8,
+        emit_interval: 64,
+        ..RuntimeConfig::default()
+    };
+    let query = sliding_sum(window);
+    let arrivals = round_robin(keys, ticks);
+    let (prefix, rest) = arrivals.split_at(arrivals.len() / 3);
+    let horizon = Time::new(ticks + 2 * window);
+    let want = reference_run(&query, &arrivals, config, horizon);
+
+    let dir = std::env::temp_dir().join(format!("tilt-bench-chaos-{}", std::process::id()));
+    let lineage = Lineage::open(&dir, 3).expect("lineage directory");
+    let mut builder = StreamService::builder(config);
+    let q = builder.register(Arc::clone(&query));
+    let service = builder.start().expect("single registration");
+    service.ingest(prefix.iter().cloned());
+    let (good, snapshot_bytes) = service.checkpoint_to(&lineage).expect("clean checkpoint");
+    service.ingest(rest.iter().cloned());
+
+    // Two consecutive schedules against the same lineage: a torn record
+    // write, then (after that fails) a failed publish rename.
+    fault::arm("state.snapshot.write_record", fault::seeded_torn(seed, "state.snapshot", 512));
+    let torn = service.checkpoint_to(&lineage);
+    assert!(torn.is_err(), "torn write must fail the checkpoint, got {torn:?}");
+    fault::disarm("state.snapshot.write_record");
+    fault::arm("state.snapshot.rename", Policy::ErrorOnce);
+    let unpublished = service.checkpoint_to(&lineage);
+    assert!(unpublished.is_err(), "failed rename must fail the checkpoint");
+    fault::disarm("state.snapshot.rename");
+    let injected =
+        fault::injected("state.snapshot.write_record") + fault::injected("state.snapshot.rename");
+    drop(service); // crash: memory after the good checkpoint is gone
+
+    let (restored, from) =
+        StreamService::restore_latest(&lineage, &[Arc::clone(&query)]).expect("recovery");
+    let recovery_source_is_pre_fault = from == good;
+    restored.ingest(rest.iter().cloned());
+    let mut out = restored.finish_at(horizon);
+    let recovered_identical = identical(&out.per_query[q.index()], &want);
+    assert!(recovered_identical, "recovered run diverged from the fault-free run");
+    let balance = out.stats.conservation_balance();
+    let retained = lineage.paths().len();
+    let _ = std::fs::remove_dir_all(&dir);
+    let got = out.per_query.swap_remove(q.index());
+    drop(got);
+
+    println!(
+        "torn checkpoint: {injected} snapshot faults injected, recovery restored \
+         {} ({snapshot_bytes} bytes) and replayed {} events; output identical",
+        good.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+        rest.len(),
+    );
+    Json::obj([
+        ("events", arrivals.len().into()),
+        ("shards", shards.into()),
+        ("injected", injected.into()),
+        ("snapshot_bytes", snapshot_bytes.into()),
+        ("snapshots_retained", retained.into()),
+        ("recovery_source_is_pre_fault", recovery_source_is_pre_fault.into()),
+        ("recovered_identical", recovered_identical.into()),
+        ("replayed_events", rest.len().into()),
+        ("conservation_balance", balance.into()),
+    ])
+}
+
+/// Section 2: the first output frame after arming dies on the server's
+/// socket write. The client must redial, re-handshake, and `Resume`
+/// with zero gap; the subscriber's stream stays identical.
+fn reconnect_section(cfg: &RunCfg, seed: u64) -> Json {
+    let keys = 8u64;
+    let ticks = ((cfg.events / (keys as usize * 16)).max(1) as i64).clamp(100, 2_000);
+    let window = 8i64;
+    let config = RuntimeConfig {
+        shards: 2,
+        allowed_lateness: 1,
+        emit_interval: 4,
+        ..RuntimeConfig::default()
+    };
+    let query = sliding_sum(window);
+    let arrivals = round_robin(keys, ticks);
+    let horizon = Time::new(ticks + 2 * window);
+    let want = reference_run(&query, &arrivals, config, horizon);
+
+    let server = Server::start_with(
+        ServerConfig { runtime: config, replay_ring_capacity: 65_536, ..ServerConfig::default() },
+        vec![("sum".into(), Arc::clone(&query))],
+    )
+    .expect("server starts");
+    let retry = RetryPolicy {
+        max_attempts: 10,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(40),
+        seed,
+    };
+    let client = Client::connect_with(
+        server.addr(),
+        ClientConfig { retry: Some(retry), ..ClientConfig::default() },
+    )
+    .expect("client connects");
+    let q = client.attach("sum", None, None).expect("attach");
+    let sub = client.subscribe(q).expect("subscribe");
+    client.ingest(arrivals.iter().cloned()).expect("ingest");
+
+    fault::arm("server.conn.write", Policy::ErrorOnce);
+    client.watermark(0, horizon).expect("watermark");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while client.reconnects() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let injected = fault::injected("server.conn.write");
+    fault::disarm("server.conn.write");
+
+    client.shutdown(Some(horizon)).expect("shutdown");
+    let stats = client.stats().expect("post-shutdown stats");
+    let reconnects = client.reconnects();
+    let resume_gap = client.resume_gaps();
+    let resume_replays = stats.get("resume_replays").unwrap_or(0);
+    let balance = stats.get("conservation_balance").unwrap_or(i64::MAX);
+    let got: HashMap<u64, Vec<Event<Value>>> = sub.collect_per_key();
+    server.stop();
+    let wire_identical = identical(&got, &want);
+    assert!(wire_identical, "resumed subscriber's stream diverged from the fault-free run");
+
+    println!(
+        "reconnect: {injected} socket fault injected, {reconnects} reconnect(s), \
+         {resume_replays} frame(s) replayed, resume gap {resume_gap}; stream identical"
+    );
+    Json::obj([
+        ("events", arrivals.len().into()),
+        ("injected", injected.into()),
+        ("reconnects", reconnects.into()),
+        ("resume_gap", resume_gap.into()),
+        ("resume_replays", resume_replays.into()),
+        ("wire_identical", wire_identical.into()),
+        ("conservation_balance", balance.into()),
+    ])
+}
+
+/// Section 3: error-every-Nth spill writes. Failed saves degrade to
+/// plain in-memory eviction — no quarantine, identical output.
+fn spill_fault_section(seed: u64, shards: usize) -> Json {
+    let window = 6i64;
+    let query = sliding_sum(window);
+    let phase = |keys: std::ops::Range<u64>, ticks: std::ops::Range<i64>| {
+        let mut evs = Vec::new();
+        for t in ticks {
+            for k in keys.clone() {
+                evs.push(KeyedEvent::new(
+                    k,
+                    0,
+                    Event::point(Time::new(t), Value::Float((k + t as u64) as f64)),
+                ));
+            }
+        }
+        evs
+    };
+    let phases = [phase(0..8, 1..50), phase(8..16, 50..150), phase(0..16, 150..200)];
+    let all: Vec<KeyedEvent> = phases.iter().flatten().cloned().collect();
+    let horizon = Time::new(220);
+    let config =
+        RuntimeConfig { shards, allowed_lateness: 0, emit_interval: 4, ..RuntimeConfig::default() };
+    let want = reference_run(&query, &all, config, horizon);
+
+    let dir = std::env::temp_dir().join(format!("tilt-bench-chaos-spill-{}", std::process::id()));
+    fault::arm("state.spill.write", fault::seeded_nth(seed, "state.spill.write", 2, 4));
+    let mut builder =
+        StreamService::builder(RuntimeConfig { key_ttl: Some(16), ..config }).spill_to(&dir);
+    let q = builder.register(Arc::clone(&query));
+    let service = builder.start().expect("single registration");
+    for p in &phases {
+        service.ingest(p.iter().cloned());
+        drain(&service);
+    }
+    let out = service.finish_at(horizon);
+    let injected = fault::injected("state.spill.write");
+    fault::disarm("state.spill.write");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spill_identical = identical(&out.per_query[q.index()], &want);
+    assert!(spill_identical, "spill-write faults changed the output");
+    let s = &out.stats;
+    println!(
+        "spill faults: {injected} write fault(s) injected across {} spill attempts; \
+         {} spills / {} revivals, 0 quarantined; output identical",
+        s.spills + injected,
+        s.spills,
+        s.spill_revivals,
+    );
+    Json::obj([
+        ("events", all.len().into()),
+        ("shards", shards.into()),
+        ("injected", injected.into()),
+        ("spills", s.spills.into()),
+        ("revivals", s.spill_revivals.into()),
+        ("keys_quarantined", s.keys_quarantined.into()),
+        ("spill_identical", spill_identical.into()),
+        ("conservation_balance", s.conservation_balance().into()),
+    ])
+}
+
+fn main() {
+    let cfg = RunCfg::from_args(200_000);
+    let shards = cfg.threads.clamp(1, 4);
+    let seed = fault::seed_from_env(0xC0A5_C0DE);
+    // One scenario for the whole run: clean registry in, clean out.
+    let _scenario = fault::Scenario::setup();
+    println!("chaos schedules seeded with 0x{seed:X} (override with FAULT_SEED)");
+
+    let torn = torn_checkpoint_section(&cfg, seed, shards);
+    let reconnect = reconnect_section(&cfg, seed);
+    let spill = spill_fault_section(seed, shards);
+
+    write_json_report(
+        &cfg,
+        &Json::obj([
+            ("bench", "chaos".into()),
+            ("seed", format!("0x{seed:X}").into()),
+            ("torn_checkpoint", torn),
+            ("reconnect", reconnect),
+            ("spill_faults", spill),
+        ]),
+    );
+}

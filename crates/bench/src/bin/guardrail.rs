@@ -66,7 +66,7 @@ use tilt_bench::json::{parse, Json};
 /// directory mode a missing or unparseable expected artifact is a named
 /// failing check — a bench that silently stopped emitting its report
 /// must fail the lane, not shrink it.
-const EXPECTED_BENCHES: [&str; 7] = [
+const EXPECTED_BENCHES: [&str; 8] = [
     "runtime_shards",
     "multi_query",
     "hardening",
@@ -74,6 +74,7 @@ const EXPECTED_BENCHES: [&str; 7] = [
     "kernel_hot",
     "server_loopback",
     "durability",
+    "chaos",
 ];
 
 /// One report's check results.
@@ -282,6 +283,28 @@ fn check_file(file: &Path) -> Outcome {
             check.fields_equal("rebalance.moved", "rebalance.migrations");
             check.eq_i64("rebalance.late_dropped", 0);
             check.eq_i64("rebalance.conservation_balance", 0);
+        }
+        "chaos" => {
+            // Self-healing under seeded injection must be *exact*, not
+            // best-effort: every schedule has to have actually fired
+            // (injected > 0 — an unarmed run proves nothing), recovery
+            // must reproduce the fault-free output byte-for-byte, and
+            // the books must balance through every fault path.
+            check.gt_i64("torn_checkpoint.injected", 0);
+            check.is_true("torn_checkpoint.recovery_source_is_pre_fault");
+            check.is_true("torn_checkpoint.recovered_identical");
+            check.eq_i64("torn_checkpoint.conservation_balance", 0);
+            check.gt_i64("reconnect.injected", 0);
+            check.gt_i64("reconnect.reconnects", 0);
+            check.eq_i64("reconnect.resume_gap", 0);
+            check.gt_i64("reconnect.resume_replays", 0);
+            check.is_true("reconnect.wire_identical");
+            check.eq_i64("reconnect.conservation_balance", 0);
+            check.gt_i64("spill_faults.injected", 0);
+            check.eq_i64("spill_faults.keys_quarantined", 0);
+            check.fields_equal("spill_faults.spills", "spill_faults.revivals");
+            check.is_true("spill_faults.spill_identical");
+            check.eq_i64("spill_faults.conservation_balance", 0);
         }
         "obs_overhead" => {
             // The < 5% observability-overhead acceptance bar. Raw Mev/s

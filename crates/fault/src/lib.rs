@@ -1,0 +1,435 @@
+//! Deterministic fault injection for the TiLT workspace.
+//!
+//! Production code declares named **failpoints** at its I/O and
+//! cross-thread boundaries (`fail_point!("state.snapshot.write_record")`);
+//! chaos tests **arm** those sites with seeded [`Policy`]s — error-once,
+//! error-every-Nth, torn-write-after-K-bytes, delay, panic — and the site
+//! misbehaves exactly as scheduled. The registry is process-global and
+//! dependency-free.
+//!
+//! # Cost model
+//!
+//! When no site is armed (every production run), a failpoint is one
+//! relaxed atomic load and a predictable branch — no lock, no map lookup,
+//! no allocation. The slow path (a mutex-guarded site table) is entered
+//! only while a test has at least one policy armed.
+//!
+//! # Test isolation
+//!
+//! The registry is global, so two tests arming sites concurrently would
+//! trample each other. Chaos tests take the global [`Scenario`] guard,
+//! which serializes them and resets the registry on entry and exit:
+//!
+//! ```
+//! let _guard = tilt_fault::Scenario::setup();
+//! tilt_fault::arm("state.spill.write", tilt_fault::Policy::ErrorNth(3));
+//! // ... drive the system; every 3rd spill write now fails ...
+//! // drop of the guard disarms everything
+//! ```
+//!
+//! # Seeding
+//!
+//! [`seeded_nth`] and [`seeded_delay_us`] derive per-site parameters from
+//! a schedule seed (the `FAULT_SEED` env var in CI, mirroring
+//! `PROPTEST_SEED`), so a failing chaos run reproduces with
+//! `FAULT_SEED=<n> cargo test ...`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an armed site does when execution passes through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Fail the first hit after arming, then behave.
+    ErrorOnce,
+    /// Fail hits `n, 2n, 3n, ...` (1-based since arming). `ErrorNth(1)`
+    /// fails every hit.
+    ErrorNth(u64),
+    /// Fail the first `k` hits, then behave.
+    ErrorTimes(u64),
+    /// For write sites: persist only the first `k` bytes of the write
+    /// that trips the policy, then fail — a torn write. Trips on the
+    /// first hit. Sites that cannot tear treat this as [`Policy::ErrorOnce`].
+    TornAfter(u64),
+    /// Sleep this long on every hit, then proceed normally. Models a
+    /// stalled disk or peer without changing any outcome.
+    Delay(Duration),
+    /// Panic on the first hit (then behave) — exercises `catch_unwind`
+    /// containment such as per-key kernel quarantine.
+    Panic,
+}
+
+/// The verdict a failpoint site acts on. Delays have already been slept
+/// by the time the caller sees a verdict, so only three shapes remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Behave normally.
+    Proceed,
+    /// Fail this operation (return the site's error).
+    Fail,
+    /// Persist only the first `k` bytes, then fail.
+    Torn(u64),
+    /// Panic (sites inside `catch_unwind` containment let this unwind).
+    Panic,
+}
+
+struct Site {
+    policy: Policy,
+    hits: u64,
+    injected: u64,
+}
+
+struct RegistryInner {
+    sites: HashMap<String, Site>,
+    /// Injection counts survive `disarm` so a test can assert how many
+    /// faults actually fired after the schedule ran dry.
+    injected: HashMap<String, u64>,
+}
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static INJECTED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static Mutex<RegistryInner> {
+    static REG: OnceLock<Mutex<RegistryInner>> = OnceLock::new();
+    REG.get_or_init(|| {
+        Mutex::new(RegistryInner { sites: HashMap::new(), injected: HashMap::new() })
+    })
+}
+
+fn lock() -> MutexGuard<'static, RegistryInner> {
+    // A panic policy unwinding through a caller while the lock is held
+    // elsewhere must not wedge the registry for the rest of the process.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `site` with `policy`, replacing any previous policy (the hit
+/// counter restarts). The site name is free-form; by convention it is
+/// `crate.component.operation` (e.g. `state.snapshot.rename`).
+pub fn arm(site: &str, policy: Policy) {
+    let mut reg = lock();
+    reg.sites.insert(site.to_string(), Site { policy, hits: 0, injected: 0 });
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms `site`. Its cumulative injection count is retained for
+/// [`injected`] / [`counters`].
+pub fn disarm(site: &str) {
+    let mut reg = lock();
+    if let Some(s) = reg.sites.remove(site) {
+        *reg.injected.entry(site.to_string()).or_insert(0) += s.injected;
+    }
+    if reg.sites.is_empty() {
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarms every site and zeroes every counter. [`Scenario::setup`] calls
+/// this on entry and exit.
+pub fn reset() {
+    let mut reg = lock();
+    reg.sites.clear();
+    reg.injected.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+    INJECTED_TOTAL.store(0, Ordering::Relaxed);
+}
+
+/// Evaluates `site`: the call every `fail_point!` expands to. Returns
+/// [`Action::Proceed`] immediately (one relaxed load) when nothing is
+/// armed anywhere in the process.
+pub fn evaluate(site: &str) -> Action {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return Action::Proceed;
+    }
+    let (action, delay) = {
+        let mut reg = lock();
+        let Some(s) = reg.sites.get_mut(site) else {
+            return Action::Proceed;
+        };
+        s.hits += 1;
+        let action = match s.policy {
+            Policy::ErrorOnce => {
+                if s.hits == 1 {
+                    Action::Fail
+                } else {
+                    Action::Proceed
+                }
+            }
+            Policy::ErrorNth(n) => {
+                if n > 0 && s.hits.is_multiple_of(n) {
+                    Action::Fail
+                } else {
+                    Action::Proceed
+                }
+            }
+            Policy::ErrorTimes(k) => {
+                if s.hits <= k {
+                    Action::Fail
+                } else {
+                    Action::Proceed
+                }
+            }
+            Policy::TornAfter(k) => {
+                if s.hits == 1 {
+                    Action::Torn(k)
+                } else {
+                    Action::Proceed
+                }
+            }
+            Policy::Delay(_) => Action::Proceed,
+            Policy::Panic => {
+                if s.hits == 1 {
+                    Action::Panic
+                } else {
+                    Action::Proceed
+                }
+            }
+        };
+        let delay = match s.policy {
+            Policy::Delay(d) => Some(d),
+            _ => None,
+        };
+        if action != Action::Proceed || delay.is_some() {
+            s.injected += 1;
+            INJECTED_TOTAL.fetch_add(1, Ordering::Relaxed);
+        }
+        (action, delay)
+    };
+    if let Some(d) = delay {
+        std::thread::sleep(d);
+    }
+    action
+}
+
+/// Cumulative faults injected at `site` since the last [`reset`]
+/// (armed + retained-after-disarm).
+pub fn injected(site: &str) -> u64 {
+    let reg = lock();
+    reg.sites.get(site).map_or(0, |s| s.injected) + reg.injected.get(site).copied().unwrap_or(0)
+}
+
+/// Total faults injected across every site since the last [`reset`].
+pub fn injected_total() -> u64 {
+    INJECTED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Per-site cumulative injection counts, sorted by site name — the feed
+/// for the `tilt_fault_injected_total{site}` metric export.
+pub fn counters() -> Vec<(String, u64)> {
+    let reg = lock();
+    let mut all: HashMap<String, u64> = reg.injected.clone();
+    for (name, s) in &reg.sites {
+        *all.entry(name.clone()).or_insert(0) += s.injected;
+    }
+    let mut out: Vec<(String, u64)> = all.into_iter().filter(|(_, n)| *n > 0).collect();
+    out.sort();
+    out
+}
+
+/// Serializes chaos tests against the process-global registry. Holding
+/// the guard is what makes arming sites safe in a multi-threaded test
+/// binary; entry and drop both [`reset`] the registry so schedules never
+/// leak across tests.
+pub struct Scenario {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Scenario {
+    pub fn setup() -> Scenario {
+        static GATE: Mutex<()> = Mutex::new(());
+        // A prior test panicking mid-scenario (some chaos tests assert
+        // under armed faults) must not poison every later scenario.
+        let guard = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        Scenario { _guard: guard }
+    }
+}
+
+impl Drop for Scenario {
+    fn drop(&mut self) {
+        reset();
+    }
+}
+
+/// The schedule seed chaos tests run under: `FAULT_SEED` env (decimal or
+/// `0x`-hex), else `default`. Mirrors the `PROPTEST_SEED` convention so
+/// CI reruns reproduce by exporting one variable.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("FAULT_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
+/// SplitMix64 over (seed, site): one deterministic draw per named site.
+fn mix(seed: u64, site: &str) -> u64 {
+    let mut z = seed;
+    for b in site.bytes() {
+        z = z.wrapping_add(b as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// A seeded [`Policy::ErrorNth`] with `n` drawn from `[lo, hi]` — the
+/// standard way a chaos schedule varies pressure per site per seed.
+pub fn seeded_nth(seed: u64, site: &str, lo: u64, hi: u64) -> Policy {
+    let span = hi.max(lo) - lo + 1;
+    Policy::ErrorNth(lo + mix(seed, site) % span)
+}
+
+/// A seeded [`Policy::TornAfter`] tearing within the first `max_bytes`.
+pub fn seeded_torn(seed: u64, site: &str, max_bytes: u64) -> Policy {
+    Policy::TornAfter(mix(seed, site) % max_bytes.max(1))
+}
+
+/// A seeded [`Policy::Delay`] of up to `max_us` microseconds.
+pub fn seeded_delay_us(seed: u64, site: &str, max_us: u64) -> Policy {
+    Policy::Delay(Duration::from_micros(mix(seed, site) % max_us.max(1)))
+}
+
+/// Declares a failpoint. Two forms:
+///
+/// * `fail_point!("site")` — delay and panic policies act; error policies
+///   are ignored (for sites with no failure semantics, e.g. channel
+///   sends that must not lose data).
+/// * `fail_point!("site", expr)` — on an error verdict, evaluates `expr`
+///   (conventionally `return Err(...)`); panic policies panic; delays
+///   sleep and proceed.
+///
+/// Sites that honor torn writes call [`evaluate`] directly to get the
+/// byte budget out of [`Action::Torn`].
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        match $crate::evaluate($site) {
+            $crate::Action::Panic => panic!("failpoint {}: injected panic", $site),
+            _ => {}
+        }
+    };
+    ($site:expr, $on_fail:expr) => {
+        match $crate::evaluate($site) {
+            $crate::Action::Proceed => {}
+            $crate::Action::Panic => panic!("failpoint {}: injected panic", $site),
+            $crate::Action::Fail | $crate::Action::Torn(_) => {
+                #[allow(clippy::unused_unit)]
+                {
+                    $on_fail
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sites_proceed() {
+        let _s = Scenario::setup();
+        assert_eq!(evaluate("never.armed"), Action::Proceed);
+        assert_eq!(injected_total(), 0);
+    }
+
+    #[test]
+    fn error_once_fires_exactly_once() {
+        let _s = Scenario::setup();
+        arm("t.once", Policy::ErrorOnce);
+        assert_eq!(evaluate("t.once"), Action::Fail);
+        assert_eq!(evaluate("t.once"), Action::Proceed);
+        assert_eq!(evaluate("t.once"), Action::Proceed);
+        assert_eq!(injected("t.once"), 1);
+    }
+
+    #[test]
+    fn error_nth_fires_on_schedule() {
+        let _s = Scenario::setup();
+        arm("t.nth", Policy::ErrorNth(3));
+        let verdicts: Vec<Action> = (0..9).map(|_| evaluate("t.nth")).collect();
+        let fails = verdicts.iter().filter(|a| **a == Action::Fail).count();
+        assert_eq!(fails, 3);
+        assert_eq!(verdicts[2], Action::Fail);
+        assert_eq!(verdicts[5], Action::Fail);
+        assert_eq!(verdicts[8], Action::Fail);
+    }
+
+    #[test]
+    fn error_times_fails_prefix() {
+        let _s = Scenario::setup();
+        arm("t.times", Policy::ErrorTimes(2));
+        assert_eq!(evaluate("t.times"), Action::Fail);
+        assert_eq!(evaluate("t.times"), Action::Fail);
+        assert_eq!(evaluate("t.times"), Action::Proceed);
+    }
+
+    #[test]
+    fn torn_carries_byte_budget_once() {
+        let _s = Scenario::setup();
+        arm("t.torn", Policy::TornAfter(7));
+        assert_eq!(evaluate("t.torn"), Action::Torn(7));
+        assert_eq!(evaluate("t.torn"), Action::Proceed);
+    }
+
+    #[test]
+    fn counters_survive_disarm() {
+        let _s = Scenario::setup();
+        arm("t.keep", Policy::ErrorOnce);
+        assert_eq!(evaluate("t.keep"), Action::Fail);
+        disarm("t.keep");
+        assert_eq!(evaluate("t.keep"), Action::Proceed);
+        assert_eq!(injected("t.keep"), 1);
+        assert_eq!(counters(), vec![("t.keep".to_string(), 1)]);
+    }
+
+    #[test]
+    fn seeded_policies_are_deterministic_and_site_dependent() {
+        let a = seeded_nth(42, "site.a", 2, 5);
+        let b = seeded_nth(42, "site.a", 2, 5);
+        assert_eq!(a, b);
+        match a {
+            Policy::ErrorNth(n) => assert!((2..=5).contains(&n)),
+            other => panic!("unexpected policy {other:?}"),
+        }
+        // The draw is keyed on both seed and site: across a wide range at
+        // least one of these pairs must differ (all equal would mean the
+        // mix ignores its inputs entirely).
+        let wide = |seed, site| seeded_nth(seed, site, 0, u64::MAX - 1);
+        assert!(
+            wide(42, "site.a") != wide(42, "site.b") || wide(42, "site.a") != wide(43, "site.a")
+        );
+    }
+
+    #[test]
+    fn macro_error_form_returns() {
+        let _s = Scenario::setup();
+        arm("t.macro", Policy::ErrorOnce);
+        fn op() -> Result<u32, &'static str> {
+            fail_point!("t.macro", return Err("injected"));
+            Ok(1)
+        }
+        assert_eq!(op(), Err("injected"));
+        assert_eq!(op(), Ok(1));
+    }
+
+    #[test]
+    fn panic_policy_unwinds() {
+        let _s = Scenario::setup();
+        arm("t.panic", Policy::Panic);
+        let r = std::panic::catch_unwind(|| {
+            fail_point!("t.panic");
+        });
+        assert!(r.is_err());
+        assert_eq!(evaluate("t.panic"), Action::Proceed);
+    }
+}

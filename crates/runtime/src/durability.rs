@@ -49,14 +49,30 @@ impl SpillStore {
     }
 
     /// Writes one key's bundle, returning the bytes written.
+    /// Failpoint: `state.spill.write` (a failed save falls back to
+    /// keeping the key resident — eviction is abandoned, never lossy).
     pub(crate) fn save(&self, key: u64, payload: &[u8]) -> Result<u64, StateError> {
+        tilt_fault::fail_point!("state.spill.write", {
+            return Err(StateError::Io {
+                kind: std::io::ErrorKind::Other,
+                context: "writing spill bundle",
+            });
+        });
         tilt_state::write_bundle(&self.path(key), KIND_SPILL, payload)
     }
 
     /// Reads and *removes* one key's bundle, returning the payload and the
     /// bytes read. The removal makes revival exactly-once: a second load
     /// of the same key is an error, not a stale duplicate.
+    /// Failpoint: `state.spill.read` (a failed load quarantines the key
+    /// fail-closed and journals [`crate::ControlEvent::SpillCorrupt`]).
     pub(crate) fn load(&self, key: u64) -> Result<(Vec<u8>, u64), StateError> {
+        tilt_fault::fail_point!("state.spill.read", {
+            return Err(StateError::Io {
+                kind: std::io::ErrorKind::Other,
+                context: "reading spill bundle",
+            });
+        });
         let r = tilt_state::read_bundle(&self.path(key), KIND_SPILL)?;
         let _ = std::fs::remove_file(self.path(key));
         Ok(r)

@@ -162,6 +162,8 @@ use tilt_core::CompiledQuery;
 use tilt_data::{Event, Time, Value};
 use tilt_state::{SnapshotFile, SnapshotWriter, StateError};
 
+pub use tilt_state::Lineage;
+
 use durability::{CellRecord, ServiceRecord, SpillStore, KIND_SERVICE, KIND_SHARD};
 use shard::{CellSpec, Shard, ShardMsg, ShardOutput};
 pub use stats::{ControlEvent, RuntimeStats};
@@ -653,6 +655,10 @@ impl Core {
         self.stats.queue_depth[shard].add(batch.len() as i64);
         // A send can only fail if the shard thread died; surface that on
         // join rather than panicking mid-ingest.
+        // Delay-only failpoint: a cross-thread send must never drop the
+        // batch (that would lose events), so error policies are inert here
+        // and Delay models a stalled shard queue instead.
+        tilt_fault::fail_point!("runtime.shard.send");
         match self.senders[shard].try_send(ShardMsg::Batch(batch)) {
             Ok(()) => false,
             Err(std::sync::mpsc::TrySendError::Full(msg)) => {
@@ -1094,6 +1100,42 @@ impl StreamService {
             .stats
             .note_control(ControlEvent::Checkpoint { shards: shard_payloads.len(), bytes });
         Ok(bytes)
+    }
+
+    /// Checkpoints into the next numbered member of a snapshot
+    /// [`Lineage`] and prunes old generations, returning the published
+    /// path and the bytes written. Combined with
+    /// [`StreamService::restore_latest`] this is the crash-safe
+    /// checkpoint loop: every write stages to `*.part` and renames over
+    /// a *new* index, so no failure mode — torn write, failed fsync,
+    /// failed rename, power loss — can damage an already-published
+    /// snapshot.
+    pub fn checkpoint_to(&self, lineage: &Lineage) -> Result<(PathBuf, u64), StateError> {
+        let path = lineage.next_path();
+        let bytes = self.checkpoint(&path)?;
+        lineage.prune();
+        Ok((path, bytes))
+    }
+
+    /// Rebuilds a service from the newest member of `lineage` that both
+    /// validates *and* restores, walking backwards over retained
+    /// generations. A torn or corrupt newer snapshot (a crash
+    /// mid-checkpoint that somehow published, or bit rot since) falls
+    /// back to the previous one instead of failing the recovery.
+    /// Returns the service and the path it was restored from; errors
+    /// only when no retained member restores.
+    pub fn restore_latest(
+        lineage: &Lineage,
+        queries: &[Arc<CompiledQuery>],
+    ) -> Result<(StreamService, PathBuf), StateError> {
+        let mut last_err = StateError::Corrupt("snapshot lineage is empty");
+        for path in lineage.paths().into_iter().rev() {
+            match Self::restore(&path, queries) {
+                Ok(service) => return Ok((service, path)),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 
     /// Assembles the service-wide checkpoint header from the registry

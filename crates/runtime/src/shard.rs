@@ -936,6 +936,9 @@ impl Shard {
                 Self::sync_key(state, n_cells, n_sources);
                 let mut revisit = false;
                 let panicked = catch_unwind(AssertUnwindSafe(|| {
+                    // Inside the containment boundary: a Panic policy here
+                    // exercises the same quarantine path a kernel bug would.
+                    tilt_fault::fail_point!("runtime.kernel.exec");
                     Self::drain_and_release(id, state, cells, &plans, scratch, residency, stats);
                     let mut emitted_any = false;
                     for (ci, cell) in cells.iter().enumerate() {
@@ -1765,7 +1768,11 @@ impl Shard {
                 self.stats.note_control(ControlEvent::Revive { shard: self.id, key });
             }
             Err(_) => {
+                // Disk corruption, not a kernel panic: count it apart so
+                // the operator can tell the two quarantine causes apart.
+                self.stats.spill_corrupt.inc();
                 self.stats.keys_quarantined.inc();
+                self.stats.note_control(ControlEvent::SpillCorrupt { shard: self.id, key });
                 self.stats.note_control(ControlEvent::Quarantine {
                     shard: self.id,
                     key,

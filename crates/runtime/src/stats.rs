@@ -123,6 +123,16 @@ pub enum ControlEvent {
         /// The spilled key.
         key: u64,
     },
+    /// A spilled key's on-disk bundle failed to read back (torn,
+    /// bit-rotted, or lost). The key quarantines fail-closed, but this
+    /// event — unlike a plain [`ControlEvent::Quarantine`] — tells the
+    /// operator the cause was disk corruption, not a kernel panic.
+    SpillCorrupt {
+        /// The shard that owns the key.
+        shard: usize,
+        /// The key whose bundle was unreadable.
+        key: u64,
+    },
     /// A key's sessions moved between shards
     /// ([`crate::StreamService::migrate_key`] /
     /// [`crate::StreamService::rebalance`]).
@@ -180,6 +190,9 @@ impl std::fmt::Display for ControlEvent {
                 write!(f, "restored shards={shards} bytes={bytes}")
             }
             ControlEvent::Spill { shard, key } => write!(f, "spill shard={shard} key={key}"),
+            ControlEvent::SpillCorrupt { shard, key } => {
+                write!(f, "spill-corrupt shard={shard} key={key}")
+            }
             ControlEvent::Migrate { key, from, to } => {
                 write!(f, "migrate key={key} from={from} to={to}")
             }
@@ -304,6 +317,9 @@ pub(crate) struct SharedStats {
     pub(crate) spill_revivals: Arc<Counter>,
     /// Keys migrated between shards.
     pub(crate) migrations: Arc<Counter>,
+    /// Spill bundles that failed to read back (disk corruption, as
+    /// opposed to kernel panics — both quarantine, only this increments).
+    pub(crate) spill_corrupt: Arc<Counter>,
     /// Gauge: buffered events currently serialized inside spill or
     /// migration bundles rather than resident in a reorder buffer. Part of
     /// the conservation partition — events on disk are still accounted
@@ -404,6 +420,7 @@ impl SharedStats {
             spills: r.counter("tilt_state_spills_total"),
             spill_revivals: r.counter("tilt_state_revivals_total"),
             migrations: r.counter("tilt_state_migrations_total"),
+            spill_corrupt: r.counter("tilt_state_spill_corrupt_total"),
             spilled_pending: r.gauge("tilt_state_spilled_pending"),
             tombstone_dropped: r.counter("tilt_tombstone_output_dropped_total"),
             max_event_end,
@@ -435,6 +452,14 @@ impl SharedStats {
 
     /// Freezes every registered metric.
     pub(crate) fn metrics(&self) -> MetricsSnapshot {
+        // Bridge the dependency-free fault registry's per-site injection
+        // counts into the scrape (absolute values, so a gauge). Empty —
+        // and absent — in every production run.
+        for (site, n) in tilt_fault::counters() {
+            self.registry
+                .gauge_with("tilt_fault_injected_total", &[("site", &site)])
+                .set(n.min(i64::MAX as u64) as i64);
+        }
         self.registry.snapshot()
     }
 
@@ -523,6 +548,9 @@ impl SharedStats {
             self.checkpoints.get(),
             self.state_bytes_written.get(),
             self.state_bytes_read.get(),
+            // Appended in PR 10; must stay last-but-extendable — restore
+            // zips, so older snapshots with fewer entries still load.
+            self.spill_corrupt.get(),
         ]
     }
 
@@ -556,6 +584,7 @@ impl SharedStats {
             &self.checkpoints,
             &self.state_bytes_written,
             &self.state_bytes_read,
+            &self.spill_corrupt,
         ];
         for (target, v) in targets.iter().zip(vals) {
             target.add(*v);
@@ -622,6 +651,7 @@ impl SharedStats {
             spills: self.spills.get(),
             spill_revivals: self.spill_revivals.get(),
             migrations: self.migrations.get(),
+            spill_corrupt: self.spill_corrupt.get(),
             spilled_pending: self.spilled_pending.get().max(0) as usize,
             tombstone_dropped: self.tombstone_dropped.get(),
             queue_depths,
@@ -804,6 +834,10 @@ pub struct RuntimeStats {
     /// Keys migrated between shards ([`crate::StreamService::migrate_key`]
     /// / [`crate::StreamService::rebalance`]).
     pub migrations: u64,
+    /// Spill bundles that failed to read back from disk. Each one also
+    /// quarantined its key — this counter is what distinguishes disk
+    /// corruption from kernel panics in [`RuntimeStats::keys_quarantined`].
+    pub spill_corrupt: u64,
     /// Buffered events currently serialized inside spill or migration
     /// bundles (gauge). These are neither consumed nor resident in a
     /// reorder buffer, so [`RuntimeStats::conservation_balance`] counts

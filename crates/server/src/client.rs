@@ -4,24 +4,40 @@
 //!
 //! A [`Client`] owns one TCP connection. A background reader thread
 //! splits the incoming frame stream in two: request replies go to the
-//! (single) in-flight request, while [`Message::Output`] /
-//! [`Message::Eos`] frames are routed to their [`Subscription`]
-//! channels — so a subscriber can keep draining output while another
-//! thread of the same client is blocked waiting for an ingest credit.
-//! Requests are serialized behind a mutex: one outstanding request per
-//! connection, matching the server's in-order replies.
+//! (single) in-flight request, while output / [`Message::Eos`] frames
+//! are routed to their [`Subscription`] channels — so a subscriber can
+//! keep draining output while another thread of the same client is
+//! blocked waiting for an ingest credit. Requests are serialized behind
+//! a mutex: one outstanding request per connection, matching the
+//! server's in-order replies.
 //!
 //! Ingest is credit-driven: the client chunks batches to the server's
 //! current grant and waits for each chunk's [`Message::Credit`] /
 //! [`Message::Busy`] before sending the next, so a slow service
 //! backpressures the producer instead of ballooning socket buffers.
+//!
+//! # Self-healing
+//!
+//! With a [`RetryPolicy`] configured ([`Client::connect_with`]), a dead
+//! socket is not the end: the client redials with jittered exponential
+//! backoff, re-handshakes, and — on a version-3 connection — sends
+//! [`Message::Resume`] for every live subscription, so each subscriber
+//! observes every output frame exactly once across the reconnect (the
+//! client tracks each query's next expected sequence number and drops
+//! replayed duplicates). Requests other than ingest are retried once on
+//! the fresh connection; ingest is *not* auto-retried, because a batch
+//! that died mid-flight may or may not have been applied — the caller
+//! sees the error and decides. If the server's replay ring has already
+//! evicted part of the missed suffix, the subscription ends (its
+//! collector returns) and [`Client::resume_gaps`] counts the loss.
 
 use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::time::Duration;
 
 use tilt_data::{Event, Time, Value};
 use tilt_runtime::KeyedEvent;
@@ -70,6 +86,75 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Jittered exponential backoff for redialing a dead connection.
+/// Deterministic: the jitter is derived from `seed` and the attempt
+/// number, so a seeded chaos run reproduces its exact timing decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Redial attempts before giving up (at least 1).
+    pub max_attempts: u32,
+    /// Delay before the first attempt; doubles each attempt.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// SplitMix64: a tiny, high-quality mixer for deterministic jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// The delay before redial `attempt` (1-based): `base << (attempt-1)`
+    /// capped at `cap`, then jittered into `[50%, 100%]` of itself so a
+    /// fleet of reconnecting clients does not stampede in lockstep.
+    fn delay(&self, attempt: u32) -> Duration {
+        let shift = (attempt.saturating_sub(1)).min(16);
+        let exp = self.base.saturating_mul(1u32 << shift).min(self.cap);
+        let nanos = exp.as_nanos().min(u64::MAX as u128) as u64;
+        let jitter = splitmix64(self.seed ^ u64::from(attempt)) % (nanos / 2 + 1);
+        Duration::from_nanos(nanos - jitter)
+    }
+}
+
+/// Connection-level knobs. [`Client::connect`] uses the defaults (no
+/// retries, no timeouts — the legacy behavior); [`Client::connect_with`]
+/// takes the full set.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// The protocol version to offer in the handshake. Below 3 the
+    /// server sends unsequenced output and reconnects cannot resume.
+    pub version: u16,
+    /// `Some` enables automatic redial + re-handshake + subscriber
+    /// resume when the connection dies.
+    pub retry: Option<RetryPolicy>,
+    /// Socket read/write timeout. A connection that stalls longer is
+    /// declared dead (and, with `retry`, redialed).
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig { version: PROTOCOL_VERSION, retry: None, io_timeout: None }
+    }
+}
+
 /// A query attached over the wire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RemoteQuery {
@@ -111,7 +196,8 @@ enum SubItem {
 ///
 /// Frames arrive in per-key time order. The stream ends (every method
 /// reports exhaustion) when the server sends [`Message::Eos`] — on
-/// service shutdown or query detach — or the connection drops.
+/// service shutdown or query detach — or the connection drops beyond
+/// recovery.
 pub struct Subscription {
     rx: Receiver<SubItem>,
 }
@@ -152,16 +238,36 @@ impl RemoteStats {
     }
 }
 
-struct Shared {
-    /// Per-query routing for Output/Eos frames.
-    subs: Mutex<HashMap<u32, Sender<SubItem>>>,
+/// One live subscription's routing entry.
+struct SubEntry {
+    tx: Sender<SubItem>,
+    /// The next sequence number this subscriber expects — advanced on
+    /// every delivered [`Message::OutputSeq`], offered in
+    /// [`Message::Resume`] after a reconnect, and used to drop replayed
+    /// duplicates.
+    next_seq: u64,
 }
 
-/// Serializes requests: exactly one in flight per connection.
-struct ReqLane {
+/// Serializes requests: exactly one in flight per connection. `epoch`
+/// counts reconnects, so a dying reader can tell whether its connection
+/// has already been replaced.
+struct Lane {
     writer: TcpStream,
     replies: Receiver<Message>,
     credit: u32,
+    epoch: u64,
+}
+
+struct Inner {
+    addr: SocketAddr,
+    config: ClientConfig,
+    lane: Mutex<Lane>,
+    /// Per-query routing for output/Eos frames.
+    subs: Mutex<HashMap<u32, SubEntry>>,
+    reconnects: AtomicU64,
+    resume_gaps: AtomicU64,
+    /// Set by [`Client::drop`]; stops the reader from redialing.
+    closed: AtomicBool,
 }
 
 /// A blocking connection to a `tilt-server`.
@@ -182,74 +288,129 @@ struct ReqLane {
 /// assert!(per_key.contains_key(&7));
 /// ```
 pub struct Client {
-    lane: Mutex<ReqLane>,
-    shared: Arc<Shared>,
-    reader: Option<JoinHandle<()>>,
+    inner: Arc<Inner>,
+}
+
+/// The raw halves of one freshly handshaken connection.
+struct RawConn {
+    writer: TcpStream,
+    read_half: TcpStream,
+    credit: u32,
+}
+
+/// Dials and handshakes one connection under `config`.
+fn open_conn(addr: SocketAddr, config: &ClientConfig) -> Result<RawConn, ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    if let Some(limit) = config.io_timeout {
+        let _ = stream.set_read_timeout(Some(limit));
+        let _ = stream.set_write_timeout(Some(limit));
+    }
+    let mut writer = stream.try_clone()?;
+    write_message(&mut writer, &Message::Hello { version: config.version })?;
+    writer.flush()?;
+    // Read the HelloAck inline, before any reader thread exists.
+    let mut read_half = stream;
+    let credit = match read_message(&mut read_half) {
+        Ok((Message::HelloAck { version, credit }, _)) => {
+            if version != config.version {
+                return Err(ClientError::Protocol(format!(
+                    "offered version {}, server acked {version}",
+                    config.version
+                )));
+            }
+            credit
+        }
+        Ok((Message::Error { code, message }, _)) => {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok((other, _)) => {
+            return Err(ClientError::Protocol(format!("expected HelloAck, got {other:?}")));
+        }
+        Err(RecvError::Closed) => return Err(ClientError::Closed),
+        Err(RecvError::Io(e)) => return Err(ClientError::Io(e)),
+        Err(RecvError::Decode(e)) => return Err(ClientError::Protocol(e.to_string())),
+    };
+    Ok(RawConn { writer, read_half, credit })
 }
 
 impl Client {
-    /// Connects and performs the version handshake.
+    /// Connects and performs the version handshake, with the default
+    /// [`ClientConfig`] (no retries, no timeouts).
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        Client::handshake(stream)
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(io::Error::other("address resolved to nothing")))?;
+        Client::connect_with(addr, ClientConfig::default())
     }
 
     /// [`Client::connect`] for an already resolved address.
     pub fn connect_addr(addr: SocketAddr) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        Client::handshake(stream)
+        Client::connect_with(addr, ClientConfig::default())
     }
 
-    fn handshake(stream: TcpStream) -> Result<Client, ClientError> {
-        let _ = stream.set_nodelay(true);
-        let mut writer = stream.try_clone()?;
-        write_message(&mut writer, &Message::Hello { version: PROTOCOL_VERSION })?;
-        writer.flush()?;
-        // Read the HelloAck inline, before the reader thread exists.
-        let mut read_half = stream;
-        let credit = match read_message(&mut read_half) {
-            Ok((Message::HelloAck { version, credit }, _)) => {
-                if version != PROTOCOL_VERSION {
-                    return Err(ClientError::Protocol(format!(
-                        "server acked unsupported version {version}"
-                    )));
-                }
-                credit
-            }
-            Ok((Message::Error { code, message }, _)) => {
-                return Err(ClientError::Server { code, message });
-            }
-            Ok((other, _)) => {
-                return Err(ClientError::Protocol(format!("expected HelloAck, got {other:?}")));
-            }
-            Err(RecvError::Closed) => return Err(ClientError::Closed),
-            Err(RecvError::Io(e)) => return Err(ClientError::Io(e)),
-            Err(RecvError::Decode(e)) => return Err(ClientError::Protocol(e.to_string())),
-        };
-        let shared = Arc::new(Shared { subs: Mutex::new(HashMap::new()) });
+    /// Connects with explicit connection-level configuration.
+    pub fn connect_with(addr: SocketAddr, config: ClientConfig) -> Result<Client, ClientError> {
+        let conn = open_conn(addr, &config)?;
         let (reply_tx, reply_rx) = channel();
-        let reader = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("tilt-client-reader".into())
-                .spawn(move || reader_loop(read_half, shared, reply_tx))
-                .map_err(ClientError::Io)?
-        };
-        Ok(Client {
-            lane: Mutex::new(ReqLane { writer, replies: reply_rx, credit: credit.max(1) }),
-            shared,
-            reader: Some(reader),
-        })
+        let inner = Arc::new(Inner {
+            addr,
+            config,
+            lane: Mutex::new(Lane {
+                writer: conn.writer,
+                replies: reply_rx,
+                credit: conn.credit.max(1),
+                epoch: 0,
+            }),
+            subs: Mutex::new(HashMap::new()),
+            reconnects: AtomicU64::new(0),
+            resume_gaps: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        spawn_reader(&inner, conn.read_half, reply_tx, 0)?;
+        Ok(Client { inner })
+    }
+
+    /// How many times this client has successfully redialed and
+    /// re-handshaken after losing its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// How many subscriptions ended because the server's replay ring had
+    /// already evicted part of the suffix a resume asked for.
+    pub fn resume_gaps(&self) -> u64 {
+        self.inner.resume_gaps.load(Ordering::Relaxed)
+    }
+
+    /// Test helper: severs the underlying socket, as a crashed link or
+    /// middlebox would. With a [`RetryPolicy`] configured the client
+    /// heals itself: the reader notices, redials, and resumes every live
+    /// subscription.
+    pub fn kill_connection(&self) {
+        let lane = self.inner.lane.lock().expect("request lane lock");
+        let _ = lane.writer.shutdown(Shutdown::Both);
     }
 
     /// Sends one request frame and waits for its reply. `Error` replies
-    /// become [`ClientError::Server`].
+    /// become [`ClientError::Server`]. If the connection died and a
+    /// [`RetryPolicy`] is configured, reconnects and retries once.
     fn request(&self, msg: &Message) -> Result<Message, ClientError> {
-        let mut lane = self.lane.lock().expect("request lane lock");
-        Client::request_on(&mut lane, msg)
+        let mut lane = self.inner.lane.lock().expect("request lane lock");
+        match Client::request_on(&mut lane, msg) {
+            Err(e)
+                if matches!(e, ClientError::Io(_) | ClientError::Closed)
+                    && self.inner.config.retry.is_some() =>
+            {
+                reconnect_locked(&self.inner, &mut lane)?;
+                Client::request_on(&mut lane, msg)
+            }
+            other => other,
+        }
     }
 
-    fn request_on(lane: &mut ReqLane, msg: &Message) -> Result<Message, ClientError> {
+    fn request_on(lane: &mut Lane, msg: &Message) -> Result<Message, ClientError> {
         write_message(&mut lane.writer, msg)?;
         lane.writer.flush()?;
         match lane.replies.recv() {
@@ -288,15 +449,15 @@ impl Client {
         // Register the route first: output may start the instant the
         // server processes the request, before the reply arrives here.
         let (tx, rx) = channel();
-        self.shared.subs.lock().expect("subs lock").insert(query.id, tx);
+        self.inner.subs.lock().expect("subs lock").insert(query.id, SubEntry { tx, next_seq: 0 });
         match self.request(&Message::Subscribe { query: query.id }) {
             Ok(Message::Ok) => Ok(Subscription { rx }),
             Ok(other) => {
-                self.shared.subs.lock().expect("subs lock").remove(&query.id);
+                self.inner.subs.lock().expect("subs lock").remove(&query.id);
                 Err(ClientError::Protocol(format!("expected Ok, got {other:?}")))
             }
             Err(e) => {
-                self.shared.subs.lock().expect("subs lock").remove(&query.id);
+                self.inner.subs.lock().expect("subs lock").remove(&query.id);
                 Err(e)
             }
         }
@@ -305,6 +466,10 @@ impl Client {
     /// Delivers a batch of events, chunked to the server's credit grants
     /// and waiting for each chunk's acknowledgement — the producer-side
     /// half of the backpressure loop.
+    ///
+    /// Never auto-retried: a chunk that died mid-flight may or may not
+    /// have been applied, and only the caller can decide whether
+    /// re-sending (at-least-once) is acceptable.
     pub fn ingest<I: IntoIterator<Item = KeyedEvent>>(
         &self,
         events: I,
@@ -314,7 +479,7 @@ impl Client {
             .map(|ke| WireEvent { key: ke.key, source: ke.source as u32, event: ke.event })
             .collect();
         let mut report = IngestReport { events: wire.len(), frames: 0, busy: 0 };
-        let mut lane = self.lane.lock().expect("request lane lock");
+        let mut lane = self.inner.lane.lock().expect("request lane lock");
         let mut rest = wire.as_slice();
         while !rest.is_empty() {
             let take = rest.len().min(lane.credit.max(1) as usize);
@@ -340,7 +505,7 @@ impl Client {
     /// Broadcasts an explicit watermark promise for one source
     /// (fire-and-forget: no reply).
     pub fn watermark(&self, source: usize, time: Time) -> Result<(), ClientError> {
-        let mut lane = self.lane.lock().expect("request lane lock");
+        let mut lane = self.inner.lane.lock().expect("request lane lock");
         write_message(
             &mut lane.writer,
             &Message::Watermark { source: source as u32, time: time.ticks() },
@@ -422,30 +587,126 @@ impl Client {
 
 impl Drop for Client {
     fn drop(&mut self) {
-        if let Ok(lane) = self.lane.lock() {
+        self.inner.closed.store(true, Ordering::Release);
+        if let Ok(lane) = self.inner.lane.lock() {
             let _ = lane.writer.shutdown(Shutdown::Both);
-        }
-        if let Some(h) = self.reader.take() {
-            let _ = h.join();
         }
     }
 }
 
-/// Routes incoming frames: Output/Eos to their subscription channels,
-/// everything else to the in-flight request.
-fn reader_loop(stream: TcpStream, shared: Arc<Shared>, replies: Sender<Message>) {
+/// Spawns the reader thread for one connection epoch.
+fn spawn_reader(
+    inner: &Arc<Inner>,
+    read_half: TcpStream,
+    replies: Sender<Message>,
+    epoch: u64,
+) -> Result<(), ClientError> {
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("tilt-client-reader-{epoch}"))
+        .spawn(move || reader_loop(read_half, inner, replies, epoch))
+        .map_err(ClientError::Io)?;
+    Ok(())
+}
+
+/// Redials, re-handshakes, and resumes every live subscription, under
+/// the already-held lane lock (requests block until the lane is whole
+/// again). Jittered exponential backoff between attempts.
+fn reconnect_locked(inner: &Arc<Inner>, lane: &mut Lane) -> Result<(), ClientError> {
+    let Some(policy) = inner.config.retry else {
+        return Err(ClientError::Closed);
+    };
+    if inner.closed.load(Ordering::Acquire) {
+        return Err(ClientError::Closed);
+    }
+    let mut last = ClientError::Closed;
+    for attempt in 1..=policy.max_attempts.max(1) {
+        std::thread::sleep(policy.delay(attempt));
+        let conn = match open_conn(inner.addr, &inner.config) {
+            Ok(c) => c,
+            Err(e) => {
+                last = e;
+                continue;
+            }
+        };
+        let (reply_tx, reply_rx) = channel();
+        lane.epoch += 1;
+        lane.writer = conn.writer;
+        lane.replies = reply_rx;
+        lane.credit = conn.credit.max(1);
+        spawn_reader(inner, conn.read_half, reply_tx, lane.epoch)?;
+        inner.reconnects.fetch_add(1, Ordering::Relaxed);
+        resume_subscriptions(inner, lane);
+        return Ok(());
+    }
+    Err(last)
+}
+
+/// Re-joins every live subscription on a fresh connection. Version-3
+/// connections resume exactly where they left off; on older versions
+/// (no [`Message::Resume`]) the subscriptions cannot be made whole, so
+/// they end instead of silently gapping.
+fn resume_subscriptions(inner: &Arc<Inner>, lane: &mut Lane) {
+    let live: Vec<(u32, u64)> = inner
+        .subs
+        .lock()
+        .expect("subs lock")
+        .iter()
+        .map(|(query, entry)| (*query, entry.next_seq))
+        .collect();
+    for (query, next_seq) in live {
+        let end_sub = |gap: bool| {
+            if gap {
+                inner.resume_gaps.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(entry) = inner.subs.lock().expect("subs lock").remove(&query) {
+                let _ = entry.tx.send(SubItem::Eos);
+            }
+        };
+        if inner.config.version < 3 {
+            end_sub(false);
+            continue;
+        }
+        match Client::request_on(lane, &Message::Resume { query, next_seq }) {
+            // Replayed frames follow on the reader thread, routed and
+            // de-duplicated like any live frame.
+            Ok(Message::Resumed { .. }) => {}
+            Err(ClientError::Server { code: ErrorCode::ResumeGap, .. }) => end_sub(true),
+            // Unknown query, shutdown, transport death, …: the stream
+            // cannot continue.
+            _ => end_sub(false),
+        }
+    }
+}
+
+/// Routes incoming frames: output/Eos to their subscription channels,
+/// everything else to the in-flight request. When the connection dies,
+/// attempts the self-heal path (redial + resume) if configured and not
+/// already handled by a concurrent request.
+fn reader_loop(stream: TcpStream, inner: Arc<Inner>, replies: Sender<Message>, epoch: u64) {
     let mut stream = std::io::BufReader::new(stream);
     loop {
         match read_message(&mut stream) {
             Ok((Message::Output { query, key, events }, _)) => {
-                let tx = shared.subs.lock().expect("subs lock").get(&query).cloned();
-                if let Some(tx) = tx {
-                    let _ = tx.send(SubItem::Output(key, events));
+                let subs = inner.subs.lock().expect("subs lock");
+                if let Some(entry) = subs.get(&query) {
+                    let _ = entry.tx.send(SubItem::Output(key, events));
+                }
+            }
+            Ok((Message::OutputSeq { query, seq, key, events }, _)) => {
+                let mut subs = inner.subs.lock().expect("subs lock");
+                if let Some(entry) = subs.get_mut(&query) {
+                    // Drop already-seen frames (replay overlap): each
+                    // seq is delivered at most once.
+                    if seq >= entry.next_seq {
+                        entry.next_seq = seq + 1;
+                        let _ = entry.tx.send(SubItem::Output(key, events));
+                    }
                 }
             }
             Ok((Message::Eos { query }, _)) => {
-                if let Some(tx) = shared.subs.lock().expect("subs lock").remove(&query) {
-                    let _ = tx.send(SubItem::Eos);
+                if let Some(entry) = inner.subs.lock().expect("subs lock").remove(&query) {
+                    let _ = entry.tx.send(SubItem::Eos);
                 }
             }
             Ok((reply, _)) => {
@@ -456,6 +717,22 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, replies: Sender<Message>)
             Err(_) => break,
         }
     }
-    // Connection gone: end every live subscription so collectors return.
-    shared.subs.lock().expect("subs lock").clear();
+    // Unblock any request waiting on this connection's replies *before*
+    // taking the lane lock (the waiter holds it).
+    drop(replies);
+    // Self-heal: redial unless the client is closing, retries are off,
+    // or a concurrent request already replaced the connection.
+    if inner.config.retry.is_some() && !inner.closed.load(Ordering::Acquire) {
+        let mut lane = inner.lane.lock().expect("request lane lock");
+        if lane.epoch != epoch {
+            return; // already healed by the request path
+        }
+        if reconnect_locked(&inner, &mut lane).is_ok() {
+            return;
+        }
+    }
+    // No recovery: end every live subscription so collectors return.
+    for (_, entry) in inner.subs.lock().expect("subs lock").drain() {
+        let _ = entry.tx.send(SubItem::Eos);
+    }
 }

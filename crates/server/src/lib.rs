@@ -31,5 +31,8 @@ pub mod protocol;
 mod client;
 mod server;
 
-pub use client::{Client, ClientError, IngestReport, RemoteQuery, RemoteStats, Subscription};
-pub use server::{Server, BUSY_CREDIT, INITIAL_CREDIT};
+pub use client::{
+    Client, ClientConfig, ClientError, IngestReport, RemoteQuery, RemoteStats, RetryPolicy,
+    Subscription,
+};
+pub use server::{Server, ServerConfig, BUSY_CREDIT, INITIAL_CREDIT};

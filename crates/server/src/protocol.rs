@@ -51,8 +51,11 @@ use tilt_data::{Event, Time, Value};
 
 /// The newest protocol version this build speaks. Version 2 added the
 /// durability control plane ([`Message::Checkpoint`] /
-/// [`Message::Restore`] / [`Message::Restored`]).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// [`Message::Restore`] / [`Message::Restored`]). Version 3 added
+/// subscriber resume: sequence-numbered output frames
+/// ([`Message::OutputSeq`]), the [`Message::Resume`] request, and its
+/// [`Message::Resumed`] reply.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The oldest client version the server still accepts. A version-1
 /// connection speaks the full pre-durability surface unchanged.
@@ -86,6 +89,11 @@ pub enum ErrorCode {
     Conflict,
     /// Anything else.
     Internal,
+    /// A [`Message::Resume`] asked for sequence numbers the server's
+    /// bounded replay ring has already evicted — the subscriber fell too
+    /// far behind to resume losslessly and must re-subscribe, accepting
+    /// the gap.
+    ResumeGap,
 }
 
 impl ErrorCode {
@@ -99,6 +107,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 6,
             ErrorCode::Conflict => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::ResumeGap => 9,
         }
     }
 
@@ -112,6 +121,7 @@ impl ErrorCode {
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::Conflict,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::ResumeGap,
             _ => return None,
         })
     }
@@ -251,6 +261,19 @@ pub enum Message {
         /// Catalog names filling the recorded roster slots, in order.
         queries: Vec<String>,
     },
+    /// Re-join a query's output stream after a reconnect, replaying the
+    /// missed suffix from the server's bounded per-query replay ring.
+    /// Answered with [`Message::Resumed`] (followed immediately by every
+    /// retained [`Message::OutputSeq`] frame with `seq >= next_seq`,
+    /// exactly once, in order) or [`Message::Error`]
+    /// ([`ErrorCode::ResumeGap`] when the ring has already evicted part
+    /// of the requested suffix). Requires protocol version 3.
+    Resume {
+        /// The query id from [`Message::Attached`].
+        query: u32,
+        /// The first sequence number the subscriber has *not* seen.
+        next_seq: u64,
+    },
 
     // ── server → client ────────────────────────────────────────────────
     /// Handshake accept: the version the server speaks and the initial
@@ -326,6 +349,30 @@ pub enum Message {
     Restored {
         /// `(id, frontier ticks)` per live restored query, in slot order.
         queries: Vec<(u32, i64)>,
+    },
+    /// One key's newly finalized events for one subscribed query, tagged
+    /// with the query's delivery sequence number. Version-3 connections
+    /// receive this instead of [`Message::Output`]; `seq` is contiguous
+    /// and monotone per query across *all* of the query's output frames
+    /// (shared by every subscriber), which is what makes
+    /// [`Message::Resume`] exact.
+    OutputSeq {
+        /// The subscribed query.
+        query: u32,
+        /// This frame's position in the query's output stream (0-based).
+        seq: u64,
+        /// The key these events belong to.
+        key: u64,
+        /// The finalized events.
+        events: Vec<Event<Value>>,
+    },
+    /// Reply to a successful [`Message::Resume`]: the replayed suffix
+    /// follows this frame on the same connection.
+    Resumed {
+        /// The resumed query.
+        query: u32,
+        /// Retained frames about to be replayed (0 = nothing was missed).
+        replayed: u64,
     },
 }
 
@@ -529,6 +576,11 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 e.str(name);
             }
         }
+        Message::Resume { query, next_seq } => {
+            e.u8(0x0E);
+            e.u32(*query);
+            e.u64(*next_seq);
+        }
         Message::HelloAck { version, credit } => {
             e.u8(0x81);
             e.u16(*version);
@@ -586,6 +638,21 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 e.u32(*id);
                 e.i64(*frontier);
             }
+        }
+        Message::OutputSeq { query, seq, key, events } => {
+            e.u8(0x8C);
+            e.u32(*query);
+            e.u64(*seq);
+            e.u64(*key);
+            e.u32(events.len() as u32);
+            for ev in events {
+                e.event(ev);
+            }
+        }
+        Message::Resumed { query, replayed } => {
+            e.u8(0x8D);
+            e.u32(*query);
+            e.u64(*replayed);
         }
     }
     e.buf
@@ -737,6 +804,7 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             }
             Message::Restore { path, queries }
         }
+        0x0E => Message::Resume { query: d.u32()?, next_seq: d.u64()? },
         0x81 => Message::HelloAck { version: d.u16()?, credit: d.u32()? },
         0x82 => Message::Credit { grant: d.u32()? },
         0x83 => Message::Busy { grant: d.u32()? },
@@ -784,6 +852,19 @@ pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
             }
             Message::Restored { queries }
         }
+        0x8C => {
+            let query = d.u32()?;
+            let seq = d.u64()?;
+            let key = d.u64()?;
+            // start(8) + end(8) + value tag(1)
+            let n = d.count(17)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(d.event()?);
+            }
+            Message::OutputSeq { query, seq, key, events }
+        }
+        0x8D => Message::Resumed { query: d.u32()?, replayed: d.u64()? },
         tag => return Err(WireError::BadTag { what: "message", tag }),
     };
     if d.remaining() > 0 {
@@ -886,6 +967,21 @@ mod tests {
         });
         roundtrip(Message::Restored { queries: vec![] });
         roundtrip(Message::Restored { queries: vec![(0, 0), (2, -5), (u32::MAX, i64::MAX)] });
+        roundtrip(Message::Resume { query: 0, next_seq: 0 });
+        roundtrip(Message::Resume { query: 3, next_seq: u64::MAX });
+        roundtrip(Message::OutputSeq { query: 1, seq: 0, key: u64::MAX, events: vec![] });
+        roundtrip(Message::OutputSeq {
+            query: 3,
+            seq: 9_000_000_000,
+            key: 42,
+            events: vec![Event::new(
+                Time::new(-5),
+                Time::new(0),
+                Value::tuple([Value::Int(1), Value::Str(Arc::from("hi")), Value::Null]),
+            )],
+        });
+        roundtrip(Message::Resumed { query: 3, replayed: 0 });
+        roundtrip(Message::Resumed { query: u32::MAX, replayed: u64::MAX });
     }
 
     #[test]

@@ -29,16 +29,16 @@
 //! see [`crate::protocol`] — so no byte sequence a client sends can
 //! panic a shard or the handler.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tilt_core::CompiledQuery;
-use tilt_data::Time;
+use tilt_data::{Event, Time, Value};
 use tilt_obs::{Counter, Gauge};
 use tilt_runtime::{
     ControlEvent, KeyedEvent, QueryHandle, QuerySettings, RuntimeConfig, RuntimeStats,
@@ -46,8 +46,8 @@ use tilt_runtime::{
 };
 
 use crate::protocol::{
-    read_message, write_message, ErrorCode, Message, RecvError, TextKind, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    read_message, write_message, ErrorCode, Message, RecvError, TextKind, WireError,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Events a client may put in one [`Message::Ingest`] frame on the happy
@@ -63,6 +63,42 @@ pub const BUSY_CREDIT: u32 = 256;
 /// slow consumer can block a shard thread.
 const WRITE_STALL_LIMIT: Duration = Duration::from_secs(5);
 
+/// Knobs for the connection supervisor and subscriber-resume machinery,
+/// on top of the runtime configuration the service itself is started
+/// with. [`Server::start`] uses [`ServerConfig::default`] for everything
+/// but the runtime; [`Server::start_with`] takes the full set.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// The runtime configuration for the owned [`StreamService`].
+    pub runtime: RuntimeConfig,
+    /// Disconnect a peer whose socket stays silent this long between
+    /// frames (`None` = wait forever). Counted in
+    /// `tilt_server_idle_disconnects_total`.
+    pub idle_timeout: Option<Duration>,
+    /// How many *recoverable* malformed frames (frame fully read, payload
+    /// failed to decode) one connection may send before it is dropped.
+    /// Desynchronizing errors (oversize headers, torn frames) always
+    /// close immediately. Exhaustion is counted in
+    /// `tilt_server_budget_disconnects_total`.
+    pub decode_error_budget: u32,
+    /// Output frames retained per query for [`Message::Resume`] replay.
+    /// A reconnecting subscriber further behind than this earns
+    /// [`ErrorCode::ResumeGap`]. Evictions are counted in
+    /// `tilt_server_replay_ring_evictions_total`.
+    pub replay_ring_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            runtime: RuntimeConfig::default(),
+            idle_timeout: None,
+            decode_error_budget: 3,
+            replay_ring_capacity: 1024,
+        }
+    }
+}
+
 /// Server-side connection/byte/credit accounting, registered in the
 /// *service's* metrics registry so one scrape covers both layers.
 /// Cloning shares the underlying counters (the fields are `Arc`s).
@@ -76,6 +112,11 @@ struct NetStats {
     frames_out: Arc<Counter>,
     credit_stalls: Arc<Counter>,
     decode_errors: Arc<Counter>,
+    resume_replays: Arc<Counter>,
+    resume_gaps: Arc<Counter>,
+    ring_evictions: Arc<Counter>,
+    idle_disconnects: Arc<Counter>,
+    budget_disconnects: Arc<Counter>,
 }
 
 impl NetStats {
@@ -89,6 +130,11 @@ impl NetStats {
             frames_out: registry.counter("tilt_server_frames_out_total"),
             credit_stalls: registry.counter("tilt_server_credit_stalls_total"),
             decode_errors: registry.counter("tilt_server_decode_errors_total"),
+            resume_replays: registry.counter("tilt_server_resume_replays_total"),
+            resume_gaps: registry.counter("tilt_server_resume_gaps_total"),
+            ring_evictions: registry.counter("tilt_server_replay_ring_evictions_total"),
+            idle_disconnects: registry.counter("tilt_server_idle_disconnects_total"),
+            budget_disconnects: registry.counter("tilt_server_budget_disconnects_total"),
         }
     }
 
@@ -104,6 +150,11 @@ impl NetStats {
         next.frames_out.add(self.frames_out.get());
         next.credit_stalls.add(self.credit_stalls.get());
         next.decode_errors.add(self.decode_errors.get());
+        next.resume_replays.add(self.resume_replays.get());
+        next.resume_gaps.add(self.resume_gaps.get());
+        next.ring_evictions.add(self.ring_evictions.get());
+        next.idle_disconnects.add(self.idle_disconnects.get());
+        next.budget_disconnects.add(self.budget_disconnects.get());
         next
     }
 }
@@ -114,6 +165,10 @@ struct ConnShared {
     id: u64,
     writer: Mutex<TcpStream>,
     alive: AtomicBool,
+    /// The negotiated protocol version (0 until the handshake lands).
+    /// Decides whether output fan-out uses [`Message::OutputSeq`] (v3+)
+    /// or the legacy [`Message::Output`].
+    version: AtomicU32,
 }
 
 impl ConnShared {
@@ -125,6 +180,11 @@ impl ConnShared {
             return false;
         }
         let mut w = self.writer.lock().expect("conn writer lock");
+        tilt_fault::fail_point!("server.conn.write", {
+            self.alive.store(false, Ordering::Release);
+            let _ = w.shutdown(Shutdown::Both);
+            return false;
+        });
         match write_message(&mut *w, msg).and_then(|n| w.flush().map(|_| n)) {
             Ok(n) => {
                 net.bytes_out.add(n as u64);
@@ -138,6 +198,25 @@ impl ConnShared {
             }
         }
     }
+
+    /// Whether this connection negotiated resume-capable version 3.
+    fn wants_seq(&self) -> bool {
+        self.version.load(Ordering::Relaxed) >= 3
+    }
+}
+
+/// Per-query delivery state shared by the fan-out sink, the subscribe /
+/// resume handlers, and connection teardown. One lock covers sequence
+/// assignment, the replay ring, and the subscriber list, so every
+/// subscriber observes the frame sequence gap-free and in order.
+#[derive(Default)]
+struct SubState {
+    /// The sequence number the next output frame will carry.
+    next_seq: u64,
+    /// The most recent frames, oldest first: `(seq, key, events)`.
+    ring: VecDeque<(u64, u64, Vec<Event<Value>>)>,
+    /// Connections currently receiving this query's output.
+    conns: Vec<Arc<ConnShared>>,
 }
 
 /// The service slot: running until the first successful
@@ -164,12 +243,18 @@ struct Inner {
     catalog: Vec<(String, Arc<CompiledQuery>)>,
     /// Wire query id (== [`QueryHandle::index`]) → handle.
     handles: Mutex<HashMap<u32, QueryHandle>>,
-    /// Wire query id → connections subscribed to its output.
-    subs: Mutex<HashMap<u32, Vec<Arc<ConnShared>>>>,
+    /// Wire query id → that query's delivery state. An entry appears on
+    /// the first subscribe, outlives every individual subscriber (the
+    /// ring keeps recording so a reconnect can resume), and is removed
+    /// when the query ends (Eos).
+    subs: Mutex<HashMap<u32, Arc<Mutex<SubState>>>>,
     /// Behind a lock so a restore can re-home the counters into the
     /// replacement service's registry ([`NetStats::rehome`]).
     net: RwLock<NetStats>,
     running: AtomicBool,
+    idle_timeout: Option<Duration>,
+    decode_error_budget: u32,
+    replay_ring_capacity: usize,
 }
 
 impl Inner {
@@ -179,30 +264,61 @@ impl Inner {
         self.net.read().expect("net lock").clone()
     }
 
-    /// The fan-out sink for `query`: reads the subscriber list at call
-    /// time, so connections can come and go while shards keep streaming.
+    /// The delivery state for `query`, created on first use.
+    fn substate(&self, query: u32) -> Arc<Mutex<SubState>> {
+        Arc::clone(self.subs.lock().expect("subs lock").entry(query).or_default())
+    }
+
+    /// The fan-out sink for `query`: assigns the frame its sequence
+    /// number, records it in the replay ring, and sends it to every
+    /// live subscriber — all under the query's delivery lock, so the
+    /// sequence each connection observes is gap-free and monotone.
+    /// Records even with zero subscribers, so a resume after a full
+    /// disconnect still replays the missed suffix.
     fn fanout_sink(self: &Arc<Self>, query: u32) -> tilt_runtime::OutputSink {
         let inner = Arc::clone(self);
+        let sub = self.substate(query);
         Arc::new(move |key, events| {
-            let conns = {
-                let subs = inner.subs.lock().expect("subs lock");
-                match subs.get(&query) {
-                    Some(v) if !v.is_empty() => v.clone(),
-                    _ => return,
-                }
-            };
-            let msg = Message::Output { query, key, events: events.to_vec() };
-            for conn in conns {
-                conn.send(&msg, &inner.net());
+            let net = inner.net();
+            let mut st = sub.lock().expect("substate lock");
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.ring.push_back((seq, key, events.to_vec()));
+            while st.ring.len() > inner.replay_ring_capacity {
+                st.ring.pop_front();
+                net.ring_evictions.inc();
+            }
+            let mut legacy: Option<Message> = None;
+            let mut seqd: Option<Message> = None;
+            for conn in &st.conns {
+                let msg = if conn.wants_seq() {
+                    seqd.get_or_insert_with(|| Message::OutputSeq {
+                        query,
+                        seq,
+                        key,
+                        events: events.to_vec(),
+                    })
+                } else {
+                    legacy.get_or_insert_with(|| Message::Output {
+                        query,
+                        key,
+                        events: events.to_vec(),
+                    })
+                };
+                conn.send(msg, &net);
             }
         })
     }
 
-    /// Sends `Eos` to every subscriber of `query` and clears the list.
+    /// Sends `Eos` to every subscriber of `query` and retires its
+    /// delivery state (the stream is over; there is nothing to resume).
     fn finish_subscribers(&self, query: u32) {
-        let conns = self.subs.lock().expect("subs lock").remove(&query).unwrap_or_default();
-        for conn in conns {
-            conn.send(&Message::Eos { query }, &self.net());
+        let sub = self.subs.lock().expect("subs lock").remove(&query);
+        if let Some(sub) = sub {
+            let st = sub.lock().expect("substate lock");
+            for conn in &st.conns {
+                conn.send(&Message::Eos { query }, &self.net());
+            }
         }
     }
 
@@ -233,6 +349,11 @@ impl Inner {
         fields.push(("frames_out".into(), net.frames_out.get() as i64));
         fields.push(("credit_stalls".into(), net.credit_stalls.get() as i64));
         fields.push(("decode_errors".into(), net.decode_errors.get() as i64));
+        fields.push(("resume_replays".into(), net.resume_replays.get() as i64));
+        fields.push(("resume_gaps".into(), net.resume_gaps.get() as i64));
+        fields.push(("ring_evictions".into(), net.ring_evictions.get() as i64));
+        fields.push(("idle_disconnects".into(), net.idle_disconnects.get() as i64));
+        fields.push(("budget_disconnects".into(), net.budget_disconnects.get() as i64));
         fields
     }
 }
@@ -271,12 +392,21 @@ pub struct Server {
 impl Server {
     /// Starts an empty attach-first service and serves it on an
     /// ephemeral loopback port. `catalog` maps attachable names to
-    /// prepared queries.
+    /// prepared queries. Supervisor knobs take their defaults; use
+    /// [`Server::start_with`] to set them.
     pub fn start(
         config: RuntimeConfig,
         catalog: Vec<(String, Arc<CompiledQuery>)>,
     ) -> std::io::Result<Server> {
-        Server::bind("127.0.0.1:0", config, catalog)
+        Server::start_with(ServerConfig { runtime: config, ..ServerConfig::default() }, catalog)
+    }
+
+    /// Like [`Server::start`], with explicit supervisor configuration.
+    pub fn start_with(
+        config: ServerConfig,
+        catalog: Vec<(String, Arc<CompiledQuery>)>,
+    ) -> std::io::Result<Server> {
+        Server::bind_with("127.0.0.1:0", config, catalog)
     }
 
     /// Like [`Server::start`], on an explicit bind address.
@@ -285,9 +415,22 @@ impl Server {
         config: RuntimeConfig,
         catalog: Vec<(String, Arc<CompiledQuery>)>,
     ) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            ServerConfig { runtime: config, ..ServerConfig::default() },
+            catalog,
+        )
+    }
+
+    /// Like [`Server::start_with`], on an explicit bind address.
+    pub fn bind_with(
+        addr: &str,
+        config: ServerConfig,
+        catalog: Vec<(String, Arc<CompiledQuery>)>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let service = StreamService::start(config);
+        let service = StreamService::start(config.runtime);
         let net = NetStats::new(&service.registry());
         let inner = Arc::new(Inner {
             slot: RwLock::new(Slot::Running(service)),
@@ -296,6 +439,9 @@ impl Server {
             subs: Mutex::new(HashMap::new()),
             net: RwLock::new(net),
             running: AtomicBool::new(true),
+            idle_timeout: config.idle_timeout,
+            decode_error_budget: config.decode_error_budget,
+            replay_ring_capacity: config.replay_ring_capacity,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let conns = Arc::new(Mutex::new(Vec::<Arc<ConnShared>>::new()));
@@ -316,6 +462,9 @@ impl Server {
                     let id = next_id.fetch_add(1, Ordering::Relaxed);
                     let _ = stream.set_nodelay(true);
                     let _ = stream.set_write_timeout(Some(WRITE_STALL_LIMIT));
+                    if let Some(limit) = inner.idle_timeout {
+                        let _ = stream.set_read_timeout(Some(limit));
+                    }
                     let writer = match stream.try_clone() {
                         Ok(w) => w,
                         Err(_) => continue,
@@ -324,6 +473,7 @@ impl Server {
                         id,
                         writer: Mutex::new(writer),
                         alive: AtomicBool::new(true),
+                        version: AtomicU32::new(0),
                     });
                     conns.lock().expect("conns lock").push(Arc::clone(&conn));
                     inner.net().conns_total.inc();
@@ -392,28 +542,61 @@ impl Drop for Server {
     }
 }
 
+/// Reads one frame, applying the `server.frame.decode` failpoint (an
+/// injected failure lands exactly like a malformed-but-fully-read frame,
+/// which is the recoverable kind the error budget covers).
+fn read_frame(r: &mut impl std::io::Read) -> Result<(Message, usize), RecvError> {
+    let got = read_message(r)?;
+    tilt_fault::fail_point!("server.frame.decode", {
+        return Err(RecvError::Decode(WireError::BadTag { what: "message (injected)", tag: 0xFF }));
+    });
+    Ok(got)
+}
+
 /// Runs one connection: handshake, then request/reply until the peer
-/// closes, errs, or sends garbage.
+/// closes, errs, idles out, or exhausts its decode-error budget.
 fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     // `Some(version)` once the handshake completed.
     let mut greeted: Option<u16> = None;
+    let mut decode_errors = 0u32;
     loop {
-        let msg = match read_message(&mut reader) {
+        let msg = match read_frame(&mut reader) {
             Ok((msg, n)) => {
                 inner.net().bytes_in.add(n as u64);
                 inner.net().frames_in.inc();
                 msg
             }
             Err(RecvError::Closed) => break,
-            Err(RecvError::Io(_)) => break,
+            Err(RecvError::Io(e)) => {
+                if inner.idle_timeout.is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    )
+                {
+                    inner.net().idle_disconnects.inc();
+                }
+                break;
+            }
             Err(RecvError::Decode(e)) => {
                 inner.net().decode_errors.inc();
                 conn.send(
                     &Message::Error { code: ErrorCode::Protocol, message: e.to_string() },
                     &inner.net(),
                 );
-                break;
+                // An oversize header leaves the unread payload in the
+                // stream — unrecoverable desync. Anything else was a
+                // fully read frame; tolerate it within the budget.
+                decode_errors += 1;
+                if matches!(e, WireError::Oversize(_)) {
+                    break;
+                }
+                if decode_errors > inner.decode_error_budget {
+                    inner.net().budget_disconnects.inc();
+                    break;
+                }
+                continue;
             }
         };
         if greeted.is_none() {
@@ -424,6 +607,7 @@ fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
                     // Negotiate down to the client's version; v2-only
                     // requests on the connection are then refused.
                     greeted = Some(version);
+                    conn.version.store(version as u32, Ordering::Relaxed);
                     conn.send(&Message::HelloAck { version, credit: INITIAL_CREDIT }, &inner.net());
                     continue;
                 }
@@ -457,11 +641,14 @@ fn handle_conn(inner: Arc<Inner>, conn: Arc<ConnShared>, stream: TcpStream) {
             break;
         }
     }
-    // Cleanup: leave every subscription and close the books.
+    // Cleanup: leave every subscription (the delivery state itself
+    // stays — its ring keeps recording so the peer can resume) and
+    // close the books.
     {
-        let mut subs = inner.subs.lock().expect("subs lock");
-        for list in subs.values_mut() {
-            list.retain(|c| c.id != conn.id);
+        let states: Vec<Arc<Mutex<SubState>>> =
+            inner.subs.lock().expect("subs lock").values().cloned().collect();
+        for sub in states {
+            sub.lock().expect("substate lock").conns.retain(|c| c.id != conn.id);
         }
     }
     conn.alive.store(false, Ordering::Release);
@@ -643,10 +830,10 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message, vers
                 (Some(handle), Slot::Running(svc)) => {
                     match svc.subscribe(handle, inner.fanout_sink(query)) {
                         Ok(()) => {
-                            let mut subs = inner.subs.lock().expect("subs lock");
-                            let list = subs.entry(query).or_default();
-                            if !list.iter().any(|c| c.id == conn.id) {
-                                list.push(Arc::clone(conn));
+                            let sub = inner.substate(query);
+                            let mut st = sub.lock().expect("substate lock");
+                            if !st.conns.iter().any(|c| c.id == conn.id) {
+                                st.conns.push(Arc::clone(conn));
                             }
                             svc.record_control(ControlEvent::Subscribe {
                                 conn: conn.id,
@@ -758,6 +945,105 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message, vers
             };
             conn.send(&reply, &inner.net())
         }
+        Message::Resume { query, next_seq } => {
+            if version < 3 {
+                return conn.send(
+                    &Message::Error {
+                        code: ErrorCode::Version,
+                        message: format!(
+                            "resume requires protocol version 3, connection negotiated {version}"
+                        ),
+                    },
+                    &inner.net(),
+                );
+            }
+            let handle = inner.handles.lock().expect("handles lock").get(&query).copied();
+            match (handle, &*inner.slot.read().expect("slot lock")) {
+                (None, _) => conn.send(
+                    &Message::Error {
+                        code: ErrorCode::UnknownQuery,
+                        message: format!("no attached query {query}"),
+                    },
+                    &inner.net(),
+                ),
+                (Some(handle), Slot::Running(svc)) => {
+                    // (Re-)install the fan-out sink — idempotent, and
+                    // necessary when the resuming client is the query's
+                    // only subscriber and the sink was never installed
+                    // on this service instance.
+                    match svc.subscribe(handle, inner.fanout_sink(query)) {
+                        Ok(()) => {
+                            let net = inner.net();
+                            let sub = inner.substate(query);
+                            // Everything under the delivery lock: the
+                            // replayed suffix and subsequent live frames
+                            // are contiguous, each seq exactly once.
+                            let mut st = sub.lock().expect("substate lock");
+                            let oldest = st.next_seq - st.ring.len() as u64;
+                            if next_seq > st.next_seq {
+                                conn.send(
+                                    &Message::Error {
+                                        code: ErrorCode::Protocol,
+                                        message: format!(
+                                            "resume seq {next_seq} is ahead of the stream \
+                                             (next unassigned seq is {})",
+                                            st.next_seq
+                                        ),
+                                    },
+                                    &net,
+                                )
+                            } else if next_seq < oldest {
+                                net.resume_gaps.inc();
+                                conn.send(
+                                    &Message::Error {
+                                        code: ErrorCode::ResumeGap,
+                                        message: format!(
+                                            "replay ring retains seqs {oldest}..{}, \
+                                             seq {next_seq} was evicted",
+                                            st.next_seq
+                                        ),
+                                    },
+                                    &net,
+                                )
+                            } else {
+                                let replayed = st.next_seq - next_seq;
+                                conn.send(&Message::Resumed { query, replayed }, &net);
+                                for (seq, key, events) in
+                                    st.ring.iter().filter(|(s, _, _)| *s >= next_seq)
+                                {
+                                    conn.send(
+                                        &Message::OutputSeq {
+                                            query,
+                                            seq: *seq,
+                                            key: *key,
+                                            events: events.clone(),
+                                        },
+                                        &net,
+                                    );
+                                }
+                                net.resume_replays.add(replayed);
+                                if !st.conns.iter().any(|c| c.id == conn.id) {
+                                    st.conns.push(Arc::clone(conn));
+                                }
+                                svc.record_control(ControlEvent::Subscribe {
+                                    conn: conn.id,
+                                    query: query as usize,
+                                });
+                                true
+                            }
+                        }
+                        Err(e) => conn.send(&service_error(e), &inner.net()),
+                    }
+                }
+                (Some(_), _) => conn.send(
+                    &Message::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "service has shut down".into(),
+                    },
+                    &inner.net(),
+                ),
+            }
+        }
         // Server-to-client tags arriving at the server are a protocol
         // violation; close on them.
         Message::HelloAck { .. }
@@ -770,7 +1056,9 @@ fn handle_request(inner: &Arc<Inner>, conn: &Arc<ConnShared>, msg: Message, vers
         | Message::Eos { .. }
         | Message::StatsReply { .. }
         | Message::Text { .. }
-        | Message::Restored { .. } => {
+        | Message::Restored { .. }
+        | Message::OutputSeq { .. }
+        | Message::Resumed { .. } => {
             conn.send(
                 &Message::Error {
                     code: ErrorCode::Protocol,

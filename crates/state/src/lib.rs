@@ -26,7 +26,7 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use tilt_data::{Event, SnapshotBuf, Time, Value};
@@ -124,6 +124,12 @@ impl std::error::Error for StateError {}
 impl StateError {
     fn io(context: &'static str) -> impl FnOnce(std::io::Error) -> StateError {
         move |e| StateError::Io { kind: e.kind(), context }
+    }
+
+    /// The error an armed failpoint injects: indistinguishable in shape
+    /// from a real I/O failure, so recovery paths cannot special-case it.
+    fn injected(context: &'static str) -> StateError {
+        StateError::Io { kind: std::io::ErrorKind::Other, context }
     }
 }
 
@@ -500,18 +506,56 @@ impl<'a> Dec<'a> {
 /// [`SnapshotWriter::record`]; [`SnapshotWriter::finish`] writes the end
 /// record, flushes, and syncs, so a crash mid-write always leaves a file
 /// that readers reject as truncated rather than silently short.
+///
+/// Writes are **crash-safe against the destination**: all bytes go to a
+/// `<path>.part` staging file, and only a successful [`SnapshotWriter::finish`]
+/// — end record, flush, fsync — atomically renames it over `path` and
+/// fsyncs the parent directory. A crash (or injected fault) at any point
+/// before the rename leaves the previous `path` contents untouched; an
+/// abandoned writer removes its staging file on drop.
+///
+/// Failpoints: `state.snapshot.write_record` (error / torn-write-after-K
+/// policies tear the staged bytes mid-record), `state.snapshot.fsync`,
+/// `state.snapshot.rename`.
 pub struct SnapshotWriter {
-    out: BufWriter<File>,
+    out: Option<BufWriter<File>>,
+    staging: PathBuf,
+    dest: PathBuf,
     records: u32,
     bytes: u64,
+    committed: bool,
+}
+
+/// The staging path a [`SnapshotWriter`] writes before renaming over
+/// `path` (exposed so sweepers like [`Lineage::prune`] can recognize and
+/// clear abandoned parts).
+pub fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".part");
+    path.with_file_name(name)
+}
+
+/// Fsyncs a directory so a just-renamed entry survives power loss.
+fn sync_dir(dir: &Path) -> Result<(), StateError> {
+    let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+    File::open(dir).and_then(|d| d.sync_all()).map_err(StateError::io("syncing snapshot directory"))
 }
 
 impl SnapshotWriter {
-    /// Creates `path` (truncating any previous file) and writes the
-    /// header.
+    /// Opens a staged writer for `path` (the destination is not touched
+    /// until [`SnapshotWriter::finish`] renames the staging file over it)
+    /// and writes the header.
     pub fn create(path: &Path) -> Result<Self, StateError> {
-        let file = File::create(path).map_err(StateError::io("creating snapshot file"))?;
-        let mut w = SnapshotWriter { out: BufWriter::new(file), records: 0, bytes: 0 };
+        let staging = staging_path(path);
+        let file = File::create(&staging).map_err(StateError::io("creating snapshot file"))?;
+        let mut w = SnapshotWriter {
+            out: Some(BufWriter::new(file)),
+            staging,
+            dest: path.to_path_buf(),
+            records: 0,
+            bytes: 0,
+            committed: false,
+        };
         w.raw(&MAGIC)?;
         w.raw(&FORMAT_VERSION.to_le_bytes())?;
         w.raw(&0u16.to_le_bytes())?; // reserved
@@ -519,36 +563,85 @@ impl SnapshotWriter {
     }
 
     fn raw(&mut self, bytes: &[u8]) -> Result<(), StateError> {
-        self.out.write_all(bytes).map_err(StateError::io("writing snapshot"))?;
+        let out = self.out.as_mut().expect("writer not finished");
+        out.write_all(bytes).map_err(StateError::io("writing snapshot"))?;
         self.bytes += bytes.len() as u64;
         Ok(())
     }
 
     /// Appends one record of `kind` with `payload`.
     pub fn record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StateError> {
-        self.raw(&(payload.len() as u32).to_le_bytes())?;
-        self.raw(&[kind])?;
-        self.raw(payload)?;
-        let mut crc = crc32(&[kind]);
+        // Assemble the whole frame first so the torn-write failpoint can
+        // persist an exact byte prefix of it.
+        let mut frame = Vec::with_capacity(payload.len() + 9);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.push(kind);
+        frame.extend_from_slice(payload);
         // One-shot CRC over kind || payload without concatenating: feed the
         // payload through with the kind byte's CRC as the running state.
-        crc = crc32_continue(crc, payload);
-        self.raw(&crc.to_le_bytes())?;
+        let crc = crc32_continue(crc32(&[kind]), payload);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        match tilt_fault::evaluate("state.snapshot.write_record") {
+            tilt_fault::Action::Proceed => {}
+            tilt_fault::Action::Panic => {
+                panic!("failpoint state.snapshot.write_record: injected panic")
+            }
+            tilt_fault::Action::Fail => {
+                return Err(StateError::injected("writing snapshot record"));
+            }
+            tilt_fault::Action::Torn(k) => {
+                let k = (k as usize).min(frame.len());
+                self.raw(&frame[..k])?;
+                if let Some(out) = self.out.as_mut() {
+                    let _ = out.flush(); // land the torn prefix like a crash would
+                }
+                return Err(StateError::injected("writing snapshot record (torn)"));
+            }
+        }
+        self.raw(&frame)?;
         self.records += 1;
         Ok(())
     }
 
-    /// Writes the end record, flushes, and syncs to stable storage.
-    /// Returns the total bytes written (for `tilt_state_bytes_written`
-    /// accounting).
+    /// Writes the end record, flushes, syncs, and atomically publishes
+    /// the staging file over the destination path (rename + parent-dir
+    /// fsync). Returns the total bytes written (for
+    /// `tilt_state_bytes_written` accounting).
     pub fn finish(mut self) -> Result<u64, StateError> {
         let count = self.records;
         let mut payload = Enc::new();
         payload.u32(count);
         self.record(KIND_END, &payload.into_bytes())?;
-        self.out.flush().map_err(StateError::io("flushing snapshot"))?;
-        self.out.get_ref().sync_all().map_err(StateError::io("syncing snapshot"))?;
+        let mut out = self.out.take().expect("finish called once");
+        out.flush().map_err(StateError::io("flushing snapshot"))?;
+        tilt_fault::fail_point!(
+            "state.snapshot.fsync",
+            return Err(StateError::injected("syncing snapshot"))
+        );
+        out.get_ref().sync_all().map_err(StateError::io("syncing snapshot"))?;
+        drop(out);
+        tilt_fault::fail_point!(
+            "state.snapshot.rename",
+            return Err(StateError::injected("publishing snapshot"))
+        );
+        std::fs::rename(&self.staging, &self.dest)
+            .map_err(StateError::io("publishing snapshot"))?;
+        self.committed = true;
+        if let Some(parent) = self.dest.parent() {
+            sync_dir(parent)?;
+        }
         Ok(self.bytes)
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        // An abandoned or failed write never reached the rename: clear
+        // the staging file so it cannot be mistaken for progress. (A real
+        // crash skips this; Lineage::prune sweeps stray parts instead.)
+        if !self.committed {
+            let _ = std::fs::remove_file(&self.staging);
+        }
     }
 }
 
@@ -657,6 +750,103 @@ pub fn read_bundle(path: &Path, kind: u8) -> Result<(Vec<u8>, u64), StateError> 
         (Some((k, payload)), None) if k == kind => Ok((payload, bytes)),
         (Some(_), None) => Err(StateError::Corrupt("unexpected bundle record kind")),
         _ => Err(StateError::Corrupt("bundle must hold exactly one record")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lineage: a retained family of numbered snapshots per directory
+// ---------------------------------------------------------------------------
+
+/// Extension of every lineage snapshot file.
+pub const SNAPSHOT_EXT: &str = "tiltsnp";
+
+/// A numbered family of snapshot files in one directory
+/// (`snap-00000001.tiltsnp`, `snap-00000002.tiltsnp`, ...), the recovery
+/// contract behind crash-safe checkpoints: each checkpoint writes the
+/// next index via the staged [`SnapshotWriter`], and restore walks the
+/// family newest-first until a file validates — so a crash at *any*
+/// point (mid-write, pre-fsync, pre-rename) still leaves the newest
+/// *published* snapshot restorable.
+#[derive(Debug, Clone)]
+pub struct Lineage {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl Lineage {
+    /// Opens (creating if needed) a lineage directory that retains the
+    /// newest `retain` snapshots on [`Lineage::prune`] (clamped to ≥ 1).
+    pub fn open(dir: &Path, retain: usize) -> Result<Lineage, StateError> {
+        std::fs::create_dir_all(dir).map_err(StateError::io("creating snapshot directory"))?;
+        Ok(Lineage { dir: dir.to_path_buf(), retain: retain.max(1) })
+    }
+
+    /// The directory this lineage lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn index_of(path: &Path) -> Option<u64> {
+        if path.extension()?.to_str()? != SNAPSHOT_EXT {
+            return None;
+        }
+        let stem = path.file_stem()?.to_str()?;
+        stem.strip_prefix("snap-")?.parse().ok()
+    }
+
+    /// Every snapshot in the family, sorted oldest to newest. Staging
+    /// (`*.part`) and foreign files are ignored.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        let mut found: Vec<(u64, PathBuf)> = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter_map(|p| Self::index_of(&p).map(|i| (i, p)))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        found.sort();
+        found.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// The path the next checkpoint should write: one past the newest
+    /// existing index.
+    pub fn next_path(&self) -> PathBuf {
+        let next =
+            self.paths().last().and_then(|p| Self::index_of(p)).map_or(1, |i| i.saturating_add(1));
+        self.dir.join(format!("snap-{next:08}.{SNAPSHOT_EXT}"))
+    }
+
+    /// The newest member of the family that fully validates (magic,
+    /// version, every checksum, end-record count). A torn, truncated, or
+    /// bit-rotted newer file is skipped, not fatal — that is the
+    /// fallback restore leans on after a crash mid-checkpoint.
+    pub fn newest_valid(&self) -> Option<(PathBuf, SnapshotFile)> {
+        self.paths()
+            .into_iter()
+            .rev()
+            .find_map(|p| SnapshotFile::read(&p).ok().map(|f| (p.clone(), f)))
+    }
+
+    /// Deletes all but the newest `retain` snapshots, plus any abandoned
+    /// `*.part` staging files. Returns how many files were removed.
+    pub fn prune(&self) -> usize {
+        let mut removed = 0;
+        let paths = self.paths();
+        if paths.len() > self.retain {
+            for p in &paths[..paths.len() - self.retain] {
+                if std::fs::remove_file(p).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for p in entries.filter_map(|e| e.ok().map(|e| e.path())) {
+                if p.extension().is_some_and(|x| x == "part") && std::fs::remove_file(&p).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
     }
 }
 
@@ -872,6 +1062,106 @@ mod tests {
             read_bundle(&path, 8),
             Err(StateError::Corrupt("unexpected bundle record kind"))
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn staged_write_publishes_only_on_finish() {
+        let dir = std::env::temp_dir().join("tilt-state-test-stage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.tiltsnp");
+
+        // Mid-write: destination untouched, bytes live in the .part file.
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.record(1, b"half").unwrap();
+        assert!(!path.exists(), "destination must not exist before finish");
+        assert!(staging_path(&path).exists());
+        drop(w); // abandoned writer clears its staging file
+        assert!(!staging_path(&path).exists());
+        assert!(!path.exists());
+
+        // Finished: destination exists, staging is gone, file validates.
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.record(1, b"whole").unwrap();
+        w.finish().unwrap();
+        assert!(path.exists());
+        assert!(!staging_path(&path).exists());
+        assert_eq!(SnapshotFile::read(&path).unwrap().records()[0], (1u8, b"whole".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The satellite fix: overwriting a checkpoint path must never
+    /// destroy the previous good snapshot, even when the writer dies
+    /// mid-file (injected error or torn write) or at fsync/rename time.
+    #[test]
+    fn killed_writer_preserves_previous_snapshot() {
+        let _guard = tilt_fault::Scenario::setup();
+        let dir = std::env::temp_dir().join("tilt-state-test-preserve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.tiltsnp");
+
+        let mut w = SnapshotWriter::create(&path).unwrap();
+        w.record(1, b"generation-one").unwrap();
+        w.finish().unwrap();
+
+        let kills: [(&str, tilt_fault::Policy); 4] = [
+            ("state.snapshot.write_record", tilt_fault::Policy::ErrorOnce),
+            ("state.snapshot.write_record", tilt_fault::Policy::TornAfter(3)),
+            ("state.snapshot.fsync", tilt_fault::Policy::ErrorOnce),
+            ("state.snapshot.rename", tilt_fault::Policy::ErrorOnce),
+        ];
+        for (site, policy) in kills {
+            tilt_fault::arm(site, policy);
+            let attempt = (|| {
+                let mut w = SnapshotWriter::create(&path)?;
+                w.record(1, b"generation-two")?;
+                w.finish()
+            })();
+            assert!(attempt.is_err(), "{site} fault must fail the rewrite");
+            tilt_fault::disarm(site);
+            let survived = SnapshotFile::read(&path).expect("previous snapshot intact");
+            assert_eq!(survived.records()[0], (1u8, b"generation-one".to_vec()), "{site}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lineage_numbers_validates_and_prunes() {
+        let dir = std::env::temp_dir().join("tilt-state-test-lineage");
+        std::fs::remove_dir_all(&dir).ok();
+        let lineage = Lineage::open(&dir, 2).unwrap();
+        assert!(lineage.newest_valid().is_none());
+
+        for gen in 1u8..=3 {
+            let path = lineage.next_path();
+            assert_eq!(
+                path.file_name().unwrap().to_str().unwrap(),
+                format!("snap-{gen:08}.tiltsnp")
+            );
+            let mut w = SnapshotWriter::create(&path).unwrap();
+            w.record(1, &[gen]).unwrap();
+            w.finish().unwrap();
+        }
+        assert_eq!(lineage.paths().len(), 3);
+        let (newest, file) = lineage.newest_valid().unwrap();
+        assert!(newest.ends_with("snap-00000003.tiltsnp"));
+        assert_eq!(file.records()[0].1, vec![3]);
+
+        // Torn newest (simulated crash that somehow published a short
+        // file): fallback picks the next-newest valid member.
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() - 5]).unwrap();
+        let (fallback, file) = lineage.newest_valid().unwrap();
+        assert!(fallback.ends_with("snap-00000002.tiltsnp"));
+        assert_eq!(file.records()[0].1, vec![2]);
+
+        // Prune keeps the newest two and sweeps stray staging files.
+        std::fs::write(dir.join("snap-00000009.tiltsnp.part"), b"junk").unwrap();
+        assert_eq!(lineage.prune(), 2);
+        let left = lineage.paths();
+        assert_eq!(left.len(), 2);
+        assert!(left[0].ends_with("snap-00000002.tiltsnp"));
+        assert!(lineage.next_path().ends_with("snap-00000004.tiltsnp"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -89,7 +89,7 @@ impl Tape {
         }
     }
     fn message(&mut self) -> Message {
-        match self.small(24) {
+        match self.small(27) {
             0 => Message::Hello { version: self.next() as u16 },
             1 => Message::Ingest {
                 events: (0..self.small(6))
@@ -129,6 +129,7 @@ impl Tape {
                     tilt_server::protocol::ErrorCode::ShuttingDown,
                     tilt_server::protocol::ErrorCode::Conflict,
                     tilt_server::protocol::ErrorCode::Internal,
+                    tilt_server::protocol::ErrorCode::ResumeGap,
                 ];
                 Message::Error {
                     code: codes[self.small(codes.len() as u64) as usize],
@@ -156,11 +157,19 @@ impl Tape {
                 path: self.string(),
                 queries: (0..self.small(4)).map(|_| self.string()).collect(),
             },
-            _ => Message::Restored {
+            23 => Message::Restored {
                 queries: (0..self.small(4))
                     .map(|_| (self.next() as u32, self.next() as i64))
                     .collect(),
             },
+            24 => Message::Resume { query: self.next() as u32, next_seq: self.next() },
+            25 => Message::OutputSeq {
+                query: self.next() as u32,
+                seq: self.next(),
+                key: self.next(),
+                events: (0..self.small(5)).map(|_| self.event()).collect(),
+            },
+            _ => Message::Resumed { query: self.next() as u32, replayed: self.next() },
         }
     }
 }
@@ -358,6 +367,134 @@ fn hostile_frames_cannot_panic_the_service() {
     // protocol), and still serves a well-formed client end to end.
     let decode_errors = assert_service_alive(&server);
     assert!(decode_errors >= 5, "decode errors counted, got {decode_errors}");
+    server.stop();
+}
+
+/// Satellite of the fault-injection PR: a peer dying after exactly K
+/// bytes of a frame — for *every* K — must never panic a handler, leak
+/// a connection slot, or bend conservation.
+#[test]
+fn peer_death_at_every_frame_offset_leaks_nothing() {
+    let server = test_server(2, 8);
+    let frame = encode_frame(&Message::Ingest {
+        events: vec![WireEvent {
+            key: 1,
+            source: 0,
+            event: Event::point(Time::new(4), Value::Float(1.0)),
+        }],
+    });
+    for cut in 0..=frame.len() {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.write_all(&encode_frame(&Message::Hello { version: PROTOCOL_VERSION })).expect("hello");
+        let (ack, _) = read_message(&mut s).expect("hello ack");
+        assert!(matches!(ack, Message::HelloAck { .. }), "expected HelloAck, got {ack:?}");
+        s.write_all(&frame[..cut]).expect("partial frame");
+        drop(s); // die mid-frame
+    }
+    // Every handler notices the death and releases its slot; the books
+    // stay exact (the one complete frame at cut == len was applied).
+    let client = Client::connect(server.addr()).expect("connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.get("conns_open") == Some(1) {
+            assert_eq!(stats.get("conservation_balance"), Some(0), "conservation exact");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection slots leaked: conns_open = {:?}",
+            stats.get("conns_open")
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    drop(client);
+    // End-to-end health probe, at a time beyond any frontier the one
+    // complete frame (cut == len) may have advanced pre-attach.
+    let client = Client::connect(server.addr()).expect("healthy client connects");
+    let q = client.attach("w", None, None).expect("attach");
+    let sub = client.subscribe(q).expect("subscribe");
+    client
+        .ingest(vec![KeyedEvent::new(9, 0, Event::point(Time::new(50), Value::Float(1.0)))])
+        .expect("ingest");
+    client.watermark(0, Time::new(100)).expect("watermark");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("conservation_balance"), Some(0));
+    client.shutdown(Some(Time::new(128))).expect("shutdown");
+    let per_key = sub.collect_per_key();
+    assert!(per_key.contains_key(&9), "subscriber got key 9's output");
+    server.stop();
+}
+
+/// Version-3-only tags on a negotiated-down connection earn a Version
+/// error — reported, not fatal, exactly like durability tags on v1.
+#[test]
+fn resume_on_old_versions_is_refused_with_version_error() {
+    let server = test_server(1, 8);
+    for v in [1u16, 2] {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.write_all(&encode_frame(&Message::Hello { version: v })).unwrap();
+        match read_message(&mut s) {
+            Ok((Message::HelloAck { version, .. }, _)) => assert_eq!(version, v),
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        s.write_all(&encode_frame(&Message::Resume { query: 0, next_seq: 0 })).unwrap();
+        match read_message(&mut s) {
+            Ok((Message::Error { code, .. }, _)) => {
+                assert_eq!(code, tilt_server::protocol::ErrorCode::Version)
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+        // The same connection still answers the legacy surface.
+        s.write_all(&encode_frame(&Message::Stats)).unwrap();
+        match read_message(&mut s) {
+            Ok((Message::StatsReply { .. }, _)) => {}
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+    }
+    assert_service_alive(&server);
+    server.stop();
+}
+
+/// The decode-error budget: recoverable malformed frames are answered
+/// and tolerated up to the budget, then the connection is dropped.
+#[test]
+fn decode_error_budget_tolerates_then_disconnects() {
+    let server = test_server(1, 8);
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.write_all(&encode_frame(&Message::Hello { version: PROTOCOL_VERSION })).unwrap();
+    let (ack, _) = read_message(&mut s).expect("hello ack");
+    assert!(matches!(ack, Message::HelloAck { .. }));
+    // An unknown tag in a fully read frame: recoverable.
+    let mut bad = 1u32.to_le_bytes().to_vec();
+    bad.push(0x42);
+    for _ in 0..3 {
+        s.write_all(&bad).unwrap();
+        match read_message(&mut s) {
+            Ok((Message::Error { code, .. }, _)) => {
+                assert_eq!(code, tilt_server::protocol::ErrorCode::Protocol)
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+    }
+    // Within budget: the connection still serves requests.
+    s.write_all(&encode_frame(&Message::Stats)).unwrap();
+    match read_message(&mut s) {
+        Ok((Message::StatsReply { .. }, _)) => {}
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    // One past the budget: final Error, then the server closes.
+    s.write_all(&bad).unwrap();
+    match read_message(&mut s) {
+        Ok((Message::Error { code, .. }, _)) => {
+            assert_eq!(code, tilt_server::protocol::ErrorCode::Protocol)
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    let _ = s.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "connection closed after budget exhaustion");
+    assert_service_alive(&server);
     server.stop();
 }
 
